@@ -1,0 +1,316 @@
+(* Command-line front end:
+
+     interferometry list
+     interferometry trace   <bench>
+     interferometry measure <bench> --layouts 50 [--heap-random] [--seed N]
+     interferometry model   <bench> --layouts 50
+     interferometry blame   <bench> --layouts 50
+     interferometry predict <bench> --layouts 30
+     interferometry sweep   <bench>                  (145-config linearity study)
+     interferometry cache   <bench> --layouts 25     (cache interferometry)
+     interferometry report  <bench> -o study.md      (full Markdown report)
+     interferometry export  <bench> runs.csv         (CSV persistence)
+     interferometry refit   <bench> runs.csv
+
+   Run `dune exec bin/interferometry_cli.exe -- --help` for details. *)
+
+open Cmdliner
+module E = Interferometry.Experiment
+module Linreg = Pi_stats.Linreg
+
+let bench_arg =
+  let parse name =
+    match Pi_workloads.Spec.find name with
+    | bench -> Ok bench
+    | exception Not_found ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown benchmark %S; try `interferometry list`" name))
+  in
+  let print ppf (b : Pi_workloads.Bench.t) = Format.fprintf ppf "%s" b.name in
+  Arg.conv (parse, print)
+
+let bench_pos =
+  Arg.(required & pos 0 (some bench_arg) None & info [] ~docv:"BENCHMARK")
+
+let layouts_term =
+  Arg.(value & opt int 50 & info [ "layouts"; "n" ] ~docv:"N" ~doc:"Number of code reorderings.")
+
+let seed_term =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Master PRNG seed.")
+
+let scale_term =
+  Arg.(value & opt int 8 & info [ "scale" ] ~docv:"K" ~doc:"Workload scale (trip multiplier).")
+
+let heap_random_term =
+  Arg.(value & flag & info [ "heap-random" ] ~doc:"Randomize heap placement (DieHard-style).")
+
+let config_of ~seed ~scale ~heap_random =
+  { E.default_config with E.master_seed = seed; scale; heap_random }
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-16s %-14s %-5s %s\n" "name" "suite" "sig?" "description";
+    List.iter
+      (fun (b : Pi_workloads.Bench.t) ->
+        Printf.printf "%-16s %-14s %-5s %s\n" b.name
+          (Pi_workloads.Bench.suite_name b.suite)
+          (if b.expect_significant then "yes" else "no")
+          b.description)
+      (Pi_workloads.Spec.simulation_suite ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark stand-ins.") Term.(const run $ const ())
+
+let trace_cmd =
+  let run bench seed scale =
+    let config = config_of ~seed ~scale ~heap_random:false in
+    let prepared = E.prepare ~config bench in
+    print_endline (Pi_isa.Program.static_stats prepared.E.program);
+    print_endline (Pi_isa.Trace.summary prepared.E.trace);
+    Printf.printf "warmup: %d blocks\n" prepared.E.warmup_blocks
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Build a benchmark and show its static program and trace statistics.")
+    Term.(const run $ bench_pos $ seed_term $ scale_term)
+
+let measure_cmd =
+  let run bench layouts seed scale heap_random =
+    let config = config_of ~seed ~scale ~heap_random in
+    let dataset = E.run ~config bench ~n_layouts:layouts in
+    Printf.printf "%-6s %10s %10s %10s %10s %10s\n" "seed" "CPI" "MPKI" "L1I" "L1D" "L2";
+    Array.iter
+      (fun (o : E.observation) ->
+        let m = o.E.measurement in
+        Printf.printf "%-6d %10.4f %10.3f %10.3f %10.3f %10.3f\n" o.E.layout_seed
+          m.Pi_uarch.Counters.cpi m.Pi_uarch.Counters.mpki m.Pi_uarch.Counters.l1i_mpki
+          m.Pi_uarch.Counters.l1d_mpki m.Pi_uarch.Counters.l2_mpki)
+      dataset.E.observations;
+    Printf.printf "\nCPI:  %s\n"
+      (Format.asprintf "%a" Pi_stats.Descriptive.pp_summary
+         (Pi_stats.Descriptive.summarize (E.cpis dataset)));
+    Printf.printf "MPKI: %s\n"
+      (Format.asprintf "%a" Pi_stats.Descriptive.pp_summary
+         (Pi_stats.Descriptive.summarize (E.mpkis dataset)))
+  in
+  Cmd.v
+    (Cmd.info "measure" ~doc:"Measure a benchmark over N reorderings (counter protocol).")
+    Term.(const run $ bench_pos $ layouts_term $ seed_term $ scale_term $ heap_random_term)
+
+let model_cmd =
+  let run bench layouts seed scale heap_random =
+    let config = config_of ~seed ~scale ~heap_random in
+    let dataset = E.run ~config bench ~n_layouts:layouts in
+    let verdict = Interferometry.Significance.test dataset in
+    print_endline Interferometry.Significance.header;
+    print_endline (Interferometry.Significance.row verdict);
+    print_newline ();
+    if verdict.Interferometry.Significance.significant then begin
+      let model = Interferometry.Model.fit dataset in
+      print_endline Interferometry.Model.table1_header;
+      print_endline (Interferometry.Model.table1_row model);
+      let points = Array.map2 (fun x y -> (x, y)) (E.mpkis dataset) (E.cpis dataset) in
+      print_newline ();
+      print_endline
+        (Pi_plot.Scatter.render ~width:90 ~height:22
+           ~title:
+             (Format.asprintf "CPI vs MPKI: %a" Linreg.pp
+                model.Interferometry.Model.regression)
+           ~x_label:"MPKI" ~y_label:"CPI"
+           ~line:(Pi_plot.Scatter.regression_line model.Interferometry.Model.regression)
+           ~bands:
+             [
+               Pi_plot.Scatter.confidence_band model.Interferometry.Model.regression;
+               Pi_plot.Scatter.prediction_band model.Interferometry.Model.regression;
+             ]
+           points)
+    end
+    else
+      print_endline
+        "no significant CPI~MPKI correlation: interferometry cannot model this benchmark"
+  in
+  Cmd.v
+    (Cmd.info "model" ~doc:"Fit and display the CPI ~ MPKI regression model.")
+    Term.(const run $ bench_pos $ layouts_term $ seed_term $ scale_term $ heap_random_term)
+
+let blame_cmd =
+  let run bench layouts seed scale heap_random =
+    let config = config_of ~seed ~scale ~heap_random in
+    let dataset = E.run ~config bench ~n_layouts:layouts in
+    let a = Interferometry.Blame.attribute dataset in
+    print_endline Interferometry.Blame.header;
+    print_endline (Interferometry.Blame.row a);
+    Printf.printf "\ncombined model: %s\n"
+      (Format.asprintf "%a" Pi_stats.Multireg.pp a.Interferometry.Blame.combined)
+  in
+  Cmd.v
+    (Cmd.info "blame" ~doc:"Attribute CPI variance to microarchitectural events (r^2).")
+    Term.(const run $ bench_pos $ layouts_term $ seed_term $ scale_term $ heap_random_term)
+
+let predict_cmd =
+  let run bench layouts seed scale =
+    let config = config_of ~seed ~scale ~heap_random:false in
+    let dataset = E.run ~config bench ~n_layouts:layouts in
+    let model = Interferometry.Model.fit dataset in
+    let rows = Interferometry.Predict.evaluate dataset model in
+    print_endline Interferometry.Predict.header;
+    List.iter (fun e -> print_endline (Interferometry.Predict.row e)) rows
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:"Estimate CPI of hypothetical predictors (GAs 2-16KB, L-TAGE, perfect).")
+    Term.(const run $ bench_pos $ layouts_term $ seed_term $ scale_term)
+
+let cache_cmd =
+  let run bench layouts seed scale =
+    (* Cache interferometry wants long runs and a randomized heap. *)
+    let config =
+      {
+        E.default_config with
+        E.master_seed = seed;
+        scale = 3 * scale;
+        budget_blocks = 700_000;
+        heap_random = true;
+      }
+    in
+    let dataset = E.run ~config bench ~n_layouts:layouts in
+    let model = Interferometry.Cache_model.fit dataset in
+    Printf.printf "memory model: %s\n\n"
+      (Format.asprintf "%a" Pi_stats.Multireg.pp model.Interferometry.Cache_model.regression);
+    print_endline Interferometry.Cache_model.header;
+    List.iter
+      (fun e -> print_endline (Interferometry.Cache_model.row e))
+      (Interferometry.Cache_model.evaluate dataset model)
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"Cache interferometry: estimate CPI of hypothetical cache geometries.")
+    Term.(const run $ bench_pos $ layouts_term $ seed_term $ scale_term)
+
+let export_cmd =
+  let path_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE.csv") in
+  let run bench path layouts seed scale heap_random =
+    let config = config_of ~seed ~scale ~heap_random in
+    let dataset = E.run ~config bench ~n_layouts:layouts in
+    Interferometry.Dataset_io.save path dataset;
+    Printf.printf "wrote %d observations to %s\n" (Array.length dataset.E.observations) path
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Measure a benchmark and export the observations to CSV.")
+    Term.(const run $ bench_pos $ path_pos $ layouts_term $ seed_term $ scale_term $ heap_random_term)
+
+let refit_cmd =
+  let path_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE.csv") in
+  let run bench path seed scale heap_random =
+    let config = config_of ~seed ~scale ~heap_random in
+    match Interferometry.Dataset_io.load_observations path with
+    | Error e ->
+        Printf.eprintf "cannot load %s: %s\n" path e;
+        exit 1
+    | Ok observations ->
+        let prepared = E.prepare ~config bench in
+        let dataset = Interferometry.Dataset_io.reattach prepared observations in
+        let model = Interferometry.Model.fit dataset in
+        print_endline Interferometry.Model.table1_header;
+        print_endline (Interferometry.Model.table1_row model)
+  in
+  Cmd.v
+    (Cmd.info "refit" ~doc:"Refit the regression model from a previously exported CSV.")
+    Term.(const run $ bench_pos $ path_pos $ seed_term $ scale_term $ heap_random_term)
+
+let phases_cmd =
+  let run bench seed scale =
+    let config = config_of ~seed ~scale ~heap_random:false in
+    let prepared = E.prepare ~config bench in
+    let trace = prepared.E.trace in
+    let interval_blocks = max 1 (Pi_isa.Trace.blocks_executed trace / 12) in
+    let ivs = Pi_isa.Phases.intervals trace ~interval_blocks in
+    let sp = Pi_isa.Phases.choose ivs in
+    Printf.printf "%d intervals of %d blocks, %d phases found\n\n"
+      (Array.length ivs) interval_blocks
+      (Array.length sp.Pi_isa.Phases.representatives);
+    Printf.printf "phase timeline: %s\n\n"
+      (String.concat ""
+         (Array.to_list
+            (Array.map (fun c -> String.make 1 (Char.chr (Char.code 'A' + (c mod 26))))
+               sp.Pi_isa.Phases.assignment)));
+    let placement = Pi_layout.Placement.make prepared.E.program ~seed:1 in
+    let metric t ~warmup_blocks =
+      Pi_uarch.Pipeline.cpi (Pi_uarch.Pipeline.run ~warmup_blocks config.E.machine t placement)
+    in
+    Printf.printf "%-8s %10s %10s %8s\n" "phase" "weight" "CPI" "interval";
+    Array.iteri
+      (fun i rep ->
+        let iv = ivs.(rep) in
+        let warmup = min (3 * interval_blocks) iv.Pi_isa.Phases.start_block in
+        let sub =
+          Pi_isa.Phases.slice trace
+            ~start_block:(iv.Pi_isa.Phases.start_block - warmup)
+            ~length:(iv.Pi_isa.Phases.length + warmup)
+        in
+        Printf.printf "%c        %10.3f %10.4f %8d\n"
+          (Char.chr (Char.code 'A' + (i mod 26)))
+          sp.Pi_isa.Phases.weights.(i)
+          (metric sub ~warmup_blocks:warmup) rep)
+      sp.Pi_isa.Phases.representatives;
+    let full = metric trace ~warmup_blocks:prepared.E.warmup_blocks in
+    let estimate =
+      Pi_isa.Phases.estimate metric trace ~interval_blocks
+        ~warmup_blocks:(3 * interval_blocks) ()
+    in
+    Printf.printf "\nfull CPI %.4f, simpoint estimate %.4f (%.2f%% error)\n" full estimate
+      (100.0 *. Float.abs (estimate -. full) /. full)
+  in
+  Cmd.v
+    (Cmd.info "phases" ~doc:"SimPoint-style phase analysis of a benchmark's trace.")
+    Term.(const run $ bench_pos $ seed_term $ scale_term)
+
+let report_cmd =
+  let path_term =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE.md"
+           ~doc:"Write the Markdown report to a file instead of stdout.")
+  in
+  let run bench layouts seed scale heap_random path =
+    let config = config_of ~seed ~scale ~heap_random in
+    let dataset = E.run ~config bench ~n_layouts:layouts in
+    let report = Interferometry.Report.generate dataset in
+    match path with
+    | Some path ->
+        Interferometry.Report.save report ~path;
+        Printf.printf "wrote %s\n" path
+    | None -> print_string report.Interferometry.Report.markdown
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Generate a complete Markdown study report for one benchmark.")
+    Term.(const run $ bench_pos $ layouts_term $ seed_term $ scale_term $ heap_random_term $ path_term)
+
+let sweep_cmd =
+  let run bench seed scale =
+    let config = config_of ~seed ~scale ~heap_random:false in
+    let prepared = E.prepare ~config bench in
+    let placement = Pi_layout.Placement.natural prepared.E.program in
+    let s =
+      Pi_uarch.Sweep.run_study ~warmup_blocks:prepared.E.warmup_blocks
+        ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace placement
+    in
+    Printf.printf "regression over 145 imperfect configurations: %s\n"
+      (Format.asprintf "%a" Linreg.pp s.Pi_uarch.Sweep.regression);
+    Printf.printf "perfect:  actual CPI %.4f, extrapolated %.4f (error %.2f%%)\n"
+      s.Pi_uarch.Sweep.perfect_cpi s.Pi_uarch.Sweep.predicted_perfect_cpi
+      s.Pi_uarch.Sweep.perfect_error_percent;
+    Printf.printf "L-TAGE:   actual CPI %.4f at %.3f MPKI, interpolated %.4f (error %.2f%%)\n"
+      s.Pi_uarch.Sweep.ltage_point.Pi_uarch.Sweep.cpi
+      s.Pi_uarch.Sweep.ltage_point.Pi_uarch.Sweep.mpki s.Pi_uarch.Sweep.predicted_ltage_cpi
+      s.Pi_uarch.Sweep.ltage_error_percent
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Section-3 linearity study: 145 predictor configurations.")
+    Term.(const run $ bench_pos $ seed_term $ scale_term)
+
+let () =
+  let doc = "Program interferometry: performance modelling by layout perturbation" in
+  let info = Cmd.info "interferometry" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [
+         list_cmd; trace_cmd; measure_cmd; model_cmd; blame_cmd; predict_cmd;
+         sweep_cmd; cache_cmd; export_cmd; refit_cmd; report_cmd; phases_cmd;
+       ]))

@@ -1,0 +1,1 @@
+examples/cache_blame.ml: Array Format Interferometry Pi_plot Pi_stats Pi_workloads Printf

@@ -1,0 +1,1 @@
+examples/layout_search.ml: Array Float Interferometry List Pi_layout Pi_stats Pi_uarch Pi_workloads Printf

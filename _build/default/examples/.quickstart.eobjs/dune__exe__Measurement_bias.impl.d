@@ -1,0 +1,1 @@
+examples/measurement_bias.ml: Interferometry List Pi_plot Pi_stats Pi_uarch Pi_workloads Printf

@@ -1,0 +1,1 @@
+examples/predictor_design.ml: Interferometry List Pi_stats Pi_uarch Pi_workloads Printf

@@ -1,0 +1,54 @@
+(* Cache interferometry (the paper's Section 1.3 / Figure 3): use a
+   DieHard-style randomizing allocator on top of code reordering to elicit
+   cache-miss variance, then model CPI against L1D and L2 miss rates.
+
+     dune exec examples/cache_blame.exe
+
+   The same benchmark measured twice — once with the deterministic bump
+   allocator, once with randomized heap placement — shows where the
+   cache-miss variance comes from. *)
+
+module E = Interferometry.Experiment
+module Linreg = Pi_stats.Linreg
+
+let analyze ~heap_random bench =
+  (* Long runs: steady-state cache behaviour needs several sweeps over the
+     solver's working set. *)
+  let config =
+    { E.default_config with E.heap_random; scale = 24; budget_blocks = 700_000 }
+  in
+  let dataset = E.run ~config bench ~n_layouts:30 in
+  let cpis = E.cpis dataset in
+  let l1d = E.l1d_mpkis dataset in
+  let l2 = E.l2_mpkis dataset in
+  Printf.printf "%s heap:\n" (if heap_random then "randomized" else "bump");
+  Printf.printf "  L1D misses/k-instr: %s\n"
+    (Format.asprintf "%a" Pi_stats.Descriptive.pp_summary (Pi_stats.Descriptive.summarize l1d));
+  Printf.printf "  r^2(CPI, L1D) = %.3f   r^2(CPI, L2) = %.3f\n\n"
+    (Pi_stats.Correlation.r_squared l1d cpis)
+    (Pi_stats.Correlation.r_squared l2 cpis);
+  (dataset, l1d, l2, cpis)
+
+let () =
+  let bench = Pi_workloads.Spec.find "454.calculix" in
+  Printf.printf "benchmark: %s\n\n" bench.Pi_workloads.Bench.name;
+  let _ = analyze ~heap_random:false bench in
+  let _, l1d, l2, cpis = analyze ~heap_random:true bench in
+  (* Figure-3 style plots under heap randomization. *)
+  let plot name xs =
+    let reg = Linreg.fit xs cpis in
+    print_endline
+      (Pi_plot.Scatter.render ~width:80 ~height:18
+         ~title:(Printf.sprintf "CPI vs %s: %s" name (Format.asprintf "%a" Linreg.pp reg))
+         ~x_label:(name ^ " per kilo-instruction") ~y_label:"CPI"
+         ~line:(Pi_plot.Scatter.regression_line reg)
+         ~bands:[ Pi_plot.Scatter.confidence_band reg; Pi_plot.Scatter.prediction_band reg ]
+         (Array.map2 (fun x y -> (x, y)) xs cpis))
+  in
+  plot "L1D misses" l1d;
+  plot "L2 misses" l2;
+  print_endline
+    "The randomizing allocator turns heap placement into a controllable";
+  print_endline
+    "experimental variable: cache-conflict variance appears, and CPI tracks";
+  print_endline "it linearly — interferometry for the memory hierarchy."

@@ -1,0 +1,69 @@
+(* Quickstart: build a performance model for one benchmark and read
+   predictions off it.
+
+     dune exec examples/quickstart.exe
+
+   Steps: pick a benchmark stand-in, run the interferometry experiment
+   (30 code reorderings, each measured with the noisy counter protocol),
+   fit CPI ~ MPKI, test significance, and ask the model what a perfect
+   branch predictor would be worth. *)
+
+module E = Interferometry.Experiment
+module Linreg = Pi_stats.Linreg
+
+let () =
+  let bench = Pi_workloads.Spec.find "400.perlbench" in
+  Printf.printf "benchmark: %s (%s)\n\n" bench.Pi_workloads.Bench.name
+    bench.Pi_workloads.Bench.description;
+
+  (* 1. Run the experiment: one trace, 30 placements, 30 measurements. *)
+  let dataset = E.run bench ~n_layouts:30 in
+  Printf.printf "collected %d observations\n" (Array.length dataset.E.observations);
+  Printf.printf "  CPI : %s\n"
+    (Format.asprintf "%a" Pi_stats.Descriptive.pp_summary
+       (Pi_stats.Descriptive.summarize (E.cpis dataset)));
+  Printf.printf "  MPKI: %s\n\n"
+    (Format.asprintf "%a" Pi_stats.Descriptive.pp_summary
+       (Pi_stats.Descriptive.summarize (E.mpkis dataset)));
+
+  (* 2. Is the CPI~MPKI correlation statistically significant? *)
+  let verdict = Interferometry.Significance.test dataset in
+  Printf.printf "t-test: r = %.3f, p = %.2g -> %s\n\n"
+    verdict.Interferometry.Significance.mpki_test.Pi_stats.Correlation.r
+    verdict.Interferometry.Significance.mpki_test.Pi_stats.Correlation.p_value
+    (if verdict.Interferometry.Significance.significant then
+       "significant: interferometry applies"
+     else "not significant: this benchmark resists interferometry");
+
+  (* 3. Fit the performance model. *)
+  let model = Interferometry.Model.fit dataset in
+  Printf.printf "model: %s\n\n"
+    (Format.asprintf "%a" Linreg.pp model.Interferometry.Model.regression);
+
+  (* 4. Ask it questions. *)
+  let perfect = model.Interferometry.Model.perfect_prediction in
+  Printf.printf "perfect branch prediction: CPI %.3f, 95%% PI [%.3f, %.3f]\n"
+    perfect.Linreg.estimate perfect.Linreg.lower perfect.Linreg.upper;
+  let mean_mpki = model.Interferometry.Model.mean_mpki in
+  Printf.printf "improvement over today's predictor: %.1f%%\n"
+    (Interferometry.Model.improvement_percent model ~from_mpki:mean_mpki ~to_mpki:0.0);
+  (match
+     Interferometry.Model.mpki_reduction_for_cpi_gain model ~at_mpki:mean_mpki
+       ~gain_percent:10.0
+   with
+  | Some r -> Printf.printf "a 10%% CPI gain needs a %.0f%% misprediction reduction\n" r
+  | None -> ());
+
+  (* 5. Draw the Figure-2-style scatter. *)
+  let points = Array.map2 (fun x y -> (x, y)) (E.mpkis dataset) (E.cpis dataset) in
+  print_newline ();
+  print_endline
+    (Pi_plot.Scatter.render ~width:80 ~height:20 ~title:"CPI vs MPKI"
+       ~x_label:"MPKI" ~y_label:"CPI"
+       ~line:(Pi_plot.Scatter.regression_line model.Interferometry.Model.regression)
+       ~bands:
+         [
+           Pi_plot.Scatter.confidence_band model.Interferometry.Model.regression;
+           Pi_plot.Scatter.prediction_band model.Interferometry.Model.regression;
+         ]
+       points)

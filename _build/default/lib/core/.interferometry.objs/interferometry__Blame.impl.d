@@ -1,0 +1,1 @@
+lib/core/blame.ml: Array Experiment List Pi_stats Pi_workloads Printf

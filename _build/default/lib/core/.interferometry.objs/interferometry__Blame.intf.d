@@ -1,0 +1,1 @@
+lib/core/blame.mli: Experiment Pi_stats

@@ -1,0 +1,1 @@
+lib/core/cache_model.ml: Array Experiment List Pi_isa Pi_layout Pi_stats Pi_uarch Pi_workloads Printf

@@ -1,0 +1,1 @@
+lib/core/cache_model.mli: Experiment Pi_stats Pi_uarch

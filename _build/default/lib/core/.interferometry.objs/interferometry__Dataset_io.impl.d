@@ -1,0 +1,1 @@
+lib/core/dataset_io.ml: Array Experiment Fun List Pi_uarch Printf Result String

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Hashtbl Pi_isa Pi_layout Pi_uarch Pi_workloads

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Pi_isa Pi_uarch Pi_workloads

@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Experiment Pi_stats Pi_workloads Printf

@@ -1,0 +1,1 @@
+lib/core/power.ml: Experiment Float List Pi_stats Pi_workloads Printf Significance

@@ -1,0 +1,1 @@
+lib/core/power.mli: Experiment Pi_workloads

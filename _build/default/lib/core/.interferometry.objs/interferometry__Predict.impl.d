@@ -1,0 +1,1 @@
+lib/core/predict.ml: Array Experiment Float List Model Pi_isa Pi_layout Pi_pin Pi_stats Pi_uarch Printf

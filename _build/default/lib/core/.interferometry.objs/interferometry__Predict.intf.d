@@ -1,0 +1,1 @@
+lib/core/predict.mli: Experiment Model Pi_stats Pi_uarch

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Blame Buffer Experiment Fun List Model Pi_stats Pi_workloads Power Predict Printf Significance

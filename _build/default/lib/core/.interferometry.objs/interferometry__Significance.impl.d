@@ -1,0 +1,1 @@
+lib/core/significance.ml: Array Blame Experiment Pi_stats Pi_workloads Printf

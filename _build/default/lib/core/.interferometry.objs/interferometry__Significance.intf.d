@@ -1,0 +1,1 @@
+lib/core/significance.mli: Experiment Pi_stats Pi_workloads

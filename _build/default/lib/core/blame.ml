@@ -1,0 +1,50 @@
+module Correlation = Pi_stats.Correlation
+module Multireg = Pi_stats.Multireg
+
+type t = {
+  benchmark : string;
+  r2_mpki : float;
+  r2_l1i : float;
+  r2_l2 : float;
+  combined : Multireg.t;
+}
+
+let attribute (dataset : Experiment.dataset) =
+  let cpis = Experiment.cpis dataset in
+  let mpkis = Experiment.mpkis dataset in
+  let l1is = Experiment.l1i_mpkis dataset in
+  let l2s = Experiment.l2_mpkis dataset in
+  let rows =
+    Array.init (Array.length cpis) (fun i -> [| mpkis.(i); l1is.(i); l2s.(i) |])
+  in
+  {
+    benchmark = dataset.Experiment.prepared.Experiment.bench.Pi_workloads.Bench.name;
+    r2_mpki = Correlation.r_squared mpkis cpis;
+    r2_l1i = Correlation.r_squared l1is cpis;
+    r2_l2 = Correlation.r_squared l2s cpis;
+    combined = Multireg.fit rows cpis;
+  }
+
+let combined_r2 t = t.combined.Multireg.r_squared
+
+let average = function
+  | [] -> invalid_arg "Blame.average: empty"
+  | first :: _ as all ->
+      let n = float_of_int (List.length all) in
+      let mean f = List.fold_left (fun acc t -> acc +. f t) 0.0 all /. n in
+      {
+        benchmark = "Average";
+        r2_mpki = mean (fun t -> t.r2_mpki);
+        r2_l1i = mean (fun t -> t.r2_l1i);
+        r2_l2 = mean (fun t -> t.r2_l2);
+        combined =
+          { first.combined with Multireg.r_squared = mean combined_r2 };
+      }
+
+let header =
+  Printf.sprintf "%-16s %10s %10s %10s %12s" "Benchmark" "r2(MPKI)" "r2(L1I)" "r2(L2)"
+    "combined R2"
+
+let row t =
+  Printf.sprintf "%-16s %10.3f %10.3f %10.3f %12.3f" t.benchmark t.r2_mpki t.r2_l1i t.r2_l2
+    (combined_r2 t)

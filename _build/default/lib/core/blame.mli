@@ -1,0 +1,29 @@
+(** Assigning blame (Figure 6): how much of the CPI variance across code
+    reorderings does each microarchitectural event explain?
+
+    Coefficients of determination (r^2) of CPI against branch MPKI, L1I miss
+    rate and L2 miss rate, plus the combined multi-linear model over all
+    three. The combined R^2 can fall short of the sum because the events are
+    not independent (e.g. a misprediction's wrong path perturbs the
+    caches). *)
+
+type t = {
+  benchmark : string;
+  r2_mpki : float;
+  r2_l1i : float;
+  r2_l2 : float;
+  combined : Pi_stats.Multireg.t;  (** CPI ~ MPKI + L1I + L2 *)
+}
+
+val attribute : Experiment.dataset -> t
+
+val combined_r2 : t -> float
+
+val average : t list -> t
+(** Event-wise mean of the attributions, labelled "Average" — the summary
+    bar of Figure 6 (the paper: 27% of CPI variance from mispredictions on
+    average). The [combined] field of the result carries only the averaged
+    R^2 (its coefficients are not meaningful). *)
+
+val header : string
+val row : t -> string

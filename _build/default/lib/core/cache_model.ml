@@ -1,0 +1,124 @@
+module Cache = Pi_uarch.Cache
+module Multireg = Pi_stats.Multireg
+module Program = Pi_isa.Program
+module Trace = Pi_isa.Trace
+
+type memory_model = {
+  benchmark : string;
+  regression : Multireg.t;
+  mean_mpki : float;
+  mean_l1d_mpki : float;
+  mean_l2_mpki : float;
+  mean_cpi : float;
+}
+
+let fit (dataset : Experiment.dataset) =
+  let cpis = Experiment.cpis dataset in
+  let mpkis = Experiment.mpkis dataset in
+  let l1ds = Experiment.l1d_mpkis dataset in
+  let l2s = Experiment.l2_mpkis dataset in
+  let rows = Array.init (Array.length cpis) (fun i -> [| mpkis.(i); l1ds.(i); l2s.(i) |]) in
+  {
+    benchmark = dataset.Experiment.prepared.Experiment.bench.Pi_workloads.Bench.name;
+    regression = Multireg.fit rows cpis;
+    mean_mpki = Pi_stats.Descriptive.mean mpkis;
+    mean_l1d_mpki = Pi_stats.Descriptive.mean l1ds;
+    mean_l2_mpki = Pi_stats.Descriptive.mean l2s;
+    mean_cpi = Pi_stats.Descriptive.mean cpis;
+  }
+
+(* Functional simulation of the data side only: walk the trace, resolve
+   addresses through the placement, access hypothetical L1D/L2. *)
+let miss_rates (prepared : Experiment.prepared) ~seed ~l1d ~l2 =
+  let program = prepared.Experiment.program in
+  let trace = prepared.Experiment.trace in
+  let placement =
+    Pi_layout.Placement.make ~heap_random:prepared.Experiment.config.Experiment.heap_random
+      program ~seed
+  in
+  let data = placement.Pi_layout.Placement.data in
+  let l1d_cache = Cache.create l1d in
+  let l2_cache = Cache.create l2 in
+  let n_blocks = Array.length program.Program.blocks in
+  let block_mem_counts =
+    Array.init n_blocks (fun i ->
+        Array.fold_left
+          (fun acc instr -> match instr with Program.Mem _ -> acc + 1 | _ -> acc)
+          0 program.Program.blocks.(i).Program.instrs)
+  in
+  let block_instrs = Array.init n_blocks (fun i -> Program.block_instr_count program i) in
+  let seq = trace.Trace.block_seq in
+  let events = trace.Trace.mem_events in
+  let warmup = prepared.Experiment.warmup_blocks in
+  let cursor = ref 0 in
+  let l1d_misses = ref 0 and l2_misses = ref 0 and instructions = ref 0 in
+  let measuring = ref false in
+  Array.iteri
+    (fun i b ->
+      if i = warmup then measuring := true;
+      if !measuring then instructions := !instructions + block_instrs.(b);
+      for _ = 1 to block_mem_counts.(b) do
+        let addr = Pi_layout.Data_layout.address data events.(!cursor) in
+        incr cursor;
+        if not (Cache.access l1d_cache addr) then begin
+          if !measuring then incr l1d_misses;
+          if (not (Cache.access l2_cache addr)) && !measuring then incr l2_misses
+        end
+        else ()
+      done)
+    seq;
+  let per_kilo v = if !instructions = 0 then 0.0 else 1000.0 *. float_of_int v /. float_of_int !instructions in
+  (per_kilo !l1d_misses, per_kilo !l2_misses)
+
+type evaluation = {
+  label : string;
+  l1d_mpki : float;
+  l2_mpki : float;
+  predicted_cpi : float;
+  half_width : float;
+}
+
+let standard_candidates () =
+  let l1 size_kb assoc = { Cache.size_bytes = size_kb * 1024; assoc; line_bytes = 64 } in
+  let l2_of mb = { Cache.size_bytes = mb * 1024 * 1024; assoc = 8; line_bytes = 64 } in
+  [
+    ("baseline (32KB/4MB)", l1 32 8, l2_of 4);
+    ("L1D 64KB", l1 64 8, l2_of 4);
+    ("L1D 16KB", l1 16 8, l2_of 4);
+    ("L1D 32KB 2-way", l1 32 2, l2_of 4);
+    ("L2 8MB", l1 32 8, l2_of 8);
+    ("L2 2MB", l1 32 8, l2_of 2);
+  ]
+
+let evaluate ?(candidates = standard_candidates ()) (dataset : Experiment.dataset) model =
+  let prepared = dataset.Experiment.prepared in
+  let n = Array.length dataset.Experiment.observations in
+  let df = float_of_int (model.regression.Multireg.n - model.regression.Multireg.k - 1) in
+  let t_mult = Pi_stats.Distributions.Student_t.quantile ~df 0.975 in
+  (* Approximate prediction half-width: residual error only (leverage terms
+     omitted); documented as an approximation in the interface. *)
+  let half_width =
+    t_mult *. model.regression.Multireg.residual_standard_error *. sqrt (1.0 +. (1.0 /. float_of_int n))
+  in
+  List.map
+    (fun (label, l1d, l2) ->
+      let sum_l1d = ref 0.0 and sum_l2 = ref 0.0 in
+      for seed = 1 to n do
+        let a, b = miss_rates prepared ~seed ~l1d ~l2 in
+        sum_l1d := !sum_l1d +. a;
+        sum_l2 := !sum_l2 +. b
+      done;
+      let l1d_mpki = !sum_l1d /. float_of_int n in
+      let l2_mpki = !sum_l2 /. float_of_int n in
+      let predicted_cpi =
+        Multireg.predict model.regression [| model.mean_mpki; l1d_mpki; l2_mpki |]
+      in
+      { label; l1d_mpki; l2_mpki; predicted_cpi; half_width })
+    candidates
+
+let header =
+  Printf.sprintf "%-22s %10s %10s %12s" "Cache configuration" "L1D MPKI" "L2 MPKI" "CPI (+-)"
+
+let row e =
+  Printf.sprintf "%-22s %10.3f %10.3f %8.3f +- %.3f" e.label e.l1d_mpki e.l2_mpki
+    e.predicted_cpi e.half_width

@@ -1,0 +1,55 @@
+(** Cache interferometry (the paper's Sections 1.3/6.5 and its stated future
+    work): estimate the performance impact of changing the cache hierarchy
+    the same way Section 7 estimates branch predictors.
+
+    Heap randomization plus code reordering elicits cache-miss variance; a
+    multi-linear model [CPI ~ MPKI + L1D + L2] fitted to those measurements
+    converts miss rates into cycles. A *hypothetical* cache geometry's miss
+    rates are then obtained by functional simulation of the caches alone
+    (the analogue of the Pin branch tool: no pipeline, no noise), and the
+    model translates them into a CPI estimate. *)
+
+type memory_model = {
+  benchmark : string;
+  regression : Pi_stats.Multireg.t;  (** CPI ~ [MPKI; L1D MPKI; L2 MPKI] *)
+  mean_mpki : float;
+  mean_l1d_mpki : float;
+  mean_l2_mpki : float;
+  mean_cpi : float;
+}
+
+val fit : Experiment.dataset -> memory_model
+(** Fit the combined model; use a heap-randomized dataset so the cache
+    columns carry real variance. *)
+
+val miss_rates :
+  Experiment.prepared ->
+  seed:int ->
+  l1d:Pi_uarch.Cache.geometry ->
+  l2:Pi_uarch.Cache.geometry ->
+  float * float
+(** Cache-only simulation of the data-reference stream under one placement:
+    returns (L1D misses, L2 misses) per kilo-instruction, measured after the
+    experiment's warmup window. *)
+
+type evaluation = {
+  label : string;
+  l1d_mpki : float;  (** mean over the dataset's layouts *)
+  l2_mpki : float;
+  predicted_cpi : float;
+  half_width : float;  (** approximate 95% bound from the residual error *)
+}
+
+val evaluate :
+  ?candidates:(string * Pi_uarch.Cache.geometry * Pi_uarch.Cache.geometry) list ->
+  Experiment.dataset ->
+  memory_model ->
+  evaluation list
+(** Default candidates: the baseline 32KB L1D, a 64KB L1D, a 16KB L1D and a
+    double-size L2 — the design sweep a cache architect would ask about. *)
+
+val standard_candidates :
+  unit -> (string * Pi_uarch.Cache.geometry * Pi_uarch.Cache.geometry) list
+
+val header : string
+val row : evaluation -> string

@@ -1,0 +1,75 @@
+(** The interferometry experiment: many semantically equivalent placements
+    of one benchmark, each measured through the noisy counter protocol.
+
+    The pipeline mirrors the paper's methodology end to end: compile the
+    benchmark once ({!prepare} interprets it once into a layout-independent
+    trace, bounded by the two-pass run-length instrumentation), then for
+    each PRNG seed link a reordered executable, run it on the modelled
+    machine, and collect counter measurements (3 groups x 5 runs,
+    median-by-cycles). Observations are reproducible from
+    [(benchmark, config, seed)]. *)
+
+type config = {
+  scale : int;  (** workload trip-count multiplier *)
+  budget_blocks : int;  (** run-length budget (the "two minutes") *)
+  warmup_fraction : float;  (** leading fraction of the trace not measured *)
+  runs_per_group : int;  (** counter-protocol repetitions (paper: 5) *)
+  noise : Pi_uarch.Counters.noise;
+  heap_random : bool;  (** DieHard-style heap randomization (Fig 3 mode) *)
+  aslr : bool;  (** address-space randomization; off on the paper's systems *)
+  machine : Pi_uarch.Pipeline.config;
+  master_seed : int;
+}
+
+val default_config : config
+(** Scale 8 (~200k-block traces), 25% warmup, 5 runs/group, default noise,
+    bump heap, the Xeon-like machine, master seed 1. *)
+
+val quick_config : config
+(** Small traces for tests: scale 2, reduced budget. *)
+
+type prepared = {
+  bench : Pi_workloads.Bench.t;
+  config : config;
+  program : Pi_isa.Program.t;
+  trace : Pi_isa.Trace.t;
+  warmup_blocks : int;
+}
+
+val prepare : ?config:config -> Pi_workloads.Bench.t -> prepared
+(** Build the program and its bounded trace once; reused by every layout. *)
+
+type observation = {
+  layout_seed : int;
+  measurement : Pi_uarch.Counters.measurement;
+}
+
+type dataset = {
+  prepared : prepared;
+  observations : observation array;
+}
+
+val observe_seed : prepared -> int -> observation
+(** Link the placement for one seed, run the machine, apply the
+    measurement protocol. *)
+
+val observe : prepared -> n_layouts:int -> dataset
+(** Observations for seeds [1 .. n_layouts]. *)
+
+val extend : dataset -> n_layouts:int -> dataset
+(** Grow a dataset to [n_layouts] total, reusing existing observations —
+    the paper's adaptive 100 -> 200 -> 300 sampling. *)
+
+val run : ?config:config -> Pi_workloads.Bench.t -> n_layouts:int -> dataset
+(** [prepare] + [observe]. *)
+
+(** {2 Column accessors} *)
+
+val cpis : dataset -> float array
+val mpkis : dataset -> float array
+val l1i_mpkis : dataset -> float array
+val l1d_mpkis : dataset -> float array
+val l2_mpkis : dataset -> float array
+
+val exact_counts : prepared -> seed:int -> Pi_uarch.Pipeline.counts
+(** Noise-free machine counts for one placement (simulator view). *)

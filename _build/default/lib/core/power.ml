@@ -1,0 +1,59 @@
+module Dist = Pi_stats.Distributions
+
+(* Fisher z-transform power analysis for correlation tests:
+   n = ((z_{1-alpha/2} + z_{power}) / atanh(r))^2 + 3. *)
+let required_samples ?(alpha = 0.05) ?(power = 0.8) r =
+  let r = Float.abs r in
+  if r < 1e-6 then None
+  else if r >= 1.0 then Some 3
+  else begin
+    let z_alpha = Dist.Normal.quantile (1.0 -. (alpha /. 2.0)) in
+    let z_power = Dist.Normal.quantile power in
+    let fisher = 0.5 *. log ((1.0 +. r) /. (1.0 -. r)) in
+    let n = (((z_alpha +. z_power) /. fisher) ** 2.0) +. 3.0 in
+    Some (max 3 (int_of_float (Float.ceil n)))
+  end
+
+let detectable_r ?(alpha = 0.05) ?(power = 0.8) n =
+  if n < 4 then 1.0
+  else begin
+    let z_alpha = Dist.Normal.quantile (1.0 -. (alpha /. 2.0)) in
+    let z_power = Dist.Normal.quantile power in
+    let fisher = (z_alpha +. z_power) /. sqrt (float_of_int n -. 3.0) in
+    (* invert atanh *)
+    let e = exp (2.0 *. fisher) in
+    (e -. 1.0) /. (e +. 1.0)
+  end
+
+type row = {
+  benchmark : string;
+  observed_r : float;
+  samples_used : int;
+  predicted_requirement : int option;
+}
+
+let analyze ?(alpha = 0.05) ?(batch = 100) ?(max_samples = 300) ?config benches =
+  List.map
+    (fun bench ->
+      let verdict, dataset =
+        Significance.adaptive ~alpha ~initial:batch ~step:batch ~max_samples ?config bench
+      in
+      let observed_r =
+        Pi_stats.Correlation.pearson_r (Experiment.mpkis dataset) (Experiment.cpis dataset)
+      in
+      {
+        benchmark = bench.Pi_workloads.Bench.name;
+        observed_r;
+        samples_used = verdict.Significance.samples_used;
+        predicted_requirement = required_samples ~alpha observed_r;
+      })
+    benches
+
+let header =
+  Printf.sprintf "%-16s %10s %14s %18s" "Benchmark" "r" "samples used" "power-law estimate"
+
+let row_to_string r =
+  Printf.sprintf "%-16s %10.3f %14d %18s" r.benchmark r.observed_r r.samples_used
+    (match r.predicted_requirement with
+    | Some n -> string_of_int n
+    | None -> "unbounded")

@@ -1,0 +1,37 @@
+(** Sample-size analysis (paper Section 6.3, "Number of Samples").
+
+    The paper samples reorderings in multiples of 100 until each benchmark
+    rejects the no-correlation null, observing that most benchmarks need
+    100, some 200, and a few 300. This module reproduces that table and
+    adds the standard power calculation: given an observed correlation r,
+    the smallest n at which a two-sided t-test at level alpha reaches the
+    requested power (using the Fisher z approximation). *)
+
+val required_samples : ?alpha:float -> ?power:float -> float -> int option
+(** Smallest sample size detecting correlation [r]; [None] if |r| is (too
+    close to) zero. Defaults: alpha 0.05, power 0.8. *)
+
+val detectable_r : ?alpha:float -> ?power:float -> int -> float
+(** The weakest |r| detectable at sample size [n] — the flip side used to
+    interpret a non-significant benchmark ("any correlation is below X"). *)
+
+type row = {
+  benchmark : string;
+  observed_r : float;
+  samples_used : int;  (** batches actually needed by adaptive sampling *)
+  predicted_requirement : int option;  (** from {!required_samples} at the observed r *)
+}
+
+val analyze :
+  ?alpha:float ->
+  ?batch:int ->
+  ?max_samples:int ->
+  ?config:Experiment.config ->
+  Pi_workloads.Bench.t list ->
+  row list
+(** Run adaptive sampling per benchmark (batches of [batch], default 100,
+    up to [max_samples], default 300) and compare the empirical requirement
+    with the power-analysis prediction. *)
+
+val header : string
+val row_to_string : row -> string

@@ -1,0 +1,137 @@
+module Linreg = Pi_stats.Linreg
+module Counters = Pi_uarch.Counters
+
+type evaluation = {
+  predictor : string;
+  mean_mpki : float;
+  cpi : Linreg.interval;
+  observed : bool;
+}
+
+let standard_candidates () =
+  [
+    ("GAs-2KB", fun () -> Pi_uarch.Gas.sized_kb ~kb:2);
+    ("GAs-4KB", fun () -> Pi_uarch.Gas.sized_kb ~kb:4);
+    ("GAs-8KB", fun () -> Pi_uarch.Gas.sized_kb ~kb:8);
+    ("GAs-16KB", fun () -> Pi_uarch.Gas.sized_kb ~kb:16);
+    ("L-TAGE", fun () -> Pi_uarch.Ltage.create ());
+  ]
+
+let warmup_branches (prepared : Experiment.prepared) =
+  let trace = prepared.Experiment.trace in
+  let blocks = Pi_isa.Trace.blocks_executed trace in
+  if blocks = 0 then 0
+  else
+    trace.Pi_isa.Trace.cond_branches * prepared.Experiment.warmup_blocks / blocks
+
+(* Mean conditional-branch MPKI of a simulated predictor over the layouts,
+   one deterministic Pin run per reordering. *)
+let pin_cond_mpki (prepared : Experiment.prepared) ~n_layouts make =
+  let warmup = warmup_branches prepared in
+  let total = ref 0.0 in
+  for seed = 1 to n_layouts do
+    let placement =
+      Pi_layout.Placement.make ~heap_random:prepared.Experiment.config.Experiment.heap_random
+        prepared.Experiment.program ~seed
+    in
+    let results =
+      Pi_pin.Bp_sim.run ~warmup_branches:warmup prepared.Experiment.trace
+        placement.Pi_layout.Placement.code [ make ]
+    in
+    match results with
+    | [ r ] -> total := !total +. r.Pi_pin.Bp_sim.mpki
+    | _ -> assert false
+  done;
+  !total /. float_of_int n_layouts
+
+(* Indirect-branch misses are a property of the machine's BTB, unchanged by
+   the direction predictor; estimate their MPKI as the gap between the
+   counter-measured total and the Pin-simulated real direction predictor. *)
+let indirect_mpki dataset prepared ~n_layouts =
+  let measured_mean = Pi_stats.Descriptive.mean (Experiment.mpkis dataset) in
+  let real_make = prepared.Experiment.config.Experiment.machine.Pi_uarch.Pipeline.make_predictor in
+  let real_cond = pin_cond_mpki prepared ~n_layouts real_make in
+  (Float.max 0.0 (measured_mean -. real_cond), real_cond)
+
+let pin_mpki prepared ~n_layouts make =
+  (* Total MPKI as the model's x-axis understands it: simulated direction
+     misses; indirect misses are added by [evaluate]. *)
+  pin_cond_mpki prepared ~n_layouts make
+
+let evaluate ?(candidates = standard_candidates ()) (dataset : Experiment.dataset) model =
+  let prepared = dataset.Experiment.prepared in
+  let n_layouts = Array.length dataset.Experiment.observations in
+  let indirect, _real_cond = indirect_mpki dataset prepared ~n_layouts in
+  let measured_mean_mpki = Pi_stats.Descriptive.mean (Experiment.mpkis dataset) in
+  let measured_mean_cpi = Pi_stats.Descriptive.mean (Experiment.cpis dataset) in
+  let real_row =
+    let ci = Model.confidence_cpi model ~mpki:measured_mean_mpki in
+    {
+      predictor = "real (measured)";
+      mean_mpki = measured_mean_mpki;
+      cpi = { ci with Linreg.estimate = measured_mean_cpi };
+      observed = true;
+    }
+  in
+  let candidate_rows =
+    List.map
+      (fun (name, make) ->
+        let mpki = pin_cond_mpki prepared ~n_layouts make +. indirect in
+        { predictor = name; mean_mpki = mpki; cpi = Model.predict_cpi model ~mpki; observed = false })
+      candidates
+  in
+  let perfect_row =
+    {
+      predictor = "perfect";
+      mean_mpki = 0.0;
+      cpi = Model.predict_cpi model ~mpki:0.0;
+      observed = false;
+    }
+  in
+  (real_row :: candidate_rows) @ [ perfect_row ]
+
+type suite_summary = {
+  real_cpi : float;
+  real_cpi_half_width : float;
+  real_mpki : float;
+  rows : (string * float * float * float) list;
+}
+
+let summarize_suite per_benchmark =
+  match per_benchmark with
+  | [] -> invalid_arg "Predict.summarize_suite: empty"
+  | (_, first_rows) :: _ ->
+      let n = float_of_int (List.length per_benchmark) in
+      let mean f = List.fold_left (fun acc (_, rows) -> acc +. f rows) 0.0 per_benchmark /. n in
+      let find name rows =
+        match List.find_opt (fun e -> e.predictor = name) rows with
+        | Some e -> e
+        | None -> invalid_arg ("Predict.summarize_suite: missing row " ^ name)
+      in
+      let half e = (e.cpi.Linreg.upper -. e.cpi.Linreg.lower) /. 2.0 in
+      let names =
+        List.filter_map
+          (fun e -> if e.observed then None else Some e.predictor)
+          first_rows
+      in
+      {
+        real_cpi = mean (fun rows -> (find "real (measured)" rows).cpi.Linreg.estimate);
+        real_cpi_half_width = mean (fun rows -> half (find "real (measured)" rows));
+        real_mpki = mean (fun rows -> (find "real (measured)" rows).mean_mpki);
+        rows =
+          List.map
+            (fun name ->
+              ( name,
+                mean (fun rows -> (find name rows).mean_mpki),
+                mean (fun rows -> (find name rows).cpi.Linreg.estimate),
+                mean (fun rows -> half (find name rows)) ))
+            names;
+      }
+
+let header =
+  Printf.sprintf "%-18s %10s %10s %22s" "Predictor" "MPKI" "CPI" "95% interval"
+
+let row e =
+  Printf.sprintf "%-18s %10.3f %10.3f %10.3f .. %-8.3f %s" e.predictor e.mean_mpki
+    e.cpi.Linreg.estimate e.cpi.Linreg.lower e.cpi.Linreg.upper
+    (if e.observed then "(observed, CI)" else "(predicted, PI)")

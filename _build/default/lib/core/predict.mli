@@ -1,0 +1,49 @@
+(** Estimating hypothetical branch predictors (paper Section 7, Figures 7
+    and 8).
+
+    For each candidate predictor, the Pin-style tool measures its MPKI on
+    the same 100 reorderings used for the counter measurements (one
+    deterministic run each), averaged; the regression model then converts
+    MPKI into a CPI prediction interval. The real predictor's row reports
+    its *observed* mean CPI with a confidence interval instead, since those
+    are measurements rather than predictions. *)
+
+type evaluation = {
+  predictor : string;
+  mean_mpki : float;  (** averaged over the reorderings (Figure 7) *)
+  cpi : Pi_stats.Linreg.interval;  (** Figure 8 point with 95% bounds *)
+  observed : bool;  (** true only for the real machine predictor *)
+}
+
+val standard_candidates : unit -> (string * (unit -> Pi_uarch.Predictor.t)) list
+(** The paper's candidate set: GAs 2/4/8/16KB and L-TAGE. *)
+
+val pin_mpki :
+  Experiment.prepared -> n_layouts:int -> (unit -> Pi_uarch.Predictor.t) -> float
+(** Mean Pin-measured MPKI (direction mispredictions plus the machine's
+    indirect-branch misses, which a direction predictor cannot change) over
+    layout seeds [1..n_layouts]. *)
+
+val evaluate :
+  ?candidates:(string * (unit -> Pi_uarch.Predictor.t)) list ->
+  Experiment.dataset ->
+  Model.t ->
+  evaluation list
+(** Rows: real predictor (observed), each candidate (predicted), and the
+    perfect predictor at MPKI = 0. Uses the dataset's layouts. *)
+
+type suite_summary = {
+  real_cpi : float;
+  real_cpi_half_width : float;
+  real_mpki : float;
+  rows : (string * float * float * float) list;
+      (** predictor, mean MPKI, mean predicted CPI, mean half-width *)
+}
+
+val summarize_suite : (string * evaluation list) list -> suite_summary
+(** Average the per-benchmark evaluations into the paper's headline
+    numbers (Section 7.2: real 1.387 +- 0.012 vs perfect 1.223 +- 0.061,
+    L-TAGE 37% fewer mispredictions for 4.8% CPI). *)
+
+val header : string
+val row : evaluation -> string

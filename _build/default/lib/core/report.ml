@@ -1,0 +1,92 @@
+module Linreg = Pi_stats.Linreg
+module D = Pi_stats.Descriptive
+
+type t = { benchmark : string; n_layouts : int; markdown : string }
+
+let add buffer fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer (s ^ "\n")) fmt
+
+let generate ?candidates (dataset : Experiment.dataset) =
+  let bench = dataset.Experiment.prepared.Experiment.bench in
+  let name = bench.Pi_workloads.Bench.name in
+  let n = Array.length dataset.Experiment.observations in
+  let buffer = Buffer.create 4096 in
+  add buffer "# Program interferometry report: %s" name;
+  add buffer "";
+  add buffer "%s" bench.Pi_workloads.Bench.description;
+  add buffer "";
+  add buffer "## Measurements (%d reorderings)" n;
+  add buffer "";
+  add buffer "| metric | mean | sd | min | max |";
+  add buffer "|---|---|---|---|---|";
+  let metric label xs =
+    let s = D.summarize xs in
+    add buffer "| %s | %.4f | %.4f | %.4f | %.4f |" label s.D.mean s.D.stddev s.D.min s.D.max
+  in
+  metric "CPI" (Experiment.cpis dataset);
+  metric "MPKI" (Experiment.mpkis dataset);
+  metric "L1I MPKI" (Experiment.l1i_mpkis dataset);
+  metric "L1D MPKI" (Experiment.l1d_mpkis dataset);
+  metric "L2 MPKI" (Experiment.l2_mpkis dataset);
+  add buffer "";
+  let verdict = Significance.test dataset in
+  add buffer "## Significance";
+  add buffer "";
+  add buffer
+    "t-test of H0 \"no CPI~MPKI correlation\": r = %.3f, t = %.2f, p = %.2g — **%s**."
+    verdict.Significance.mpki_test.Pi_stats.Correlation.r
+    verdict.Significance.mpki_test.Pi_stats.Correlation.t_statistic
+    verdict.Significance.mpki_test.Pi_stats.Correlation.p_value
+    (if verdict.Significance.significant then "significant" else "not significant");
+  let rho = Pi_stats.Rank.spearman_rho (Experiment.mpkis dataset) (Experiment.cpis dataset) in
+  add buffer "Spearman rho (monotonicity check): %.3f." rho;
+  add buffer "";
+  let attribution = Blame.attribute dataset in
+  add buffer "## Blame assignment (r-squared of CPI against each event)";
+  add buffer "";
+  add buffer "| event | r² |";
+  add buffer "|---|---|";
+  add buffer "| branch MPKI | %.3f |" attribution.Blame.r2_mpki;
+  add buffer "| L1I misses | %.3f |" attribution.Blame.r2_l1i;
+  add buffer "| L2 misses | %.3f |" attribution.Blame.r2_l2;
+  add buffer "| combined model | %.3f |" (Blame.combined_r2 attribution);
+  add buffer "";
+  if verdict.Significance.significant then begin
+    let model = Model.fit dataset in
+    add buffer "## Performance model";
+    add buffer "";
+    add buffer "`CPI = %.5f * MPKI + %.5f` (r² = %.3f, residual s = %.4g)"
+      model.Model.regression.Linreg.slope model.Model.regression.Linreg.intercept
+      model.Model.regression.Linreg.r_squared
+      model.Model.regression.Linreg.residual_standard_error;
+    add buffer "";
+    let perfect = model.Model.perfect_prediction in
+    add buffer
+      "Perfect branch prediction: CPI %.3f, 95%% prediction interval [%.3f, %.3f] (%.1f%% \
+       improvement)."
+      perfect.Linreg.estimate perfect.Linreg.lower perfect.Linreg.upper
+      (Model.improvement_percent model ~from_mpki:model.Model.mean_mpki ~to_mpki:0.0);
+    add buffer "";
+    add buffer "## Hypothetical predictors";
+    add buffer "";
+    add buffer "| predictor | MPKI | CPI | 95%% bound |";
+    add buffer "|---|---|---|---|";
+    List.iter
+      (fun (e : Predict.evaluation) ->
+        add buffer "| %s | %.3f | %.3f | [%.3f, %.3f] |" e.Predict.predictor
+          e.Predict.mean_mpki e.Predict.cpi.Linreg.estimate e.Predict.cpi.Linreg.lower
+          e.Predict.cpi.Linreg.upper)
+      (Predict.evaluate ?candidates dataset model)
+  end
+  else begin
+    add buffer "## Performance model";
+    add buffer "";
+    add buffer
+      "No significant correlation: program interferometry cannot model this benchmark's \
+       branch behaviour (detectable |r| at this sample size: %.2f)."
+      (Power.detectable_r n)
+  end;
+  { benchmark = name; n_layouts = n; markdown = Buffer.contents buffer }
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc t.markdown)

@@ -1,0 +1,22 @@
+(** Markdown study reports.
+
+    Bundles a complete interferometry study of one benchmark — measurement
+    summary, significance verdict, the regression model with intervals,
+    blame attribution, predictor evaluation — into one self-contained
+    Markdown document, the artifact a performance engineer would attach to
+    a design-review thread. *)
+
+type t = {
+  benchmark : string;
+  n_layouts : int;
+  markdown : string;
+}
+
+val generate :
+  ?candidates:(string * (unit -> Pi_uarch.Predictor.t)) list ->
+  Experiment.dataset ->
+  t
+(** Runs significance, model fitting, blame and (when the model is
+    significant) predictor evaluation over the dataset. *)
+
+val save : t -> path:string -> unit

@@ -1,0 +1,54 @@
+module Correlation = Pi_stats.Correlation
+module Multireg = Pi_stats.Multireg
+
+type verdict = {
+  benchmark : string;
+  samples_used : int;
+  mpki_test : Correlation.t_test_result;
+  combined_f_p_value : float;
+  combined_significant : bool;
+  significant : bool;
+}
+
+let test ?(alpha = 0.05) (dataset : Experiment.dataset) =
+  let cpis = Experiment.cpis dataset in
+  let mpkis = Experiment.mpkis dataset in
+  let mpki_test = Correlation.correlation_t_test ~alpha mpkis cpis in
+  let combined =
+    try
+      let attribution = Blame.attribute dataset in
+      Some attribution.Blame.combined
+    with Failure _ -> None
+  in
+  let combined_f_p_value =
+    match combined with Some m -> m.Multireg.f_p_value | None -> 1.0
+  in
+  {
+    benchmark = dataset.Experiment.prepared.Experiment.bench.Pi_workloads.Bench.name;
+    samples_used = Array.length dataset.Experiment.observations;
+    mpki_test;
+    combined_f_p_value;
+    combined_significant = combined_f_p_value <= alpha;
+    significant = mpki_test.Correlation.significant;
+  }
+
+let adaptive ?(alpha = 0.05) ?(initial = 100) ?(step = 100) ?(max_samples = 300) ?config bench =
+  if initial < 3 then invalid_arg "Significance.adaptive: initial < 3";
+  let prepared = Experiment.prepare ?config bench in
+  let rec grow dataset =
+    let verdict = test ~alpha dataset in
+    let n = Array.length dataset.Experiment.observations in
+    if verdict.significant || n >= max_samples then (verdict, dataset)
+    else grow (Experiment.extend dataset ~n_layouts:(min max_samples (n + step)))
+  in
+  grow (Experiment.observe prepared ~n_layouts:initial)
+
+let header =
+  Printf.sprintf "%-16s %8s %8s %10s %10s %12s %6s" "Benchmark" "samples" "r" "t-stat"
+    "p(t)" "p(F,comb)" "sig?"
+
+let row v =
+  Printf.sprintf "%-16s %8d %8.3f %10.2f %10.4f %12.4f %6s" v.benchmark v.samples_used
+    v.mpki_test.Correlation.r v.mpki_test.Correlation.t_statistic
+    v.mpki_test.Correlation.p_value v.combined_f_p_value
+    (if v.significant then "yes" else "no")

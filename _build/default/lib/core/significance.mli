@@ -1,0 +1,37 @@
+(** Hypothesis testing with adaptive sample growth (paper Sections 4.6 and
+    6.2-6.4).
+
+    For each benchmark we test the null hypothesis "there is no correlation
+    between CPI and MPKI" with Student's t-test at p <= 0.05, sampling
+    reorderings in batches (the paper: multiples of 100, up to 300) until
+    the null is rejected or the budget is exhausted. The combined
+    multi-linear model is judged by the F-test instead, as the t-test only
+    applies to single-variable models. *)
+
+type verdict = {
+  benchmark : string;
+  samples_used : int;
+  mpki_test : Pi_stats.Correlation.t_test_result;
+  combined_f_p_value : float;
+  combined_significant : bool;
+  significant : bool;  (** MPKI t-test at p <= 0.05 *)
+}
+
+val test : ?alpha:float -> Experiment.dataset -> verdict
+(** Judge a dataset as-is. *)
+
+val adaptive :
+  ?alpha:float ->
+  ?initial:int ->
+  ?step:int ->
+  ?max_samples:int ->
+  ?config:Experiment.config ->
+  Pi_workloads.Bench.t ->
+  verdict * Experiment.dataset
+(** Sample [initial] reorderings (default 100), then grow by [step]
+    (default 100) up to [max_samples] (default 300) until significance is
+    reached; returns the final verdict and all collected data (nothing is
+    discarded, as in the paper). *)
+
+val header : string
+val row : verdict -> string

@@ -1,0 +1,1 @@
+lib/isa/behavior.ml: Array Format Pi_stats String

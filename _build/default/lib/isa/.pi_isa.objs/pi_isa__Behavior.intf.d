@@ -1,0 +1,1 @@
+lib/isa/behavior.mli: Format Pi_stats

@@ -1,0 +1,1 @@
+lib/isa/int_vec.ml: Array

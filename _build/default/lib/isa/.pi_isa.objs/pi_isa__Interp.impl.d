@@ -1,0 +1,1 @@
+lib/isa/interp.ml: Array Behavior Int_vec Pi_stats Program Trace

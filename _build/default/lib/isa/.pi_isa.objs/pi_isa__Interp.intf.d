@@ -1,0 +1,1 @@
+lib/isa/interp.mli: Program Trace

@@ -1,0 +1,1 @@
+lib/isa/phases.ml: Array Float Fun Hashtbl List Option Pi_stats Program Trace

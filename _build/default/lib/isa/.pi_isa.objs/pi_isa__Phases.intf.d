@@ -1,0 +1,1 @@
+lib/isa/phases.mli: Trace

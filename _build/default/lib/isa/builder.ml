@@ -1,0 +1,395 @@
+type mem_spec = {
+  spec_space : Program.space;
+  spec_target : int;
+  spec_pattern : Program.mem_pattern;
+  spec_store : bool;
+}
+
+type stmt =
+  | Work_stmt of Program.instr
+  | Mem_stmt of mem_spec
+  | If_stmt of { label : string option; behavior : Behavior.t; then_ : stmt list; else_ : stmt list }
+  | While_stmt of { label : string option; behavior : Behavior.t; body : stmt list }
+  | Do_while_stmt of { label : string option; behavior : Behavior.t; body : stmt list }
+  | Call_stmt of int
+  | Switch_stmt of { selector : Behavior.Selector.t; cases : stmt list array }
+  | Icall_stmt of { selector : Behavior.Selector.t; callees : int array }
+
+type proc_handle = int
+type obj_handle = int
+type global_handle = int
+type site_handle = int
+
+(* Block under construction: instructions in reverse, terminator patched as
+   lowering discovers successors. *)
+type building_block = {
+  bid : int;
+  bproc : int;
+  mutable rev_instrs : Program.instr list;
+  mutable bterm : Program.terminator option;
+}
+
+type pending_branch = {
+  pbr_id : int;
+  pbr_owner : int;
+  pbr_behavior : Behavior.t;
+  pbr_label : string option;
+}
+
+type t = {
+  prog_name : string;
+  mutable objects : (string * int list) list;  (** name, proc ids (reversed) *)
+  mutable n_objects : int;
+  mutable proc_table : (string * int * int list) list;  (** name, entry block, block ids; by id, reversed *)
+  mutable n_procs : int;
+  mutable defined : bool array;  (** grows with procs *)
+  mutable blocks : building_block list;  (** reversed *)
+  mutable n_blocks : int;
+  mutable branches : pending_branch list;  (** reversed *)
+  mutable n_branches : int;
+  mutable ibrs : Program.ibr_info list;  (** reversed *)
+  mutable n_ibrs : int;
+  mutable mem_ops : Program.mem_op list;  (** reversed *)
+  mutable n_mem_ops : int;
+  mutable globals : Program.global_def list;  (** reversed *)
+  mutable n_globals : int;
+  mutable heap_sites : Program.heap_site list;  (** reversed *)
+  mutable n_sites : int;
+  mutable entry_proc : int option;
+  mutable labels : (string * int) list;  (** branch label -> branch id *)
+}
+
+let create ~name =
+  {
+    prog_name = name;
+    objects = [];
+    n_objects = 0;
+    proc_table = [];
+    n_procs = 0;
+    defined = [||];
+    blocks = [];
+    n_blocks = 0;
+    branches = [];
+    n_branches = 0;
+    ibrs = [];
+    n_ibrs = 0;
+    mem_ops = [];
+    n_mem_ops = 0;
+    globals = [];
+    n_globals = 0;
+    heap_sites = [];
+    n_sites = 0;
+    entry_proc = None;
+    labels = [];
+  }
+
+let add_object t name =
+  let id = t.n_objects in
+  t.objects <- (name, []) :: t.objects;
+  t.n_objects <- id + 1;
+  id
+
+let global t ~name ~size =
+  if size < 8 || size >= 1 lsl 28 then invalid_arg "Builder.global: size out of range";
+  let id = t.n_globals in
+  t.globals <- { Program.global_id = id; global_name = name; size } :: t.globals;
+  t.n_globals <- id + 1;
+  id
+
+let heap_site t ~name ~obj_size ~count =
+  if obj_size < 8 || obj_size >= 1 lsl 28 then invalid_arg "Builder.heap_site: obj_size out of range";
+  if count < 1 || count >= 1 lsl 20 then invalid_arg "Builder.heap_site: count out of range";
+  let id = t.n_sites in
+  t.heap_sites <-
+    { Program.site_id = id; site_name = name; obj_size; obj_count = count } :: t.heap_sites;
+  t.n_sites <- id + 1;
+  id
+
+let attach_proc_to_object t obj proc_id =
+  (* The objects list is kept reversed, so index from the back. *)
+  let from_back = t.n_objects - 1 - obj in
+  if obj < 0 || from_back < 0 then invalid_arg "Builder: unknown object handle";
+  t.objects <-
+    List.mapi
+      (fun i (name, procs) -> if i = from_back then (name, proc_id :: procs) else (name, procs))
+      t.objects
+
+let declare_proc t ~obj ~name =
+  let id = t.n_procs in
+  t.proc_table <- (name, -1, []) :: t.proc_table;
+  t.n_procs <- id + 1;
+  let defined = Array.make t.n_procs false in
+  Array.blit t.defined 0 defined 0 (Array.length t.defined);
+  t.defined <- defined;
+  attach_proc_to_object t obj id;
+  id
+
+let new_block t proc_id =
+  let b = { bid = t.n_blocks; bproc = proc_id; rev_instrs = []; bterm = None } in
+  t.blocks <- b :: t.blocks;
+  t.n_blocks <- t.n_blocks + 1;
+  b
+
+let push_instr b i = b.rev_instrs <- i :: b.rev_instrs
+
+let set_term b term =
+  match b.bterm with
+  | Some _ -> invalid_arg "Builder: block terminated twice"
+  | None -> b.bterm <- Some term
+
+let intern_branch t ~owner ~behavior ~label =
+  let id = t.n_branches in
+  t.branches <- { pbr_id = id; pbr_owner = owner; pbr_behavior = behavior; pbr_label = label } :: t.branches;
+  t.n_branches <- id + 1;
+  (match label with
+  | Some l ->
+      if List.mem_assoc l t.labels then invalid_arg ("Builder: duplicate branch label " ^ l);
+      t.labels <- (l, id) :: t.labels
+  | None -> ());
+  id
+
+let intern_ibr t ~owner ~selector ~n_targets =
+  (match Behavior.Selector.validate ~n_targets selector with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Builder: " ^ msg));
+  let id = t.n_ibrs in
+  t.ibrs <- { Program.ibr_id = id; ibr_owner = owner; selector; n_targets } :: t.ibrs;
+  t.n_ibrs <- id + 1;
+  id
+
+let intern_mem t spec =
+  let id = t.n_mem_ops in
+  t.mem_ops <-
+    {
+      Program.mem_id = id;
+      space = spec.spec_space;
+      target = spec.spec_target;
+      pattern = spec.spec_pattern;
+      is_store = spec.spec_store;
+    }
+    :: t.mem_ops;
+  t.n_mem_ops <- id + 1;
+  id
+
+(* Lower a statement list into the open block [cur]; returns the open block
+   at the end of the sequence. *)
+let rec lower t proc_id cur stmts =
+  match stmts with
+  | [] -> cur
+  | Work_stmt i :: rest ->
+      push_instr cur i;
+      lower t proc_id cur rest
+  | Mem_stmt spec :: rest ->
+      push_instr cur (Program.Mem (intern_mem t spec));
+      lower t proc_id cur rest
+  | If_stmt { label; behavior; then_; else_ } :: rest ->
+      let then_entry = new_block t proc_id in
+      let else_entry = new_block t proc_id in
+      let join = new_block t proc_id in
+      let branch = intern_branch t ~owner:cur.bid ~behavior ~label in
+      set_term cur (Program.Branch { branch; taken = then_entry.bid; not_taken = else_entry.bid });
+      let then_end = lower t proc_id then_entry then_ in
+      set_term then_end (Program.Jump join.bid);
+      let else_end = lower t proc_id else_entry else_ in
+      set_term else_end (Program.Jump join.bid);
+      lower t proc_id join rest
+  | While_stmt { label; behavior; body } :: rest ->
+      let header = new_block t proc_id in
+      let body_entry = new_block t proc_id in
+      let exit_block = new_block t proc_id in
+      set_term cur (Program.Jump header.bid);
+      let branch = intern_branch t ~owner:header.bid ~behavior ~label in
+      set_term header
+        (Program.Branch { branch; taken = body_entry.bid; not_taken = exit_block.bid });
+      let body_end = lower t proc_id body_entry body in
+      set_term body_end (Program.Jump header.bid);
+      lower t proc_id exit_block rest
+  | Do_while_stmt { label; behavior; body } :: rest ->
+      let body_entry = new_block t proc_id in
+      let exit_block = new_block t proc_id in
+      set_term cur (Program.Jump body_entry.bid);
+      let body_end = lower t proc_id body_entry body in
+      let branch = intern_branch t ~owner:body_end.bid ~behavior ~label in
+      set_term body_end
+        (Program.Branch { branch; taken = body_entry.bid; not_taken = exit_block.bid });
+      lower t proc_id exit_block rest
+  | Call_stmt callee :: rest ->
+      let return_block = new_block t proc_id in
+      set_term cur (Program.Call { callee; return_to = return_block.bid });
+      lower t proc_id return_block rest
+  | Switch_stmt { selector; cases } :: rest ->
+      if Array.length cases = 0 then invalid_arg "Builder.switch: no cases";
+      let join = new_block t proc_id in
+      let targets =
+        Array.map
+          (fun case ->
+            let case_entry = new_block t proc_id in
+            let case_end = lower t proc_id case_entry case in
+            set_term case_end (Program.Jump join.bid);
+            case_entry.bid)
+          cases
+      in
+      let ibr = intern_ibr t ~owner:cur.bid ~selector ~n_targets:(Array.length cases) in
+      set_term cur (Program.Switch { ibr; targets });
+      lower t proc_id join rest
+  | Icall_stmt { selector; callees } :: rest ->
+      if Array.length callees = 0 then invalid_arg "Builder.icall: no callees";
+      let return_block = new_block t proc_id in
+      let ibr = intern_ibr t ~owner:cur.bid ~selector ~n_targets:(Array.length callees) in
+      set_term cur (Program.Indirect_call { ibr; callees; return_to = return_block.bid });
+      lower t proc_id return_block rest
+
+let define_proc t proc_id body =
+  if proc_id < 0 || proc_id >= t.n_procs then invalid_arg "Builder.define_proc: bad handle";
+  if t.defined.(proc_id) then invalid_arg "Builder.define_proc: already defined";
+  let first_block = t.n_blocks in
+  let entry_block = new_block t proc_id in
+  let last = lower t proc_id entry_block body in
+  set_term last Program.Return;
+  let block_ids = Array.init (t.n_blocks - first_block) (fun i -> first_block + i) in
+  let from_back = t.n_procs - 1 - proc_id in
+  t.proc_table <-
+    List.mapi
+      (fun i (name, entry, blocks) ->
+        if i = from_back then (name, entry_block.bid, Array.to_list block_ids)
+        else (name, entry, blocks))
+      t.proc_table;
+  t.defined.(proc_id) <- true
+
+let proc t ~obj ~name body =
+  let h = declare_proc t ~obj ~name in
+  define_proc t h body;
+  h
+
+let entry t proc_id =
+  if proc_id < 0 || proc_id >= t.n_procs then invalid_arg "Builder.entry: bad handle";
+  t.entry_proc <- Some proc_id
+
+let finish t =
+  let entry_proc =
+    match t.entry_proc with
+    | Some p -> p
+    | None -> invalid_arg "Builder.finish: no entry procedure set"
+  in
+  Array.iteri
+    (fun i defined -> if not defined then invalid_arg (Printf.sprintf "Builder.finish: procedure %d declared but not defined" i))
+    t.defined;
+  let blocks =
+    t.blocks |> List.rev_map (fun b ->
+        match b.bterm with
+        | None -> invalid_arg "Builder.finish: unterminated block"
+        | Some term ->
+            {
+              Program.block_id = b.bid;
+              proc = b.bproc;
+              instrs = Array.of_list (List.rev b.rev_instrs);
+              term;
+            })
+    |> Array.of_list
+  in
+  let resolve_src behavior =
+    match behavior with
+    | Behavior.Correlated { src; _ } -> (
+        match List.assoc_opt src t.labels with
+        | Some id -> id
+        | None -> invalid_arg ("Builder.finish: unresolved correlation source " ^ src))
+    | _ -> -1
+  in
+  let branches =
+    t.branches |> List.rev_map (fun pb ->
+        {
+          Program.branch_id = pb.pbr_id;
+          owner = pb.pbr_owner;
+          behavior = pb.pbr_behavior;
+          label = pb.pbr_label;
+          resolved_src = resolve_src pb.pbr_behavior;
+        })
+    |> Array.of_list
+  in
+  let procs =
+    t.proc_table |> List.rev |> List.mapi (fun i (name, entry, block_list) ->
+        { Program.proc_id = i; proc_name = name; entry; blocks = Array.of_list block_list })
+    |> Array.of_list
+  in
+  let objects =
+    t.objects |> List.rev |> List.mapi (fun i (name, procs_rev) ->
+        { Program.obj_id = i; obj_name = name; procs = Array.of_list (List.rev procs_rev) })
+    |> Array.of_list
+  in
+  let program =
+    {
+      Program.name = t.prog_name;
+      objects;
+      procs;
+      blocks;
+      branches;
+      ibrs = Array.of_list (List.rev t.ibrs);
+      mem_ops = Array.of_list (List.rev t.mem_ops);
+      globals = Array.of_list (List.rev t.globals);
+      heap_sites = Array.of_list (List.rev t.heap_sites);
+      entry_proc;
+    }
+  in
+  match Program.validate program with
+  | Ok () -> program
+  | Error msg -> failwith ("Builder.finish: invalid program: " ^ msg)
+
+(* Statement constructors. *)
+
+let positive name n = if n < 1 then invalid_arg (name ^ ": count < 1")
+
+let work n =
+  positive "Builder.work" n;
+  Work_stmt (Program.Plain n)
+
+let fp_work n =
+  positive "Builder.fp_work" n;
+  Work_stmt (Program.Fp n)
+
+let mul_work n =
+  positive "Builder.mul_work" n;
+  Work_stmt (Program.Mul n)
+
+let div_work n =
+  positive "Builder.div_work" n;
+  Work_stmt (Program.Div n)
+
+let mem_stmt space target pattern store =
+  Mem_stmt { spec_space = space; spec_target = target; spec_pattern = pattern; spec_store = store }
+
+let load_global g pattern = mem_stmt Program.Global g pattern false
+let store_global g pattern = mem_stmt Program.Global g pattern true
+let load_heap s pattern = mem_stmt Program.Heap s pattern false
+let store_heap s pattern = mem_stmt Program.Heap s pattern true
+
+let checked_behavior name behavior =
+  match Behavior.validate behavior with
+  | Ok () -> behavior
+  | Error msg -> invalid_arg (name ^ ": " ^ msg)
+
+let if_ ?label behavior then_ else_ =
+  If_stmt { label; behavior = checked_behavior "Builder.if_" behavior; then_; else_ }
+
+let while_ ?label behavior body =
+  While_stmt { label; behavior = checked_behavior "Builder.while_" behavior; body }
+
+let do_while ?label behavior body =
+  Do_while_stmt { label; behavior = checked_behavior "Builder.do_while" behavior; body }
+
+let for_ ?label ~trips body =
+  if trips < 1 then invalid_arg "Builder.for_: trips < 1";
+  do_while ?label (Behavior.Loop_trip { trips }) body
+
+let call p = Call_stmt p
+let switch selector cases = Switch_stmt { selector; cases }
+let icall selector callees = Icall_stmt { selector; callees }
+
+let seq ~stride =
+  if stride < 1 then invalid_arg "Builder.seq: stride < 1";
+  Program.Sequential { stride }
+
+let rand_access = Program.Random_uniform
+let chase ~seed = Program.Chase { perm_seed = seed }
+let fixed off =
+  if off < 0 then invalid_arg "Builder.fixed: negative offset";
+  Program.Fixed_offset off

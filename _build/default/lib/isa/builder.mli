@@ -1,0 +1,76 @@
+(** Structured construction of programs.
+
+    Workload generators describe procedures as statement lists (straight-line
+    work, loads/stores, if/else, loops, calls, switches); the builder lowers
+    them to the basic-block CFG of {!Program}, interning branch ids, indirect
+    branch ids and memory-operation ids, and resolving [Correlated] branch
+    labels. [finish] validates the result and raises [Failure] on a
+    malformed program. *)
+
+type t
+type proc_handle
+type obj_handle
+type global_handle
+type site_handle
+type stmt
+
+val create : name:string -> t
+
+val add_object : t -> string -> obj_handle
+(** A new object file (link unit). *)
+
+val global : t -> name:string -> size:int -> global_handle
+(** A global data object of [size] bytes (8 <= size < 2^28). *)
+
+val heap_site : t -> name:string -> obj_size:int -> count:int -> site_handle
+(** A heap allocation site producing [count] objects of [obj_size] bytes. *)
+
+val declare_proc : t -> obj:obj_handle -> name:string -> proc_handle
+val define_proc : t -> proc_handle -> stmt list -> unit
+
+val proc : t -> obj:obj_handle -> name:string -> stmt list -> proc_handle
+(** [declare_proc] + [define_proc]. *)
+
+val entry : t -> proc_handle -> unit
+val finish : t -> Program.t
+
+(** {2 Statements} *)
+
+val work : int -> stmt
+(** [n] single-cycle integer instructions. *)
+
+val fp_work : int -> stmt
+val mul_work : int -> stmt
+val div_work : int -> stmt
+
+val load_global : global_handle -> Program.mem_pattern -> stmt
+val store_global : global_handle -> Program.mem_pattern -> stmt
+val load_heap : site_handle -> Program.mem_pattern -> stmt
+val store_heap : site_handle -> Program.mem_pattern -> stmt
+
+val if_ : ?label:string -> Behavior.t -> stmt list -> stmt list -> stmt
+(** [if_ behavior then_ else_]; taken executes [then_]. *)
+
+val while_ : ?label:string -> Behavior.t -> stmt list -> stmt
+(** Top-test loop: taken executes the body and re-tests. *)
+
+val do_while : ?label:string -> Behavior.t -> stmt list -> stmt
+(** Bottom-test loop: the body always executes at least once. *)
+
+val for_ : ?label:string -> trips:int -> stmt list -> stmt
+(** Bottom-test loop whose body runs exactly [trips] times per entry. *)
+
+val call : proc_handle -> stmt
+
+val switch : Behavior.Selector.t -> stmt list array -> stmt
+(** Intra-procedure indirect jump over the case bodies. *)
+
+val icall : Behavior.Selector.t -> proc_handle array -> stmt
+(** Indirect call through a function pointer table. *)
+
+(** {2 Memory pattern helpers} *)
+
+val seq : stride:int -> Program.mem_pattern
+val rand_access : Program.mem_pattern
+val chase : seed:int -> Program.mem_pattern
+val fixed : int -> Program.mem_pattern

@@ -1,0 +1,9 @@
+(** Growable int array used by the interpreter to accumulate traces. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val push : t -> int -> unit
+val get : t -> int -> int
+val to_array : t -> int array

@@ -1,0 +1,184 @@
+module Rng = Pi_stats.Rng
+
+type limits = { max_blocks : int; stop_proc : (int * int) option }
+
+let default_limits = { max_blocks = 2_000_000; stop_proc = None }
+
+exception Stack_overflow_in_program of string
+
+let max_call_depth = 4096
+
+(* Per-static-memory-op dynamic state. *)
+type mem_state = {
+  mutable position : int;  (** cumulative step count for Sequential *)
+  mutable chase_at : int;  (** current node for Chase *)
+  mutable chase_perm : int array;  (** lazily built permutation *)
+}
+
+let cache_line = 64
+
+let build_chase_perm ~seed ~nodes =
+  (* A single cycle visiting every node, so a pointer chase never
+     short-circuits into a small loop: Sattolo's algorithm. *)
+  let rng = Rng.create seed in
+  let a = Array.init nodes (fun i -> i) in
+  for i = nodes - 1 downto 1 do
+    let j = Rng.int rng i in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  let next = Array.make nodes 0 in
+  for i = 0 to nodes - 1 do
+    next.(a.(i)) <- a.((i + 1) mod nodes)
+  done;
+  next
+
+let run ?(seed = 42) ?(limits = default_limits) (program : Program.t) =
+  let rng = Rng.create seed in
+  let behavior_rng = Rng.named_stream rng "behaviors" in
+  let selector_rng = Rng.named_stream rng "selectors" in
+  let memory_rng = Rng.named_stream rng "memory" in
+  let branch_state =
+    Behavior.State.create ~rng:behavior_rng
+      ~resolved_src:(Array.map (fun (b : Program.branch_info) -> b.resolved_src) program.branches)
+      (Array.map (fun (b : Program.branch_info) -> b.behavior) program.branches)
+  in
+  let selector_state =
+    Behavior.Selector.State.create ~rng:selector_rng
+      (Array.map (fun (i : Program.ibr_info) -> (i.selector, i.n_targets)) program.ibrs)
+  in
+  let mem_states =
+    Array.map (fun (_ : Program.mem_op) -> { position = 0; chase_at = 0; chase_perm = [||] }) program.mem_ops
+  in
+  let block_seq = Int_vec.create ~capacity:65536 () in
+  let mem_events = Int_vec.create ~capacity:65536 () in
+  let instructions = ref 0 in
+  let cond_branches = ref 0 in
+  let taken_branches = ref 0 in
+  let indirect_branches = ref 0 in
+  let calls = ref 0 in
+  let mem_refs = ref 0 in
+  let proc_invocations = Array.make (Array.length program.procs) 0 in
+  let call_stack = Array.make max_call_depth 0 in
+  let stack_depth = ref 0 in
+  let halted = ref false in
+  let invoke proc_id =
+    proc_invocations.(proc_id) <- proc_invocations.(proc_id) + 1;
+    (match limits.stop_proc with
+    | Some (p, count) when p = proc_id && proc_invocations.(proc_id) >= count -> halted := true
+    | Some _ | None -> ());
+    program.procs.(proc_id).entry
+  in
+  let mem_footprint (op : Program.mem_op) =
+    match op.space with
+    | Program.Global -> (program.globals.(op.target).size, 1)
+    | Program.Heap ->
+        let s = program.heap_sites.(op.target) in
+        (s.obj_size, s.obj_count)
+  in
+  let emit_mem mem_id =
+    let op = program.mem_ops.(mem_id) in
+    let state = mem_states.(mem_id) in
+    let obj_size, obj_count = mem_footprint op in
+    let obj, offset =
+      match op.pattern with
+      | Program.Fixed_offset off -> (0, off mod obj_size)
+      | Program.Sequential { stride } ->
+          let footprint = obj_size * obj_count in
+          let byte = state.position * stride mod footprint in
+          state.position <- state.position + 1;
+          (byte / obj_size, byte mod obj_size)
+      | Program.Random_uniform ->
+          let obj = if obj_count = 1 then 0 else Rng.int memory_rng obj_count in
+          let offset = Rng.int memory_rng (max 1 (obj_size - 7)) land lnot 7 in
+          (obj, offset)
+      | Program.Chase { perm_seed } ->
+          if op.space = Program.Heap then begin
+            if Array.length state.chase_perm = 0 then
+              state.chase_perm <- build_chase_perm ~seed:perm_seed ~nodes:obj_count;
+            let here = state.chase_at in
+            state.chase_at <- state.chase_perm.(here);
+            (here, 0)
+          end
+          else begin
+            let nodes = max 1 (obj_size / cache_line) in
+            if Array.length state.chase_perm = 0 then
+              state.chase_perm <- build_chase_perm ~seed:perm_seed ~nodes;
+            let here = state.chase_at in
+            state.chase_at <- state.chase_perm.(here);
+            (0, here * cache_line)
+          end
+    in
+    incr mem_refs;
+    Int_vec.push mem_events
+      (Trace.pack_mem ~is_store:op.is_store ~space:op.space ~target:op.target ~obj ~offset)
+  in
+  let execute_body (b : Program.block) =
+    Array.iter
+      (fun instr ->
+        match instr with
+        | Program.Plain n | Program.Fp n | Program.Mul n | Program.Div n ->
+            instructions := !instructions + n
+        | Program.Mem mem_id ->
+            incr instructions;
+            emit_mem mem_id)
+      b.instrs;
+    incr instructions (* terminator *)
+  in
+  let pc = ref (invoke program.entry_proc) in
+  while (not !halted) && Int_vec.length block_seq < limits.max_blocks do
+    let b = program.blocks.(!pc) in
+    Int_vec.push block_seq b.block_id;
+    execute_body b;
+    if not !halted then
+      match b.term with
+      | Program.Jump target -> pc := target
+      | Program.Branch { branch; taken; not_taken } ->
+          incr cond_branches;
+          let outcome = Behavior.State.next_outcome branch_state branch in
+          if outcome then begin
+            incr taken_branches;
+            pc := taken
+          end
+          else pc := not_taken
+      | Program.Call { callee; return_to } ->
+          incr calls;
+          if !stack_depth >= max_call_depth then
+            raise (Stack_overflow_in_program program.name);
+          call_stack.(!stack_depth) <- return_to;
+          incr stack_depth;
+          pc := invoke callee
+      | Program.Indirect_call { ibr; callees; return_to } ->
+          incr calls;
+          incr indirect_branches;
+          let idx = Behavior.Selector.State.next_target selector_state ibr in
+          if !stack_depth >= max_call_depth then
+            raise (Stack_overflow_in_program program.name);
+          call_stack.(!stack_depth) <- return_to;
+          incr stack_depth;
+          pc := invoke callees.(idx)
+      | Program.Switch { ibr; targets } ->
+          incr indirect_branches;
+          let idx = Behavior.Selector.State.next_target selector_state ibr in
+          pc := targets.(idx)
+      | Program.Return ->
+          if !stack_depth = 0 then halted := true
+          else begin
+            decr stack_depth;
+            pc := call_stack.(!stack_depth)
+          end
+      | Program.Halt -> halted := true
+  done;
+  {
+    Trace.program;
+    block_seq = Int_vec.to_array block_seq;
+    mem_events = Int_vec.to_array mem_events;
+    instructions = !instructions;
+    cond_branches = !cond_branches;
+    taken_branches = !taken_branches;
+    indirect_branches = !indirect_branches;
+    calls = !calls;
+    mem_refs = !mem_refs;
+    proc_invocations;
+  }

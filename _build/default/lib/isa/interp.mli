@@ -1,0 +1,26 @@
+(** Program interpreter: executes a program's CFG and records a
+    layout-independent {!Trace}.
+
+    Execution is deterministic given [seed]: branch behaviours, indirect
+    selectors and randomized memory patterns all draw from streams derived
+    from it. Interferometry relies on running the interpreter once per
+    benchmark and reusing the trace for every layout.
+
+    Execution stops at the first of: the entry procedure returning, a [Halt]
+    terminator, [max_blocks] executed blocks, or — mirroring the paper's
+    run-length instrumentation — a designated procedure reaching its target
+    invocation count ([stop_proc]). *)
+
+type limits = {
+  max_blocks : int;
+  stop_proc : (int * int) option;  (** procedure id, invocation count *)
+}
+
+val default_limits : limits
+(** [{ max_blocks = 2_000_000; stop_proc = None }]. *)
+
+exception Stack_overflow_in_program of string
+(** Raised when call depth exceeds the interpreter's safety bound,
+    indicating runaway recursion in a workload definition. *)
+
+val run : ?seed:int -> ?limits:limits -> Program.t -> Trace.t

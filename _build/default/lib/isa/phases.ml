@@ -1,0 +1,235 @@
+module Rng = Pi_stats.Rng
+
+type interval = {
+  index : int;
+  start_block : int;
+  length : int;
+  signature : float array;
+}
+
+(* Basic-block vectors projected to a small dimension with a seeded random
+   sign projection: block b contributes +-1 per execution to dimension
+   hash(b, d). Cheap, stable, and preserves distances well enough for
+   clustering. *)
+let project_block ~dims block dim =
+  let h = Hashtbl.hash (block * 31, dim) in
+  ignore dims;
+  if h land 1 = 0 then 1.0 else -1.0
+
+let normalize v =
+  let norm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v) in
+  if norm > 0.0 then Array.map (fun x -> x /. norm) v else v
+
+let intervals ?(signature_dims = 32) (trace : Trace.t) ~interval_blocks =
+  if interval_blocks < 1 then invalid_arg "Phases.intervals: interval_blocks < 1";
+  let seq = trace.Trace.block_seq in
+  let n = Array.length seq in
+  let n_intervals = (n + interval_blocks - 1) / interval_blocks in
+  Array.init n_intervals (fun i ->
+      let start_block = i * interval_blocks in
+      let length = min interval_blocks (n - start_block) in
+      let signature = Array.make signature_dims 0.0 in
+      for j = start_block to start_block + length - 1 do
+        let block = seq.(j) in
+        (* Update a couple of projected dimensions per execution. *)
+        for d = 0 to 3 do
+          let dim = (Hashtbl.hash (block, d) land max_int) mod signature_dims in
+          signature.(dim) <- signature.(dim) +. project_block ~dims:signature_dims block d
+        done
+      done;
+      { index = i; start_block; length; signature = normalize signature })
+
+type simpoints = {
+  representatives : int array;
+  weights : float array;
+  assignment : int array;
+}
+
+let distance2 a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let choose ?k ?(seed = 7) (ivs : interval array) =
+  let n = Array.length ivs in
+  if n = 0 then invalid_arg "Phases.choose: no intervals";
+  let k = match k with Some k -> max 1 (min k n) | None -> max 1 (min 6 (n / 2)) in
+  let rng = Rng.create seed in
+  (* k-means++ seeding. *)
+  let centroids = Array.make k ivs.(Rng.int rng n).signature in
+  for c = 1 to k - 1 do
+    let d2 =
+      Array.map
+        (fun iv ->
+          let best = ref infinity in
+          for j = 0 to c - 1 do
+            best := Float.min !best (distance2 iv.signature centroids.(j))
+          done;
+          !best)
+        ivs
+    in
+    let total = Array.fold_left ( +. ) 0.0 d2 in
+    let target = Rng.float rng (Float.max total 1e-12) in
+    let pick = ref 0 in
+    let acc = ref 0.0 in
+    (try
+       Array.iteri
+         (fun i v ->
+           acc := !acc +. v;
+           if !acc >= target then begin
+             pick := i;
+             raise Exit
+           end)
+         d2
+     with Exit -> ());
+    centroids.(c) <- ivs.(!pick).signature
+  done;
+  let centroids = Array.map Array.copy centroids in
+  let assignment = Array.make n 0 in
+  let dims = Array.length ivs.(0).signature in
+  for _iteration = 1 to 20 do
+    (* Assign. *)
+    Array.iteri
+      (fun i iv ->
+        let best = ref 0 and best_d = ref infinity in
+        for c = 0 to k - 1 do
+          let d = distance2 iv.signature centroids.(c) in
+          if d < !best_d then begin
+            best_d := d;
+            best := c
+          end
+        done;
+        assignment.(i) <- !best)
+      ivs;
+    (* Update. *)
+    let sums = Array.make_matrix k dims 0.0 in
+    let counts = Array.make k 0 in
+    Array.iteri
+      (fun i iv ->
+        let c = assignment.(i) in
+        counts.(c) <- counts.(c) + 1;
+        Array.iteri (fun d v -> sums.(c).(d) <- sums.(c).(d) +. v) iv.signature)
+      ivs;
+    for c = 0 to k - 1 do
+      if counts.(c) > 0 then
+        centroids.(c) <- Array.map (fun s -> s /. float_of_int counts.(c)) sums.(c)
+    done
+  done;
+  (* Representatives: closest interval to each non-empty centroid, weighted
+     by executed blocks. *)
+  let total_blocks =
+    float_of_int (Array.fold_left (fun acc iv -> acc + iv.length) 0 ivs)
+  in
+  let reps = ref [] and weights = ref [] in
+  for c = 0 to k - 1 do
+    let members = Array.of_list (List.filter (fun i -> assignment.(i) = c) (List.init n Fun.id)) in
+    if Array.length members > 0 then begin
+      let best = ref members.(0) and best_d = ref infinity in
+      Array.iter
+        (fun i ->
+          let d = distance2 ivs.(i).signature centroids.(c) in
+          if d < !best_d then begin
+            best_d := d;
+            best := i
+          end)
+        members;
+      (* Among near-equivalent members, prefer the latest interval: it has
+         the longest warmup prefix available, which matters for
+         slow-training structures (branch predictor tables). *)
+      Array.iter
+        (fun i ->
+          let d = distance2 ivs.(i).signature centroids.(c) in
+          if d <= !best_d +. 0.05 && ivs.(i).start_block > ivs.(!best).start_block
+          then best := i)
+        members;
+      let cluster_blocks =
+        Array.fold_left (fun acc i -> acc + ivs.(i).length) 0 members
+      in
+      reps := !best :: !reps;
+      weights := (float_of_int cluster_blocks /. total_blocks) :: !weights
+    end
+  done;
+  {
+    representatives = Array.of_list (List.rev !reps);
+    weights = Array.of_list (List.rev !weights);
+    assignment;
+  }
+
+let slice (trace : Trace.t) ~start_block ~length =
+  let program = trace.Trace.program in
+  let seq = trace.Trace.block_seq in
+  let n = Array.length seq in
+  if start_block < 0 || start_block >= n then invalid_arg "Phases.slice: start out of range";
+  let length = min length (n - start_block) in
+  (* Memory events consumed before and within the slice. *)
+  let mem_count_of_block =
+    let counts = Array.make (Array.length program.Program.blocks) 0 in
+    Array.iteri
+      (fun i (b : Program.block) ->
+        counts.(i) <-
+          Array.fold_left
+            (fun acc instr -> match instr with Program.Mem _ -> acc + 1 | _ -> acc)
+            0 b.Program.instrs)
+      program.Program.blocks;
+    counts
+  in
+  let events_before = ref 0 in
+  for i = 0 to start_block - 1 do
+    events_before := !events_before + mem_count_of_block.(seq.(i))
+  done;
+  let events_within = ref 0 in
+  for i = start_block to start_block + length - 1 do
+    events_within := !events_within + mem_count_of_block.(seq.(i))
+  done;
+  let block_seq = Array.sub seq start_block length in
+  let mem_events = Array.sub trace.Trace.mem_events !events_before !events_within in
+  let instructions = ref 0 in
+  let cond = ref 0 and taken = ref 0 and indirect = ref 0 and calls = ref 0 in
+  let proc_invocations = Array.make (Array.length program.Program.procs) 0 in
+  Array.iteri
+    (fun i b ->
+      instructions := !instructions + Program.block_instr_count program b;
+      let blk = program.Program.blocks.(b) in
+      match blk.Program.term with
+      | Program.Branch { taken = t_target; _ } ->
+          incr cond;
+          if i + 1 < length && block_seq.(i + 1) = t_target then incr taken
+      | Program.Switch _ -> incr indirect
+      | Program.Indirect_call _ ->
+          incr indirect;
+          incr calls
+      | Program.Call _ -> incr calls
+      | Program.Jump _ | Program.Return | Program.Halt -> ())
+    block_seq;
+  {
+    trace with
+    Trace.block_seq;
+    mem_events;
+    instructions = !instructions;
+    cond_branches = !cond;
+    taken_branches = !taken;
+    indirect_branches = !indirect;
+    calls = !calls;
+    mem_refs = !events_within;
+    proc_invocations;
+  }
+
+let estimate metric trace ~interval_blocks ?warmup_blocks ?k ?seed () =
+  let warmup_target = Option.value warmup_blocks ~default:interval_blocks in
+  let ivs = intervals trace ~interval_blocks in
+  let points = choose ?k ?seed ivs in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i rep ->
+      let iv = ivs.(rep) in
+      (* Prepend up to [warmup_target] blocks of architectural warmup. *)
+      let warmup = min warmup_target iv.start_block in
+      let sub =
+        slice trace ~start_block:(iv.start_block - warmup) ~length:(iv.length + warmup)
+      in
+      total := !total +. (points.weights.(i) *. metric sub ~warmup_blocks:warmup))
+    points.representatives;
+  !total

@@ -1,0 +1,50 @@
+(** SimPoint-style phase analysis (Sherwood et al., ASPLOS'02).
+
+    The paper's Section 3 simulations run "one billion instructions from
+    the single simpoint that best characterizes" each benchmark. This module
+    provides that machinery over our traces: split a trace into fixed-size
+    intervals, summarize each by its basic-block vector (BBV, projected to a
+    small dimension), cluster the vectors with k-means, and pick one
+    representative interval per cluster with a weight proportional to the
+    cluster's share of execution. Simulating only the representatives and
+    combining results by weight approximates the full-trace behaviour at a
+    fraction of the cost. *)
+
+type interval = {
+  index : int;
+  start_block : int;  (** offset into the trace's block sequence *)
+  length : int;  (** in executed blocks *)
+  signature : float array;  (** projected, normalized basic-block vector *)
+}
+
+val intervals : ?signature_dims:int -> Trace.t -> interval_blocks:int -> interval array
+(** Cut the trace into intervals of [interval_blocks] executed blocks (the
+    final partial interval is kept); [signature_dims] (default 32) is the
+    random-projection dimension. *)
+
+type simpoints = {
+  representatives : int array;  (** interval indices, one per cluster *)
+  weights : float array;  (** cluster execution shares; sums to 1 *)
+  assignment : int array;  (** cluster id of every interval *)
+}
+
+val choose : ?k:int -> ?seed:int -> interval array -> simpoints
+(** K-means (k-means++-seeded, default k = min 6 (n/2)) over the interval
+    signatures; the representative of each cluster is the interval closest
+    to its centroid. *)
+
+val slice : Trace.t -> start_block:int -> length:int -> Trace.t
+(** The sub-trace covering [length] executed blocks from [start_block],
+    with its memory-event stream and counts re-derived. Interpreter state
+    (predictor/cache warmth) is the simulator's concern, exactly as with
+    real SimPoint checkpoints. *)
+
+val estimate :
+  (Trace.t -> warmup_blocks:int -> float) ->
+  Trace.t -> interval_blocks:int -> ?warmup_blocks:int -> ?k:int -> ?seed:int -> unit -> float
+(** [estimate metric trace ~interval_blocks ()] runs [metric] only on the
+    representative slices and returns the weighted combination — the
+    SimPoint estimate of [metric trace ~warmup_blocks:0]. Each slice is
+    extended backwards by [warmup_blocks] (default [interval_blocks]) of
+    architectural warmup that [metric] must exclude from its counts, the
+    standard fix for SimPoint's cold-start bias. *)

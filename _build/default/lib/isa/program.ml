@@ -1,0 +1,227 @@
+type space = Global | Heap
+
+type mem_pattern =
+  | Fixed_offset of int
+  | Sequential of { stride : int }
+  | Random_uniform
+  | Chase of { perm_seed : int }
+
+type mem_op = {
+  mem_id : int;
+  space : space;
+  target : int;
+  pattern : mem_pattern;
+  is_store : bool;
+}
+
+type instr = Plain of int | Fp of int | Mul of int | Div of int | Mem of int
+
+type terminator =
+  | Jump of int
+  | Branch of { branch : int; taken : int; not_taken : int }
+  | Call of { callee : int; return_to : int }
+  | Indirect_call of { ibr : int; callees : int array; return_to : int }
+  | Switch of { ibr : int; targets : int array }
+  | Return
+  | Halt
+
+type block = { block_id : int; proc : int; instrs : instr array; term : terminator }
+
+type branch_info = {
+  branch_id : int;
+  owner : int;
+  behavior : Behavior.t;
+  label : string option;
+  resolved_src : int;
+}
+
+type ibr_info = {
+  ibr_id : int;
+  ibr_owner : int;
+  selector : Behavior.Selector.t;
+  n_targets : int;
+}
+
+type procedure = { proc_id : int; proc_name : string; entry : int; blocks : int array }
+type object_file = { obj_id : int; obj_name : string; procs : int array }
+type global_def = { global_id : int; global_name : string; size : int }
+
+type heap_site = {
+  site_id : int;
+  site_name : string;
+  obj_size : int;
+  obj_count : int;
+}
+
+type t = {
+  name : string;
+  objects : object_file array;
+  procs : procedure array;
+  blocks : block array;
+  branches : branch_info array;
+  ibrs : ibr_info array;
+  mem_ops : mem_op array;
+  globals : global_def array;
+  heap_sites : heap_site array;
+  entry_proc : int;
+}
+
+let instr_bytes = function
+  | Plain n -> 4 * n
+  | Fp n -> 5 * n
+  | Mul n -> 4 * n
+  | Div n -> 3 * n
+  | Mem _ -> 5
+
+let terminator_bytes = function
+  | Jump _ -> 5
+  | Branch _ -> 6
+  | Call _ -> 5
+  | Indirect_call _ -> 7
+  | Switch _ -> 7
+  | Return -> 1
+  | Halt -> 2
+
+let block_bytes t id =
+  let b = t.blocks.(id) in
+  Array.fold_left (fun acc i -> acc + instr_bytes i) (terminator_bytes b.term) b.instrs
+
+let instr_count = function
+  | Plain n | Fp n | Mul n | Div n -> n
+  | Mem _ -> 1
+
+let block_instr_count t id =
+  let b = t.blocks.(id) in
+  Array.fold_left (fun acc i -> acc + instr_count i) 1 b.instrs
+
+let instr_uops = function
+  | Plain n | Fp n | Mul n | Div n -> n
+  | Mem _ -> 1
+
+let block_uops t id =
+  let b = t.blocks.(id) in
+  Array.fold_left (fun acc i -> acc + instr_uops i) 1 b.instrs
+
+let proc_bytes t proc_id =
+  Array.fold_left (fun acc b -> acc + block_bytes t b) 0 t.procs.(proc_id).blocks
+
+let total_code_bytes t =
+  Array.fold_left (fun acc (p : procedure) -> acc + proc_bytes t p.proc_id) 0 t.procs
+
+let static_branch_count t = Array.length t.branches
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let check cond msg = if cond then Ok () else Error msg
+
+let iter_result f a =
+  Array.fold_left (fun acc x -> match acc with Error _ -> acc | Ok () -> f x) (Ok ()) a
+
+let validate t =
+  let n_blocks = Array.length t.blocks in
+  let n_procs = Array.length t.procs in
+  let valid_block id = id >= 0 && id < n_blocks in
+  let valid_proc id = id >= 0 && id < n_procs in
+  let* () = check (n_blocks > 0) "program has no blocks" in
+  let* () = check (valid_proc t.entry_proc) "entry procedure out of range" in
+  let* () =
+    iter_result
+      (fun (b : block) ->
+        let* () = check (valid_proc b.proc) "block with bad procedure id" in
+        let same_proc id = valid_block id && t.blocks.(id).proc = b.proc in
+        let* () =
+          iter_result
+            (function
+              | Plain n | Fp n | Mul n | Div n ->
+                  check (n >= 1) "instruction with nonpositive repeat"
+              | Mem m -> check (m >= 0 && m < Array.length t.mem_ops) "bad mem op id")
+            b.instrs
+        in
+        match b.term with
+        | Jump target -> check (same_proc target) "jump leaves procedure"
+        | Branch { branch; taken; not_taken } ->
+            let* () = check (branch >= 0 && branch < Array.length t.branches) "bad branch id" in
+            let* () = check (t.branches.(branch).owner = b.block_id) "branch owner mismatch" in
+            let* () = check (same_proc taken) "branch taken target leaves procedure" in
+            check (same_proc not_taken) "branch fall-through leaves procedure"
+        | Call { callee; return_to } ->
+            let* () = check (valid_proc callee) "call to unknown procedure" in
+            check (same_proc return_to) "call return target leaves procedure"
+        | Indirect_call { ibr; callees; return_to } ->
+            let* () = check (ibr >= 0 && ibr < Array.length t.ibrs) "bad ibr id" in
+            let* () = check (Array.length callees > 0) "indirect call with no callees" in
+            let* () =
+              iter_result (fun c -> check (valid_proc c) "indirect call to unknown procedure") callees
+            in
+            check (same_proc return_to) "indirect call return target leaves procedure"
+        | Switch { ibr; targets } ->
+            let* () = check (ibr >= 0 && ibr < Array.length t.ibrs) "bad ibr id" in
+            let* () = check (Array.length targets > 0) "switch with no targets" in
+            iter_result (fun target -> check (same_proc target) "switch target leaves procedure") targets
+        | Return | Halt -> Ok ())
+      t.blocks
+  in
+  let* () =
+    iter_result
+      (fun (br : branch_info) ->
+        let* () = Behavior.validate br.behavior in
+        match br.behavior with
+        | Behavior.Correlated _ ->
+            check
+              (br.resolved_src >= 0 && br.resolved_src < Array.length t.branches)
+              "correlated branch with unresolved source"
+        | _ -> Ok ())
+      t.branches
+  in
+  let* () =
+    iter_result
+      (fun (ib : ibr_info) -> Behavior.Selector.validate ~n_targets:ib.n_targets ib.selector)
+      t.ibrs
+  in
+  let* () =
+    iter_result
+      (fun (m : mem_op) ->
+        match m.space with
+        | Global ->
+            let* () =
+              check (m.target >= 0 && m.target < Array.length t.globals) "mem op: bad global id"
+            in
+            check (t.globals.(m.target).size > 0) "global with nonpositive size"
+        | Heap ->
+            let* () =
+              check
+                (m.target >= 0 && m.target < Array.length t.heap_sites)
+                "mem op: bad heap site id"
+            in
+            let s = t.heap_sites.(m.target) in
+            check (s.obj_size > 0 && s.obj_count > 0) "heap site with nonpositive geometry")
+      t.mem_ops
+  in
+  let* () =
+    iter_result
+      (fun (p : procedure) ->
+        let* () = check (valid_block p.entry) "procedure entry out of range" in
+        let* () = check (t.blocks.(p.entry).proc = p.proc_id) "procedure entry in other procedure" in
+        iter_result
+          (fun b ->
+            check (valid_block b && t.blocks.(b).proc = p.proc_id) "procedure lists foreign block")
+          p.blocks)
+      t.procs
+  in
+  iter_result
+    (fun (o : object_file) ->
+      iter_result (fun p -> check (valid_proc p) "object file lists unknown procedure") o.procs)
+    t.objects
+
+let static_stats t =
+  Printf.sprintf "%s: %d objects, %d procs, %d blocks, %d branches, %d ibrs, %d mem ops, %d code bytes"
+    t.name (Array.length t.objects) (Array.length t.procs) (Array.length t.blocks)
+    (Array.length t.branches) (Array.length t.ibrs) (Array.length t.mem_ops)
+    (total_code_bytes t)
+
+let pp_instr ppf = function
+  | Plain n -> Format.fprintf ppf "plain(%d)" n
+  | Fp n -> Format.fprintf ppf "fp(%d)" n
+  | Mul n -> Format.fprintf ppf "mul(%d)" n
+  | Div n -> Format.fprintf ppf "div(%d)" n
+  | Mem m -> Format.fprintf ppf "mem(%d)" m

@@ -1,0 +1,117 @@
+(** Static program representation.
+
+    A program is a set of object files, each containing procedures, each a
+    control-flow graph of basic blocks. Blocks contain abstract instructions
+    whose byte sizes model x86-64 encodings, so a linker can assign concrete
+    instruction addresses — the quantity program interferometry perturbs.
+    Data lives in named global objects and heap allocation sites; memory
+    instructions reference data symbolically (object + evolving offset), so
+    the access *sequence* is placement independent while the *addresses* are
+    controlled by the layout library. *)
+
+type space = Global | Heap
+
+type mem_pattern =
+  | Fixed_offset of int
+  | Sequential of { stride : int }  (** advances by [stride], wraps at size *)
+  | Random_uniform  (** fresh uniform offset each access *)
+  | Chase of { perm_seed : int }
+      (** pointer chase: walks a seeded permutation of the site's objects
+          (Heap) or of the object's cache lines (Global) *)
+
+type mem_op = {
+  mem_id : int;
+  space : space;
+  target : int;  (** global id or heap site id *)
+  pattern : mem_pattern;
+  is_store : bool;
+}
+
+type instr =
+  | Plain of int  (** [n] single-uop integer ops *)
+  | Fp of int  (** [n] floating-point ops *)
+  | Mul of int
+  | Div of int
+  | Mem of int  (** index into [mem_ops] *)
+
+type terminator =
+  | Jump of int  (** unconditional, target block *)
+  | Branch of { branch : int; taken : int; not_taken : int }
+  | Call of { callee : int; return_to : int }
+  | Indirect_call of { ibr : int; callees : int array; return_to : int }
+  | Switch of { ibr : int; targets : int array }  (** intra-procedure indirect jump *)
+  | Return
+  | Halt
+
+type block = { block_id : int; proc : int; instrs : instr array; term : terminator }
+
+type branch_info = {
+  branch_id : int;
+  owner : int;  (** block id *)
+  behavior : Behavior.t;
+  label : string option;
+  resolved_src : int;  (** branch id a [Correlated] behaviour follows; -1 otherwise *)
+}
+
+type ibr_info = {
+  ibr_id : int;
+  ibr_owner : int;
+  selector : Behavior.Selector.t;
+  n_targets : int;
+}
+
+type procedure = { proc_id : int; proc_name : string; entry : int; blocks : int array }
+
+type object_file = { obj_id : int; obj_name : string; procs : int array }
+
+type global_def = { global_id : int; global_name : string; size : int }
+
+type heap_site = {
+  site_id : int;
+  site_name : string;
+  obj_size : int;
+  obj_count : int;
+}
+
+type t = {
+  name : string;
+  objects : object_file array;
+  procs : procedure array;
+  blocks : block array;
+  branches : branch_info array;
+  ibrs : ibr_info array;
+  mem_ops : mem_op array;
+  globals : global_def array;
+  heap_sites : heap_site array;
+  entry_proc : int;
+}
+
+val validate : t -> (unit, string) result
+(** Structural well-formedness: ids are dense and consistent, branch targets
+    stay within the owning procedure, calls reference real procedures,
+    behaviours validate, memory targets exist. *)
+
+val instr_bytes : instr -> int
+(** Modelled x86-64 encoding size. *)
+
+val terminator_bytes : terminator -> int
+
+val block_bytes : t -> int -> int
+(** Total byte size of a block, terminator included. *)
+
+val block_instr_count : t -> int -> int
+(** Retired-instruction count of one execution of the block (terminator
+    counts as one instruction; [Plain n] counts as [n]). *)
+
+val block_uops : t -> int -> int
+
+val proc_bytes : t -> int -> int
+
+val total_code_bytes : t -> int
+
+val static_branch_count : t -> int
+
+val static_stats : t -> string
+(** One-line human summary (blocks, branches, procedures, code bytes). *)
+
+val pp_instr : Format.formatter -> instr -> unit

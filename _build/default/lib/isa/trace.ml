@@ -1,0 +1,68 @@
+type t = {
+  program : Program.t;
+  block_seq : int array;
+  mem_events : int array;
+  instructions : int;
+  cond_branches : int;
+  taken_branches : int;
+  indirect_branches : int;
+  calls : int;
+  mem_refs : int;
+  proc_invocations : int array;
+}
+
+(* Packing layout, LSB first: offset:28 | obj:20 | target:12 | space:1 | store:1 *)
+
+let offset_bits = 28
+let obj_bits = 20
+let target_bits = 12
+let obj_shift = offset_bits
+let target_shift = offset_bits + obj_bits
+let space_shift = target_shift + target_bits
+let store_shift = space_shift + 1
+
+let pack_mem ~is_store ~space ~target ~obj ~offset =
+  if offset < 0 || offset >= 1 lsl offset_bits then invalid_arg "Trace.pack_mem: offset out of range";
+  if obj < 0 || obj >= 1 lsl obj_bits then invalid_arg "Trace.pack_mem: object index out of range";
+  if target < 0 || target >= 1 lsl target_bits then invalid_arg "Trace.pack_mem: target out of range";
+  let space_bit = match space with Program.Global -> 0 | Program.Heap -> 1 in
+  let store_bit = if is_store then 1 else 0 in
+  offset
+  lor (obj lsl obj_shift)
+  lor (target lsl target_shift)
+  lor (space_bit lsl space_shift)
+  lor (store_bit lsl store_shift)
+
+let mem_is_store e = (e lsr store_shift) land 1 = 1
+let mem_space e = if (e lsr space_shift) land 1 = 1 then Program.Heap else Program.Global
+let mem_target e = (e lsr target_shift) land ((1 lsl target_bits) - 1)
+let mem_obj e = (e lsr obj_shift) land ((1 lsl obj_bits) - 1)
+let mem_offset e = e land ((1 lsl offset_bits) - 1)
+
+let blocks_executed t = Array.length t.block_seq
+
+let branch_outcomes t =
+  let out = ref [] in
+  let n = Array.length t.block_seq in
+  for i = n - 1 downto 0 do
+    let b = t.program.blocks.(t.block_seq.(i)) in
+    match b.term with
+    | Program.Branch { branch; taken; not_taken = _ } ->
+        if i + 1 < n then out := (branch, t.block_seq.(i + 1) = taken) :: !out
+    | Program.Jump _ | Program.Call _ | Program.Indirect_call _ | Program.Switch _
+    | Program.Return | Program.Halt ->
+        ()
+  done;
+  Array.of_list !out
+
+let cpi_floor_hint (_ : t) =
+  (* 4-wide issue: at best a quarter cycle per instruction. *)
+  0.25
+
+let summary t =
+  Printf.sprintf
+    "%s: %d blocks, %d instrs, %d cond branches (%.1f%% taken), %d indirect, %d calls, %d mem refs"
+    t.program.Program.name (Array.length t.block_seq) t.instructions t.cond_branches
+    (if t.cond_branches = 0 then 0.0
+     else 100.0 *. float_of_int t.taken_branches /. float_of_int t.cond_branches)
+    t.indirect_branches t.calls t.mem_refs

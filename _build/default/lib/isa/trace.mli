@@ -1,0 +1,48 @@
+(** Layout-independent dynamic traces.
+
+    A trace records one execution of a program as the sequence of executed
+    basic blocks plus the stream of memory references in symbolic form
+    (allocation site / global id, object index, byte offset). Because the
+    trace mentions only static identifiers, it is *identical for every code
+    and data placement* of the program — the simulator analogue of the
+    paper's semantically equivalent executables that retire the same
+    instructions. Simulators combine a trace with an address map from the
+    layout library to obtain concrete instruction and data addresses. *)
+
+type t = {
+  program : Program.t;
+  block_seq : int array;  (** executed block ids, in order *)
+  mem_events : int array;  (** packed; aligned with [Mem] instrs of [block_seq] *)
+  instructions : int;  (** total retired instructions *)
+  cond_branches : int;  (** dynamic conditional branches *)
+  taken_branches : int;
+  indirect_branches : int;
+  calls : int;
+  mem_refs : int;
+  proc_invocations : int array;  (** per procedure id *)
+}
+
+(** {2 Packed memory events}
+
+    A memory event packs [is_store], address space, target (global id or
+    heap site id, < 4096), object index (< 2^20) and byte offset (< 2^28)
+    into one OCaml int. *)
+
+val pack_mem : is_store:bool -> space:Program.space -> target:int -> obj:int -> offset:int -> int
+val mem_is_store : int -> bool
+val mem_space : int -> Program.space
+val mem_target : int -> int
+val mem_obj : int -> int
+val mem_offset : int -> int
+
+val branch_outcomes : t -> (int * bool) array
+(** [(branch_id, taken)] for every dynamic conditional branch, derived from
+    the block sequence; mainly for tests and the Pin tool's convenience. *)
+
+val blocks_executed : t -> int
+
+val cpi_floor_hint : t -> float
+(** Rough lower bound on achievable CPI from the instruction mix alone
+    (issue-width limited); used by sanity checks. *)
+
+val summary : t -> string

@@ -1,0 +1,1 @@
+lib/layout/code_layout.ml: Array Pi_isa Pi_stats

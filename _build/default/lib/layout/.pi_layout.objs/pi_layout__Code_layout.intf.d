@@ -1,0 +1,1 @@
+lib/layout/code_layout.mli: Pi_isa

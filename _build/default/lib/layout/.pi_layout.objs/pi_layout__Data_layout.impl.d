@@ -1,0 +1,1 @@
+lib/layout/data_layout.ml: Array List Pi_isa Pi_stats

@@ -1,0 +1,1 @@
+lib/layout/data_layout.mli: Pi_isa

@@ -1,0 +1,1 @@
+lib/layout/placement.ml: Array Code_layout Data_layout

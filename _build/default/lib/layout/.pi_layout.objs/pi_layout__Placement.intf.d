@@ -1,0 +1,1 @@
+lib/layout/placement.mli: Code_layout Data_layout Pi_isa

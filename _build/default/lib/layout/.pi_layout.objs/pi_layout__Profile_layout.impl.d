@@ -1,0 +1,1 @@
+lib/layout/profile_layout.ml: Array Code_layout Hashtbl List Option Pi_isa

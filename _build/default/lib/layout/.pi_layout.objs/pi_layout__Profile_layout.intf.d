@@ -1,0 +1,1 @@
+lib/layout/profile_layout.mli: Code_layout Pi_isa

@@ -1,0 +1,1 @@
+lib/layout/run_limiter.ml: Array Hashtbl Pi_isa

@@ -1,0 +1,1 @@
+lib/layout/run_limiter.mli: Pi_isa

@@ -1,0 +1,100 @@
+module Program = Pi_isa.Program
+module Rng = Pi_stats.Rng
+
+type order = { object_order : int array; proc_orders : int array array }
+
+type t = {
+  program : Program.t;
+  order : order;
+  base : int;
+  block_addr : int array;
+  block_bytes : int array;
+  branch_pc : int array;
+  ibr_pc : int array;
+  block_term_pc : int array;
+  total_bytes : int;
+}
+
+let natural_order (p : Program.t) =
+  {
+    object_order = Array.init (Array.length p.objects) (fun i -> i);
+    proc_orders =
+      Array.map (fun (o : Program.object_file) -> Array.init (Array.length o.procs) (fun i -> i)) p.objects;
+  }
+
+let random_order (p : Program.t) ~seed =
+  let rng = Rng.create seed in
+  let object_rng = Rng.named_stream rng "objects" in
+  let proc_rng = Rng.named_stream rng "procs" in
+  {
+    object_order = Rng.permutation object_rng (Array.length p.objects);
+    proc_orders =
+      Array.map
+        (fun (o : Program.object_file) -> Rng.permutation proc_rng (Array.length o.procs))
+        p.objects;
+  }
+
+let align_up addr alignment = (addr + alignment - 1) / alignment * alignment
+
+let link ?(base = 0x400000) ?(proc_align = 16) (p : Program.t) order =
+  let n_objects = Array.length p.objects in
+  if Array.length order.object_order <> n_objects then
+    invalid_arg "Code_layout.link: object order arity mismatch";
+  let n_blocks = Array.length p.blocks in
+  let block_addr = Array.make n_blocks 0 in
+  let block_bytes = Array.init n_blocks (fun i -> Program.block_bytes p i) in
+  let cursor = ref base in
+  Array.iter
+    (fun obj_pos ->
+      let obj = p.objects.(obj_pos) in
+      let proc_order = order.proc_orders.(obj_pos) in
+      if Array.length proc_order <> Array.length obj.procs then
+        invalid_arg "Code_layout.link: procedure order arity mismatch";
+      Array.iter
+        (fun proc_pos ->
+          let proc = p.procs.(obj.procs.(proc_pos)) in
+          cursor := align_up !cursor proc_align;
+          Array.iter
+            (fun block_id ->
+              block_addr.(block_id) <- !cursor;
+              cursor := !cursor + block_bytes.(block_id))
+            proc.blocks)
+        proc_order)
+    order.object_order;
+  let block_term_pc =
+    Array.init n_blocks (fun i ->
+        block_addr.(i) + block_bytes.(i) - Program.terminator_bytes p.blocks.(i).term)
+  in
+  let branch_pc =
+    Array.map (fun (b : Program.branch_info) -> block_term_pc.(b.owner)) p.branches
+  in
+  let ibr_pc = Array.map (fun (i : Program.ibr_info) -> block_term_pc.(i.ibr_owner)) p.ibrs in
+  {
+    program = p;
+    order;
+    base;
+    block_addr;
+    block_bytes;
+    branch_pc;
+    ibr_pc;
+    block_term_pc;
+    total_bytes = !cursor - base;
+  }
+
+let natural p = link p (natural_order p)
+let randomized p ~seed = link p (random_order p ~seed)
+
+let block_address t id = t.block_addr.(id)
+let branch_address t id = t.branch_pc.(id)
+
+let overlaps t =
+  let n = Array.length t.block_addr in
+  let spans = Array.init n (fun i -> (t.block_addr.(i), t.block_addr.(i) + t.block_bytes.(i))) in
+  Array.sort compare spans;
+  let rec scan i =
+    if i + 1 >= n then false
+    else
+      let _, fin = spans.(i) and start, _ = spans.(i + 1) in
+      if fin > start then true else scan (i + 1)
+  in
+  scan 0

@@ -1,0 +1,49 @@
+(** Code placement: the linker model.
+
+    Following the paper's Camino methodology, an executable's code layout is
+    determined by (a) the order of procedures within each object file and
+    (b) the order of object files on the linker command line; the linker
+    lays code out in the order encountered. Both orders are derived from a
+    PRNG seed so any placement can be regenerated exactly. Blocks within a
+    procedure stay in program order (the compiler fixed them); procedures
+    are aligned to 16 bytes as real linkers do. *)
+
+type order = {
+  object_order : int array;  (** permutation of object-file ids *)
+  proc_orders : int array array;
+      (** [proc_orders.(obj_id)] permutes that object's procedure list *)
+}
+
+type t = {
+  program : Pi_isa.Program.t;
+  order : order;
+  base : int;
+  block_addr : int array;  (** start address of every block *)
+  block_bytes : int array;
+  branch_pc : int array;  (** instruction address of each conditional branch *)
+  ibr_pc : int array;  (** instruction address of each indirect branch *)
+  block_term_pc : int array;  (** address of each block's terminator *)
+  total_bytes : int;
+}
+
+val natural_order : Pi_isa.Program.t -> order
+(** Object files and procedures in declaration order — the "as compiled"
+    baseline layout. *)
+
+val random_order : Pi_isa.Program.t -> seed:int -> order
+(** Seeded pseudo-random procedure and object reordering; equal seeds give
+    equal orders. *)
+
+val link : ?base:int -> ?proc_align:int -> Pi_isa.Program.t -> order -> t
+(** Assign addresses. [base] defaults to 0x400000 (the conventional x86-64
+    text start); [proc_align] defaults to 16. *)
+
+val natural : Pi_isa.Program.t -> t
+val randomized : Pi_isa.Program.t -> seed:int -> t
+
+val block_address : t -> int -> int
+val branch_address : t -> int -> int
+
+val overlaps : t -> bool
+(** True if any two blocks overlap — always false for a correct linker;
+    exposed for tests. *)

@@ -1,0 +1,133 @@
+module Program = Pi_isa.Program
+module Trace = Pi_isa.Trace
+module Rng = Pi_stats.Rng
+
+type t = {
+  program : Program.t;
+  global_base : int array;
+  heap_base : int array array;
+}
+
+let default_data_base = 0x600000
+let default_heap_base = 0x2000000
+
+let align_up addr alignment = (addr + alignment - 1) / alignment * alignment
+
+(* Randomized slots are rounded to cache-line multiples, not powers of two:
+   power-of-two slot sizes would make every object base alias onto a handful
+   of cache sets, destroying exactly the placement diversity the randomizing
+   allocator exists to create. *)
+let slot_size_of n = (n + 63) / 64 * 64
+
+let page = 4096
+
+(* ASLR: the OS shifts segment bases by a random number of pages per
+   execution. Page-aligned shifts leave the (page-sized) L1 set mapping
+   intact but move lines across L2 sets. *)
+let aslr_shift seed stream =
+  match seed with
+  | None -> 0
+  | Some s -> page * Rng.int (Rng.named_stream (Rng.create s) stream) 512
+
+let bump ?(data_base = default_data_base) ?(heap_base_addr = default_heap_base) ?aslr_seed
+    (p : Program.t) =
+  let data_base = data_base + aslr_shift aslr_seed "data" in
+  let heap_base_addr = heap_base_addr + aslr_shift aslr_seed "heap" in
+  let cursor = ref data_base in
+  let global_base =
+    Array.map
+      (fun (g : Program.global_def) ->
+        cursor := align_up !cursor 16;
+        let here = !cursor in
+        cursor := !cursor + g.size;
+        here)
+      p.globals
+  in
+  let hcursor = ref heap_base_addr in
+  let heap_base =
+    Array.map
+      (fun (s : Program.heap_site) ->
+        let slot = align_up s.obj_size 16 in
+        Array.init s.obj_count (fun _ ->
+            let here = !hcursor in
+            hcursor := !hcursor + slot;
+            here))
+      p.heap_sites
+  in
+  { program = p; global_base; heap_base }
+
+let randomized ?(data_base = default_data_base) ?(heap_base_addr = default_heap_base)
+    ?(overprovision = 2) ?aslr_seed (p : Program.t) ~seed =
+  if overprovision < 1 then invalid_arg "Data_layout.randomized: overprovision < 1";
+  let data_base = data_base + aslr_shift aslr_seed "data" in
+  let heap_base_addr = heap_base_addr + aslr_shift aslr_seed "heap" in
+  let rng = Rng.create seed in
+  let global_rng = Rng.named_stream rng "globals" in
+  let heap_rng = Rng.named_stream rng "heap" in
+  (* Globals: random placement order and random 0-15 line gaps, so global
+     bases land on varying cache sets without wasting much space. *)
+  let n_globals = Array.length p.globals in
+  let global_base = Array.make n_globals 0 in
+  let order = Rng.permutation global_rng (max 1 n_globals) in
+  let cursor = ref data_base in
+  if n_globals > 0 then
+    Array.iter
+      (fun gi ->
+        let g = p.globals.(gi) in
+        cursor := align_up !cursor 16 + (64 * Rng.int global_rng 16);
+        global_base.(gi) <- !cursor;
+        cursor := !cursor + g.size)
+      order;
+  (* Heap: DieHard-style size-class arenas. Each site gets an arena of
+     [overprovision * count] power-of-two slots; objects are assigned
+     distinct random slots. *)
+  let hcursor = ref heap_base_addr in
+  let heap_base =
+    Array.map
+      (fun (s : Program.heap_site) ->
+        let slot_size = max 64 (slot_size_of s.obj_size) in
+        let slots = overprovision * s.obj_count in
+        let arena = align_up !hcursor slot_size in
+        hcursor := arena + (slots * slot_size);
+        let slot_of_obj = Array.sub (Rng.permutation heap_rng slots) 0 s.obj_count in
+        Array.map (fun slot -> arena + (slot * slot_size)) slot_of_obj)
+      p.heap_sites
+  in
+  { program = p; global_base; heap_base }
+
+let address t event =
+  let offset = Trace.mem_offset event in
+  match Trace.mem_space event with
+  | Program.Global -> t.global_base.(Trace.mem_target event) + offset
+  | Program.Heap -> t.heap_base.(Trace.mem_target event).(Trace.mem_obj event) + offset
+
+let footprint_bytes t =
+  let hi = ref 0 and lo = ref max_int in
+  let touch base size =
+    if base < !lo then lo := base;
+    if base + size > !hi then hi := base + size
+  in
+  Array.iteri (fun i base -> touch base t.program.globals.(i).size) t.global_base;
+  Array.iteri
+    (fun site bases ->
+      let size = t.program.heap_sites.(site).obj_size in
+      Array.iter (fun base -> touch base size) bases)
+    t.heap_base;
+  if !hi = 0 then 0 else !hi - !lo
+
+let no_overlap t =
+  let spans = ref [] in
+  Array.iteri
+    (fun i base -> spans := (base, base + t.program.globals.(i).size) :: !spans)
+    t.global_base;
+  Array.iteri
+    (fun site bases ->
+      let size = t.program.heap_sites.(site).obj_size in
+      Array.iter (fun base -> spans := (base, base + size) :: !spans) bases)
+    t.heap_base;
+  let sorted = List.sort compare !spans in
+  let rec scan = function
+    | (_, fin) :: ((start, _) :: _ as rest) -> if fin > start then false else scan rest
+    | [ _ ] | [] -> true
+  in
+  scan sorted

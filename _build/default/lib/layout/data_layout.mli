@@ -1,0 +1,45 @@
+(** Data placement: globals and the heap.
+
+    The paper perturbs data addresses with a DieHard-style randomizing
+    allocator: each allocation is placed in a pseudo-random slot of an
+    over-provisioned size-class arena, so heap addresses — and therefore
+    data-cache set indices — differ run to run while the access sequence is
+    unchanged. We provide that allocator plus a deterministic bump allocator
+    baseline (the "normal malloc" behaviour), both reproducible from a
+    seed. *)
+
+type t = {
+  program : Pi_isa.Program.t;
+  global_base : int array;  (** base address of every global *)
+  heap_base : int array array;  (** [heap_base.(site).(obj)] *)
+}
+
+val bump : ?data_base:int -> ?heap_base_addr:int -> ?aslr_seed:int -> Pi_isa.Program.t -> t
+(** Deterministic layout: globals packed in declaration order (16-byte
+    aligned), heap objects of each site allocated contiguously in
+    allocation order — what a simple malloc gives a well-behaved program.
+
+    [aslr_seed] models address-space layout randomization: the data and
+    heap segments shift by a random page count per run. The paper disables
+    ASLR on its machines (Section 5.5) to keep variance attributable to the
+    controlled placements; the ablation harness shows why. *)
+
+val randomized :
+  ?data_base:int -> ?heap_base_addr:int -> ?overprovision:int -> ?aslr_seed:int ->
+  Pi_isa.Program.t -> seed:int -> t
+(** DieHard-like: every heap site's objects are scattered over
+    [overprovision] (default 2) times as many cache-line-granular slots as
+    objects, slot assignment drawn from [seed]; globals also get a random
+    permutation and random inter-object gaps. (Slots are line-multiples
+    rather than powers of two so object bases cover the full range of cache
+    set indices.) *)
+
+val address : t -> int -> int
+(** [address t packed_event] resolves a packed trace memory event (see
+    {!Pi_isa.Trace}) to a concrete byte address. *)
+
+val footprint_bytes : t -> int
+(** Total bytes spanned by data placements (for reporting). *)
+
+val no_overlap : t -> bool
+(** All placed objects are pairwise disjoint; exposed for tests. *)

@@ -1,0 +1,84 @@
+module Program = Pi_isa.Program
+module Trace = Pi_isa.Trace
+
+let affinity_edges (trace : Trace.t) =
+  let program = trace.Trace.program in
+  let weights = Hashtbl.create 64 in
+  let add a b =
+    if a <> b then begin
+      let key = (min a b, max a b) in
+      Hashtbl.replace weights key (1 + Option.value ~default:0 (Hashtbl.find_opt weights key))
+    end
+  in
+  let seq = trace.Trace.block_seq in
+  for i = 0 to Array.length seq - 2 do
+    let here = program.Program.blocks.(seq.(i)).Program.proc in
+    let next = program.Program.blocks.(seq.(i + 1)).Program.proc in
+    add here next
+  done;
+  Hashtbl.fold (fun (a, b) w acc -> (a, b, w) :: acc) weights []
+
+(* Greedy Pettis-Hansen clustering: merge the two chains joined by the
+   heaviest remaining edge until no edges remain. *)
+let procedure_chains (trace : Trace.t) =
+  let program = trace.Trace.program in
+  let n = Array.length program.Program.procs in
+  let edges =
+    List.sort (fun (_, _, w1) (_, _, w2) -> compare w2 w1) (affinity_edges trace)
+  in
+  let chain_of = Array.init n (fun i -> i) in
+  (* representative chain id per proc *)
+  let chains = Array.init n (fun i -> [ i ]) in
+  (* representative -> member list in order *)
+  let merged = Array.make n false in
+  List.iter
+    (fun (a, b, _) ->
+      let ca = chain_of.(a) and cb = chain_of.(b) in
+      if ca <> cb then begin
+        (* Append chain cb after chain ca. *)
+        chains.(ca) <- chains.(ca) @ chains.(cb);
+        List.iter (fun p -> chain_of.(p) <- ca) chains.(cb);
+        chains.(cb) <- [];
+        merged.(cb) <- true
+      end)
+    edges;
+  (* Hot chains first (by total dynamic transitions), then cold singletons. *)
+  let chain_heat = Array.make n 0 in
+  List.iter
+    (fun (a, _, w) -> chain_heat.(chain_of.(a)) <- chain_heat.(chain_of.(a)) + w)
+    (affinity_edges trace);
+  let live =
+    List.filter (fun i -> chains.(i) <> []) (List.init n (fun i -> i))
+    |> List.sort (fun i j -> compare chain_heat.(j) chain_heat.(i))
+  in
+  List.concat_map (fun i -> chains.(i)) live
+
+let order (trace : Trace.t) =
+  let program = trace.Trace.program in
+  let global = procedure_chains trace in
+  let position = Hashtbl.create 64 in
+  List.iteri (fun i p -> Hashtbl.replace position p i) global;
+  let pos p = Option.value ~default:max_int (Hashtbl.find_opt position p) in
+  (* Procedures within each object file follow the global chain order. *)
+  let proc_orders =
+    Array.map
+      (fun (o : Program.object_file) ->
+        let indexed = Array.mapi (fun slot proc -> (slot, pos proc)) o.Program.procs in
+        Array.sort (fun (_, a) (_, b) -> compare a b) indexed;
+        Array.map fst indexed)
+      program.Program.objects
+  in
+  (* Object files ordered by their hottest member procedure. *)
+  let object_rank (o : Program.object_file) =
+    Array.fold_left (fun acc p -> min acc (pos p)) max_int o.Program.procs
+  in
+  let object_order =
+    Array.init (Array.length program.Program.objects) (fun i -> i)
+  in
+  Array.sort
+    (fun i j ->
+      compare (object_rank program.Program.objects.(i)) (object_rank program.Program.objects.(j)))
+    object_order;
+  { Code_layout.object_order; proc_orders }
+
+let layout (trace : Trace.t) = Code_layout.link trace.Trace.program (order trace)

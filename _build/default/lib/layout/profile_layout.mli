@@ -1,0 +1,28 @@
+(** Profile-guided code placement (Pettis & Hansen, PLDI'90 style).
+
+    The paper notes (Section 2.2) that thoughtful placement optimizations
+    would shrink the very variance interferometry exploits — "nevertheless,
+    most production code is not optimized with code placement in mind".
+    This module implements the classic counterexample: procedure ordering
+    by call affinity. A profiling trace yields caller/callee transition
+    weights; greedy cluster merging produces a procedure order that puts
+    hot call chains adjacent, and the linker lays them out consecutively.
+
+    The ablation harness uses it to show that an optimized layout sits at
+    the favourable edge of the random-layout CPI distribution. *)
+
+val affinity_edges : Pi_isa.Trace.t -> (int * int * int) list
+(** Undirected (proc_a, proc_b, weight) edges with [proc_a < proc_b],
+    weighted by dynamic transitions between the two procedures. *)
+
+val procedure_chains : Pi_isa.Trace.t -> int list
+(** Global procedure order from greedy heaviest-edge cluster merging;
+    includes every procedure (cold ones last, in id order). *)
+
+val order : Pi_isa.Trace.t -> Code_layout.order
+(** The global chain order expressed under the linker's constraints (object
+    files are reordered by their hottest member; procedures within each
+    object follow the chain order). *)
+
+val layout : Pi_isa.Trace.t -> Code_layout.t
+(** [link] of {!order} — the optimized executable's code placement. *)

@@ -1,0 +1,61 @@
+module Interp = Pi_isa.Interp
+module Trace = Pi_isa.Trace
+
+type t = { stop_proc : int; stop_count : int; profiled_blocks : int }
+
+let choose ?(seed = 42) program ~budget_blocks =
+  if budget_blocks < 1 then invalid_arg "Run_limiter.choose: budget_blocks < 1";
+  let profile =
+    Interp.run ~seed ~limits:{ Interp.max_blocks = budget_blocks; stop_proc = None } program
+  in
+  if Trace.blocks_executed profile < budget_blocks then
+    (* The program ended on its own inside the budget. *)
+    None
+  else begin
+    (* Find each procedure's invocation count and the position of its last
+       invocation by scanning the block sequence for procedure entries. *)
+    let program = profile.Trace.program in
+    let n_procs = Array.length program.Pi_isa.Program.procs in
+    let entry_of = Hashtbl.create n_procs in
+    Array.iter
+      (fun (p : Pi_isa.Program.procedure) -> Hashtbl.replace entry_of p.entry p.proc_id)
+      program.Pi_isa.Program.procs;
+    let counts = Array.make n_procs 0 in
+    let last_seen = Array.make n_procs (-1) in
+    let seq = profile.Trace.block_seq in
+    Array.iteri
+      (fun i block ->
+        match Hashtbl.find_opt entry_of block with
+        | Some proc ->
+            counts.(proc) <- counts.(proc) + 1;
+            last_seen.(proc) <- i
+        | None -> ())
+      seq;
+    (* The paper's criterion: low dynamic count AND executed near the end of
+       the budget, so stopping at the same invocation count ends the run at
+       nearly the same point. *)
+    let near_end = Array.length seq * 9 / 10 in
+    let best = ref None in
+    for proc = 0 to n_procs - 1 do
+      if counts.(proc) > 0 && last_seen.(proc) >= near_end then
+        match !best with
+        | None -> best := Some (proc, counts.(proc))
+        | Some (_, best_count) ->
+            if counts.(proc) < best_count then best := Some (proc, counts.(proc))
+    done;
+    match !best with
+    | None -> None
+    | Some (stop_proc, stop_count) ->
+        Some { stop_proc; stop_count; profiled_blocks = Trace.blocks_executed profile }
+  end
+
+let limits t =
+  {
+    Interp.max_blocks = t.profiled_blocks * 2;
+    stop_proc = Some (t.stop_proc, t.stop_count);
+  }
+
+let trace ?(seed = 42) program ~budget_blocks =
+  match choose ~seed program ~budget_blocks with
+  | None -> Interp.run ~seed ~limits:{ Interp.max_blocks = budget_blocks; stop_proc = None } program
+  | Some t -> Interp.run ~seed ~limits:(limits t) program

@@ -1,0 +1,34 @@
+(** The paper's two-pass run-length instrumentation.
+
+    SPEC benchmarks run far too long for 100+ measured executions, so the
+    paper profiles each benchmark once, finds a procedure with a low dynamic
+    invocation count that is reached near the end of a fixed time budget,
+    and instruments the benchmark to stop when that procedure has executed
+    the same number of times. Counting procedure invocations rather than
+    elapsed time guarantees every perturbed executable retires the same
+    number of instructions.
+
+    Here the "time budget" is an executed-block budget and the
+    instrumentation is an interpreter stop condition — same mechanism,
+    simulated substrate. *)
+
+type t = {
+  stop_proc : int;  (** procedure id *)
+  stop_count : int;  (** invocation count at which execution ends *)
+  profiled_blocks : int;  (** blocks executed by the profiling pass *)
+}
+
+val choose : ?seed:int -> Pi_isa.Program.t -> budget_blocks:int -> t option
+(** Profile the program for [budget_blocks] and select the cut-off
+    procedure: the lowest-frequency procedure invoked at least once (ties
+    broken toward later ids). Returns [None] when the program halts on its
+    own within the budget — then no instrumentation is needed, mirroring the
+    paper's benchmarks that "naturally run for less than two minutes". *)
+
+val limits : t -> Pi_isa.Interp.limits
+(** Interpreter limits enforcing the instrumentation (with a generous
+    block-count safety net). *)
+
+val trace : ?seed:int -> Pi_isa.Program.t -> budget_blocks:int -> Pi_isa.Trace.t
+(** Convenience: profile, instrument, and produce the bounded trace in one
+    step — the trace every layout of this benchmark will replay. *)

@@ -1,0 +1,1 @@
+lib/pin/bp_sim.ml: Array List Pi_isa Pi_layout Pi_uarch

@@ -1,0 +1,1 @@
+lib/pin/bp_sim.mli: Pi_isa Pi_layout Pi_uarch

@@ -1,0 +1,81 @@
+module Program = Pi_isa.Program
+module Trace = Pi_isa.Trace
+
+type result = {
+  predictor_name : string;
+  branches : int;
+  mispredicted : int;
+  instructions : int;
+  mpki : float;
+}
+
+(* Iterate the dynamic conditional-branch stream of a trace: calls
+   [f ~branch ~pc ~taken ~index] for each, where [index] is the dynamic
+   branch ordinal. *)
+let iter_branches trace code f =
+  let program = trace.Trace.program in
+  let branch_pc = code.Pi_layout.Code_layout.branch_pc in
+  let seq = trace.Trace.block_seq in
+  let n = Array.length seq in
+  let ordinal = ref 0 in
+  for i = 0 to n - 2 do
+    match program.Program.blocks.(seq.(i)).Program.term with
+    | Program.Branch { branch; taken; not_taken = _ } ->
+        f ~branch ~pc:branch_pc.(branch) ~taken:(seq.(i + 1) = taken) ~index:!ordinal;
+        incr ordinal
+    | Program.Jump _ | Program.Call _ | Program.Indirect_call _ | Program.Switch _
+    | Program.Return | Program.Halt ->
+        ()
+  done
+
+let measured_instructions ?(warmup_branches = 0) trace =
+  (* Approximate post-warmup instruction count by scaling: the Pin tool
+     reports MPKI over the measured window. *)
+  let total_branches = trace.Trace.cond_branches in
+  if total_branches = 0 then trace.Trace.instructions
+  else
+    let fraction =
+      float_of_int (max 0 (total_branches - warmup_branches)) /. float_of_int total_branches
+    in
+    int_of_float (fraction *. float_of_int trace.Trace.instructions)
+
+let run ?(warmup_branches = 0) trace code makes =
+  let predictors = List.map (fun make -> make ()) makes in
+  let states =
+    List.map (fun p -> (p, ref 0, ref 0)) predictors (* predictor, branches, mispredicts *)
+  in
+  iter_branches trace code (fun ~branch:_ ~pc ~taken ~index ->
+      List.iter
+        (fun (p, branches, mispredicted) ->
+          let correct = p.Pi_uarch.Predictor.on_branch ~pc ~taken in
+          if index >= warmup_branches then begin
+            incr branches;
+            if not correct then incr mispredicted
+          end)
+        states);
+  let instructions = measured_instructions ~warmup_branches trace in
+  List.map
+    (fun (p, branches, mispredicted) ->
+      {
+        predictor_name = p.Pi_uarch.Predictor.name;
+        branches = !branches;
+        mispredicted = !mispredicted;
+        instructions;
+        mpki =
+          (if instructions = 0 then 0.0
+           else 1000.0 *. float_of_int !mispredicted /. float_of_int instructions);
+      })
+    states
+
+let per_branch_mispredicts ?(warmup_branches = 0) trace code make =
+  let p = make () in
+  let n = Array.length trace.Trace.program.Program.branches in
+  let executions = Array.make n 0 in
+  let mispredicts = Array.make n 0 in
+  iter_branches trace code (fun ~branch ~pc ~taken ~index ->
+      let correct = p.Pi_uarch.Predictor.on_branch ~pc ~taken in
+      if index >= warmup_branches then begin
+        executions.(branch) <- executions.(branch) + 1;
+        if not correct then mispredicts.(branch) <- mispredicts.(branch) + 1
+      end);
+  Array.init n (fun i -> (executions.(i), mispredicts.(i)))

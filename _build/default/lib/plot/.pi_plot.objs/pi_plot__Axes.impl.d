@@ -1,0 +1,1 @@
+lib/plot/axes.ml: Canvas Float List Printf String

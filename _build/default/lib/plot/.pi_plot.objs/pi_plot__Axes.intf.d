@@ -1,0 +1,1 @@
+lib/plot/axes.mli: Canvas

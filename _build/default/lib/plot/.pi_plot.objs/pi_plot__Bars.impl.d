@@ -1,0 +1,1 @@
+lib/plot/bars.ml: Axes Buffer Bytes Float List Printf String

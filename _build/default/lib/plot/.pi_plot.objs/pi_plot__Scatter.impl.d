@@ -1,0 +1,1 @@
+lib/plot/scatter.ml: Array Axes Canvas Float List Pi_stats

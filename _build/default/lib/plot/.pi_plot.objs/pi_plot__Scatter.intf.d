@@ -1,0 +1,1 @@
+lib/plot/scatter.mli: Pi_stats

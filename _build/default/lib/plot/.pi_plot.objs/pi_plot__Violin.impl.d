@@ -1,0 +1,1 @@
+lib/plot/violin.ml: Array Axes Canvas Float List Pi_stats String

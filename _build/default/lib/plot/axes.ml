@@ -1,0 +1,77 @@
+type t = {
+  x_min : float;
+  x_max : float;
+  y_min : float;
+  y_max : float;
+  left : int;
+  right : int;
+  top : int;
+  bottom : int;
+}
+
+let pad_degenerate lo hi =
+  if hi > lo then (lo, hi)
+  else
+    let pad = if Float.abs lo > 1e-12 then Float.abs lo *. 0.05 else 0.5 in
+    (lo -. pad, hi +. pad)
+
+let create ~x_min ~x_max ~y_min ~y_max ~left ~right ~top ~bottom =
+  if right <= left || bottom <= top then invalid_arg "Axes.create: empty region";
+  let x_min, x_max = pad_degenerate x_min x_max in
+  let y_min, y_max = pad_degenerate y_min y_max in
+  { x_min; x_max; y_min; y_max; left; right; top; bottom }
+
+let x_of t v =
+  let frac = (v -. t.x_min) /. (t.x_max -. t.x_min) in
+  t.left + int_of_float (Float.round (frac *. float_of_int (t.right - t.left)))
+
+let y_of t v =
+  let frac = (v -. t.y_min) /. (t.y_max -. t.y_min) in
+  t.bottom - int_of_float (Float.round (frac *. float_of_int (t.bottom - t.top)))
+
+let nice_step rough =
+  let magnitude = 10.0 ** Float.of_int (int_of_float (Float.floor (log10 rough))) in
+  let residual = rough /. magnitude in
+  let nice = if residual <= 1.0 then 1.0 else if residual <= 2.0 then 2.0 else if residual <= 5.0 then 5.0 else 10.0 in
+  nice *. magnitude
+
+let nice_ticks ~lo ~hi ~max_ticks =
+  if hi <= lo || max_ticks < 2 then [ lo; hi ]
+  else begin
+    let step = nice_step ((hi -. lo) /. float_of_int (max_ticks - 1)) in
+    let first = Float.round (lo /. step) *. step in
+    let first = if first < lo -. (step /. 2.0) then first +. step else first in
+    let rec collect acc v =
+      if v > hi +. (step /. 2.0) then List.rev acc else collect (v :: acc) (v +. step)
+    in
+    collect [] first
+  end
+
+let format_tick v =
+  if Float.abs v >= 1000.0 then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 10.0 then Printf.sprintf "%.1f" v
+  else if Float.abs (v -. Float.round v) < 1e-9 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.2f" v
+
+let draw_frame canvas t ~x_label ~y_label =
+  Canvas.vline canvas ~x:t.left ~y0:t.top ~y1:t.bottom '|';
+  Canvas.hline canvas ~y:t.bottom ~x0:t.left ~x1:t.right '-';
+  Canvas.set canvas ~x:t.left ~y:t.bottom '+';
+  List.iter
+    (fun v ->
+      let x = x_of t v in
+      Canvas.set canvas ~x ~y:t.bottom '+';
+      let label = format_tick v in
+      Canvas.text canvas ~x:(x - (String.length label / 2)) ~y:(t.bottom + 1) label)
+    (nice_ticks ~lo:t.x_min ~hi:t.x_max ~max_ticks:7);
+  List.iter
+    (fun v ->
+      let y = y_of t v in
+      Canvas.set canvas ~x:t.left ~y '+';
+      let label = format_tick v in
+      Canvas.text canvas ~x:(t.left - String.length label - 1) ~y label)
+    (nice_ticks ~lo:t.y_min ~hi:t.y_max ~max_ticks:6);
+  Canvas.text canvas
+    ~x:((t.left + t.right) / 2 - (String.length x_label / 2))
+    ~y:(t.bottom + 2) x_label;
+  Canvas.text canvas ~x:1 ~y:(max 0 (t.top - 1)) y_label

@@ -1,0 +1,22 @@
+(** Linear data-to-canvas coordinate mapping with nice tick labels. *)
+
+type t
+
+val create :
+  x_min:float -> x_max:float -> y_min:float -> y_max:float ->
+  left:int -> right:int -> top:int -> bottom:int -> t
+(** Maps data rectangle to the canvas region [\[left, right\]] x
+    [\[top, bottom\]] (canvas rows grow downward, data y grows upward).
+    Degenerate ranges are padded automatically. *)
+
+val x_of : t -> float -> int
+val y_of : t -> float -> int
+
+val nice_ticks : lo:float -> hi:float -> max_ticks:int -> float list
+(** Round tick positions covering [\[lo, hi\]]. *)
+
+val draw_frame :
+  Canvas.t -> t -> x_label:string -> y_label:string -> unit
+(** Axis lines, ticks and numeric labels around the plot region. *)
+
+val format_tick : float -> string

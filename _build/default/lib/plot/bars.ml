@@ -1,0 +1,89 @@
+let label_width rows = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+
+let render ?(width = 78) ?max_value ?title rows =
+  if rows = [] then invalid_arg "Bars.render: empty";
+  let lw = label_width rows + 1 in
+  let peak =
+    match max_value with
+    | Some v -> v
+    | None -> List.fold_left (fun acc (_, v) -> Float.max acc v) 1e-300 rows
+  in
+  let bar_cols = max 8 (width - lw - 12) in
+  let buffer = Buffer.create 256 in
+  (match title with Some t -> Buffer.add_string buffer (t ^ "\n") | None -> ());
+  List.iter
+    (fun (label, v) ->
+      let n = int_of_float (Float.round (v /. peak *. float_of_int bar_cols)) in
+      Buffer.add_string buffer
+        (Printf.sprintf "%-*s %s %.3f\n" lw label (String.make (max 0 n) '#') v))
+    rows;
+  Buffer.contents buffer
+
+let render_stacked ?(width = 78) ?title ~segment_glyphs ~legend rows =
+  if rows = [] then invalid_arg "Bars.render_stacked: empty";
+  if List.length segment_glyphs < List.length legend then
+    invalid_arg "Bars.render_stacked: not enough glyphs";
+  let lw = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows + 1 in
+  let peak =
+    List.fold_left
+      (fun acc (_, segments) ->
+        if List.exists (fun s -> s < 0.0) segments then
+          invalid_arg "Bars.render_stacked: negative segment";
+        Float.max acc (List.fold_left ( +. ) 0.0 segments))
+      1e-300 rows
+  in
+  let bar_cols = max 8 (width - lw - 10) in
+  let buffer = Buffer.create 512 in
+  (match title with Some t -> Buffer.add_string buffer (t ^ "\n") | None -> ());
+  Buffer.add_string buffer
+    (Printf.sprintf "%-*s legend: %s\n" lw ""
+       (String.concat "  "
+          (List.map2 (fun glyph name -> Printf.sprintf "%c=%s" glyph name)
+             (List.filteri (fun i _ -> i < List.length legend) segment_glyphs)
+             legend)));
+  List.iter
+    (fun (label, segments) ->
+      let total = List.fold_left ( +. ) 0.0 segments in
+      let bar = Buffer.create bar_cols in
+      List.iteri
+        (fun i v ->
+          let n = int_of_float (Float.round (v /. peak *. float_of_int bar_cols)) in
+          Buffer.add_string bar (String.make (max 0 n) (List.nth segment_glyphs i)))
+        segments;
+      Buffer.add_string buffer (Printf.sprintf "%-*s %s %.3f\n" lw label (Buffer.contents bar) total))
+    rows;
+  Buffer.contents buffer
+
+let render_intervals ?(width = 78) ?title rows =
+  if rows = [] then invalid_arg "Bars.render_intervals: empty";
+  let lw = List.fold_left (fun acc (l, _, _, _) -> max acc (String.length l)) 0 rows + 1 in
+  let lo, hi =
+    List.fold_left
+      (fun (lo, hi) (_, l, _, u) -> (Float.min lo l, Float.max hi u))
+      (infinity, neg_infinity) rows
+  in
+  let lo, hi = if hi > lo then (lo, hi) else (lo -. 0.5, hi +. 0.5) in
+  let span_cols = max 10 (width - lw - 26) in
+  let col_of v =
+    int_of_float (Float.round ((v -. lo) /. (hi -. lo) *. float_of_int (span_cols - 1)))
+  in
+  let buffer = Buffer.create 512 in
+  (match title with Some t -> Buffer.add_string buffer (t ^ "\n") | None -> ());
+  List.iter
+    (fun (label, l, e, u) ->
+      let line = Bytes.make span_cols ' ' in
+      let cl = col_of l and ce = col_of e and cu = col_of u in
+      for c = cl to cu do
+        Bytes.set line c '-'
+      done;
+      Bytes.set line cl '[';
+      Bytes.set line cu ']';
+      Bytes.set line ce '*';
+      Buffer.add_string buffer
+        (Printf.sprintf "%-*s %s  %.3f [%.3f, %.3f]\n" lw label (Bytes.to_string line) e l u))
+    rows;
+  Buffer.add_string buffer
+    (Printf.sprintf "%-*s %s\n" lw ""
+       (Printf.sprintf "%-*s%s" (span_cols - String.length (Axes.format_tick hi))
+          (Axes.format_tick lo) (Axes.format_tick hi)));
+  Buffer.contents buffer

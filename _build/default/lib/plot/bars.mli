@@ -1,0 +1,29 @@
+(** Horizontal bar charts, including the stacked form used for the paper's
+    Figure 6 (cumulative r^2 per event) and the error-bar form used for
+    Figures 7 and 8. *)
+
+val render :
+  ?width:int ->
+  ?max_value:float ->
+  ?title:string ->
+  (string * float) list ->
+  string
+(** Simple horizontal bars with numeric suffixes. *)
+
+val render_stacked :
+  ?width:int ->
+  ?title:string ->
+  segment_glyphs:char list ->
+  legend:string list ->
+  (string * float list) list ->
+  string
+(** Each row stacks its segments left to right; a shared legend line maps
+    glyphs to series names. All values must be >= 0. *)
+
+val render_intervals :
+  ?width:int ->
+  ?title:string ->
+  (string * float * float * float) list ->
+  string
+(** [(label, lower, estimate, upper)] rows as 'lo ---|*|--- hi' spans on a
+    shared scale. *)

@@ -1,0 +1,43 @@
+type t = { width : int; height : int; cells : Bytes.t }
+
+let create ~width ~height =
+  if width < 1 || height < 1 then invalid_arg "Canvas.create: nonpositive size";
+  { width; height; cells = Bytes.make (width * height) ' ' }
+
+let width t = t.width
+let height t = t.height
+
+let in_bounds t x y = x >= 0 && x < t.width && y >= 0 && y < t.height
+
+let set t ~x ~y c = if in_bounds t x y then Bytes.set t.cells ((y * t.width) + x) c
+
+let get t x y = Bytes.get t.cells ((y * t.width) + x)
+
+let set_if_empty t ~x ~y c =
+  if in_bounds t x y && get t x y = ' ' then Bytes.set t.cells ((y * t.width) + x) c
+
+let text t ~x ~y s = String.iteri (fun i c -> set t ~x:(x + i) ~y c) s
+
+let hline t ~y ~x0 ~x1 c =
+  for x = min x0 x1 to max x0 x1 do
+    set t ~x ~y c
+  done
+
+let vline t ~x ~y0 ~y1 c =
+  for y = min y0 y1 to max y0 y1 do
+    set t ~x ~y c
+  done
+
+let render t =
+  let buffer = Buffer.create (t.width * t.height) in
+  for y = 0 to t.height - 1 do
+    let row = Bytes.sub_string t.cells (y * t.width) t.width in
+    (* Trim trailing blanks per row. *)
+    let len = ref (String.length row) in
+    while !len > 0 && row.[!len - 1] = ' ' do
+      decr len
+    done;
+    Buffer.add_string buffer (String.sub row 0 !len);
+    if y < t.height - 1 then Buffer.add_char buffer '\n'
+  done;
+  Buffer.contents buffer

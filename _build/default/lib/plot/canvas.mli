@@ -1,0 +1,23 @@
+(** Character canvas for terminal figures. Coordinates are (column, row)
+    with row 0 at the top; data-space mapping is the caller's business
+    (see {!Axes}). *)
+
+type t
+
+val create : width:int -> height:int -> t
+val width : t -> int
+val height : t -> int
+
+val set : t -> x:int -> y:int -> char -> unit
+(** Out-of-bounds writes are ignored (clipping). *)
+
+val set_if_empty : t -> x:int -> y:int -> char -> unit
+(** Write only over blank cells, so bands do not erase points. *)
+
+val text : t -> x:int -> y:int -> string -> unit
+
+val hline : t -> y:int -> x0:int -> x1:int -> char -> unit
+val vline : t -> x:int -> y0:int -> y1:int -> char -> unit
+
+val render : t -> string
+(** Rows joined with newlines, trailing blanks trimmed. *)

@@ -1,0 +1,83 @@
+module Linreg = Pi_stats.Linreg
+
+type band = { at : float -> float * float; glyph : char }
+
+let regression_line model x = Linreg.predict model x
+
+let confidence_band ?(level = 0.95) model =
+  {
+    at =
+      (fun x ->
+        let i = Linreg.confidence_interval ~level model x in
+        (i.Linreg.lower, i.Linreg.upper));
+    glyph = ':';
+  }
+
+let prediction_band ?(level = 0.95) model =
+  {
+    at =
+      (fun x ->
+        let i = Linreg.prediction_interval ~level model x in
+        (i.Linreg.lower, i.Linreg.upper));
+    glyph = '.';
+  }
+
+let render ?(width = 78) ?(height = 24) ?title ?(x_label = "x") ?(y_label = "y")
+    ?line ?(bands = []) ?(extra_points = []) points =
+  if Array.length points = 0 then invalid_arg "Scatter.render: no points";
+  let xs = Array.map fst points and ys = Array.map snd points in
+  let x_lo, x_hi = Pi_stats.Descriptive.min_max xs in
+  (* The y range must cover points and any bands over the x range. *)
+  let y_lo = ref (fst (Pi_stats.Descriptive.min_max ys)) in
+  let y_hi = ref (snd (Pi_stats.Descriptive.min_max ys)) in
+  let consider y =
+    if y < !y_lo then y_lo := y;
+    if y > !y_hi then y_hi := y
+  in
+  List.iter (fun (x, y, _) -> consider y; ignore x) extra_points;
+  let x_lo = List.fold_left (fun acc (x, _, _) -> Float.min acc x) x_lo extra_points in
+  let x_hi = List.fold_left (fun acc (x, _, _) -> Float.max acc x) x_hi extra_points in
+  List.iter
+    (fun band ->
+      let steps = 32 in
+      for i = 0 to steps do
+        let x = x_lo +. ((x_hi -. x_lo) *. float_of_int i /. float_of_int steps) in
+        let lo, hi = band.at x in
+        consider lo;
+        consider hi
+      done)
+    bands;
+  let top = if title = None then 1 else 2 in
+  let canvas = Canvas.create ~width ~height in
+  let axes =
+    Axes.create ~x_min:x_lo ~x_max:x_hi ~y_min:!y_lo ~y_max:!y_hi ~left:9
+      ~right:(width - 2) ~top ~bottom:(height - 3)
+  in
+  (match title with Some t -> Canvas.text canvas ~x:2 ~y:0 t | None -> ());
+  Axes.draw_frame canvas axes ~x_label ~y_label;
+  (* Bands first (lowest priority), then line, then data points. *)
+  List.iter
+    (fun band ->
+      for cx = 9 to width - 2 do
+        let frac = float_of_int (cx - 9) /. float_of_int (width - 11) in
+        let x = x_lo +. (frac *. (x_hi -. x_lo)) in
+        let lo, hi = band.at x in
+        Canvas.set_if_empty canvas ~x:cx ~y:(Axes.y_of axes lo) band.glyph;
+        Canvas.set_if_empty canvas ~x:cx ~y:(Axes.y_of axes hi) band.glyph
+      done)
+    bands;
+  (match line with
+  | Some f ->
+      for cx = 9 to width - 2 do
+        let frac = float_of_int (cx - 9) /. float_of_int (width - 11) in
+        let x = x_lo +. (frac *. (x_hi -. x_lo)) in
+        Canvas.set canvas ~x:cx ~y:(Axes.y_of axes (f x)) '*'
+      done
+  | None -> ());
+  Array.iter
+    (fun (x, y) -> Canvas.set canvas ~x:(Axes.x_of axes x) ~y:(Axes.y_of axes y) 'o')
+    points;
+  List.iter
+    (fun (x, y, glyph) -> Canvas.set canvas ~x:(Axes.x_of axes x) ~y:(Axes.y_of axes y) glyph)
+    extra_points;
+  Canvas.render canvas

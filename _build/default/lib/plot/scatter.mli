@@ -1,0 +1,24 @@
+(** Scatter plots with an optional regression line and 95% confidence /
+    prediction bands — the paper's Figure 2/3/5 style. *)
+
+type band = { at : float -> float * float; glyph : char }
+(** [at x] returns the (lower, upper) bounds of the band at [x]. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?line:(float -> float) ->
+  ?bands:band list ->
+  ?extra_points:(float * float * char) list ->
+  (float * float) array ->
+  string
+(** [render points] draws the points ('o'), then [line] ('*'), then each
+    band edge with its glyph. [extra_points] are highlighted markers. *)
+
+val regression_line : Pi_stats.Linreg.t -> float -> float
+
+val confidence_band : ?level:float -> Pi_stats.Linreg.t -> band
+val prediction_band : ?level:float -> Pi_stats.Linreg.t -> band

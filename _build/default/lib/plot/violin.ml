@@ -1,0 +1,77 @@
+let render ?(width = 78) ?(rows_per_violin = 3) ?title ?(x_label = "") series =
+  if series = [] then invalid_arg "Violin.render: empty";
+  List.iter
+    (fun (_, s) -> if Array.length s < 2 then invalid_arg "Violin.render: sample too small")
+    series;
+  let label_width =
+    List.fold_left (fun acc (label, _) -> max acc (String.length label)) 0 series + 1
+  in
+  let x_lo, x_hi =
+    List.fold_left
+      (fun (lo, hi) (_, s) ->
+        let slo, shi = Pi_stats.Descriptive.min_max s in
+        (Float.min lo slo, Float.max hi shi))
+      (infinity, neg_infinity) series
+  in
+  let x_lo, x_hi = if x_hi > x_lo then (x_lo, x_hi) else (x_lo -. 0.5, x_hi +. 0.5) in
+  let plot_left = label_width + 1 in
+  let plot_right = width - 2 in
+  let plot_cols = plot_right - plot_left + 1 in
+  let title_rows = match title with Some _ -> 2 | None -> 0 in
+  let height = title_rows + (List.length series * (rows_per_violin + 1)) + 3 in
+  let canvas = Canvas.create ~width ~height in
+  (match title with Some t -> Canvas.text canvas ~x:2 ~y:0 t | None -> ());
+  let half = rows_per_violin / 2 in
+  List.iteri
+    (fun idx (label, sample) ->
+      let center_row = title_rows + (idx * (rows_per_violin + 1)) + half in
+      Canvas.text canvas ~x:0 ~y:center_row label;
+      let kde = Pi_stats.Density.fit sample in
+      let densities =
+        Array.init plot_cols (fun i ->
+            let x =
+              x_lo +. ((x_hi -. x_lo) *. float_of_int i /. float_of_int (max 1 (plot_cols - 1)))
+            in
+            Pi_stats.Density.evaluate kde x)
+      in
+      let peak = Array.fold_left Float.max 1e-300 densities in
+      Array.iteri
+        (fun i d ->
+          let thickness =
+            int_of_float (Float.round (d /. peak *. float_of_int half))
+          in
+          let col = plot_left + i in
+          if d /. peak > 0.02 then begin
+            Canvas.set canvas ~x:col ~y:center_row '=';
+            for k = 1 to thickness do
+              Canvas.set canvas ~x:col ~y:(center_row - k) '#';
+              Canvas.set canvas ~x:col ~y:(center_row + k) '#'
+            done
+          end)
+        densities;
+      let median = Pi_stats.Descriptive.median sample in
+      let mcol =
+        plot_left
+        + int_of_float
+            (Float.round ((median -. x_lo) /. (x_hi -. x_lo) *. float_of_int (plot_cols - 1)))
+      in
+      Canvas.set canvas ~x:mcol ~y:center_row '+')
+    series;
+  (* Shared x axis. *)
+  let axis_row = height - 2 in
+  Canvas.hline canvas ~y:axis_row ~x0:plot_left ~x1:plot_right '-';
+  List.iter
+    (fun v ->
+      let col =
+        plot_left
+        + int_of_float
+            (Float.round ((v -. x_lo) /. (x_hi -. x_lo) *. float_of_int (plot_cols - 1)))
+      in
+      Canvas.set canvas ~x:col ~y:axis_row '+';
+      let label = Axes.format_tick v in
+      Canvas.text canvas ~x:(col - (String.length label / 2)) ~y:(axis_row + 1) label)
+    (Axes.nice_ticks ~lo:x_lo ~hi:x_hi ~max_ticks:7);
+  Canvas.text canvas
+    ~x:(plot_left + (plot_cols / 2) - (String.length x_label / 2))
+    ~y:(height - 1) x_label;
+  Canvas.render canvas

@@ -1,0 +1,13 @@
+(** Violin plots (the paper's Figure 1): one horizontal violin per
+    benchmark whose width at each value is proportional to the kernel
+    density estimate of the sample there; '+' marks the median. *)
+
+val render :
+  ?width:int ->
+  ?rows_per_violin:int ->
+  ?title:string ->
+  ?x_label:string ->
+  (string * float array) list ->
+  string
+(** [render series] with [series = (label, sample) list]; all violins share
+    one x axis. Samples need at least 2 points. *)

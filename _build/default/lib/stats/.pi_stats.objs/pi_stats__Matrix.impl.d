@@ -1,0 +1,1 @@
+lib/stats/matrix.ml: Array Format

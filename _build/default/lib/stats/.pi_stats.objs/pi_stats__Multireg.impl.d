@@ -1,0 +1,1 @@
+lib/stats/multireg.ml: Array Descriptive Distributions Float Format Matrix

@@ -1,0 +1,1 @@
+lib/stats/rank.ml: Array Correlation Descriptive Distributions Float

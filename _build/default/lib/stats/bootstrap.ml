@@ -1,0 +1,53 @@
+type interval = { lower : float; estimate : float; upper : float }
+
+let percentile_interval ~level ~estimate samples =
+  Array.sort compare samples;
+  let alpha = (1.0 -. level) /. 2.0 in
+  {
+    lower = Descriptive.quantile samples alpha;
+    estimate;
+    upper = Descriptive.quantile samples (1.0 -. alpha);
+  }
+
+let mean_interval ?(replicates = 1000) ?(level = 0.95) ~seed xs =
+  if Array.length xs < 2 then invalid_arg "Bootstrap.mean_interval: need >= 2 points";
+  let rng = Rng.create seed in
+  let n = Array.length xs in
+  let samples =
+    Array.init replicates (fun _ ->
+        let acc = ref 0.0 in
+        for _ = 1 to n do
+          acc := !acc +. xs.(Rng.int rng n)
+        done;
+        !acc /. float_of_int n)
+  in
+  percentile_interval ~level ~estimate:(Descriptive.mean xs) samples
+
+let regression_intervals ?(replicates = 1000) ?(level = 0.95) ~seed xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Bootstrap.regression_intervals: length mismatch";
+  if n < 3 then invalid_arg "Bootstrap.regression_intervals: need >= 3 points";
+  let base = Linreg.fit xs ys in
+  let rng = Rng.create seed in
+  let slopes = ref [] and intercepts = ref [] in
+  let bx = Array.make n 0.0 and by = Array.make n 0.0 in
+  let produced = ref 0 in
+  let attempts = ref 0 in
+  while !produced < replicates && !attempts < replicates * 3 do
+    incr attempts;
+    for i = 0 to n - 1 do
+      let j = Rng.int rng n in
+      bx.(i) <- xs.(j);
+      by.(i) <- ys.(j)
+    done;
+    (* A resample can be degenerate in x; skip those draws. *)
+    match Linreg.fit bx by with
+    | m ->
+        slopes := m.Linreg.slope :: !slopes;
+        intercepts := m.Linreg.intercept :: !intercepts;
+        incr produced
+    | exception Invalid_argument _ -> ()
+  done;
+  if !produced = 0 then invalid_arg "Bootstrap.regression_intervals: all resamples degenerate";
+  ( percentile_interval ~level ~estimate:base.Linreg.slope (Array.of_list !slopes),
+    percentile_interval ~level ~estimate:base.Linreg.intercept (Array.of_list !intercepts) )

@@ -1,0 +1,18 @@
+(** Bootstrap resampling: distribution-free confidence intervals.
+
+    The paper's intervals assume normal residuals; bootstrap percentile
+    intervals need no such assumption and serve as the robustness check the
+    ablation suite runs on the Table-1 models (if the two interval families
+    disagree wildly, the parametric assumptions are suspect). *)
+
+type interval = { lower : float; estimate : float; upper : float }
+
+val mean_interval :
+  ?replicates:int -> ?level:float -> seed:int -> float array -> interval
+(** Percentile bootstrap interval for the sample mean. *)
+
+val regression_intervals :
+  ?replicates:int -> ?level:float -> seed:int -> float array -> float array ->
+  interval * interval
+(** Case-resampling bootstrap of a simple linear regression: returns
+    (slope interval, intercept interval). Requires >= 3 points. *)

@@ -1,0 +1,47 @@
+let check_paired name xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg (name ^ ": length mismatch");
+  if n < 2 then invalid_arg (name ^ ": need >= 2 points");
+  n
+
+let pearson_r xs ys =
+  let n = check_paired "Correlation.pearson_r" xs ys in
+  let nf = float_of_int n in
+  let mx = Descriptive.mean xs and my = Descriptive.mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  ignore nf;
+  if !sxx <= 0.0 || !syy <= 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)
+
+let r_squared xs ys =
+  let r = pearson_r xs ys in
+  r *. r
+
+type t_test_result = {
+  r : float;
+  t_statistic : float;
+  degrees_of_freedom : int;
+  p_value : float;
+  significant : bool;
+}
+
+let correlation_t_test ?(alpha = 0.05) xs ys =
+  let n = check_paired "Correlation.correlation_t_test" xs ys in
+  if n < 3 then invalid_arg "Correlation.correlation_t_test: need >= 3 points";
+  let r = pearson_r xs ys in
+  let df = n - 2 in
+  let denom = 1.0 -. (r *. r) in
+  let t =
+    if denom <= 1e-12 then (if r >= 0.0 then infinity else neg_infinity)
+    else r *. sqrt (float_of_int df /. denom)
+  in
+  let p =
+    if not (Float.is_finite t) then 0.0
+    else Distributions.Student_t.two_sided_p ~df:(float_of_int df) t
+  in
+  { r; t_statistic = t; degrees_of_freedom = df; p_value = p; significant = p <= alpha }

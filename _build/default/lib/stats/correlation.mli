@@ -1,0 +1,27 @@
+(** Pearson correlation and its significance test.
+
+    The paper uses Pearson's r to quantify how much of the CPI variance a
+    microarchitectural event explains (r^2, the coefficient of
+    determination), and a Student t-test of the null hypothesis "there is no
+    correlation" to decide whether a benchmark is suitable for program
+    interferometry at p <= 0.05. *)
+
+val pearson_r : float array -> float array -> float
+(** Sample correlation coefficient; arrays must have equal length >= 2.
+    Returns 0 when either variable is constant. *)
+
+val r_squared : float array -> float array -> float
+(** Coefficient of determination of the simple regression of [y] on [x]. *)
+
+type t_test_result = {
+  r : float;
+  t_statistic : float;
+  degrees_of_freedom : int;
+  p_value : float;  (** two-sided *)
+  significant : bool;  (** at the level passed to [correlation_t_test] *)
+}
+
+val correlation_t_test : ?alpha:float -> float array -> float array -> t_test_result
+(** [correlation_t_test ~alpha xs ys] tests H0: rho = 0 using
+    t = r sqrt((n-2)/(1-r^2)) with n-2 degrees of freedom. [alpha]
+    defaults to 0.05 as in the paper. *)

@@ -1,0 +1,46 @@
+type t = { sample : float array; bandwidth : float }
+
+let silverman xs =
+  let n = Array.length xs in
+  if n < 2 then 1e-3
+  else
+    let sd = Descriptive.stddev xs in
+    let iqr = Descriptive.quantile xs 0.75 -. Descriptive.quantile xs 0.25 in
+    let spread =
+      if iqr > 0.0 then Float.min sd (iqr /. 1.34)
+      else if sd > 0.0 then sd
+      else 0.0
+    in
+    let h = 0.9 *. spread *. (float_of_int n ** -0.2) in
+    Float.max h 1e-6
+
+let fit ?bandwidth xs =
+  if Array.length xs = 0 then invalid_arg "Density.fit: empty sample";
+  let bandwidth =
+    match bandwidth with
+    | Some h when h > 0.0 -> h
+    | Some _ -> invalid_arg "Density.fit: bandwidth must be positive"
+    | None -> silverman xs
+  in
+  { sample = Array.copy xs; bandwidth }
+
+let bandwidth t = t.bandwidth
+
+let evaluate t x =
+  let h = t.bandwidth in
+  let n = float_of_int (Array.length t.sample) in
+  let acc = ref 0.0 in
+  Array.iter
+    (fun xi ->
+      let z = (x -. xi) /. h in
+      acc := !acc +. exp (-0.5 *. z *. z))
+    t.sample;
+  !acc /. (n *. h *. sqrt (2.0 *. Float.pi))
+
+let curve t ?(points = 101) ~lo ~hi () =
+  if points < 2 then invalid_arg "Density.curve: need >= 2 points";
+  if hi <= lo then invalid_arg "Density.curve: hi <= lo";
+  let step = (hi -. lo) /. float_of_int (points - 1) in
+  Array.init points (fun i ->
+      let x = lo +. (step *. float_of_int i) in
+      (x, evaluate t x))

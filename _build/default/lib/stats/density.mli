@@ -1,0 +1,19 @@
+(** Gaussian kernel density estimation, used to render the paper's Figure 1
+    violin plots (the width of the violin at a value is proportional to the
+    estimated probability density there). *)
+
+type t
+
+val fit : ?bandwidth:float -> float array -> t
+(** [fit xs] builds a KDE over the sample. The default bandwidth is
+    Silverman's rule of thumb, [0.9 * min(sd, iqr/1.34) * n^(-1/5)], with a
+    small positive floor so constant samples still render. *)
+
+val bandwidth : t -> float
+
+val evaluate : t -> float -> float
+(** Density estimate at a point. *)
+
+val curve : t -> ?points:int -> lo:float -> hi:float -> unit -> (float * float) array
+(** [curve t ~lo ~hi ()] samples the density on an evenly spaced grid,
+    returning [(x, density)] pairs. *)

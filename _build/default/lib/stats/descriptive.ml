@@ -1,0 +1,75 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty sample")
+
+let sum xs = Array.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  check_nonempty "Descriptive.mean" xs;
+  sum xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  if Array.length xs < 2 then invalid_arg "Descriptive.variance: need >= 2 points";
+  let m = mean xs in
+  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+  acc /. float_of_int (Array.length xs - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let quantile xs p =
+  check_nonempty "Descriptive.quantile" xs;
+  if p < 0.0 || p > 1.0 then invalid_arg "Descriptive.quantile: p out of [0,1]";
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  let h = p *. float_of_int (n - 1) in
+  let lo = int_of_float (floor h) in
+  let hi = min (lo + 1) (n - 1) in
+  let frac = h -. float_of_int lo in
+  ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
+
+let median xs = quantile xs 0.5
+
+let min_max xs =
+  check_nonempty "Descriptive.min_max" xs;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let percent_difference_from_mean xs =
+  let m = mean xs in
+  if Float.abs m < 1e-300 then invalid_arg "Descriptive.percent_difference_from_mean: zero mean";
+  Array.map (fun x -> 100.0 *. (x -. m) /. m) xs
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  max : float;
+}
+
+let summarize xs =
+  let lo, hi = min_max xs in
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = (if Array.length xs >= 2 then stddev xs else 0.0);
+    min = lo;
+    q1 = quantile xs 0.25;
+    median = median xs;
+    q3 = quantile xs 0.75;
+    max = hi;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.4g sd=%.4g min=%.4g q1=%.4g med=%.4g q3=%.4g max=%.4g"
+    s.n s.mean s.stddev s.min s.q1 s.median s.q3 s.max

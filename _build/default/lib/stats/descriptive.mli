@@ -1,0 +1,43 @@
+(** Descriptive statistics over float arrays.
+
+    All functions raise [Invalid_argument] on empty input (and on
+    too-short input where a sample variance is required). *)
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Unbiased sample variance (divides by [n - 1]); needs at least 2 points. *)
+
+val stddev : float array -> float
+
+val median : float array -> float
+(** Does not mutate its argument. Even-length arrays average the two
+    central order statistics. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs p] for [p] in [\[0,1\]], linear interpolation between order
+    statistics (type-7, the R default). *)
+
+val min_max : float array -> float * float
+
+val sum : float array -> float
+
+val percent_difference_from_mean : float array -> float array
+(** [percent_difference_from_mean xs] maps each observation to
+    [100 * (x - mean) / mean], the quantity plotted in the paper's Figure 1
+    violin plots. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

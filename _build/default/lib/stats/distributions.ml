@@ -1,0 +1,234 @@
+(* Special functions. References: Press et al., "Numerical Recipes", 3rd ed.,
+   sections 6.1-6.4; Acklam's inverse-normal note (2003). *)
+
+let rec log_gamma x =
+  if x <= 0.0 then invalid_arg "Distributions.log_gamma: nonpositive argument";
+  (* Lanczos, g = 7, n = 9. *)
+  let coefficients =
+    [|
+      0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+      771.32342877765313; -176.61502916214059; 12.507343278686905;
+      -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7;
+    |]
+  in
+  if x < 0.5 then
+    (* Reflection formula. *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma_positive (1.0 -. x) coefficients
+  else log_gamma_positive x coefficients
+
+and log_gamma_positive x coefficients =
+  let x = x -. 1.0 in
+  let acc = ref coefficients.(0) in
+  for i = 1 to 8 do
+    acc := !acc +. (coefficients.(i) /. (x +. float_of_int i))
+  done;
+  let t = x +. 7.5 in
+  (0.5 *. log (2.0 *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !acc
+
+(* Continued fraction for the incomplete beta function (NR betacf). *)
+let beta_continued_fraction ~a ~b ~x =
+  let fpmin = 1e-300 and eps = 3e-14 in
+  let qab = a +. b and qap = a +. 1.0 and qam = a -. 1.0 in
+  let c = ref 1.0 in
+  let d = ref (1.0 -. (qab *. x /. qap)) in
+  if Float.abs !d < fpmin then d := fpmin;
+  d := 1.0 /. !d;
+  let h = ref !d in
+  let m = ref 1 in
+  let continue = ref true in
+  while !continue && !m <= 300 do
+    let mf = float_of_int !m in
+    let m2 = 2.0 *. mf in
+    let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if Float.abs !d < fpmin then d := fpmin;
+    c := 1.0 +. (aa /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    h := !h *. !d *. !c;
+    let aa = -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if Float.abs !d < fpmin then d := fpmin;
+    c := 1.0 +. (aa /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if Float.abs (del -. 1.0) < eps then continue := false;
+    incr m
+  done;
+  !h
+
+let regularized_incomplete_beta ~a ~b ~x =
+  if a <= 0.0 || b <= 0.0 then invalid_arg "regularized_incomplete_beta: a,b must be positive";
+  if x < 0.0 || x > 1.0 then invalid_arg "regularized_incomplete_beta: x out of [0,1]";
+  if x = 0.0 then 0.0
+  else if x = 1.0 then 1.0
+  else
+    let front =
+      exp
+        (log_gamma (a +. b) -. log_gamma a -. log_gamma b
+        +. (a *. log x)
+        +. (b *. log (1.0 -. x)))
+    in
+    if x < (a +. 1.0) /. (a +. b +. 2.0) then front *. beta_continued_fraction ~a ~b ~x /. a
+    else 1.0 -. (front *. beta_continued_fraction ~a:b ~b:a ~x:(1.0 -. x) /. b)
+
+let regularized_lower_gamma ~a ~x =
+  if a <= 0.0 then invalid_arg "regularized_lower_gamma: a must be positive";
+  if x < 0.0 then invalid_arg "regularized_lower_gamma: x must be nonnegative";
+  if x = 0.0 then 0.0
+  else if x < a +. 1.0 then begin
+    (* Series representation. *)
+    let ap = ref a in
+    let sum = ref (1.0 /. a) in
+    let del = ref !sum in
+    let n = ref 0 in
+    while !n < 500 && Float.abs !del >= Float.abs !sum *. 3e-14 do
+      ap := !ap +. 1.0;
+      del := !del *. x /. !ap;
+      sum := !sum +. !del;
+      incr n
+    done;
+    !sum *. exp (-.x +. (a *. log x) -. log_gamma a)
+  end
+  else begin
+    (* Continued fraction for Q(a,x), then P = 1 - Q. *)
+    let fpmin = 1e-300 in
+    let b = ref (x +. 1.0 -. a) in
+    let c = ref (1.0 /. fpmin) in
+    let d = ref (1.0 /. !b) in
+    let h = ref !d in
+    let i = ref 1 in
+    let continue = ref true in
+    while !continue && !i <= 500 do
+      let fi = float_of_int !i in
+      let an = -.fi *. (fi -. a) in
+      b := !b +. 2.0;
+      d := (an *. !d) +. !b;
+      if Float.abs !d < fpmin then d := fpmin;
+      c := !b +. (an /. !c);
+      if Float.abs !c < fpmin then c := fpmin;
+      d := 1.0 /. !d;
+      let del = !d *. !c in
+      h := !h *. del;
+      if Float.abs (del -. 1.0) < 3e-14 then continue := false;
+      incr i
+    done;
+    1.0 -. (exp (-.x +. (a *. log x) -. log_gamma a) *. !h)
+  end
+
+module Normal = struct
+  let pdf ?(mean = 0.0) ?(sigma = 1.0) x =
+    let z = (x -. mean) /. sigma in
+    exp (-0.5 *. z *. z) /. (sigma *. sqrt (2.0 *. Float.pi))
+
+  (* erf via its relation to the regularized lower incomplete gamma. *)
+  let erf x =
+    let v = regularized_lower_gamma ~a:0.5 ~x:(x *. x) in
+    if x >= 0.0 then v else -.v
+
+  let cdf ?(mean = 0.0) ?(sigma = 1.0) x =
+    let z = (x -. mean) /. (sigma *. sqrt 2.0) in
+    0.5 *. (1.0 +. erf z)
+
+  (* Acklam's rational approximation to the inverse normal CDF. *)
+  let quantile_std p =
+    if p <= 0.0 || p >= 1.0 then invalid_arg "Normal.quantile: p out of (0,1)";
+    let a =
+      [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+         1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+    and b =
+      [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+         6.680131188771972e+01; -1.328068155288572e+01 |]
+    and c =
+      [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+         -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+    and d =
+      [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+         3.754408661907416e+00 |]
+    in
+    let p_low = 0.02425 in
+    let x =
+      if p < p_low then begin
+        let q = sqrt (-2.0 *. log p) in
+        (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q
+        +. c.(5)
+        |> fun num ->
+        num /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+      end
+      else if p <= 1.0 -. p_low then begin
+        let q = p -. 0.5 in
+        let r = q *. q in
+        (((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r
+        +. a.(5))
+        *. q
+        /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r
+           +. 1.0)
+      end
+      else begin
+        let q = sqrt (-2.0 *. log (1.0 -. p)) in
+        -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q
+           +. c.(5))
+        /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+      end
+    in
+    (* One Halley refinement step. *)
+    let e = cdf x -. p in
+    let u = e *. sqrt (2.0 *. Float.pi) *. exp (x *. x /. 2.0) in
+    x -. (u /. (1.0 +. (x *. u /. 2.0)))
+
+  let quantile ?(mean = 0.0) ?(sigma = 1.0) p = mean +. (sigma *. quantile_std p)
+end
+
+module Student_t = struct
+  let survival ~df t =
+    if df <= 0.0 then invalid_arg "Student_t: df must be positive";
+    let x = df /. (df +. (t *. t)) in
+    let tail = 0.5 *. regularized_incomplete_beta ~a:(df /. 2.0) ~b:0.5 ~x in
+    if t >= 0.0 then tail else 1.0 -. tail
+
+  let cdf ~df t = 1.0 -. survival ~df t
+
+  let two_sided_p ~df t = 2.0 *. survival ~df (Float.abs t)
+
+  let quantile ~df p =
+    if p <= 0.0 || p >= 1.0 then invalid_arg "Student_t.quantile: p out of (0,1)";
+    if p = 0.5 then 0.0
+    else begin
+      (* Start from the normal quantile, polish by bisection on the CDF.
+         The CDF is monotone, so plain bisection is robust for all df. *)
+      let target = p in
+      let guess = Normal.quantile target in
+      let rec widen lo hi =
+        if cdf ~df lo <= target && cdf ~df hi >= target then (lo, hi)
+        else widen (2.0 *. lo) (2.0 *. hi)
+      in
+      let lo0 = Float.min (guess -. 1.0) (-2.0) *. 4.0
+      and hi0 = Float.max (guess +. 1.0) 2.0 *. 4.0 in
+      let lo, hi = widen lo0 hi0 in
+      let rec bisect lo hi n =
+        if n = 0 then (lo +. hi) /. 2.0
+        else
+          let mid = (lo +. hi) /. 2.0 in
+          if cdf ~df mid < target then bisect mid hi (n - 1) else bisect lo mid (n - 1)
+      in
+      bisect lo hi 100
+    end
+end
+
+module F_dist = struct
+  let cdf ~df1 ~df2 x =
+    if df1 <= 0.0 || df2 <= 0.0 then invalid_arg "F_dist: dfs must be positive";
+    if x <= 0.0 then 0.0
+    else
+      regularized_incomplete_beta ~a:(df1 /. 2.0) ~b:(df2 /. 2.0)
+        ~x:(df1 *. x /. ((df1 *. x) +. df2))
+
+  let survival ~df1 ~df2 x = 1.0 -. cdf ~df1 ~df2 x
+end
+
+module Chi2 = struct
+  let cdf ~df x =
+    if x <= 0.0 then 0.0 else regularized_lower_gamma ~a:(df /. 2.0) ~x:(x /. 2.0)
+end

@@ -1,0 +1,50 @@
+(** Probability distributions used by the regression machinery.
+
+    We need the Student-t distribution for confidence/prediction intervals
+    and correlation t-tests, the F distribution for the multi-linear model's
+    significance test, and the normal distribution for noise modelling and
+    kernel density work. Everything is implemented from scratch on top of
+    the log-gamma function and the regularized incomplete beta/gamma
+    functions, so no external numerics dependency is required. *)
+
+val log_gamma : float -> float
+(** Lanczos approximation; accurate to ~1e-13 for positive arguments. *)
+
+val regularized_incomplete_beta : a:float -> b:float -> x:float -> float
+(** I_x(a,b) via the Lentz continued fraction; [x] in [\[0,1\]]. *)
+
+val regularized_lower_gamma : a:float -> x:float -> float
+(** P(a,x), series for small [x], continued fraction otherwise. *)
+
+module Normal : sig
+  val pdf : ?mean:float -> ?sigma:float -> float -> float
+  val cdf : ?mean:float -> ?sigma:float -> float -> float
+
+  val quantile : ?mean:float -> ?sigma:float -> float -> float
+  (** Acklam's rational approximation refined with one Halley step. *)
+end
+
+module Student_t : sig
+  val cdf : df:float -> float -> float
+
+  val survival : df:float -> float -> float
+  (** [survival ~df t] = 1 - cdf, computed without cancellation. *)
+
+  val quantile : df:float -> float -> float
+  (** Inverse CDF by bisection+Newton on [cdf]; used for the 95%
+      confidence/prediction interval multipliers. *)
+
+  val two_sided_p : df:float -> float -> float
+  (** p-value of a two-sided t-test given the observed statistic. *)
+end
+
+module F_dist : sig
+  val cdf : df1:float -> df2:float -> float -> float
+
+  val survival : df1:float -> df2:float -> float -> float
+  (** Upper tail; the p-value of an observed F statistic. *)
+end
+
+module Chi2 : sig
+  val cdf : df:float -> float -> float
+end

@@ -1,0 +1,89 @@
+type t = {
+  slope : float;
+  intercept : float;
+  n : int;
+  x_mean : float;
+  sxx : float;
+  residual_standard_error : float;
+  r : float;
+  r_squared : float;
+  slope_standard_error : float;
+  intercept_standard_error : float;
+}
+
+let fit xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Linreg.fit: length mismatch";
+  if n < 3 then invalid_arg "Linreg.fit: need >= 3 points";
+  let nf = float_of_int n in
+  let x_mean = Descriptive.mean xs and y_mean = Descriptive.mean ys in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. x_mean and dy = ys.(i) -. y_mean in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx <= 0.0 then invalid_arg "Linreg.fit: degenerate x (zero variance)";
+  let slope = !sxy /. !sxx in
+  let intercept = y_mean -. (slope *. x_mean) in
+  let ss_residual = Float.max 0.0 (!syy -. (slope *. !sxy)) in
+  let s = sqrt (ss_residual /. (nf -. 2.0)) in
+  let r = if !syy <= 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy) in
+  let slope_se = s /. sqrt !sxx in
+  let intercept_se = s *. sqrt ((1.0 /. nf) +. (x_mean *. x_mean /. !sxx)) in
+  {
+    slope;
+    intercept;
+    n;
+    x_mean;
+    sxx = !sxx;
+    residual_standard_error = s;
+    r;
+    r_squared = r *. r;
+    slope_standard_error = slope_se;
+    intercept_standard_error = intercept_se;
+  }
+
+let predict m x = (m.slope *. x) +. m.intercept
+
+type interval = { lower : float; estimate : float; upper : float }
+
+let t_multiplier ~level m =
+  if level <= 0.0 || level >= 1.0 then invalid_arg "Linreg: level out of (0,1)";
+  let df = float_of_int (m.n - 2) in
+  Distributions.Student_t.quantile ~df (1.0 -. ((1.0 -. level) /. 2.0))
+
+let mean_response_se m x0 =
+  let nf = float_of_int m.n in
+  let dx = x0 -. m.x_mean in
+  m.residual_standard_error *. sqrt ((1.0 /. nf) +. (dx *. dx /. m.sxx))
+
+let new_observation_se m x0 =
+  let nf = float_of_int m.n in
+  let dx = x0 -. m.x_mean in
+  m.residual_standard_error *. sqrt (1.0 +. (1.0 /. nf) +. (dx *. dx /. m.sxx))
+
+let interval_of ~half x0 m =
+  let estimate = predict m x0 in
+  { lower = estimate -. half; estimate; upper = estimate +. half }
+
+let confidence_interval ?(level = 0.95) m x0 =
+  let half = t_multiplier ~level m *. mean_response_se m x0 in
+  interval_of ~half x0 m
+
+let prediction_interval ?(level = 0.95) m x0 =
+  let half = t_multiplier ~level m *. new_observation_se m x0 in
+  interval_of ~half x0 m
+
+let slope_t_test ?(alpha = 0.05) m =
+  let df = float_of_int (m.n - 2) in
+  if m.slope_standard_error <= 0.0 then (0.0, true)
+  else
+    let t = m.slope /. m.slope_standard_error in
+    let p = Distributions.Student_t.two_sided_p ~df t in
+    (p, p <= alpha)
+
+let pp ppf m =
+  Format.fprintf ppf "y = %.5f x + %.5f  (n=%d, r=%.3f, r2=%.3f, s=%.4g)" m.slope
+    m.intercept m.n m.r m.r_squared m.residual_standard_error

@@ -1,0 +1,46 @@
+(** Simple least-squares linear regression with confidence and prediction
+    intervals.
+
+    This is the statistical core of program interferometry: for each
+    benchmark the paper fits [CPI = slope * MPKI + intercept] over ~100
+    code reorderings, then reads predictions off the line — e.g. the
+    y-intercept is the estimated CPI under perfect branch prediction — with
+    95% confidence intervals (for the line itself) and 95% prediction
+    intervals (for future observations). *)
+
+type t = {
+  slope : float;
+  intercept : float;
+  n : int;
+  x_mean : float;
+  sxx : float;  (** sum of squared x deviations *)
+  residual_standard_error : float;  (** s, with n-2 degrees of freedom *)
+  r : float;  (** Pearson correlation of the fitted data *)
+  r_squared : float;
+  slope_standard_error : float;
+  intercept_standard_error : float;
+}
+
+val fit : float array -> float array -> t
+(** [fit xs ys] fits [y = slope * x + intercept]. Requires >= 3 points and a
+    non-degenerate x range. *)
+
+val predict : t -> float -> float
+(** Point estimate on the regression line. *)
+
+type interval = { lower : float; estimate : float; upper : float }
+
+val confidence_interval : ?level:float -> t -> float -> interval
+(** [confidence_interval ~level model x0] bounds the *mean response* at
+    [x0]: the band that contains the true regression line with probability
+    [level] (default 0.95). *)
+
+val prediction_interval : ?level:float -> t -> float -> interval
+(** [prediction_interval ~level model x0] bounds a *future single
+    observation* at [x0]; always wider than the confidence interval. *)
+
+val slope_t_test : ?alpha:float -> t -> float * bool
+(** p-value and significance of H0: slope = 0 (equivalent to the
+    correlation t-test for simple regression). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,135 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: nonpositive dimension";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let rows m = m.rows
+let cols m = m.cols
+let index m i j = (i * m.cols) + j
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Matrix.get: out of bounds";
+  m.data.(index m i j)
+
+let set m i j v =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Matrix.set: out of bounds";
+  m.data.(index m i j) <- v
+
+let of_rows rs =
+  let nrows = Array.length rs in
+  if nrows = 0 then invalid_arg "Matrix.of_rows: empty";
+  let ncols = Array.length rs.(0) in
+  let m = create ~rows:nrows ~cols:ncols in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> ncols then invalid_arg "Matrix.of_rows: ragged rows";
+      Array.iteri (fun j v -> m.data.(index m i j) <- v) row)
+    rs;
+  m
+
+let identity n =
+  let m = create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    m.data.(index m i i) <- 1.0
+  done;
+  m
+
+let transpose m =
+  let r = create ~rows:m.cols ~cols:m.rows in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      r.data.(index r j i) <- m.data.(index m i j)
+    done
+  done;
+  r
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  let r = create ~rows:a.rows ~cols:b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.(index a i k) in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          r.data.(index r i j) <- r.data.(index r i j) +. (aik *. b.data.(index b k j))
+        done
+    done
+  done;
+  r
+
+let mul_vec a v =
+  if a.cols <> Array.length v then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init a.rows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to a.cols - 1 do
+        acc := !acc +. (a.data.(index a i j) *. v.(j))
+      done;
+      !acc)
+
+let cholesky a =
+  if a.rows <> a.cols then invalid_arg "Matrix.cholesky: not square";
+  let n = a.rows in
+  let l = create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s = ref (get a i j) in
+      for k = 0 to j - 1 do
+        s := !s -. (get l i k *. get l j k)
+      done;
+      if i = j then begin
+        if !s <= 0.0 then failwith "Matrix.cholesky: not positive definite";
+        set l i j (sqrt !s)
+      end
+      else set l i j (!s /. get l j j)
+    done
+  done;
+  l
+
+let solve_cholesky l b =
+  let n = l.rows in
+  if Array.length b <> n then invalid_arg "Matrix.solve_cholesky: dimension mismatch";
+  (* Forward substitution: L y = b. *)
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref b.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (get l i k *. y.(k))
+    done;
+    y.(i) <- !s /. get l i i
+  done;
+  (* Back substitution: L^T x = y. *)
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      s := !s -. (get l k i *. x.(k))
+    done;
+    x.(i) <- !s /. get l i i
+  done;
+  x
+
+let solve_spd a b = solve_cholesky (cholesky a) b
+
+let inverse_spd a =
+  let n = a.rows in
+  let l = cholesky a in
+  let inv = create ~rows:n ~cols:n in
+  for j = 0 to n - 1 do
+    let e = Array.make n 0.0 in
+    e.(j) <- 1.0;
+    let col = solve_cholesky l e in
+    for i = 0 to n - 1 do
+      set inv i j col.(i)
+    done
+  done;
+  inv
+
+let pp ppf m =
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.cols - 1 do
+      Format.fprintf ppf " %10.4g" (get m i j)
+    done;
+    Format.fprintf ppf " ]@."
+  done

@@ -1,0 +1,38 @@
+(** Small dense matrices for the multi-linear regression normal equations.
+
+    Row-major, sized at creation. Only the operations the statistics layer
+    needs are provided; this is not a general linear-algebra library. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero-filled. *)
+
+val of_rows : float array array -> t
+(** Copies; all rows must have equal length. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val identity : int -> t
+val transpose : t -> t
+val mul : t -> t -> t
+val mul_vec : t -> float array -> float array
+
+val cholesky : t -> t
+(** Lower-triangular L with L L^T = A for a symmetric positive-definite A.
+    Raises [Failure] if A is not positive definite. *)
+
+val solve_cholesky : t -> float array -> float array
+(** [solve_cholesky l b] solves [L L^T x = b] given the factor from
+    {!cholesky}. *)
+
+val solve_spd : t -> float array -> float array
+(** Solve [A x = b] for symmetric positive-definite A. *)
+
+val inverse_spd : t -> t
+(** Inverse of a symmetric positive-definite matrix via Cholesky. *)
+
+val pp : Format.formatter -> t -> unit

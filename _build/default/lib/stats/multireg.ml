@@ -1,0 +1,104 @@
+type t = {
+  coefficients : float array;
+  intercept : float;
+  n : int;
+  k : int;
+  r_squared : float;
+  adjusted_r_squared : float;
+  residual_standard_error : float;
+  f_statistic : float;
+  f_p_value : float;
+  coefficient_standard_errors : float array;
+}
+
+let fit xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Multireg.fit: length mismatch";
+  if n = 0 then invalid_arg "Multireg.fit: empty";
+  let k = Array.length xs.(0) in
+  if k = 0 then invalid_arg "Multireg.fit: no predictors";
+  if n <= k + 1 then invalid_arg "Multireg.fit: need n > k + 1";
+  (* Design matrix with leading intercept column. *)
+  let design =
+    Matrix.of_rows
+      (Array.map
+         (fun row ->
+           if Array.length row <> k then invalid_arg "Multireg.fit: ragged predictors";
+           Array.append [| 1.0 |] row)
+         xs)
+  in
+  let xt = Matrix.transpose design in
+  let xtx = Matrix.mul xt design in
+  let xty = Matrix.mul_vec xt ys in
+  (* Tiny ridge for numerical robustness when predictors are collinear in a
+     degenerate sample; it does not measurably bias well-posed fits. *)
+  let p = k + 1 in
+  for i = 0 to p - 1 do
+    Matrix.set xtx i i (Matrix.get xtx i i *. (1.0 +. 1e-12))
+  done;
+  let beta = Matrix.solve_spd xtx xty in
+  let predict_row row =
+    let acc = ref beta.(0) in
+    for j = 0 to k - 1 do
+      acc := !acc +. (beta.(j + 1) *. row.(j))
+    done;
+    !acc
+  in
+  let y_mean = Descriptive.mean ys in
+  let ss_total = ref 0.0 and ss_residual = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dy = ys.(i) -. y_mean in
+    ss_total := !ss_total +. (dy *. dy);
+    let e = ys.(i) -. predict_row xs.(i) in
+    ss_residual := !ss_residual +. (e *. e)
+  done;
+  let df_residual = n - k - 1 in
+  let r2 = if !ss_total <= 0.0 then 0.0 else 1.0 -. (!ss_residual /. !ss_total) in
+  let r2 = Float.max 0.0 r2 in
+  let adj_r2 =
+    1.0 -. ((1.0 -. r2) *. float_of_int (n - 1) /. float_of_int df_residual)
+  in
+  let mse = !ss_residual /. float_of_int df_residual in
+  let f =
+    if !ss_residual <= 1e-300 then infinity
+    else (!ss_total -. !ss_residual) /. float_of_int k /. mse
+  in
+  let f_p =
+    if not (Float.is_finite f) then 0.0
+    else if f <= 0.0 then 1.0
+    else
+      Distributions.F_dist.survival ~df1:(float_of_int k)
+        ~df2:(float_of_int df_residual) f
+  in
+  let xtx_inv = Matrix.inverse_spd xtx in
+  let ses =
+    Array.init k (fun j -> sqrt (Float.max 0.0 (mse *. Matrix.get xtx_inv (j + 1) (j + 1))))
+  in
+  {
+    coefficients = Array.sub beta 1 k;
+    intercept = beta.(0);
+    n;
+    k;
+    r_squared = r2;
+    adjusted_r_squared = adj_r2;
+    residual_standard_error = sqrt mse;
+    f_statistic = f;
+    f_p_value = f_p;
+    coefficient_standard_errors = ses;
+  }
+
+let predict m row =
+  if Array.length row <> m.k then invalid_arg "Multireg.predict: wrong arity";
+  let acc = ref m.intercept in
+  for j = 0 to m.k - 1 do
+    acc := !acc +. (m.coefficients.(j) *. row.(j))
+  done;
+  !acc
+
+let significant ?(alpha = 0.05) m = m.f_p_value <= alpha
+
+let pp ppf m =
+  Format.fprintf ppf "y = %.5f" m.intercept;
+  Array.iteri (fun j c -> Format.fprintf ppf " + %.5f x%d" c (j + 1)) m.coefficients;
+  Format.fprintf ppf "  (n=%d, R2=%.3f, F=%.3g, p=%.3g)" m.n m.r_squared m.f_statistic
+    m.f_p_value

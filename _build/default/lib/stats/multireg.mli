@@ -1,0 +1,31 @@
+(** Multiple linear regression with an overall F-test.
+
+    The paper's "combined model" regresses CPI on branch MPKI, L1
+    instruction-cache MPKI and L2 MPKI simultaneously, and judges its
+    significance with the F-test (the t-test only applies to single-variable
+    models). *)
+
+type t = {
+  coefficients : float array;  (** beta_1 .. beta_k, one per predictor *)
+  intercept : float;
+  n : int;
+  k : int;  (** number of predictors *)
+  r_squared : float;
+  adjusted_r_squared : float;
+  residual_standard_error : float;
+  f_statistic : float;
+  f_p_value : float;  (** of H0: all coefficients are 0 *)
+  coefficient_standard_errors : float array;
+}
+
+val fit : float array array -> float array -> t
+(** [fit xs ys]: [xs.(i)] is the predictor row for observation [i]. Requires
+    [n > k + 1] and a well-conditioned design (raises [Failure] via Cholesky
+    otherwise). *)
+
+val predict : t -> float array -> float
+
+val significant : ?alpha:float -> t -> bool
+(** F-test at [alpha] (default 0.05). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare xs.(i) xs.(j)) order;
+  let result = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    (* Find the tie run [i, j). *)
+    let j = ref (!i + 1) in
+    while !j < n && xs.(order.(!j)) = xs.(order.(!i)) do
+      incr j
+    done;
+    let mean_rank = float_of_int (!i + !j + 1) /. 2.0 in
+    for k = !i to !j - 1 do
+      result.(order.(k)) <- mean_rank
+    done;
+    i := !j
+  done;
+  result
+
+let spearman_rho xs ys =
+  if Array.length xs <> Array.length ys then invalid_arg "Rank.spearman_rho: length mismatch";
+  Correlation.pearson_r (ranks xs) (ranks ys)
+
+let spearman_test ?alpha xs ys = Correlation.correlation_t_test ?alpha (ranks xs) (ranks ys)
+
+type anova = {
+  f_statistic : float;
+  df_between : int;
+  df_within : int;
+  p_value : float;
+}
+
+let one_way_anova groups =
+  let k = Array.length groups in
+  if k < 2 then invalid_arg "Rank.one_way_anova: need >= 2 groups";
+  Array.iter
+    (fun g -> if Array.length g < 2 then invalid_arg "Rank.one_way_anova: group too small")
+    groups;
+  let n = Array.fold_left (fun acc g -> acc + Array.length g) 0 groups in
+  let grand_mean =
+    Array.fold_left (fun acc g -> acc +. Descriptive.sum g) 0.0 groups /. float_of_int n
+  in
+  let ss_between =
+    Array.fold_left
+      (fun acc g ->
+        let d = Descriptive.mean g -. grand_mean in
+        acc +. (float_of_int (Array.length g) *. d *. d))
+      0.0 groups
+  in
+  let ss_within =
+    Array.fold_left
+      (fun acc g ->
+        let m = Descriptive.mean g in
+        acc +. Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 g)
+      0.0 groups
+  in
+  let df_between = k - 1 and df_within = n - k in
+  let f =
+    if ss_within <= 1e-300 then infinity
+    else ss_between /. float_of_int df_between /. (ss_within /. float_of_int df_within)
+  in
+  let p_value =
+    if not (Float.is_finite f) then 0.0
+    else
+      Distributions.F_dist.survival ~df1:(float_of_int df_between)
+        ~df2:(float_of_int df_within) f
+  in
+  { f_statistic = f; df_between; df_within; p_value }

@@ -1,0 +1,29 @@
+(** Rank-based statistics: robustness companions to Pearson/OLS.
+
+    Spearman's rho answers "is the CPI~MPKI relation monotone?" without the
+    linearity assumption the paper verifies by simulation; comparing it
+    with Pearson's r is a quick sanity check that outlier layouts are not
+    manufacturing the correlation. The one-way ANOVA F-test supports
+    experiments that compare groups of layouts (e.g. bump vs randomized
+    heap). *)
+
+val ranks : float array -> float array
+(** Average ranks (1-based); ties share the mean of their rank span. *)
+
+val spearman_rho : float array -> float array -> float
+(** Pearson correlation of the rank vectors. *)
+
+val spearman_test : ?alpha:float -> float array -> float array -> Correlation.t_test_result
+(** t-test on rho with n-2 degrees of freedom (the usual large-sample
+    approximation). *)
+
+type anova = {
+  f_statistic : float;
+  df_between : int;
+  df_within : int;
+  p_value : float;
+}
+
+val one_way_anova : float array array -> anova
+(** [one_way_anova groups] tests H0: all group means equal. Needs >= 2
+    groups, each with >= 2 observations. *)

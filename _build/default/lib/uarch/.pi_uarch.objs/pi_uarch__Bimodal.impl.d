@@ -1,0 +1,1 @@
+lib/uarch/bimodal.ml: Predictor Printf

@@ -1,0 +1,1 @@
+lib/uarch/bimodal.mli: Predictor

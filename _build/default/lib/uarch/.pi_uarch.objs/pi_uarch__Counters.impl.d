@@ -1,0 +1,1 @@
+lib/uarch/counters.ml: Float List Pi_stats Pipeline

@@ -1,0 +1,1 @@
+lib/uarch/gas.ml: Hybrid Predictor Printf

@@ -1,0 +1,1 @@
+lib/uarch/indirect.ml: Array Btb Predictor Printf

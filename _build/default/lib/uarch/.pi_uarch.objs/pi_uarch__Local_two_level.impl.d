@@ -1,0 +1,1 @@
+lib/uarch/local_two_level.ml: Array Predictor Printf

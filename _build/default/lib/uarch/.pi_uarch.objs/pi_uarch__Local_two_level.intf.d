@@ -1,0 +1,1 @@
+lib/uarch/local_two_level.mli: Predictor

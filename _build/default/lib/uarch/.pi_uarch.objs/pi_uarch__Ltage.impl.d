@@ -1,0 +1,1 @@
+lib/uarch/ltage.ml: Array Bytes Char Float Pi_stats Predictor

@@ -1,0 +1,1 @@
+lib/uarch/machine.ml: Cache Hybrid Indirect Perfect Pipeline Trace_cache

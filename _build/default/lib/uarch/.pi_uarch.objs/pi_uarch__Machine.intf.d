@@ -1,0 +1,1 @@
+lib/uarch/machine.mli: Indirect Pi_isa Pi_layout Pipeline Predictor Trace_cache

@@ -1,0 +1,1 @@
+lib/uarch/perceptron.ml: Array Predictor Printf

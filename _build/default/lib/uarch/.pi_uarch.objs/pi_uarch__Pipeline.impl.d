@@ -1,0 +1,1 @@
+lib/uarch/pipeline.ml: Array Cache Indirect List Option Pi_isa Pi_layout Predictor Prefetcher Trace_cache

@@ -1,0 +1,1 @@
+lib/uarch/pipeline.mli: Cache Indirect Pi_isa Pi_layout Predictor Trace_cache

@@ -1,0 +1,1 @@
+lib/uarch/sweep.ml: Array Bimodal Float Gas Gshare Hybrid List Ltage Machine Perfect Pi_stats Pipeline Printf

@@ -1,0 +1,1 @@
+lib/uarch/sweep.mli: Pi_isa Pi_layout Pi_stats Pipeline Predictor

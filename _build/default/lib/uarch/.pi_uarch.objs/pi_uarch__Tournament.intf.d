@@ -1,0 +1,1 @@
+lib/uarch/tournament.mli: Predictor

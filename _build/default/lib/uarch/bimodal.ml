@@ -1,0 +1,17 @@
+let size_bytes ~entries_log2 = (1 lsl entries_log2) * 2 / 8
+
+let create ~entries_log2 =
+  if entries_log2 < 4 || entries_log2 > 24 then invalid_arg "Bimodal.create: entries_log2 out of [4,24]";
+  let table = Predictor.Counter_table.create ~entries:(1 lsl entries_log2) in
+  let on_branch ~pc ~taken =
+    let index = Predictor.hash_pc pc in
+    let prediction = Predictor.Counter_table.predict table index in
+    Predictor.Counter_table.update table index taken;
+    prediction = taken
+  in
+  {
+    Predictor.name = Printf.sprintf "bimodal-%dKB" (size_bytes ~entries_log2 / 1024);
+    on_branch;
+    reset = (fun () -> Predictor.Counter_table.reset table);
+    storage_bits = (1 lsl entries_log2) * 2;
+  }

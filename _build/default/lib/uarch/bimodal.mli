@@ -1,0 +1,8 @@
+(** Bimodal branch predictor (Smith 1981): a table of two-bit saturating
+    counters indexed by branch address. Captures per-branch bias and nothing
+    else, so it is the floor most hybrid designs fall back on. *)
+
+val create : entries_log2:int -> Predictor.t
+(** [entries_log2] in [\[4, 24\]]; storage is [2^entries_log2 * 2] bits. *)
+
+val size_bytes : entries_log2:int -> int

@@ -1,0 +1,17 @@
+(** Branch target buffer: a tagged set-associative cache of branch targets
+    used for indirect jumps and calls. A lookup that misses, or hits with a
+    stale target, redirects the front end just like a direction
+    misprediction. Indexing uses low PC bits, so code placement perturbs
+    BTB conflicts exactly as it perturbs the direction predictor. *)
+
+type t
+
+val create : sets:int -> ways:int -> t
+(** [sets] must be a power of two. *)
+
+val lookup_update : t -> pc:int -> target:int -> bool
+(** True iff the BTB held the correct target for [pc]; the entry is
+    updated/allocated (LRU) either way. *)
+
+val reset : t -> unit
+val storage_bits : t -> int

@@ -1,0 +1,107 @@
+type geometry = { size_bytes : int; assoc : int; line_bytes : int }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let geometry_sets g =
+  if g.size_bytes <= 0 || g.assoc <= 0 || g.line_bytes <= 0 then
+    invalid_arg "Cache.geometry_sets: nonpositive geometry";
+  if not (is_pow2 g.line_bytes) then invalid_arg "Cache.geometry_sets: line size not a power of two";
+  let sets = g.size_bytes / (g.assoc * g.line_bytes) in
+  if sets * g.assoc * g.line_bytes <> g.size_bytes then
+    invalid_arg "Cache.geometry_sets: size not divisible by assoc * line";
+  if not (is_pow2 sets) then invalid_arg "Cache.geometry_sets: set count not a power of two";
+  sets
+
+type t = {
+  geometry : geometry;
+  sets : int;
+  line_shift : int;
+  tags : int array;  (** [set * assoc + way], LRU order per set; -1 invalid *)
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let log2_exact n =
+  let rec go k v = if v = 1 then k else go (k + 1) (v lsr 1) in
+  go 0 n
+
+let create g =
+  let sets = geometry_sets g in
+  {
+    geometry = g;
+    sets;
+    line_shift = log2_exact g.line_bytes;
+    tags = Array.make (sets * g.assoc) (-1);
+    accesses = 0;
+    misses = 0;
+  }
+
+let geometry t = t.geometry
+
+let find_way t base tag =
+  let ways = t.geometry.assoc in
+  let rec go way = if way >= ways then -1 else if t.tags.(base + way) = tag then way else go (way + 1) in
+  go 0
+
+let promote t base way tag =
+  (* Shift ways [0, way) down one and install [tag] as MRU. *)
+  let rec shift w =
+    if w > 0 then begin
+      t.tags.(base + w) <- t.tags.(base + w - 1);
+      shift (w - 1)
+    end
+  in
+  shift way;
+  t.tags.(base) <- tag
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  let line = addr lsr t.line_shift in
+  let set = line land (t.sets - 1) in
+  let tag = line lsr 0 in
+  let base = set * t.geometry.assoc in
+  let way = find_way t base tag in
+  if way >= 0 then begin
+    promote t base way tag;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    promote t base (t.geometry.assoc - 1) tag;
+    false
+  end
+
+let probe t addr =
+  let line = addr lsr t.line_shift in
+  let set = line land (t.sets - 1) in
+  let base = set * t.geometry.assoc in
+  find_way t base line >= 0
+
+let touch t addr = ignore (access t addr)
+
+let fill t addr =
+  let line = addr lsr t.line_shift in
+  let set = line land (t.sets - 1) in
+  let base = set * t.geometry.assoc in
+  let way = find_way t base line in
+  promote t base (if way >= 0 then way else t.geometry.assoc - 1) line
+
+let access_range t ~addr ~bytes =
+  if bytes <= 0 then 0
+  else begin
+    let first = addr lsr t.line_shift in
+    let last = (addr + bytes - 1) lsr t.line_shift in
+    let misses = ref 0 in
+    for line = first to last do
+      if not (access t (line lsl t.line_shift)) then incr misses
+    done;
+    !misses
+  end
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  t.accesses <- 0;
+  t.misses <- 0
+
+let accesses t = t.accesses
+let misses t = t.misses

@@ -1,0 +1,130 @@
+module Rng = Pi_stats.Rng
+
+type noise = {
+  cycle_sigma : float;
+  spike_probability : float;
+  spike_scale : float;
+  event_sigma : float;
+  os_events_per_run : float;
+}
+
+let default_noise =
+  {
+    cycle_sigma = 0.0008;
+    spike_probability = 0.08;
+    spike_scale = 0.02;
+    event_sigma = 0.001;
+    os_events_per_run = 900.0;
+  }
+
+let no_noise =
+  {
+    cycle_sigma = 0.0;
+    spike_probability = 0.0;
+    spike_scale = 0.0;
+    event_sigma = 0.0;
+    os_events_per_run = 0.0;
+  }
+
+type measurement = {
+  cpi : float;
+  mpki : float;
+  l1i_mpki : float;
+  l1d_mpki : float;
+  l2_mpki : float;
+  cycles : float;
+  instructions : float;
+  mispredicts : float;
+  l1i_misses : float;
+  l1d_misses : float;
+  l2_misses : float;
+}
+
+let of_readings ~cycles ~instructions ~mispredicts ~l1i_misses ~l1d_misses ~l2_misses =
+  let per_kilo x = if instructions <= 0.0 then 0.0 else 1000.0 *. x /. instructions in
+  {
+    cpi = (if instructions <= 0.0 then 0.0 else cycles /. instructions);
+    mpki = per_kilo mispredicts;
+    l1i_mpki = per_kilo l1i_misses;
+    l1d_mpki = per_kilo l1d_misses;
+    l2_mpki = per_kilo l2_misses;
+    cycles;
+    instructions;
+    mispredicts;
+    l1i_misses;
+    l1d_misses;
+    l2_misses;
+  }
+
+let ideal (c : Pipeline.counts) =
+  of_readings ~cycles:c.Pipeline.cycles
+    ~instructions:(float_of_int c.Pipeline.instructions)
+    ~mispredicts:(float_of_int (Pipeline.mispredicts c))
+    ~l1i_misses:(float_of_int c.Pipeline.l1i_misses)
+    ~l1d_misses:(float_of_int c.Pipeline.l1d_misses)
+    ~l2_misses:(float_of_int c.Pipeline.l2_misses)
+
+(* One noisy run: returns (cycles, noisy event readings). Retired
+   instructions are exact — the run-length instrumentation guarantees the
+   user-mode instruction count. *)
+type run_reading = {
+  r_cycles : float;
+  r_mispredicts : float;
+  r_l1i : float;
+  r_l1d : float;
+  r_l2 : float;
+}
+
+let noisy_run noise rng (c : Pipeline.counts) =
+  let spike =
+    if Rng.bernoulli rng noise.spike_probability then
+      Rng.exponential rng ~mean:(noise.spike_scale *. c.Pipeline.cycles)
+    else 0.0
+  in
+  let cycles =
+    c.Pipeline.cycles *. (1.0 +. (noise.cycle_sigma *. Rng.gaussian rng)) +. spike
+  in
+  let event true_count os_share =
+    let v = float_of_int true_count in
+    let jitter = noise.event_sigma *. v *. Rng.gaussian rng in
+    let os = noise.os_events_per_run *. os_share *. (1.0 +. (0.3 *. Rng.gaussian rng)) in
+    let spill = if spike > 0.0 then spike /. 400.0 *. os_share else 0.0 in
+    Float.max 0.0 (v +. jitter +. os +. spill)
+  in
+  {
+    r_cycles = Float.max 0.0 cycles;
+    r_mispredicts = event (Pipeline.mispredicts c) 0.08;
+    r_l1i = event c.Pipeline.l1i_misses 0.5;
+    r_l1d = event c.Pipeline.l1d_misses 0.8;
+    r_l2 = event c.Pipeline.l2_misses 0.25;
+  }
+
+let median_by_cycles readings =
+  let sorted = List.sort (fun a b -> compare a.r_cycles b.r_cycles) readings in
+  List.nth sorted (List.length sorted / 2)
+
+let measure ?(noise = default_noise) ?(runs_per_group = 5) ~seed (c : Pipeline.counts) =
+  if runs_per_group < 1 then invalid_arg "Counters.measure: runs_per_group < 1";
+  let rng = Rng.create seed in
+  let group name =
+    let stream = Rng.named_stream rng name in
+    median_by_cycles
+      (List.init runs_per_group (fun _ -> noisy_run noise stream c))
+  in
+  (* Group 1: mispredicted branches + retired instructions (+cycles).
+     Group 2: L1I misses + L2 misses. Group 3: L1D misses + spare. *)
+  let g1 = group "group-branch" in
+  let g2 = group "group-l1i-l2" in
+  let g3 = group "group-l1d" in
+  of_readings ~cycles:g1.r_cycles
+    ~instructions:(float_of_int c.Pipeline.instructions)
+    ~mispredicts:g1.r_mispredicts ~l1i_misses:g2.r_l1i ~l1d_misses:g3.r_l1d
+    ~l2_misses:g2.r_l2
+
+let measure_single_run ?(noise = default_noise) ~seed (c : Pipeline.counts) =
+  let rng = Rng.create seed in
+  let r = noisy_run noise rng c in
+  of_readings ~cycles:r.r_cycles
+    ~instructions:(float_of_int c.Pipeline.instructions)
+    ~mispredicts:r.r_mispredicts ~l1i_misses:r.r_l1i ~l1d_misses:r.r_l1d
+    ~l2_misses:r.r_l2

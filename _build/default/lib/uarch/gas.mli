@@ -1,0 +1,16 @@
+(** GAs two-level adaptive predictor (Yeh & Patt 1991).
+
+    A single global history register selects among [2^history_bits] pattern
+    table columns; the remaining index bits come from the branch address
+    (gselect-style concatenation). This is the family the paper sweeps from
+    2KB to 16KB in its Figure 7/8 hardware-budget study, and one half of the
+    reverse-engineered Intel Xeon hybrid. *)
+
+val create : entries_log2:int -> history_bits:int -> Predictor.t
+(** [1 <= history_bits < entries_log2 <= 24]; address bits used =
+    [entries_log2 - history_bits]. *)
+
+val sized_kb : kb:int -> Predictor.t
+(** The paper's named configurations: [kb] in {2,4,8,16} gives a GAs
+    predictor with a [kb]KB pattern table and a history length that grows
+    with the budget. *)

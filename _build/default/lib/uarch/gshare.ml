@@ -1,0 +1,23 @@
+let create ~entries_log2 ~history_bits =
+  if entries_log2 < 4 || entries_log2 > 24 then invalid_arg "Gshare.create: entries_log2 out of [4,24]";
+  if history_bits < 1 || history_bits > entries_log2 then
+    invalid_arg "Gshare.create: history_bits out of [1, entries_log2]";
+  let table = Predictor.Counter_table.create ~entries:(1 lsl entries_log2) in
+  let history = ref 0 in
+  let history_mask = (1 lsl history_bits) - 1 in
+  let on_branch ~pc ~taken =
+    let index = Predictor.hash_pc pc lxor !history in
+    let prediction = Predictor.Counter_table.predict table index in
+    Predictor.Counter_table.update table index taken;
+    history := ((!history lsl 1) lor (if taken then 1 else 0)) land history_mask;
+    prediction = taken
+  in
+  {
+    Predictor.name = Printf.sprintf "gshare-%d/%d" entries_log2 history_bits;
+    on_branch;
+    reset =
+      (fun () ->
+        Predictor.Counter_table.reset table;
+        history := 0);
+    storage_bits = ((1 lsl entries_log2) * 2) + history_bits;
+  }

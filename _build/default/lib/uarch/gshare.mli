@@ -1,0 +1,7 @@
+(** Gshare predictor (McFarling): a counter table indexed by the XOR of the
+    branch address and the global branch-history register. History lets it
+    predict patterns and correlations; the XOR also makes it the most
+    layout-alias-sensitive of the classic designs. *)
+
+val create : entries_log2:int -> history_bits:int -> Predictor.t
+(** [history_bits <= entries_log2 <= 24]. *)

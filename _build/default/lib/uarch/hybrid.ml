@@ -1,0 +1,60 @@
+module Ct = Predictor.Counter_table
+
+let create ?name ~gas_entries_log2 ~gas_history_bits ~bimodal_entries_log2
+    ~chooser_entries_log2 () =
+  if gas_history_bits < 1 || gas_history_bits >= gas_entries_log2 then
+    invalid_arg "Hybrid.create: bad GAs geometry";
+  let gas_table = Ct.create ~entries:(1 lsl gas_entries_log2) in
+  let bimodal_table = Ct.create ~entries:(1 lsl bimodal_entries_log2) in
+  let chooser = Ct.create ~entries:(1 lsl chooser_entries_log2) in
+  let history = ref 0 in
+  let history_mask = (1 lsl gas_history_bits) - 1 in
+  let gas_index_mask = (1 lsl gas_entries_log2) - 1 in
+  let on_branch ~pc ~taken =
+    let hashed = Predictor.hash_pc pc in
+    (* Global-history component with XOR (gshare-style) indexing: every
+       branch address bit participates, so code placement perturbs the
+       aliasing pattern across the whole table. *)
+    let gas_index = (hashed lxor !history) land gas_index_mask in
+    let gas_prediction = Ct.predict gas_table gas_index in
+    let bimodal_prediction = Ct.predict bimodal_table hashed in
+    (* Chooser >= 2 selects the history-based component. *)
+    let use_gas = Ct.predict chooser hashed in
+    let prediction = if use_gas then gas_prediction else bimodal_prediction in
+    Ct.update gas_table gas_index taken;
+    Ct.update bimodal_table hashed taken;
+    if gas_prediction <> bimodal_prediction then
+      Ct.update chooser hashed (gas_prediction = taken);
+    history := ((!history lsl 1) lor (if taken then 1 else 0)) land history_mask;
+    prediction = taken
+  in
+  let storage_bits =
+    ((1 lsl gas_entries_log2) * 2)
+    + ((1 lsl bimodal_entries_log2) * 2)
+    + ((1 lsl chooser_entries_log2) * 2)
+    + gas_history_bits
+  in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        Printf.sprintf "hybrid-gas%d/%d+bim%d" gas_entries_log2 gas_history_bits
+          bimodal_entries_log2
+  in
+  {
+    Predictor.name;
+    on_branch;
+    reset =
+      (fun () ->
+        Ct.reset gas_table;
+        Ct.reset bimodal_table;
+        Ct.reset chooser;
+        history := 0);
+    storage_bits;
+  }
+
+let xeon_like () =
+  (* A mid-2000s-scale hybrid: 4K-entry global component with 9 history
+     bits, 2K-entry bimodal, 2K-entry chooser (~2KB total). *)
+  create ~name:"real (Xeon-like hybrid)" ~gas_entries_log2:12 ~gas_history_bits:9
+    ~bimodal_entries_log2:11 ~chooser_entries_log2:11 ()

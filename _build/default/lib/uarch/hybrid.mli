@@ -1,0 +1,18 @@
+(** Hybrid predictor: GAs + bimodal with a chooser (Evers/Chang/Patt-style
+    tournament). The paper's reverse-engineering experiments suggest the
+    Intel Xeon E5440 uses such a hybrid; this is the model standing in for
+    the "real branch predictor" in all hardware measurements. *)
+
+val create :
+  ?name:string ->
+  gas_entries_log2:int ->
+  gas_history_bits:int ->
+  bimodal_entries_log2:int ->
+  chooser_entries_log2:int ->
+  unit ->
+  Predictor.t
+
+val xeon_like : unit -> Predictor.t
+(** The default "Intel Xeon E5440" stand-in: a mid-2000s-scale hybrid —
+    4K-entry global component with 9 history bits (gshare-style indexing),
+    2K-entry bimodal, 2K-entry chooser (~2KB total). *)

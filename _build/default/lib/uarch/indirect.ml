@@ -1,0 +1,109 @@
+type t = {
+  name : string;
+  on_indirect : pc:int -> target:int -> bool;
+  reset : unit -> unit;
+  storage_bits : int;
+}
+
+let btb ?(sets = 512) ?(ways = 4) () =
+  let table = Btb.create ~sets ~ways in
+  {
+    name = Printf.sprintf "btb-%dx%d" sets ways;
+    on_indirect = (fun ~pc ~target -> Btb.lookup_update table ~pc ~target);
+    reset = (fun () -> Btb.reset table);
+    storage_bits = Btb.storage_bits table;
+  }
+
+type ittage_entry = { mutable tag : int; mutable target : int; mutable confidence : int }
+
+let ittage ?(n_tables = 4) ?(entries_log2 = 9) ?(max_history = 32) () =
+  if n_tables < 1 then invalid_arg "Indirect.ittage: n_tables < 1";
+  let base = Btb.create ~sets:256 ~ways:4 in
+  let entries = 1 lsl entries_log2 in
+  let tables =
+    Array.init n_tables (fun _ ->
+        Array.init entries (fun _ -> { tag = -1; target = 0; confidence = 0 }))
+  in
+  (* Geometric history lengths in *target-history hashes*, shortest first. *)
+  let lengths =
+    Array.init n_tables (fun i ->
+        let ratio = float_of_int max_history /. 2.0 in
+        int_of_float (2.0 *. (ratio ** (float_of_int i /. float_of_int (max 1 (n_tables - 1))))))
+  in
+  (* Path history: a rolling hash of recent indirect targets, with one
+     folded variant per table length (short lengths shift out old targets
+     faster). *)
+  let path = Array.make n_tables 0 in
+  let index_of i pc =
+    (Predictor.hash_pc pc lxor path.(i) lxor (path.(i) lsr entries_log2)) land (entries - 1)
+  in
+  let tag_of i pc = (Predictor.hash_pc pc lxor (path.(i) lsl 1)) land 0xFFF in
+  let on_indirect ~pc ~target =
+    (* Longest matching tagged component wins; fall back to the BTB. *)
+    let provider = ref (-1) in
+    for i = n_tables - 1 downto 0 do
+      if !provider = -1 && tables.(i).(index_of i pc).tag = tag_of i pc then provider := i
+    done;
+    let predicted_target =
+      if !provider >= 0 then Some tables.(!provider).(index_of !provider pc).target else None
+    in
+    let base_correct = Btb.lookup_update base ~pc ~target in
+    let correct =
+      match predicted_target with Some t -> t = target | None -> base_correct
+    in
+    (* Update provider. *)
+    (if !provider >= 0 then begin
+       let e = tables.(!provider).(index_of !provider pc) in
+       if e.target = target then e.confidence <- min 3 (e.confidence + 1)
+       else if e.confidence > 0 then e.confidence <- e.confidence - 1
+       else e.target <- target
+     end);
+    (* Allocate in a longer table on a wrong prediction. *)
+    if not correct then begin
+      let start = !provider + 1 in
+      let allocated = ref false in
+      let i = ref start in
+      while (not !allocated) && !i < n_tables do
+        let e = tables.(!i).(index_of !i pc) in
+        if e.confidence = 0 then begin
+          e.tag <- tag_of !i pc;
+          e.target <- target;
+          e.confidence <- 1;
+          allocated := true
+        end
+        else e.confidence <- e.confidence - 1;
+        incr i
+      done
+    end;
+    (* Advance the path history: fold the new target in, per length. *)
+    Array.iteri
+      (fun i len ->
+        let shift = max 1 (16 / max 1 len) in
+        path.(i) <- ((path.(i) lsl shift) lxor (target lsr 4)) land 0xFFFFF)
+      lengths;
+    correct
+  in
+  let reset () =
+    Btb.reset base;
+    Array.iter
+      (Array.iter (fun e ->
+           e.tag <- -1;
+           e.target <- 0;
+           e.confidence <- 0))
+      tables;
+    Array.fill path 0 n_tables 0
+  in
+  {
+    name = Printf.sprintf "ittage-%dx%d" n_tables entries;
+    on_indirect;
+    reset;
+    storage_bits = Btb.storage_bits base + (n_tables * entries * (12 + 32 + 2));
+  }
+
+let oracle () =
+  {
+    name = "oracle-indirect";
+    on_indirect = (fun ~pc:_ ~target:_ -> true);
+    reset = (fun () -> ());
+    storage_bits = 0;
+  }

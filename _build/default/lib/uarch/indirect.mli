@@ -1,0 +1,29 @@
+(** Indirect-branch target prediction.
+
+    Indirect jumps and calls (switch dispatch, virtual calls, interpreter
+    loops) are predicted by target, not direction. The baseline is a plain
+    {!Btb}: one remembered target per branch. The stronger alternative is an
+    ITTAGE-style tagged target predictor whose components are indexed by
+    geometrically longer global *target* histories, letting it follow
+    repeating dispatch sequences — the structure behind the big indirect
+    improvements of the late 2000s.
+
+    Like {!Predictor}, simulators drive a closure record: [on_indirect]
+    predicts, updates, and reports whether the prediction matched. *)
+
+type t = {
+  name : string;
+  on_indirect : pc:int -> target:int -> bool;  (** true = target predicted *)
+  reset : unit -> unit;
+  storage_bits : int;
+}
+
+val btb : ?sets:int -> ?ways:int -> unit -> t
+(** Plain branch target buffer (default 512 sets x 4 ways). *)
+
+val ittage : ?n_tables:int -> ?entries_log2:int -> ?max_history:int -> unit -> t
+(** ITTAGE-lite: a BTB base plus tagged target tables on geometric target
+    histories (defaults: 4 tables of 512 entries, histories up to 32). *)
+
+val oracle : unit -> t
+(** Always correct; the 0-miss endpoint. *)

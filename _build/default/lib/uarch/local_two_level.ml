@@ -1,0 +1,25 @@
+let create ?(bht_entries_log2 = 10) ?(local_history_bits = 10) ?(pht_entries_log2 = 10) () =
+  if local_history_bits < 1 || local_history_bits > pht_entries_log2 then
+    invalid_arg "Local_two_level.create: local_history_bits out of [1, pht_entries_log2]";
+  let bht = Array.make (1 lsl bht_entries_log2) 0 in
+  let pht = Predictor.Counter_table.create ~entries:(1 lsl pht_entries_log2) in
+  let bht_mask = (1 lsl bht_entries_log2) - 1 in
+  let history_mask = (1 lsl local_history_bits) - 1 in
+  let on_branch ~pc ~taken =
+    let bht_index = Predictor.hash_pc pc land bht_mask in
+    let local_history = bht.(bht_index) in
+    let prediction = Predictor.Counter_table.predict pht local_history in
+    Predictor.Counter_table.update pht local_history taken;
+    bht.(bht_index) <- ((local_history lsl 1) lor (if taken then 1 else 0)) land history_mask;
+    prediction = taken
+  in
+  let reset () =
+    Array.fill bht 0 (Array.length bht) 0;
+    Predictor.Counter_table.reset pht
+  in
+  {
+    Predictor.name = Printf.sprintf "local-%d/%d" bht_entries_log2 local_history_bits;
+    on_branch;
+    reset;
+    storage_bits = ((1 lsl bht_entries_log2) * local_history_bits) + ((1 lsl pht_entries_log2) * 2);
+  }

@@ -1,0 +1,13 @@
+(** PAg/PAs local-history two-level predictor (Yeh & Patt 1991-93).
+
+    A first-level table records each branch's own recent outcomes; that
+    per-branch history indexes a shared pattern table of two-bit counters.
+    Local history captures self-patterns (loop trip counts, periodic data)
+    without interference from other branches — complementary to the global
+    schemes, and one half of the Alpha 21264 {!Tournament} predictor. *)
+
+val create :
+  ?bht_entries_log2:int -> ?local_history_bits:int -> ?pht_entries_log2:int -> unit ->
+  Predictor.t
+(** Defaults: 1K-entry branch history table of 10-bit local histories,
+    1K-entry pattern table. *)

@@ -1,0 +1,319 @@
+type config = {
+  n_tables : int;
+  table_entries_log2 : int;
+  tag_bits : int;
+  min_history : int;
+  max_history : int;
+  base_entries_log2 : int;
+  loop_entries_log2 : int;
+  use_loop_predictor : bool;
+}
+
+let default_config =
+  {
+    n_tables = 8;
+    table_entries_log2 = 11;
+    tag_bits = 11;
+    min_history = 4;
+    max_history = 300;
+    base_entries_log2 = 12;
+    loop_entries_log2 = 6;
+    use_loop_predictor = true;
+  }
+
+(* Geometric history lengths a la Seznec: L(i) = min * (max/min)^(i/(n-1)). *)
+let history_lengths cfg =
+  let n = cfg.n_tables in
+  Array.init n (fun i ->
+      if n = 1 then cfg.min_history
+      else
+        let ratio = float_of_int cfg.max_history /. float_of_int cfg.min_history in
+        let len =
+          float_of_int cfg.min_history
+          *. (ratio ** (float_of_int i /. float_of_int (n - 1)))
+        in
+        int_of_float (Float.round len))
+
+(* Folded (compressed) history register: XOR-folds the most recent
+   [length] history bits down to [width] bits, updated incrementally. *)
+module Folded = struct
+  type t = { mutable comp : int; width : int; outpoint : int }
+
+  let create ~length ~width = { comp = 0; width; outpoint = length mod width }
+
+  let update t ~new_bit ~old_bit =
+    t.comp <- (t.comp lsl 1) lor new_bit;
+    t.comp <- t.comp lxor (old_bit lsl t.outpoint);
+    t.comp <- t.comp lxor (t.comp lsr t.width);
+    t.comp <- t.comp land ((1 lsl t.width) - 1)
+
+  let reset t = t.comp <- 0
+end
+
+(* Global history as a circular bit buffer large enough for the longest
+   component history. *)
+module History = struct
+  type t = { bits : Bytes.t; mutable head : int; size : int }
+
+  let create size = { bits = Bytes.make size '\000'; head = 0; size }
+
+  let push t bit =
+    t.head <- (t.head + 1) mod t.size;
+    Bytes.unsafe_set t.bits t.head (Char.unsafe_chr bit)
+
+  (* Bit that occurred [age] branches ago (age 0 = most recent). *)
+  let bit_at t age =
+    Char.code (Bytes.unsafe_get t.bits ((t.head - age + (t.size * 2)) mod t.size))
+
+  let reset t =
+    Bytes.fill t.bits 0 t.size '\000';
+    t.head <- 0
+end
+
+type tagged_entry = { mutable tag : int; mutable ctr : int; mutable u : int }
+
+module Loop_predictor = struct
+  type entry = {
+    mutable ltag : int;
+    mutable past_iter : int;
+    mutable current_iter : int;
+    mutable confidence : int;
+    mutable age : int;
+  }
+
+  type t = { entries : entry array; mask : int }
+
+  let create ~entries_log2 =
+    {
+      entries =
+        Array.init (1 lsl entries_log2) (fun _ ->
+            { ltag = -1; past_iter = 0; current_iter = 0; confidence = 0; age = 0 });
+      mask = (1 lsl entries_log2) - 1;
+    }
+
+  let index t pc = Predictor.hash_pc pc land t.mask
+  let tag_of pc = (Predictor.hash_pc pc lsr 6) land 0x3FF
+
+  (* Returns Some predicted_direction when the entry is confident. *)
+  let predict t pc =
+    let e = t.entries.(index t pc) in
+    if e.ltag = tag_of pc && e.confidence >= 3 && e.past_iter > 0 then
+      Some (e.current_iter < e.past_iter)
+    else None
+
+  let update t pc taken =
+    let e = t.entries.(index t pc) in
+    if e.ltag = tag_of pc then begin
+      if taken then begin
+        e.current_iter <- e.current_iter + 1;
+        if e.past_iter > 0 && e.current_iter > e.past_iter then begin
+          (* Trip count changed: retrain. *)
+          e.confidence <- 0;
+          e.past_iter <- 0
+        end
+      end
+      else begin
+        if e.past_iter = e.current_iter && e.past_iter > 0 then
+          e.confidence <- min 3 (e.confidence + 1)
+        else begin
+          e.past_iter <- e.current_iter;
+          e.confidence <- 0
+        end;
+        e.current_iter <- 0
+      end;
+      e.age <- min 255 (e.age + 1)
+    end
+    else if not taken then begin
+      (* Allocate on a not-taken branch (a loop exit candidate) if the
+         current occupant has gone stale. *)
+      if e.age = 0 || e.confidence = 0 then begin
+        e.ltag <- tag_of pc;
+        e.past_iter <- 0;
+        e.current_iter <- 0;
+        e.confidence <- 0;
+        e.age <- 16
+      end
+      else e.age <- e.age - 1
+    end
+
+  let reset t =
+    Array.iter
+      (fun e ->
+        e.ltag <- -1;
+        e.past_iter <- 0;
+        e.current_iter <- 0;
+        e.confidence <- 0;
+        e.age <- 0)
+      t.entries
+
+  let storage_bits t = Array.length t.entries * (10 + 14 + 14 + 2 + 8)
+end
+
+let create ?(config = default_config) () =
+  let cfg = config in
+  if cfg.n_tables < 1 then invalid_arg "Ltage.create: need >= 1 tagged table";
+  let lengths = history_lengths cfg in
+  let n = cfg.n_tables in
+  let entries = 1 lsl cfg.table_entries_log2 in
+  let index_mask = entries - 1 in
+  let tag_mask = (1 lsl cfg.tag_bits) - 1 in
+  let tables =
+    Array.init n (fun _ -> Array.init entries (fun _ -> { tag = -1; ctr = 0; u = 0 }))
+  in
+  let base = Predictor.Counter_table.create ~entries:(1 lsl cfg.base_entries_log2) in
+  let history = History.create 1024 in
+  let folded_index =
+    Array.init n (fun i -> Folded.create ~length:lengths.(i) ~width:cfg.table_entries_log2)
+  in
+  let folded_tag0 =
+    Array.init n (fun i -> Folded.create ~length:lengths.(i) ~width:cfg.tag_bits)
+  in
+  let folded_tag1 =
+    Array.init n (fun i -> Folded.create ~length:lengths.(i) ~width:(cfg.tag_bits - 1))
+  in
+  let loop_pred = Loop_predictor.create ~entries_log2:cfg.loop_entries_log2 in
+  let use_alt_on_na = ref 8 in
+  (* Counter deciding whether to trust newly allocated entries. *)
+  let tick = ref 0 in
+  let rng = Pi_stats.Rng.create 0x17A6E in
+  let table_index i pc =
+    (Predictor.hash_pc pc lxor (Predictor.hash_pc pc lsr (cfg.table_entries_log2 - i))
+    lxor folded_index.(i).Folded.comp)
+    land index_mask
+  in
+  let table_tag i pc =
+    (Predictor.hash_pc pc lxor folded_tag0.(i).Folded.comp
+    lxor (folded_tag1.(i).Folded.comp lsl 1))
+    land tag_mask
+  in
+  let on_branch ~pc ~taken =
+    (* Find the two longest matching tagged components. *)
+    let provider = ref (-1) and alt = ref (-1) in
+    let provider_idx = ref 0 and alt_idx = ref 0 in
+    for i = n - 1 downto 0 do
+      let idx = table_index i pc in
+      if tables.(i).(idx).tag = table_tag i pc then
+        if !provider = -1 then begin
+          provider := i;
+          provider_idx := idx
+        end
+        else if !alt = -1 then begin
+          alt := i;
+          alt_idx := idx
+        end
+    done;
+    let base_index = Predictor.hash_pc pc in
+    let base_prediction = Predictor.Counter_table.predict base base_index in
+    let alt_prediction =
+      if !alt >= 0 then tables.(!alt).(!alt_idx).ctr >= 0 else base_prediction
+    in
+    let tage_prediction, newly_allocated =
+      if !provider >= 0 then begin
+        let e = tables.(!provider).(!provider_idx) in
+        let weak = e.ctr = 0 || e.ctr = -1 in
+        let na = weak && e.u = 0 in
+        let pred = if na && !use_alt_on_na >= 8 then alt_prediction else e.ctr >= 0 in
+        (pred, na)
+      end
+      else (base_prediction, false)
+    in
+    let loop_prediction = if cfg.use_loop_predictor then Loop_predictor.predict loop_pred pc else None in
+    let final_prediction =
+      match loop_prediction with Some d -> d | None -> tage_prediction
+    in
+    (* --- update --- *)
+    if cfg.use_loop_predictor then Loop_predictor.update loop_pred pc taken;
+    (* use_alt_on_na bookkeeping. *)
+    if !provider >= 0 && newly_allocated && tage_prediction <> alt_prediction then begin
+      if alt_prediction = taken then use_alt_on_na := min 15 (!use_alt_on_na + 1)
+      else use_alt_on_na := max 0 (!use_alt_on_na - 1)
+    end;
+    (* Update provider (or base). *)
+    let update_signed e =
+      if taken then e.ctr <- min 3 (e.ctr + 1) else e.ctr <- max (-4) (e.ctr - 1)
+    in
+    if !provider >= 0 then begin
+      let e = tables.(!provider).(!provider_idx) in
+      update_signed e;
+      (* Usefulness: bump when the provider disagreed with the alternate
+         and was right. *)
+      if tage_prediction <> alt_prediction then begin
+        if tage_prediction = taken then e.u <- min 3 (e.u + 1)
+        else e.u <- max 0 (e.u - 1)
+      end
+    end
+    else Predictor.Counter_table.update base base_index taken;
+    (* Allocate on misprediction in a longer-history table. *)
+    if tage_prediction <> taken && !provider < n - 1 then begin
+      let start = !provider + 1 in
+      (* Probabilistically skip one table to spread allocations. *)
+      let start =
+        if start < n - 1 && Pi_stats.Rng.bool rng then start + 1 else start
+      in
+      let allocated = ref false in
+      let i = ref start in
+      while (not !allocated) && !i < n do
+        let idx = table_index !i pc in
+        let e = tables.(!i).(idx) in
+        if e.u = 0 then begin
+          e.tag <- table_tag !i pc;
+          e.ctr <- (if taken then 0 else -1);
+          e.u <- 0;
+          allocated := true
+        end;
+        incr i
+      done;
+      if not !allocated then
+        (* Decay usefulness along the attempted path. *)
+        for j = start to n - 1 do
+          let e = tables.(j).(table_index j pc) in
+          e.u <- max 0 (e.u - 1)
+        done
+    end;
+    (* Periodic graceful reset of usefulness counters. *)
+    incr tick;
+    if !tick land 0x3FFFF = 0 then
+      Array.iter (fun table -> Array.iter (fun e -> e.u <- e.u lsr 1) table) tables;
+    (* Advance history and folded registers. *)
+    let new_bit = if taken then 1 else 0 in
+    for i = 0 to n - 1 do
+      let old_bit = History.bit_at history (lengths.(i) - 1) in
+      Folded.update folded_index.(i) ~new_bit ~old_bit;
+      Folded.update folded_tag0.(i) ~new_bit ~old_bit;
+      Folded.update folded_tag1.(i) ~new_bit ~old_bit
+    done;
+    History.push history new_bit;
+    final_prediction = taken
+  in
+  let reset () =
+    Array.iter
+      (fun table ->
+        Array.iter
+          (fun e ->
+            e.tag <- -1;
+            e.ctr <- 0;
+            e.u <- 0)
+          table)
+      tables;
+    Predictor.Counter_table.reset base;
+    History.reset history;
+    Array.iter Folded.reset folded_index;
+    Array.iter Folded.reset folded_tag0;
+    Array.iter Folded.reset folded_tag1;
+    Loop_predictor.reset loop_pred;
+    use_alt_on_na := 8;
+    tick := 0
+  in
+  let storage_bits =
+    (n * entries * (cfg.tag_bits + 3 + 2))
+    + ((1 lsl cfg.base_entries_log2) * 2)
+    + (if cfg.use_loop_predictor then Loop_predictor.storage_bits loop_pred else 0)
+  in
+  {
+    Predictor.name = (if cfg.use_loop_predictor then "L-TAGE" else "TAGE");
+    on_branch;
+    reset;
+    storage_bits;
+  }
+
+let tage_only () = create ~config:{ default_config with use_loop_predictor = false } ()

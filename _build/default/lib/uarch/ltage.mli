@@ -1,0 +1,35 @@
+(** L-TAGE branch predictor (Seznec, CBP-2 2007).
+
+    TAGE: a bimodal base predictor plus a set of partially-tagged tables
+    indexed by hashes of the branch address and geometrically increasing
+    global-history lengths; the longest history with a tag hit provides the
+    prediction, with allocation-on-mispredict and usefulness counters
+    steering table replacement. The "L" adds a loop predictor that locks
+    onto constant-trip-count loop branches and predicts their exits exactly
+    — the component that lets L-TAGE capture regular behaviour far beyond
+    any practical history register.
+
+    The paper uses L-TAGE as "the most accurate branch predictor in the
+    academic literature" whose performance on a real machine interferometry
+    can forecast. *)
+
+type config = {
+  n_tables : int;  (** tagged tables *)
+  table_entries_log2 : int;
+  tag_bits : int;
+  min_history : int;
+  max_history : int;
+  base_entries_log2 : int;
+  loop_entries_log2 : int;
+  use_loop_predictor : bool;
+}
+
+val default_config : config
+(** 8 tagged tables of 2048 entries, 11-bit tags, histories 4..300
+    (geometric), 4K-entry base bimodal, 64-entry loop predictor: ~37KB,
+    comparable to the 256-kbit CBP-2 configuration. *)
+
+val create : ?config:config -> unit -> Predictor.t
+
+val tage_only : unit -> Predictor.t
+(** The same configuration with the loop predictor disabled, for ablation. *)

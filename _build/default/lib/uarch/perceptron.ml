@@ -1,0 +1,45 @@
+let create ?(table_entries_log2 = 8) ?(history_bits = 32) ?(threshold = -1) () =
+  if history_bits < 1 || history_bits > 62 then
+    invalid_arg "Perceptron.create: history_bits out of [1,62]";
+  let entries = 1 lsl table_entries_log2 in
+  let threshold =
+    if threshold >= 0 then threshold
+    else int_of_float ((1.93 *. float_of_int history_bits) +. 14.0)
+  in
+  (* weights.(i) holds history_bits + 1 signed weights (bias first). *)
+  let weights = Array.make_matrix entries (history_bits + 1) 0 in
+  let max_weight = 127 and min_weight = -128 in
+  let history = ref 0 in
+  (* bit i = outcome of the branch i steps ago *)
+  let history_mask = (1 lsl history_bits) - 1 in
+  let on_branch ~pc ~taken =
+    let index = Predictor.hash_pc pc land (entries - 1) in
+    let w = weights.(index) in
+    let y = ref w.(0) in
+    for i = 0 to history_bits - 1 do
+      (* Bipolar history: taken = +1, not-taken = -1. *)
+      if (!history lsr i) land 1 = 1 then y := !y + w.(i + 1) else y := !y - w.(i + 1)
+    done;
+    let prediction = !y >= 0 in
+    (* Train on misprediction or weak output. *)
+    if prediction <> taken || abs !y <= threshold then begin
+      let t = if taken then 1 else -1 in
+      w.(0) <- max min_weight (min max_weight (w.(0) + t));
+      for i = 0 to history_bits - 1 do
+        let x = if (!history lsr i) land 1 = 1 then 1 else -1 in
+        w.(i + 1) <- max min_weight (min max_weight (w.(i + 1) + (t * x)))
+      done
+    end;
+    history := ((!history lsl 1) lor (if taken then 1 else 0)) land history_mask;
+    prediction = taken
+  in
+  let reset () =
+    Array.iter (fun w -> Array.fill w 0 (Array.length w) 0) weights;
+    history := 0
+  in
+  {
+    Predictor.name = Printf.sprintf "perceptron-%d/%d" table_entries_log2 history_bits;
+    on_branch;
+    reset;
+    storage_bits = entries * (history_bits + 1) * 8;
+  }

@@ -1,0 +1,14 @@
+(** Perceptron branch predictor (Jiménez & Lin, HPCA 2001).
+
+    Each branch indexes a table of signed weight vectors; the prediction is
+    the sign of the dot product of the weights with the (bipolar) global
+    history, and training adjusts weights when the prediction was wrong or
+    under-confident. Perceptrons exploit much longer histories than
+    two-bit-counter schemes at linear (rather than exponential) storage
+    cost — the natural "hypothetical predictor" for the paper's Section 7
+    methodology to evaluate, from the same research group. *)
+
+val create :
+  ?table_entries_log2:int -> ?history_bits:int -> ?threshold:int -> unit -> Predictor.t
+(** Defaults: 256 perceptrons, 32 history bits, the classic
+    [1.93 * h + 14] training threshold. *)

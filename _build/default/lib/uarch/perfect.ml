@@ -1,0 +1,6 @@
+let constant ~name ~f =
+  { Predictor.name; on_branch = f; reset = (fun () -> ()); storage_bits = 0 }
+
+let perfect () = constant ~name:"perfect" ~f:(fun ~pc:_ ~taken:_ -> true)
+let always_taken () = constant ~name:"static-taken" ~f:(fun ~pc:_ ~taken -> taken)
+let always_not_taken () = constant ~name:"static-not-taken" ~f:(fun ~pc:_ ~taken -> not taken)

@@ -1,0 +1,7 @@
+(** Oracles and static predictors, the endpoints of the accuracy spectrum. *)
+
+val perfect : unit -> Predictor.t
+(** Always correct: the 0-MPKI point the paper extrapolates to. *)
+
+val always_taken : unit -> Predictor.t
+val always_not_taken : unit -> Predictor.t

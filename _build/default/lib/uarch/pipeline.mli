@@ -1,0 +1,100 @@
+(** Timing model: executes a trace under a placement and produces cycle and
+    event counts.
+
+    This stands in for both the paper's physical Xeon E5440 (when wrapped in
+    the noisy {!Counters} measurement protocol) and its MASE cycle simulator
+    (when read exactly). The model is an issue-cost-plus-penalties machine:
+
+    - every instruction pays a throughput cost by kind (plain/FP/multiply/
+      divide/memory);
+    - instruction fetch walks the L1I cache lines the block's *linked
+      addresses* occupy; misses probe the unified L2;
+    - memory instructions resolve their symbolic trace operands through the
+      data layout, access L1D then L2, and pay latency scaled by a
+      memory-level-parallelism factor derived from the access pattern
+      (pointer chases serialize, streams overlap);
+    - conditional branches consult the configured direction predictor at the
+      branch's linked address; indirect jumps/calls consult the BTB; wrong
+      predictions pay the front-end refill penalty;
+    - optionally, mispredictions have wrong-path side effects: the
+      not-taken-path lines are fetched into L1I and the next data line is
+      pulled into L2 (sometimes prefetching useful data, sometimes
+      polluting) — the mechanism behind the mild non-linearity the paper
+      observes on 252.eon and 178.galgel.
+
+    All structures hash physical addresses, so changing the code or data
+    placement changes conflict patterns exactly as on hardware. *)
+
+type penalties = {
+  mispredict : float;
+  btb_miss : float;
+  l1i_miss : float;  (** L1I miss, L2 hit *)
+  l1d_miss : float;  (** L1D miss, L2 hit *)
+  l2_miss : float;  (** full memory latency *)
+  store_miss_factor : float;  (** stores hide most of their miss latency *)
+}
+
+type instr_costs = {
+  plain : float;
+  fp : float;
+  mul : float;
+  div : float;
+  mem : float;
+  term : float;  (** control-transfer instruction *)
+}
+
+type overlap = {
+  chase : float;  (** serialized pointer chase: full penalty *)
+  random : float;
+  sequential : float;  (** streaming: hardware prefetcher hides most *)
+  fixed : float;
+}
+
+type config = {
+  name : string;
+  make_predictor : unit -> Predictor.t;
+  make_indirect : unit -> Indirect.t;  (** indirect-target predictor (BTB or ITTAGE) *)
+  data_prefetcher : bool;  (** stride prefetcher (default machine: off) *)
+  trace_cache : Trace_cache.geometry option;  (** placement-immune fetch path *)
+  l1i : Cache.geometry;
+  l1d : Cache.geometry;
+  l2 : Cache.geometry;
+  costs : instr_costs;
+  penalties : penalties;
+  overlap : overlap;
+  wrong_path : bool;
+  perfect_btb : bool;  (** oracle indirect-target prediction (with the
+      perfect direction predictor, makes total MPKI exactly 0) *)
+}
+
+type counts = {
+  cycles : float;
+  instructions : int;
+  cond_branches : int;
+  cond_mispredicts : int;
+  indirect_branches : int;
+  indirect_mispredicts : int;
+  btb_misses : int;
+  l1i_accesses : int;
+  l1i_misses : int;
+  l1d_accesses : int;
+  l1d_misses : int;
+  l2_accesses : int;
+  l2_misses : int;
+}
+
+val run : ?warmup_blocks:int -> config -> Pi_isa.Trace.t -> Pi_layout.Placement.t -> counts
+(** [warmup_blocks] (default 0) executes that many leading blocks with all
+    structures live but discards their events and cycles, so short traces
+    report the steady-state rates a minutes-long run on hardware would. *)
+
+val cpi : counts -> float
+
+val mispredicts : counts -> int
+(** Retired mispredicted branches: conditional + indirect, as the paper's
+    counter does. *)
+
+val mpki : counts -> float
+val l1i_mpki : counts -> float
+val l1d_mpki : counts -> float
+val l2_mpki : counts -> float

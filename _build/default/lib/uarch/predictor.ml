@@ -1,0 +1,32 @@
+type t = {
+  name : string;
+  on_branch : pc:int -> taken:bool -> bool;
+  reset : unit -> unit;
+  storage_bits : int;
+}
+
+let storage_kb t = float_of_int t.storage_bits /. 8192.0
+
+module Counter_table = struct
+  type table = { counters : Bytes.t; mask : int }
+
+  let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+  let create ~entries =
+    if not (is_pow2 entries) then invalid_arg "Counter_table.create: entries not a power of two";
+    { counters = Bytes.make entries '\001'; mask = entries - 1 }
+
+  let entries t = t.mask + 1
+  let get t i = Char.code (Bytes.unsafe_get t.counters (i land t.mask))
+  let predict t i = get t i >= 2
+
+  let update t i taken =
+    let i = i land t.mask in
+    let c = Char.code (Bytes.unsafe_get t.counters i) in
+    let c' = if taken then min 3 (c + 1) else max 0 (c - 1) in
+    Bytes.unsafe_set t.counters i (Char.unsafe_chr c')
+
+  let reset t = Bytes.fill t.counters 0 (Bytes.length t.counters) '\001'
+end
+
+let hash_pc pc = pc lsr 1

@@ -1,0 +1,45 @@
+(** Branch direction predictor interface.
+
+    Simulators drive predictors through a uniform closure record: [on_branch]
+    receives the branch's instruction address and its actual outcome,
+    performs the prediction and the update, and reports whether the
+    prediction was correct. Folding predict+update into one call lets the
+    perfect predictor fit the interface and keeps the hot loop to a single
+    dispatch.
+
+    Concrete predictors also expose typed creation functions (and, for unit
+    tests, their internals) in their own modules: {!Bimodal}, {!Gshare},
+    {!Gas}, {!Hybrid}, {!Ltage}, {!Perfect}. *)
+
+type t = {
+  name : string;
+  on_branch : pc:int -> taken:bool -> bool;  (** true = predicted correctly *)
+  reset : unit -> unit;
+  storage_bits : int;  (** hardware budget, for reporting *)
+}
+
+val storage_kb : t -> float
+
+(** Saturating two-bit counter tables, the building block of most
+    predictors. *)
+module Counter_table : sig
+  type table
+
+  val create : entries:int -> table
+  (** All counters initialized to weakly not-taken (1). [entries] must be a
+      power of two. *)
+
+  val entries : table -> int
+  val predict : table -> int -> bool
+  (** Taken iff the counter at the (masked) index is >= 2. *)
+
+  val update : table -> int -> bool -> unit
+  (** Saturating increment on taken, decrement on not-taken. *)
+
+  val get : table -> int -> int
+  val reset : table -> unit
+end
+
+val hash_pc : int -> int
+(** Canonical PC pre-hash shared by the table-indexed predictors (drops the
+    low bit of the byte address). *)

@@ -1,0 +1,60 @@
+type entry = { mutable last_addr : int; mutable stride : int; mutable confidence : int }
+
+type t = {
+  entries : entry array;
+  mask : int;
+  threshold : int;
+  degree : int;
+  mutable issued : int;
+}
+
+let line_bytes = 64
+
+let create ?(table_entries = 512) ?(confidence_threshold = 2) ?(degree = 2) () =
+  if table_entries <= 0 || table_entries land (table_entries - 1) <> 0 then
+    invalid_arg "Prefetcher.create: table_entries not a power of two";
+  {
+    entries =
+      Array.init table_entries (fun _ -> { last_addr = -1; stride = 0; confidence = 0 });
+    mask = table_entries - 1;
+    threshold = confidence_threshold;
+    degree;
+    issued = 0;
+  }
+
+let observe t ~mem_id ~addr =
+  let e = t.entries.(mem_id land t.mask) in
+  let result =
+    if e.last_addr < 0 then None
+    else begin
+      let stride = addr - e.last_addr in
+      if stride = e.stride && stride <> 0 then begin
+        e.confidence <- min 7 (e.confidence + 1);
+        if e.confidence >= t.threshold then begin
+          (* Prefetch [degree] lines starting one stride ahead. *)
+          let first = (addr + stride) land lnot (line_bytes - 1) in
+          t.issued <- t.issued + 1;
+          Some (first, t.degree)
+        end
+        else None
+      end
+      else begin
+        e.stride <- stride;
+        e.confidence <- 0;
+        None
+      end
+    end
+  in
+  e.last_addr <- addr;
+  result
+
+let prefetches_issued t = t.issued
+
+let reset t =
+  Array.iter
+    (fun e ->
+      e.last_addr <- -1;
+      e.stride <- 0;
+      e.confidence <- 0)
+    t.entries;
+  t.issued <- 0

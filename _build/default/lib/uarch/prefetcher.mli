@@ -1,0 +1,22 @@
+(** Stride data prefetcher (reference-prediction-table style).
+
+    Tracks, per static memory instruction, the stride between consecutive
+    accesses; after the same stride repeats, it prefetches the next line
+    ahead of the demand access. Off in the default machine model (its
+    effect is folded into the memory-level-parallelism factors); enable it
+    for the prefetching ablation, which shows streaming benchmarks' L2
+    demand misses collapsing. *)
+
+type t
+
+val create : ?table_entries:int -> ?confidence_threshold:int -> ?degree:int -> unit -> t
+(** [table_entries] static memory ops tracked (default 512, direct-mapped on
+    the op id), [confidence_threshold] repeats before issuing (default 2),
+    [degree] lines prefetched ahead (default 2). *)
+
+val observe : t -> mem_id:int -> addr:int -> (int * int) option
+(** Record a demand access; returns [Some (first, count)] when a prefetch
+    of [count] lines starting at line address [first] should be issued. *)
+
+val prefetches_issued : t -> int
+val reset : t -> unit

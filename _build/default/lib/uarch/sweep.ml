@@ -1,0 +1,127 @@
+let configurations () =
+  let configs = ref [] in
+  let add name make = configs := (name, make) :: !configs in
+  (* Bimodal: 9 sizes. *)
+  List.iter
+    (fun el -> add (Printf.sprintf "bimodal-%d" el) (fun () -> Bimodal.create ~entries_log2:el))
+    [ 8; 9; 10; 11; 12; 13; 14; 15; 16 ];
+  (* Gshare: sizes x even history lengths. *)
+  List.iter
+    (fun el ->
+      List.iter
+        (fun h ->
+          if h <= el then
+            add
+              (Printf.sprintf "gshare-%d/%d" el h)
+              (fun () -> Gshare.create ~entries_log2:el ~history_bits:h))
+        [ 4; 6; 8; 10; 12 ])
+    [ 10; 11; 12; 13; 14; 15; 16 ];
+  (* Gshare: odd history lengths on a sparser size grid. *)
+  List.iter
+    (fun el ->
+      List.iter
+        (fun h ->
+          if h <= el then
+            add
+              (Printf.sprintf "gshare-%d/%d" el h)
+              (fun () -> Gshare.create ~entries_log2:el ~history_bits:h))
+        [ 3; 5; 7; 9; 11; 13 ])
+    [ 10; 12; 14; 16 ];
+  (* GAs: sizes x even history lengths. *)
+  List.iter
+    (fun el ->
+      List.iter
+        (fun h ->
+          if h < el then
+            add
+              (Printf.sprintf "gas-%d/%d" el h)
+              (fun () -> Gas.create ~entries_log2:el ~history_bits:h))
+        [ 2; 4; 6; 8; 10; 12 ])
+    [ 10; 11; 12; 13; 14; 15; 16 ];
+  (* GAs: odd history lengths on a sparser grid. *)
+  List.iter
+    (fun el ->
+      List.iter
+        (fun h ->
+          if h < el then
+            add
+              (Printf.sprintf "gas-%d/%d" el h)
+              (fun () -> Gas.create ~entries_log2:el ~history_bits:h))
+        [ 3; 5; 7; 9; 11 ])
+    [ 10; 12; 14; 16 ];
+  (* Hybrids. *)
+  List.iter
+    (fun el ->
+      List.iter
+        (fun h ->
+          if h < el then
+            add
+              (Printf.sprintf "hybrid-%d/%d" el h)
+              (fun () ->
+                Hybrid.create ~gas_entries_log2:el ~gas_history_bits:h
+                  ~bimodal_entries_log2:(el - 1) ~chooser_entries_log2:(el - 1) ()))
+        [ 6; 8; 10 ])
+    [ 11; 12; 13; 14; 15; 16 ];
+  (* Static predictors: the low end of the accuracy range. *)
+  add "static-taken" Perfect.always_taken;
+  add "static-not-taken" Perfect.always_not_taken;
+  (* Fill to exactly 145 with corner-case geometries off the grids above. *)
+  add "gshare-13/13" (fun () -> Gshare.create ~entries_log2:13 ~history_bits:13);
+  add "gshare-11/11" (fun () -> Gshare.create ~entries_log2:11 ~history_bits:11);
+  add "gas-11/9" (fun () -> Gas.create ~entries_log2:11 ~history_bits:9);
+  add "gas-13/11" (fun () -> Gas.create ~entries_log2:13 ~history_bits:11);
+  add "hybrid-16/12" (fun () ->
+      Hybrid.create ~gas_entries_log2:16 ~gas_history_bits:12 ~bimodal_entries_log2:15
+        ~chooser_entries_log2:15 ());
+  let all = List.rev !configs in
+  assert (List.length all = 145);
+  all
+
+type point = { config_name : string; mpki : float; cpi : float }
+
+type study = {
+  benchmark : string;
+  points : point array;
+  perfect_cpi : float;
+  ltage_point : point;
+  regression : Pi_stats.Linreg.t;
+  predicted_perfect_cpi : float;
+  perfect_error_percent : float;
+  predicted_ltage_cpi : float;
+  ltage_error_percent : float;
+}
+
+let simulate ~warmup_blocks base trace placement name make =
+  let config = Machine.with_predictor base ~name make in
+  let config = if name = "perfect" then { config with Pipeline.perfect_btb = true } else config in
+  let counts = Pipeline.run ~warmup_blocks config trace placement in
+  { config_name = name; mpki = Pipeline.mpki counts; cpi = Pipeline.cpi counts }
+
+let run_study ?(base = Machine.xeon_e5440) ?(warmup_blocks = 0) ~benchmark trace placement =
+  let simulate = simulate ~warmup_blocks base trace placement in
+  let points =
+    configurations ()
+    |> List.map (fun (name, make) -> simulate name make)
+    |> Array.of_list
+  in
+  let perfect = simulate "perfect" Perfect.perfect in
+  let ltage_point = simulate "L-TAGE" (fun () -> Ltage.create ()) in
+  let xs = Array.map (fun p -> p.mpki) points in
+  let ys = Array.map (fun p -> p.cpi) points in
+  let regression = Pi_stats.Linreg.fit xs ys in
+  let predicted_perfect_cpi = Pi_stats.Linreg.predict regression 0.0 in
+  let predicted_ltage_cpi = Pi_stats.Linreg.predict regression ltage_point.mpki in
+  let error_percent predicted actual =
+    if actual = 0.0 then 0.0 else Float.abs (predicted -. actual) /. actual *. 100.0
+  in
+  {
+    benchmark;
+    points;
+    perfect_cpi = perfect.cpi;
+    ltage_point;
+    regression;
+    predicted_perfect_cpi;
+    perfect_error_percent = error_percent predicted_perfect_cpi perfect.cpi;
+    predicted_ltage_cpi;
+    ltage_error_percent = error_percent predicted_ltage_cpi ltage_point.cpi;
+  }

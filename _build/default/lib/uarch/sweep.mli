@@ -1,0 +1,38 @@
+(** The 145-configuration predictor sweep of the paper's Section 3.
+
+    The paper validates linearity of CPI in MPKI by simulating 145 branch
+    predictor configurations of varying accuracy (plus a perfect predictor
+    and L-TAGE) in MASE, regressing CPI on MPKI over the imperfect
+    configurations, and checking the regression's prediction at MPKI = 0
+    against true perfect-prediction CPI, and at L-TAGE's MPKI against true
+    L-TAGE CPI. We run the same study on our pipeline model. *)
+
+val configurations : unit -> (string * (unit -> Predictor.t)) list
+(** Exactly 145 imperfect configurations: bimodal, gshare, GAs and hybrid
+    predictors over a range of table sizes and history lengths, plus the
+    static predictors. *)
+
+type point = { config_name : string; mpki : float; cpi : float }
+
+type study = {
+  benchmark : string;
+  points : point array;  (** the 145 imperfect configurations *)
+  perfect_cpi : float;  (** simulated perfect-prediction CPI *)
+  ltage_point : point;  (** simulated L-TAGE *)
+  regression : Pi_stats.Linreg.t;  (** CPI ~ MPKI over [points] *)
+  predicted_perfect_cpi : float;
+  perfect_error_percent : float;  (** |predicted - actual| / actual * 100 *)
+  predicted_ltage_cpi : float;
+  ltage_error_percent : float;
+}
+
+val run_study :
+  ?base:Pipeline.config ->
+  ?warmup_blocks:int ->
+  benchmark:string ->
+  Pi_isa.Trace.t ->
+  Pi_layout.Placement.t ->
+  study
+(** Simulate every configuration on the given trace/placement (noise-free,
+    as a simulator would) and evaluate the linear extrapolations. [base]
+    defaults to {!Machine.xeon_e5440}. *)

@@ -1,0 +1,48 @@
+module Ct = Predictor.Counter_table
+
+let create ?(local_bht_log2 = 10) ?(local_history_bits = 10) ?(global_entries_log2 = 12)
+    ?(global_history_bits = 12) ?(chooser_entries_log2 = 12) () =
+  if global_history_bits < 1 || global_history_bits > global_entries_log2 then
+    invalid_arg "Tournament.create: bad global geometry";
+  let local_bht = Array.make (1 lsl local_bht_log2) 0 in
+  let local_pht = Ct.create ~entries:(1 lsl local_history_bits) in
+  let global_table = Ct.create ~entries:(1 lsl global_entries_log2) in
+  let chooser = Ct.create ~entries:(1 lsl chooser_entries_log2) in
+  let history = ref 0 in
+  let history_mask = (1 lsl global_history_bits) - 1 in
+  let local_mask = (1 lsl local_history_bits) - 1 in
+  let bht_mask = (1 lsl local_bht_log2) - 1 in
+  let on_branch ~pc ~taken =
+    let bht_index = Predictor.hash_pc pc land bht_mask in
+    let local_history = local_bht.(bht_index) in
+    let local_prediction = Ct.predict local_pht local_history in
+    let global_index = (Predictor.hash_pc pc lxor !history) land ((1 lsl global_entries_log2) - 1) in
+    let global_prediction = Ct.predict global_table global_index in
+    (* 21264: the chooser is indexed by global history alone. *)
+    let use_global = Ct.predict chooser !history in
+    let prediction = if use_global then global_prediction else local_prediction in
+    Ct.update local_pht local_history taken;
+    Ct.update global_table global_index taken;
+    if local_prediction <> global_prediction then
+      Ct.update chooser !history (global_prediction = taken);
+    local_bht.(bht_index) <- ((local_history lsl 1) lor (if taken then 1 else 0)) land local_mask;
+    history := ((!history lsl 1) lor (if taken then 1 else 0)) land history_mask;
+    prediction = taken
+  in
+  let reset () =
+    Array.fill local_bht 0 (Array.length local_bht) 0;
+    Ct.reset local_pht;
+    Ct.reset global_table;
+    Ct.reset chooser;
+    history := 0
+  in
+  {
+    Predictor.name = "tournament-21264";
+    on_branch;
+    reset;
+    storage_bits =
+      ((1 lsl local_bht_log2) * local_history_bits)
+      + ((1 lsl local_history_bits) * 2)
+      + ((1 lsl global_entries_log2) * 2)
+      + ((1 lsl chooser_entries_log2) * 2);
+  }

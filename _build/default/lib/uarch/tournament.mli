@@ -1,0 +1,17 @@
+(** Alpha 21264-style tournament predictor: a local two-level predictor and
+    a global (path-history) predictor arbitrated by a chooser that is itself
+    indexed by global history. The reference "big machine" predictor of the
+    late 1990s, and a useful mid-point between the Xeon-like hybrid and
+    L-TAGE in the candidate zoo. *)
+
+val create :
+  ?local_bht_log2:int ->
+  ?local_history_bits:int ->
+  ?global_entries_log2:int ->
+  ?global_history_bits:int ->
+  ?chooser_entries_log2:int ->
+  unit ->
+  Predictor.t
+(** Defaults mirror the 21264: 1K x 10-bit local histories into a 1K
+    pattern table, 4K-entry global table on 12 history bits, 4K-entry
+    chooser indexed by the same global history. *)

@@ -1,0 +1,50 @@
+type geometry = { entries_log2 : int; assoc : int }
+
+let default_geometry = { entries_log2 = 11; assoc = 4 }
+
+type t = {
+  sets : int;
+  assoc : int;
+  tags : int array;  (* set * assoc + way, LRU order; -1 invalid *)
+  mutable hit_count : int;
+  mutable access_count : int;
+}
+
+let create g =
+  if g.entries_log2 < 2 then invalid_arg "Trace_cache.create: too small";
+  if g.assoc < 1 then invalid_arg "Trace_cache.create: assoc < 1";
+  let entries = 1 lsl g.entries_log2 in
+  let sets = entries / g.assoc in
+  if sets * g.assoc <> entries || sets land (sets - 1) <> 0 then
+    invalid_arg "Trace_cache.create: geometry must divide into power-of-two sets";
+  { sets; assoc = g.assoc; tags = Array.make entries (-1); hit_count = 0; access_count = 0 }
+
+let access t ~block_id =
+  t.access_count <- t.access_count + 1;
+  let set = block_id land (t.sets - 1) in
+  let base = set * t.assoc in
+  let found = ref (-1) in
+  for way = 0 to t.assoc - 1 do
+    if !found = -1 && t.tags.(base + way) = block_id then found := way
+  done;
+  let hit = !found >= 0 in
+  if hit then t.hit_count <- t.hit_count + 1;
+  let victim = if hit then !found else t.assoc - 1 in
+  (* Move to MRU. *)
+  let rec shift w =
+    if w > 0 then begin
+      t.tags.(base + w) <- t.tags.(base + w - 1);
+      shift (w - 1)
+    end
+  in
+  shift victim;
+  t.tags.(base) <- block_id;
+  hit
+
+let hits t = t.hit_count
+let accesses t = t.access_count
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  t.hit_count <- 0;
+  t.access_count <- 0

@@ -1,0 +1,25 @@
+(** Trace cache (Rotenberg/Bennett/Smith 1996, Pentium 4 style).
+
+    Stores decoded basic blocks keyed by their *program identity* rather
+    than their memory address, so instruction fetch that hits in the trace
+    cache is immune to code placement — the paper's Section 2.2 observation
+    that a trace cache would mute layout-induced front-end variance.
+    Off in the default machine; used by the trace-cache ablation, which
+    shows the L1I interferometry signal collapsing when it is enabled. *)
+
+type geometry = { entries_log2 : int; assoc : int }
+
+val default_geometry : geometry
+(** 2K block entries, 4-way: roughly a 12K-uop Pentium-4-class budget. *)
+
+type t
+
+val create : geometry -> t
+
+val access : t -> block_id:int -> bool
+(** True when the block's decoded trace is present (no L1I fetch needed);
+    installs it otherwise. *)
+
+val hits : t -> int
+val accesses : t -> int
+val reset : t -> unit

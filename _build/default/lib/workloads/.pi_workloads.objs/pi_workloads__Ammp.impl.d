@@ -1,0 +1,1 @@
+lib/workloads/ammp.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/art.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/astar.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/bench.ml: Pi_isa

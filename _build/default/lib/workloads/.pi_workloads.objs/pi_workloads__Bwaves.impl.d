@@ -1,0 +1,1 @@
+lib/workloads/bwaves.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/bzip2.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/calculix.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/crafty.ml: Array Bench Pi_isa Toolkit

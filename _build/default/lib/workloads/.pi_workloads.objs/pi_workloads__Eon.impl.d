@@ -1,0 +1,1 @@
+lib/workloads/eon.ml: Array Bench Pi_isa Toolkit

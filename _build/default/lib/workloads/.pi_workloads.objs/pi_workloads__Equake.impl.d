@@ -1,0 +1,1 @@
+lib/workloads/equake.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/galgel.ml: Array Bench Pi_isa Toolkit

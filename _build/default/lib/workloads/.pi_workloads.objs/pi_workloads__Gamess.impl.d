@@ -1,0 +1,1 @@
+lib/workloads/gamess.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/gap.ml: Array Bench Pi_isa Toolkit

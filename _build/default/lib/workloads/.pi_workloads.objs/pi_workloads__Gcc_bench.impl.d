@@ -1,0 +1,1 @@
+lib/workloads/gcc_bench.ml: Array Bench Pi_isa Printf Toolkit

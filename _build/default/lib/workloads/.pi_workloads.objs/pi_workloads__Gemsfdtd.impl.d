@@ -1,0 +1,1 @@
+lib/workloads/gemsfdtd.ml: Array Bench Pi_isa Toolkit

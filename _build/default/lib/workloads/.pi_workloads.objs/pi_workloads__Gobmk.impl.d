@@ -1,0 +1,1 @@
+lib/workloads/gobmk.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/gromacs.ml: Array Bench Pi_isa Toolkit

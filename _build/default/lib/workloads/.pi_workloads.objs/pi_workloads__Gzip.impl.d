@@ -1,0 +1,1 @@
+lib/workloads/gzip.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/h264ref.ml: Array Bench Pi_isa Toolkit

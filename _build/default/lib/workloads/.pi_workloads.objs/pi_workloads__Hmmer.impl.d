@@ -1,0 +1,1 @@
+lib/workloads/hmmer.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/lbm.ml: Array Bench Pi_isa Toolkit

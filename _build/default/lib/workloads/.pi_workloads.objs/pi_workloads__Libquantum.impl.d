@@ -1,0 +1,1 @@
+lib/workloads/libquantum.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/mcf.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/milc.ml: Array Bench Pi_isa Toolkit

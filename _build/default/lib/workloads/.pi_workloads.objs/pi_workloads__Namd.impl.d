@@ -1,0 +1,1 @@
+lib/workloads/namd.ml: Array Bench Pi_isa Toolkit

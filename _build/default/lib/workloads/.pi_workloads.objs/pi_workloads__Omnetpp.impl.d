@@ -1,0 +1,1 @@
+lib/workloads/omnetpp.ml: Array Bench Pi_isa Toolkit

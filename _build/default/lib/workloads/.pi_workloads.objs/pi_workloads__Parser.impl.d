@@ -1,0 +1,1 @@
+lib/workloads/parser.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/perlbench.ml: Array Bench Pi_isa Toolkit

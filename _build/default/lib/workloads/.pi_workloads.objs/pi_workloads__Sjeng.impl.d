@@ -1,0 +1,1 @@
+lib/workloads/sjeng.ml: Array Bench Pi_isa Toolkit

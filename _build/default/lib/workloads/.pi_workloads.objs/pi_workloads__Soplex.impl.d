@@ -1,0 +1,1 @@
+lib/workloads/soplex.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/sphinx3.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/tonto.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/toolkit.ml: Array List Pi_isa Pi_stats Printf

@@ -1,0 +1,1 @@
+lib/workloads/toolkit.mli: Pi_isa Pi_stats

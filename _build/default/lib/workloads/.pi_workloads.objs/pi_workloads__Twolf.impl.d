@@ -1,0 +1,1 @@
+lib/workloads/twolf.ml: Array Bench Pi_isa Toolkit

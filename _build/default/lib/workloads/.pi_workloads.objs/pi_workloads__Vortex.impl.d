@@ -1,0 +1,1 @@
+lib/workloads/vortex.ml: Array Bench Pi_isa Toolkit

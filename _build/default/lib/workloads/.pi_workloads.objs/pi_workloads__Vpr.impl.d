@@ -1,0 +1,1 @@
+lib/workloads/vpr.ml: Array Bench Pi_isa Toolkit

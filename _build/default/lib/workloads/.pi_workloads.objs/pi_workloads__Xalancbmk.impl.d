@@ -1,0 +1,1 @@
+lib/workloads/xalancbmk.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,1 @@
+lib/workloads/zeusmp.ml: Array Bench Pi_isa Toolkit

@@ -1,0 +1,53 @@
+(* 188.ammp stand-in (SPEC CPU 2000): molecular mechanics with linked-list
+   atom traversal — the classic pointer-chasing FP code. Extended-registry
+   benchmark. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+
+let name = "188.ammp"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"ammp" ~n:4 in
+  let atoms = B.heap_site b ~name:"atoms" ~obj_size:240 ~count:32_768 in
+  let nonbond = B.heap_site b ~name:"nonbond_lists" ~obj_size:64 ~count:16_384 in
+  let force_field =
+    B.proc b ~obj:objs.(0) ~name:"mm_fv_update_nonbon"
+      (chase_kernel ctx ~site:atoms ~steps:30 ~work:12
+         ~extra:
+           ([ B.load_heap nonbond (B.seq ~stride:16) ]
+           @ branch_blob ctx ~mix:fp_mix ~n:1 ~work:3))
+  in
+  let bond_terms =
+    B.proc b ~obj:objs.(1) ~name:"v_bond"
+      [
+        B.for_ ~trips:36
+          ([ B.load_heap atoms B.rand_access; B.fp_work 8 ]
+          @ branch_blob ctx ~mix:fp_mix ~n:1 ~work:2);
+      ]
+  in
+  let integrate =
+    B.proc b ~obj:objs.(2) ~name:"verlet"
+      [ B.for_ ~trips:30 [ B.load_heap atoms (B.seq ~stride:80); B.fp_work 6 ] ]
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 42)
+          (branch_blob ctx ~mix:fp_mix ~n:2 ~work:3
+          @ [ B.call force_field; B.call bond_terms; B.call integrate ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2000;
+    description = "Molecular mechanics: linked-list atom chases with FP force kernels";
+    expect_significant = true;
+    build;
+  }

@@ -1,0 +1,57 @@
+(* 179.art stand-in (SPEC CPU 2000): adaptive resonance theory neural
+   network — repeated passes over weight matrices slightly larger than L1,
+   nearly branch-free except for the winner-take-all scan. Extended-registry
+   benchmark. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "179.art"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"art" ~n:3 in
+  let f1_weights = B.global b ~name:"bus" ~size:(640 * 1024) in
+  let f2_activations = B.global b ~name:"f2" ~size:(48 * 1024) in
+  let match_pass =
+    B.proc b ~obj:objs.(0) ~name:"match"
+      [
+        B.for_ ~trips:220
+          [
+            B.load_global f1_weights (B.seq ~stride:16);
+            B.fp_work 5;
+            B.load_global f2_activations (B.seq ~stride:8);
+            B.fp_work 3;
+          ];
+      ]
+  in
+  let winner_scan =
+    B.proc b ~obj:objs.(1) ~name:"find_match"
+      [
+        B.for_ ~trips:40
+          ([ B.load_global f2_activations (B.seq ~stride:8) ]
+          @ [
+              B.if_
+                (Behavior.Bernoulli { p_taken = 0.12 })
+                [ B.store_global f2_activations (B.fixed 0); B.work 2 ]
+                [ B.work 1 ];
+            ]);
+      ]
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [ B.for_ ~trips:(scale * 42) [ B.call match_pass; B.call winner_scan; B.fp_work 4 ] ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2000;
+    description = "ART neural network: weight-matrix sweeps, winner-take-all scans";
+    expect_significant = true;
+    build;
+  }

@@ -1,0 +1,55 @@
+(* 473.astar stand-in: A* pathfinding over large game maps. Pointer-heavy
+   open-list manipulation over a region array bigger than L2 plus genuinely
+   data-dependent direction choices: high CPI (2.37) and the paper's
+   correlation example (r = 0.80 between MPKI and CPI). *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "473.astar"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"astar" ~n:4 in
+  (* Way-point graph: 10MB, chased along paths. *)
+  let regions = B.heap_site b ~name:"regions" ~obj_size:80 ~count:4_096 in
+  let open_list = B.heap_site b ~name:"open_list" ~obj_size:48 ~count:4096 in
+  let map_flags = B.global b ~name:"map_flags" ~size:(2 * 1024 * 1024) in
+  let expand_node =
+    B.proc b ~obj:objs.(0) ~name:"regwayobj_makebound2"
+      (chase_kernel ctx ~site:regions ~steps:6 ~work:10
+         ~extra:
+           (branch_blob ctx ~mix:hard_mix ~n:2 ~work:3
+           @ [ B.load_global map_flags B.rand_access ]))
+  in
+  let update_open_list =
+    B.proc b ~obj:objs.(1) ~name:"way2obj_releasepoint"
+      ([ B.load_heap open_list B.rand_access; B.work 5 ]
+      @ branch_blob ctx ~mix:patterned_mix ~n:3 ~work:3
+      @ [ B.store_heap open_list B.rand_access ])
+  in
+  let heuristic =
+    B.proc b ~obj:objs.(2) ~name:"heuristic"
+      (branch_blob ctx ~mix:hard_mix ~n:3 ~work:4 @ [ B.work 6; B.mul_work 1 ])
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 300)
+          (branch_blob ctx ~mix:easy_mix ~n:1 ~work:3
+          @ [ B.call expand_node; B.call heuristic; B.call update_open_list ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "A* pathfinding: graph chases beyond L2, data-dependent turns (r=0.80)";
+    expect_significant = true;
+    build;
+  }

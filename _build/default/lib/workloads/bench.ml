@@ -1,0 +1,11 @@
+type suite = Cpu2006 | Cpu2000
+
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  expect_significant : bool;
+  build : scale:int -> Pi_isa.Program.t;
+}
+
+let suite_name = function Cpu2006 -> "SPEC CPU 2006" | Cpu2000 -> "SPEC CPU 2000"

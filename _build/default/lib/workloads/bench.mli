@@ -1,0 +1,16 @@
+(** Benchmark stand-in descriptor. *)
+
+type suite = Cpu2006 | Cpu2000
+
+type t = {
+  name : string;  (** SPEC-style name, e.g. "400.perlbench" *)
+  suite : suite;
+  description : string;
+  expect_significant : bool;
+      (** whether the paper found (or we expect) a statistically significant
+          CPI~MPKI correlation under code reordering *)
+  build : scale:int -> Pi_isa.Program.t;
+      (** construct the program; [scale] multiplies main-loop trip counts *)
+}
+
+val suite_name : suite -> string

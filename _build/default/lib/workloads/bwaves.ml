@@ -1,0 +1,56 @@
+(* 410.bwaves stand-in: blast-wave CFD (Fortran). Pure block-tridiagonal
+   solver sweeps over arrays far larger than L2 with virtually no
+   conditional structure beyond counted loops. One of the three compiled
+   benchmarks for which the paper could NOT establish significant CPI~MPKI
+   correlation: there simply is no MPKI range to regress against. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+
+let name = "410.bwaves"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"bwaves" ~n:3 in
+  let flow = B.global b ~name:"flow" ~size:(8 * 1024 * 1024) in
+  let jacobian = B.global b ~name:"jacobian" ~size:(8 * 1024 * 1024) in
+  let mat_x =
+    B.proc b ~obj:objs.(0) ~name:"mat_times_vec"
+      [
+        B.for_ ~trips:280
+          [
+            B.load_global jacobian (B.seq ~stride:64);
+            B.fp_work 9;
+            B.load_global flow (B.seq ~stride:32);
+            B.fp_work 5;
+            B.store_global flow (B.seq ~stride:32);
+          ];
+      ]
+  in
+  let bi_cgstab =
+    B.proc b ~obj:objs.(1) ~name:"bi_cgstab_block"
+      [
+        B.for_ ~trips:120
+          [ B.load_global flow (B.seq ~stride:16); B.fp_work 7; B.div_work 1 ];
+      ]
+  in
+  let shell =
+    B.proc b ~obj:objs.(2) ~name:"shell"
+      [ B.for_ ~trips:30 [ B.load_global jacobian (B.seq ~stride:128); B.fp_work 6 ] ]
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [ B.for_ ~trips:(scale * 70) [ B.call mat_x; B.call bi_cgstab; B.call shell; B.work 4 ] ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "Blast-wave CFD: pure streaming solver, no branch variance (not significant)";
+    expect_significant = false;
+    build;
+  }

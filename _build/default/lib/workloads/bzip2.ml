@@ -1,0 +1,69 @@
+(* 401.bzip2 stand-in: block-sorting compression. Long scans over a data
+   buffer with bit-pattern-periodic control (run-length and Huffman paths),
+   a Burrows-Wheeler-ish sorting phase with data-dependent comparisons, and
+   modest working sets that mostly live in L2. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "401.bzip2"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"bzip" ~n:5 in
+  let input_buffer = B.global b ~name:"input" ~size:(768 * 1024) in
+  let work_buffer = B.global b ~name:"work" ~size:(256 * 1024) in
+  let freq_table = B.global b ~name:"freq" ~size:4096 in
+  let scan_block =
+    B.proc b ~obj:objs.(0) ~name:"scan_block"
+      [
+        B.for_ ~trips:96
+          ([ B.load_global input_buffer (B.seq ~stride:64); B.work 6 ]
+          @ branch_blob ctx ~mix:patterned_mix ~n:3 ~work:4
+          @ [ B.store_global freq_table B.rand_access ]);
+      ]
+  in
+  let sort_block =
+    B.proc b ~obj:objs.(1) ~name:"sort_block"
+      [
+        B.for_ ~trips:64
+          ([ B.load_global work_buffer B.rand_access; B.work 4 ]
+          @ branch_blob ctx ~mix:hard_mix ~n:2 ~work:3
+          @ branch_blob ctx ~mix:patterned_mix ~n:2 ~work:3);
+      ]
+  in
+  let huffman_encode =
+    B.proc b ~obj:objs.(2) ~name:"huffman_encode"
+      [
+        B.for_ ~trips:80
+          ([ B.load_global freq_table (B.seq ~stride:16); B.work 5 ]
+          @ branch_blob ctx ~mix:patterned_mix ~n:4 ~work:5
+          @ [ B.store_global work_buffer (B.seq ~stride:32) ]);
+      ]
+  in
+  let mtf_pass =
+    B.proc b ~obj:objs.(3) ~name:"mtf_pass"
+      (branch_blob ctx ~mix:long_history_mix ~n:8 ~work:4
+      @ [ B.for_ ~trips:40 ([ B.load_global work_buffer (B.seq ~stride:8) ] @ branch_blob ctx ~mix:easy_mix ~n:2 ~work:4) ])
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 32)
+          (branch_blob ctx ~mix:easy_mix ~n:3 ~work:4
+          @ [ B.call scan_block; B.call sort_block; B.call mtf_pass; B.call huffman_encode ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "Block-sorting compressor: buffer scans, bit-pattern control, L2-resident data";
+    expect_significant = true;
+    build;
+  }

@@ -1,0 +1,91 @@
+(* 454.calculix stand-in: finite-element structural mechanics. The paper's
+   Figure 3 benchmark: with heap randomization on top of code reordering its
+   CPI varies linearly with L1 and L2 miss counts. The stand-in allocates
+   many same-size element blocks — the layout-conflict-prone pattern — and
+   alternates solver sweeps with gather/scatter assembly. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "454.calculix"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"ccx" ~n:5 in
+  (* Two placement-sensitive working sets built from SMALL blocks (a few
+     cache lines each, so randomized placement makes per-set occupancy
+     genuinely lumpy): the element blocks straddle the L1D capacity
+     (360 x 192B ~ 68KB vs 32KB) and the stiffness blocks sit against the
+     effective L2 slice while a solver stream keeps pressing on them
+     (500 x 4KB ~ 2MB + an 8MB right-hand-side stream vs 4MB). Which sets
+     overflow is decided by placement, so L1D and L2 miss counts vary run
+     to run — the Figure 3 signal. *)
+  let element_blocks = B.heap_site b ~name:"elements" ~obj_size:192 ~count:96 in
+  let stiffness = B.heap_site b ~name:"stiffness" ~obj_size:4032 ~count:500 in
+  (* assembly and solve alternate: elements own the L1D during assembly,
+     the solver stream owns it during solve *)
+  let rhs_stream = B.global b ~name:"rhs_stream" ~size:(8 * 1024 * 1024) in
+  let solution = B.global b ~name:"solution" ~size:(96 * 1024) in
+  let assemble =
+    B.proc b ~obj:objs.(0) ~name:"mafillsm"
+      [
+        B.for_ ~trips:150
+          ([
+             B.load_heap element_blocks B.rand_access;
+             B.fp_work 3;
+             B.load_heap element_blocks B.rand_access;
+             B.work 3;
+             B.load_heap element_blocks B.rand_access;
+             B.fp_work 3;
+             B.if_
+               (Behavior.Periodic { pattern = [| true; false; false; false |] })
+               [ B.store_heap element_blocks B.rand_access ]
+               [ B.load_heap element_blocks B.rand_access; B.fp_work 2 ];
+           ]
+          @ branch_blob ctx ~mix:fp_mix ~n:1 ~work:2);
+      ]
+  in
+  let solve_sweep =
+    B.proc b ~obj:objs.(1) ~name:"sgi_solve"
+      [
+        B.for_ ~trips:120
+          [
+            B.load_heap stiffness (B.seq ~stride:64);
+            B.fp_work 6;
+            B.load_global rhs_stream (B.seq ~stride:64);
+            B.load_global solution (B.seq ~stride:16);
+            B.store_global solution (B.seq ~stride:16);
+          ];
+      ]
+  in
+  let stress_recovery =
+    B.proc b ~obj:objs.(2) ~name:"results"
+      [
+        B.for_ ~trips:40
+          ([ B.load_heap element_blocks (B.seq ~stride:32); B.fp_work 8 ]
+          @ branch_blob ctx ~mix:fp_mix ~n:2 ~work:3);
+      ]
+  in
+  let element_dispatch = guard_pool ctx ~objs ~prefix:"element_kind" ~procs:26 ~branches_per:7 in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 56)
+          (branch_blob ctx ~mix:fp_mix ~n:2 ~work:3
+          @ call_all element_dispatch
+          @ [ B.call assemble; B.call solve_sweep; B.call stress_recovery ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "Finite elements: same-size heap blocks, cache-conflict sensitive (Fig 3)";
+    expect_significant = true;
+    build;
+  }

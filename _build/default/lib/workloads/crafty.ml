@@ -1,0 +1,59 @@
+(* 186.crafty stand-in (SPEC CPU 2000): chess engine with 64-bit bitboard
+   move generation — long dependent chains of integer logic punctuated by
+   very hard search branches. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+
+let name = "186.crafty"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"crafty" ~n:5 in
+  let bitboards = B.global b ~name:"bitboards" ~size:(32 * 1024) in
+  let history_tbl = B.global b ~name:"history" ~size:(96 * 1024) in
+  let attacks =
+    spread_pool ctx ~objs ~prefix:"attacks" ~n:16 ~body:(fun i ->
+        [ B.load_global bitboards (B.seq ~stride:8); B.work (6 + (i mod 4)) ]
+        @ branch_blob ctx ~mix:hard_mix ~n:2 ~work:3)
+  in
+  let make_move =
+    B.proc b ~obj:objs.(0) ~name:"make_move"
+      ([ B.load_global bitboards B.rand_access; B.work 8 ]
+      @ branch_blob ctx ~mix:patterned_mix ~n:2 ~work:3
+      @ [ B.store_global bitboards B.rand_access ])
+  in
+  let evaluate =
+    B.proc b ~obj:objs.(1) ~name:"evaluate"
+      (branch_blob ctx ~mix:hard_mix ~n:5 ~work:4
+      @ [ B.load_global history_tbl B.rand_access; B.work 5 ]
+      @ branch_blob ctx ~mix:easy_mix ~n:3 ~work:3)
+  in
+  let search =
+    B.proc b ~obj:objs.(2) ~name:"search"
+      ([ B.call make_move ]
+      @ call_all (Array.sub attacks 0 6)
+      @ branch_blob ctx ~mix:hard_mix ~n:2 ~work:3
+      @ [ B.call evaluate ])
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 300)
+          (branch_blob ctx ~mix:easy_mix ~n:2 ~work:4
+          @ [ B.call search ]
+          @ call_all (Array.sub attacks 6 6));
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2000;
+    description = "Bitboard chess: integer logic chains, very hard search branches";
+    expect_significant = true;
+    build;
+  }

@@ -1,0 +1,66 @@
+(* 252.eon stand-in (SPEC CPU 2000): probabilistic ray tracer (C++). One of
+   the paper's two visibly non-linear benchmarks in the Figure 4/5 study.
+   The mechanism we reproduce: scene-traversal branches mispredict often,
+   and every misprediction's wrong-path run speculatively touches upcoming
+   scene data; with a working set that thrashes L2, those touches act as
+   erratic prefetches whose benefit saturates as MPKI grows — bending the
+   MPKI-CPI relation away from a straight line. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "252.eon"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"eon" ~n:5 in
+  (* Scene data straddles the L2 slice so wrong-path prefetches matter. *)
+  let scene_bvh = B.global b ~name:"scene_bvh" ~size:(9 * 1024 * 1024) in
+  let shade_cache = B.global b ~name:"shade_cache" ~size:(64 * 1024) in
+  let traverse_bvh =
+    (* Node fetches are sparse relative to the traversal branches and almost
+       always miss the L2 slice: exactly the regime in which wrong-path
+       prefetching's saturating benefit bends the MPKI-CPI line. *)
+    B.proc b ~obj:objs.(0) ~name:"ggRayBBoxIntersect"
+      [
+        B.for_ ~trips:26
+          (branch_blob ctx ~mix:hard_mix ~n:4 ~work:5
+          @ [
+              B.if_
+                (Behavior.Periodic { pattern = [| true; false; false |] })
+                [ B.load_global scene_bvh B.rand_access; B.fp_work 4 ]
+                [ B.fp_work 3; B.work 2 ];
+            ]);
+      ]
+  in
+  let shade =
+    B.proc b ~obj:objs.(1) ~name:"mrSurfaceTexture_shade"
+      ([ B.load_global shade_cache (B.seq ~stride:16); B.fp_work 7 ]
+      @ branch_blob ctx ~mix:patterned_mix ~n:3 ~work:3
+      @ [ B.fp_work 5; B.div_work 1 ])
+  in
+  let sample_pixel =
+    B.proc b ~obj:objs.(2) ~name:"mrPixelSample"
+      (branch_blob ctx ~mix:hard_mix ~n:2 ~work:2
+      @ [ B.call traverse_bvh; B.call shade ])
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 165)
+          (branch_blob ctx ~mix:easy_mix ~n:1 ~work:3 @ [ B.call sample_pixel ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2000;
+    description = "Ray tracer: dense traversal branches + L2-thrashing scene (non-linear)";
+    expect_significant = true;
+    build;
+  }

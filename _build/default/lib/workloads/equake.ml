@@ -1,0 +1,55 @@
+(* 183.equake stand-in (SPEC CPU 2000): seismic wave simulation with an
+   unstructured sparse matrix-vector kernel — indexed gathers over a
+   multi-megabyte mesh. Extended-registry benchmark. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+
+let name = "183.equake"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"equake" ~n:4 in
+  let mesh = B.global b ~name:"mesh_matrix" ~size:(6 * 1024 * 1024) in
+  let col_index = B.global b ~name:"col_index" ~size:(768 * 1024) in
+  let disp = B.global b ~name:"displacement" ~size:(384 * 1024) in
+  let smvp =
+    B.proc b ~obj:objs.(0) ~name:"smvp"
+      [
+        B.for_ ~trips:180
+          ([
+             B.load_global col_index (B.seq ~stride:8);
+             B.load_global mesh B.rand_access;
+             B.fp_work 6;
+             B.load_global disp B.rand_access;
+             B.fp_work 4;
+           ]
+          @ branch_blob ctx ~mix:fp_mix ~n:1 ~work:2);
+      ]
+  in
+  let time_integration =
+    B.proc b ~obj:objs.(1) ~name:"time_integration"
+      [
+        B.for_ ~trips:70
+          [ B.load_global disp (B.seq ~stride:16); B.fp_work 7; B.store_global disp (B.seq ~stride:16) ];
+      ]
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 28)
+          ([ B.call smvp; B.call time_integration ] @ branch_blob ctx ~mix:fp_mix ~n:2 ~work:3);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2000;
+    description = "Seismic simulation: sparse matrix-vector gathers over a 6MB mesh";
+    expect_significant = true;
+    build;
+  }

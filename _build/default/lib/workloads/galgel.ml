@@ -1,0 +1,66 @@
+(* 178.galgel stand-in (SPEC CPU 2000): Galerkin-method fluid stability
+   analysis (Fortran 90). The paper's other visibly non-linear benchmark:
+   spectral solver loops whose convergence tests mispredict in bursts while
+   the matrix data thrashes L2, coupling branch behaviour to the memory
+   system through wrong-path effects. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "178.galgel"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"galgel" ~n:4 in
+  let galerkin_matrix = B.global b ~name:"galerkin_matrix" ~size:(8 * 1024 * 1024) in
+  let spectral_coeffs = B.global b ~name:"spectral_coeffs" ~size:(96 * 1024) in
+  let assemble_row =
+    (* Sparse matrix-element fetches that thrash the L2 behind bursty
+       convergence branches: the wrong-path-prefetch-saturation regime. *)
+    B.proc b ~obj:objs.(0) ~name:"syshtN"
+      [
+        B.for_ ~trips:16
+          ([
+             B.if_
+               (Behavior.Periodic { pattern = [| true; false; false; false |] })
+               [ B.load_global galerkin_matrix B.rand_access; B.fp_work 6 ]
+               [ B.fp_work 4; B.work 3 ];
+           ]
+          @ branch_blob ctx ~mix:hard_mix ~n:5 ~work:4);
+      ]
+  in
+  let orthogonalize =
+    B.proc b ~obj:objs.(1) ~name:"grshN"
+      ([ B.load_global spectral_coeffs (B.seq ~stride:16); B.fp_work 8; B.div_work 1 ]
+      @ branch_blob ctx ~mix:patterned_mix ~n:3 ~work:3)
+  in
+  let convergence_test =
+    B.proc b ~obj:objs.(2) ~name:"convergence"
+      (branch_blob ctx ~mix:hard_mix ~n:3 ~work:2
+      @ [
+          B.fp_work 4;
+          B.load_global spectral_coeffs B.rand_access;
+          B.load_global spectral_coeffs (B.seq ~stride:8);
+        ])
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 190)
+          ([ B.call assemble_row; B.call orthogonalize; B.call convergence_test ]
+          @ branch_blob ctx ~mix:fp_mix ~n:1 ~work:3);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2000;
+    description = "Galerkin fluid stability: bursty convergence branches + L2 thrash (non-linear)";
+    expect_significant = true;
+    build;
+  }

@@ -1,0 +1,78 @@
+(* 416.gamess stand-in: quantum chemistry (FORTRAN). Dense FP inner loops
+   over basis-function arrays with highly regular control; low CPI, low
+   MPKI, but enough conditional structure to keep the correlation
+   significant. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "416.gamess"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"gamess" ~n:6 in
+  let integrals = B.global b ~name:"integrals" ~size:(1024 * 1024) in
+  let density = B.global b ~name:"density" ~size:(256 * 1024) in
+  let fock = B.global b ~name:"fock" ~size:(256 * 1024) in
+  let two_electron =
+    B.proc b ~obj:objs.(0) ~name:"twoei"
+      [
+        B.for_ ~trips:60
+          ([
+             B.load_global integrals (B.seq ~stride:16);
+             B.fp_work 8;
+             B.load_global density (B.seq ~stride:8);
+             B.fp_work 4;
+           ]
+          @ branch_blob ctx ~mix:fp_mix ~n:2 ~work:3);
+      ]
+  in
+  let fock_update =
+    B.proc b ~obj:objs.(1) ~name:"fock_update"
+      [
+        B.for_ ~trips:48
+          [
+            B.load_global fock (B.seq ~stride:32);
+            B.fp_work 6;
+            B.store_global fock (B.seq ~stride:32);
+            B.work 2;
+          ];
+      ]
+  in
+  let guard_checks = guard_pool ctx ~objs ~prefix:"shell_guard" ~procs:14 ~branches_per:4 in
+  let shell_pairs =
+    spread_pool ctx ~objs ~prefix:"shell" ~n:20 ~body:(fun i ->
+        branch_blob ctx ~mix:fp_mix ~n:(2 + (i mod 3)) ~work:4
+        @ [ B.fp_work (4 + (i mod 5)); B.load_global integrals B.rand_access ])
+  in
+  let diagonalize =
+    B.proc b ~obj:objs.(2) ~name:"diagonalize"
+      [
+        B.for_ ~trips:20
+          ([ B.fp_work 10; B.mul_work 2; B.load_global fock (B.seq ~stride:8) ]
+          @ branch_blob ctx ~mix:fp_mix ~n:1 ~work:2);
+      ]
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 64)
+          ([ B.call two_electron ] @ call_all guard_checks
+          @ call_all (Array.sub shell_pairs 0 8)
+          @ [ B.call fock_update; B.call diagonalize ]
+          @ branch_blob ctx ~mix:fp_mix ~n:2 ~work:3);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "Quantum chemistry: dense FP loops, regular control, cache-resident data";
+    expect_significant = true;
+    build;
+  }

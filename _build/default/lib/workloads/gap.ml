@@ -1,0 +1,61 @@
+(* 254.gap stand-in (SPEC CPU 2000): computational group theory — another
+   interpreter, with big-integer arithmetic kernels between dispatches.
+   Extended-registry benchmark. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+
+let name = "254.gap"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"gap" ~n:6 in
+  let bags = B.heap_site b ~name:"bags" ~obj_size:256 ~count:6144 in
+  let workspace = B.global b ~name:"workspace" ~size:(768 * 1024) in
+  let eval_handlers =
+    spread_pool ctx ~objs ~prefix:"Eval" ~n:36 ~body:(fun i ->
+        branch_blob ctx ~mix:patterned_mix ~n:(4 + (i mod 4)) ~work:4
+        @ [ B.load_heap bags B.rand_access; B.mul_work (1 + (i mod 2)); B.work 4 ])
+  in
+  let bigint_multiply =
+    B.proc b ~obj:objs.(0) ~name:"ProdInt"
+      [
+        B.for_ ~trips:40
+          [ B.load_global workspace (B.seq ~stride:8); B.mul_work 3; B.work 3 ];
+      ]
+  in
+  let garbage_collect =
+    B.proc b ~obj:objs.(1) ~name:"CollectBags"
+      [
+        B.for_ ~trips:60
+          ([ B.load_heap bags (B.seq ~stride:64) ] @ branch_blob ctx ~mix:easy_mix ~n:2 ~work:2);
+      ]
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 110)
+          (dispatch_loop ctx ~trips:4
+             ~selector:(bytecode_stream ctx ~n_targets:36 ~length:144 ~hot_fraction:0.2)
+             ~callees:eval_handlers ~per_iter:[ B.work 4 ]
+          @ [
+              B.call bigint_multiply;
+              B.if_
+                (Pi_isa.Behavior.Periodic { pattern = Pi_isa.Behavior.loop_pattern ~trips:40 })
+                [ B.work 2 ]
+                [ B.call garbage_collect ];
+            ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2000;
+    description = "Group-theory interpreter: dispatch + bignum kernels + GC sweeps";
+    expect_significant = true;
+    build;
+  }

@@ -1,0 +1,67 @@
+(* 459.GemsFDTD stand-in: finite-difference time-domain electromagnetics.
+   Like zeusmp, an FP stencil code whose branches are almost all counted
+   loops: MPKI has nearly no range under reordering, making the paper's
+   fitted slope (0.516) another extrapolation artifact, while streaming
+   misses set the CPI level. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+
+let name = "459.GemsFDTD"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"gems" ~n:4 in
+  let e_field = B.global b ~name:"e_field" ~size:(6 * 1024 * 1024) in
+  let h_field = B.global b ~name:"h_field" ~size:(6 * 1024 * 1024) in
+  let update_e =
+    B.proc b ~obj:objs.(0) ~name:"updateE_homo"
+      [
+        B.for_ ~trips:260
+          [
+            B.load_global h_field (B.seq ~stride:32);
+            B.fp_work 6;
+            B.load_global e_field (B.seq ~stride:32);
+            B.fp_work 4;
+            B.store_global e_field (B.seq ~stride:32);
+          ];
+      ]
+  in
+  let update_h =
+    B.proc b ~obj:objs.(1) ~name:"updateH_homo"
+      [
+        B.for_ ~trips:260
+          [
+            B.load_global e_field (B.seq ~stride:64);
+            B.fp_work 5;
+            B.store_global h_field (B.seq ~stride:64);
+            B.work 2;
+          ];
+      ]
+  in
+  let absorbing_boundary =
+    B.proc b ~obj:objs.(2) ~name:"upml_updateE"
+      (branch_blob ctx ~mix:fp_mix ~n:3 ~work:3
+      @ [ B.for_ ~trips:24 [ B.load_global e_field (B.seq ~stride:256); B.fp_work 8 ] ])
+  in
+  let material_checks = guard_pool ctx ~objs ~prefix:"material_check" ~procs:26 ~branches_per:7 in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 55)
+          ([ B.call update_e ] @ call_all material_checks
+          @ [ B.call absorbing_boundary; B.call update_h; B.work 4 ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "FDTD electromagnetics: streaming FP stencils, degenerate MPKI range";
+    expect_significant = true;
+    build;
+  }

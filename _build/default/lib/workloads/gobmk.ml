@@ -1,0 +1,61 @@
+(* 445.gobmk stand-in: Go-playing engine. Deep pattern-matching and
+   life-and-death search over board state: dense data-dependent branches
+   (among the hardest in the suite), wide code, small data. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "445.gobmk"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"gobmk" ~n:10 in
+  let board = B.global b ~name:"board" ~size:(32 * 1024) in
+  let cache_tt = B.global b ~name:"transposition" ~size:(256 * 1024) in
+  let pattern_matchers =
+    spread_pool ctx ~objs ~prefix:"matchpat" ~n:48 ~body:(fun i ->
+        [ B.load_global board B.rand_access ]
+        @ branch_blob ctx ~mix:hard_mix ~n:(2 + (i mod 3)) ~work:4
+        @ branch_blob ctx ~mix:patterned_mix ~n:2 ~work:3)
+  in
+  let owl_attack = ref [] in
+  let reading_procs =
+    spread_pool ctx ~objs ~prefix:"attack" ~n:24 ~body:(fun i ->
+        [ B.load_global cache_tt B.rand_access ]
+        @ branch_blob ctx ~mix:hard_mix ~n:3 ~work:4
+        @ [ B.load_global board (B.seq ~stride:8); B.work (3 + (i mod 3)) ])
+  in
+  owl_attack := call_all (Array.sub reading_procs 0 8);
+  let evaluate_position =
+    B.proc b ~obj:objs.(1) ~name:"evaluate"
+      (branch_blob ctx ~mix:hard_mix ~n:6 ~work:4
+      @ call_all (Array.sub pattern_matchers 0 16)
+      @ !owl_attack)
+  in
+  let generate_moves =
+    B.proc b ~obj:objs.(2) ~name:"genmove"
+      ([ B.for_ ~trips:18 ([ B.load_global board (B.seq ~stride:16) ] @ branch_blob ctx ~mix:hard_mix ~n:2 ~work:3) ]
+      @ call_all (Array.sub pattern_matchers 16 16))
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 48)
+          (branch_blob ctx ~mix:easy_mix ~n:2 ~work:4
+          @ [ B.call generate_moves; B.call evaluate_position ]
+          @ call_all (Array.sub reading_procs 8 8));
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "Go engine: data-dependent search branches, high MPKI, small data";
+    expect_significant = true;
+    build;
+  }

@@ -1,0 +1,77 @@
+(* 435.gromacs stand-in: molecular dynamics. Neighbour-list force loops:
+   semi-regular gather accesses into particle arrays plus heavy FP inner
+   work; control is mostly loop-structured with some cutoff tests. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "435.gromacs"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"gmx" ~n:5 in
+  let positions = B.global b ~name:"positions" ~size:(128 * 1024) in
+  let forces = B.global b ~name:"forces" ~size:(128 * 1024) in
+  let neighbours = B.global b ~name:"nblist" ~size:(512 * 1024) in
+  let inner_force =
+    B.proc b ~obj:objs.(0) ~name:"inl1130"
+      [
+        B.for_ ~trips:120
+          ([
+             B.load_global neighbours (B.seq ~stride:16);
+             B.load_global positions B.rand_access;
+             B.fp_work 9;
+             B.if_
+               (Behavior.Bernoulli { p_taken = 0.83 })
+               [ B.fp_work 5; B.store_global forces B.rand_access ]
+               [ B.work 1 ];
+           ]
+          @ branch_blob ctx ~mix:fp_mix ~n:1 ~work:2);
+      ]
+  in
+  let update_positions =
+    B.proc b ~obj:objs.(1) ~name:"update"
+      [
+        B.for_ ~trips:64
+          [
+            B.load_global positions (B.seq ~stride:32);
+            B.fp_work 5;
+            B.store_global positions (B.seq ~stride:32);
+          ];
+      ]
+  in
+  let build_nblist =
+    B.proc b ~obj:objs.(2) ~name:"ns_grid"
+      (branch_blob ctx ~mix:patterned_mix ~n:5 ~work:4
+      @ [ B.for_ ~trips:40 [ B.load_global neighbours (B.seq ~stride:64); B.work 4 ] ])
+  in
+  let constraints =
+    B.proc b ~obj:objs.(3) ~name:"lincs"
+      [ B.for_ ~trips:30 ([ B.fp_work 6; B.load_global forces (B.seq ~stride:16) ] @ branch_blob ctx ~mix:fp_mix ~n:1 ~work:2) ];
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 34)
+          ([ B.call inner_force; B.call update_positions; B.call constraints ]
+          @ [
+              B.if_
+                (Behavior.Periodic { pattern = Behavior.loop_pattern ~trips:10 })
+                [ B.work 2 ]
+                [ B.call build_nblist ];
+            ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "Molecular dynamics: neighbour-list FP force loops, cutoff branches";
+    expect_significant = true;
+    build;
+  }

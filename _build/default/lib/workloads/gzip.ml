@@ -1,0 +1,54 @@
+(* 164.gzip stand-in (SPEC CPU 2000): LZ77 compression. Hash-chain match
+   searching with periodic literal/match decisions over an L2-resident
+   window; used only in the simulator linearity study. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+
+let name = "164.gzip"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"gzip" ~n:4 in
+  let window = B.global b ~name:"window" ~size:(256 * 1024) in
+  let hash_head = B.global b ~name:"hash_head" ~size:(128 * 1024) in
+  let longest_match =
+    B.proc b ~obj:objs.(0) ~name:"longest_match"
+      [
+        B.for_ ~trips:40
+          ([ B.load_global window B.rand_access; B.work 4 ]
+          @ branch_blob ctx ~mix:hard_mix ~n:1 ~work:3
+          @ branch_blob ctx ~mix:patterned_mix ~n:1 ~work:2);
+      ]
+  in
+  let deflate_step =
+    B.proc b ~obj:objs.(1) ~name:"deflate"
+      ([ B.load_global hash_head B.rand_access; B.work 3 ]
+      @ branch_blob ctx ~mix:patterned_mix ~n:3 ~work:4
+      @ [ B.call longest_match; B.store_global hash_head B.rand_access ])
+  in
+  let fill_window =
+    B.proc b ~obj:objs.(2) ~name:"fill_window"
+      [ B.for_ ~trips:48 [ B.load_global window (B.seq ~stride:64); B.work 3; B.store_global window (B.seq ~stride:64) ] ]
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 70)
+          (branch_blob ctx ~mix:easy_mix ~n:2 ~work:4
+          @ [ B.call deflate_step ]
+          @ [ B.if_ (Pi_isa.Behavior.Periodic { pattern = Pi_isa.Behavior.loop_pattern ~trips:16 }) [ B.work 2 ] [ B.call fill_window ] ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2000;
+    description = "LZ77 compressor: hash-chain searches, literal/match decisions";
+    expect_significant = true;
+    build;
+  }

@@ -1,0 +1,67 @@
+(* 464.h264ref stand-in: H.264 video encoder. Motion-estimation SAD loops
+   over macroblock tiles with short periodic decisions (block-mode
+   selection), L1-resident reference windows; low CPI with a clear branch
+   component. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "464.h264ref"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"h264" ~n:6 in
+  let ref_frame = B.global b ~name:"ref_frame" ~size:(1536 * 1024) in
+  let cur_mb = B.global b ~name:"cur_mb" ~size:(16 * 1024) in
+  let mv_costs = B.global b ~name:"mv_costs" ~size:(64 * 1024) in
+  let sad_kernel =
+    B.proc b ~obj:objs.(0) ~name:"setup_fast_me"
+      [
+        B.for_ ~trips:96
+          ([
+             B.load_global ref_frame (B.seq ~stride:32);
+             B.load_global cur_mb (B.seq ~stride:16);
+             B.work 6;
+           ]
+          @ branch_blob ctx ~mix:patterned_mix ~n:1 ~work:2);
+      ]
+  in
+  let mode_decision =
+    B.proc b ~obj:objs.(1) ~name:"mode_decision"
+      (branch_blob ctx ~mix:patterned_mix ~n:6 ~work:4
+      @ [ B.load_global mv_costs B.rand_access; B.work 5 ]
+      @ branch_blob ctx ~mix:hard_mix ~n:1 ~work:3)
+  in
+  let transform_quant =
+    B.proc b ~obj:objs.(2) ~name:"dct_quant"
+      [
+        B.for_ ~trips:32
+          [ B.load_global cur_mb (B.seq ~stride:8); B.mul_work 3; B.work 4; B.store_global cur_mb (B.seq ~stride:8) ];
+      ]
+  in
+  let deblock =
+    B.proc b ~obj:objs.(3) ~name:"deblock_mb"
+      (branch_blob ctx ~mix:patterned_mix ~n:4 ~work:3
+      @ [ B.for_ ~trips:20 [ B.load_global ref_frame (B.seq ~stride:64); B.work 4 ] ])
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 84)
+          (branch_blob ctx ~mix:easy_mix ~n:2 ~work:3
+          @ [ B.call sad_kernel; B.call mode_decision; B.call transform_quant; B.call deblock ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "H.264 encoder: SAD loops, mode-decision branches, L1-resident tiles";
+    expect_significant = true;
+    build;
+  }

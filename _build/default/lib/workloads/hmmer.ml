@@ -1,0 +1,54 @@
+(* 456.hmmer stand-in: profile hidden-Markov-model sequence search. The
+   Viterbi inner loop is integer DP with tight data-dependent max-selection
+   branches — high branch density, tiny working set, low base CPI. The
+   paper's regression gives it the steepest useful slope (0.041) and the
+   widest relative prediction interval. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+
+let name = "456.hmmer"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"hmmer" ~n:3 in
+  let dp_matrix = B.global b ~name:"dp_matrix" ~size:(192 * 1024) in
+  let profile_scores = B.global b ~name:"hmm_scores" ~size:(64 * 1024) in
+  let viterbi_row =
+    B.proc b ~obj:objs.(0) ~name:"p7_viterbi_row"
+      [
+        B.for_ ~trips:110
+          ([
+             B.load_global dp_matrix (B.seq ~stride:16);
+             B.load_global profile_scores (B.seq ~stride:8);
+             B.work 4;
+           ]
+          @ branch_blob ctx ~mix:hard_mix ~n:2 ~work:2
+          @ [ B.store_global dp_matrix (B.seq ~stride:16) ]);
+      ]
+  in
+  let posterior =
+    B.proc b ~obj:objs.(1) ~name:"posterior"
+      (branch_blob ctx ~mix:patterned_mix ~n:4 ~work:3
+      @ [ B.for_ ~trips:30 ([ B.load_global dp_matrix B.rand_access; B.work 3 ] @ branch_blob ctx ~mix:hard_mix ~n:1 ~work:2) ])
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 48)
+          (branch_blob ctx ~mix:easy_mix ~n:2 ~work:3
+          @ [ B.call viterbi_row; B.call posterior ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "HMM sequence search: integer DP, dense hard branches, tiny working set";
+    expect_significant = true;
+    build;
+  }

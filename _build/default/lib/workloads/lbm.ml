@@ -1,0 +1,49 @@
+(* 470.lbm stand-in: lattice Boltzmann fluid dynamics. A single fused
+   stream-collide loop writing most of what it reads across a >L2 grid;
+   essentially branch-free. Third benchmark without significant CPI~MPKI
+   correlation. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "470.lbm"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"lbm" ~n:2 in
+  let src_grid = B.global b ~name:"src_grid" ~size:(14 * 1024 * 1024) in
+  let dst_grid = B.global b ~name:"dst_grid" ~size:(14 * 1024 * 1024) in
+  let stream_collide =
+    B.proc b ~obj:objs.(0) ~name:"LBM_performStreamCollide"
+      [
+        B.for_ ~trips:420
+          [
+            B.load_global src_grid (B.seq ~stride:80);
+            B.fp_work 11;
+            B.if_
+              (Behavior.Bernoulli { p_taken = 0.985 })
+              [ B.store_global dst_grid (B.seq ~stride:80) ]
+              [ B.work 2 ];
+          ];
+      ]
+  in
+  let swap_grids =
+    B.proc b ~obj:objs.(1) ~name:"LBM_swapGrids" [ B.work 8 ]
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [ B.for_ ~trips:(scale * 24) [ B.call stream_collide; B.call swap_grids ] ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "Lattice Boltzmann: fused stream-collide, branch-free (not significant)";
+    expect_significant = false;
+    build;
+  }

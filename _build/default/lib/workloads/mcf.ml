@@ -1,0 +1,59 @@
+(* 429.mcf stand-in: single-depot vehicle scheduling via network simplex.
+   The defining behaviour is a pointer chase over an arc/node graph far
+   larger than the last-level cache, so nearly every step stalls on memory:
+   the paper measures CPI 4.68, by far the highest in the suite, with only a
+   weak (but significant) branch component. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "429.mcf"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"mcf" ~n:3 in
+  (* 320k nodes x 64B = 20MB: three times the modelled L2 slice, so the
+     chase misses all the way to memory in steady state. *)
+  let arcs = B.heap_site b ~name:"arcs" ~obj_size:64 ~count:327_680 in
+  let nodes = B.heap_site b ~name:"nodes" ~obj_size:64 ~count:65_536 in
+  let basket = B.global b ~name:"basket" ~size:8192 in
+  let price_arcs =
+    B.proc b ~obj:objs.(0) ~name:"price_out_impl"
+      (chase_kernel ctx ~site:arcs ~steps:36 ~work:27
+         ~extra:
+           (branch_blob ctx ~mix:easy_mix ~n:1 ~work:3
+           @ [ B.load_global basket (B.seq ~stride:16) ]))
+  in
+  let refresh_potentials =
+    B.proc b ~obj:objs.(1) ~name:"refresh_potential"
+      (chase_kernel ctx ~site:nodes ~steps:18 ~work:14
+         ~extra:(branch_blob ctx ~mix:easy_mix ~n:1 ~work:2))
+  in
+  let primal_iminus =
+    B.proc b ~obj:objs.(2) ~name:"primal_iminus"
+      ([ B.load_global basket B.rand_access; B.work 8 ]
+      @ branch_blob ctx ~mix:patterned_mix ~n:3 ~work:5)
+  in
+  let arc_status_checks = guard_pool ctx ~objs ~prefix:"arc_status" ~procs:28 ~branches_per:7 in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 95)
+          (branch_blob ctx ~mix:easy_mix ~n:2 ~work:5
+          @ call_all arc_status_checks
+          @ [ B.call price_arcs; B.call refresh_potentials; B.call primal_iminus ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "Network simplex: 20MB pointer chase, memory-latency bound (highest CPI)";
+    expect_significant = true;
+    build;
+  }

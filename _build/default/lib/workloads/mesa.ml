@@ -1,0 +1,68 @@
+(* 177.mesa stand-in (SPEC CPU 2000): software 3D rendering. Vertex
+   transform FP pipelines and span rasterization loops with mostly counted
+   control. Extended-registry benchmark. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "177.mesa"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"mesa" ~n:5 in
+  let vertex_buffer = B.global b ~name:"vertex_buffer" ~size:(512 * 1024) in
+  let framebuffer = B.global b ~name:"framebuffer" ~size:(3 * 1024 * 1024) in
+  let texture = B.global b ~name:"texture" ~size:(1024 * 1024) in
+  let transform =
+    B.proc b ~obj:objs.(0) ~name:"gl_xform_points3_general"
+      [
+        B.for_ ~trips:90
+          [
+            B.load_global vertex_buffer (B.seq ~stride:32);
+            B.fp_work 9;
+            B.mul_work 2;
+            B.store_global vertex_buffer (B.seq ~stride:32);
+          ];
+      ]
+  in
+  let rasterize =
+    B.proc b ~obj:objs.(1) ~name:"general_textured_triangle"
+      [
+        B.for_ ~trips:120
+          ([
+             B.load_global texture B.rand_access;
+             B.fp_work 4;
+             B.store_global framebuffer (B.seq ~stride:64);
+           ]
+          @ branch_blob ctx ~mix:fp_mix ~n:1 ~work:2);
+      ]
+  in
+  let clip_cull =
+    B.proc b ~obj:objs.(2) ~name:"gl_viewclip_polygon"
+      (branch_blob ctx ~mix:patterned_mix ~n:5 ~work:3 @ [ B.fp_work 5 ])
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 40)
+          ([ B.call transform; B.call clip_cull; B.call rasterize ]
+          @ [
+              B.if_
+                (Behavior.Bernoulli { p_taken = 0.92 })
+                [ B.work 3 ] [ B.fp_work 4 ];
+            ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2000;
+    description = "Software 3D rendering: FP transforms, texture sampling, span loops";
+    expect_significant = true;
+    build;
+  }

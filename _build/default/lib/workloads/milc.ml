@@ -1,0 +1,57 @@
+(* 433.milc stand-in: lattice quantum chromodynamics. SU(3) matrix kernels
+   streamed over a huge lattice; control is counted loops only. Second of
+   the three benchmarks without significant CPI~MPKI correlation. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+
+let name = "433.milc"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"milc" ~n:3 in
+  let _ = ctx in
+  let lattice = B.global b ~name:"lattice" ~size:(12 * 1024 * 1024) in
+  let momenta = B.global b ~name:"momenta" ~size:(4 * 1024 * 1024) in
+  let mult_su3 =
+    B.proc b ~obj:objs.(0) ~name:"mult_su3_na"
+      [
+        B.for_ ~trips:240
+          [
+            B.load_global lattice (B.seq ~stride:96);
+            B.mul_work 4;
+            B.fp_work 8;
+            B.store_global momenta (B.seq ~stride:48);
+          ];
+      ]
+  in
+  let gauge_force =
+    B.proc b ~obj:objs.(1) ~name:"imp_gauge_force"
+      [
+        B.for_ ~trips:100
+          [ B.load_global momenta (B.seq ~stride:32); B.fp_work 10 ];
+      ]
+  in
+  let boundary_wrap =
+    B.proc b ~obj:objs.(2) ~name:"boundary_wrap"
+      (branch_blob ctx ~mix:fp_mix ~n:2 ~work:3)
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 85)
+          [ B.call mult_su3; B.call gauge_force; B.call boundary_wrap; B.work 5 ];
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "Lattice QCD: streamed SU(3) kernels, loop-only control (not significant)";
+    expect_significant = false;
+    build;
+  }

@@ -1,0 +1,56 @@
+(* 444.namd stand-in: molecular dynamics (C++), heavily optimized compute
+   kernels. Almost pure FP arithmetic over L1-resident tiles; branch
+   behaviour dominated by counted loops, modest MPKI. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+
+let name = "444.namd"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"namd" ~n:4 in
+  let tile_a = B.global b ~name:"tile_a" ~size:(48 * 1024) in
+  let tile_b = B.global b ~name:"tile_b" ~size:(48 * 1024) in
+  let pairlists = B.global b ~name:"pairlists" ~size:(640 * 1024) in
+  let compute_pairs =
+    spread_pool ctx ~objs ~prefix:"calc_pair" ~n:12 ~body:(fun i ->
+        [
+          B.for_ ~trips:(40 + (8 * (i mod 4)))
+            ([
+               B.load_global pairlists (B.seq ~stride:32);
+               B.load_global tile_a B.rand_access;
+               B.fp_work (8 + (i mod 4));
+               B.load_global tile_b B.rand_access;
+               B.fp_work 6;
+             ]
+            @ branch_blob ctx ~mix:fp_mix ~n:1 ~work:2);
+        ])
+  in
+  let integrate =
+    B.proc b ~obj:objs.(1) ~name:"integrate"
+      [
+        B.for_ ~trips:56
+          [ B.load_global tile_a (B.seq ~stride:16); B.fp_work 7; B.store_global tile_a (B.seq ~stride:16) ];
+      ]
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 26)
+          (branch_blob ctx ~mix:fp_mix ~n:2 ~work:3
+          @ call_all compute_pairs @ [ B.call integrate ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "Molecular dynamics kernels: FP-dense, L1-resident tiles, counted loops";
+    expect_significant = true;
+    build;
+  }

@@ -1,0 +1,64 @@
+(* 471.omnetpp stand-in: discrete-event network simulation. An event-queue
+   pointer structure larger than L2, virtual dispatch to module handlers,
+   and allocation-heavy message passing: CPI ~1.9 with both memory and
+   branch components — the paper's second Figure-2 example. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "471.omnetpp"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"omnet" ~n:8 in
+  (* Event heap: 7MB of message objects, chased in schedule order. *)
+  let messages = B.heap_site b ~name:"messages" ~obj_size:224 ~count:6_144 in
+  let gates = B.heap_site b ~name:"gates" ~obj_size:96 ~count:3072 in
+  let stats_buf = B.global b ~name:"stats" ~size:(128 * 1024) in
+  let module_handlers =
+    spread_pool ctx ~objs ~prefix:"handleMessage" ~n:24 ~body:(fun i ->
+        [ B.load_heap gates B.rand_access ]
+        @ branch_blob ctx ~mix:patterned_mix ~n:(3 + (i mod 4)) ~work:4
+        @ [ B.load_heap gates (B.seq ~stride:24); B.work 4 ]
+        @ branch_blob ctx ~mix:easy_mix ~n:2 ~work:3)
+  in
+  let schedule_next =
+    B.proc b ~obj:objs.(0) ~name:"cMessageHeap_shiftup"
+      (chase_kernel ctx ~site:messages ~steps:4 ~work:6
+         ~extra:(branch_blob ctx ~mix:patterned_mix ~n:1 ~work:2))
+  in
+  let record_stats =
+    B.proc b ~obj:objs.(1) ~name:"record_stats"
+      ([ B.load_global stats_buf B.rand_access; B.fp_work 3 ]
+      @ branch_blob ctx ~mix:easy_mix ~n:2 ~work:2
+      @ [ B.store_global stats_buf B.rand_access ])
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 560)
+          ([ B.call schedule_next ]
+          @ dispatch_loop ctx ~trips:2
+              ~selector:(bytecode_stream ctx ~n_targets:24 ~length:128 ~hot_fraction:0.25)
+              ~callees:module_handlers ~per_iter:[ B.work 3 ]
+          @ [
+              B.if_
+                (Behavior.Bernoulli { p_taken = 0.3 })
+                [ B.call record_stats ]
+                [ B.work 2 ];
+            ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "Discrete-event simulator: event-heap chases, virtual dispatch, CPI ~1.9";
+    expect_significant = true;
+    build;
+  }

@@ -1,0 +1,61 @@
+(* 197.parser stand-in (SPEC CPU 2000): link-grammar natural-language
+   parser. Dictionary pointer chasing through modest heap structures with
+   backtracking control. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "197.parser"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"parser" ~n:5 in
+  let dictionary = B.heap_site b ~name:"dict_nodes" ~obj_size:72 ~count:6_144 in
+  let connectors = B.heap_site b ~name:"connectors" ~obj_size:40 ~count:8192 in
+  let sentence = B.global b ~name:"sentence" ~size:(32 * 1024) in
+  let dict_lookup =
+    B.proc b ~obj:objs.(0) ~name:"abridged_lookup"
+      (chase_kernel ctx ~site:dictionary ~steps:6 ~work:7
+         ~extra:(branch_blob ctx ~mix:patterned_mix ~n:1 ~work:2))
+  in
+  let match_connectors =
+    B.proc b ~obj:objs.(1) ~name:"prune_match"
+      [
+        B.for_ ~trips:10
+          ([ B.load_heap connectors B.rand_access; B.work 5 ]
+          @ branch_blob ctx ~mix:hard_mix ~n:1 ~work:2
+          @ branch_blob ctx ~mix:easy_mix ~n:1 ~work:2);
+      ]
+  in
+  let backtrack =
+    B.proc b ~obj:objs.(2) ~name:"region_valid"
+      (branch_blob ctx ~mix:hard_mix ~n:2 ~work:4
+      @ [ B.load_global sentence (B.seq ~stride:8); B.work 4 ])
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 260)
+          (branch_blob ctx ~mix:easy_mix ~n:2 ~work:3
+          @ [ B.call dict_lookup; B.call match_connectors ]
+          @ [
+              B.if_
+                (Behavior.Bernoulli { p_taken = 0.35 })
+                [ B.call backtrack ]
+                [ B.work 3 ];
+            ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2000;
+    description = "Link-grammar parser: dictionary chases with backtracking branches";
+    expect_significant = true;
+    build;
+  }

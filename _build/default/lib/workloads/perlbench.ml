@@ -1,0 +1,74 @@
+(* 400.perlbench stand-in: a bytecode-interpreter workload. An opcode
+   dispatch loop makes indirect calls into a pool of handler procedures,
+   each a blob of moderately predictable branches plus hash-table probes
+   into a heap-allocated symbol table. Integer-heavy, branchy, light on the
+   memory system — the profile behind the paper's headline CPI 0.70 /
+   MPKI 6.5 example. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "400.perlbench"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"perl" ~n:8 in
+  let symbol_table = B.heap_site b ~name:"symtab" ~obj_size:128 ~count:1536 in
+  let pad_buffer = B.global b ~name:"pad" ~size:(96 * 1024) in
+  let opcode_handlers =
+    spread_pool ctx ~objs ~prefix:"op" ~n:64 ~body:(fun i ->
+        let probes =
+          if i mod 3 = 0 then [ B.load_heap symbol_table B.rand_access ]
+          else [ B.load_global pad_buffer (B.seq ~stride:32) ]
+        in
+        branch_blob ctx ~mix:patterned_mix ~n:(6 + (i mod 7)) ~work:6
+        @ probes
+        @ branch_blob ctx ~mix:easy_mix ~n:5 ~work:5)
+  in
+  let regex_engine =
+    B.proc b ~obj:objs.(0) ~name:"regex_match"
+      (branch_blob ctx ~mix:long_history_mix ~n:18 ~work:4
+      @ [ B.for_ ~trips:12 (branch_blob ctx ~mix:patterned_mix ~n:3 ~work:2) ])
+  in
+  let gc_pass =
+    B.proc b ~obj:objs.(1) ~name:"sv_sweep"
+      [
+        B.for_ ~trips:48
+          ([ B.load_heap symbol_table B.rand_access ]
+          @ branch_blob ctx ~mix:easy_mix ~n:2 ~work:2);
+      ]
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 130)
+          (branch_blob ctx ~mix:easy_mix ~n:2 ~work:3
+          @ dispatch_loop ctx ~trips:6
+              ~selector:(bytecode_stream ctx ~n_targets:64 ~length:256 ~hot_fraction:0.15)
+              ~callees:opcode_handlers
+              ~per_iter:[ B.work 4 ]
+          @ [
+              B.if_
+                (Behavior.Bernoulli { p_taken = 0.2 })
+                [ B.call regex_engine ]
+                [ B.work 2 ];
+              B.if_
+                (Behavior.Periodic { pattern = Behavior.loop_pattern ~trips:32 })
+                [ B.work 1 ]
+                [ B.call gc_pass ];
+            ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "Perl interpreter: indirect dispatch, hash probes, branchy handlers";
+    expect_significant = true;
+    build;
+  }

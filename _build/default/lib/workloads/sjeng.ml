@@ -1,0 +1,63 @@
+(* 458.sjeng stand-in: chess engine. Alpha-beta search with bitboard move
+   generation: very hard data-dependent branches softened by highly biased
+   pruning tests. Appears in the paper's Figure 5(a) as a strongly linear
+   benchmark in the simulator study. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+
+let name = "458.sjeng"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"sjeng" ~n:6 in
+  let hash_table = B.global b ~name:"ttable" ~size:(192 * 1024) in
+  let board_stack = B.global b ~name:"board_stack" ~size:(64 * 1024) in
+  let move_generators =
+    spread_pool ctx ~objs ~prefix:"gen" ~n:20 ~body:(fun i ->
+        [
+          B.load_global board_stack (B.seq ~stride:16);
+          B.work (4 + (i mod 3));
+          B.load_global board_stack (B.seq ~stride:8);
+        ]
+        @ branch_blob ctx ~mix:hard_mix ~n:2 ~work:4
+        @ branch_blob ctx ~mix:easy_mix ~n:2 ~work:3)
+  in
+  let evaluate =
+    B.proc b ~obj:objs.(0) ~name:"std_eval"
+      (branch_blob ctx ~mix:patterned_mix ~n:8 ~work:4
+      @ [ B.load_global board_stack B.rand_access; B.work 6 ])
+  in
+  let probe_tt =
+    B.proc b ~obj:objs.(1) ~name:"probe_tt"
+      ([ B.load_global hash_table B.rand_access; B.work 3 ]
+      @ branch_blob ctx ~mix:hard_mix ~n:1 ~work:2)
+  in
+  let search_step =
+    B.proc b ~obj:objs.(2) ~name:"search"
+      ([ B.call probe_tt ]
+      @ branch_blob ctx ~mix:hard_mix ~n:2 ~work:3
+      @ call_all (Array.sub move_generators 0 6)
+      @ [ B.call evaluate ])
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 190)
+          (branch_blob ctx ~mix:easy_mix ~n:2 ~work:3
+          @ [ B.call search_step ]
+          @ call_all (Array.sub move_generators 6 6));
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "Chess engine: alpha-beta search, hard pruning branches (Fig 5a)";
+    expect_significant = true;
+    build;
+  }

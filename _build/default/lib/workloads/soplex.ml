@@ -1,0 +1,75 @@
+(* 450.soplex stand-in: simplex linear-programming solver. Sparse matrix
+   operations — indexed gathers over multi-megabyte column data with FP
+   pivoting — give it a strong L2 component (CPI ~1.8) alongside moderate,
+   significant branch sensitivity. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "450.soplex"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"soplex" ~n:6 in
+  let matrix_cols = B.global b ~name:"matrix_cols" ~size:(2 * 1024 * 1024) in
+  let row_index = B.global b ~name:"row_index" ~size:(512 * 1024) in
+  let workvec = B.global b ~name:"workvec" ~size:(128 * 1024) in
+  let price_pass =
+    B.proc b ~obj:objs.(0) ~name:"entered4X"
+      [
+        B.for_ ~trips:72
+          ([
+             B.load_global row_index (B.seq ~stride:16);
+             B.load_global matrix_cols B.rand_access;
+             B.fp_work 9;
+           ]
+          @ branch_blob ctx ~mix:patterned_mix ~n:2 ~work:3);
+      ]
+  in
+  let pivot =
+    B.proc b ~obj:objs.(1) ~name:"doPupdate"
+      ([ B.load_global workvec (B.seq ~stride:8); B.fp_work 7; B.div_work 1 ]
+      @ branch_blob ctx ~mix:hard_mix ~n:2 ~work:4
+      @ [ B.store_global workvec (B.seq ~stride:8) ])
+  in
+  let factorize =
+    B.proc b ~obj:objs.(2) ~name:"factorize"
+      [
+        B.for_ ~trips:36
+          ([ B.load_global matrix_cols (B.seq ~stride:128); B.fp_work 6 ]
+          @ branch_blob ctx ~mix:fp_mix ~n:2 ~work:3);
+      ]
+  in
+  let ratio_test =
+    B.proc b ~obj:objs.(3) ~name:"maxDelta"
+      (branch_blob ctx ~mix:patterned_mix ~n:5 ~work:4
+      @ [ B.load_global workvec B.rand_access; B.fp_work 4 ])
+  in
+  let status_checks = guard_pool ctx ~objs ~prefix:"basis_status" ~procs:24 ~branches_per:6 in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 80)
+          (call_all status_checks @ [ B.call price_pass; B.call ratio_test; B.call pivot ]
+          @ [
+              B.if_
+                (Behavior.Periodic { pattern = Behavior.loop_pattern ~trips:24 })
+                [ B.work 2 ]
+                [ B.call factorize ];
+            ]
+          @ branch_blob ctx ~mix:easy_mix ~n:2 ~work:3);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "Simplex LP: sparse gathers over 10MB matrix, FP pivoting, L2-bound";
+    expect_significant = true;
+    build;
+  }

@@ -1,0 +1,52 @@
+let table1_2006 () =
+  [
+    Perlbench.spec;
+    Bzip2.spec;
+    Gcc_bench.spec;
+    Gamess.spec;
+    Mcf.spec;
+    Zeusmp.spec;
+    Gromacs.spec;
+    Namd.spec;
+    Gobmk.spec;
+    Soplex.spec;
+    Calculix.spec;
+    Hmmer.spec;
+    Gemsfdtd.spec;
+    Libquantum.spec;
+    H264ref.spec;
+    Tonto.spec;
+    Omnetpp.spec;
+    Astar.spec;
+    Sphinx3.spec;
+    Xalancbmk.spec;
+  ]
+
+let all_2006 () = table1_2006 () @ [ Bwaves.spec; Milc.spec; Lbm.spec ]
+
+let simulation_suite () =
+  all_2006 ()
+  @ [
+      Sjeng.spec;
+      Gzip.spec;
+      Vpr.spec;
+      Crafty.spec;
+      Parser.spec;
+      Twolf.spec;
+      Eon.spec;
+      Galgel.spec;
+    ]
+
+let extended_2000 () =
+  [ Vortex.spec; Gap.spec; Mesa.spec; Equake.spec; Ammp.spec; Art.spec ]
+
+let everything () = simulation_suite () @ extended_2000 ()
+
+let find name =
+  match List.find_opt (fun (b : Bench.t) -> b.name = name) (everything ()) with
+  | Some b -> b
+  | None -> raise Not_found
+
+let names specs = List.map (fun (b : Bench.t) -> b.Bench.name) specs
+
+let default_scale = 8

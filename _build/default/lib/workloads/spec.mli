@@ -1,0 +1,35 @@
+(** Benchmark registry.
+
+    The paper compiles 23 of the 29 SPEC CPU 2006 benchmarks under its
+    infrastructure; 20 of them show statistically significant CPI~MPKI
+    correlation (Table 1) and 3 do not. The MASE simulator study (Section 3,
+    Figures 4 and 5) additionally uses SPEC CPU 2000 benchmarks. This module
+    mirrors those populations with the stand-in generators. *)
+
+val all_2006 : unit -> Bench.t list
+(** The 23 benchmarks that "compile and run" — the native-measurement
+    population of the paper. *)
+
+val table1_2006 : unit -> Bench.t list
+(** The 20 expected to pass the significance test (Table 1 rows). *)
+
+val simulation_suite : unit -> Bench.t list
+(** The 31 benchmarks of the simulator linearity study: the 23 above plus
+    458.sjeng and seven SPEC CPU 2000 stand-ins (including 252.eon and
+    178.galgel, the visibly non-linear pair). *)
+
+val extended_2000 : unit -> Bench.t list
+(** Additional SPEC CPU 2000 stand-ins beyond the paper's study population,
+    available to tool users (vortex, gap, mesa, equake, ammp, art). *)
+
+val everything : unit -> Bench.t list
+(** The full registry: simulation suite plus the extended set. *)
+
+val find : string -> Bench.t
+(** Look up by exact name (e.g. ["400.perlbench"]); raises [Not_found]. *)
+
+val names : Bench.t list -> string list
+
+val default_scale : int
+(** Scale used by the experiment harness: traces of a few hundred thousand
+    blocks. *)

@@ -1,0 +1,62 @@
+(* 482.sphinx3 stand-in: speech recognition. Gaussian-mixture scoring (FP
+   streams) interleaved with hidden-Markov search over dynamic structures:
+   mixed FP/branch/memory profile, CPI ~0.9. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "482.sphinx3"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"sphinx" ~n:6 in
+  let gauden = B.global b ~name:"gauden" ~size:(2 * 1024 * 1024) in
+  let senone_scores = B.global b ~name:"senone_scores" ~size:(256 * 1024) in
+  let hmm_states = B.heap_site b ~name:"hmm_states" ~obj_size:128 ~count:6144 in
+  let gmm_score =
+    B.proc b ~obj:objs.(0) ~name:"mgau_eval"
+      [
+        B.for_ ~trips:140
+          [
+            B.load_global gauden (B.seq ~stride:64);
+            B.fp_work 8;
+            B.store_global senone_scores (B.seq ~stride:16);
+            B.work 2;
+          ];
+      ]
+  in
+  let hmm_search =
+    B.proc b ~obj:objs.(1) ~name:"hmm_vit_eval"
+      [
+        B.for_ ~trips:44
+          ([ B.load_heap hmm_states B.rand_access; B.work 4 ]
+          @ branch_blob ctx ~mix:patterned_mix ~n:2 ~work:3
+          @ branch_blob ctx ~mix:hard_mix ~n:1 ~work:2);
+      ]
+  in
+  let prune =
+    B.proc b ~obj:objs.(2) ~name:"subvq_prune"
+      (branch_blob ctx ~mix:patterned_mix ~n:5 ~work:3
+      @ [ B.load_global senone_scores B.rand_access; B.fp_work 3 ])
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 62)
+          (branch_blob ctx ~mix:easy_mix ~n:2 ~work:3
+          @ [ B.call gmm_score; B.call hmm_search; B.call prune ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "Speech recognition: GMM FP streaming plus HMM search branches";
+    expect_significant = true;
+    build;
+  }

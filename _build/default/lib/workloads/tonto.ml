@@ -1,0 +1,58 @@
+(* 465.tonto stand-in: quantum crystallography (Fortran 95). FP-heavy with
+   more object-style indirection than the classic FP codes: moderate branch
+   sensitivity around integral screening tests. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+
+let name = "465.tonto"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"tonto" ~n:6 in
+  let shell_data = B.heap_site b ~name:"shells" ~obj_size:512 ~count:512 in
+  let integral_buf = B.global b ~name:"integral_buf" ~size:(768 * 1024) in
+  let screening =
+    B.proc b ~obj:objs.(0) ~name:"make_gaussian_xyz"
+      (branch_blob ctx ~mix:patterned_mix ~n:4 ~work:3
+      @ [ B.load_heap shell_data B.rand_access; B.fp_work 6 ])
+  in
+  let integral_kernels =
+    spread_pool ctx ~objs ~prefix:"make_ft" ~n:16 ~body:(fun i ->
+        [
+          B.for_ ~trips:(30 + (6 * (i mod 4)))
+            ([ B.load_global integral_buf (B.seq ~stride:48); B.fp_work (7 + (i mod 3)) ]
+            @ branch_blob ctx ~mix:fp_mix ~n:1 ~work:2);
+        ])
+  in
+  let density_fit =
+    B.proc b ~obj:objs.(1) ~name:"density_fit"
+      [
+        B.for_ ~trips:40
+          ([ B.load_heap shell_data (B.seq ~stride:64); B.fp_work 5; B.mul_work 1 ]
+          @ branch_blob ctx ~mix:fp_mix ~n:2 ~work:2);
+      ]
+  in
+  let symmetry_checks = guard_pool ctx ~objs ~prefix:"symmetry_check" ~procs:20 ~branches_per:6 in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 30)
+          ([ B.call screening ] @ call_all symmetry_checks
+          @ call_all (Array.sub integral_kernels 0 10)
+          @ [ B.call density_fit ]
+          @ branch_blob ctx ~mix:fp_mix ~n:2 ~work:3);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "Quantum crystallography: FP integrals with screening-test branches";
+    expect_significant = true;
+    build;
+  }

@@ -1,0 +1,201 @@
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+module Rng = Pi_stats.Rng
+
+type ctx = {
+  builder : B.t;
+  rng : Rng.t;
+  scale : int;
+  mutable labels : string list;
+  mutable label_counter : int;
+}
+
+let make_ctx ~name ~scale =
+  if scale < 1 then invalid_arg "Toolkit.make_ctx: scale < 1";
+  let seed_rng = Rng.named_stream (Rng.create 0x5EC2006) name in
+  { builder = B.create ~name; rng = seed_rng; scale; labels = []; label_counter = 0 }
+
+let fresh_label ctx =
+  let l = Printf.sprintf "br%d" ctx.label_counter in
+  ctx.label_counter <- ctx.label_counter + 1;
+  l
+
+type branch_mix = {
+  p_biased : float;
+  p_periodic_short : float;
+  p_periodic_long : float;
+  p_loop_long : float;
+  p_random : float;
+}
+
+let easy_mix =
+  { p_biased = 0.86; p_periodic_short = 0.05; p_periodic_long = 0.015; p_loop_long = 0.02; p_random = 0.012 }
+
+let patterned_mix =
+  { p_biased = 0.64; p_periodic_short = 0.10; p_periodic_long = 0.07; p_loop_long = 0.05; p_random = 0.02 }
+
+let long_history_mix =
+  { p_biased = 0.34; p_periodic_short = 0.10; p_periodic_long = 0.26; p_loop_long = 0.18; p_random = 0.04 }
+
+let hard_mix =
+  { p_biased = 0.42; p_periodic_short = 0.12; p_periodic_long = 0.06; p_loop_long = 0.02; p_random = 0.28 }
+
+let deterministic_mix =
+  { p_biased = 1.0; p_periodic_short = 0.0; p_periodic_long = 0.0; p_loop_long = 0.0; p_random = 0.0 }
+
+let fp_mix =
+  { p_biased = 0.86; p_periodic_short = 0.06; p_periodic_long = 0.01; p_loop_long = 0.04; p_random = 0.01 }
+
+let periodic_pattern ctx ~period =
+  (* A repeating pattern with some internal structure (runs), not pure
+     noise, so history predictors can learn it. *)
+  let pattern = Array.make period false in
+  let bit = ref (Rng.bool ctx.rng) in
+  let i = ref 0 in
+  while !i < period do
+    let run = 1 + Rng.int ctx.rng (max 1 (period / 3)) in
+    let stop = min period (!i + run) in
+    while !i < stop do
+      pattern.(!i) <- !bit;
+      incr i
+    done;
+    bit := not !bit
+  done;
+  pattern
+
+let gen_behavior ctx mix =
+  let r = Rng.float ctx.rng 1.0 in
+  let biased () =
+    (* Most "biased" branches in compiled code are deterministic on a given
+       input (error checks, type guards); only some carry rare data-driven
+       flips. Determinism matters: random flips pollute global history and
+       starve long-history predictors in short runs. *)
+    if Rng.float ctx.rng 1.0 < 0.55 then
+      if Rng.bool ctx.rng then Behavior.Always_taken else Behavior.Never_taken
+    else
+      let p = 0.965 +. Rng.float ctx.rng 0.033 in
+      let p = if Rng.bool ctx.rng then p else 1.0 -. p in
+      Behavior.Bernoulli { p_taken = p }
+  in
+  let threshold_1 = mix.p_biased in
+  let threshold_2 = threshold_1 +. mix.p_periodic_short in
+  let threshold_3 = threshold_2 +. mix.p_periodic_long in
+  let threshold_4 = threshold_3 +. mix.p_loop_long in
+  let threshold_5 = threshold_4 +. mix.p_random in
+  if r < threshold_1 then biased ()
+  else if r < threshold_2 then
+    Behavior.Periodic { pattern = periodic_pattern ctx ~period:(2 + Rng.int ctx.rng 7) }
+  else if r < threshold_3 then
+    Behavior.Periodic { pattern = periodic_pattern ctx ~period:(24 + Rng.int ctx.rng 137) }
+  else if r < threshold_4 then Behavior.Loop_trip { trips = 24 + Rng.int ctx.rng 377 }
+  else if r < threshold_5 then
+    Behavior.Bernoulli { p_taken = 0.25 +. Rng.float ctx.rng 0.5 }
+  else
+    match ctx.labels with
+    | [] -> biased ()
+    | labels ->
+        let src = List.nth labels (Rng.int ctx.rng (List.length labels)) in
+        Behavior.Correlated
+          { src; invert = Rng.bool ctx.rng; noise = Rng.float ctx.rng 0.02 }
+
+let branch_blob ctx ~mix ~n ~work =
+  if n < 1 then invalid_arg "Toolkit.branch_blob: n < 1";
+  List.concat
+    (List.init n (fun _ ->
+         let behavior = gen_behavior ctx mix in
+         let label = fresh_label ctx in
+         let stmt =
+           B.if_ ~label behavior
+             [ B.work (1 + Rng.int ctx.rng (max 1 work)) ]
+             [ B.work (1 + Rng.int ctx.rng (max 1 (work / 2 + 1))) ]
+         in
+         ctx.labels <- label :: (if List.length ctx.labels > 24 then List.filteri (fun i _ -> i < 24) ctx.labels else ctx.labels);
+         [ B.work (1 + Rng.int ctx.rng (max 1 work)); stmt ]))
+
+let loop_nest _ctx ~trips ~body =
+  List.fold_left (fun inner t -> [ B.for_ ~trips:t inner ]) body (List.rev trips)
+
+let chase_kernel ctx ~site ~steps ~work ~extra =
+  [
+    B.for_ ~trips:steps
+      ([ B.load_heap site (B.chase ~seed:(Rng.int ctx.rng 1_000_000 + 1)); B.work (max 1 work) ]
+      @ extra);
+  ]
+
+let stream_kernel ctx ~global ~stride ~trips ~work ~store_every =
+  ignore ctx;
+  let body =
+    [ B.load_global global (B.seq ~stride); B.work (max 1 work) ]
+    @
+    if store_every > 0 then
+      [
+        B.if_
+          (Behavior.Periodic { pattern = Array.init store_every (fun i -> i = 0) })
+          [ B.store_global global (B.seq ~stride:(stride * store_every)) ]
+          [ B.work 1 ];
+      ]
+    else []
+  in
+  [ B.for_ ~trips body ]
+
+let proc_pool ctx ~obj ~prefix ~n ~body =
+  Array.init n (fun i -> B.proc ctx.builder ~obj ~name:(Printf.sprintf "%s_%d" prefix i) (body i))
+
+let round_robin_objects ctx ~prefix ~n =
+  Array.init n (fun i -> B.add_object ctx.builder (Printf.sprintf "%s%d.o" prefix i))
+
+let spread_pool ctx ~objs ~prefix ~n ~body =
+  if Array.length objs = 0 then invalid_arg "Toolkit.spread_pool: no objects";
+  Array.init n (fun i ->
+      let obj = objs.(i mod Array.length objs) in
+      B.proc ctx.builder ~obj ~name:(Printf.sprintf "%s_%d" prefix i) (body i))
+
+let call_all procs = Array.to_list (Array.map B.call procs)
+
+let guard_pool ctx ~objs ~prefix ~procs ~branches_per =
+  (* Aliasing within one procedure is layout-invariant (relative offsets are
+     fixed at compile time); only branches in *different* procedures change
+     their collision pattern under reordering. A tournament predictor also
+     heals purely deterministic collisions (whichever component is
+     conflict-free wins the chooser), so the guards carry rare data-driven
+     flips: each flip perturbs the global history, multiplying the
+     (pc, history) footprint until collisions land in both components —
+     which is where placement sensitivity comes from on real machines. *)
+  spread_pool ctx ~objs ~prefix ~n:procs ~body:(fun i ->
+      List.concat
+        (List.init
+           (branches_per + (i mod 3))
+           (fun _ ->
+             let behavior =
+               if Rng.float ctx.rng 1.0 < 0.5 then
+                 if Rng.bool ctx.rng then Behavior.Always_taken else Behavior.Never_taken
+               else Behavior.Bernoulli { p_taken =
+                 (let p = 0.90 +. Rng.float ctx.rng 0.08 in
+                  if Rng.bool ctx.rng then p else 1.0 -. p) }
+             in
+             [ B.work 2; B.if_ ~label:(fresh_label ctx) behavior [ B.work 2 ] [ B.work 1 ] ])))
+
+let dispatch_loop _ctx ~trips ~selector ~callees ~per_iter =
+  [ B.for_ ~trips (per_iter @ [ B.icall selector callees ]) ]
+
+let bytecode_stream ctx ~n_targets ~length ~hot_fraction =
+  if n_targets < 1 then invalid_arg "Toolkit.bytecode_stream: no targets";
+  if length < 1 then invalid_arg "Toolkit.bytecode_stream: empty stream";
+  (* Opcode streams repeat and are dominated by a few hot opcodes appearing
+     in runs, which is what lets a BTB predict a useful share of an
+     interpreter's indirect calls. *)
+  let n_hot = max 1 (int_of_float (hot_fraction *. float_of_int n_targets)) in
+  let stream = Array.make length 0 in
+  let i = ref 0 in
+  while !i < length do
+    let target =
+      if Rng.float ctx.rng 1.0 < 0.8 then Rng.int ctx.rng n_hot else Rng.int ctx.rng n_targets
+    in
+    let run = 1 + Rng.int ctx.rng 4 in
+    let stop = min length (!i + run) in
+    while !i < stop do
+      stream.(!i) <- target;
+      incr i
+    done
+  done;
+  Behavior.Selector.Periodic_targets stream

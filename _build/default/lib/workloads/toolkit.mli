@@ -1,0 +1,114 @@
+(** Shared machinery for the SPEC stand-in workload generators.
+
+    Every benchmark stand-in is generated from a {!ctx} whose structure RNG
+    is seeded from the benchmark's name only, so the *program* (its CFG,
+    branch behaviours, memory sites) is a fixed artifact — exactly like a
+    compiled SPEC binary — while layout seeds vary per experiment. The
+    toolkit provides the recurring motifs: blobs of conditional branches
+    drawn from a predictability mix, loop nests, pointer-chase and streaming
+    kernels, procedure pools, call fan-outs and dispatch loops. *)
+
+type ctx = {
+  builder : Pi_isa.Builder.t;
+  rng : Pi_stats.Rng.t;  (** structure randomness; derived from the name *)
+  scale : int;  (** outer-loop multiplier; scale 1 = quick test size *)
+  mutable labels : string list;  (** labelled branches for correlation *)
+  mutable label_counter : int;
+}
+
+val make_ctx : name:string -> scale:int -> ctx
+
+val fresh_label : ctx -> string
+
+(** A branch-predictability mixture: probabilities of each behaviour class
+    (should sum to <= 1; the remainder becomes correlated branches when
+    labelled branches exist, biased ones otherwise). *)
+type branch_mix = {
+  p_biased : float;  (** Bernoulli 0.92..0.995 or always/never *)
+  p_periodic_short : float;  (** period 2..8: GAs-predictable *)
+  p_periodic_long : float;  (** period 24..160: needs TAGE-length history *)
+  p_loop_long : float;  (** Loop_trip 24..400: loop-predictor food *)
+  p_random : float;  (** Bernoulli 0.25..0.75: irreducible *)
+}
+
+(** Canonical mixes: [easy_mix] for predictable integer control,
+    [patterned_mix] for periodic/data-structured control, [long_history_mix]
+    where L-TAGE shines, [hard_mix] for search/chess-style data-dependent
+    control, [fp_mix] for FP codes that are almost entirely loop control. *)
+
+val easy_mix : branch_mix
+
+val deterministic_mix : branch_mix
+(** Only deterministic / near-deterministic branches: their mispredictions
+    come almost exclusively from table aliasing, i.e. from code placement —
+    the purest interferometry signal, typical of FP codes' guard tests. *)
+
+val patterned_mix : branch_mix
+val long_history_mix : branch_mix
+val hard_mix : branch_mix
+val fp_mix : branch_mix
+
+val periodic_pattern : ctx -> period:int -> bool array
+(** A deterministic repeating direction pattern with run structure (not
+    pure noise), drawn from the structure RNG. *)
+
+val gen_behavior : ctx -> branch_mix -> Pi_isa.Behavior.t
+
+val branch_blob :
+  ctx -> mix:branch_mix -> n:int -> work:int -> Pi_isa.Builder.stmt list
+(** [n] sequential labelled if/else statements whose behaviours are drawn
+    from [mix], with ~[work] plain instructions around each. *)
+
+val loop_nest :
+  ctx -> trips:int list -> body:Pi_isa.Builder.stmt list -> Pi_isa.Builder.stmt list
+(** Nested fixed-trip loops, outermost first. *)
+
+val chase_kernel :
+  ctx -> site:Pi_isa.Builder.site_handle -> steps:int -> work:int ->
+  extra:Pi_isa.Builder.stmt list -> Pi_isa.Builder.stmt list
+(** Pointer-chase loop: [steps] dependent loads with [work] ALU ops and
+    [extra] statements per step. *)
+
+val stream_kernel :
+  ctx -> global:Pi_isa.Builder.global_handle -> stride:int -> trips:int ->
+  work:int -> store_every:int -> Pi_isa.Builder.stmt list
+(** Streaming loop over a global array; every [store_every]-th iteration
+    also stores. [store_every = 0] disables stores. *)
+
+val proc_pool :
+  ctx -> obj:Pi_isa.Builder.obj_handle -> prefix:string -> n:int ->
+  body:(int -> Pi_isa.Builder.stmt list) -> Pi_isa.Builder.proc_handle array
+(** [n] procedures named [prefix_i] with generated bodies. *)
+
+val round_robin_objects : ctx -> prefix:string -> n:int -> Pi_isa.Builder.obj_handle array
+(** [n] object files; spread procedure pools across several link units so
+    object reordering has something to permute. *)
+
+val spread_pool :
+  ctx -> objs:Pi_isa.Builder.obj_handle array -> prefix:string -> n:int ->
+  body:(int -> Pi_isa.Builder.stmt list) -> Pi_isa.Builder.proc_handle array
+(** Like {!proc_pool} but distributing procedures round-robin over [objs]. *)
+
+val call_all : Pi_isa.Builder.proc_handle array -> Pi_isa.Builder.stmt list
+(** Direct calls to every procedure in order. *)
+
+val guard_pool :
+  ctx -> objs:Pi_isa.Builder.obj_handle array -> prefix:string -> procs:int ->
+  branches_per:int -> Pi_isa.Builder.proc_handle array
+(** Many small procedures of deterministic guard branches. Aliasing within a
+    procedure is layout-invariant, so placement-sensitive misprediction
+    signal requires guards spread across procedures — this is the knob FP
+    stand-ins use to reproduce the paper's significant-but-small branch
+    correlations. *)
+
+val dispatch_loop :
+  ctx -> trips:int -> selector:Pi_isa.Behavior.Selector.t ->
+  callees:Pi_isa.Builder.proc_handle array -> per_iter:Pi_isa.Builder.stmt list ->
+  Pi_isa.Builder.stmt list
+(** Interpreter-style loop performing an indirect call through [callees]
+    each iteration. *)
+
+val bytecode_stream :
+  ctx -> n_targets:int -> length:int -> hot_fraction:float -> Pi_isa.Behavior.Selector.t
+(** A repeating opcode stream with hot-opcode runs — the realistic indirect
+    target distribution of an interpreter, partially BTB-predictable. *)

@@ -1,0 +1,61 @@
+(* 300.twolf stand-in (SPEC CPU 2000): standard-cell placement and routing,
+   another simulated-annealing code: pointer-structured cell records,
+   accept/reject control, small-but-conflict-prone working set. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "300.twolf"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"twolf" ~n:4 in
+  let cells = B.heap_site b ~name:"cells" ~obj_size:120 ~count:2048 in
+  let nets = B.heap_site b ~name:"net_records" ~obj_size:88 ~count:2048 in
+  let rows = B.global b ~name:"rows" ~size:(192 * 1024) in
+  let new_position =
+    B.proc b ~obj:objs.(0) ~name:"ucxx2"
+      ([ B.load_heap cells B.rand_access; B.work 5 ]
+      @ branch_blob ctx ~mix:hard_mix ~n:1 ~work:4
+      @ [ B.load_global rows B.rand_access ]
+      @ branch_blob ctx ~mix:patterned_mix ~n:2 ~work:3)
+  in
+  let wire_cost =
+    B.proc b ~obj:objs.(1) ~name:"new_dbox"
+      [
+        B.for_ ~trips:12
+          ([ B.load_heap nets (B.seq ~stride:24); B.work 4 ]
+          @ branch_blob ctx ~mix:easy_mix ~n:1 ~work:2);
+      ]
+  in
+  let accept_reject =
+    B.proc b ~obj:objs.(2) ~name:"acceptt"
+      (branch_blob ctx ~mix:hard_mix ~n:1 ~work:2
+      @ [
+          B.if_
+            (Behavior.Bernoulli { p_taken = 0.47 })
+            [ B.store_heap cells B.rand_access; B.work 4 ]
+            [ B.work 2 ];
+        ])
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 560)
+          ([ B.call new_position; B.call wire_cost; B.call accept_reject ]
+          @ branch_blob ctx ~mix:easy_mix ~n:1 ~work:3);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2000;
+    description = "Standard-cell placement: annealing over pointer-structured cells";
+    expect_significant = true;
+    build;
+  }

@@ -1,0 +1,54 @@
+(* 255.vortex stand-in (SPEC CPU 2000): object-oriented database. Schema
+   lookups through nested heap records, transaction control flow with
+   well-biased validity checks, moderate code footprint. Part of the
+   extended registry (not one of the paper's 31 study benchmarks). *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "255.vortex"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"vortex" ~n:8 in
+  let db_records = B.heap_site b ~name:"db_records" ~obj_size:176 ~count:12_288 in
+  let index_nodes = B.heap_site b ~name:"index_nodes" ~obj_size:96 ~count:4096 in
+  let schema = B.global b ~name:"schema" ~size:(192 * 1024) in
+  let object_methods =
+    spread_pool ctx ~objs ~prefix:"Vchunk" ~n:48 ~body:(fun i ->
+        [ B.load_heap db_records B.rand_access ]
+        @ branch_blob ctx ~mix:easy_mix ~n:(4 + (i mod 3)) ~work:4
+        @ [ B.load_global schema B.rand_access; B.work 3 ])
+  in
+  let index_lookup =
+    B.proc b ~obj:objs.(0) ~name:"Tree_Search"
+      (chase_kernel ctx ~site:index_nodes ~steps:7 ~work:5
+         ~extra:(branch_blob ctx ~mix:patterned_mix ~n:1 ~work:3))
+  in
+  let validate =
+    B.proc b ~obj:objs.(1) ~name:"Validate_Object"
+      (branch_blob ctx ~mix:easy_mix ~n:8 ~work:3
+      @ [ B.load_heap db_records (B.seq ~stride:48); B.work 4 ])
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 120)
+          ([ B.call index_lookup; B.call validate ]
+          @ call_all (Array.sub object_methods 0 10)
+          @ branch_blob ctx ~mix:easy_mix ~n:2 ~work:3);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2000;
+    description = "OO database: record chases, schema lookups, biased validity checks";
+    expect_significant = true;
+    build;
+  }

@@ -1,0 +1,70 @@
+(* 175.vpr stand-in (SPEC CPU 2000): FPGA placement by simulated annealing.
+   Random swap proposals with accept/reject branches whose bias drifts, and
+   routing-cost gathers over netlist structures. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "175.vpr"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"vpr" ~n:4 in
+  let grid = B.global b ~name:"placement_grid" ~size:(192 * 1024) in
+  let cost_tables = B.global b ~name:"cost_tables" ~size:(16 * 1024) in
+  let netlist = B.heap_site b ~name:"nets" ~obj_size:160 ~count:1536 in
+  let try_swap =
+    B.proc b ~obj:objs.(0) ~name:"try_swap"
+      ([
+         B.load_global cost_tables (B.seq ~stride:8);
+         B.load_global grid B.rand_access;
+         B.work 4;
+         B.load_global cost_tables (B.seq ~stride:16);
+         B.load_heap netlist B.rand_access;
+       ]
+      @ branch_blob ctx ~mix:hard_mix ~n:2 ~work:4
+      @ [
+          B.if_
+            (Behavior.Bernoulli { p_taken = 0.44 })
+            [ B.store_global grid B.rand_access; B.work 3 ]
+            [ B.work 2 ];
+        ])
+  in
+  let net_cost =
+    B.proc b ~obj:objs.(1) ~name:"net_cost"
+      [
+        B.for_ ~trips:14
+          ([ B.load_heap netlist (B.seq ~stride:32); B.fp_work 3 ]
+          @ branch_blob ctx ~mix:patterned_mix ~n:1 ~work:2);
+      ]
+  in
+  let update_temperature =
+    B.proc b ~obj:objs.(2) ~name:"update_t"
+      (branch_blob ctx ~mix:easy_mix ~n:3 ~work:3 @ [ B.fp_work 4; B.div_work 1 ])
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 540)
+          ([ B.call try_swap; B.call net_cost ]
+          @ [
+              B.if_
+                (Behavior.Periodic { pattern = Behavior.loop_pattern ~trips:20 })
+                [ B.work 2 ]
+                [ B.call update_temperature ];
+            ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2000;
+    description = "FPGA placement: annealing accept/reject branches, netlist gathers";
+    expect_significant = true;
+    build;
+  }

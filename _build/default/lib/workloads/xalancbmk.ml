@@ -1,0 +1,61 @@
+(* 483.xalancbmk stand-in: XSLT processor. Like gcc, a very large code
+   footprint, but object-oriented: virtual dispatch through many small
+   methods over a DOM-like pointer structure. CPI ~1.9 with I-cache and
+   branch components. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "483.xalancbmk"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"xalan" ~n:14 in
+  let dom_nodes = B.heap_site b ~name:"dom_nodes" ~obj_size:112 ~count:6_144 in
+  let string_cache = B.heap_site b ~name:"xml_strings" ~obj_size:64 ~count:6144 in
+  let templates = B.global b ~name:"templates" ~size:(256 * 1024) in
+  let methods =
+    spread_pool ctx ~objs ~prefix:"method" ~n:190 ~body:(fun i ->
+        let memory =
+          match i mod 3 with
+          | 0 -> [ B.load_heap dom_nodes (B.chase ~seed:(300 + i)) ]
+          | 1 -> [ B.load_heap string_cache B.rand_access ]
+          | _ -> [ B.load_global templates B.rand_access ]
+        in
+        branch_blob ctx ~mix:patterned_mix ~n:(3 + (i mod 4)) ~work:3
+        @ memory
+        @ branch_blob ctx ~mix:easy_mix ~n:2 ~work:3)
+  in
+  let apply_templates =
+    B.proc b ~obj:objs.(0) ~name:"apply_templates"
+      (branch_blob ctx ~mix:easy_mix ~n:2 ~work:3
+      @ dispatch_loop ctx ~trips:5
+          ~selector:(bytecode_stream ctx ~n_targets:190 ~length:192 ~hot_fraction:0.1)
+          ~callees:methods ~per_iter:[ B.work 3 ])
+  in
+  let navigate_dom =
+    B.proc b ~obj:objs.(1) ~name:"navigate_dom"
+      (chase_kernel ctx ~site:dom_nodes ~steps:7 ~work:6
+         ~extra:(branch_blob ctx ~mix:patterned_mix ~n:1 ~work:2))
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 280)
+          ([ B.call navigate_dom; B.call apply_templates ]
+          @ branch_blob ctx ~mix:easy_mix ~n:2 ~work:3);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "XSLT processor: big OO code, virtual dispatch, DOM pointer walks";
+    expect_significant = true;
+    build;
+  }

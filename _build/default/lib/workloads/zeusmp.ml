@@ -1,0 +1,62 @@
+(* 434.zeusmp stand-in: computational fluid dynamics on a structured grid.
+   Stencil sweeps over multi-megabyte arrays with essentially perfect loop
+   control: MPKI is tiny and its range under code reordering is so narrow
+   that the paper's regression slope (0.373) is an extrapolation artifact —
+   a shape this stand-in reproduces by giving the branch predictor almost
+   nothing to do while the memory system dominates. *)
+
+open Toolkit
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+
+let name = "434.zeusmp"
+
+let build ~scale =
+  let ctx = make_ctx ~name ~scale in
+  let b = ctx.builder in
+  let objs = round_robin_objects ctx ~prefix:"zeus" ~n:4 in
+  let grid_u = B.global b ~name:"grid_u" ~size:(3 * 1024 * 1024) in
+  let grid_v = B.global b ~name:"grid_v" ~size:(3 * 1024 * 1024) in
+  let grid_w = B.global b ~name:"grid_w" ~size:(3 * 1024 * 1024) in
+  let sweep axis_name grid stride =
+    B.proc b ~obj:objs.(0) ~name:axis_name
+      [
+        B.for_ ~trips:220
+          [
+            B.load_global grid (B.seq ~stride);
+            B.fp_work 7;
+            B.load_global grid_u (B.seq ~stride:(stride * 2));
+            B.fp_work 5;
+            B.store_global grid (B.seq ~stride);
+            B.work 2;
+          ];
+      ]
+  in
+  let x_sweep = sweep "hsmoc_x" grid_u 8 in
+  let y_sweep = sweep "hsmoc_y" grid_v 64 in
+  let z_sweep = sweep "hsmoc_z" grid_w 512 in
+  let boundary =
+    B.proc b ~obj:objs.(1) ~name:"bvald"
+      (branch_blob ctx ~mix:fp_mix ~n:4 ~work:4
+      @ [ B.for_ ~trips:16 [ B.load_global grid_u (B.seq ~stride:256); B.fp_work 3 ] ])
+  in
+  let flux_limiters = guard_pool ctx ~objs ~prefix:"flux_limiter" ~procs:26 ~branches_per:7 in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main"
+      [
+        B.for_ ~trips:(scale * 44)
+          ([ B.call x_sweep ] @ call_all flux_limiters
+          @ [ B.call y_sweep; B.call z_sweep; B.call boundary; B.work 6 ]);
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let spec =
+  {
+    Bench.name;
+    suite = Bench.Cpu2006;
+    description = "CFD stencil sweeps: near-perfect loop control, memory-system dominated";
+    expect_significant = true;
+    build;
+  }

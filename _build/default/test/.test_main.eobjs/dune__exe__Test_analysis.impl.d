@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Filename Float Fun Interferometry List Option Pi_stats Pi_workloads Printf String Sys

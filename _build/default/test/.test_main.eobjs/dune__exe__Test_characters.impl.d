@@ -1,0 +1,1 @@
+test/test_characters.ml: Alcotest Hashtbl Interferometry List Pi_uarch Pi_workloads Printf

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Hashtbl Interferometry List Pi_isa Pi_stats Pi_uarch Pi_workloads Printf String

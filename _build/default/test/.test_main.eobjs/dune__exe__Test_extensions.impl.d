@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Filename Fun Interferometry Lazy List Pi_isa Pi_layout Pi_stats Pi_uarch Pi_workloads Printf Sys

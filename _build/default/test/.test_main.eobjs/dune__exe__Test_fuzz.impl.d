@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array List Pi_isa Pi_layout Pi_stats Pi_uarch Printf QCheck QCheck_alcotest Result

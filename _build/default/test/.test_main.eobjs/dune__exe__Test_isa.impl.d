@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Float List Pi_isa Pi_layout Pi_stats Pi_uarch Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Float List Option Pi_isa Pi_layout QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pin.ml: Alcotest Array List Pi_layout Pi_pin Pi_uarch Pi_workloads

@@ -1,0 +1,1 @@
+test/test_plot.ml: Alcotest Array List Pi_plot Pi_stats String

@@ -1,0 +1,1 @@
+test/test_predictors.ml: Alcotest Array List Pi_uarch Printf

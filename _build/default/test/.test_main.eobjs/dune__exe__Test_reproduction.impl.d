@@ -1,0 +1,1 @@
+test/test_reproduction.ml: Alcotest Hashtbl Interferometry List Pi_layout Pi_stats Pi_uarch Pi_workloads Printf

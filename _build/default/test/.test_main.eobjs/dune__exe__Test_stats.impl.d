@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float List Pi_stats QCheck QCheck_alcotest

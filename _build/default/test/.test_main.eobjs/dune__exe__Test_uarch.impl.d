@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Array Float Interferometry List Pi_isa Pi_layout Pi_stats Pi_uarch Pi_workloads Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Interferometry List Pi_isa Pi_uarch Pi_workloads Result

@@ -1,0 +1,155 @@
+(* Tests for the analysis extensions: rank statistics, ANOVA, power
+   analysis and the Markdown report generator. *)
+
+module Rank = Pi_stats.Rank
+module Power = Interferometry.Power
+module Report = Interferometry.Report
+module E = Interferometry.Experiment
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* ---------------- Ranks / Spearman ---------------- *)
+
+let test_ranks_basic () =
+  Alcotest.(check (array (float 1e-12))) "simple" [| 2.0; 1.0; 3.0 |]
+    (Rank.ranks [| 5.0; 1.0; 9.0 |])
+
+let test_ranks_ties () =
+  (* 4.0 appears twice at rank positions 2 and 3 -> both get 2.5. *)
+  Alcotest.(check (array (float 1e-12))) "ties" [| 2.5; 1.0; 2.5; 4.0 |]
+    (Rank.ranks [| 4.0; 1.0; 4.0; 7.0 |])
+
+let test_spearman_monotone () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let ys = Array.map (fun x -> exp x) xs in
+  (* Nonlinear but monotone: Spearman 1, Pearson < 1. *)
+  check_close 1e-12 "rho = 1" 1.0 (Rank.spearman_rho xs ys);
+  Alcotest.(check bool) "pearson below rho" true (Pi_stats.Correlation.pearson_r xs ys < 1.0)
+
+let test_spearman_anti () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = [| 9.0; 6.0; 4.0; 1.0 |] in
+  check_close 1e-12 "rho = -1" (-1.0) (Rank.spearman_rho xs ys)
+
+let test_spearman_test_significance () =
+  let rng = Pi_stats.Rng.create 7 in
+  let xs = Array.init 40 (fun i -> float_of_int i) in
+  let ys = Array.map (fun x -> (x *. x) +. Pi_stats.Rng.gaussian rng) xs in
+  let r = Rank.spearman_test xs ys in
+  Alcotest.(check bool) "monotone signal detected" true r.Pi_stats.Correlation.significant
+
+(* ---------------- ANOVA ---------------- *)
+
+let test_anova_distinguishes_groups () =
+  let rng = Pi_stats.Rng.create 5 in
+  let group mean = Array.init 20 (fun _ -> mean +. (0.5 *. Pi_stats.Rng.gaussian rng)) in
+  let separated = Rank.one_way_anova [| group 0.0; group 3.0; group 6.0 |] in
+  Alcotest.(check bool) "separated groups significant" true (separated.Rank.p_value < 0.001);
+  let same = Rank.one_way_anova [| group 1.0; group 1.0; group 1.0 |] in
+  Alcotest.(check bool) "identical means usually not significant" true
+    (same.Rank.p_value > 0.01)
+
+let test_anova_dfs () =
+  let a = Rank.one_way_anova [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |] in
+  Alcotest.(check int) "df between" 2 a.Rank.df_between;
+  Alcotest.(check int) "df within" 3 a.Rank.df_within
+
+let test_anova_arity () =
+  Alcotest.check_raises "one group rejected"
+    (Invalid_argument "Rank.one_way_anova: need >= 2 groups") (fun () ->
+      ignore (Rank.one_way_anova [| [| 1.0; 2.0 |] |]))
+
+(* ---------------- Power analysis ---------------- *)
+
+let test_power_required_samples_monotone () =
+  let n r = Option.get (Power.required_samples r) in
+  Alcotest.(check bool) "weaker r needs more samples" true (n 0.2 > n 0.5 && n 0.5 > n 0.8);
+  Alcotest.(check bool) "r=0.2 needs roughly 200 samples" true (n 0.2 > 150 && n 0.2 < 260);
+  Alcotest.(check bool) "zero r unbounded" true (Power.required_samples 0.0 = None)
+
+let test_power_roundtrip () =
+  (* detectable_r at the sample size required for r should be ~r. *)
+  List.iter
+    (fun r ->
+      let n = Option.get (Power.required_samples r) in
+      let detectable = Power.detectable_r n in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip at r=%.2f (n=%d, detectable %.3f)" r n detectable)
+        true
+        (Float.abs (detectable -. r) < 0.05))
+    [ 0.2; 0.4; 0.6 ]
+
+let test_power_detectable_shrinks_with_n () =
+  Alcotest.(check bool) "more samples detect weaker correlations" true
+    (Power.detectable_r 300 < Power.detectable_r 100)
+
+(* ---------------- Report ---------------- *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_report_significant_benchmark () =
+  let d = E.run ~config:E.quick_config (Pi_workloads.Spec.find "462.libquantum") ~n_layouts:12 in
+  let report = Report.generate d in
+  Alcotest.(check string) "benchmark recorded" "462.libquantum" report.Report.benchmark;
+  Alcotest.(check int) "layouts recorded" 12 report.Report.n_layouts;
+  let md = report.Report.markdown in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains md needle))
+    [
+      "# Program interferometry report: 462.libquantum";
+      "## Measurements";
+      "**significant**";
+      "## Performance model";
+      "Perfect branch prediction";
+      "L-TAGE";
+    ]
+
+let test_report_insignificant_benchmark () =
+  let d = E.run ~config:E.quick_config (Pi_workloads.Spec.find "470.lbm") ~n_layouts:10 in
+  let report = Report.generate d in
+  Alcotest.(check bool) "explains the failure" true
+    (contains report.Report.markdown "cannot model")
+
+let test_report_save () =
+  let d = E.run ~config:E.quick_config (Pi_workloads.Spec.find "456.hmmer") ~n_layouts:8 in
+  let report = Report.generate d in
+  let path = Filename.temp_file "pi_report" ".md" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Report.save report ~path;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      close_in ic;
+      Alcotest.(check bool) "non-trivial file" true (len > 500))
+
+let suite =
+  [
+    ( "stats.rank",
+      [
+        Alcotest.test_case "ranks" `Quick test_ranks_basic;
+        Alcotest.test_case "ties" `Quick test_ranks_ties;
+        Alcotest.test_case "spearman monotone" `Quick test_spearman_monotone;
+        Alcotest.test_case "spearman anti" `Quick test_spearman_anti;
+        Alcotest.test_case "spearman test" `Quick test_spearman_test_significance;
+        Alcotest.test_case "anova groups" `Quick test_anova_distinguishes_groups;
+        Alcotest.test_case "anova dfs" `Quick test_anova_dfs;
+        Alcotest.test_case "anova arity" `Quick test_anova_arity;
+      ] );
+    ( "core.power",
+      [
+        Alcotest.test_case "required samples" `Quick test_power_required_samples_monotone;
+        Alcotest.test_case "roundtrip" `Quick test_power_roundtrip;
+        Alcotest.test_case "detectable r" `Quick test_power_detectable_shrinks_with_n;
+      ] );
+    ( "core.report",
+      [
+        Alcotest.test_case "significant benchmark" `Quick test_report_significant_benchmark;
+        Alcotest.test_case "insignificant benchmark" `Quick test_report_insignificant_benchmark;
+        Alcotest.test_case "save" `Quick test_report_save;
+      ] );
+  ]

@@ -1,0 +1,90 @@
+(* Data-driven per-benchmark character tests: each stand-in must keep the
+   microarchitectural profile its SPEC counterpart is known for, otherwise
+   the reproduction's figures drift. One table row per benchmark; a single
+   exact-counts run per benchmark at test scale. *)
+
+module E = Interferometry.Experiment
+module Pipeline = Pi_uarch.Pipeline
+
+type expectation = {
+  bench : string;
+  cpi_min : float;
+  cpi_max : float;
+  mpki_min : float;
+  mpki_max : float;
+  l2_mpki_max : float;  (** memory-boundedness ceiling *)
+}
+
+(* Wide bands: these guard against gross regressions (a benchmark becoming
+   memory-bound or branch-free), not exact levels. Measured at scale 2 with
+   a 60k-block budget, which shifts levels slightly vs the full runs. *)
+let expectations =
+  [
+    { bench = "400.perlbench"; cpi_min = 0.4; cpi_max = 1.4; mpki_min = 5.0; mpki_max = 30.0; l2_mpki_max = 15.0 };
+    { bench = "401.bzip2"; cpi_min = 0.5; cpi_max = 1.6; mpki_min = 3.0; mpki_max = 25.0; l2_mpki_max = 30.0 };
+    { bench = "403.gcc"; cpi_min = 1.5; cpi_max = 6.0; mpki_min = 4.0; mpki_max = 30.0; l2_mpki_max = 60.0 };
+    { bench = "416.gamess"; cpi_min = 0.4; cpi_max = 1.5; mpki_min = 0.3; mpki_max = 8.0; l2_mpki_max = 25.0 };
+    { bench = "429.mcf"; cpi_min = 3.0; cpi_max = 9.0; mpki_min = 0.5; mpki_max = 12.0; l2_mpki_max = 80.0 };
+    { bench = "434.zeusmp"; cpi_min = 0.6; cpi_max = 2.0; mpki_min = 0.1; mpki_max = 4.0; l2_mpki_max = 80.0 };
+    { bench = "435.gromacs"; cpi_min = 0.5; cpi_max = 1.8; mpki_min = 2.0; mpki_max = 20.0; l2_mpki_max = 30.0 };
+    { bench = "444.namd"; cpi_min = 0.5; cpi_max = 1.6; mpki_min = 0.2; mpki_max = 6.0; l2_mpki_max = 15.0 };
+    { bench = "445.gobmk"; cpi_min = 0.7; cpi_max = 2.5; mpki_min = 8.0; mpki_max = 40.0; l2_mpki_max = 25.0 };
+    { bench = "450.soplex"; cpi_min = 1.5; cpi_max = 6.0; mpki_min = 0.5; mpki_max = 10.0; l2_mpki_max = 80.0 };
+    { bench = "454.calculix"; cpi_min = 0.6; cpi_max = 2.2; mpki_min = 0.5; mpki_max = 10.0; l2_mpki_max = 60.0 };
+    { bench = "456.hmmer"; cpi_min = 0.4; cpi_max = 1.5; mpki_min = 6.0; mpki_max = 30.0; l2_mpki_max = 25.0 };
+    { bench = "459.GemsFDTD"; cpi_min = 1.0; cpi_max = 3.0; mpki_min = 0.3; mpki_max = 6.0; l2_mpki_max = 130.0 };
+    { bench = "462.libquantum"; cpi_min = 0.4; cpi_max = 1.3; mpki_min = 5.0; mpki_max = 25.0; l2_mpki_max = 15.0 };
+    { bench = "464.h264ref"; cpi_min = 0.5; cpi_max = 1.6; mpki_min = 0.8; mpki_max = 10.0; l2_mpki_max = 40.0 };
+    { bench = "465.tonto"; cpi_min = 0.4; cpi_max = 1.4; mpki_min = 1.0; mpki_max = 12.0; l2_mpki_max = 25.0 };
+    { bench = "471.omnetpp"; cpi_min = 1.5; cpi_max = 6.0; mpki_min = 5.0; mpki_max = 30.0; l2_mpki_max = 60.0 };
+    { bench = "473.astar"; cpi_min = 2.0; cpi_max = 9.0; mpki_min = 8.0; mpki_max = 45.0; l2_mpki_max = 90.0 };
+    { bench = "482.sphinx3"; cpi_min = 0.8; cpi_max = 3.0; mpki_min = 0.3; mpki_max = 8.0; l2_mpki_max = 90.0 };
+    { bench = "483.xalancbmk"; cpi_min = 1.5; cpi_max = 6.0; mpki_min = 8.0; mpki_max = 40.0; l2_mpki_max = 60.0 };
+    { bench = "410.bwaves"; cpi_min = 1.0; cpi_max = 3.0; mpki_min = 0.0; mpki_max = 3.0; l2_mpki_max = 110.0 };
+    { bench = "433.milc"; cpi_min = 1.0; cpi_max = 3.0; mpki_min = 0.0; mpki_max = 3.0; l2_mpki_max = 130.0 };
+    { bench = "470.lbm"; cpi_min = 1.0; cpi_max = 3.2; mpki_min = 0.0; mpki_max = 4.0; l2_mpki_max = 160.0 };
+  ]
+
+let counts_for =
+  let cache = Hashtbl.create 24 in
+  fun name ->
+    match Hashtbl.find_opt cache name with
+    | Some c -> c
+    | None ->
+        let prepared = E.prepare ~config:E.quick_config (Pi_workloads.Spec.find name) in
+        let c = E.exact_counts prepared ~seed:1 in
+        Hashtbl.replace cache name c;
+        c
+
+let check_band name lo hi v =
+  Alcotest.(check bool) (Printf.sprintf "%s in [%.2f, %.2f] (got %.3f)" name lo hi v) true
+    (v >= lo && v <= hi)
+
+let case e =
+  Alcotest.test_case e.bench `Quick (fun () ->
+      let c = counts_for e.bench in
+      check_band (e.bench ^ " CPI") e.cpi_min e.cpi_max (Pipeline.cpi c);
+      check_band (e.bench ^ " MPKI") e.mpki_min e.mpki_max (Pipeline.mpki c);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s L2 MPKI <= %.1f (got %.2f)" e.bench e.l2_mpki_max
+           (Pipeline.l2_mpki c))
+        true
+        (Pipeline.l2_mpki c <= e.l2_mpki_max))
+
+let test_relative_shapes () =
+  (* Cross-benchmark orderings the paper's narrative depends on. *)
+  let cpi name = Pipeline.cpi (counts_for name) in
+  let mpki name = Pipeline.mpki (counts_for name) in
+  Alcotest.(check bool) "mcf is the most memory-bound of the int codes" true
+    (cpi "429.mcf" > cpi "400.perlbench" && cpi "429.mcf" > cpi "445.gobmk");
+  Alcotest.(check bool) "gobmk out-mispredicts the FP codes" true
+    (mpki "445.gobmk" > mpki "434.zeusmp" && mpki "445.gobmk" > mpki "416.gamess");
+  Alcotest.(check bool) "stream codes barely mispredict" true
+    (mpki "470.lbm" < 4.0 && mpki "410.bwaves" < 3.0)
+
+let suite =
+  [
+    ("workloads.character", List.map case expectations);
+    ( "workloads.relative",
+      [ Alcotest.test_case "orderings" `Quick test_relative_shapes ] );
+  ]

@@ -1,0 +1,461 @@
+(* Tests for the extension components: the wider predictor zoo, indirect
+   predictors, stride prefetcher, trace cache, cache interferometry,
+   dataset persistence, bootstrap statistics and profile-guided layout. *)
+
+module P = Pi_uarch.Predictor
+module Indirect = Pi_uarch.Indirect
+module Prefetcher = Pi_uarch.Prefetcher
+module Trace_cache = Pi_uarch.Trace_cache
+module Cache = Pi_uarch.Cache
+module E = Interferometry.Experiment
+module Bootstrap = Pi_stats.Bootstrap
+
+(* reuse the driver idiom from test_predictors *)
+let drive predictor ~rounds ~measure branches =
+  let states = List.map (fun (pc, gen) -> (pc, gen, ref 0)) branches in
+  let mispredicts = ref 0 and measured = ref 0 in
+  for round = 0 to rounds - 1 do
+    List.iter
+      (fun (pc, gen, counter) ->
+        let taken = gen !counter in
+        incr counter;
+        let correct = predictor.P.on_branch ~pc ~taken in
+        if round >= rounds - measure then begin
+          incr measured;
+          if not correct then incr mispredicts
+        end)
+      states
+  done;
+  float_of_int !mispredicts /. float_of_int !measured
+
+let alternating i = i mod 2 = 0
+let periodic pattern i = pattern.(i mod Array.length pattern)
+
+(* ---------------- Perceptron ---------------- *)
+
+let test_perceptron_learns_bias () =
+  let p = Pi_uarch.Perceptron.create () in
+  let rate = drive p ~rounds:400 ~measure:200 [ (0x100, fun _ -> true) ] in
+  Alcotest.(check (float 0.0)) "bias learned" 0.0 rate
+
+let test_perceptron_long_linear_pattern () =
+  (* Period-24 alternation-with-phase is linearly separable over history
+     bits; a 10-bit-history counter scheme cannot see the whole period. *)
+  let pattern = Array.init 24 (fun i -> i mod 3 <> 0) in
+  let p = Pi_uarch.Perceptron.create ~history_bits:32 () in
+  let rate = drive p ~rounds:4000 ~measure:1000 [ (0x100, periodic pattern) ] in
+  Alcotest.(check bool) (Printf.sprintf "learns long pattern (%.3f)" rate) true (rate < 0.05)
+
+let test_perceptron_bounds () =
+  Alcotest.check_raises "history bound"
+    (Invalid_argument "Perceptron.create: history_bits out of [1,62]") (fun () ->
+      ignore (Pi_uarch.Perceptron.create ~history_bits:64 ()))
+
+(* ---------------- Local / tournament ---------------- *)
+
+let test_local_learns_self_pattern_under_interference () =
+  (* Local history isolates each branch: branch A's noise cannot disturb
+     branch B's loop pattern. Global gshare with short history struggles
+     when a noisy branch interleaves. *)
+  let rng = Pi_stats.Rng.create 11 in
+  let noisy _ = Pi_stats.Rng.bool rng in
+  let loopy i = i mod 5 <> 4 in
+  let stream = [ (0x100, noisy); (0x208, loopy) ] in
+  let local = Pi_uarch.Local_two_level.create () in
+  let _ = drive local ~rounds:2000 ~measure:1 stream in
+  (* Measure only the loopy branch with a fresh predictor. *)
+  let measure_loopy predictor =
+    let mis = ref 0 in
+    let counters = [| 0; 0 |] in
+    for round = 0 to 2999 do
+      let noise_taken = Pi_stats.Rng.bool rng in
+      ignore (predictor.P.on_branch ~pc:0x100 ~taken:noise_taken);
+      let taken = loopy counters.(1) in
+      counters.(1) <- counters.(1) + 1;
+      let correct = predictor.P.on_branch ~pc:0x208 ~taken in
+      if round > 1000 && not correct then incr mis
+    done;
+    float_of_int !mis /. 2000.0
+  in
+  let local_rate = measure_loopy (Pi_uarch.Local_two_level.create ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "local isolates the loop (%.3f)" local_rate)
+    true (local_rate < 0.05)
+
+let test_tournament_handles_both () =
+  let stream =
+    [ (0x100, fun i -> i mod 7 <> 6) (* loop: local food *); (0x208, alternating) ]
+  in
+  let rate = drive (Pi_uarch.Tournament.create ()) ~rounds:2000 ~measure:600 stream in
+  Alcotest.(check bool) (Printf.sprintf "tournament (%.3f)" rate) true (rate < 0.03)
+
+(* ---------------- Indirect predictors ---------------- *)
+
+let test_indirect_btb_single_target () =
+  let p = Indirect.btb () in
+  ignore (p.Indirect.on_indirect ~pc:0x100 ~target:0x5000);
+  Alcotest.(check bool) "repeats predicted" true (p.Indirect.on_indirect ~pc:0x100 ~target:0x5000)
+
+let test_indirect_ittage_beats_btb_on_sequence () =
+  (* A repeating target sequence of period 6: a BTB (last-target) predicts
+     only immediate repeats; ITTAGE follows the sequence. *)
+  let targets = [| 0x10; 0x20; 0x30; 0x10; 0x40; 0x50 |] in
+  let run (p : Indirect.t) =
+    let wrong = ref 0 in
+    for i = 0 to 5999 do
+      let target = targets.(i mod 6) in
+      if not (p.Indirect.on_indirect ~pc:0x100 ~target) then incr wrong
+    done;
+    (* measure the tail only *)
+    let tail_wrong = ref 0 in
+    for i = 0 to 1199 do
+      let target = targets.(i mod 6) in
+      if not (p.Indirect.on_indirect ~pc:0x100 ~target) then incr tail_wrong
+    done;
+    ignore !wrong;
+    float_of_int !tail_wrong /. 1200.0
+  in
+  let btb_rate = run (Indirect.btb ()) in
+  let ittage_rate = run (Indirect.ittage ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ittage %.3f << btb %.3f" ittage_rate btb_rate)
+    true
+    (ittage_rate < btb_rate /. 2.0)
+
+let test_indirect_oracle () =
+  let p = Indirect.oracle () in
+  Alcotest.(check bool) "always right" true (p.Indirect.on_indirect ~pc:1 ~target:2)
+
+(* ---------------- Prefetcher ---------------- *)
+
+let test_prefetcher_detects_stride () =
+  let pf = Prefetcher.create ~confidence_threshold:2 () in
+  let issued = ref 0 in
+  for i = 0 to 19 do
+    match Prefetcher.observe pf ~mem_id:3 ~addr:(0x1000 + (i * 64)) with
+    | Some (first, count) ->
+        incr issued;
+        Alcotest.(check bool) "prefetch ahead of demand" true (first > 0x1000 + (i * 64) - 64);
+        Alcotest.(check bool) "positive degree" true (count > 0)
+    | None -> ()
+  done;
+  Alcotest.(check bool) "stride stream triggers prefetches" true (!issued > 10);
+  Alcotest.(check int) "issue counter" !issued (Prefetcher.prefetches_issued pf)
+
+let test_prefetcher_ignores_random () =
+  let pf = Prefetcher.create () in
+  let rng = Pi_stats.Rng.create 5 in
+  let issued = ref 0 in
+  for _ = 0 to 199 do
+    match Prefetcher.observe pf ~mem_id:1 ~addr:(Pi_stats.Rng.int rng 1_000_000) with
+    | Some _ -> incr issued
+    | None -> ()
+  done;
+  Alcotest.(check bool) "random stream mostly quiet" true (!issued < 5)
+
+let test_prefetcher_reset () =
+  let pf = Prefetcher.create () in
+  for i = 0 to 9 do
+    ignore (Prefetcher.observe pf ~mem_id:0 ~addr:(i * 64))
+  done;
+  Prefetcher.reset pf;
+  Alcotest.(check int) "counter cleared" 0 (Prefetcher.prefetches_issued pf)
+
+(* ---------------- Trace cache ---------------- *)
+
+let test_trace_cache_hit_after_install () =
+  let tc = Trace_cache.create Trace_cache.default_geometry in
+  Alcotest.(check bool) "cold" false (Trace_cache.access tc ~block_id:42);
+  Alcotest.(check bool) "warm" true (Trace_cache.access tc ~block_id:42);
+  Alcotest.(check int) "accesses" 2 (Trace_cache.accesses tc);
+  Alcotest.(check int) "hits" 1 (Trace_cache.hits tc)
+
+let test_trace_cache_eviction () =
+  let tc = Trace_cache.create { Trace_cache.entries_log2 = 2; assoc = 2 } in
+  (* 2 sets x 2 ways; blocks 0,2,4 all map to set 0. *)
+  ignore (Trace_cache.access tc ~block_id:0);
+  ignore (Trace_cache.access tc ~block_id:2);
+  ignore (Trace_cache.access tc ~block_id:4);
+  Alcotest.(check bool) "LRU evicted" false (Trace_cache.access tc ~block_id:0)
+
+let test_cache_fill_quiet () =
+  let c = Cache.create { Cache.size_bytes = 1024; assoc = 2; line_bytes = 64 } in
+  Cache.fill c 0x80;
+  Alcotest.(check int) "no accesses counted" 0 (Cache.accesses c);
+  Alcotest.(check int) "no misses counted" 0 (Cache.misses c);
+  Alcotest.(check bool) "but line resident" true (Cache.probe c 0x80)
+
+(* ---------------- Cache interferometry ---------------- *)
+
+let calculix_heap_dataset =
+  lazy
+    (let cfg =
+       { E.quick_config with E.heap_random = true; scale = 6; budget_blocks = 180_000 }
+     in
+     E.run ~config:cfg (Pi_workloads.Spec.find "454.calculix") ~n_layouts:15)
+
+let test_cache_model_fit () =
+  let d = Lazy.force calculix_heap_dataset in
+  let m = Interferometry.Cache_model.fit d in
+  Alcotest.(check bool) "positive mean cpi" true (m.Interferometry.Cache_model.mean_cpi > 0.0);
+  Alcotest.(check bool) "r2 in range" true
+    (m.Interferometry.Cache_model.regression.Pi_stats.Multireg.r_squared >= 0.0)
+
+let test_cache_model_miss_rates_monotone () =
+  let d = Lazy.force calculix_heap_dataset in
+  let prepared = d.E.prepared in
+  let l2 = { Cache.size_bytes = 4 * 1024 * 1024; assoc = 8; line_bytes = 64 } in
+  let big, _ = Interferometry.Cache_model.miss_rates prepared ~seed:1
+      ~l1d:{ Cache.size_bytes = 64 * 1024; assoc = 8; line_bytes = 64 } ~l2 in
+  let small, _ = Interferometry.Cache_model.miss_rates prepared ~seed:1
+      ~l1d:{ Cache.size_bytes = 16 * 1024; assoc = 8; line_bytes = 64 } ~l2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "smaller L1D misses more (%.1f vs %.1f)" small big)
+    true (small > big)
+
+let test_cache_model_evaluate () =
+  let d = Lazy.force calculix_heap_dataset in
+  let m = Interferometry.Cache_model.fit d in
+  let evals = Interferometry.Cache_model.evaluate d m in
+  Alcotest.(check int) "six candidates" 6 (List.length evals);
+  let find label =
+    List.find (fun e -> e.Interferometry.Cache_model.label = label) evals
+  in
+  let big = find "L1D 64KB" and small = find "L1D 16KB" in
+  Alcotest.(check bool) "bigger L1D predicts lower CPI" true
+    (big.Interferometry.Cache_model.predicted_cpi
+    < small.Interferometry.Cache_model.predicted_cpi)
+
+(* ---------------- Dataset I/O ---------------- *)
+
+let test_dataset_io_roundtrip () =
+  let d = E.run ~config:E.quick_config (Pi_workloads.Spec.find "456.hmmer") ~n_layouts:8 in
+  let path = Filename.temp_file "pi_dataset" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Interferometry.Dataset_io.save path d;
+      match Interferometry.Dataset_io.load_observations path with
+      | Error e -> Alcotest.fail e
+      | Ok observations ->
+          Alcotest.(check int) "count" 8 (Array.length observations);
+          Array.iteri
+            (fun i o ->
+              Alcotest.(check (float 1e-6)) "cpi preserved"
+                d.E.observations.(i).E.measurement.Pi_uarch.Counters.cpi
+                o.E.measurement.Pi_uarch.Counters.cpi)
+            observations;
+          let reattached = Interferometry.Dataset_io.reattach d.E.prepared observations in
+          let m1 = Interferometry.Model.fit d in
+          let m2 = Interferometry.Model.fit reattached in
+          Alcotest.(check (float 1e-6)) "model survives roundtrip"
+            m1.Interferometry.Model.regression.Pi_stats.Linreg.slope
+            m2.Interferometry.Model.regression.Pi_stats.Linreg.slope)
+
+let test_dataset_io_rejects_garbage () =
+  (match Interferometry.Dataset_io.observation_of_row "1,2,3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short row accepted");
+  match Interferometry.Dataset_io.observation_of_row "x,1,1,1,1,1,1,1,1,1,1,1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad seed accepted"
+
+(* ---------------- Bootstrap ---------------- *)
+
+let test_bootstrap_mean_contains_truth () =
+  let rng = Pi_stats.Rng.create 3 in
+  let xs = Array.init 80 (fun _ -> 5.0 +. Pi_stats.Rng.gaussian rng) in
+  let i = Bootstrap.mean_interval ~seed:1 xs in
+  Alcotest.(check bool) "contains sample mean" true
+    (i.Bootstrap.lower <= i.Bootstrap.estimate && i.Bootstrap.estimate <= i.Bootstrap.upper);
+  Alcotest.(check bool) "roughly around 5" true
+    (i.Bootstrap.lower < 5.3 && i.Bootstrap.upper > 4.7)
+
+let test_bootstrap_regression_matches_parametric () =
+  let rng = Pi_stats.Rng.create 9 in
+  let xs = Array.init 60 (fun i -> float_of_int i /. 2.0) in
+  let ys = Array.map (fun x -> (1.2 *. x) +. 4.0 +. (0.5 *. Pi_stats.Rng.gaussian rng)) xs in
+  let slope, intercept = Bootstrap.regression_intervals ~seed:2 xs ys in
+  (* Intervals are narrow; any single draw can just miss the truth, so
+     check the neighbourhood rather than strict coverage. *)
+  Alcotest.(check bool) "slope interval near truth" true
+    (slope.Bootstrap.lower < 1.25 && slope.Bootstrap.upper > 1.15);
+  Alcotest.(check bool) "intercept interval near truth" true
+    (intercept.Bootstrap.lower < 4.5 && intercept.Bootstrap.upper > 3.5);
+  Alcotest.(check bool) "interval brackets its estimate" true
+    (slope.Bootstrap.lower <= slope.Bootstrap.estimate
+    && slope.Bootstrap.estimate <= slope.Bootstrap.upper)
+
+(* ---------------- Profile-guided layout ---------------- *)
+
+let test_profile_layout_valid_order () =
+  let bench = Pi_workloads.Spec.find "403.gcc" in
+  let p = bench.Pi_workloads.Bench.build ~scale:1 in
+  let trace = Pi_layout.Run_limiter.trace p ~budget_blocks:20_000 in
+  let order = Pi_layout.Profile_layout.order trace in
+  (* object order is a permutation *)
+  let sorted = Array.copy order.Pi_layout.Code_layout.object_order in
+  Array.sort compare sorted;
+  Array.iteri (fun i v -> Alcotest.(check int) "perm" i v) sorted;
+  let layout = Pi_layout.Code_layout.link p order in
+  Alcotest.(check bool) "no overlaps" false (Pi_layout.Code_layout.overlaps layout)
+
+let test_profile_layout_chains_cover_all_procs () =
+  let bench = Pi_workloads.Spec.find "400.perlbench" in
+  let p = bench.Pi_workloads.Bench.build ~scale:1 in
+  let trace = Pi_layout.Run_limiter.trace p ~budget_blocks:20_000 in
+  let chains = Pi_layout.Profile_layout.procedure_chains trace in
+  Alcotest.(check int) "every procedure appears once"
+    (Array.length p.Pi_isa.Program.procs)
+    (List.length (List.sort_uniq compare chains))
+
+let test_profile_layout_improves_gcc () =
+  let bench = Pi_workloads.Spec.find "403.gcc" in
+  let prepared = E.prepare ~config:E.quick_config bench in
+  let optimized =
+    {
+      Pi_layout.Placement.seed = -1;
+      code = Pi_layout.Profile_layout.layout prepared.E.trace;
+      data = Pi_layout.Data_layout.bump prepared.E.program;
+    }
+  in
+  let cpi placement =
+    Pi_uarch.Pipeline.cpi
+      (Pi_uarch.Pipeline.run ~warmup_blocks:prepared.E.warmup_blocks
+         Pi_uarch.Machine.xeon_e5440 prepared.E.trace placement)
+  in
+  let random_mean =
+    Pi_stats.Descriptive.mean
+      (Array.init 8 (fun i -> cpi (Pi_layout.Placement.make prepared.E.program ~seed:(i + 1))))
+  in
+  Alcotest.(check bool) "optimized beats the random average" true
+    (cpi optimized < random_mean)
+
+let suite =
+  [
+    ( "ext.predictors",
+      [
+        Alcotest.test_case "perceptron bias" `Quick test_perceptron_learns_bias;
+        Alcotest.test_case "perceptron long pattern" `Quick test_perceptron_long_linear_pattern;
+        Alcotest.test_case "perceptron bounds" `Quick test_perceptron_bounds;
+        Alcotest.test_case "local isolation" `Quick test_local_learns_self_pattern_under_interference;
+        Alcotest.test_case "tournament" `Quick test_tournament_handles_both;
+      ] );
+    ( "ext.indirect",
+      [
+        Alcotest.test_case "btb repeat" `Quick test_indirect_btb_single_target;
+        Alcotest.test_case "ittage sequence" `Quick test_indirect_ittage_beats_btb_on_sequence;
+        Alcotest.test_case "oracle" `Quick test_indirect_oracle;
+      ] );
+    ( "ext.prefetcher",
+      [
+        Alcotest.test_case "detects stride" `Quick test_prefetcher_detects_stride;
+        Alcotest.test_case "ignores random" `Quick test_prefetcher_ignores_random;
+        Alcotest.test_case "reset" `Quick test_prefetcher_reset;
+      ] );
+    ( "ext.trace_cache",
+      [
+        Alcotest.test_case "hit after install" `Quick test_trace_cache_hit_after_install;
+        Alcotest.test_case "eviction" `Quick test_trace_cache_eviction;
+        Alcotest.test_case "cache fill quiet" `Quick test_cache_fill_quiet;
+      ] );
+    ( "ext.cache_model",
+      [
+        Alcotest.test_case "fit" `Quick test_cache_model_fit;
+        Alcotest.test_case "miss rates monotone" `Quick test_cache_model_miss_rates_monotone;
+        Alcotest.test_case "evaluate" `Quick test_cache_model_evaluate;
+      ] );
+    ( "ext.dataset_io",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_dataset_io_roundtrip;
+        Alcotest.test_case "rejects garbage" `Quick test_dataset_io_rejects_garbage;
+      ] );
+    ( "ext.bootstrap",
+      [
+        Alcotest.test_case "mean interval" `Quick test_bootstrap_mean_contains_truth;
+        Alcotest.test_case "regression intervals" `Quick test_bootstrap_regression_matches_parametric;
+      ] );
+    ( "ext.profile_layout",
+      [
+        Alcotest.test_case "valid order" `Quick test_profile_layout_valid_order;
+        Alcotest.test_case "chains cover procs" `Quick test_profile_layout_chains_cover_all_procs;
+        Alcotest.test_case "improves gcc" `Quick test_profile_layout_improves_gcc;
+      ] );
+  ]
+
+(* ---------------- Sweep internals ---------------- *)
+
+let test_sweep_study_consistency () =
+  let bench = Pi_workloads.Spec.find "456.hmmer" in
+  let prepared = E.prepare ~config:E.quick_config bench in
+  let placement = Pi_layout.Placement.natural prepared.E.program in
+  let s =
+    Pi_uarch.Sweep.run_study ~warmup_blocks:prepared.E.warmup_blocks ~benchmark:"456.hmmer"
+      prepared.E.trace placement
+  in
+  Alcotest.(check int) "145 points" 145 (Array.length s.Pi_uarch.Sweep.points);
+  Alcotest.(check string) "benchmark" "456.hmmer" s.Pi_uarch.Sweep.benchmark;
+  (* The regression must reproduce its own diagnostics. *)
+  let predicted = Pi_stats.Linreg.predict s.Pi_uarch.Sweep.regression 0.0 in
+  Alcotest.(check (float 1e-9)) "predicted perfect from regression" predicted
+    s.Pi_uarch.Sweep.predicted_perfect_cpi;
+  Alcotest.(check bool) "perfect CPI below every imperfect point" true
+    (Array.for_all
+       (fun (p : Pi_uarch.Sweep.point) -> p.Pi_uarch.Sweep.cpi >= s.Pi_uarch.Sweep.perfect_cpi)
+       s.Pi_uarch.Sweep.points);
+  Alcotest.(check bool) "L-TAGE among the best" true
+    (s.Pi_uarch.Sweep.ltage_point.Pi_uarch.Sweep.mpki
+    < Pi_stats.Descriptive.mean (Array.map (fun p -> p.Pi_uarch.Sweep.mpki) s.Pi_uarch.Sweep.points))
+
+(* ---------------- Profile layout affinity ---------------- *)
+
+let test_affinity_edges_weights () =
+  (* main calls a then b in a loop: edges (main,a) and (main,b) must carry
+     similar weight, and (a,b) must not dominate. *)
+  let bld = Pi_isa.Builder.create ~name:"affinity" in
+  let o = Pi_isa.Builder.add_object bld "x.o" in
+  let a = Pi_isa.Builder.proc bld ~obj:o ~name:"a" [ Pi_isa.Builder.work 2 ] in
+  let b = Pi_isa.Builder.proc bld ~obj:o ~name:"b" [ Pi_isa.Builder.work 2 ] in
+  let main =
+    Pi_isa.Builder.proc bld ~obj:o ~name:"main"
+      [ Pi_isa.Builder.for_ ~trips:50 [ Pi_isa.Builder.call a; Pi_isa.Builder.call b ] ]
+  in
+  Pi_isa.Builder.entry bld main;
+  let p = Pi_isa.Builder.finish bld in
+  let trace = Pi_isa.Interp.run p in
+  let edges = Pi_layout.Profile_layout.affinity_edges trace in
+  Alcotest.(check bool) "has edges" true (List.length edges >= 2);
+  List.iter
+    (fun (x, y, w) ->
+      Alcotest.(check bool) "ordered pair" true (x < y);
+      Alcotest.(check bool) "positive weight" true (w > 0))
+    edges
+
+(* ---------------- Geometry validation ---------------- *)
+
+let test_geometry_validation_errors () =
+  Alcotest.check_raises "gshare history > table"
+    (Invalid_argument "Gshare.create: history_bits out of [1, entries_log2]") (fun () ->
+      ignore (Pi_uarch.Gshare.create ~entries_log2:8 ~history_bits:9));
+  Alcotest.check_raises "gas history = table"
+    (Invalid_argument "Gas.create: history_bits out of [1, entries_log2)") (fun () ->
+      ignore (Pi_uarch.Gas.create ~entries_log2:8 ~history_bits:8));
+  Alcotest.check_raises "local history too long"
+    (Invalid_argument "Local_two_level.create: local_history_bits out of [1, pht_entries_log2]")
+    (fun () -> ignore (Pi_uarch.Local_two_level.create ~local_history_bits:12 ~pht_entries_log2:10 ()));
+  Alcotest.check_raises "btb sets"
+    (Invalid_argument "Btb.create: sets not a power of two") (fun () ->
+      ignore (Pi_uarch.Btb.create ~sets:12 ~ways:2));
+  Alcotest.check_raises "trace cache geometry"
+    (Invalid_argument "Trace_cache.create: geometry must divide into power-of-two sets")
+    (fun () -> ignore (Pi_uarch.Trace_cache.create { Pi_uarch.Trace_cache.entries_log2 = 4; assoc = 3 }))
+
+let extra_cases =
+  ( "ext.internals",
+    [
+      Alcotest.test_case "sweep study consistency" `Quick test_sweep_study_consistency;
+      Alcotest.test_case "affinity edges" `Quick test_affinity_edges_weights;
+      Alcotest.test_case "geometry validation" `Quick test_geometry_validation_errors;
+    ] )
+
+let suite = suite @ [ extra_cases ]

@@ -1,0 +1,145 @@
+(* Fuzzing the builder -> interpreter -> pipeline path: random structured
+   programs must lower to valid CFGs, interpret deterministically within
+   their block budget, and simulate without exceptions under random
+   placements. This is the property net under the entire workload layer. *)
+
+module B = Pi_isa.Builder
+module Behavior = Pi_isa.Behavior
+module Program = Pi_isa.Program
+module Interp = Pi_isa.Interp
+module Trace = Pi_isa.Trace
+module Rng = Pi_stats.Rng
+
+(* A bounded random statement-tree generator driven by a seed (we use our
+   own RNG rather than QCheck generators so the shrunk counterexample is
+   just an integer). *)
+let rec random_stmts rng ~depth ~budget globals sites =
+  if !budget <= 0 then [ B.work 1 ]
+  else begin
+    let n = 1 + Rng.int rng 4 in
+    List.concat
+      (List.init n (fun _ ->
+           decr budget;
+           match Rng.int rng (if depth > 0 then 9 else 4) with
+           | 0 -> [ B.work (1 + Rng.int rng 6) ]
+           | 1 -> [ B.fp_work (1 + Rng.int rng 3) ]
+           | 2 ->
+               let g = globals.(Rng.int rng (Array.length globals)) in
+               [
+                 (if Rng.bool rng then B.load_global g (B.seq ~stride:(8 * (1 + Rng.int rng 8)))
+                  else B.load_global g B.rand_access);
+               ]
+           | 3 ->
+               let s = sites.(Rng.int rng (Array.length sites)) in
+               [ (if Rng.bool rng then B.load_heap s B.rand_access else B.store_heap s B.rand_access) ]
+           | 4 | 5 ->
+               let behavior =
+                 match Rng.int rng 4 with
+                 | 0 -> Behavior.Always_taken
+                 | 1 -> Behavior.Bernoulli { p_taken = Rng.float rng 1.0 }
+                 | 2 -> Behavior.Alternating
+                 | _ ->
+                     Behavior.Periodic
+                       { pattern = Array.init (1 + Rng.int rng 6) (fun _ -> Rng.bool rng) }
+               in
+               [
+                 B.if_ behavior
+                   (random_stmts rng ~depth:(depth - 1) ~budget globals sites)
+                   (random_stmts rng ~depth:(depth - 1) ~budget globals sites);
+               ]
+           | 6 ->
+               [
+                 B.for_ ~trips:(1 + Rng.int rng 6)
+                   (random_stmts rng ~depth:(depth - 1) ~budget globals sites);
+               ]
+           | 7 ->
+               [
+                 B.while_ (Behavior.Bernoulli { p_taken = Rng.float rng 0.6 })
+                   (random_stmts rng ~depth:(depth - 1) ~budget globals sites);
+               ]
+           | _ ->
+               let cases =
+                 Array.init (1 + Rng.int rng 3) (fun _ ->
+                     random_stmts rng ~depth:(depth - 1) ~budget globals sites)
+               in
+               [ B.switch Behavior.Selector.Round_robin cases ]))
+  end
+
+let random_program seed =
+  let rng = Rng.create seed in
+  let b = B.create ~name:(Printf.sprintf "fuzz-%d" seed) in
+  let n_objects = 1 + Rng.int rng 3 in
+  let objs = Array.init n_objects (fun i -> B.add_object b (Printf.sprintf "o%d.o" i)) in
+  let globals =
+    Array.init (1 + Rng.int rng 3) (fun i ->
+        B.global b ~name:(Printf.sprintf "g%d" i) ~size:(64 * (1 + Rng.int rng 64)))
+  in
+  let sites =
+    Array.init (1 + Rng.int rng 2) (fun i ->
+        B.heap_site b
+          ~name:(Printf.sprintf "s%d" i)
+          ~obj_size:(16 * (1 + Rng.int rng 16))
+          ~count:(1 + Rng.int rng 64))
+  in
+  let budget = ref 30 in
+  let leaves =
+    Array.init (1 + Rng.int rng 4) (fun i ->
+        B.proc b ~obj:objs.(i mod n_objects)
+          ~name:(Printf.sprintf "leaf%d" i)
+          (random_stmts rng ~depth:2 ~budget globals sites))
+  in
+  let body =
+    random_stmts rng ~depth:2 ~budget globals sites
+    @ Array.to_list (Array.map B.call leaves)
+  in
+  let main =
+    B.proc b ~obj:objs.(0) ~name:"main" [ B.for_ ~trips:(2 + Rng.int rng 20) body ]
+  in
+  B.entry b main;
+  B.finish b
+
+let prop_fuzz_valid_and_runnable =
+  QCheck.Test.make ~name:"random programs lower, validate, interpret, simulate" ~count:60
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let p = random_program seed in
+      (* 1. The CFG is structurally valid. *)
+      Result.is_ok (Program.validate p)
+      &&
+      (* 2. Interpretation is deterministic and bounded. *)
+      let limits = { Interp.max_blocks = 5_000; stop_proc = None } in
+      let t1 = Interp.run ~seed:1 ~limits p in
+      let t2 = Interp.run ~seed:1 ~limits p in
+      t1.Trace.block_seq = t2.Trace.block_seq
+      && t1.Trace.instructions = t2.Trace.instructions
+      &&
+      (* 3. Any placement simulates cleanly with consistent instruction
+            accounting. *)
+      let placement = Pi_layout.Placement.make ~heap_random:(seed mod 2 = 0) p ~seed in
+      let counts = Pi_uarch.Pipeline.run Pi_uarch.Machine.xeon_e5440 t1 placement in
+      counts.Pi_uarch.Pipeline.instructions = t1.Trace.instructions
+      && counts.Pi_uarch.Pipeline.cycles > 0.0)
+
+let prop_fuzz_layout_invariance =
+  QCheck.Test.make ~name:"random programs: instructions invariant across layouts" ~count:30
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let p = random_program seed in
+      let limits = { Interp.max_blocks = 4_000; stop_proc = None } in
+      let trace = Interp.run ~limits p in
+      let run s =
+        Pi_uarch.Pipeline.run Pi_uarch.Machine.xeon_e5440 trace
+          (Pi_layout.Placement.make p ~seed:s)
+      in
+      let a = run 1 and b = run 2 in
+      a.Pi_uarch.Pipeline.instructions = b.Pi_uarch.Pipeline.instructions
+      && a.Pi_uarch.Pipeline.cond_branches = b.Pi_uarch.Pipeline.cond_branches)
+
+let suite =
+  [
+    ( "fuzz.programs",
+      [
+        QCheck_alcotest.to_alcotest prop_fuzz_valid_and_runnable;
+        QCheck_alcotest.to_alcotest prop_fuzz_layout_invariance;
+      ] );
+  ]

@@ -1,0 +1,476 @@
+(* Tests for pi_isa: behaviours, builder lowering, interpreter semantics and
+   trace representation. *)
+
+module Behavior = Pi_isa.Behavior
+module Program = Pi_isa.Program
+module B = Pi_isa.Builder
+module Interp = Pi_isa.Interp
+module Trace = Pi_isa.Trace
+module Int_vec = Pi_isa.Int_vec
+module Rng = Pi_stats.Rng
+
+(* ---------------- Behaviours ---------------- *)
+
+let run_behavior ?(resolved_src = [| -1 |]) behavior n =
+  let state = Behavior.State.create ~rng:(Rng.create 1) ~resolved_src [| behavior |] in
+  List.init n (fun _ -> Behavior.State.next_outcome state 0)
+
+let test_behavior_always_never () =
+  Alcotest.(check (list bool)) "always" [ true; true; true ]
+    (run_behavior Behavior.Always_taken 3);
+  Alcotest.(check (list bool)) "never" [ false; false; false ]
+    (run_behavior Behavior.Never_taken 3)
+
+let test_behavior_loop_trip () =
+  Alcotest.(check (list bool)) "loop 3 = T T N repeating"
+    [ true; true; false; true; true; false ]
+    (run_behavior (Behavior.Loop_trip { trips = 3 }) 6)
+
+let test_behavior_periodic () =
+  let pattern = [| true; false; false |] in
+  Alcotest.(check (list bool)) "periodic"
+    [ true; false; false; true; false; false ]
+    (run_behavior (Behavior.Periodic { pattern }) 6)
+
+let test_behavior_alternating () =
+  Alcotest.(check (list bool)) "alternating" [ true; false; true; false ]
+    (run_behavior Behavior.Alternating 4)
+
+let test_behavior_correlated_follows_source () =
+  let behaviors =
+    [|
+      Behavior.Alternating;
+      Behavior.Correlated { src = "a"; invert = false; noise = 0.0 };
+      Behavior.Correlated { src = "a"; invert = true; noise = 0.0 };
+    |]
+  in
+  let state =
+    Behavior.State.create ~rng:(Rng.create 1) ~resolved_src:[| -1; 0; 0 |] behaviors
+  in
+  for _ = 1 to 5 do
+    let src = Behavior.State.next_outcome state 0 in
+    let follower = Behavior.State.next_outcome state 1 in
+    let inverter = Behavior.State.next_outcome state 2 in
+    Alcotest.(check bool) "follows" src follower;
+    Alcotest.(check bool) "inverts" (not src) inverter
+  done
+
+let test_behavior_bernoulli_frequency () =
+  let outcomes = run_behavior (Behavior.Bernoulli { p_taken = 0.8 }) 5000 in
+  let taken = List.length (List.filter (fun x -> x) outcomes) in
+  Alcotest.(check bool) "near 0.8" true (Float.abs ((float_of_int taken /. 5000.0) -. 0.8) < 0.03)
+
+let test_behavior_validate () =
+  Alcotest.(check bool) "bad probability" true
+    (Result.is_error (Behavior.validate (Behavior.Bernoulli { p_taken = 1.5 })));
+  Alcotest.(check bool) "empty pattern" true
+    (Result.is_error (Behavior.validate (Behavior.Periodic { pattern = [||] })));
+  Alcotest.(check bool) "zero trips" true
+    (Result.is_error (Behavior.validate (Behavior.Loop_trip { trips = 0 })));
+  Alcotest.(check bool) "ok" true (Result.is_ok (Behavior.validate Behavior.Always_taken))
+
+let test_loop_pattern () =
+  Alcotest.(check (array bool)) "pattern" [| true; true; false |] (Behavior.loop_pattern ~trips:3)
+
+let test_selector_round_robin () =
+  let state =
+    Behavior.Selector.State.create ~rng:(Rng.create 1) [| (Behavior.Selector.Round_robin, 3) |]
+  in
+  let picks = List.init 6 (fun _ -> Behavior.Selector.State.next_target state 0) in
+  Alcotest.(check (list int)) "cycles" [ 0; 1; 2; 0; 1; 2 ] picks
+
+let test_selector_periodic () =
+  let state =
+    Behavior.Selector.State.create ~rng:(Rng.create 1)
+      [| (Behavior.Selector.Periodic_targets [| 2; 0; 2 |], 3) |]
+  in
+  let picks = List.init 5 (fun _ -> Behavior.Selector.State.next_target state 0) in
+  Alcotest.(check (list int)) "follows sequence" [ 2; 0; 2; 2; 0 ] picks
+
+let test_selector_validate () =
+  Alcotest.(check bool) "bad index" true
+    (Result.is_error
+       (Behavior.Selector.validate ~n_targets:2 (Behavior.Selector.Periodic_targets [| 0; 5 |])));
+  Alcotest.(check bool) "no targets" true
+    (Result.is_error (Behavior.Selector.validate ~n_targets:0 Behavior.Selector.Round_robin))
+
+(* ---------------- Builder ---------------- *)
+
+let tiny_program ?(trips = 10) () =
+  let b = B.create ~name:"tiny" in
+  let o = B.add_object b "main.o" in
+  let g = B.global b ~name:"data" ~size:4096 in
+  let leaf = B.proc b ~obj:o ~name:"leaf" [ B.work 3; B.load_global g (B.seq ~stride:8) ] in
+  let main =
+    B.proc b ~obj:o ~name:"main"
+      [
+        B.for_ ~trips
+          [
+            B.work 2;
+            B.if_ Behavior.Alternating [ B.work 1 ] [ B.work 4 ];
+            B.call leaf;
+          ];
+      ]
+  in
+  B.entry b main;
+  B.finish b
+
+let test_builder_structure () =
+  let p = tiny_program () in
+  Alcotest.(check int) "objects" 1 (Array.length p.Program.objects);
+  Alcotest.(check int) "procs" 2 (Array.length p.Program.procs);
+  Alcotest.(check int) "branches: loop + if" 2 (Array.length p.Program.branches);
+  Alcotest.(check int) "mem ops" 1 (Array.length p.Program.mem_ops);
+  Alcotest.(check bool) "validates" true (Result.is_ok (Program.validate p))
+
+let test_builder_requires_entry () =
+  let b = B.create ~name:"noentry" in
+  let o = B.add_object b "a.o" in
+  let _ = B.proc b ~obj:o ~name:"f" [ B.work 1 ] in
+  Alcotest.check_raises "no entry" (Invalid_argument "Builder.finish: no entry procedure set")
+    (fun () -> ignore (B.finish b))
+
+let test_builder_undefined_proc () =
+  let b = B.create ~name:"undef" in
+  let o = B.add_object b "a.o" in
+  let h = B.declare_proc b ~obj:o ~name:"later" in
+  let main = B.proc b ~obj:o ~name:"main" [ B.call h ] in
+  B.entry b main;
+  Alcotest.check_raises "undefined"
+    (Invalid_argument "Builder.finish: procedure 0 declared but not defined") (fun () ->
+      ignore (B.finish b))
+
+let test_builder_duplicate_label () =
+  let b = B.create ~name:"dup" in
+  let o = B.add_object b "a.o" in
+  Alcotest.check_raises "duplicate label" (Invalid_argument "Builder: duplicate branch label x")
+    (fun () ->
+      ignore
+        (B.proc b ~obj:o ~name:"main"
+           [
+             B.if_ ~label:"x" Behavior.Always_taken [ B.work 1 ] [ B.work 1 ];
+             B.if_ ~label:"x" Behavior.Always_taken [ B.work 1 ] [ B.work 1 ];
+           ]))
+
+let test_builder_unresolved_correlation () =
+  let b = B.create ~name:"unres" in
+  let o = B.add_object b "a.o" in
+  let main =
+    B.proc b ~obj:o ~name:"main"
+      [
+        B.if_
+          (Behavior.Correlated { src = "ghost"; invert = false; noise = 0.0 })
+          [ B.work 1 ] [ B.work 1 ];
+      ]
+  in
+  B.entry b main;
+  Alcotest.check_raises "unresolved"
+    (Invalid_argument "Builder.finish: unresolved correlation source ghost") (fun () ->
+      ignore (B.finish b))
+
+let test_builder_mutual_recursion_declared () =
+  let b = B.create ~name:"mutual" in
+  let o = B.add_object b "a.o" in
+  let f = B.declare_proc b ~obj:o ~name:"f" in
+  let g =
+    B.proc b ~obj:o ~name:"g"
+      [ B.if_ (Behavior.Loop_trip { trips = 2 }) [ B.call f ] [ B.work 1 ] ]
+  in
+  B.define_proc b f [ B.work 2 ];
+  let main = B.proc b ~obj:o ~name:"main" [ B.call g ] in
+  B.entry b main;
+  let p = B.finish b in
+  Alcotest.(check bool) "validates" true (Result.is_ok (Program.validate p))
+
+let test_block_sizes_positive () =
+  let p = tiny_program () in
+  Array.iter
+    (fun (blk : Program.block) ->
+      Alcotest.(check bool) "positive size" true (Program.block_bytes p blk.Program.block_id > 0))
+    p.Program.blocks
+
+(* ---------------- Interpreter ---------------- *)
+
+let test_interp_determinism () =
+  let p = tiny_program () in
+  let t1 = Interp.run ~seed:3 p in
+  let t2 = Interp.run ~seed:3 p in
+  Alcotest.(check (array int)) "same block sequence" t1.Trace.block_seq t2.Trace.block_seq;
+  Alcotest.(check (array int)) "same memory events" t1.Trace.mem_events t2.Trace.mem_events
+
+let test_interp_loop_count () =
+  let p = tiny_program ~trips:25 () in
+  let trace = Interp.run p in
+  Alcotest.(check int) "leaf invoked per iteration" 25 trace.Trace.proc_invocations.(0);
+  Alcotest.(check int) "main once" 1 trace.Trace.proc_invocations.(1);
+  Alcotest.(check int) "mem ref per iteration" 25 trace.Trace.mem_refs
+
+let test_interp_alternating_split () =
+  let p = tiny_program ~trips:20 () in
+  let trace = Interp.run p in
+  (* 20 loop back-edges (19 taken) + 20 alternating (10 taken). *)
+  Alcotest.(check int) "cond branches" 40 trace.Trace.cond_branches;
+  Alcotest.(check int) "taken" 29 trace.Trace.taken_branches
+
+let test_interp_instruction_accounting () =
+  let p = tiny_program ~trips:7 () in
+  let trace = Interp.run p in
+  let by_blocks =
+    Array.fold_left
+      (fun acc b -> acc + Program.block_instr_count p b)
+      0 trace.Trace.block_seq
+  in
+  Alcotest.(check int) "instructions = sum of block counts" by_blocks trace.Trace.instructions
+
+let test_interp_max_blocks () =
+  let p = tiny_program ~trips:1000 () in
+  let trace = Interp.run ~limits:{ Interp.max_blocks = 50; stop_proc = None } p in
+  Alcotest.(check int) "exactly the budget" 50 (Trace.blocks_executed trace)
+
+let test_interp_stop_proc () =
+  let p = tiny_program ~trips:1000 () in
+  (* leaf is proc 0; stop at its 5th invocation. *)
+  let trace =
+    Interp.run ~limits:{ Interp.max_blocks = 1_000_000; stop_proc = Some (0, 5) } p
+  in
+  Alcotest.(check int) "stopped at 5 invocations" 5 trace.Trace.proc_invocations.(0)
+
+let test_branch_outcomes_derivation () =
+  let p = tiny_program ~trips:4 () in
+  let trace = Interp.run p in
+  let outcomes = Trace.branch_outcomes trace in
+  Alcotest.(check int) "one record per dynamic branch" trace.Trace.cond_branches
+    (Array.length outcomes);
+  let taken = Array.fold_left (fun acc (_, t) -> if t then acc + 1 else acc) 0 outcomes in
+  Alcotest.(check int) "taken counts agree" trace.Trace.taken_branches taken
+
+let test_trace_pack_roundtrip () =
+  let check ~is_store ~space ~target ~obj ~offset =
+    let e = Trace.pack_mem ~is_store ~space ~target ~obj ~offset in
+    Alcotest.(check bool) "store" is_store (Trace.mem_is_store e);
+    Alcotest.(check bool) "space" true (Trace.mem_space e = space);
+    Alcotest.(check int) "target" target (Trace.mem_target e);
+    Alcotest.(check int) "obj" obj (Trace.mem_obj e);
+    Alcotest.(check int) "offset" offset (Trace.mem_offset e)
+  in
+  check ~is_store:false ~space:Program.Global ~target:0 ~obj:0 ~offset:0;
+  check ~is_store:true ~space:Program.Heap ~target:4095 ~obj:(1 lsl 19) ~offset:((1 lsl 28) - 1);
+  check ~is_store:false ~space:Program.Heap ~target:7 ~obj:123 ~offset:4096
+
+let prop_pack_roundtrip =
+  QCheck.Test.make ~name:"mem event pack roundtrip" ~count:500
+    QCheck.(
+      quad bool (int_bound 4095) (int_bound ((1 lsl 20) - 1)) (int_bound ((1 lsl 28) - 1)))
+    (fun (is_store, target, obj, offset) ->
+      let space = if target mod 2 = 0 then Program.Global else Program.Heap in
+      let e = Trace.pack_mem ~is_store ~space ~target ~obj ~offset in
+      Trace.mem_is_store e = is_store
+      && Trace.mem_space e = space
+      && Trace.mem_target e = target
+      && Trace.mem_obj e = obj
+      && Trace.mem_offset e = offset)
+
+let test_chase_is_full_cycle () =
+  (* A chase over a heap site must visit every object before repeating. *)
+  let b = B.create ~name:"chase" in
+  let o = B.add_object b "a.o" in
+  let site = B.heap_site b ~name:"nodes" ~obj_size:64 ~count:32 in
+  let main = B.proc b ~obj:o ~name:"main" [ B.for_ ~trips:32 [ B.load_heap site (B.chase ~seed:5) ] ] in
+  B.entry b main;
+  let p = B.finish b in
+  let trace = Interp.run p in
+  let visited = Array.make 32 false in
+  Array.iter (fun e -> visited.(Trace.mem_obj e) <- true) trace.Trace.mem_events;
+  Alcotest.(check bool) "all nodes visited in one lap" true (Array.for_all (fun x -> x) visited)
+
+let test_sequential_wraps () =
+  let b = B.create ~name:"seqwrap" in
+  let o = B.add_object b "a.o" in
+  let g = B.global b ~name:"buf" ~size:64 in
+  let main = B.proc b ~obj:o ~name:"main" [ B.for_ ~trips:20 [ B.load_global g (B.seq ~stride:16) ] ] in
+  B.entry b main;
+  let p = B.finish b in
+  let trace = Interp.run p in
+  Array.iter
+    (fun e -> Alcotest.(check bool) "offset within object" true (Trace.mem_offset e < 64))
+    trace.Trace.mem_events
+
+let test_int_vec () =
+  let v = Int_vec.create ~capacity:2 () in
+  for i = 0 to 99 do
+    Int_vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Int_vec.length v);
+  Alcotest.(check int) "get" 57 (Int_vec.get v 57);
+  Alcotest.(check int) "to_array" 99 (Int_vec.to_array v).(99);
+  Alcotest.check_raises "bounds" (Invalid_argument "Int_vec.get: out of bounds") (fun () ->
+      ignore (Int_vec.get v 100))
+
+let test_validate_catches_bad_branch_target () =
+  let p = tiny_program () in
+  (* Corrupt a branch target to point into the other procedure. *)
+  let victim =
+    Array.to_list (Array.to_seq p.Program.blocks |> Array.of_seq)
+    |> List.find_map (fun (blk : Program.block) ->
+           match blk.Program.term with
+           | Program.Branch { branch; taken = _; not_taken } ->
+               Some (blk, branch, not_taken)
+           | _ -> None)
+  in
+  match victim with
+  | None -> Alcotest.fail "expected a branch"
+  | Some (blk, branch, not_taken) ->
+      let foreign =
+        let other_proc = if blk.Program.proc = 0 then 1 else 0 in
+        p.Program.procs.(other_proc).Program.entry
+      in
+      let blocks = Array.copy p.Program.blocks in
+      blocks.(blk.Program.block_id) <-
+        { blk with Program.term = Program.Branch { branch; taken = foreign; not_taken } };
+      let corrupted = { p with Program.blocks } in
+      Alcotest.(check bool) "rejected" true (Result.is_error (Program.validate corrupted))
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suite =
+  [
+    ( "isa.behavior",
+      [
+        Alcotest.test_case "always / never" `Quick test_behavior_always_never;
+        Alcotest.test_case "loop trip" `Quick test_behavior_loop_trip;
+        Alcotest.test_case "periodic" `Quick test_behavior_periodic;
+        Alcotest.test_case "alternating" `Quick test_behavior_alternating;
+        Alcotest.test_case "correlated" `Quick test_behavior_correlated_follows_source;
+        Alcotest.test_case "bernoulli frequency" `Quick test_behavior_bernoulli_frequency;
+        Alcotest.test_case "validate" `Quick test_behavior_validate;
+        Alcotest.test_case "loop pattern" `Quick test_loop_pattern;
+        Alcotest.test_case "selector round robin" `Quick test_selector_round_robin;
+        Alcotest.test_case "selector periodic" `Quick test_selector_periodic;
+        Alcotest.test_case "selector validate" `Quick test_selector_validate;
+      ] );
+    ( "isa.builder",
+      [
+        Alcotest.test_case "structure" `Quick test_builder_structure;
+        Alcotest.test_case "requires entry" `Quick test_builder_requires_entry;
+        Alcotest.test_case "undefined proc" `Quick test_builder_undefined_proc;
+        Alcotest.test_case "duplicate label" `Quick test_builder_duplicate_label;
+        Alcotest.test_case "unresolved correlation" `Quick test_builder_unresolved_correlation;
+        Alcotest.test_case "forward declaration" `Quick test_builder_mutual_recursion_declared;
+        Alcotest.test_case "block sizes positive" `Quick test_block_sizes_positive;
+        Alcotest.test_case "validate catches bad target" `Quick test_validate_catches_bad_branch_target;
+      ] );
+    ( "isa.interp",
+      [
+        Alcotest.test_case "determinism" `Quick test_interp_determinism;
+        Alcotest.test_case "loop count" `Quick test_interp_loop_count;
+        Alcotest.test_case "alternating split" `Quick test_interp_alternating_split;
+        Alcotest.test_case "instruction accounting" `Quick test_interp_instruction_accounting;
+        Alcotest.test_case "max blocks" `Quick test_interp_max_blocks;
+        Alcotest.test_case "stop proc" `Quick test_interp_stop_proc;
+        Alcotest.test_case "branch outcomes" `Quick test_branch_outcomes_derivation;
+        Alcotest.test_case "chase full cycle" `Quick test_chase_is_full_cycle;
+        Alcotest.test_case "sequential wraps" `Quick test_sequential_wraps;
+      ] );
+    ( "isa.trace",
+      [
+        Alcotest.test_case "pack roundtrip" `Quick test_trace_pack_roundtrip;
+        qcheck prop_pack_roundtrip;
+        Alcotest.test_case "int vec" `Quick test_int_vec;
+      ] );
+  ]
+
+(* ---------------- Phases / SimPoint ---------------- *)
+
+module Phases = Pi_isa.Phases
+
+let phase_trace () =
+  let b = B.create ~name:"phasey" in
+  let o = B.add_object b "a.o" in
+  let g = B.global b ~name:"buf" ~size:(16 * 1024) in
+  (* Two very different phases, alternating at coarse granularity. *)
+  let compute = B.proc b ~obj:o ~name:"compute" [ B.for_ ~trips:400 [ B.work 8 ] ] in
+  let memory =
+    B.proc b ~obj:o ~name:"memory"
+      [ B.for_ ~trips:400 [ B.load_global g (B.seq ~stride:64); B.work 1 ] ]
+  in
+  let main =
+    B.proc b ~obj:o ~name:"main"
+      [ B.for_ ~trips:30 [ B.call compute; B.call memory ] ]
+  in
+  B.entry b main;
+  Interp.run (B.finish b)
+
+let test_phases_intervals_cover_trace () =
+  let trace = phase_trace () in
+  let ivs = Phases.intervals trace ~interval_blocks:1000 in
+  let total = Array.fold_left (fun acc iv -> acc + iv.Phases.length) 0 ivs in
+  Alcotest.(check int) "intervals cover every block" (Trace.blocks_executed trace) total;
+  Array.iter
+    (fun iv ->
+      let norm =
+        sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0.0 iv.Phases.signature)
+      in
+      Alcotest.(check bool) "signature normalized" true (Float.abs (norm -. 1.0) < 1e-9))
+    ivs
+
+let test_phases_choose_weights () =
+  let trace = phase_trace () in
+  let ivs = Phases.intervals trace ~interval_blocks:800 in
+  let sp = Phases.choose ~k:3 ~seed:5 ivs in
+  let weight_sum = Array.fold_left ( +. ) 0.0 sp.Phases.weights in
+  Alcotest.(check (float 1e-9)) "weights sum to 1" 1.0 weight_sum;
+  Alcotest.(check bool) "representatives are interval indices" true
+    (Array.for_all (fun r -> r >= 0 && r < Array.length ivs) sp.Phases.representatives);
+  Alcotest.(check int) "every interval assigned" (Array.length ivs)
+    (Array.length sp.Phases.assignment)
+
+let test_phases_slice_consistency () =
+  let trace = phase_trace () in
+  let sub = Phases.slice trace ~start_block:500 ~length:700 in
+  Alcotest.(check int) "length" 700 (Trace.blocks_executed sub);
+  (* Instructions of the slice equal the static sum over its blocks. *)
+  let by_blocks =
+    Array.fold_left
+      (fun acc b -> acc + Program.block_instr_count trace.Trace.program b)
+      0 sub.Trace.block_seq
+  in
+  Alcotest.(check int) "instructions re-derived" by_blocks sub.Trace.instructions;
+  (* Slices partition memory events: adjacent slices share no events and
+     concatenate to the original stream. *)
+  let a = Phases.slice trace ~start_block:0 ~length:500 in
+  let b = Phases.slice trace ~start_block:500 ~length:(Trace.blocks_executed trace - 500) in
+  Alcotest.(check int) "mem events partition"
+    (Array.length trace.Trace.mem_events)
+    (Array.length a.Trace.mem_events + Array.length b.Trace.mem_events)
+
+let test_phases_estimate_accuracy () =
+  (* On a fast-warming workload the simpoint estimate must track the full
+     simulation closely. *)
+  let trace = phase_trace () in
+  let placement = Pi_layout.Placement.natural trace.Trace.program in
+  let metric t ~warmup_blocks =
+    Pi_uarch.Pipeline.cpi
+      (Pi_uarch.Pipeline.run ~warmup_blocks Pi_uarch.Machine.xeon_e5440 t placement)
+  in
+  (* Compare steady states: warm the full run past its cold transient, and
+     give each representative slice enough prepended warmup to cover a full
+     sweep of the buffer. *)
+  let full = metric trace ~warmup_blocks:6_000 in
+  let estimate =
+    Phases.estimate metric trace ~interval_blocks:2_000 ~warmup_blocks:8_000 ~k:4 ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "simpoint %.4f within 12%% of full %.4f" estimate full)
+    true
+    (Float.abs (estimate -. full) /. full < 0.12)
+
+let phases_cases =
+  ( "isa.phases",
+    [
+      Alcotest.test_case "intervals cover trace" `Quick test_phases_intervals_cover_trace;
+      Alcotest.test_case "choose weights" `Quick test_phases_choose_weights;
+      Alcotest.test_case "slice consistency" `Quick test_phases_slice_consistency;
+      Alcotest.test_case "estimate accuracy" `Quick test_phases_estimate_accuracy;
+    ] )
+
+let suite = suite @ [ phases_cases ]

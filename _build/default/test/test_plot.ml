@@ -1,0 +1,151 @@
+(* Tests for the ASCII plotting layer. *)
+
+module Canvas = Pi_plot.Canvas
+module Axes = Pi_plot.Axes
+module Scatter = Pi_plot.Scatter
+module Violin = Pi_plot.Violin
+module Bars = Pi_plot.Bars
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_canvas_set_render () =
+  let c = Canvas.create ~width:10 ~height:3 in
+  Canvas.set c ~x:2 ~y:1 '*';
+  let out = Canvas.render c in
+  Alcotest.(check string) "rendered" "\n  *\n" out
+
+let test_canvas_clipping () =
+  let c = Canvas.create ~width:5 ~height:2 in
+  Canvas.set c ~x:99 ~y:0 'x';
+  Canvas.set c ~x:(-1) ~y:0 'x';
+  Canvas.set c ~x:0 ~y:99 'x';
+  Alcotest.(check string) "nothing written" "\n" (Canvas.render c)
+
+let test_canvas_text_and_lines () =
+  let c = Canvas.create ~width:12 ~height:4 in
+  Canvas.text c ~x:1 ~y:0 "hi";
+  Canvas.hline c ~y:2 ~x0:0 ~x1:4 '-';
+  Canvas.vline c ~x:6 ~y0:0 ~y1:3 '|';
+  let out = Canvas.render c in
+  Alcotest.(check bool) "text present" true (contains out "hi");
+  Alcotest.(check bool) "hline present" true (contains out "-----")
+
+let test_canvas_set_if_empty () =
+  let c = Canvas.create ~width:4 ~height:1 in
+  Canvas.set c ~x:0 ~y:0 'a';
+  Canvas.set_if_empty c ~x:0 ~y:0 'b';
+  Canvas.set_if_empty c ~x:1 ~y:0 'c';
+  Alcotest.(check string) "priority respected" "ac" (Canvas.render c)
+
+let test_axes_mapping_monotone () =
+  let axes =
+    Axes.create ~x_min:0.0 ~x_max:10.0 ~y_min:0.0 ~y_max:5.0 ~left:5 ~right:50 ~top:1
+      ~bottom:20
+  in
+  Alcotest.(check int) "x min" 5 (Axes.x_of axes 0.0);
+  Alcotest.(check int) "x max" 50 (Axes.x_of axes 10.0);
+  Alcotest.(check int) "y min at bottom" 20 (Axes.y_of axes 0.0);
+  Alcotest.(check int) "y max at top" 1 (Axes.y_of axes 5.0);
+  Alcotest.(check bool) "monotone" true (Axes.x_of axes 3.0 < Axes.x_of axes 7.0)
+
+let test_axes_ticks_cover () =
+  let ticks = Axes.nice_ticks ~lo:0.13 ~hi:0.87 ~max_ticks:6 in
+  Alcotest.(check bool) "some ticks" true (List.length ticks >= 2);
+  List.iter
+    (fun t -> Alcotest.(check bool) "within range" true (t >= 0.0 && t <= 1.0))
+    ticks
+
+let test_axes_degenerate_range () =
+  let axes =
+    Axes.create ~x_min:2.0 ~x_max:2.0 ~y_min:1.0 ~y_max:1.0 ~left:0 ~right:10 ~top:0
+      ~bottom:10
+  in
+  (* Must not divide by zero. *)
+  Alcotest.(check bool) "maps" true (Axes.x_of axes 2.0 >= 0)
+
+let test_scatter_renders_points_and_fit () =
+  let points = Array.init 20 (fun i -> (float_of_int i, (2.0 *. float_of_int i) +. 1.0)) in
+  let reg = Pi_stats.Linreg.fit (Array.map fst points) (Array.map snd points) in
+  let out =
+    Scatter.render ~width:60 ~height:15 ~title:"T" ~line:(Scatter.regression_line reg)
+      ~bands:[ Scatter.confidence_band reg; Scatter.prediction_band reg ]
+      points
+  in
+  Alcotest.(check bool) "has data glyphs" true (contains out "o");
+  Alcotest.(check bool) "has fit glyphs" true (contains out "*");
+  Alcotest.(check bool) "has title" true (contains out "T")
+
+let test_scatter_empty_rejected () =
+  Alcotest.check_raises "no points" (Invalid_argument "Scatter.render: no points") (fun () ->
+      ignore (Scatter.render [||]))
+
+let test_violin_renders () =
+  let rng = Pi_stats.Rng.create 3 in
+  let sample () = Array.init 60 (fun _ -> Pi_stats.Rng.gaussian rng) in
+  let out = Violin.render ~width:70 [ ("aaa", sample ()); ("bbb", sample ()) ] in
+  Alcotest.(check bool) "labels" true (contains out "aaa" && contains out "bbb");
+  Alcotest.(check bool) "median marker" true (contains out "+");
+  Alcotest.(check bool) "body" true (contains out "=")
+
+let test_violin_small_sample_rejected () =
+  Alcotest.check_raises "too small" (Invalid_argument "Violin.render: sample too small")
+    (fun () -> ignore (Violin.render [ ("x", [| 1.0 |]) ]))
+
+let test_bars_simple () =
+  let out = Bars.render ~width:50 [ ("one", 1.0); ("two", 2.0) ] in
+  Alcotest.(check bool) "labels" true (contains out "one" && contains out "two");
+  Alcotest.(check bool) "bars" true (contains out "#")
+
+let test_bars_stacked () =
+  let out =
+    Bars.render_stacked ~width:60 ~segment_glyphs:[ 'A'; 'B' ] ~legend:[ "first"; "second" ]
+      [ ("row", [ 0.4; 0.3 ]) ]
+  in
+  Alcotest.(check bool) "legend" true (contains out "A=first");
+  Alcotest.(check bool) "segments" true (contains out "A" && contains out "B")
+
+let test_bars_stacked_negative_rejected () =
+  Alcotest.check_raises "negative" (Invalid_argument "Bars.render_stacked: negative segment")
+    (fun () ->
+      ignore
+        (Bars.render_stacked ~segment_glyphs:[ 'A' ] ~legend:[ "x" ] [ ("r", [ -1.0 ]) ]))
+
+let test_bars_intervals () =
+  let out =
+    Bars.render_intervals ~width:70
+      [ ("alpha", 1.0, 1.5, 2.0); ("beta", 0.5, 0.6, 0.7) ]
+  in
+  Alcotest.(check bool) "estimate marker" true (contains out "*");
+  Alcotest.(check bool) "bounds markers" true (contains out "[" && contains out "]");
+  Alcotest.(check bool) "numeric summary" true (contains out "1.500")
+
+let suite =
+  [
+    ( "plot.canvas",
+      [
+        Alcotest.test_case "set / render" `Quick test_canvas_set_render;
+        Alcotest.test_case "clipping" `Quick test_canvas_clipping;
+        Alcotest.test_case "text and lines" `Quick test_canvas_text_and_lines;
+        Alcotest.test_case "set_if_empty" `Quick test_canvas_set_if_empty;
+      ] );
+    ( "plot.axes",
+      [
+        Alcotest.test_case "mapping monotone" `Quick test_axes_mapping_monotone;
+        Alcotest.test_case "ticks cover" `Quick test_axes_ticks_cover;
+        Alcotest.test_case "degenerate range" `Quick test_axes_degenerate_range;
+      ] );
+    ( "plot.figures",
+      [
+        Alcotest.test_case "scatter" `Quick test_scatter_renders_points_and_fit;
+        Alcotest.test_case "scatter empty" `Quick test_scatter_empty_rejected;
+        Alcotest.test_case "violin" `Quick test_violin_renders;
+        Alcotest.test_case "violin small sample" `Quick test_violin_small_sample_rejected;
+        Alcotest.test_case "bars" `Quick test_bars_simple;
+        Alcotest.test_case "stacked bars" `Quick test_bars_stacked;
+        Alcotest.test_case "stacked negative" `Quick test_bars_stacked_negative_rejected;
+        Alcotest.test_case "interval bars" `Quick test_bars_intervals;
+      ] );
+  ]

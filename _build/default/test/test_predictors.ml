@@ -1,0 +1,211 @@
+(* Tests for the branch predictors: learning behaviour, relative strengths,
+   storage accounting, determinism. *)
+
+module P = Pi_uarch.Predictor
+
+(* Drive a predictor with a synthetic stream: [branches] is a list of
+   (pc, outcome generator); interleaved round-robin for [rounds] rounds.
+   Returns the misprediction rate over the last [measure] rounds. *)
+let drive predictor ~rounds ~measure branches =
+  let states = List.map (fun (pc, gen) -> (pc, gen, ref 0)) branches in
+  let mispredicts = ref 0 and measured = ref 0 in
+  for round = 0 to rounds - 1 do
+    List.iter
+      (fun (pc, gen, counter) ->
+        let taken = gen !counter in
+        incr counter;
+        let correct = predictor.P.on_branch ~pc ~taken in
+        if round >= rounds - measure then begin
+          incr measured;
+          if not correct then incr mispredicts
+        end)
+      states
+  done;
+  float_of_int !mispredicts /. float_of_int !measured
+
+let constant_taken _ = true
+let constant_not_taken _ = false
+let alternating i = i mod 2 = 0
+let periodic pattern i = pattern.(i mod Array.length pattern)
+let loop trips i = i mod trips < trips - 1
+
+(* ---------------- Counter table ---------------- *)
+
+let test_counter_table_basics () =
+  let t = P.Counter_table.create ~entries:16 in
+  Alcotest.(check int) "entries" 16 (P.Counter_table.entries t);
+  Alcotest.(check bool) "weakly not taken initially" false (P.Counter_table.predict t 3);
+  P.Counter_table.update t 3 true;
+  Alcotest.(check bool) "one update flips weak counter" true (P.Counter_table.predict t 3);
+  P.Counter_table.update t 3 true;
+  P.Counter_table.update t 3 true;
+  Alcotest.(check int) "saturates at 3" 3 (P.Counter_table.get t 3);
+  P.Counter_table.update t 3 false;
+  Alcotest.(check bool) "hysteresis" true (P.Counter_table.predict t 3);
+  P.Counter_table.reset t;
+  Alcotest.(check int) "reset to weakly not-taken" 1 (P.Counter_table.get t 3)
+
+let test_counter_table_pow2 () =
+  Alcotest.check_raises "power of two"
+    (Invalid_argument "Counter_table.create: entries not a power of two") (fun () ->
+      ignore (P.Counter_table.create ~entries:12))
+
+(* ---------------- Individual predictors ---------------- *)
+
+let test_bimodal_learns_bias () =
+  let p = Pi_uarch.Bimodal.create ~entries_log2:10 in
+  let rate =
+    drive p ~rounds:200 ~measure:100
+      [ (0x100, constant_taken); (0x204, constant_not_taken) ]
+  in
+  Alcotest.(check (float 0.0)) "perfect on constant branches" 0.0 rate
+
+let test_bimodal_cannot_learn_alternating () =
+  let p = Pi_uarch.Bimodal.create ~entries_log2:10 in
+  let rate = drive p ~rounds:400 ~measure:200 [ (0x1000, alternating) ] in
+  Alcotest.(check bool) "bad on alternating" true (rate > 0.45)
+
+let test_gshare_learns_alternating () =
+  let p = Pi_uarch.Gshare.create ~entries_log2:12 ~history_bits:8 in
+  let rate = drive p ~rounds:400 ~measure:200 [ (0x1000, alternating) ] in
+  Alcotest.(check (float 0.0)) "history captures period 2" 0.0 rate
+
+let test_gshare_learns_short_period () =
+  let p = Pi_uarch.Gshare.create ~entries_log2:12 ~history_bits:8 in
+  let pattern = [| true; true; false; true; false |] in
+  let rate = drive p ~rounds:600 ~measure:200 [ (0x1000, periodic pattern) ] in
+  Alcotest.(check bool) "learns period 5" true (rate < 0.02)
+
+let test_gas_learns_pattern () =
+  let p = Pi_uarch.Gas.create ~entries_log2:12 ~history_bits:6 in
+  let pattern = [| true; false; false; true |] in
+  let rate = drive p ~rounds:600 ~measure:200 [ (0x1000, periodic pattern) ] in
+  Alcotest.(check bool) "gselect learns period 4" true (rate < 0.02)
+
+let test_destructive_aliasing_bimodal () =
+  (* Two opposite-bias branches forced onto the same bimodal entry. *)
+  let p = Pi_uarch.Bimodal.create ~entries_log2:6 in
+  let pc_a = 0x1000 in
+  let pc_b = 0x1000 + (64 * 2) (* same index after hash_pc and masking *) in
+  let rate = drive p ~rounds:300 ~measure:150 [ (pc_a, constant_taken); (pc_b, constant_not_taken) ] in
+  Alcotest.(check bool) "collision destroys accuracy" true (rate > 0.4)
+
+let test_hybrid_beats_components () =
+  (* A workload with both a biased branch and an alternating branch: the
+     hybrid should match gshare on the pattern and bimodal on the bias. *)
+  let stream = [ (0x1000, constant_taken); (0x2040, alternating); (0x30a0, periodic [| true; true; false |]) ] in
+  let hybrid_rate = drive (Pi_uarch.Hybrid.xeon_like ()) ~rounds:600 ~measure:200 stream in
+  Alcotest.(check bool) "hybrid handles the mix" true (hybrid_rate < 0.02)
+
+let test_ltage_learns_long_period () =
+  (* Period-40 pattern: beyond the hybrid's 9-bit history, within L-TAGE's
+     geometric histories. *)
+  let pattern = Array.init 40 (fun i -> i mod 7 < 4) in
+  let stream = [ (0x1000, periodic pattern) ] in
+  let ltage_rate = drive (Pi_uarch.Ltage.create ()) ~rounds:3000 ~measure:500 stream in
+  let hybrid_rate = drive (Pi_uarch.Hybrid.xeon_like ()) ~rounds:3000 ~measure:500 stream in
+  Alcotest.(check bool)
+    (Printf.sprintf "ltage (%.3f) clearly beats hybrid (%.3f)" ltage_rate hybrid_rate)
+    true
+    (ltage_rate < 0.05 && ltage_rate < hybrid_rate /. 2.0)
+
+let test_ltage_loop_predictor () =
+  (* Constant trip count 50: the loop predictor should nail the exits. *)
+  let stream = [ (0x1000, loop 50) ] in
+  let ltage_rate = drive (Pi_uarch.Ltage.create ()) ~rounds:4000 ~measure:1000 stream in
+  Alcotest.(check bool)
+    (Printf.sprintf "loop exits predicted (%.4f)" ltage_rate)
+    true (ltage_rate < 0.005)
+
+let test_tage_only_worse_on_loops () =
+  let stream = [ (0x1000, loop 75) ] in
+  let with_loop = drive (Pi_uarch.Ltage.create ()) ~rounds:4000 ~measure:1000 stream in
+  let without = drive (Pi_uarch.Ltage.tage_only ()) ~rounds:4000 ~measure:1000 stream in
+  Alcotest.(check bool)
+    (Printf.sprintf "loop predictor helps (%.4f vs %.4f)" with_loop without)
+    true (with_loop <= without)
+
+let test_perfect_predictor () =
+  let p = Pi_uarch.Perfect.perfect () in
+  let rate = drive p ~rounds:100 ~measure:100 [ (0x1000, alternating) ] in
+  Alcotest.(check (float 0.0)) "never wrong" 0.0 rate
+
+let test_static_predictors () =
+  let taken = Pi_uarch.Perfect.always_taken () in
+  Alcotest.(check bool) "taken correct on taken" true (taken.P.on_branch ~pc:0 ~taken:true);
+  Alcotest.(check bool) "taken wrong on not-taken" false (taken.P.on_branch ~pc:0 ~taken:false);
+  let nt = Pi_uarch.Perfect.always_not_taken () in
+  Alcotest.(check bool) "not-taken correct" true (nt.P.on_branch ~pc:0 ~taken:false)
+
+let test_reset_restores_initial_state () =
+  let p = Pi_uarch.Gshare.create ~entries_log2:10 ~history_bits:6 in
+  let before = drive p ~rounds:50 ~measure:50 [ (0x1000, alternating) ] in
+  p.P.reset ();
+  let after = drive p ~rounds:50 ~measure:50 [ (0x1000, alternating) ] in
+  Alcotest.(check (float 1e-9)) "identical after reset" before after
+
+let test_storage_accounting () =
+  Alcotest.(check int) "bimodal 2^12 entries = 1KB"
+    (4096 * 2)
+    (Pi_uarch.Bimodal.create ~entries_log2:12).P.storage_bits;
+  let gas8 = Pi_uarch.Gas.sized_kb ~kb:8 in
+  Alcotest.(check bool) "GAs-8KB is several KB" true (P.storage_kb gas8 > 8.0);
+  let ltage = Pi_uarch.Ltage.create () in
+  Alcotest.(check bool) "L-TAGE tens of KB" true
+    (P.storage_kb ltage > 20.0 && P.storage_kb ltage < 64.0)
+
+let test_sized_family_named () =
+  List.iter
+    (fun kb ->
+      let p = Pi_uarch.Gas.sized_kb ~kb in
+      Alcotest.(check string) "name" (Printf.sprintf "GAs-%dKB" kb) p.P.name)
+    [ 2; 4; 8; 16 ];
+  Alcotest.check_raises "bad size" (Invalid_argument "Gas.sized_kb: kb must be one of 2, 4, 8, 16")
+    (fun () -> ignore (Pi_uarch.Gas.sized_kb ~kb:3))
+
+let test_sweep_has_145_configurations () =
+  let configs = Pi_uarch.Sweep.configurations () in
+  Alcotest.(check int) "exactly 145" 145 (List.length configs);
+  let names = List.map fst configs in
+  let unique = List.sort_uniq compare names in
+  Alcotest.(check int) "names unique" 145 (List.length unique)
+
+let test_sweep_configs_instantiate () =
+  List.iter
+    (fun (name, make) ->
+      let p = make () in
+      ignore (p.P.on_branch ~pc:0x4000 ~taken:true);
+      Alcotest.(check bool) (name ^ " has storage") true (p.P.storage_bits >= 0))
+    (Pi_uarch.Sweep.configurations ())
+
+let suite =
+  [
+    ( "uarch.counter_table",
+      [
+        Alcotest.test_case "basics" `Quick test_counter_table_basics;
+        Alcotest.test_case "power of two" `Quick test_counter_table_pow2;
+      ] );
+    ( "uarch.predictors",
+      [
+        Alcotest.test_case "bimodal learns bias" `Quick test_bimodal_learns_bias;
+        Alcotest.test_case "bimodal vs alternating" `Quick test_bimodal_cannot_learn_alternating;
+        Alcotest.test_case "gshare learns alternating" `Quick test_gshare_learns_alternating;
+        Alcotest.test_case "gshare learns period 5" `Quick test_gshare_learns_short_period;
+        Alcotest.test_case "gas learns period 4" `Quick test_gas_learns_pattern;
+        Alcotest.test_case "destructive aliasing" `Quick test_destructive_aliasing_bimodal;
+        Alcotest.test_case "hybrid handles mix" `Quick test_hybrid_beats_components;
+        Alcotest.test_case "ltage long period" `Quick test_ltage_learns_long_period;
+        Alcotest.test_case "ltage loop predictor" `Quick test_ltage_loop_predictor;
+        Alcotest.test_case "tage-only vs loops" `Quick test_tage_only_worse_on_loops;
+        Alcotest.test_case "perfect" `Quick test_perfect_predictor;
+        Alcotest.test_case "static" `Quick test_static_predictors;
+        Alcotest.test_case "reset" `Quick test_reset_restores_initial_state;
+        Alcotest.test_case "storage accounting" `Quick test_storage_accounting;
+        Alcotest.test_case "sized family" `Quick test_sized_family_named;
+      ] );
+    ( "uarch.sweep",
+      [
+        Alcotest.test_case "145 configurations" `Quick test_sweep_has_145_configurations;
+        Alcotest.test_case "all instantiate" `Quick test_sweep_configs_instantiate;
+      ] );
+  ]

@@ -1,0 +1,139 @@
+(* Reproduction-shape tests: the paper's qualitative claims, encoded as
+   assertions at reduced scale so the suite stays fast. These are the
+   regression net for the numbers EXPERIMENTS.md reports. *)
+
+module E = Interferometry.Experiment
+module Model = Interferometry.Model
+module Significance = Interferometry.Significance
+module Predict = Interferometry.Predict
+module Sweep = Pi_uarch.Sweep
+module Linreg = Pi_stats.Linreg
+
+let n_layouts = 20
+
+let dataset =
+  let cache = Hashtbl.create 8 in
+  fun name ->
+    match Hashtbl.find_opt cache name with
+    | Some d -> d
+    | None ->
+        let d = E.run (Pi_workloads.Spec.find name) ~n_layouts in
+        Hashtbl.replace cache name d;
+        d
+
+(* Section 4.6 / 6.4: branchy codes correlate, stream codes do not. *)
+let test_significance_split () =
+  List.iter
+    (fun name ->
+      let v = Significance.test (dataset name) in
+      Alcotest.(check bool) (name ^ " significant") true v.Significance.significant)
+    [ "400.perlbench"; "401.bzip2"; "462.libquantum"; "445.gobmk" ];
+  List.iter
+    (fun name ->
+      let v = Significance.test (dataset name) in
+      Alcotest.(check bool) (name ^ " not significant") false v.Significance.significant)
+    [ "470.lbm"; "433.milc" ]
+
+(* Table 1: positive slopes of plausible magnitude for branchy codes. *)
+let test_table1_slopes () =
+  List.iter
+    (fun name ->
+      let m = Model.fit (dataset name) in
+      let slope = m.Model.regression.Linreg.slope in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s slope %.4f in (0.004, 0.08)" name slope)
+        true
+        (slope > 0.004 && slope < 0.08))
+    [ "400.perlbench"; "401.bzip2"; "456.hmmer"; "462.libquantum" ]
+
+(* Section 7.2 / Figure 7: the predictor ranking. *)
+let test_predictor_ranking () =
+  let d = dataset "400.perlbench" in
+  let m = Model.fit d in
+  let rows = Predict.evaluate d m in
+  let mpki name = (List.find (fun e -> e.Predict.predictor = name) rows).Predict.mean_mpki in
+  Alcotest.(check bool) "GAs grows monotone with budget" true
+    (mpki "GAs-2KB" >= mpki "GAs-8KB" && mpki "GAs-8KB" >= mpki "GAs-16KB");
+  Alcotest.(check bool) "real predictor worse than GAs-8KB" true
+    (mpki "real (measured)" > mpki "GAs-8KB");
+  Alcotest.(check bool) "L-TAGE clearly best imperfect predictor" true
+    (mpki "L-TAGE" < mpki "GAs-16KB");
+  Alcotest.(check bool) "L-TAGE reduction is paper-sized (20-60%)" true
+    (let reduction = 1.0 -. (mpki "L-TAGE" /. mpki "real (measured)") in
+     reduction > 0.2 && reduction < 0.6)
+
+(* Section 1.4: perfect prediction is worth a large, bounded improvement on
+   perlbench. *)
+let test_perlbench_headline () =
+  let d = dataset "400.perlbench" in
+  let m = Model.fit d in
+  let gain = Model.improvement_percent m ~from_mpki:m.Model.mean_mpki ~to_mpki:0.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "perfect-prediction gain %.1f%% in 15-40%%" gain)
+    true
+    (gain > 15.0 && gain < 40.0)
+
+(* Section 3 / Figure 4: the linearity study. Run the 145-config sweep on
+   two contrasting benchmarks: hmmer must extrapolate almost perfectly,
+   galgel visibly worse (the wrong-path mechanism). *)
+let study name =
+  let prepared = E.prepare (Pi_workloads.Spec.find name) in
+  let placement = Pi_layout.Placement.natural prepared.E.program in
+  Sweep.run_study ~warmup_blocks:prepared.E.warmup_blocks ~benchmark:name prepared.E.trace
+    placement
+
+let test_linearity_contrast () =
+  let hmmer = study "456.hmmer" in
+  let galgel = study "178.galgel" in
+  Alcotest.(check bool)
+    (Printf.sprintf "hmmer extrapolates cleanly (%.2f%%)" hmmer.Sweep.perfect_error_percent)
+    true
+    (hmmer.Sweep.perfect_error_percent < 1.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "galgel visibly non-linear (%.2f%%)" galgel.Sweep.perfect_error_percent)
+    true
+    (galgel.Sweep.perfect_error_percent > 3.0);
+  Alcotest.(check bool) "L-TAGE interpolation easier than perfect extrapolation" true
+    (hmmer.Sweep.ltage_error_percent <= hmmer.Sweep.perfect_error_percent +. 0.1)
+
+(* Figure 3 mechanism: heap randomization creates the cache-miss variance
+   that code reordering alone does not. *)
+let test_heap_randomization_enables_cache_signal () =
+  let ccx = Pi_workloads.Spec.find "454.calculix" in
+  let run heap_random =
+    let config =
+      { E.default_config with E.heap_random; scale = 12; budget_blocks = 400_000 }
+    in
+    E.run ~config ccx ~n_layouts:15
+  in
+  let with_rand = run true and without = run false in
+  let r2 d = Pi_stats.Correlation.r_squared (E.l1d_mpkis d) (E.cpis d) in
+  Alcotest.(check bool)
+    (Printf.sprintf "randomized heap r2 %.3f >> bump r2 %.3f" (r2 with_rand) (r2 without))
+    true
+    (r2 with_rand > 0.3 && r2 with_rand > 4.0 *. r2 without)
+
+(* The violin-plot source data: branchy codes show visibly wider relative
+   CPI spread than stream codes (Figure 1's point). *)
+let test_variation_spread () =
+  let spread name =
+    let d = dataset name in
+    let cpis = E.cpis d in
+    Pi_stats.Descriptive.stddev cpis /. Pi_stats.Descriptive.mean cpis
+  in
+  Alcotest.(check bool) "libquantum spreads much more than lbm" true
+    (spread "462.libquantum" > 2.0 *. spread "470.lbm")
+
+let suite =
+  [
+    ( "reproduction.shapes",
+      [
+        Alcotest.test_case "significance split" `Slow test_significance_split;
+        Alcotest.test_case "table1 slopes" `Slow test_table1_slopes;
+        Alcotest.test_case "predictor ranking" `Slow test_predictor_ranking;
+        Alcotest.test_case "perlbench headline" `Slow test_perlbench_headline;
+        Alcotest.test_case "linearity contrast" `Slow test_linearity_contrast;
+        Alcotest.test_case "heap randomization" `Slow test_heap_randomization_enables_cache_signal;
+        Alcotest.test_case "variation spread" `Slow test_variation_spread;
+      ] );
+  ]

@@ -1,0 +1,507 @@
+(* Tests for pi_stats: RNG, descriptive statistics, distributions,
+   correlation, regression, matrices, KDE. Reference values for the
+   distribution quantiles come from standard statistical tables. *)
+
+module Rng = Pi_stats.Rng
+module D = Pi_stats.Descriptive
+module Dist = Pi_stats.Distributions
+module Corr = Pi_stats.Correlation
+module Linreg = Pi_stats.Linreg
+module Matrix = Pi_stats.Matrix
+module Multireg = Pi_stats.Multireg
+module Density = Pi_stats.Density
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close eps = Alcotest.(check (float eps))
+
+(* ---------------- RNG ---------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 3.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_rng_named_stream_stable () =
+  let a = Rng.named_stream (Rng.create 5) "alpha" in
+  let b = Rng.named_stream (Rng.create 5) "alpha" in
+  let c = Rng.named_stream (Rng.create 5) "beta" in
+  Alcotest.(check int64) "same name same stream" (Rng.bits64 a) (Rng.bits64 b);
+  Alcotest.(check bool) "different name differs" true (Rng.bits64 (Rng.copy c) <> Rng.bits64 b)
+
+let test_rng_named_stream_does_not_advance () =
+  let base = Rng.create 9 in
+  let _ = Rng.named_stream base "x" in
+  let after = Rng.bits64 base in
+  let fresh = Rng.create 9 in
+  Alcotest.(check int64) "base unperturbed" (Rng.bits64 fresh) after
+
+let test_rng_split_decorrelates () =
+  let a = Rng.create 3 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split differs from parent" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 11 in
+  let b = Rng.copy a in
+  let va = Rng.bits64 a in
+  let vb = Rng.bits64 b in
+  Alcotest.(check int64) "copy replays" va vb
+
+let test_rng_bernoulli_frequency () =
+  let rng = Rng.create 13 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "freq near 0.3" true (Float.abs (freq -. 0.3) < 0.02)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 17 in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng) in
+  Alcotest.(check bool) "mean near 0" true (Float.abs (D.mean xs) < 0.03);
+  Alcotest.(check bool) "sd near 1" true (Float.abs (D.stddev xs -. 1.0) < 0.03)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 19 in
+  let xs = Array.init 20_000 (fun _ -> Rng.exponential rng ~mean:5.0) in
+  Alcotest.(check bool) "mean near 5" true (Float.abs (D.mean xs -. 5.0) < 0.2)
+
+let test_rng_permutation_is_bijection () =
+  let rng = Rng.create 23 in
+  let p = Rng.permutation rng 50 in
+  let seen = Array.make 50 false in
+  Array.iter (fun i -> seen.(i) <- true) p;
+  Alcotest.(check bool) "all elements present" true (Array.for_all (fun b -> b) seen)
+
+let prop_shuffle_preserves_multiset =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:100
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let a = Array.of_list xs in
+      let b = Array.copy a in
+      Rng.shuffle_in_place (Rng.create seed) b;
+      List.sort compare (Array.to_list a) = List.sort compare (Array.to_list b))
+
+(* ---------------- Descriptive ---------------- *)
+
+let test_mean_median () =
+  check_float "mean" 3.0 (D.mean [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  check_float "median odd" 3.0 (D.median [| 5.0; 1.0; 3.0; 2.0; 4.0 |]);
+  check_float "median even" 2.5 (D.median [| 4.0; 1.0; 3.0; 2.0 |])
+
+let test_variance () =
+  check_float "sample variance" 2.5 (D.variance [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  check_float "stddev" (sqrt 2.5) (D.stddev [| 1.0; 2.0; 3.0; 4.0; 5.0 |])
+
+let test_quantile_interpolation () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  check_float "q0" 10.0 (D.quantile xs 0.0);
+  check_float "q1" 40.0 (D.quantile xs 1.0);
+  check_float "q50" 25.0 (D.quantile xs 0.5);
+  check_float "q25" 17.5 (D.quantile xs 0.25)
+
+let test_min_max () =
+  let lo, hi = D.min_max [| 3.0; -1.0; 7.0; 2.0 |] in
+  check_float "min" (-1.0) lo;
+  check_float "max" 7.0 hi
+
+let test_percent_difference () =
+  let ds = D.percent_difference_from_mean [| 90.0; 110.0 |] in
+  check_float "below" (-10.0) ds.(0);
+  check_float "above" 10.0 ds.(1)
+
+let test_empty_raises () =
+  Alcotest.check_raises "mean of empty" (Invalid_argument "Descriptive.mean: empty sample")
+    (fun () -> ignore (D.mean [||]));
+  Alcotest.check_raises "variance needs 2"
+    (Invalid_argument "Descriptive.variance: need >= 2 points") (fun () ->
+      ignore (D.variance [| 1.0 |]))
+
+let test_summarize () =
+  let s = D.summarize [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check int) "n" 4 s.D.n;
+  check_float "mean" 2.5 s.D.mean;
+  check_float "min" 1.0 s.D.min;
+  check_float "max" 4.0 s.D.max
+
+(* ---------------- Distributions ---------------- *)
+
+let test_log_gamma () =
+  check_close 1e-10 "ln(gamma(5)) = ln 24" (log 24.0) (Dist.log_gamma 5.0);
+  check_close 1e-10 "ln(gamma(1)) = 0" 0.0 (Dist.log_gamma 1.0);
+  check_close 1e-8 "gamma(0.5) = sqrt(pi)" (log (sqrt Float.pi)) (Dist.log_gamma 0.5)
+
+let test_incomplete_beta () =
+  check_close 1e-10 "I_0 = 0" 0.0 (Dist.regularized_incomplete_beta ~a:2.0 ~b:3.0 ~x:0.0);
+  check_close 1e-10 "I_1 = 1" 1.0 (Dist.regularized_incomplete_beta ~a:2.0 ~b:3.0 ~x:1.0);
+  (* I_x(1,1) = x *)
+  check_close 1e-10 "uniform case" 0.37 (Dist.regularized_incomplete_beta ~a:1.0 ~b:1.0 ~x:0.37);
+  (* symmetry: I_x(a,b) = 1 - I_{1-x}(b,a) *)
+  let v = Dist.regularized_incomplete_beta ~a:2.5 ~b:4.0 ~x:0.3 in
+  let w = Dist.regularized_incomplete_beta ~a:4.0 ~b:2.5 ~x:0.7 in
+  check_close 1e-10 "symmetry" 1.0 (v +. w)
+
+let test_lower_gamma () =
+  (* P(1, x) = 1 - e^-x *)
+  check_close 1e-10 "P(1,1)" (1.0 -. exp (-1.0)) (Dist.regularized_lower_gamma ~a:1.0 ~x:1.0);
+  check_close 1e-10 "P(1,2)" (1.0 -. exp (-2.0)) (Dist.regularized_lower_gamma ~a:1.0 ~x:2.0)
+
+let test_normal () =
+  check_close 1e-10 "cdf(0)" 0.5 (Dist.Normal.cdf 0.0);
+  check_close 1e-5 "cdf(1.96)" 0.9750021 (Dist.Normal.cdf 1.959964);
+  check_close 1e-6 "quantile(0.975)" 1.959964 (Dist.Normal.quantile 0.975);
+  check_close 1e-6 "quantile(0.5)" 0.0 (Dist.Normal.quantile 0.5);
+  check_close 1e-9 "pdf(0)" (1.0 /. sqrt (2.0 *. Float.pi)) (Dist.Normal.pdf 0.0)
+
+let test_normal_quantile_roundtrip () =
+  List.iter
+    (fun p -> check_close 1e-8 "roundtrip" p (Dist.Normal.cdf (Dist.Normal.quantile p)))
+    [ 0.001; 0.025; 0.2; 0.5; 0.8; 0.975; 0.999 ]
+
+let test_student_t_table () =
+  (* Classic two-tailed 5% critical values. *)
+  check_close 1e-3 "t(0.975, 1)" 12.7062 (Dist.Student_t.quantile ~df:1.0 0.975);
+  check_close 1e-4 "t(0.975, 10)" 2.2281 (Dist.Student_t.quantile ~df:10.0 0.975);
+  check_close 1e-4 "t(0.975, 30)" 2.0423 (Dist.Student_t.quantile ~df:30.0 0.975);
+  check_close 1e-4 "t(0.95, 5)" 2.0150 (Dist.Student_t.quantile ~df:5.0 0.95);
+  check_close 1e-4 "t(0.975, 98)" 1.9845 (Dist.Student_t.quantile ~df:98.0 0.975)
+
+let test_student_t_symmetry () =
+  check_close 1e-10 "cdf(0) = 0.5" 0.5 (Dist.Student_t.cdf ~df:7.0 0.0);
+  let p = Dist.Student_t.cdf ~df:7.0 1.3 in
+  let q = Dist.Student_t.cdf ~df:7.0 (-1.3) in
+  check_close 1e-10 "symmetric" 1.0 (p +. q)
+
+let test_student_t_two_sided () =
+  (* p-value of |t|=2.2281 at df=10 should be 0.05. *)
+  check_close 1e-4 "two sided p" 0.05 (Dist.Student_t.two_sided_p ~df:10.0 2.2281)
+
+let test_f_distribution () =
+  (* F(0.95; 1, 10) = 4.9646 -> survival at that point = 0.05. *)
+  check_close 1e-3 "F crit 1,10" 0.05 (Dist.F_dist.survival ~df1:1.0 ~df2:10.0 4.9646);
+  check_close 1e-3 "F crit 3,96" 0.05 (Dist.F_dist.survival ~df1:3.0 ~df2:96.0 2.699);
+  check_close 1e-10 "cdf(0) = 0" 0.0 (Dist.F_dist.cdf ~df1:2.0 ~df2:5.0 0.0)
+
+let test_chi2 () =
+  (* Chi2 with df=2 is exponential(2): cdf(x) = 1 - e^{-x/2}. *)
+  check_close 1e-9 "chi2 df2" (1.0 -. exp (-1.0)) (Dist.Chi2.cdf ~df:2.0 2.0)
+
+(* ---------------- Correlation ---------------- *)
+
+let test_pearson_perfect () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in
+  check_close 1e-12 "perfect positive" 1.0 (Corr.pearson_r xs ys);
+  let zs = Array.map (fun x -> 5.0 -. x) xs in
+  check_close 1e-12 "perfect negative" (-1.0) (Corr.pearson_r xs zs)
+
+let test_pearson_constant_is_zero () =
+  check_float "constant" 0.0 (Corr.pearson_r [| 1.0; 1.0; 1.0 |] [| 1.0; 2.0; 3.0 |])
+
+let test_correlation_t_test_strong () =
+  let xs = Array.init 30 (fun i -> float_of_int i) in
+  let rng = Rng.create 3 in
+  let ys = Array.map (fun x -> x +. (0.5 *. Rng.gaussian rng)) xs in
+  let r = Corr.correlation_t_test xs ys in
+  Alcotest.(check bool) "significant" true r.Corr.significant;
+  Alcotest.(check int) "df" 28 r.Corr.degrees_of_freedom
+
+let test_correlation_t_test_noise () =
+  let rng = Rng.create 4 in
+  let xs = Array.init 30 (fun _ -> Rng.gaussian rng) in
+  let ys = Array.init 30 (fun _ -> Rng.gaussian rng) in
+  let r = Corr.correlation_t_test xs ys in
+  Alcotest.(check bool) "p reasonably large" true (r.Corr.p_value > 0.01)
+
+let test_r_squared_known () =
+  let xs = [| 1.0; 2.0; 3.0 |] in
+  let ys = [| 2.0; 4.0; 6.0 |] in
+  check_close 1e-12 "r2 of exact line" 1.0 (Corr.r_squared xs ys)
+
+(* ---------------- Linear regression ---------------- *)
+
+let test_linreg_exact () =
+  let xs = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let ys = Array.map (fun x -> (3.0 *. x) +. 7.0) xs in
+  let m = Linreg.fit xs ys in
+  check_close 1e-10 "slope" 3.0 m.Linreg.slope;
+  check_close 1e-10 "intercept" 7.0 m.Linreg.intercept;
+  check_close 1e-10 "r2" 1.0 m.Linreg.r_squared;
+  check_close 1e-10 "predict" 22.0 (Linreg.predict m 5.0)
+
+let test_linreg_known_se () =
+  (* Textbook example: x = 1..5, y = (2,4,5,4,5): slope 0.6, intercept 2.2. *)
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let ys = [| 2.0; 4.0; 5.0; 4.0; 5.0 |] in
+  let m = Linreg.fit xs ys in
+  check_close 1e-10 "slope" 0.6 m.Linreg.slope;
+  check_close 1e-10 "intercept" 2.2 m.Linreg.intercept;
+  (* residuals (-0.8, 0.6, 1.0, -0.6, -0.2): SS = 2.4, s^2 = 2.4/3 *)
+  check_close 1e-9 "residual s" (sqrt (2.4 /. 3.0)) m.Linreg.residual_standard_error
+
+let test_linreg_intervals_nested () =
+  let rng = Rng.create 5 in
+  let xs = Array.init 40 (fun i -> float_of_int i /. 4.0) in
+  let ys = Array.map (fun x -> (1.5 *. x) +. 2.0 +. Rng.gaussian rng) xs in
+  let m = Linreg.fit xs ys in
+  List.iter
+    (fun x0 ->
+      let ci = Linreg.confidence_interval m x0 in
+      let pi = Linreg.prediction_interval m x0 in
+      Alcotest.(check bool) "PI wider than CI" true
+        (pi.Linreg.upper -. pi.Linreg.lower > ci.Linreg.upper -. ci.Linreg.lower);
+      Alcotest.(check bool) "CI contains estimate" true
+        (ci.Linreg.lower <= ci.Linreg.estimate && ci.Linreg.estimate <= ci.Linreg.upper))
+    [ 0.0; 5.0; 10.0 ]
+
+let test_linreg_interval_widens_away_from_mean () =
+  let rng = Rng.create 6 in
+  let xs = Array.init 40 (fun i -> float_of_int i) in
+  let ys = Array.map (fun x -> x +. Rng.gaussian rng) xs in
+  let m = Linreg.fit xs ys in
+  let at_mean = Linreg.confidence_interval m m.Linreg.x_mean in
+  let far = Linreg.confidence_interval m (m.Linreg.x_mean +. 30.0) in
+  Alcotest.(check bool) "wider far from mean" true
+    (far.Linreg.upper -. far.Linreg.lower > at_mean.Linreg.upper -. at_mean.Linreg.lower)
+
+let test_linreg_degenerate_x () =
+  Alcotest.check_raises "constant x" (Invalid_argument "Linreg.fit: degenerate x (zero variance)")
+    (fun () -> ignore (Linreg.fit [| 2.0; 2.0; 2.0 |] [| 1.0; 2.0; 3.0 |]))
+
+let test_linreg_slope_test () =
+  let rng = Rng.create 7 in
+  let xs = Array.init 50 (fun i -> float_of_int i) in
+  let ys = Array.map (fun x -> (0.5 *. x) +. Rng.gaussian rng) xs in
+  let _, significant = Linreg.slope_t_test (Linreg.fit xs ys) in
+  Alcotest.(check bool) "clear slope significant" true significant
+
+let prop_linreg_recovers_slope =
+  QCheck.Test.make ~name:"linreg recovers slope within noise" ~count:50
+    QCheck.(pair (int_range 1 10_000) (float_range (-5.0) 5.0))
+    (fun (seed, slope) ->
+      let rng = Rng.create seed in
+      let xs = Array.init 60 (fun i -> float_of_int i /. 3.0) in
+      let ys = Array.map (fun x -> (slope *. x) +. 1.0 +. (0.1 *. Rng.gaussian rng)) xs in
+      let m = Linreg.fit xs ys in
+      Float.abs (m.Linreg.slope -. slope) < 0.05)
+
+let prop_prediction_interval_coverage =
+  (* With gaussian noise, ~95% of fresh observations fall inside the 95% PI.
+     Over 40 trials x 20 points, the hit rate should be at least 85%. *)
+  QCheck.Test.make ~name:"95% prediction interval covers ~95%" ~count:10
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inside = ref 0 and total = ref 0 in
+      for _ = 1 to 40 do
+        let xs = Array.init 30 (fun i -> float_of_int i) in
+        let noise () = Rng.gaussian rng in
+        let ys = Array.map (fun x -> (0.7 *. x) +. 3.0 +. noise ()) xs in
+        let m = Linreg.fit xs ys in
+        for k = 0 to 19 do
+          let x0 = float_of_int k +. 0.5 in
+          let y0 = (0.7 *. x0) +. 3.0 +. noise () in
+          let pi = Linreg.prediction_interval m x0 in
+          incr total;
+          if y0 >= pi.Linreg.lower && y0 <= pi.Linreg.upper then incr inside
+        done
+      done;
+      float_of_int !inside /. float_of_int !total > 0.85)
+
+(* ---------------- Matrix & multiple regression ---------------- *)
+
+let test_matrix_solve () =
+  let a = Matrix.of_rows [| [| 4.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Matrix.solve_spd a [| 1.0; 2.0 |] in
+  check_close 1e-10 "x0" (1.0 /. 11.0) x.(0);
+  check_close 1e-10 "x1" (7.0 /. 11.0) x.(1)
+
+let test_matrix_inverse () =
+  let a = Matrix.of_rows [| [| 5.0; 2.0 |]; [| 2.0; 3.0 |] |] in
+  let inv = Matrix.inverse_spd a in
+  let prod = Matrix.mul a inv in
+  for i = 0 to 1 do
+    for j = 0 to 1 do
+      check_close 1e-10 "identity" (if i = j then 1.0 else 0.0) (Matrix.get prod i j)
+    done
+  done
+
+let test_matrix_not_pd () =
+  let a = Matrix.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  Alcotest.check_raises "not PD" (Failure "Matrix.cholesky: not positive definite") (fun () ->
+      ignore (Matrix.cholesky a))
+
+let test_matrix_transpose_mul () =
+  let a = Matrix.of_rows [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+  let at = Matrix.transpose a in
+  Alcotest.(check int) "rows" 3 (Matrix.rows at);
+  Alcotest.(check int) "cols" 2 (Matrix.cols at);
+  let v = Matrix.mul_vec a [| 1.0; 1.0; 1.0 |] in
+  check_close 1e-12 "mul_vec" 6.0 v.(0);
+  check_close 1e-12 "mul_vec" 15.0 v.(1)
+
+let test_multireg_exact () =
+  let rng = Rng.create 8 in
+  let xs =
+    Array.init 40 (fun _ -> [| Rng.float rng 10.0; Rng.float rng 5.0 |])
+  in
+  let ys = Array.map (fun row -> 1.0 +. (2.0 *. row.(0)) +. (3.0 *. row.(1))) xs in
+  let m = Multireg.fit xs ys in
+  check_close 1e-6 "intercept" 1.0 m.Multireg.intercept;
+  check_close 1e-6 "b1" 2.0 m.Multireg.coefficients.(0);
+  check_close 1e-6 "b2" 3.0 m.Multireg.coefficients.(1);
+  Alcotest.(check bool) "r2 ~ 1" true (m.Multireg.r_squared > 0.999999);
+  Alcotest.(check bool) "F significant" true (Multireg.significant m)
+
+let test_multireg_noise_not_significant () =
+  let rng = Rng.create 9 in
+  let xs = Array.init 30 (fun _ -> [| Rng.gaussian rng; Rng.gaussian rng |]) in
+  let ys = Array.init 30 (fun _ -> Rng.gaussian rng) in
+  let m = Multireg.fit xs ys in
+  Alcotest.(check bool) "pure noise mostly not significant" true (m.Multireg.f_p_value > 0.001)
+
+let test_multireg_predict () =
+  let xs = Array.init 20 (fun i -> [| float_of_int i; float_of_int (i * i) |]) in
+  let ys = Array.map (fun row -> 4.0 +. row.(0) -. (0.5 *. row.(1))) xs in
+  let m = Multireg.fit xs ys in
+  check_close 1e-6 "predict" (4.0 +. 3.0 -. 4.5) (Multireg.predict m [| 3.0; 9.0 |])
+
+let test_multireg_arity_errors () =
+  Alcotest.check_raises "need n > k+1" (Invalid_argument "Multireg.fit: need n > k + 1")
+    (fun () -> ignore (Multireg.fit [| [| 1.0 |]; [| 2.0 |] |] [| 1.0; 2.0 |]))
+
+(* ---------------- Density ---------------- *)
+
+let test_density_integrates_to_one () =
+  let rng = Rng.create 10 in
+  let xs = Array.init 200 (fun _ -> Rng.gaussian rng) in
+  let kde = Density.fit xs in
+  let curve = Density.curve kde ~points:400 ~lo:(-6.0) ~hi:6.0 () in
+  let integral = ref 0.0 in
+  for i = 0 to Array.length curve - 2 do
+    let x0, y0 = curve.(i) and x1, y1 = curve.(i + 1) in
+    integral := !integral +. ((x1 -. x0) *. (y0 +. y1) /. 2.0)
+  done;
+  Alcotest.(check bool) "integral near 1" true (Float.abs (!integral -. 1.0) < 0.02)
+
+let test_density_peak_near_mode () =
+  let xs = Array.init 100 (fun i -> if i < 50 then 0.0 else 0.2) in
+  let kde = Density.fit xs in
+  Alcotest.(check bool) "density at mode > density far away" true
+    (Density.evaluate kde 0.1 > Density.evaluate kde 3.0)
+
+let test_density_constant_sample () =
+  let kde = Density.fit [| 5.0; 5.0; 5.0; 5.0 |] in
+  Alcotest.(check bool) "bandwidth positive" true (Density.bandwidth kde > 0.0);
+  Alcotest.(check bool) "evaluates" true (Density.evaluate kde 5.0 > 0.0)
+
+let test_density_bandwidth_override () =
+  let kde = Density.fit ~bandwidth:0.5 [| 0.0; 1.0 |] in
+  check_float "explicit bandwidth" 0.5 (Density.bandwidth kde)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suite =
+  [
+    ( "stats.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+        Alcotest.test_case "named stream stable" `Quick test_rng_named_stream_stable;
+        Alcotest.test_case "named stream pure" `Quick test_rng_named_stream_does_not_advance;
+        Alcotest.test_case "split decorrelates" `Quick test_rng_split_decorrelates;
+        Alcotest.test_case "copy replays" `Quick test_rng_copy_independent;
+        Alcotest.test_case "bernoulli frequency" `Quick test_rng_bernoulli_frequency;
+        Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "permutation bijection" `Quick test_rng_permutation_is_bijection;
+        qcheck prop_shuffle_preserves_multiset;
+      ] );
+    ( "stats.descriptive",
+      [
+        Alcotest.test_case "mean median" `Quick test_mean_median;
+        Alcotest.test_case "variance" `Quick test_variance;
+        Alcotest.test_case "quantile interpolation" `Quick test_quantile_interpolation;
+        Alcotest.test_case "min max" `Quick test_min_max;
+        Alcotest.test_case "percent difference" `Quick test_percent_difference;
+        Alcotest.test_case "empty raises" `Quick test_empty_raises;
+        Alcotest.test_case "summarize" `Quick test_summarize;
+      ] );
+    ( "stats.distributions",
+      [
+        Alcotest.test_case "log gamma" `Quick test_log_gamma;
+        Alcotest.test_case "incomplete beta" `Quick test_incomplete_beta;
+        Alcotest.test_case "lower gamma" `Quick test_lower_gamma;
+        Alcotest.test_case "normal" `Quick test_normal;
+        Alcotest.test_case "normal quantile roundtrip" `Quick test_normal_quantile_roundtrip;
+        Alcotest.test_case "student t table" `Quick test_student_t_table;
+        Alcotest.test_case "student t symmetry" `Quick test_student_t_symmetry;
+        Alcotest.test_case "student t two-sided" `Quick test_student_t_two_sided;
+        Alcotest.test_case "F distribution" `Quick test_f_distribution;
+        Alcotest.test_case "chi2" `Quick test_chi2;
+      ] );
+    ( "stats.correlation",
+      [
+        Alcotest.test_case "perfect correlation" `Quick test_pearson_perfect;
+        Alcotest.test_case "constant is zero" `Quick test_pearson_constant_is_zero;
+        Alcotest.test_case "t-test strong signal" `Quick test_correlation_t_test_strong;
+        Alcotest.test_case "t-test noise" `Quick test_correlation_t_test_noise;
+        Alcotest.test_case "r squared" `Quick test_r_squared_known;
+      ] );
+    ( "stats.linreg",
+      [
+        Alcotest.test_case "exact fit" `Quick test_linreg_exact;
+        Alcotest.test_case "textbook standard errors" `Quick test_linreg_known_se;
+        Alcotest.test_case "intervals nested" `Quick test_linreg_intervals_nested;
+        Alcotest.test_case "interval widens from mean" `Quick test_linreg_interval_widens_away_from_mean;
+        Alcotest.test_case "degenerate x" `Quick test_linreg_degenerate_x;
+        Alcotest.test_case "slope t-test" `Quick test_linreg_slope_test;
+        qcheck prop_linreg_recovers_slope;
+        qcheck prop_prediction_interval_coverage;
+      ] );
+    ( "stats.matrix",
+      [
+        Alcotest.test_case "solve SPD" `Quick test_matrix_solve;
+        Alcotest.test_case "inverse SPD" `Quick test_matrix_inverse;
+        Alcotest.test_case "not PD rejected" `Quick test_matrix_not_pd;
+        Alcotest.test_case "transpose / mul_vec" `Quick test_matrix_transpose_mul;
+      ] );
+    ( "stats.multireg",
+      [
+        Alcotest.test_case "exact recovery" `Quick test_multireg_exact;
+        Alcotest.test_case "noise not significant" `Quick test_multireg_noise_not_significant;
+        Alcotest.test_case "predict" `Quick test_multireg_predict;
+        Alcotest.test_case "arity errors" `Quick test_multireg_arity_errors;
+      ] );
+    ( "stats.density",
+      [
+        Alcotest.test_case "integrates to one" `Quick test_density_integrates_to_one;
+        Alcotest.test_case "peak near mode" `Quick test_density_peak_near_mode;
+        Alcotest.test_case "constant sample" `Quick test_density_constant_sample;
+        Alcotest.test_case "bandwidth override" `Quick test_density_bandwidth_override;
+      ] );
+  ]

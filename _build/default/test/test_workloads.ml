@@ -1,0 +1,151 @@
+(* Tests for the benchmark stand-ins: every generator builds a valid
+   program, runs, and has the character its paper counterpart needs. *)
+
+module Spec = Pi_workloads.Spec
+module Bench = Pi_workloads.Bench
+module Program = Pi_isa.Program
+module Trace = Pi_isa.Trace
+module Interp = Pi_isa.Interp
+
+let all = Spec.everything ()
+
+let test_registry_sizes () =
+  Alcotest.(check int) "23 CPU2006 benchmarks" 23 (List.length (Spec.all_2006 ()));
+  Alcotest.(check int) "20 Table-1 benchmarks" 20 (List.length (Spec.table1_2006 ()));
+  Alcotest.(check int) "31 in the simulator study" 31 (List.length (Spec.simulation_suite ()));
+  Alcotest.(check int) "6 extended stand-ins" 6 (List.length (Spec.extended_2000 ()));
+  Alcotest.(check int) "37 total" 37 (List.length all)
+
+let test_registry_names_unique () =
+  let names = Spec.names all in
+  Alcotest.(check int) "unique" (List.length names) (List.length (List.sort_uniq compare names))
+
+let test_registry_find () =
+  let b = Spec.find "429.mcf" in
+  Alcotest.(check string) "found" "429.mcf" b.Bench.name;
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (Spec.find "999.nope"))
+
+let test_expected_significance_population () =
+  let insignificant =
+    List.filter (fun (b : Bench.t) -> not b.Bench.expect_significant) (Spec.all_2006 ())
+  in
+  Alcotest.(check (list string)) "exactly the three stream codes"
+    [ "410.bwaves"; "433.milc"; "470.lbm" ]
+    (List.sort compare (Spec.names insignificant))
+
+let test_table1_all_expected_significant () =
+  List.iter
+    (fun (b : Bench.t) ->
+      Alcotest.(check bool) (b.Bench.name ^ " expected significant") true
+        b.Bench.expect_significant)
+    (Spec.table1_2006 ())
+
+(* Every benchmark builds a valid program. Generation is cheap; validation
+   runs inside Builder.finish, and we re-check explicitly. *)
+let test_all_build_and_validate () =
+  List.iter
+    (fun (b : Bench.t) ->
+      let p = b.Bench.build ~scale:1 in
+      Alcotest.(check bool) (b.Bench.name ^ " validates") true
+        (Result.is_ok (Program.validate p));
+      Alcotest.(check bool)
+        (b.Bench.name ^ " has multiple objects to reorder")
+        true
+        (Array.length p.Program.objects >= 2);
+      Alcotest.(check bool)
+        (b.Bench.name ^ " has static branches")
+        true
+        (Program.static_branch_count p >= 3))
+    all
+
+let test_build_deterministic () =
+  List.iter
+    (fun (b : Bench.t) ->
+      let p1 = b.Bench.build ~scale:1 in
+      let p2 = b.Bench.build ~scale:1 in
+      Alcotest.(check int)
+        (b.Bench.name ^ " same static shape")
+        (Array.length p1.Program.blocks)
+        (Array.length p2.Program.blocks);
+      let t1 = Interp.run ~limits:{ Interp.max_blocks = 5_000; stop_proc = None } p1 in
+      let t2 = Interp.run ~limits:{ Interp.max_blocks = 5_000; stop_proc = None } p2 in
+      Alcotest.(check int)
+        (b.Bench.name ^ " same dynamic instructions")
+        t1.Trace.instructions t2.Trace.instructions)
+    all
+
+let test_all_run_smoke () =
+  List.iter
+    (fun (b : Bench.t) ->
+      let p = b.Bench.build ~scale:1 in
+      let trace = Interp.run ~limits:{ Interp.max_blocks = 8_000; stop_proc = None } p in
+      Alcotest.(check bool) (b.Bench.name ^ " executes blocks") true
+        (Trace.blocks_executed trace > 1_000);
+      Alcotest.(check bool) (b.Bench.name ^ " executes branches") true
+        (trace.Trace.cond_branches > 50))
+    all
+
+let test_scale_grows_run () =
+  let b = Spec.find "401.bzip2" in
+  let run scale =
+    let p = b.Bench.build ~scale in
+    (Interp.run ~limits:{ Interp.max_blocks = 10_000_000; stop_proc = None } p)
+      .Trace.instructions
+  in
+  Alcotest.(check bool) "scale 2 runs roughly twice scale 1" true
+    (let one = run 1 and two = run 2 in
+     two > one * 3 / 2)
+
+let test_character_memory_bound () =
+  (* mcf must be far more memory-bound than hmmer. *)
+  let cpi name =
+    let prepared = Interferometry.Experiment.prepare ~config:Interferometry.Experiment.quick_config (Spec.find name) in
+    Pi_uarch.Pipeline.cpi (Interferometry.Experiment.exact_counts prepared ~seed:1)
+  in
+  Alcotest.(check bool) "mcf >> hmmer CPI" true (cpi "429.mcf" > 2.0 *. cpi "456.hmmer")
+
+let test_character_branchy () =
+  (* gobmk must mispredict far more than zeusmp. *)
+  let mpki name =
+    let prepared = Interferometry.Experiment.prepare ~config:Interferometry.Experiment.quick_config (Spec.find name) in
+    Pi_uarch.Pipeline.mpki (Interferometry.Experiment.exact_counts prepared ~seed:1)
+  in
+  Alcotest.(check bool) "gobmk >> zeusmp MPKI" true
+    (mpki "445.gobmk" > 4.0 *. mpki "434.zeusmp")
+
+let test_gcc_big_code () =
+  let gcc = (Spec.find "403.gcc").Bench.build ~scale:1 in
+  let lbm = (Spec.find "470.lbm").Bench.build ~scale:1 in
+  Alcotest.(check bool) "gcc code footprint over 64KB" true
+    (Program.total_code_bytes gcc > 40 * 1024);
+  Alcotest.(check bool) "gcc much larger than lbm" true
+    (Program.total_code_bytes gcc > 5 * Program.total_code_bytes lbm)
+
+let test_calculix_heap_sites () =
+  (* The Figure-3 benchmark needs same-size heap allocation sites for the
+     randomizing allocator to shuffle. *)
+  let p = (Spec.find "454.calculix").Bench.build ~scale:1 in
+  Alcotest.(check bool) "has heap sites" true (Array.length p.Program.heap_sites >= 2)
+
+let suite =
+  [
+    ( "workloads.registry",
+      [
+        Alcotest.test_case "sizes" `Quick test_registry_sizes;
+        Alcotest.test_case "unique names" `Quick test_registry_names_unique;
+        Alcotest.test_case "find" `Quick test_registry_find;
+        Alcotest.test_case "insignificant population" `Quick test_expected_significance_population;
+        Alcotest.test_case "table1 expectations" `Quick test_table1_all_expected_significant;
+      ] );
+    ( "workloads.generators",
+      [
+        Alcotest.test_case "all build and validate" `Quick test_all_build_and_validate;
+        Alcotest.test_case "deterministic" `Quick test_build_deterministic;
+        Alcotest.test_case "all run" `Quick test_all_run_smoke;
+        Alcotest.test_case "scale grows run" `Quick test_scale_grows_run;
+        Alcotest.test_case "mcf memory-bound" `Quick test_character_memory_bound;
+        Alcotest.test_case "gobmk branchy" `Quick test_character_branchy;
+        Alcotest.test_case "gcc big code" `Quick test_gcc_big_code;
+        Alcotest.test_case "calculix heap sites" `Quick test_calculix_heap_sites;
+      ] );
+  ]

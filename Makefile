@@ -1,0 +1,28 @@
+# Convenience targets for CI and local use.
+
+CLI = dune exec bin/interferometry_cli.exe --
+
+.PHONY: all check test build campaign-smoke clean
+
+all: build
+
+build:
+	dune build
+
+test: check
+
+# Tier-1 verification.
+check:
+	dune build && dune runtest
+
+# A 2-benchmark quick-config campaign exercising the parallel scheduler,
+# the observation cache and the telemetry stream end to end. Run it twice:
+# the second invocation should report every job as a cache hit.
+campaign-smoke:
+	$(CLI) campaign --quick --bench 400.perlbench --bench 456.hmmer \
+	  --layouts 8 --jobs 2 --cache-dir _campaign-cache \
+	  --events _campaign-cache/events.jsonl
+
+clean:
+	dune clean
+	rm -rf _campaign-cache

@@ -11,6 +11,7 @@
      interferometry report  <bench> -o study.md      (full Markdown report)
      interferometry export  <bench> runs.csv         (CSV persistence)
      interferometry refit   <bench> runs.csv
+     interferometry campaign --suite 2006 --jobs 4   (parallel suite campaign)
 
    Run `dune exec bin/interferometry_cli.exe -- --help` for details. *)
 
@@ -306,6 +307,143 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Section-3 linearity study: 145 predictor configurations.")
     Term.(const run $ bench_pos $ seed_term $ scale_term)
 
+let campaign_cmd =
+  let suite_term =
+    Arg.(value & opt string "2006"
+         & info [ "suite" ] ~docv:"SUITE"
+             ~doc:"Benchmark population: $(b,2006) (the 23 SPEC CPU 2006 stand-ins), \
+                   $(b,2000), or $(b,all) (the full registry).")
+  in
+  let benches_term =
+    Arg.(value & opt_all bench_arg []
+         & info [ "bench" ] ~docv:"BENCHMARK"
+             ~doc:"Measure specific benchmark(s) instead of a suite; repeatable.")
+  in
+  let jobs_term =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains (default: the recommended domain count).")
+  in
+  let cache_dir_term =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Observation cache directory; completed (benchmark, config, seed) \
+                   jobs found there are not recomputed.")
+  in
+  let events_term =
+    Arg.(value & opt (some string) None
+         & info [ "events" ] ~docv:"FILE.jsonl"
+             ~doc:"Write JSONL progress events (job started/finished/cached, wall \
+                   time, queue depth) to this file.")
+  in
+  let manifest_term =
+    Arg.(value & opt (some string) None
+         & info [ "manifest" ] ~docv:"FILE.json"
+             ~doc:"Write the run manifest here (default: \
+                   $(b,manifest.json) under --cache-dir when one is given).")
+  in
+  let deadline_term =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Cooperative per-job wall-time limit; jobs that overrun it are \
+                   marked failed in the manifest.")
+  in
+  let quick_term =
+    Arg.(value & flag
+         & info [ "quick" ] ~doc:"Use the quick test configuration (small traces).")
+  in
+  let campaign_scale_term =
+    Arg.(value & opt (some int) None
+         & info [ "scale" ] ~docv:"K" ~doc:"Workload scale (trip multiplier).")
+  in
+  let run suite benches jobs layouts seed scale heap_random quick cache_dir events_path
+      manifest_path deadline =
+    let benches =
+      match benches with
+      | _ :: _ -> Ok benches
+      | [] -> (
+          match suite with
+          | "2006" -> Ok (Pi_workloads.Spec.all_2006 ())
+          | "2000" ->
+              Ok
+                (List.filter
+                   (fun (b : Pi_workloads.Bench.t) -> b.suite = Pi_workloads.Bench.Cpu2000)
+                   (Pi_workloads.Spec.everything ()))
+          | "all" -> Ok (Pi_workloads.Spec.everything ())
+          | other -> Error (Printf.sprintf "unknown suite %S (try 2006, 2000 or all)" other))
+    in
+    if layouts < 1 then begin
+      Printf.eprintf "campaign: --layouts must be >= 1 (got %d)\n" layouts;
+      exit 2
+    end;
+    (match jobs with
+    | Some j when j < 1 ->
+        Printf.eprintf "campaign: --jobs must be >= 1 (got %d)\n" j;
+        exit 2
+    | _ -> ());
+    match benches with
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    | Ok benches ->
+        let base = if quick then E.quick_config else E.default_config in
+        let config =
+          {
+            base with
+            E.master_seed = seed;
+            scale = Option.value scale ~default:base.E.scale;
+            heap_random;
+          }
+        in
+        let events =
+          match events_path with
+          | Some path -> Pi_campaign.Telemetry.to_file path
+          | None -> Pi_campaign.Telemetry.null
+        in
+        let result =
+          Fun.protect
+            ~finally:(fun () -> Pi_campaign.Telemetry.close events)
+            (fun () ->
+              Pi_campaign.Campaign.run ~config ?jobs ?cache_dir ~events ?deadline
+                ~n_layouts:layouts benches)
+        in
+        print_string (Pi_campaign.Manifest.summary_table result.Pi_campaign.Campaign.manifest);
+        let manifest_path =
+          match (manifest_path, cache_dir) with
+          | Some path, _ -> Some path
+          | None, Some dir -> Some (Filename.concat dir "manifest.json")
+          | None, None -> None
+        in
+        Option.iter
+          (fun path ->
+            Pi_campaign.Manifest.save result.Pi_campaign.Campaign.manifest ~path;
+            Printf.printf "manifest: %s\n" path)
+          manifest_path;
+        Option.iter (fun path -> Printf.printf "events: %s\n" path) events_path;
+        if not (Pi_campaign.Campaign.succeeded result) then begin
+          Printf.eprintf "campaign finished with failed jobs (see manifest)\n";
+          exit 3
+        end
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run a parallel interferometry campaign over a benchmark suite."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Measures every benchmark of the selected suite over N reorderings using \
+              a pool of worker domains. Completed observations are cached on disk \
+              (--cache-dir) keyed by (benchmark, config, seed), so re-runs and \
+              layout-count growth only simulate new seeds. Progress is emitted as \
+              JSONL events (--events) and the final manifest records per-benchmark \
+              fits and failures. Campaign results are bit-identical for any --jobs \
+              value. Exit status is 3 when some jobs failed.";
+         ])
+    Term.(const run $ suite_term $ benches_term $ jobs_term $ layouts_term $ seed_term
+          $ campaign_scale_term $ heap_random_term $ quick_term $ cache_dir_term
+          $ events_term $ manifest_term $ deadline_term)
+
 let () =
   let doc = "Program interferometry: performance modelling by layout perturbation" in
   let info = Cmd.info "interferometry" ~version:"1.0.0" ~doc in
@@ -313,4 +451,5 @@ let () =
        [
          list_cmd; trace_cmd; measure_cmd; model_cmd; blame_cmd; predict_cmd;
          sweep_cmd; cache_cmd; export_cmd; refit_cmd; report_cmd; phases_cmd;
+         campaign_cmd;
        ]))

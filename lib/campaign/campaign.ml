@@ -1,0 +1,253 @@
+module E = Interferometry.Experiment
+module Bench = Pi_workloads.Bench
+module Linreg = Pi_stats.Linreg
+module J = Telemetry
+
+type bench_outcome = {
+  bench : Bench.t;
+  dataset : E.dataset option;
+  entry : Manifest.bench_entry;
+}
+
+type result = { outcomes : bench_outcome list; manifest : Manifest.t }
+
+let succeeded r = Manifest.complete r.manifest
+
+let suite_label benches =
+  let has suite = List.exists (fun (b : Bench.t) -> b.Bench.suite = suite) benches in
+  match (has Bench.Cpu2006, has Bench.Cpu2000) with
+  | true, true -> "all"
+  | true, false -> "2006"
+  | false, true -> "2000"
+  | false, false -> "custom"
+
+let fit_of dataset =
+  let cpis = E.cpis dataset and mpkis = E.mpkis dataset in
+  if Array.length cpis < 3 then None
+  else
+    match Linreg.fit mpkis cpis with
+    | reg ->
+        Some
+          {
+            Manifest.r_squared = reg.Linreg.r_squared;
+            slope = reg.Linreg.slope;
+            intercept = reg.Linreg.intercept;
+            mean_mpki = Pi_stats.Descriptive.mean mpkis;
+            mean_cpi = Pi_stats.Descriptive.mean cpis;
+          }
+    | exception _ -> None (* degenerate x range: no model for this benchmark *)
+
+let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null) ?deadline
+    ?label ~n_layouts benches =
+  if n_layouts < 1 then invalid_arg "Campaign.run: n_layouts < 1";
+  let jobs =
+    match jobs with
+    | Some j when j >= 1 -> j
+    | Some _ -> invalid_arg "Campaign.run: jobs < 1"
+    | None -> Scheduler.default_jobs ()
+  in
+  let label = match label with Some l -> l | None -> suite_label benches in
+  let started_at = Unix.gettimeofday () in
+  let digest = Obs_cache.config_digest config in
+  let cache = Option.map (fun dir -> Obs_cache.create ~dir) cache_dir in
+  let bench_arr = Array.of_list benches in
+  let n_benches = Array.length bench_arr in
+  let name i = bench_arr.(i).Bench.name in
+  J.emit events ~event:"campaign_started"
+    [
+      ("label", J.String label);
+      ("benches", J.Int n_benches);
+      ("n_layouts", J.Int n_layouts);
+      ("jobs", J.Int jobs);
+      ("config_digest", J.String digest);
+      ("total_jobs", J.Int (n_benches * n_layouts));
+    ];
+
+  (* Phase 1: build + trace every benchmark, in parallel. *)
+  let prepared =
+    Scheduler.map ~jobs ?deadline
+      ~on_start:(fun i ~pending:_ ->
+        J.emit events ~event:"prepare_started" [ ("bench", J.String (name i)) ])
+      ~on_finish:(fun c ~pending:_ ->
+        match c.Scheduler.result with
+        | Ok _ ->
+            J.emit events ~event:"prepare_finished"
+              [ ("bench", J.String (name c.Scheduler.index)); ("secs", J.Float c.Scheduler.elapsed) ]
+        | Error e ->
+            J.emit events ~event:"prepare_failed"
+              [
+                ("bench", J.String (name c.Scheduler.index));
+                ("error", J.String e.Scheduler.message);
+                ("secs", J.Float c.Scheduler.elapsed);
+              ])
+      (fun i -> E.prepare ~config bench_arr.(i))
+      n_benches
+  in
+
+  (* Phase 2: probe the observation cache; hits never reach the queue. *)
+  let cached_obs =
+    Array.init n_benches (fun i ->
+        match (cache, prepared.(i).Scheduler.result) with
+        | Some cache, Ok _ ->
+            let hits =
+              Array.to_list (Obs_cache.load cache ~bench:(name i) ~config)
+              |> List.filter (fun (o : E.observation) ->
+                     o.E.layout_seed >= 1 && o.E.layout_seed <= n_layouts)
+            in
+            List.iter
+              (fun (o : E.observation) ->
+                J.emit events ~event:"job_cached"
+                  [ ("bench", J.String (name i)); ("seed", J.Int o.E.layout_seed) ])
+              hits;
+            hits
+        | _ -> [])
+  in
+
+  (* Phase 3: one observation job per (benchmark, seed) not yet on disk. *)
+  let job_specs =
+    Array.concat
+      (List.init n_benches (fun i ->
+           match prepared.(i).Scheduler.result with
+           | Error _ -> [||]
+           | Ok _ ->
+               let have =
+                 List.fold_left
+                   (fun acc (o : E.observation) -> o.E.layout_seed :: acc)
+                   [] cached_obs.(i)
+               in
+               Array.of_list
+                 (List.filter_map
+                    (fun seed -> if List.mem seed have then None else Some (i, seed))
+                    (List.init n_layouts (fun s -> s + 1)))))
+  in
+  let job_field idx =
+    let bench_idx, seed = job_specs.(idx) in
+    [ ("bench", J.String (name bench_idx)); ("seed", J.Int seed) ]
+  in
+  let completions =
+    Scheduler.map ~jobs ?deadline
+      ~on_start:(fun i ~pending ->
+        J.emit events ~event:"job_started" (job_field i @ [ ("queue_depth", J.Int pending) ]))
+      ~on_finish:(fun c ~pending ->
+        match c.Scheduler.result with
+        | Ok _ ->
+            J.emit events ~event:"job_finished"
+              (job_field c.Scheduler.index
+              @ [ ("secs", J.Float c.Scheduler.elapsed); ("queue_depth", J.Int pending) ])
+        | Error e ->
+            J.emit events ~event:"job_failed"
+              (job_field c.Scheduler.index
+              @ [
+                  ("error", J.String e.Scheduler.message);
+                  ("secs", J.Float c.Scheduler.elapsed);
+                  ("queue_depth", J.Int pending);
+                ]))
+      (fun i ->
+        let bench_idx, seed = job_specs.(i) in
+        match prepared.(bench_idx).Scheduler.result with
+        | Ok prepared -> E.observe_seed prepared seed
+        | Error _ -> assert false (* unprepared benchmarks enqueue no jobs *))
+      (Array.length job_specs)
+  in
+
+  (* Phase 4: assemble per-benchmark datasets by seed — completion order is
+     irrelevant, which is what makes the parallel path bit-identical. *)
+  let outcomes =
+    List.init n_benches (fun i ->
+        let bench = bench_arr.(i) in
+        let suite = Bench.suite_name bench.Bench.suite in
+        match prepared.(i).Scheduler.result with
+        | Error e ->
+            let failures =
+              List.init n_layouts (fun s ->
+                  {
+                    Manifest.seed = s + 1;
+                    error = Printf.sprintf "prepare failed: %s" e.Scheduler.message;
+                  })
+            in
+            {
+              bench;
+              dataset = None;
+              entry =
+                {
+                  Manifest.bench = bench.Bench.name;
+                  suite;
+                  requested = n_layouts;
+                  computed = 0;
+                  cached = 0;
+                  failures;
+                  prepare_seconds = prepared.(i).Scheduler.elapsed;
+                  observe_seconds = 0.0;
+                  prepare_error = Some e.Scheduler.message;
+                  fit = None;
+                };
+            }
+        | Ok prep ->
+            let computed_ok = ref [] and failures = ref [] and observe_seconds = ref 0.0 in
+            Array.iter
+              (fun (c : _ Scheduler.completion) ->
+                let bench_idx, seed = job_specs.(c.Scheduler.index) in
+                if bench_idx = i then begin
+                  observe_seconds := !observe_seconds +. c.Scheduler.elapsed;
+                  match c.Scheduler.result with
+                  | Ok obs -> computed_ok := obs :: !computed_ok
+                  | Error e ->
+                      failures := { Manifest.seed; error = e.Scheduler.message } :: !failures
+                end)
+              completions;
+            let observations =
+              List.sort
+                (fun (a : E.observation) b -> compare a.E.layout_seed b.E.layout_seed)
+                (cached_obs.(i) @ !computed_ok)
+              |> Array.of_list
+            in
+            (match (cache, !computed_ok) with
+            | Some cache, _ :: _ ->
+                Obs_cache.store cache ~bench:(name i) ~config (Array.of_list !computed_ok)
+            | _ -> ());
+            let dataset = Interferometry.Dataset_io.reattach prep observations in
+            {
+              bench;
+              dataset = Some dataset;
+              entry =
+                {
+                  Manifest.bench = bench.Bench.name;
+                  suite;
+                  requested = n_layouts;
+                  computed = List.length !computed_ok;
+                  cached = List.length cached_obs.(i);
+                  failures = List.sort compare !failures;
+                  prepare_seconds = prepared.(i).Scheduler.elapsed;
+                  observe_seconds = !observe_seconds;
+                  prepare_error = None;
+                  fit = fit_of dataset;
+                };
+            })
+  in
+  let sum f = List.fold_left (fun acc o -> acc + f o.entry) 0 outcomes in
+  let manifest =
+    {
+      Manifest.label;
+      n_layouts;
+      jobs;
+      config_digest = digest;
+      cache_dir;
+      started_at;
+      wall_seconds = Unix.gettimeofday () -. started_at;
+      total_jobs = n_benches * n_layouts;
+      computed_jobs = sum (fun e -> e.Manifest.computed);
+      cached_jobs = sum (fun e -> e.Manifest.cached);
+      failed_jobs = sum (fun e -> List.length e.Manifest.failures);
+      benches = List.map (fun o -> o.entry) outcomes;
+    }
+  in
+  J.emit events ~event:"campaign_finished"
+    [
+      ("label", J.String label);
+      ("computed", J.Int manifest.Manifest.computed_jobs);
+      ("cached", J.Int manifest.Manifest.cached_jobs);
+      ("failed", J.Int manifest.Manifest.failed_jobs);
+      ("wall_secs", J.Float manifest.Manifest.wall_seconds);
+      ("complete", J.Bool (Manifest.complete manifest));
+    ];
+  { outcomes; manifest }

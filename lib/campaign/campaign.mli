@@ -1,0 +1,58 @@
+(** Suite-wide interferometry campaigns.
+
+    The paper's results are not single measurements but {e campaigns}:
+    hundreds of perturbed placements per benchmark, across the whole SPEC
+    suite, grown adaptively 100 -> 200 -> 300 until significance. This
+    module runs such a campaign end to end:
+
+    - benchmarks are {e prepared} (built + traced) in parallel, then every
+      [(benchmark, seed)] observation job is drained from a shared work
+      queue by {!Scheduler} domains;
+    - completed observations are persisted in an {!Obs_cache}, so re-runs
+      and layout-count growth only simulate seeds not yet on disk;
+    - every state transition is emitted as a {!Telemetry} JSONL event, and
+      the final {!Manifest} records per-benchmark fits and failures;
+    - a job that raises (or overruns the cooperative deadline) is marked
+      failed with its error recorded; the campaign completes the remaining
+      jobs and {!succeeded} reflects the partial failure.
+
+    Correctness invariant: a campaign is {e bit-identical} regardless of
+    [jobs] and of cache state. Observations depend only on
+    [(benchmark, config, seed)] — the per-seed PRNG derivation in
+    {!Interferometry.Experiment} shares no random state across jobs — and
+    results are assembled by seed, not by completion order. *)
+
+type bench_outcome = {
+  bench : Pi_workloads.Bench.t;
+  dataset : Interferometry.Experiment.dataset option;
+      (** successful observations sorted by seed; [None] when the
+          benchmark failed to prepare *)
+  entry : Manifest.bench_entry;
+}
+
+type result = { outcomes : bench_outcome list; manifest : Manifest.t }
+
+val succeeded : result -> bool
+(** No job failed and every benchmark prepared. *)
+
+val run :
+  ?config:Interferometry.Experiment.config ->
+  ?jobs:int ->
+  ?cache_dir:string ->
+  ?events:Telemetry.sink ->
+  ?deadline:float ->
+  ?label:string ->
+  n_layouts:int ->
+  Pi_workloads.Bench.t list ->
+  result
+(** [run ~n_layouts benches] measures seeds [1 .. n_layouts] of every
+    benchmark.
+
+    [jobs] defaults to {!Scheduler.default_jobs}; [cache_dir] enables the
+    observation cache; [events] (default {!Telemetry.null}) receives the
+    JSONL progress stream; [deadline] is the cooperative per-job wall-time
+    limit in seconds; [label] names the campaign in the manifest. The
+    caller owns [events] and closes it. *)
+
+val suite_label : Pi_workloads.Bench.t list -> string
+(** "2006", "2000", "all" or "custom", from the benchmarks' suite tags. *)

@@ -1,0 +1,121 @@
+module J = Telemetry
+
+type fit = {
+  r_squared : float;
+  slope : float;
+  intercept : float;
+  mean_mpki : float;
+  mean_cpi : float;
+}
+
+type job_failure = { seed : int; error : string }
+
+type bench_entry = {
+  bench : string;
+  suite : string;
+  requested : int;
+  computed : int;
+  cached : int;
+  failures : job_failure list;
+  prepare_seconds : float;
+  observe_seconds : float;
+  prepare_error : string option;
+  fit : fit option;
+}
+
+type t = {
+  label : string;
+  n_layouts : int;
+  jobs : int;
+  config_digest : string;
+  cache_dir : string option;
+  started_at : float;
+  wall_seconds : float;
+  total_jobs : int;
+  computed_jobs : int;
+  cached_jobs : int;
+  failed_jobs : int;
+  benches : bench_entry list;
+}
+
+let complete t = t.failed_jobs = 0
+
+let fit_to_json (f : fit) =
+  J.Obj
+    [
+      ("r_squared", J.Float f.r_squared);
+      ("slope", J.Float f.slope);
+      ("intercept", J.Float f.intercept);
+      ("mean_mpki", J.Float f.mean_mpki);
+      ("mean_cpi", J.Float f.mean_cpi);
+    ]
+
+let bench_to_json (b : bench_entry) =
+  J.Obj
+    [
+      ("bench", J.String b.bench);
+      ("suite", J.String b.suite);
+      ("requested", J.Int b.requested);
+      ("computed", J.Int b.computed);
+      ("cached", J.Int b.cached);
+      ("failed", J.Int (List.length b.failures));
+      ( "failures",
+        J.List
+          (List.map
+             (fun f -> J.Obj [ ("seed", J.Int f.seed); ("error", J.String f.error) ])
+             b.failures) );
+      ("prepare_seconds", J.Float b.prepare_seconds);
+      ("observe_seconds", J.Float b.observe_seconds);
+      ( "prepare_error",
+        match b.prepare_error with None -> J.Null | Some e -> J.String e );
+      ("fit", match b.fit with None -> J.Null | Some f -> fit_to_json f);
+    ]
+
+let to_json t =
+  J.Obj
+    [
+      ("label", J.String t.label);
+      ("n_layouts", J.Int t.n_layouts);
+      ("jobs", J.Int t.jobs);
+      ("config_digest", J.String t.config_digest);
+      ("cache_dir", match t.cache_dir with None -> J.Null | Some d -> J.String d);
+      ("started_at", J.Float t.started_at);
+      ("wall_seconds", J.Float t.wall_seconds);
+      ("total_jobs", J.Int t.total_jobs);
+      ("computed_jobs", J.Int t.computed_jobs);
+      ("cached_jobs", J.Int t.cached_jobs);
+      ("failed_jobs", J.Int t.failed_jobs);
+      ("complete", J.Bool (complete t));
+      ("benches", J.List (List.map bench_to_json t.benches));
+    ]
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string (to_json t));
+      output_char oc '\n')
+
+let summary_table t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-16s %5s %8s %6s %6s %8s %10s %10s %8s\n" "benchmark" "n" "computed"
+       "cached" "failed" "r^2" "slope" "intercept" "secs");
+  List.iter
+    (fun b ->
+      let fit_cols =
+        match b.fit with
+        | Some f -> Printf.sprintf "%8.3f %10.5f %10.4f" f.r_squared f.slope f.intercept
+        | None -> Printf.sprintf "%8s %10s %10s" "-" "-" "-"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-16s %5d %8d %6d %6d %s %8.2f\n" b.bench b.requested b.computed
+           b.cached (List.length b.failures) fit_cols
+           (b.prepare_seconds +. b.observe_seconds)))
+    t.benches;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "total: %d jobs (%d computed, %d cached, %d failed) on %d domain(s) in %.1fs\n"
+       t.total_jobs t.computed_jobs t.cached_jobs t.failed_jobs t.jobs t.wall_seconds);
+  Buffer.contents buf

@@ -1,0 +1,59 @@
+(** The run manifest: a machine-readable record of one campaign.
+
+    Where the telemetry stream (one JSONL line per event) answers "what is
+    it doing right now", the manifest answers "what happened": which
+    benchmarks ran, which observation jobs were computed, served from cache
+    or failed (with the error that killed them), how long everything took,
+    and the per-benchmark regression fit — R^2, slope, intercept — that is
+    the campaign's scientific product. It is written once, at the end,
+    whether or not every job succeeded. *)
+
+type fit = {
+  r_squared : float;
+  slope : float;
+  intercept : float;
+  mean_mpki : float;
+  mean_cpi : float;
+}
+
+type job_failure = { seed : int; error : string }
+
+type bench_entry = {
+  bench : string;
+  suite : string;
+  requested : int;  (** layouts asked for *)
+  computed : int;  (** observation jobs actually simulated *)
+  cached : int;  (** jobs served from the observation cache *)
+  failures : job_failure list;
+  prepare_seconds : float;
+  observe_seconds : float;  (** summed wall time of this bench's computed jobs *)
+  prepare_error : string option;
+      (** when set, the benchmark never prepared and all its jobs failed *)
+  fit : fit option;  (** [None] when too few observations survived to fit *)
+}
+
+type t = {
+  label : string;  (** suite selector, e.g. "2006" *)
+  n_layouts : int;
+  jobs : int;
+  config_digest : string;
+  cache_dir : string option;
+  started_at : float;  (** unix seconds *)
+  wall_seconds : float;
+  total_jobs : int;
+  computed_jobs : int;
+  cached_jobs : int;
+  failed_jobs : int;
+  benches : bench_entry list;
+}
+
+val complete : t -> bool
+(** True when every observation job of every benchmark succeeded. *)
+
+val to_json : t -> Telemetry.json
+
+val save : t -> path:string -> unit
+(** Write the manifest as (indent-free) JSON. *)
+
+val summary_table : t -> string
+(** Human-readable per-benchmark table for terminal output. *)

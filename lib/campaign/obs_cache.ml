@@ -1,0 +1,93 @@
+module E = Interferometry.Experiment
+module Dataset_io = Interferometry.Dataset_io
+module Pipeline = Pi_uarch.Pipeline
+module Counters = Pi_uarch.Counters
+module Cache = Pi_uarch.Cache
+
+type t = { dir : string }
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+
+(* The digest must cover every config field that can change a measurement,
+   and must not depend on closure identity: predictors are represented by
+   the machine's name. A "v1|" prefix versions the key so a future format
+   change invalidates old entries instead of misreading them. *)
+let config_key (c : E.config) =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  add "v1|scale=%d|budget=%d|warmup=%.9g|runs=%d|master=%d|heap=%b|aslr=%b" c.E.scale
+    c.E.budget_blocks c.E.warmup_fraction c.E.runs_per_group c.E.master_seed c.E.heap_random
+    c.E.aslr;
+  let n = c.E.noise in
+  add "|noise=%.9g,%.9g,%.9g,%.9g,%.9g" n.Counters.cycle_sigma n.Counters.spike_probability
+    n.Counters.spike_scale n.Counters.event_sigma n.Counters.os_events_per_run;
+  let m = c.E.machine in
+  add "|machine=%s" m.Pipeline.name;
+  let geometry (g : Cache.geometry) = add ",%d/%d/%d" g.size_bytes g.assoc g.line_bytes in
+  geometry m.Pipeline.l1i;
+  geometry m.Pipeline.l1d;
+  geometry m.Pipeline.l2;
+  (match m.Pipeline.trace_cache with
+  | None -> add "|tc=none"
+  | Some g -> add "|tc=%d/%d" g.Pi_uarch.Trace_cache.entries_log2 g.Pi_uarch.Trace_cache.assoc);
+  let p = m.Pipeline.penalties in
+  add "|pen=%.9g,%.9g,%.9g,%.9g,%.9g,%.9g" p.Pipeline.mispredict p.Pipeline.btb_miss
+    p.Pipeline.l1i_miss p.Pipeline.l1d_miss p.Pipeline.l2_miss p.Pipeline.store_miss_factor;
+  let ic = m.Pipeline.costs in
+  add "|cost=%.9g,%.9g,%.9g,%.9g,%.9g,%.9g" ic.Pipeline.plain ic.Pipeline.fp ic.Pipeline.mul
+    ic.Pipeline.div ic.Pipeline.mem ic.Pipeline.term;
+  let o = m.Pipeline.overlap in
+  add "|ovl=%.9g,%.9g,%.9g,%.9g" o.Pipeline.chase o.Pipeline.random o.Pipeline.sequential
+    o.Pipeline.fixed;
+  add "|flags=%b,%b,%b" m.Pipeline.data_prefetcher m.Pipeline.wrong_path m.Pipeline.perfect_btb;
+  Buffer.contents buf
+
+let config_digest config = Digest.to_hex (Digest.string (config_key config))
+
+let entry_path t ~bench ~config =
+  let digest = String.sub (config_digest config) 0 16 in
+  Filename.concat t.dir (Printf.sprintf "%s.%s.csv" bench digest)
+
+let load t ~bench ~config =
+  let path = entry_path t ~bench ~config in
+  if not (Sys.file_exists path) then [||]
+  else
+    match Dataset_io.load_observations path with
+    | Error _ -> [||] (* a corrupt entry behaves as a miss and is rewritten *)
+    | Ok observations ->
+        let sorted = Array.copy observations in
+        Array.sort
+          (fun (a : E.observation) (b : E.observation) ->
+            compare a.E.layout_seed b.E.layout_seed)
+          sorted;
+        sorted
+
+let store t ~bench ~config observations =
+  let path = entry_path t ~bench ~config in
+  let by_seed = Hashtbl.create 64 in
+  Array.iter (fun (o : E.observation) -> Hashtbl.replace by_seed o.E.layout_seed o) (load t ~bench ~config);
+  Array.iter (fun (o : E.observation) -> Hashtbl.replace by_seed o.E.layout_seed o) observations;
+  let merged = Hashtbl.fold (fun _ o acc -> o :: acc) by_seed [] in
+  let merged =
+    List.sort
+      (fun (a : E.observation) b -> compare a.E.layout_seed b.E.layout_seed)
+      merged
+  in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Dataset_io.header_line ^ "\n");
+      List.iter (fun o -> output_string oc (Dataset_io.observation_to_row o ^ "\n")) merged);
+  Sys.rename tmp path

@@ -1,0 +1,50 @@
+(** On-disk observation cache.
+
+    Observations are reproducible from [(benchmark, config, seed)], so a
+    completed measurement never needs to be recomputed: re-running a
+    campaign, or growing it 100 -> 200 -> 300 layouts the way the paper's
+    adaptive sampling does, should only pay for the seeds not yet on disk.
+
+    One cache entry is one CSV file per [(benchmark, config)] pair, named
+    [<bench>.<digest>.csv] where the digest covers every field of the
+    experiment config that can change a measurement (scale, trace budget,
+    warmup, counter protocol, noise parameters, allocator/ASLR modes,
+    the full machine geometry, master seed). Rows are
+    {!Interferometry.Dataset_io} observation rows keyed by [layout_seed] —
+    the same format as [interferometry export], so a cache entry doubles as
+    an exported dataset. Any config change rotates the digest and the stale
+    entries are simply never read again. *)
+
+type t
+
+val create : dir:string -> t
+(** Use [dir] as the cache root, creating it (and missing parents) if
+    needed. *)
+
+val dir : t -> string
+
+val config_digest : Interferometry.Experiment.config -> string
+(** Stable hex digest of the measurement-relevant config fields. Machines
+    are distinguished by their [name] plus full numeric geometry (predictor
+    closures cannot be hashed; all machines in {!Pi_uarch.Machine} carry
+    distinct names). *)
+
+val entry_path : t -> bench:string -> config:Interferometry.Experiment.config -> string
+(** The CSV file that does/would hold this [(bench, config)] entry. *)
+
+val load :
+  t ->
+  bench:string ->
+  config:Interferometry.Experiment.config ->
+  Interferometry.Experiment.observation array
+(** All cached observations for the pair, sorted by [layout_seed]; [[||]]
+    when there is no (or a corrupt) entry. *)
+
+val store :
+  t ->
+  bench:string ->
+  config:Interferometry.Experiment.config ->
+  Interferometry.Experiment.observation array ->
+  unit
+(** Merge the observations into the entry (new rows win on seed collision)
+    and atomically replace the file, so a reader never sees a torn write. *)

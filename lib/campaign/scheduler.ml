@@ -1,0 +1,72 @@
+type error = { message : string; backtrace : string }
+
+type 'a completion = {
+  index : int;
+  result : ('a, error) result;
+  elapsed : float;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let map ?jobs ?deadline ?on_start ?on_finish f n =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Scheduler.map: jobs < 1";
+  if n < 0 then invalid_arg "Scheduler.map: negative task count";
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let callback_mutex = Mutex.create () in
+  let pending () = max 0 (n - Atomic.get next) in
+  let notify callback =
+    Mutex.protect callback_mutex (fun () -> callback ~pending:(pending ()))
+  in
+  let run_task i =
+    Option.iter (fun cb -> notify (cb i)) on_start;
+    let t0 = Unix.gettimeofday () in
+    let result =
+      match f i with
+      | value -> (
+          match deadline with
+          | Some limit when Unix.gettimeofday () -. t0 > limit ->
+              Error
+                {
+                  message =
+                    Printf.sprintf "deadline exceeded: %.3fs > %.3fs limit"
+                      (Unix.gettimeofday () -. t0)
+                      limit;
+                  backtrace = "";
+                }
+          | _ -> Ok value)
+      | exception exn ->
+          Error
+            {
+              message = Printexc.to_string exn;
+              backtrace = Printexc.get_backtrace ();
+            }
+    in
+    let completion = { index = i; result; elapsed = Unix.gettimeofday () -. t0 } in
+    (* Distinct indices: each slot is written by exactly one worker. *)
+    results.(i) <- Some completion;
+    Option.iter (fun cb -> notify (cb completion)) on_finish
+  in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        run_task i;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let spawned = min jobs n - 1 in
+  if spawned <= 0 then worker ()
+  else begin
+    let domains = List.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end;
+  Array.map
+    (function
+      | Some completion -> completion
+      | None -> assert false (* every index < n was claimed exactly once *))
+    results

@@ -1,0 +1,49 @@
+(** Domain-based parallel work scheduler.
+
+    Campaign jobs — one {!Interferometry.Experiment.observe_seed} per
+    [(benchmark, seed)] — are pure given their inputs: the per-seed PRNG
+    derivation means no random state is shared between observations, so
+    they can run on any domain in any order and still produce bit-identical
+    results. The scheduler exploits that: a fixed array of tasks is drained
+    by [jobs] domains pulling indices from an atomic counter, and each
+    result lands in the slot of its own index, so the output order is
+    independent of the execution interleaving.
+
+    Worker isolation: a task that raises is recorded as {!error} in its
+    completion slot and the worker moves on to the next task — one bad job
+    never takes the campaign down. A cooperative per-task [deadline] marks
+    tasks that overran it as failed after the fact (OCaml domains cannot be
+    killed preemptively, so the overrunning task still runs to completion;
+    the deadline bounds what the campaign {e accepts}, not what it
+    {e spends}). *)
+
+type error = {
+  message : string;  (** [Printexc.to_string] of the raised exception *)
+  backtrace : string;
+}
+
+type 'a completion = {
+  index : int;
+  result : ('a, error) result;
+  elapsed : float;  (** wall seconds spent inside the task *)
+}
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to at least 1. *)
+
+val map :
+  ?jobs:int ->
+  ?deadline:float ->
+  ?on_start:(int -> pending:int -> unit) ->
+  ?on_finish:('a completion -> pending:int -> unit) ->
+  (int -> 'a) ->
+  int ->
+  'a completion array
+(** [map f n] evaluates [f 0 .. f (n-1)] on up to [jobs] domains (default
+    {!default_jobs}; [jobs = 1] runs everything on the calling domain with
+    no spawns) and returns the completions in index order.
+
+    [pending] is the number of tasks not yet claimed by any worker — the
+    queue depth at the moment of the callback. Callbacks are serialized
+    under a mutex, so they may write to shared telemetry without further
+    locking; keep them cheap, they are on the workers' critical path. *)

@@ -1,0 +1,103 @@
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec render buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then begin
+        (* Shortest representation that round-trips (timestamps need more
+           than %g's default 6 significant digits). *)
+        let s = Printf.sprintf "%.12g" f in
+        let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+        Buffer.add_string buf s
+      end
+      else Buffer.add_string buf "null"
+  | String s -> escape_string buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          render buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf key;
+          Buffer.add_char buf ':';
+          render buf value)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 128 in
+  render buf json;
+  Buffer.contents buf
+
+type sink = {
+  mutable channel : out_channel option;
+  owned : bool;  (* close the channel when the sink is closed *)
+  mutex : Mutex.t;
+}
+
+let null = { channel = None; owned = false; mutex = Mutex.create () }
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let to_file path =
+  mkdir_p (Filename.dirname path);
+  { channel = Some (open_out path); owned = true; mutex = Mutex.create () }
+let to_channel oc = { channel = Some oc; owned = false; mutex = Mutex.create () }
+
+let emit sink ~event fields =
+  match sink.channel with
+  | None -> ()
+  | Some oc ->
+      let line =
+        to_string
+          (Obj (("event", String event) :: ("ts", Float (Unix.gettimeofday ())) :: fields))
+      in
+      Mutex.protect sink.mutex (fun () ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc)
+
+let close sink =
+  Mutex.protect sink.mutex (fun () ->
+      match sink.channel with
+      | None -> ()
+      | Some oc ->
+          flush oc;
+          if sink.owned then close_out oc;
+          sink.channel <- None)

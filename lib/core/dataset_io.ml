@@ -5,7 +5,10 @@ let header_line =
 
 let observation_to_row (o : Experiment.observation) =
   let m = o.Experiment.measurement in
-  Printf.sprintf "%d,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g"
+  (* %.17g round-trips every float exactly: the campaign observation cache
+     replays these rows in place of simulation, so a refit from CSV must
+     reproduce the in-memory coefficients bit for bit. *)
+  Printf.sprintf "%d,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g"
     o.Experiment.layout_seed m.Counters.cpi m.Counters.mpki m.Counters.l1i_mpki
     m.Counters.l1d_mpki m.Counters.l2_mpki m.Counters.cycles m.Counters.instructions
     m.Counters.mispredicts m.Counters.l1i_misses m.Counters.l1d_misses m.Counters.l2_misses

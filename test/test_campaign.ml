@@ -1,0 +1,245 @@
+(* Tests for the pi_campaign subsystem: scheduler fan-out, --jobs plumbing,
+   the parallel-equals-sequential determinism invariant, the on-disk
+   observation cache, fault tolerance and the telemetry stream. Quick
+   configurations and two benchmarks keep this fast. *)
+
+module E = Interferometry.Experiment
+module Campaign = Pi_campaign.Campaign
+module Scheduler = Pi_campaign.Scheduler
+module Obs_cache = Pi_campaign.Obs_cache
+module Manifest = Pi_campaign.Manifest
+module Telemetry = Pi_campaign.Telemetry
+module Spec = Pi_workloads.Spec
+module Bench = Pi_workloads.Bench
+
+let quick = E.quick_config
+let benches () = [ Spec.find "400.perlbench"; Spec.find "456.hmmer" ]
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let dataset_of (result : Campaign.result) name =
+  match
+    List.find_opt
+      (fun (o : Campaign.bench_outcome) -> o.Campaign.bench.Bench.name = name)
+      result.Campaign.outcomes
+  with
+  | Some { Campaign.dataset = Some d; _ } -> d
+  | _ -> Alcotest.failf "no dataset for %s" name
+
+(* ---------------- Scheduler ---------------- *)
+
+let test_scheduler_order_independent () =
+  let completions = Scheduler.map ~jobs:4 (fun i -> i * i) 40 in
+  Alcotest.(check int) "all tasks" 40 (Array.length completions);
+  Array.iteri
+    (fun i (c : int Scheduler.completion) ->
+      Alcotest.(check int) "slot matches index" i c.Scheduler.index;
+      match c.Scheduler.result with
+      | Ok v -> Alcotest.(check int) "value in its own slot" (i * i) v
+      | Error e -> Alcotest.failf "task %d failed: %s" i e.Scheduler.message)
+    completions
+
+let test_scheduler_failure_isolated () =
+  let completions =
+    Scheduler.map ~jobs:3 (fun i -> if i = 5 then failwith "boom" else i) 10
+  in
+  Array.iteri
+    (fun i (c : int Scheduler.completion) ->
+      match (i, c.Scheduler.result) with
+      | 5, Error e ->
+          Alcotest.(check bool) "error text recorded" true
+            (String.length e.Scheduler.message > 0)
+      | 5, Ok _ -> Alcotest.fail "task 5 should have failed"
+      | _, Ok v -> Alcotest.(check int) "others unaffected" i v
+      | _, Error e -> Alcotest.failf "task %d failed: %s" i e.Scheduler.message)
+    completions
+
+let test_scheduler_default_jobs () =
+  Alcotest.(check bool) "at least one domain" true (Scheduler.default_jobs () >= 1)
+
+(* ---------------- --jobs plumbing ---------------- *)
+
+let test_jobs_plumbing () =
+  (* The jobs knob must reach both the manifest and the scheduler; any
+     worker count completes every (bench, seed) job exactly once. *)
+  List.iter
+    (fun jobs ->
+      let r = Campaign.run ~config:quick ~jobs ~n_layouts:6 (benches ()) in
+      let m = r.Campaign.manifest in
+      Alcotest.(check int) "jobs recorded" jobs m.Manifest.jobs;
+      Alcotest.(check int) "total jobs" 12 m.Manifest.total_jobs;
+      Alcotest.(check int) "all computed" 12 m.Manifest.computed_jobs;
+      Alcotest.(check int) "none failed" 0 m.Manifest.failed_jobs;
+      Alcotest.(check bool) "succeeded" true (Campaign.succeeded r);
+      List.iter
+        (fun b ->
+          let d = dataset_of r b.Bench.name in
+          Alcotest.(check int) "full dataset" 6 (Array.length d.E.observations))
+        (benches ()))
+    [ 1; 2; 5 ]
+
+let test_determinism_parallel_vs_sequential () =
+  (* The tentpole invariant: --jobs 4 and --jobs 1 produce bit-identical
+     observation arrays (no RNG state is shared across domains). *)
+  let sequential = Campaign.run ~config:quick ~jobs:1 ~n_layouts:8 (benches ()) in
+  let parallel = Campaign.run ~config:quick ~jobs:4 ~n_layouts:8 (benches ()) in
+  List.iter
+    (fun b ->
+      let ds = dataset_of sequential b.Bench.name
+      and dp = dataset_of parallel b.Bench.name in
+      Alcotest.(check (array (float 0.0)))
+        (b.Bench.name ^ " cpis identical") (E.cpis ds) (E.cpis dp);
+      Alcotest.(check (array (float 0.0)))
+        (b.Bench.name ^ " mpkis identical") (E.mpkis ds) (E.mpkis dp);
+      (* And identical to the plain sequential Experiment path. *)
+      let direct = E.run ~config:quick b ~n_layouts:8 in
+      Alcotest.(check (array (float 0.0)))
+        (b.Bench.name ^ " matches Experiment.run") (E.cpis direct) (E.cpis dp))
+    (benches ())
+
+(* ---------------- Observation cache ---------------- *)
+
+let test_cache_hits_and_identity () =
+  let dir = temp_dir "pi-campaign-cache" in
+  let cold = Campaign.run ~config:quick ~jobs:2 ~cache_dir:dir ~n_layouts:8 (benches ()) in
+  Alcotest.(check int) "cold run computes everything" 16
+    cold.Campaign.manifest.Manifest.computed_jobs;
+  let warm = Campaign.run ~config:quick ~jobs:2 ~cache_dir:dir ~n_layouts:8 (benches ()) in
+  Alcotest.(check int) "warm run computes nothing" 0
+    warm.Campaign.manifest.Manifest.computed_jobs;
+  Alcotest.(check int) "warm run is all cache hits" 16
+    warm.Campaign.manifest.Manifest.cached_jobs;
+  (* extend-style growth: only the new seeds are computed. *)
+  let grown = Campaign.run ~config:quick ~jobs:2 ~cache_dir:dir ~n_layouts:12 (benches ()) in
+  Alcotest.(check int) "growth reuses the first 8 seeds" 16
+    grown.Campaign.manifest.Manifest.cached_jobs;
+  Alcotest.(check int) "growth computes only new seeds" 8
+    grown.Campaign.manifest.Manifest.computed_jobs;
+  (* Cached observations replay bit-identically (17-digit CSV round-trip). *)
+  List.iter
+    (fun b ->
+      Alcotest.(check (array (float 0.0)))
+        (b.Bench.name ^ " cached == computed")
+        (E.cpis (dataset_of cold b.Bench.name))
+        (E.cpis (dataset_of warm b.Bench.name)))
+    (benches ())
+
+let test_cache_config_digest_rotates () =
+  let base = Obs_cache.config_digest quick in
+  Alcotest.(check bool) "digest is stable" true (base = Obs_cache.config_digest quick);
+  let changed = Obs_cache.config_digest { quick with E.master_seed = 99 } in
+  Alcotest.(check bool) "master seed rotates the digest" true (base <> changed);
+  let heap = Obs_cache.config_digest { quick with E.heap_random = true } in
+  Alcotest.(check bool) "heap mode rotates the digest" true (base <> heap)
+
+(* ---------------- Fault tolerance ---------------- *)
+
+let test_prepare_failure_is_partial () =
+  let bomb =
+    {
+      Bench.name = "999.bomb";
+      suite = Bench.Cpu2006;
+      description = "always fails to build";
+      expect_significant = false;
+      build = (fun ~scale:_ -> failwith "kaboom");
+    }
+  in
+  let r = Campaign.run ~config:quick ~jobs:2 ~n_layouts:5 [ Spec.find "456.hmmer"; bomb ] in
+  Alcotest.(check bool) "partial failure reported" false (Campaign.succeeded r);
+  Alcotest.(check int) "bomb's jobs all failed" 5 r.Campaign.manifest.Manifest.failed_jobs;
+  Alcotest.(check int) "the healthy bench still completed" 5
+    r.Campaign.manifest.Manifest.computed_jobs;
+  let entry =
+    List.find (fun (b : Manifest.bench_entry) -> b.Manifest.bench = "999.bomb")
+      r.Campaign.manifest.Manifest.benches
+  in
+  (match entry.Manifest.prepare_error with
+  | Some e ->
+      Alcotest.(check bool) "error text recorded" true
+        (String.length e > 0 && String.length (List.hd entry.Manifest.failures).Manifest.error > 0)
+  | None -> Alcotest.fail "prepare_error missing");
+  Alcotest.(check int) "healthy dataset intact" 5
+    (Array.length (dataset_of r "456.hmmer").E.observations)
+
+(* ---------------- Telemetry ---------------- *)
+
+let test_telemetry_stream () =
+  let path = Filename.temp_file "pi-events" ".jsonl" in
+  let sink = Telemetry.to_file path in
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Telemetry.close sink)
+      (fun () ->
+        Campaign.run ~config:quick ~jobs:2 ~events:sink ~n_layouts:4
+          [ Spec.find "456.hmmer" ])
+  in
+  Alcotest.(check bool) "campaign ok" true (Campaign.succeeded r);
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  (* Every event line opens with {"event":"<name>", *)
+  let count name =
+    let prefix = Printf.sprintf {|{"event":"%s",|} name in
+    List.length
+      (List.filter
+         (fun l ->
+           String.length l >= String.length prefix
+           && String.sub l 0 (String.length prefix) = prefix)
+         lines)
+  in
+  Alcotest.(check bool) "has lines" true (List.length lines > 0);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "line is a JSON object" true
+        (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  Alcotest.(check int) "one campaign_started" 1 (count "campaign_started");
+  Alcotest.(check int) "one campaign_finished" 1 (count "campaign_finished");
+  Alcotest.(check int) "a job_started per seed" 4 (count "job_started");
+  Alcotest.(check int) "a job_finished per seed" 4 (count "job_finished")
+
+let test_json_rendering () =
+  let open Telemetry in
+  Alcotest.(check string) "escaping"
+    {|{"a":"x\"y\n","b":[1,true,null],"c":-2.5}|}
+    (to_string
+       (Obj
+          [
+            ("a", String "x\"y\n");
+            ("b", List [ Int 1; Bool true; Null ]);
+            ("c", Float (-2.5));
+          ]))
+
+let suite =
+  [
+    ( "campaign",
+      [
+        Alcotest.test_case "scheduler: slots independent of interleaving" `Quick
+          test_scheduler_order_independent;
+        Alcotest.test_case "scheduler: one failure does not kill the rest" `Quick
+          test_scheduler_failure_isolated;
+        Alcotest.test_case "scheduler: sensible default jobs" `Quick
+          test_scheduler_default_jobs;
+        Alcotest.test_case "--jobs plumbing reaches scheduler and manifest" `Quick
+          test_jobs_plumbing;
+        Alcotest.test_case "parallel == sequential (bit-identical)" `Quick
+          test_determinism_parallel_vs_sequential;
+        Alcotest.test_case "cache: rerun hits, growth computes only new seeds" `Quick
+          test_cache_hits_and_identity;
+        Alcotest.test_case "cache: config digest stability and rotation" `Quick
+          test_cache_config_digest_rotates;
+        Alcotest.test_case "fault tolerance: prepare failure is partial" `Quick
+          test_prepare_failure_is_partial;
+        Alcotest.test_case "telemetry: JSONL event stream" `Quick test_telemetry_stream;
+        Alcotest.test_case "telemetry: JSON rendering" `Quick test_json_rendering;
+      ] );
+  ]

@@ -218,6 +218,37 @@ let test_summarize_suite () =
   Alcotest.(check bool) "real cpi positive" true (s.Predict.real_cpi > 0.0);
   Alcotest.(check int) "candidate + perfect rows" 6 (List.length s.Predict.rows)
 
+(* ---------------- Dataset_io ---------------- *)
+
+let test_csv_round_trip_refit () =
+  (* The campaign observation cache replays CSV rows in place of
+     simulation, so export -> import -> refit must reproduce the model
+     coefficients exactly (the 17-digit rows round-trip every float). *)
+  let d = dataset "400.perlbench" in
+  let original = Model.fit d in
+  let path = Filename.temp_file "pi-roundtrip" ".csv" in
+  Interferometry.Dataset_io.save path d;
+  (match Interferometry.Dataset_io.load_observations path with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok observations ->
+      Alcotest.(check int) "row count" 25 (Array.length observations);
+      let refit =
+        Model.fit (Interferometry.Dataset_io.reattach d.E.prepared observations)
+      in
+      Alcotest.(check (float 1e-9)) "slope survives the round trip"
+        original.Model.regression.Linreg.slope refit.Model.regression.Linreg.slope;
+      Alcotest.(check (float 1e-9)) "intercept survives the round trip"
+        original.Model.regression.Linreg.intercept refit.Model.regression.Linreg.intercept;
+      Alcotest.(check (float 1e-9)) "r^2 survives the round trip"
+        original.Model.regression.Linreg.r_squared refit.Model.regression.Linreg.r_squared;
+      Array.iteri
+        (fun i (o : E.observation) ->
+          Alcotest.(check (float 0.0)) "cpi bit-identical"
+            d.E.observations.(i).E.measurement.Pi_uarch.Counters.cpi
+            o.E.measurement.Pi_uarch.Counters.cpi)
+        observations);
+  Sys.remove path
+
 let suite =
   [
     ( "core.experiment",
@@ -256,5 +287,9 @@ let suite =
         Alcotest.test_case "ltage beats real" `Quick test_predict_ltage_beats_real;
         Alcotest.test_case "gas family monotone" `Quick test_predict_gas_family_monotone;
         Alcotest.test_case "summarize suite" `Quick test_summarize_suite;
+      ] );
+    ( "core.dataset_io",
+      [
+        Alcotest.test_case "CSV round-trip refit" `Quick test_csv_round_trip_refit;
       ] );
   ]

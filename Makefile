@@ -2,7 +2,7 @@
 
 CLI = dune exec bin/interferometry_cli.exe --
 
-.PHONY: all check test build campaign-smoke clean
+.PHONY: all check test build campaign-smoke perf perf-smoke clean
 
 all: build
 
@@ -11,9 +11,19 @@ build:
 
 test: check
 
-# Tier-1 verification.
+# Tier-1 verification, plus a small perf smoke that fails if the compiled
+# replay path diverges from the legacy pipeline or regresses below it.
 check:
 	dune build && dune runtest
+	$(MAKE) perf-smoke
+
+# Full pipeline microbenchmark; writes BENCH_pipeline.json.
+perf:
+	dune exec bench/perf.exe
+
+# Tiny configuration of the same benchmark: correctness gate, not a timing.
+perf-smoke:
+	PI_PERF_SCALE=2 PI_PERF_LAYOUTS=2 PI_PERF_OUT=- dune exec bench/perf.exe
 
 # A 2-benchmark quick-config campaign exercising the parallel scheduler,
 # the observation cache and the telemetry stream end to end. Run it twice:

@@ -29,10 +29,7 @@ module Spec = Pi_workloads.Spec
 module Bench_def = Pi_workloads.Bench
 module Linreg = Pi_stats.Linreg
 
-let env_int name default =
-  match Sys.getenv_opt name with
-  | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> default)
-  | None -> default
+let env_int = Interferometry.Knobs.env_int
 
 let n_layouts = env_int "PI_LAYOUTS" 40
 let scale = env_int "PI_SCALE" 8
@@ -424,14 +421,12 @@ let machines () =
         let bench = Spec.find name in
         let prepared = E.prepare ~config bench in
         let slope machine =
+          let plan = Pi_uarch.Replay.compile machine prepared.E.trace in
           let n = min 30 n_layouts in
           let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
           for i = 0 to n - 1 do
             let placement = Pi_layout.Placement.make prepared.E.program ~seed:(i + 1) in
-            let c =
-              Pi_uarch.Pipeline.run ~warmup_blocks:prepared.E.warmup_blocks machine
-                prepared.E.trace placement
-            in
+            let c = Pi_uarch.Replay.run ~warmup_blocks:prepared.E.warmup_blocks plan placement in
             xs.(i) <- Pi_uarch.Pipeline.mpki c;
             ys.(i) <- Pi_uarch.Pipeline.cpi c
           done;
@@ -538,13 +533,11 @@ let ablations () =
   let gcc = Spec.find "403.gcc" in
   let prepared_gcc = E.prepare ~config gcc in
   let l1i_sd machine =
+    let plan = Pi_uarch.Replay.compile machine prepared_gcc.E.trace in
     let values =
       Array.init 15 (fun i ->
           let placement = Pi_layout.Placement.make prepared_gcc.E.program ~seed:(i + 1) in
-          let c =
-            Pi_uarch.Pipeline.run ~warmup_blocks:prepared_gcc.E.warmup_blocks machine
-              prepared_gcc.E.trace placement
-          in
+          let c = Pi_uarch.Replay.run ~warmup_blocks:prepared_gcc.E.warmup_blocks plan placement in
           Pi_uarch.Pipeline.l1i_mpki c)
     in
     Pi_stats.Descriptive.stddev values
@@ -574,10 +567,10 @@ let ablations () =
       data = Pi_layout.Data_layout.bump prepared_gcc.E.program;
     }
   in
+  let gcc_plan = Pi_uarch.Replay.compile config.E.machine prepared_gcc.E.trace in
   let cpi_of placement =
     Pi_uarch.Pipeline.cpi
-      (Pi_uarch.Pipeline.run ~warmup_blocks:prepared_gcc.E.warmup_blocks config.E.machine
-         prepared_gcc.E.trace placement)
+      (Pi_uarch.Replay.run ~warmup_blocks:prepared_gcc.E.warmup_blocks gcc_plan placement)
   in
   let random_cpis =
     Array.init 20 (fun i -> cpi_of (Pi_layout.Placement.make prepared_gcc.E.program ~seed:(i + 1)))
@@ -606,6 +599,7 @@ let ablations () =
   let ccx_prepared =
     E.prepare ~config:{ config with E.scale = 3 * scale; budget_blocks = 700_000; heap_random = true } ccx
   in
+  let ccx_plan = Pi_uarch.Replay.compile config.E.machine ccx_prepared.E.trace in
   let cache_r2 ~aslr =
     let n = min 20 n_layouts in
     let l1ds = Array.make n 0.0 and cpis = Array.make n 0.0 in
@@ -613,10 +607,7 @@ let ablations () =
       let placement =
         Pi_layout.Placement.make ~heap_random:true ~aslr ccx_prepared.E.program ~seed:(i + 1)
       in
-      let c =
-        Pi_uarch.Pipeline.run ~warmup_blocks:ccx_prepared.E.warmup_blocks config.E.machine
-          ccx_prepared.E.trace placement
-      in
+      let c = Pi_uarch.Replay.run ~warmup_blocks:ccx_prepared.E.warmup_blocks ccx_plan placement in
       l1ds.(i) <- Pi_uarch.Pipeline.l1d_mpki c;
       cpis.(i) <- Pi_uarch.Pipeline.cpi c
     done;
@@ -662,6 +653,15 @@ let micro () =
       Test.make ~name:"pipeline:run"
         (Staged.stage (fun () ->
              ignore (Pi_uarch.Machine.run Pi_uarch.Machine.xeon_e5440 trace placement)));
+      Test.make ~name:"pipeline:legacy"
+        (Staged.stage (fun () ->
+             ignore (Pi_uarch.Pipeline.run_unoptimized Pi_uarch.Machine.xeon_e5440 trace placement)));
+      Test.make ~name:"pipeline:compile"
+        (Staged.stage (fun () ->
+             ignore (Pi_uarch.Replay.compile Pi_uarch.Machine.xeon_e5440 trace)));
+      (let plan = Pi_uarch.Replay.compile Pi_uarch.Machine.xeon_e5440 trace in
+       Test.make ~name:"pipeline:replay"
+         (Staged.stage (fun () -> ignore (Pi_uarch.Replay.run plan placement))));
       Test.make ~name:"layout:link"
         (Staged.stage (fun () ->
              ignore (Pi_layout.Code_layout.randomized trace.Pi_isa.Trace.program ~seed:7)));
@@ -713,6 +713,13 @@ let () =
   Printf.printf
     "Program Interferometry reproduction — %d reorderings/benchmark, scale %d, seed %d\n"
     n_layouts scale master_seed;
+  Printf.printf "knobs: %s PI_JOBS=%s PI_CACHE_DIR=%s\n"
+    (Interferometry.Knobs.describe
+       [ ("PI_LAYOUTS", n_layouts); ("PI_SCALE", scale); ("PI_SEED", master_seed) ])
+    (match Sys.getenv_opt "PI_JOBS" with
+    | Some _ -> string_of_int (env_int "PI_JOBS" (Pi_campaign.Scheduler.default_jobs ()))
+    | None -> Printf.sprintf "%d(auto)" (Pi_campaign.Scheduler.default_jobs ()))
+    (Option.value ~default:"(none)" (Sys.getenv_opt "PI_CACHE_DIR"));
   let t0 = Unix.gettimeofday () in
   (match requested with
   | [] -> List.iter (fun (_, f) -> f ()) all_experiments

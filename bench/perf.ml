@@ -1,0 +1,32 @@
+(* Perf microbenchmark entry point: `make perf` / `dune exec bench/perf.exe`.
+
+   Knobs: PI_PERF_SCALE (default 4), PI_PERF_LAYOUTS (default 12),
+   PI_PERF_BENCH (default 400.perlbench), PI_PERF_OUT (default
+   BENCH_pipeline.json; "-" to skip the file).
+
+   Exits nonzero when replay counts diverge from the legacy path or replay
+   is slower than legacy, so `make check` can use it as a regression
+   smoke. *)
+
+let () =
+  let scale = Interferometry.Knobs.env_int "PI_PERF_SCALE" 4 in
+  let layouts = Interferometry.Knobs.env_int "PI_PERF_LAYOUTS" 12 in
+  let bench =
+    Option.value ~default:"400.perlbench" (Sys.getenv_opt "PI_PERF_BENCH")
+  in
+  let out = Option.value ~default:"BENCH_pipeline.json" (Sys.getenv_opt "PI_PERF_OUT") in
+  let r = Interferometry.Perf_bench.run ~bench ~scale ~layouts () in
+  print_endline (Interferometry.Perf_bench.summary r);
+  if out <> "-" then begin
+    Interferometry.Perf_bench.write_json ~path:out r;
+    Printf.printf "wrote %s\n" out
+  end;
+  if not r.Interferometry.Perf_bench.identical then begin
+    prerr_endline "FAIL: replay counts differ from the legacy pipeline";
+    exit 1
+  end;
+  if r.Interferometry.Perf_bench.speedup < 1.0 then begin
+    Printf.eprintf "FAIL: replay slower than legacy (%.2fx)\n"
+      r.Interferometry.Perf_bench.speedup;
+    exit 1
+  end

@@ -444,6 +444,56 @@ let campaign_cmd =
           $ campaign_scale_term $ heap_random_term $ quick_term $ cache_dir_term
           $ events_term $ manifest_term $ deadline_term)
 
+let perf_cmd =
+  let run bench scale layouts out =
+    let r = Interferometry.Perf_bench.run ~bench:bench.Pi_workloads.Bench.name ~scale ~layouts () in
+    print_endline (Interferometry.Perf_bench.summary r);
+    Option.iter
+      (fun path ->
+        Interferometry.Perf_bench.write_json ~path r;
+        Printf.printf "wrote %s\n" path)
+      out;
+    if not r.Interferometry.Perf_bench.identical then begin
+      prerr_endline "FAIL: replay counts differ from the legacy pipeline";
+      exit 1
+    end;
+    if r.Interferometry.Perf_bench.speedup < 1.0 then begin
+      Printf.eprintf "FAIL: replay slower than legacy (%.2fx)\n"
+        r.Interferometry.Perf_bench.speedup;
+      exit 1
+    end
+  in
+  let bench_term =
+    Arg.(
+      value
+      & opt bench_arg (Pi_workloads.Spec.find "400.perlbench")
+      & info [ "bench" ] ~docv:"BENCHMARK" ~doc:"Benchmark to time.")
+  in
+  let perf_scale_term =
+    Arg.(value & opt int 4 & info [ "scale" ] ~docv:"K" ~doc:"Workload scale.")
+  in
+  let perf_layouts_term =
+    Arg.(value & opt int 12 & info [ "layouts"; "n" ] ~docv:"N"
+           ~doc:"Placements timed per path.")
+  in
+  let out_term =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write BENCH_pipeline.json here.")
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:"Time the legacy pipeline against the compiled replay plan."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Compiles a replay plan for one benchmark trace, then times the same \
+              placements through Pipeline.run_unoptimized and Replay.run. Fails \
+              (exit 1) if the two paths disagree on any counter or if replay is \
+              slower than legacy. See docs/PERF.md.";
+         ])
+    Term.(const run $ bench_term $ perf_scale_term $ perf_layouts_term $ out_term)
+
 let () =
   let doc = "Program interferometry: performance modelling by layout perturbation" in
   let info = Cmd.info "interferometry" ~version:"1.0.0" ~doc in
@@ -451,5 +501,5 @@ let () =
        [
          list_cmd; trace_cmd; measure_cmd; model_cmd; blame_cmd; predict_cmd;
          sweep_cmd; cache_cmd; export_cmd; refit_cmd; report_cmd; phases_cmd;
-         campaign_cmd;
+         campaign_cmd; perf_cmd;
        ]))

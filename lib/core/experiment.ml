@@ -35,6 +35,9 @@ type prepared = {
   program : Pi_isa.Program.t;
   trace : Pi_isa.Trace.t;
   warmup_blocks : int;
+  plan : Pi_uarch.Replay.plan;
+      (* compiled once here; every observation replays it, and campaign
+         workers share it read-only across domains *)
 }
 
 let prepare ?(config = default_config) (bench : Pi_workloads.Bench.t) =
@@ -46,7 +49,8 @@ let prepare ?(config = default_config) (bench : Pi_workloads.Bench.t) =
   let warmup_blocks =
     int_of_float (config.warmup_fraction *. float_of_int (Pi_isa.Trace.blocks_executed trace))
   in
-  { bench; config; program; trace; warmup_blocks }
+  let plan = Pi_uarch.Replay.compile config.machine trace in
+  { bench; config; program; trace; warmup_blocks; plan }
 
 type observation = {
   layout_seed : int;
@@ -65,8 +69,7 @@ let exact_counts prepared ~seed =
     Pi_layout.Placement.make ~heap_random:prepared.config.heap_random
       ~aslr:prepared.config.aslr prepared.program ~seed
   in
-  Pipeline.run ~warmup_blocks:prepared.warmup_blocks prepared.config.machine prepared.trace
-    placement
+  Pi_uarch.Replay.run ~warmup_blocks:prepared.warmup_blocks prepared.plan placement
 
 let observe_seed prepared layout_seed =
   let counts = exact_counts prepared ~seed:layout_seed in

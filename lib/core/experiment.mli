@@ -34,10 +34,13 @@ type prepared = {
   program : Pi_isa.Program.t;
   trace : Pi_isa.Trace.t;
   warmup_blocks : int;
+  plan : Pi_uarch.Replay.plan;
+      (** compiled replay plan for [machine]/[trace]; placement-invariant *)
 }
 
 val prepare : ?config:config -> Pi_workloads.Bench.t -> prepared
-(** Build the program and its bounded trace once; reused by every layout. *)
+(** Build the program, its bounded trace, and the compiled replay plan once;
+    reused by every layout. *)
 
 type observation = {
   layout_seed : int;

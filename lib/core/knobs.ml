@@ -1,0 +1,26 @@
+let parse_int ~name ~default raw =
+  match raw with
+  | None -> (default, None)
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n > 0 -> (n, None)
+      | Some n ->
+          ( default,
+            Some
+              (Printf.sprintf "%s=%d is not positive; using default %d" name n
+                 default) )
+      | None ->
+          ( default,
+            Some
+              (Printf.sprintf "%s=%S is not an integer; using default %d" name v
+                 default) ))
+
+let env_int ?(warn = fun msg -> Printf.eprintf "warning: %s\n%!" msg) name default =
+  let value, warning = parse_int ~name ~default (Sys.getenv_opt name) in
+  Option.iter warn warning;
+  value
+
+let describe knobs =
+  knobs
+  |> List.map (fun (name, value) -> Printf.sprintf "%s=%d" name value)
+  |> String.concat " "

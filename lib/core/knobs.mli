@@ -1,0 +1,17 @@
+(** Environment-variable knobs for the harnesses ([PI_LAYOUTS], [PI_SCALE],
+    ...). Invalid or nonpositive values warn and fall back to the default
+    rather than being silently ignored. *)
+
+val parse_int : name:string -> default:int -> string option -> int * string option
+(** [parse_int ~name ~default raw] parses a raw environment value. Returns
+    the effective value plus a warning message when [raw] was present but
+    not a positive integer (in which case the default is used). Pure —
+    this is the tested core of {!env_int}. *)
+
+val env_int : ?warn:(string -> unit) -> string -> int -> int
+(** [env_int name default] reads [name] from the environment via
+    {!parse_int}. Warnings go to [warn] (default: stderr). *)
+
+val describe : (string * int) list -> string
+(** One-line ["NAME=value NAME=value ..."] rendering of effective knob
+    values, for run headers. *)

@@ -1,0 +1,122 @@
+(* Microbenchmark for the compiled-replay path: times plan compilation, the
+   legacy interpreter and plan replay over the same placements, checks that
+   both produce identical counts, and renders the numbers as JSON for the
+   perf trajectory (BENCH_pipeline.json). *)
+
+module Pipeline = Pi_uarch.Pipeline
+module Replay = Pi_uarch.Replay
+
+type result = {
+  bench : string;
+  scale : int;
+  layouts : int;
+  blocks : int;  (* dynamic blocks per observation *)
+  mem_events : int;
+  plan_words : int;
+  compile_seconds : float;
+  legacy_seconds : float;  (* total wall time for [layouts] legacy observations *)
+  replay_seconds : float;  (* same placements through the compiled plan *)
+  legacy_obs_per_sec : float;
+  replay_obs_per_sec : float;
+  replay_blocks_per_sec : float;
+  speedup : float;  (* replay_obs_per_sec / legacy_obs_per_sec *)
+  identical : bool;  (* replay counts = legacy counts on every placement *)
+}
+
+let now () = Unix.gettimeofday ()
+
+let run ?(bench = "400.perlbench") ?(scale = 4) ?(layouts = 12) () =
+  if layouts < 1 then invalid_arg "Perf_bench.run: layouts < 1";
+  let b = Pi_workloads.Spec.find bench in
+  let config = { Experiment.default_config with scale } in
+  let machine = config.Experiment.machine in
+  let program = b.Pi_workloads.Bench.build ~scale in
+  let trace =
+    Pi_layout.Run_limiter.trace ~seed:config.Experiment.master_seed program
+      ~budget_blocks:config.Experiment.budget_blocks
+  in
+  let warmup_blocks =
+    int_of_float
+      (config.Experiment.warmup_fraction
+      *. float_of_int (Pi_isa.Trace.blocks_executed trace))
+  in
+  let placements =
+    Array.init layouts (fun i -> Pi_layout.Placement.make program ~seed:(i + 1))
+  in
+  (* Warm both paths once outside the timed region (page faults, lazy
+     initialization) using a placement that is not part of the measurement. *)
+  let warm_placement = Pi_layout.Placement.make program ~seed:(layouts + 1) in
+  ignore (Pipeline.run_unoptimized ~warmup_blocks machine trace warm_placement);
+  ignore (Replay.run ~warmup_blocks (Replay.compile machine trace) warm_placement);
+  let t0 = now () in
+  let plan = Replay.compile machine trace in
+  let compile_seconds = now () -. t0 in
+  let t0 = now () in
+  let legacy =
+    Array.map (fun p -> Pipeline.run_unoptimized ~warmup_blocks machine trace p) placements
+  in
+  let legacy_seconds = now () -. t0 in
+  let t0 = now () in
+  let replayed = Array.map (fun p -> Replay.run ~warmup_blocks plan p) placements in
+  let replay_seconds = now () -. t0 in
+  let identical = legacy = replayed in
+  let obs = float_of_int layouts in
+  let blocks = Replay.blocks plan in
+  {
+    bench;
+    scale;
+    layouts;
+    blocks;
+    mem_events = Replay.mem_events plan;
+    plan_words = Replay.words plan;
+    compile_seconds;
+    legacy_seconds;
+    replay_seconds;
+    legacy_obs_per_sec = (if legacy_seconds > 0.0 then obs /. legacy_seconds else 0.0);
+    replay_obs_per_sec = (if replay_seconds > 0.0 then obs /. replay_seconds else 0.0);
+    replay_blocks_per_sec =
+      (if replay_seconds > 0.0 then obs *. float_of_int blocks /. replay_seconds else 0.0);
+    speedup = (if replay_seconds > 0.0 then legacy_seconds /. replay_seconds else 0.0);
+    identical;
+  }
+
+let to_json r =
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"bench\": %S," r.bench;
+      Printf.sprintf "  \"scale\": %d," r.scale;
+      Printf.sprintf "  \"layouts\": %d," r.layouts;
+      Printf.sprintf "  \"blocks_per_observation\": %d," r.blocks;
+      Printf.sprintf "  \"mem_events_per_observation\": %d," r.mem_events;
+      Printf.sprintf "  \"plan_words\": %d," r.plan_words;
+      Printf.sprintf "  \"compile_seconds\": %.6f," r.compile_seconds;
+      Printf.sprintf "  \"legacy_seconds\": %.6f," r.legacy_seconds;
+      Printf.sprintf "  \"replay_seconds\": %.6f," r.replay_seconds;
+      Printf.sprintf "  \"legacy_obs_per_sec\": %.2f," r.legacy_obs_per_sec;
+      Printf.sprintf "  \"replay_obs_per_sec\": %.2f," r.replay_obs_per_sec;
+      Printf.sprintf "  \"replay_blocks_per_sec\": %.0f," r.replay_blocks_per_sec;
+      Printf.sprintf "  \"speedup\": %.3f," r.speedup;
+      Printf.sprintf "  \"identical_counts\": %b" r.identical;
+      "}";
+    ]
+
+let write_json ~path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json r);
+      output_char oc '\n')
+
+let summary r =
+  Printf.sprintf
+    "%s scale %d: %d blocks/obs, compile %.1fms (amortized over every placement)\n\
+     legacy: %.2f obs/s (%.1fms/obs)   replay: %.2f obs/s (%.1fms/obs, %.2fM blocks/s)\n\
+     speedup: %.2fx   counts identical: %b   plan: %.1f MiB"
+    r.bench r.scale r.blocks (r.compile_seconds *. 1e3) r.legacy_obs_per_sec
+    (1e3 *. r.legacy_seconds /. float_of_int r.layouts)
+    r.replay_obs_per_sec
+    (1e3 *. r.replay_seconds /. float_of_int r.layouts)
+    (r.replay_blocks_per_sec /. 1e6) r.speedup r.identical
+    (float_of_int (r.plan_words * 8) /. 1024.0 /. 1024.0)

@@ -1,0 +1,34 @@
+(** Microbenchmark for the compiled-replay path ({!Pi_uarch.Replay}).
+
+    Times plan compilation, the legacy interpreter
+    ({!Pi_uarch.Pipeline.run_unoptimized}) and plan replay over the same
+    placements, verifies both produce identical counts, and renders the
+    numbers as JSON for the perf trajectory ([BENCH_pipeline.json]). *)
+
+type result = {
+  bench : string;
+  scale : int;
+  layouts : int;  (** placements timed per path *)
+  blocks : int;  (** dynamic blocks per observation *)
+  mem_events : int;
+  plan_words : int;  (** plan footprint, machine words *)
+  compile_seconds : float;
+  legacy_seconds : float;  (** total for [layouts] legacy observations *)
+  replay_seconds : float;  (** same placements through the compiled plan *)
+  legacy_obs_per_sec : float;
+  replay_obs_per_sec : float;
+  replay_blocks_per_sec : float;
+  speedup : float;  (** legacy_seconds / replay_seconds *)
+  identical : bool;  (** replay counts = legacy counts on every placement *)
+}
+
+val run : ?bench:string -> ?scale:int -> ?layouts:int -> unit -> result
+(** Build the benchmark (default 400.perlbench at scale 4), trace it once,
+    then time [layouts] observations through each path. Both paths are
+    warmed with an extra untimed placement first. *)
+
+val to_json : result -> string
+val write_json : path:string -> result -> unit
+
+val summary : result -> string
+(** Human-readable multi-line summary. *)

@@ -28,6 +28,9 @@ let warmup_branches (prepared : Experiment.prepared) =
    one deterministic Pin run per reordering. *)
 let pin_cond_mpki (prepared : Experiment.prepared) ~n_layouts make =
   let warmup = warmup_branches prepared in
+  (* The branch stream is placement-invariant: compile once, replay under
+     every layout seed. *)
+  let stream = Pi_pin.Bp_sim.compile_stream prepared.Experiment.trace in
   let total = ref 0.0 in
   for seed = 1 to n_layouts do
     let placement =
@@ -35,7 +38,7 @@ let pin_cond_mpki (prepared : Experiment.prepared) ~n_layouts make =
         prepared.Experiment.program ~seed
     in
     let results =
-      Pi_pin.Bp_sim.run ~warmup_branches:warmup prepared.Experiment.trace
+      Pi_pin.Bp_sim.run ~warmup_branches:warmup ~stream prepared.Experiment.trace
         placement.Pi_layout.Placement.code [ make ]
     in
     match results with

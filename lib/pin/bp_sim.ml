@@ -9,24 +9,38 @@ type result = {
   mpki : float;
 }
 
-(* Iterate the dynamic conditional-branch stream of a trace: calls
-   [f ~branch ~pc ~taken ~index] for each, where [index] is the dynamic
-   branch ordinal. *)
-let iter_branches trace code f =
+(* The dynamic conditional-branch stream of a trace, packed one int per
+   branch as [(branch_id lsl 1) lor taken]. Placement-invariant (branch ids
+   and outcomes come from the trace alone; the code layout only fixes PCs),
+   so one stream serves every layout seed and every predictor sweep. *)
+type stream = int array
+
+let compile_stream trace =
   let program = trace.Trace.program in
-  let branch_pc = code.Pi_layout.Code_layout.branch_pc in
   let seq = trace.Trace.block_seq in
   let n = Array.length seq in
-  let ordinal = ref 0 in
+  let count = ref 0 in
   for i = 0 to n - 2 do
     match program.Program.blocks.(seq.(i)).Program.term with
-    | Program.Branch { branch; taken; not_taken = _ } ->
-        f ~branch ~pc:branch_pc.(branch) ~taken:(seq.(i + 1) = taken) ~index:!ordinal;
-        incr ordinal
+    | Program.Branch _ -> incr count
     | Program.Jump _ | Program.Call _ | Program.Indirect_call _ | Program.Switch _
     | Program.Return | Program.Halt ->
         ()
-  done
+  done;
+  let out = Array.make !count 0 in
+  let cursor = ref 0 in
+  for i = 0 to n - 2 do
+    match program.Program.blocks.(seq.(i)).Program.term with
+    | Program.Branch { branch; taken; not_taken = _ } ->
+        out.(!cursor) <- (branch lsl 1) lor (if seq.(i + 1) = taken then 1 else 0);
+        incr cursor
+    | Program.Jump _ | Program.Call _ | Program.Indirect_call _ | Program.Switch _
+    | Program.Return | Program.Halt ->
+        ()
+  done;
+  out
+
+let stream_length (s : stream) = Array.length s
 
 let measured_instructions ?(warmup_branches = 0) trace =
   (* Approximate post-warmup instruction count by scaling: the Pin tool
@@ -39,43 +53,83 @@ let measured_instructions ?(warmup_branches = 0) trace =
     in
     int_of_float (fraction *. float_of_int trace.Trace.instructions)
 
-let run ?(warmup_branches = 0) trace code makes =
-  let predictors = List.map (fun make -> make ()) makes in
-  let states =
-    List.map (fun p -> (p, ref 0, ref 0)) predictors (* predictor, branches, mispredicts *)
-  in
-  iter_branches trace code (fun ~branch:_ ~pc ~taken ~index ->
-      List.iter
-        (fun (p, branches, mispredicted) ->
-          let correct = p.Pi_uarch.Predictor.on_branch ~pc ~taken in
-          if index >= warmup_branches then begin
-            incr branches;
-            if not correct then incr mispredicted
-          end)
-        states);
+let run ?(warmup_branches = 0) ?stream ?(batched = false) trace code makes =
+  let stream = match stream with Some s -> s | None -> compile_stream trace in
+  let branch_pc = code.Pi_layout.Code_layout.branch_pc in
+  let predictors = Array.of_list (List.map (fun make -> make ()) makes) in
+  let np = Array.length predictors in
+  let branch_counts = Array.make np 0 in
+  let mispredict_counts = Array.make np 0 in
+  let n = Array.length stream in
+  if batched then
+    (* One pass over the stream, advancing every predictor per branch: best
+       when the stream is long and the predictor set small. *)
+    for i = 0 to n - 1 do
+      let packed = Array.unsafe_get stream i in
+      let pc = Array.unsafe_get branch_pc (packed lsr 1) in
+      let taken = packed land 1 = 1 in
+      let measured = i >= warmup_branches in
+      for j = 0 to np - 1 do
+        let p = Array.unsafe_get predictors j in
+        let correct = p.Pi_uarch.Predictor.on_branch ~pc ~taken in
+        if measured then begin
+          branch_counts.(j) <- branch_counts.(j) + 1;
+          if not correct then mispredict_counts.(j) <- mispredict_counts.(j) + 1
+        end
+      done
+    done
+  else
+    (* One pass per predictor: its tables stay hot in cache for the whole
+       stream. Predictors are independent, so both orders count the same. *)
+    for j = 0 to np - 1 do
+      let p = predictors.(j) in
+      let on_branch = p.Pi_uarch.Predictor.on_branch in
+      let measured_branches = ref 0 in
+      let mispredicted = ref 0 in
+      for i = 0 to n - 1 do
+        let packed = Array.unsafe_get stream i in
+        let pc = Array.unsafe_get branch_pc (packed lsr 1) in
+        let taken = packed land 1 = 1 in
+        let correct = on_branch ~pc ~taken in
+        if i >= warmup_branches then begin
+          incr measured_branches;
+          if not correct then incr mispredicted
+        end
+      done;
+      branch_counts.(j) <- !measured_branches;
+      mispredict_counts.(j) <- !mispredicted
+    done;
   let instructions = measured_instructions ~warmup_branches trace in
-  List.map
-    (fun (p, branches, mispredicted) ->
-      {
-        predictor_name = p.Pi_uarch.Predictor.name;
-        branches = !branches;
-        mispredicted = !mispredicted;
-        instructions;
-        mpki =
-          (if instructions = 0 then 0.0
-           else 1000.0 *. float_of_int !mispredicted /. float_of_int instructions);
-      })
-    states
+  Array.to_list
+    (Array.mapi
+       (fun j p ->
+         {
+           predictor_name = p.Pi_uarch.Predictor.name;
+           branches = branch_counts.(j);
+           mispredicted = mispredict_counts.(j);
+           instructions;
+           mpki =
+             (if instructions = 0 then 0.0
+              else 1000.0 *. float_of_int mispredict_counts.(j) /. float_of_int instructions);
+         })
+       predictors)
 
-let per_branch_mispredicts ?(warmup_branches = 0) trace code make =
+let per_branch_mispredicts ?(warmup_branches = 0) ?stream trace code make =
+  let stream = match stream with Some s -> s | None -> compile_stream trace in
+  let branch_pc = code.Pi_layout.Code_layout.branch_pc in
   let p = make () in
+  let on_branch = p.Pi_uarch.Predictor.on_branch in
   let n = Array.length trace.Trace.program.Program.branches in
   let executions = Array.make n 0 in
   let mispredicts = Array.make n 0 in
-  iter_branches trace code (fun ~branch ~pc ~taken ~index ->
-      let correct = p.Pi_uarch.Predictor.on_branch ~pc ~taken in
-      if index >= warmup_branches then begin
-        executions.(branch) <- executions.(branch) + 1;
-        if not correct then mispredicts.(branch) <- mispredicts.(branch) + 1
-      end);
+  for i = 0 to Array.length stream - 1 do
+    let packed = Array.unsafe_get stream i in
+    let branch = packed lsr 1 in
+    let taken = packed land 1 = 1 in
+    let correct = on_branch ~pc:(Array.unsafe_get branch_pc branch) ~taken in
+    if i >= warmup_branches then begin
+      executions.(branch) <- executions.(branch) + 1;
+      if not correct then mispredicts.(branch) <- mispredicts.(branch) + 1
+    end
+  done;
   Array.init n (fun i -> (executions.(i), mispredicts.(i)))

@@ -15,8 +15,22 @@ type result = {
   mpki : float;
 }
 
+type stream
+(** The dynamic conditional-branch stream, packed one int per branch as
+    [(branch_id lsl 1) lor taken]. Placement-invariant: compile it once per
+    trace and reuse it across layout seeds and predictor sweeps. *)
+
+val compile_stream : Pi_isa.Trace.t -> stream
+(** Extract the packed branch stream from a trace (one pass over
+    [block_seq]). *)
+
+val stream_length : stream -> int
+(** Dynamic conditional branches in the stream. *)
+
 val run :
   ?warmup_branches:int ->
+  ?stream:stream ->
+  ?batched:bool ->
   Pi_isa.Trace.t ->
   Pi_layout.Code_layout.t ->
   (unit -> Pi_uarch.Predictor.t) list ->
@@ -24,10 +38,15 @@ val run :
 (** Simulate all predictors over the conditional-branch stream. Every
     predictor sees the identical stream (fresh instances, deterministic).
     [warmup_branches] excludes the leading branches from the counts while
-    still training the predictors. *)
+    still training the predictors. [stream] supplies a precompiled branch
+    stream (must come from [trace]); otherwise one is compiled per call.
+    [batched] (default false) advances all predictor states in a single
+    pass over the stream instead of one pass per predictor; results are
+    identical either way. *)
 
 val per_branch_mispredicts :
   ?warmup_branches:int ->
+  ?stream:stream ->
   Pi_isa.Trace.t ->
   Pi_layout.Code_layout.t ->
   (unit -> Pi_uarch.Predictor.t) ->

@@ -14,4 +14,7 @@ let create ~entries_log2 =
     on_branch;
     reset = (fun () -> Predictor.Counter_table.reset table);
     storage_bits = (1 lsl entries_log2) * 2;
+    kernel =
+      (let counters, mask = Predictor.Counter_table.raw table in
+       Some (Predictor.Bimodal_k { counters; mask }));
   }

@@ -38,36 +38,39 @@ let create g =
 
 let geometry t = t.geometry
 
+(* [find_way]/[promote] are the innermost operations of every simulated
+   cache reference; they run once or twice per dynamic block. Indices stay
+   in bounds by construction ([base = set * assoc] with [set < sets], and
+   [way < assoc]), so the bound is hoisted and the scans use unsafe reads
+   instead of a bounds check per way. *)
 let find_way t base tag =
-  let ways = t.geometry.assoc in
-  let rec go way = if way >= ways then -1 else if t.tags.(base + way) = tag then way else go (way + 1) in
-  go 0
+  let tags = t.tags in
+  let limit = base + t.geometry.assoc in
+  let i = ref base in
+  while !i < limit && Array.unsafe_get tags !i <> tag do incr i done;
+  if !i < limit then !i - base else -1
 
 let promote t base way tag =
   (* Shift ways [0, way) down one and install [tag] as MRU. *)
-  let rec shift w =
-    if w > 0 then begin
-      t.tags.(base + w) <- t.tags.(base + w - 1);
-      shift (w - 1)
-    end
-  in
-  shift way;
-  t.tags.(base) <- tag
+  let tags = t.tags in
+  for w = base + way downto base + 1 do
+    Array.unsafe_set tags w (Array.unsafe_get tags (w - 1))
+  done;
+  Array.unsafe_set tags base tag
 
 let access t addr =
   t.accesses <- t.accesses + 1;
   let line = addr lsr t.line_shift in
   let set = line land (t.sets - 1) in
-  let tag = line lsr 0 in
   let base = set * t.geometry.assoc in
-  let way = find_way t base tag in
+  let way = find_way t base line in
   if way >= 0 then begin
-    promote t base way tag;
+    promote t base way line;
     true
   end
   else begin
     t.misses <- t.misses + 1;
-    promote t base (t.geometry.assoc - 1) tag;
+    promote t base (t.geometry.assoc - 1) line;
     false
   end
 
@@ -85,6 +88,13 @@ let fill t addr =
   let base = set * t.geometry.assoc in
   let way = find_way t base line in
   promote t base (if way >= 0 then way else t.geometry.assoc - 1) line
+
+(* Hot-path internals for callers that inline the MRU-hit check (the replay
+   fetch loop): when [tags.((line land set_mask) * assoc) = line] the access
+   is an MRU hit — [promote] would be a no-op — so the caller only needs
+   [count_hit]; any other case must go through [access]. *)
+let hot t = (t.tags, t.sets - 1, t.geometry.assoc, t.line_shift)
+let count_hit t = t.accesses <- t.accesses + 1
 
 let access_range t ~addr ~bytes =
   if bytes <= 0 then 0

@@ -21,6 +21,9 @@ let create ~entries_log2 ~history_bits =
         Predictor.Counter_table.reset table;
         history := 0);
     storage_bits = ((1 lsl entries_log2) * 2) + history_bits;
+    kernel =
+      (let counters, mask = Predictor.Counter_table.raw table in
+       Some (Predictor.Gas_k { counters; mask; history; history_mask; addr_mask; history_bits }));
   }
 
 let sized_kb ~kb =

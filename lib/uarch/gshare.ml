@@ -20,4 +20,7 @@ let create ~entries_log2 ~history_bits =
         Predictor.Counter_table.reset table;
         history := 0);
     storage_bits = ((1 lsl entries_log2) * 2) + history_bits;
+    kernel =
+      (let counters, mask = Predictor.Counter_table.raw table in
+       Some (Predictor.Gshare_k { counters; mask; history; history_mask }));
   }

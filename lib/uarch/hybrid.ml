@@ -51,6 +51,13 @@ let create ?name ~gas_entries_log2 ~gas_history_bits ~bimodal_entries_log2
         Ct.reset chooser;
         history := 0);
     storage_bits;
+    kernel =
+      (let gas, gas_mask = Ct.raw gas_table in
+       let bim, bim_mask = Ct.raw bimodal_table in
+       let cho, cho_mask = Ct.raw chooser in
+       Some
+         (Predictor.Hybrid_k
+            { gas; gas_mask; gas_index_mask; bim; bim_mask; cho; cho_mask; history; history_mask }));
   }
 
 let xeon_like () =

@@ -22,4 +22,5 @@ let create ?(bht_entries_log2 = 10) ?(local_history_bits = 10) ?(pht_entries_log
     on_branch;
     reset;
     storage_bits = ((1 lsl bht_entries_log2) * local_history_bits) + ((1 lsl pht_entries_log2) * 2);
+    kernel = None;
   }

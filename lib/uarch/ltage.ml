@@ -314,6 +314,7 @@ let create ?(config = default_config) () =
     on_branch;
     reset;
     storage_bits;
+    kernel = None;
   }
 
 let tage_only () = create ~config:{ default_config with use_loop_predictor = false } ()

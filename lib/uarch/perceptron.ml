@@ -42,4 +42,5 @@ let create ?(table_entries_log2 = 8) ?(history_bits = 32) ?(threshold = -1) () =
     on_branch;
     reset;
     storage_bits = entries * (history_bits + 1) * 8;
+    kernel = None;
   }

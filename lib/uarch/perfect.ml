@@ -1,5 +1,5 @@
 let constant ~name ~f =
-  { Predictor.name; on_branch = f; reset = (fun () -> ()); storage_bits = 0 }
+  { Predictor.name; on_branch = f; reset = (fun () -> ()); storage_bits = 0; kernel = None }
 
 let perfect () = constant ~name:"perfect" ~f:(fun ~pc:_ ~taken:_ -> true)
 let always_taken () = constant ~name:"static-taken" ~f:(fun ~pc:_ ~taken -> taken)

@@ -86,7 +86,52 @@ type counts = {
 val run : ?warmup_blocks:int -> config -> Pi_isa.Trace.t -> Pi_layout.Placement.t -> counts
 (** [warmup_blocks] (default 0) executes that many leading blocks with all
     structures live but discards their events and cycles, so short traces
-    report the steady-state rates a minutes-long run on hardware would. *)
+    report the steady-state rates a minutes-long run on hardware would.
+
+    Equivalent to [replay ?warmup_blocks (compile config trace) placement];
+    callers simulating the same trace more than once should compile a plan
+    and replay it. *)
+
+val run_unoptimized :
+  ?warmup_blocks:int -> config -> Pi_isa.Trace.t -> Pi_layout.Placement.t -> counts
+(** The legacy interpreter: recomputes every trace-derived table per call and
+    pattern-matches terminators per dynamic block. Kept as the reference
+    implementation for the golden-equivalence tests and the perf baseline;
+    produces bit-identical {!counts} to {!replay}. *)
+
+type plan
+(** A compiled, placement-invariant replay plan: flat per-dynamic-block and
+    per-memory-event arrays carrying everything {!replay} needs that does not
+    depend on the placement (static costs, mem-op spans with pre-resolved
+    overlap factors, pre-decoded terminators). Immutable and free of
+    simulation state, so one plan may be replayed from many domains
+    concurrently. *)
+
+val compile : config -> Pi_isa.Trace.t -> plan
+(** One-time O(trace) compilation; see {!plan}. *)
+
+val replay : ?warmup_blocks:int -> plan -> Pi_layout.Placement.t -> counts
+(** Simulate the compiled trace under one placement. Bit-identical to
+    {!run_unoptimized} with the plan's config and trace: the same floats are
+    accumulated in the same order. *)
+
+val plan_with_config : plan -> config -> plan
+(** Rebind a plan to a new machine config. Reuses the compiled arrays when
+    the plan-baked parameters (instruction costs, overlap factors,
+    store-miss factor) are unchanged — e.g. across a predictor sweep — and
+    recompiles from the plan's trace otherwise. *)
+
+val plan_config : plan -> config
+val plan_trace : plan -> Pi_isa.Trace.t
+
+val plan_blocks : plan -> int
+(** Dynamic blocks the plan replays. *)
+
+val plan_mem_events : plan -> int
+(** Dynamic memory events the plan replays. *)
+
+val plan_words : plan -> int
+(** Approximate heap footprint of the plan's arrays, in machine words. *)
 
 val cpi : counts -> float
 

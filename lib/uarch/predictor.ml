@@ -1,12 +1,3 @@
-type t = {
-  name : string;
-  on_branch : pc:int -> taken:bool -> bool;
-  reset : unit -> unit;
-  storage_bits : int;
-}
-
-let storage_kb t = float_of_int t.storage_bits /. 8192.0
-
 module Counter_table = struct
   type table = { counters : Bytes.t; mask : int }
 
@@ -27,6 +18,49 @@ module Counter_table = struct
     Bytes.unsafe_set t.counters i (Char.unsafe_chr c')
 
   let reset t = Bytes.fill t.counters 0 (Bytes.length t.counters) '\001'
+  let raw t = (t.counters, t.mask)
 end
 
+(* Flattened mirrors of the table-indexed predictors, advanced inline by the
+   replay hot loop without a closure call per branch. A kernel aliases the
+   predictor's live tables and history cell (not copies), so closure and
+   kernel views always agree; the kernel advance must reproduce [on_branch]
+   decision-for-decision and state-for-state. *)
+type kernel =
+  | Bimodal_k of { counters : Bytes.t; mask : int }
+  | Gshare_k of {
+      counters : Bytes.t;
+      mask : int;
+      history : int ref;
+      history_mask : int;
+    }
+  | Gas_k of {
+      counters : Bytes.t;
+      mask : int;
+      history : int ref;
+      history_mask : int;
+      addr_mask : int;
+      history_bits : int;
+    }
+  | Hybrid_k of {
+      gas : Bytes.t;
+      gas_mask : int;
+      gas_index_mask : int;
+      bim : Bytes.t;
+      bim_mask : int;
+      cho : Bytes.t;
+      cho_mask : int;
+      history : int ref;
+      history_mask : int;
+    }
+
+type t = {
+  name : string;
+  on_branch : pc:int -> taken:bool -> bool;
+  reset : unit -> unit;
+  storage_bits : int;
+  kernel : kernel option;
+}
+
+let storage_kb t = float_of_int t.storage_bits /. 8192.0
 let hash_pc pc = pc lsr 1

@@ -11,11 +11,49 @@
     tests, their internals) in their own modules: {!Bimodal}, {!Gshare},
     {!Gas}, {!Hybrid}, {!Ltage}, {!Perfect}. *)
 
+(** Flattened mirror of a table-indexed predictor for the replay hot loop:
+    raw counter bytes, index masks and the (shared, live) history cell, so
+    the simulator can advance the predictor inline instead of through a
+    closure call per branch. A kernel aliases the predictor's state — it is
+    an alternative view, not a copy — and its advance must reproduce
+    [on_branch] decision-for-decision and state-for-state (the golden
+    replay-equivalence tests enforce this). Predictors with no flat form
+    (perfect, L-TAGE, perceptron, ...) simply provide no kernel and are
+    driven through the closure. *)
+type kernel =
+  | Bimodal_k of { counters : Bytes.t; mask : int }
+  | Gshare_k of {
+      counters : Bytes.t;
+      mask : int;
+      history : int ref;
+      history_mask : int;
+    }
+  | Gas_k of {
+      counters : Bytes.t;
+      mask : int;
+      history : int ref;
+      history_mask : int;
+      addr_mask : int;
+      history_bits : int;
+    }
+  | Hybrid_k of {
+      gas : Bytes.t;
+      gas_mask : int;
+      gas_index_mask : int;
+      bim : Bytes.t;
+      bim_mask : int;
+      cho : Bytes.t;
+      cho_mask : int;
+      history : int ref;
+      history_mask : int;
+    }
+
 type t = {
   name : string;
   on_branch : pc:int -> taken:bool -> bool;  (** true = predicted correctly *)
   reset : unit -> unit;
   storage_bits : int;  (** hardware budget, for reporting *)
+  kernel : kernel option;  (** flat fast-path view, when one exists *)
 }
 
 val storage_kb : t -> float
@@ -38,6 +76,10 @@ module Counter_table : sig
 
   val get : table -> int -> int
   val reset : table -> unit
+
+  val raw : table -> Bytes.t * int
+  (** [(counters, index_mask)] — the live storage, for building {!kernel}
+      views. *)
 end
 
 val hash_pc : int -> int

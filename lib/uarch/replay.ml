@@ -1,0 +1,14 @@
+(* Facade over the compiled-plan machinery in {!Pipeline}; the
+   implementation lives there because the plan bakes in Pipeline's config
+   and counts types. *)
+
+type plan = Pipeline.plan
+
+let compile = Pipeline.compile
+let run = Pipeline.replay
+let with_config = Pipeline.plan_with_config
+let config = Pipeline.plan_config
+let trace = Pipeline.plan_trace
+let blocks = Pipeline.plan_blocks
+let mem_events = Pipeline.plan_mem_events
+let words = Pipeline.plan_words

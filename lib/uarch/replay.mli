@@ -1,0 +1,36 @@
+(** Compiled replay plans.
+
+    Interferometry simulates one dynamic trace under hundreds of placements.
+    {!compile} hoists every placement-invariant quantity — static block
+    costs, memory-op spans with pre-resolved overlap factors, pre-decoded
+    terminators — into flat arrays once; {!run} then replays the trace under
+    a placement with no per-event allocation or variant matching, producing
+    bit-identical {!Pipeline.counts} to {!Pipeline.run_unoptimized}.
+
+    Plans are immutable and hold no simulation state, so a single plan can
+    be shared across domains (e.g. `pi_campaign` workers). *)
+
+type plan = Pipeline.plan
+
+val compile : Pipeline.config -> Pi_isa.Trace.t -> plan
+(** One-time O(trace) compilation of the placement-invariant work. *)
+
+val run : ?warmup_blocks:int -> plan -> Pi_layout.Placement.t -> Pipeline.counts
+(** Replay under one placement; bit-identical to the legacy interpreter. *)
+
+val with_config : plan -> Pipeline.config -> plan
+(** Rebind to a new machine config, reusing the compiled arrays when only
+    replay-time parameters (predictors, cache geometries, most penalties)
+    changed — the predictor-sweep fast path. Recompiles otherwise. *)
+
+val config : plan -> Pipeline.config
+val trace : plan -> Pi_isa.Trace.t
+
+val blocks : plan -> int
+(** Dynamic blocks replayed per {!run}. *)
+
+val mem_events : plan -> int
+(** Dynamic memory events replayed per {!run}. *)
+
+val words : plan -> int
+(** Approximate heap footprint of the plan arrays, in machine words. *)

@@ -91,14 +91,17 @@ type study = {
   ltage_error_percent : float;
 }
 
-let simulate ~warmup_blocks base trace placement name make =
+let simulate ~warmup_blocks base plan placement name make =
   let config = Machine.with_predictor base ~name make in
   let config = if name = "perfect" then { config with Pipeline.perfect_btb = true } else config in
-  let counts = Pipeline.run ~warmup_blocks config trace placement in
+  (* Swapping the predictor never invalidates the compiled arrays, so this
+     rebind is free: one compile serves the whole ~150-config study. *)
+  let counts = Replay.run ~warmup_blocks (Replay.with_config plan config) placement in
   { config_name = name; mpki = Pipeline.mpki counts; cpi = Pipeline.cpi counts }
 
 let run_study ?(base = Machine.xeon_e5440) ?(warmup_blocks = 0) ~benchmark trace placement =
-  let simulate = simulate ~warmup_blocks base trace placement in
+  let plan = Replay.compile base trace in
+  let simulate = simulate ~warmup_blocks base plan placement in
   let points =
     configurations ()
     |> List.map (fun (name, make) -> simulate name make)

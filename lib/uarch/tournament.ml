@@ -45,4 +45,5 @@ let create ?(local_bht_log2 = 10) ?(local_history_bits = 10) ?(global_entries_lo
       + ((1 lsl local_history_bits) * 2)
       + ((1 lsl global_entries_log2) * 2)
       + ((1 lsl chooser_entries_log2) * 2);
+    kernel = None;
   }

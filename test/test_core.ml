@@ -249,6 +249,55 @@ let test_csv_round_trip_refit () =
         observations);
   Sys.remove path
 
+(* ---------------- Knobs (environment configuration) ---------------- *)
+
+let test_knobs_parse_int () =
+  let module K = Interferometry.Knobs in
+  let check_case label raw expect_value expect_warned =
+    let value, warning = K.parse_int ~name:"PI_TEST" ~default:7 raw in
+    Alcotest.(check int) (label ^ ": value") expect_value value;
+    Alcotest.(check bool) (label ^ ": warned") expect_warned (warning <> None)
+  in
+  check_case "unset" None 7 false;
+  check_case "valid" (Some "12") 12 false;
+  check_case "whitespace tolerated" (Some " 3 ") 3 false;
+  check_case "zero rejected" (Some "0") 7 true;
+  check_case "negative rejected" (Some "-4") 7 true;
+  check_case "garbage rejected" (Some "fast") 7 true;
+  check_case "float rejected" (Some "2.5") 7 true;
+  (* The warning must name the knob and the fallback so the run header is
+     actionable. *)
+  match K.parse_int ~name:"PI_JOBS" ~default:9 (Some "-1") with
+  | _, Some msg ->
+      Alcotest.(check bool) "names knob" true
+        (String.length msg >= 7 && String.sub msg 0 7 = "PI_JOBS");
+      let contains affix =
+        let n = String.length affix in
+        let rec find i =
+          i + n <= String.length msg && (String.sub msg i n = affix || find (i + 1))
+        in
+        find 0
+      in
+      Alcotest.(check bool) "mentions default" true (contains "default 9")
+  | _, None -> Alcotest.fail "expected a warning"
+
+let test_knobs_env_int_warn_sink () =
+  let module K = Interferometry.Knobs in
+  let warned = ref [] in
+  Unix.putenv "PI_KNOB_TEST" "banana";
+  let v = K.env_int ~warn:(fun m -> warned := m :: !warned) "PI_KNOB_TEST" 5 in
+  Unix.putenv "PI_KNOB_TEST" "11";
+  let v' = K.env_int ~warn:(fun m -> warned := m :: !warned) "PI_KNOB_TEST" 5 in
+  Alcotest.(check int) "fallback on garbage" 5 v;
+  Alcotest.(check int) "valid value" 11 v';
+  Alcotest.(check int) "exactly one warning" 1 (List.length !warned)
+
+let test_knobs_describe () =
+  let module K = Interferometry.Knobs in
+  Alcotest.(check string) "render" "PI_SCALE=8 PI_SEED=1"
+    (K.describe [ ("PI_SCALE", 8); ("PI_SEED", 1) ]);
+  Alcotest.(check string) "empty" "" (K.describe [])
+
 let suite =
   [
     ( "core.experiment",
@@ -291,5 +340,11 @@ let suite =
     ( "core.dataset_io",
       [
         Alcotest.test_case "CSV round-trip refit" `Quick test_csv_round_trip_refit;
+      ] );
+    ( "core.knobs",
+      [
+        Alcotest.test_case "parse_int" `Quick test_knobs_parse_int;
+        Alcotest.test_case "env_int warn sink" `Quick test_knobs_env_int_warn_sink;
+        Alcotest.test_case "describe" `Quick test_knobs_describe;
       ] );
   ]

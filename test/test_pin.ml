@@ -111,6 +111,60 @@ let test_per_branch_totals () =
     (fun (e, m) -> Alcotest.(check bool) "mispredicts <= executions" true (m <= e))
     per
 
+let predictors_under_test =
+  [
+    (fun () -> Pi_uarch.Bimodal.create ~entries_log2:12);
+    (fun () -> Pi_uarch.Gshare.create ~entries_log2:12 ~history_bits:8);
+    Pi_uarch.Hybrid.xeon_like;
+  ]
+
+let results_equal (a : Bp_sim.result list) (b : Bp_sim.result list) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Bp_sim.result) (y : Bp_sim.result) ->
+         x.Bp_sim.predictor_name = y.Bp_sim.predictor_name
+         && x.Bp_sim.branches = y.Bp_sim.branches
+         && x.Bp_sim.mispredicted = y.Bp_sim.mispredicted
+         && x.Bp_sim.instructions = y.Bp_sim.instructions
+         && x.Bp_sim.mpki = y.Bp_sim.mpki)
+       a b
+
+let test_precompiled_stream_equivalence () =
+  let p, trace = prepared_example () in
+  let code = (Placement.make p ~seed:6).Placement.code in
+  let stream = Bp_sim.compile_stream trace in
+  Alcotest.(check bool) "stream non-empty" true (Bp_sim.stream_length stream > 100);
+  Alcotest.(check bool) "stream = per-call compile" true
+    (results_equal
+       (Bp_sim.run ~stream trace code predictors_under_test)
+       (Bp_sim.run trace code predictors_under_test));
+  (* Warmup must be applied at the same stream offsets either way. *)
+  Alcotest.(check bool) "with warmup too" true
+    (results_equal
+       (Bp_sim.run ~warmup_branches:1_000 ~stream trace code predictors_under_test)
+       (Bp_sim.run ~warmup_branches:1_000 trace code predictors_under_test))
+
+let test_batched_equivalence () =
+  let p, trace = prepared_example () in
+  let code = (Placement.make p ~seed:6).Placement.code in
+  let stream = Bp_sim.compile_stream trace in
+  Alcotest.(check bool) "batched = per-predictor passes" true
+    (results_equal
+       (Bp_sim.run ~stream ~batched:true trace code predictors_under_test)
+       (Bp_sim.run ~stream ~batched:false trace code predictors_under_test));
+  Alcotest.(check bool) "batched with warmup" true
+    (results_equal
+       (Bp_sim.run ~warmup_branches:500 ~batched:true trace code predictors_under_test)
+       (Bp_sim.run ~warmup_branches:500 trace code predictors_under_test))
+
+let test_per_branch_stream_equivalence () =
+  let p, trace = prepared_example () in
+  let code = (Placement.make p ~seed:3).Placement.code in
+  let stream = Bp_sim.compile_stream trace in
+  Alcotest.(check bool) "per-branch profile unchanged by stream reuse" true
+    (Bp_sim.per_branch_mispredicts ~stream trace code Pi_uarch.Hybrid.xeon_like
+    = Bp_sim.per_branch_mispredicts trace code Pi_uarch.Hybrid.xeon_like)
+
 let suite =
   [
     ( "pin.bp_sim",
@@ -122,5 +176,10 @@ let suite =
         Alcotest.test_case "layout sensitivity" `Quick test_pin_layout_sensitivity;
         Alcotest.test_case "warmup window" `Quick test_pin_warmup_reduces_counts;
         Alcotest.test_case "per-branch totals" `Quick test_per_branch_totals;
+        Alcotest.test_case "precompiled stream equivalence" `Quick
+          test_precompiled_stream_equivalence;
+        Alcotest.test_case "batched mode equivalence" `Quick test_batched_equivalence;
+        Alcotest.test_case "per-branch stream equivalence" `Quick
+          test_per_branch_stream_equivalence;
       ] );
   ]

@@ -86,6 +86,57 @@ let test_cache_probe_pure () =
   ignore (Cache.access c 0x0);
   Alcotest.(check bool) "probe warm" true (Cache.probe c 0x0)
 
+let test_cache_fill_silent () =
+  let c = Cache.create small_geometry in
+  Cache.fill c 0x0;
+  Alcotest.(check int) "fill counts no access" 0 (Cache.accesses c);
+  Alcotest.(check int) "fill counts no miss" 0 (Cache.misses c);
+  Alcotest.(check bool) "line installed" true (Cache.probe c 0x0)
+
+let test_cache_fill_on_hit_promotes () =
+  let c = Cache.create small_geometry in
+  (* Set 0, 2 ways: A=0x0, B=0x200, C=0x400. After A,B the LRU is A. *)
+  ignore (Cache.access c 0x0);
+  ignore (Cache.access c 0x200);
+  (* Prefetch-fill A again: already resident, so the fill must PROMOTE it
+     to MRU (making B the victim), not install a duplicate or no-op. *)
+  Cache.fill c 0x0;
+  Cache.fill c 0x400;
+  Alcotest.(check bool) "promoted line survives" true (Cache.probe c 0x0);
+  Alcotest.(check bool) "LRU line evicted" false (Cache.probe c 0x200);
+  Alcotest.(check bool) "filled line resident" true (Cache.probe c 0x400)
+
+let test_cache_touch_counts_and_promotes () =
+  let c = Cache.create small_geometry in
+  ignore (Cache.access c 0x0);
+  ignore (Cache.access c 0x200);
+  Cache.touch c 0x0;
+  (* touch is an access: it counts and updates recency. *)
+  Alcotest.(check int) "touch counted" 3 (Cache.accesses c);
+  ignore (Cache.access c 0x400);
+  Alcotest.(check bool) "touched line is MRU" true (Cache.probe c 0x0);
+  Alcotest.(check bool) "untouched line evicted" false (Cache.probe c 0x200)
+
+(* The replay fetch loop inlines an MRU-hit fast path over [Cache.hot];
+   its contract: way-0 tag match <=> a hit that needs no LRU movement. *)
+let test_cache_hot_mru_fast_path () =
+  let c = Cache.create small_geometry in
+  let tags, set_mask, assoc, line_shift = Cache.hot c in
+  let mru_hit addr =
+    let line = addr lsr line_shift in
+    tags.((line land set_mask) * assoc) = line
+  in
+  Alcotest.(check bool) "cold: no MRU hit" false (mru_hit 0x0);
+  ignore (Cache.access c 0x0);
+  Alcotest.(check bool) "MRU after access" true (mru_hit 0x0);
+  ignore (Cache.access c 0x200);
+  Alcotest.(check bool) "demoted line not MRU" false (mru_hit 0x0);
+  Alcotest.(check bool) "but still resident" true (Cache.probe c 0x0);
+  let before = Cache.accesses c in
+  Cache.count_hit c;
+  Alcotest.(check int) "count_hit increments accesses" (before + 1) (Cache.accesses c);
+  Alcotest.(check int) "count_hit adds no miss" 2 (Cache.misses c)
+
 let test_cache_access_range () =
   let c = Cache.create small_geometry in
   let misses = Cache.access_range c ~addr:0x10 ~bytes:100 in
@@ -294,6 +345,11 @@ let suite =
         Alcotest.test_case "conflict misses" `Quick test_cache_conflict_misses;
         Alcotest.test_case "LRU order" `Quick test_cache_lru_order;
         Alcotest.test_case "probe is pure" `Quick test_cache_probe_pure;
+        Alcotest.test_case "fill is silent" `Quick test_cache_fill_silent;
+        Alcotest.test_case "fill on hit promotes" `Quick test_cache_fill_on_hit_promotes;
+        Alcotest.test_case "touch counts and promotes" `Quick
+          test_cache_touch_counts_and_promotes;
+        Alcotest.test_case "hot MRU fast path" `Quick test_cache_hot_mru_fast_path;
         Alcotest.test_case "access range" `Quick test_cache_access_range;
         Alcotest.test_case "reset" `Quick test_cache_reset;
       ] );

@@ -2,7 +2,7 @@
 
 CLI = dune exec bin/interferometry_cli.exe --
 
-.PHONY: all check test build campaign-smoke perf perf-smoke clean
+.PHONY: all check test build campaign-smoke perf perf-smoke obs-smoke clean
 
 all: build
 
@@ -16,6 +16,7 @@ test: check
 check:
 	dune build && dune runtest
 	$(MAKE) perf-smoke
+	$(MAKE) obs-smoke
 
 # Full pipeline microbenchmark; writes BENCH_pipeline.json.
 perf:
@@ -24,6 +25,17 @@ perf:
 # Tiny configuration of the same benchmark: correctness gate, not a timing.
 perf-smoke:
 	PI_PERF_SCALE=2 PI_PERF_LAYOUTS=2 PI_PERF_OUT=- dune exec bench/perf.exe
+
+# Tiny cold campaign with both observability artifacts; asserts the metric
+# scrape accounts for every computed job and that a trace was written.
+obs-smoke:
+	rm -rf _obs-smoke && mkdir -p _obs-smoke
+	$(CLI) campaign --quick --bench 400.perlbench --layouts 4 --jobs 2 \
+	  --manifest _obs-smoke/manifest.json \
+	  --metrics-out _obs-smoke/metrics.prom --trace-out _obs-smoke/trace.json
+	grep -q '^pi_obs_observations_total 4$$' _obs-smoke/metrics.prom
+	grep -q '"traceEvents"' _obs-smoke/trace.json
+	@echo "obs-smoke OK: scrape accounts for all 4 jobs, trace written"
 
 # A 2-benchmark quick-config campaign exercising the parallel scheduler,
 # the observation cache and the telemetry stream end to end. Run it twice:
@@ -35,4 +47,4 @@ campaign-smoke:
 
 clean:
 	dune clean
-	rm -rf _campaign-cache
+	rm -rf _campaign-cache _obs-smoke

@@ -5,11 +5,14 @@
                                  significance fig7 fig8 headline ablations micro
 
    Environment knobs:
-     PI_LAYOUTS    reorderings per benchmark     (default 40; paper: 100+)
-     PI_SCALE      workload scale                (default 8)
-     PI_SEED       master seed                   (default 1)
-     PI_JOBS       campaign worker domains       (default: recommended count)
-     PI_CACHE_DIR  campaign observation cache    (default: no cache)
+     PI_LAYOUTS     reorderings per benchmark     (default 40; paper: 100+)
+     PI_SCALE       workload scale                (default 8)
+     PI_SEED        master seed                   (default 1)
+     PI_JOBS        campaign worker domains       (default: recommended count)
+     PI_CACHE_DIR   campaign observation cache    (default: no cache)
+     PI_LOG         log verbosity                 (default info here; quiet mutes)
+     PI_TRACE_OUT   Chrome trace artifact         (default BENCH_trace.json; - skips)
+     PI_METRICS_OUT metrics scrape artifact       (default BENCH_metrics.prom; - skips)
 
    The run starts with a parallel campaign over the 2006 suite (the
    `campaign` artifact): every dataset the figures need is computed on
@@ -31,6 +34,11 @@ module Linreg = Pi_stats.Linreg
 
 let env_int = Interferometry.Knobs.env_int
 
+(* The harness narrates by default; PI_LOG=quiet (or warn) mutes the
+   narration without touching the figures on stdout. *)
+let () =
+  if Sys.getenv_opt "PI_LOG" = None then Pi_obs.Log.set_level (Some Pi_obs.Log.Info)
+
 let n_layouts = env_int "PI_LAYOUTS" 40
 let scale = env_int "PI_SCALE" 8
 let master_seed = env_int "PI_SEED" 1
@@ -42,9 +50,9 @@ let section title expectation =
   Printf.printf "  [paper: %s]\n\n%!" expectation
 
 let timed name f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Pi_obs.Clock.now () in
   let result = f () in
-  Printf.printf "  (%s took %.1fs)\n%!" name (Unix.gettimeofday () -. t0);
+  Printf.printf "  (%s took %.1fs)\n%!" name (Pi_obs.Clock.now () -. t0);
   result
 
 (* Datasets are shared between figures; prepare/observe each benchmark once. *)
@@ -708,29 +716,47 @@ let all_experiments =
     ("ablations", ablations);
   ]
 
+(* Observability artifacts: spans cover every experiment (and, through the
+   library instrumentation, every prepare/replay/fit inside them); the
+   trace and a final metrics scrape are written next to the figures. *)
+let trace_out = Option.value ~default:"BENCH_trace.json" (Sys.getenv_opt "PI_TRACE_OUT")
+let metrics_out =
+  Option.value ~default:"BENCH_metrics.prom" (Sys.getenv_opt "PI_METRICS_OUT")
+
+let run_experiment name f = Pi_obs.Span.with_ ~name ~cat:"bench" f
+
 let () =
   let requested = List.tl (Array.to_list Sys.argv) in
+  if trace_out <> "-" then Pi_obs.Span.set_enabled true;
   Printf.printf
     "Program Interferometry reproduction — %d reorderings/benchmark, scale %d, seed %d\n"
     n_layouts scale master_seed;
-  Printf.printf "knobs: %s PI_JOBS=%s PI_CACHE_DIR=%s\n"
+  Pi_obs.Log.info "knobs: %s PI_JOBS=%s PI_CACHE_DIR=%s"
     (Interferometry.Knobs.describe
        [ ("PI_LAYOUTS", n_layouts); ("PI_SCALE", scale); ("PI_SEED", master_seed) ])
     (match Sys.getenv_opt "PI_JOBS" with
     | Some _ -> string_of_int (env_int "PI_JOBS" (Pi_campaign.Scheduler.default_jobs ()))
     | None -> Printf.sprintf "%d(auto)" (Pi_campaign.Scheduler.default_jobs ()))
     (Option.value ~default:"(none)" (Sys.getenv_opt "PI_CACHE_DIR"));
-  let t0 = Unix.gettimeofday () in
+  let t0 = Pi_obs.Clock.now () in
   (match requested with
-  | [] -> List.iter (fun (_, f) -> f ()) all_experiments
+  | [] -> List.iter (fun (name, f) -> run_experiment name f) all_experiments
   | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name all_experiments with
-          | Some f -> f ()
-          | None when name = "micro" -> micro ()
+          | Some f -> run_experiment name f
+          | None when name = "micro" -> run_experiment "micro" micro
           | None ->
               Printf.eprintf "unknown experiment %S; known: %s micro\n" name
                 (String.concat " " (List.map fst all_experiments)))
         names);
-  Printf.printf "\ntotal time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal time: %.1fs\n" (Pi_obs.Clock.now () -. t0);
+  if trace_out <> "-" then begin
+    Pi_obs.Span.save ~path:trace_out;
+    Pi_obs.Log.info "trace: %s (load in Perfetto, see docs/OBSERVABILITY.md)" trace_out
+  end;
+  if metrics_out <> "-" then begin
+    Pi_obs.Metrics.save_prometheus ~path:metrics_out;
+    Pi_obs.Log.info "metrics: %s" metrics_out
+  end

@@ -9,6 +9,9 @@
    smoke. *)
 
 let () =
+  (* Tracing stays on while timing: the published perf numbers must include
+     the instrumentation overhead they are gating (docs/PERF.md). *)
+  Pi_obs.Span.set_enabled true;
   let scale = Interferometry.Knobs.env_int "PI_PERF_SCALE" 4 in
   let layouts = Interferometry.Knobs.env_int "PI_PERF_LAYOUTS" 12 in
   let bench =

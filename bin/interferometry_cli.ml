@@ -12,12 +12,62 @@
      interferometry export  <bench> runs.csv         (CSV persistence)
      interferometry refit   <bench> runs.csv
      interferometry campaign --suite 2006 --jobs 4   (parallel suite campaign)
+     interferometry stats                            (metrics scrape pretty-print)
 
-   Run `dune exec bin/interferometry_cli.exe -- --help` for details. *)
+   `measure`, `sweep` and `campaign` also accept --metrics-out FILE and
+   --trace-out FILE.json (Prometheus scrape / Chrome trace, see
+   docs/OBSERVABILITY.md). Run `dune exec bin/interferometry_cli.exe -- --help`
+   for details. *)
 
 open Cmdliner
 module E = Interferometry.Experiment
 module Linreg = Pi_stats.Linreg
+module Metrics = Pi_obs.Metrics
+
+(* --metrics-out / --trace-out: shared observability flags. Tracing is
+   enabled up front (spans are off by default and cost one atomic load);
+   both artifacts are dumped when the wrapped command body returns,
+   including the failure paths that end in a nonzero exit. *)
+
+let metrics_out_term =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write a metrics scrape to $(docv) on exit: Prometheus text \
+                 exposition format, or its JSON twin when $(docv) ends in \
+                 $(b,.json).")
+
+let trace_out_term =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE.json"
+           ~doc:"Enable stage tracing and write the spans as Chrome \
+                 trace-event JSON (loadable in Perfetto) on exit.")
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_metrics path =
+  if Filename.check_suffix path ".json" then begin
+    mkdir_p (Filename.dirname path);
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc
+          (Pi_campaign.Telemetry.to_string
+             (Pi_campaign.Telemetry.metrics_json (Metrics.scrape ())));
+        output_char oc '\n')
+  end
+  else Metrics.save_prometheus ~path
+
+let with_obs ~metrics_out ~trace_out f =
+  if Option.is_some trace_out then Pi_obs.Span.set_enabled true;
+  let result = f () in
+  Option.iter (fun path -> Pi_obs.Span.save ~path) trace_out;
+  Option.iter write_metrics metrics_out;
+  result
 
 let bench_arg =
   let parse name =
@@ -75,7 +125,8 @@ let trace_cmd =
     Term.(const run $ bench_pos $ seed_term $ scale_term)
 
 let measure_cmd =
-  let run bench layouts seed scale heap_random =
+  let run bench layouts seed scale heap_random metrics_out trace_out =
+    with_obs ~metrics_out ~trace_out @@ fun () ->
     let config = config_of ~seed ~scale ~heap_random in
     let dataset = E.run ~config bench ~n_layouts:layouts in
     Printf.printf "%-6s %10s %10s %10s %10s %10s\n" "seed" "CPI" "MPKI" "L1I" "L1D" "L2";
@@ -95,7 +146,8 @@ let measure_cmd =
   in
   Cmd.v
     (Cmd.info "measure" ~doc:"Measure a benchmark over N reorderings (counter protocol).")
-    Term.(const run $ bench_pos $ layouts_term $ seed_term $ scale_term $ heap_random_term)
+    Term.(const run $ bench_pos $ layouts_term $ seed_term $ scale_term $ heap_random_term
+          $ metrics_out_term $ trace_out_term)
 
 let model_cmd =
   let run bench layouts seed scale heap_random =
@@ -285,7 +337,8 @@ let report_cmd =
     Term.(const run $ bench_pos $ layouts_term $ seed_term $ scale_term $ heap_random_term $ path_term)
 
 let sweep_cmd =
-  let run bench seed scale =
+  let run bench seed scale metrics_out trace_out =
+    with_obs ~metrics_out ~trace_out @@ fun () ->
     let config = config_of ~seed ~scale ~heap_random:false in
     let prepared = E.prepare ~config bench in
     let placement = Pi_layout.Placement.natural prepared.E.program in
@@ -305,7 +358,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Section-3 linearity study: 145 predictor configurations.")
-    Term.(const run $ bench_pos $ seed_term $ scale_term)
+    Term.(const run $ bench_pos $ seed_term $ scale_term $ metrics_out_term $ trace_out_term)
 
 let campaign_cmd =
   let suite_term =
@@ -357,7 +410,7 @@ let campaign_cmd =
          & info [ "scale" ] ~docv:"K" ~doc:"Workload scale (trip multiplier).")
   in
   let run suite benches jobs layouts seed scale heap_random quick cache_dir events_path
-      manifest_path deadline =
+      manifest_path deadline metrics_out trace_out =
     let benches =
       match benches with
       | _ :: _ -> Ok benches
@@ -386,6 +439,10 @@ let campaign_cmd =
         Printf.eprintf "%s\n" msg;
         exit 2
     | Ok benches ->
+        (* Dump metrics/trace before deciding the exit status: a campaign
+           that fails some jobs must still leave its artifacts behind. *)
+        let ok =
+          with_obs ~metrics_out ~trace_out @@ fun () ->
         let base = if quick then E.quick_config else E.default_config in
         let config =
           {
@@ -420,7 +477,9 @@ let campaign_cmd =
             Printf.printf "manifest: %s\n" path)
           manifest_path;
         Option.iter (fun path -> Printf.printf "events: %s\n" path) events_path;
-        if not (Pi_campaign.Campaign.succeeded result) then begin
+        Pi_campaign.Campaign.succeeded result
+        in
+        if not ok then begin
           Printf.eprintf "campaign finished with failed jobs (see manifest)\n";
           exit 3
         end
@@ -442,7 +501,63 @@ let campaign_cmd =
          ])
     Term.(const run $ suite_term $ benches_term $ jobs_term $ layouts_term $ seed_term
           $ campaign_scale_term $ heap_random_term $ quick_term $ cache_dir_term
-          $ events_term $ manifest_term $ deadline_term)
+          $ events_term $ manifest_term $ deadline_term $ metrics_out_term $ trace_out_term)
+
+let stats_cmd =
+  let run bench layouts seed scale =
+    Pi_obs.Span.set_enabled true;
+    let config = { E.quick_config with E.master_seed = seed; scale } in
+    let _ = E.run ~config bench ~n_layouts:layouts in
+    let ident (s : Metrics.sample) =
+      match s.Metrics.labels with
+      | [] -> s.Metrics.name
+      | labels ->
+          Printf.sprintf "%s{%s}" s.Metrics.name
+            (String.concat ","
+               (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels))
+    in
+    Printf.printf "metrics after a quick %s run (%d layouts, scale %d):\n\n"
+      bench.Pi_workloads.Bench.name layouts scale;
+    List.iter
+      (fun (s : Metrics.sample) ->
+        match s.Metrics.value with
+        | Metrics.Counter n -> Printf.printf "%-48s %d\n" (ident s) n
+        | Metrics.Gauge v -> Printf.printf "%-48s %g\n" (ident s) v
+        | Metrics.Histogram h ->
+            let q p = Metrics.quantile h p in
+            Printf.printf "%-48s count %d  sum %.4fs  p50 %.4fs  p90 %.4fs  p99 %.4fs\n"
+              (ident s) h.Metrics.count h.Metrics.sum (q 0.5) (q 0.9) (q 0.99))
+      (Metrics.scrape ());
+    Printf.printf "\n%d spans recorded (rerun with --trace-out to keep them)\n"
+      (List.length (Pi_obs.Span.events ()))
+  in
+  let bench_term =
+    Arg.(
+      value
+      & opt bench_arg (Pi_workloads.Spec.find "400.perlbench")
+      & info [ "bench" ] ~docv:"BENCHMARK" ~doc:"Benchmark to exercise.")
+  in
+  let stats_layouts_term =
+    Arg.(value & opt int 8 & info [ "layouts"; "n" ] ~docv:"N"
+           ~doc:"Layouts measured before the scrape.")
+  in
+  let stats_scale_term =
+    Arg.(value & opt int 2 & info [ "scale" ] ~docv:"K" ~doc:"Workload scale.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Exercise the stack once and pretty-print the metrics scrape."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs one small quick-config measurement so every layer's \
+              instruments have data, then prints each registered metric: \
+              counters and gauges by value, histograms with count, sum and \
+              estimated p50/p90/p99 quantiles. See docs/OBSERVABILITY.md for \
+              the metric catalogue.";
+         ])
+    Term.(const run $ bench_term $ stats_layouts_term $ seed_term $ stats_scale_term)
 
 let perf_cmd =
   let run bench scale layouts out =
@@ -501,5 +616,5 @@ let () =
        [
          list_cmd; trace_cmd; measure_cmd; model_cmd; blame_cmd; predict_cmd;
          sweep_cmd; cache_cmd; export_cmd; refit_cmd; report_cmd; phases_cmd;
-         campaign_cmd; perf_cmd;
+         campaign_cmd; perf_cmd; stats_cmd;
        ]))

@@ -2,6 +2,15 @@ module E = Interferometry.Experiment
 module Bench = Pi_workloads.Bench
 module Linreg = Pi_stats.Linreg
 module J = Telemetry
+module Span = Pi_obs.Span
+
+let m_cache_hits =
+  Pi_obs.Metrics.counter ~help:"observation-cache probes answered from disk"
+    "pi_obs_obs_cache_hits_total"
+
+let m_cache_misses =
+  Pi_obs.Metrics.counter ~help:"observation-cache probes that became compute jobs"
+    "pi_obs_obs_cache_misses_total"
 
 type bench_outcome = {
   bench : Bench.t;
@@ -47,7 +56,11 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
     | None -> Scheduler.default_jobs ()
   in
   let label = match label with Some l -> l | None -> suite_label benches in
+  Span.with_ ~name:"campaign" ~args:[ ("label", label) ] @@ fun () ->
+  (* started_at is a wall-clock timestamp (it names a moment for humans);
+     wall_seconds is a duration and comes from the monotonic clock. *)
   let started_at = Unix.gettimeofday () in
+  let t0 = Pi_obs.Clock.now () in
   let digest = Obs_cache.config_digest config in
   let cache = Option.map (fun dir -> Obs_cache.create ~dir) cache_dir in
   let bench_arr = Array.of_list benches in
@@ -65,6 +78,8 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
 
   (* Phase 1: build + trace every benchmark, in parallel. *)
   let prepared =
+    Span.with_ ~name:"campaign.prepare" ~args:[ ("label", label) ]
+    @@ fun () ->
     Scheduler.map ~jobs ?deadline
       ~on_start:(fun i ~pending:_ ->
         J.emit events ~event:"prepare_started" [ ("bench", J.String (name i)) ])
@@ -86,6 +101,8 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
 
   (* Phase 2: probe the observation cache; hits never reach the queue. *)
   let cached_obs =
+    Span.with_ ~name:"campaign.cache" ~args:[ ("label", label) ]
+    @@ fun () ->
     Array.init n_benches (fun i ->
         match (cache, prepared.(i).Scheduler.result) with
         | Some cache, Ok _ ->
@@ -94,6 +111,8 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
               |> List.filter (fun (o : E.observation) ->
                      o.E.layout_seed >= 1 && o.E.layout_seed <= n_layouts)
             in
+            Pi_obs.Metrics.add m_cache_hits (List.length hits);
+            Pi_obs.Metrics.add m_cache_misses (n_layouts - List.length hits);
             List.iter
               (fun (o : E.observation) ->
                 J.emit events ~event:"job_cached"
@@ -101,6 +120,17 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
               hits;
             hits
         | _ -> [])
+  in
+  let cache_hits = List.length (List.concat (Array.to_list cached_obs)) in
+  let cache_misses =
+    if Option.is_none cache then 0
+    else
+      Array.to_list prepared
+      |> List.mapi (fun i (c : _ Scheduler.completion) ->
+             match c.Scheduler.result with
+             | Ok _ -> n_layouts - List.length cached_obs.(i)
+             | Error _ -> 0)
+      |> List.fold_left ( + ) 0
   in
 
   (* Phase 3: one observation job per (benchmark, seed) not yet on disk. *)
@@ -125,6 +155,8 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
     [ ("bench", J.String (name bench_idx)); ("seed", J.Int seed) ]
   in
   let completions =
+    Span.with_ ~name:"campaign.observe" ~args:[ ("label", label) ]
+    @@ fun () ->
     Scheduler.map ~jobs ?deadline
       ~on_start:(fun i ~pending ->
         J.emit events ~event:"job_started" (job_field i @ [ ("queue_depth", J.Int pending) ]))
@@ -153,6 +185,8 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
   (* Phase 4: assemble per-benchmark datasets by seed — completion order is
      irrelevant, which is what makes the parallel path bit-identical. *)
   let outcomes =
+    Span.with_ ~name:"campaign.assemble" ~args:[ ("label", label) ]
+    @@ fun () ->
     List.init n_benches (fun i ->
         let bench = bench_arr.(i) in
         let suite = Bench.suite_name bench.Bench.suite in
@@ -178,17 +212,28 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
                   failures;
                   prepare_seconds = prepared.(i).Scheduler.elapsed;
                   observe_seconds = 0.0;
+                  wall_seconds = prepared.(i).Scheduler.elapsed;
+                  cpu_seconds = prepared.(i).Scheduler.elapsed;
                   prepare_error = Some e.Scheduler.message;
                   fit = None;
                 };
             }
         | Ok prep ->
             let computed_ok = ref [] and failures = ref [] and observe_seconds = ref 0.0 in
+            (* This bench's activity window: from the start of its prepare
+               task to the finish of its last observation job. Under
+               parallelism the window (wall) is shorter than the summed
+               task time (cpu); the ratio is this bench's effective
+               parallelism in the manifest. *)
+            let first_started = ref prepared.(i).Scheduler.started in
+            let last_finished = ref prepared.(i).Scheduler.finished in
             Array.iter
               (fun (c : _ Scheduler.completion) ->
                 let bench_idx, seed = job_specs.(c.Scheduler.index) in
                 if bench_idx = i then begin
                   observe_seconds := !observe_seconds +. c.Scheduler.elapsed;
+                  first_started := Float.min !first_started c.Scheduler.started;
+                  last_finished := Float.max !last_finished c.Scheduler.finished;
                   match c.Scheduler.result with
                   | Ok obs -> computed_ok := obs :: !computed_ok
                   | Error e ->
@@ -219,6 +264,8 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
                   failures = List.sort compare !failures;
                   prepare_seconds = prepared.(i).Scheduler.elapsed;
                   observe_seconds = !observe_seconds;
+                  wall_seconds = !last_finished -. !first_started;
+                  cpu_seconds = prepared.(i).Scheduler.elapsed +. !observe_seconds;
                   prepare_error = None;
                   fit = fit_of dataset;
                 };
@@ -233,11 +280,13 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
       config_digest = digest;
       cache_dir;
       started_at;
-      wall_seconds = Unix.gettimeofday () -. started_at;
+      wall_seconds = Pi_obs.Clock.now () -. t0;
       total_jobs = n_benches * n_layouts;
       computed_jobs = sum (fun e -> e.Manifest.computed);
       cached_jobs = sum (fun e -> e.Manifest.cached);
       failed_jobs = sum (fun e -> List.length e.Manifest.failures);
+      cache_hits;
+      cache_misses;
       benches = List.map (fun o -> o.entry) outcomes;
     }
   in

@@ -19,6 +19,8 @@ type bench_entry = {
   failures : job_failure list;
   prepare_seconds : float;
   observe_seconds : float;
+  wall_seconds : float;
+  cpu_seconds : float;
   prepare_error : string option;
   fit : fit option;
 }
@@ -35,6 +37,8 @@ type t = {
   computed_jobs : int;
   cached_jobs : int;
   failed_jobs : int;
+  cache_hits : int;
+  cache_misses : int;
   benches : bench_entry list;
 }
 
@@ -66,6 +70,8 @@ let bench_to_json (b : bench_entry) =
              b.failures) );
       ("prepare_seconds", J.Float b.prepare_seconds);
       ("observe_seconds", J.Float b.observe_seconds);
+      ("wall_seconds", J.Float b.wall_seconds);
+      ("cpu_seconds", J.Float b.cpu_seconds);
       ( "prepare_error",
         match b.prepare_error with None -> J.Null | Some e -> J.String e );
       ("fit", match b.fit with None -> J.Null | Some f -> fit_to_json f);
@@ -85,6 +91,8 @@ let to_json t =
       ("computed_jobs", J.Int t.computed_jobs);
       ("cached_jobs", J.Int t.cached_jobs);
       ("failed_jobs", J.Int t.failed_jobs);
+      ("cache_hits", J.Int t.cache_hits);
+      ("cache_misses", J.Int t.cache_misses);
       ("complete", J.Bool (complete t));
       ("benches", J.List (List.map bench_to_json t.benches));
     ]
@@ -100,8 +108,8 @@ let save t ~path =
 let summary_table t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf "%-16s %5s %8s %6s %6s %8s %10s %10s %8s\n" "benchmark" "n" "computed"
-       "cached" "failed" "r^2" "slope" "intercept" "secs");
+    (Printf.sprintf "%-16s %5s %8s %6s %6s %8s %10s %10s %8s %8s\n" "benchmark" "n" "computed"
+       "cached" "failed" "r^2" "slope" "intercept" "wall" "cpu");
   List.iter
     (fun b ->
       let fit_cols =
@@ -110,9 +118,9 @@ let summary_table t =
         | None -> Printf.sprintf "%8s %10s %10s" "-" "-" "-"
       in
       Buffer.add_string buf
-        (Printf.sprintf "%-16s %5d %8d %6d %6d %s %8.2f\n" b.bench b.requested b.computed
-           b.cached (List.length b.failures) fit_cols
-           (b.prepare_seconds +. b.observe_seconds)))
+        (Printf.sprintf "%-16s %5d %8d %6d %6d %s %8.2f %8.2f\n" b.bench b.requested
+           b.computed b.cached (List.length b.failures) fit_cols b.wall_seconds
+           b.cpu_seconds))
     t.benches;
   Buffer.add_string buf
     (Printf.sprintf

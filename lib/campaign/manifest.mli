@@ -27,6 +27,12 @@ type bench_entry = {
   failures : job_failure list;
   prepare_seconds : float;
   observe_seconds : float;  (** summed wall time of this bench's computed jobs *)
+  wall_seconds : float;
+      (** window from this bench's first task start to its last task finish
+          (monotonic); under parallelism this is smaller than [cpu_seconds] *)
+  cpu_seconds : float;
+      (** prepare plus summed job seconds — jobs are single-domain
+          CPU-bound, so per-task wall time approximates CPU time *)
   prepare_error : string option;
       (** when set, the benchmark never prepared and all its jobs failed *)
   fit : fit option;  (** [None] when too few observations survived to fit *)
@@ -44,6 +50,10 @@ type t = {
   computed_jobs : int;
   cached_jobs : int;
   failed_jobs : int;
+  cache_hits : int;  (** observation-cache probes answered from disk *)
+  cache_misses : int;
+      (** probes that missed and became compute jobs; 0 when no cache
+          directory was configured (nothing was probed) *)
   benches : bench_entry list;
 }
 

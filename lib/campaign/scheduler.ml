@@ -1,12 +1,34 @@
+module Clock = Pi_obs.Clock
+module Metrics = Pi_obs.Metrics
+
 type error = { message : string; backtrace : string }
 
 type 'a completion = {
   index : int;
   result : ('a, error) result;
   elapsed : float;
+  started : float;
+  finished : float;
 }
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* Scheduler instruments. Queue depth is a gauge sampled at every task
+   transition; per-task latency feeds a histogram whose quantiles the
+   `interferometry stats` scrape prints. *)
+let m_jobs_ok =
+  Metrics.counter ~help:"scheduler tasks completed, by status"
+    ~labels:[ ("status", "ok") ] "pi_obs_scheduler_jobs_total"
+
+let m_jobs_error =
+  Metrics.counter ~help:"scheduler tasks completed, by status"
+    ~labels:[ ("status", "error") ] "pi_obs_scheduler_jobs_total"
+
+let m_queue_depth =
+  Metrics.gauge ~help:"tasks not yet claimed by any worker" "pi_obs_scheduler_queue_depth"
+
+let m_job_seconds =
+  Metrics.histogram ~help:"per-task wall seconds (monotonic)" "pi_obs_scheduler_job_seconds"
 
 let map ?jobs ?deadline ?on_start ?on_finish f n =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
@@ -20,19 +42,21 @@ let map ?jobs ?deadline ?on_start ?on_finish f n =
     Mutex.protect callback_mutex (fun () -> callback ~pending:(pending ()))
   in
   let run_task i =
+    Metrics.set m_queue_depth (float_of_int (pending ()));
     Option.iter (fun cb -> notify (cb i)) on_start;
-    let t0 = Unix.gettimeofday () in
+    (* Durations come from the monotonic clock: a wall-clock (NTP) step
+       mid-task must not produce negative or inflated elapsed times. *)
+    let t0 = Clock.now () in
     let result =
       match f i with
       | value -> (
           match deadline with
-          | Some limit when Unix.gettimeofday () -. t0 > limit ->
+          | Some limit when Clock.now () -. t0 > limit ->
               Error
                 {
                   message =
                     Printf.sprintf "deadline exceeded: %.3fs > %.3fs limit"
-                      (Unix.gettimeofday () -. t0)
-                      limit;
+                      (Clock.now () -. t0) limit;
                   backtrace = "";
                 }
           | _ -> Ok value)
@@ -43,7 +67,12 @@ let map ?jobs ?deadline ?on_start ?on_finish f n =
               backtrace = Printexc.get_backtrace ();
             }
     in
-    let completion = { index = i; result; elapsed = Unix.gettimeofday () -. t0 } in
+    let finished = Clock.now () in
+    let elapsed = finished -. t0 in
+    Metrics.observe m_job_seconds elapsed;
+    Metrics.inc (match result with Ok _ -> m_jobs_ok | Error _ -> m_jobs_error);
+    Metrics.set m_queue_depth (float_of_int (pending ()));
+    let completion = { index = i; result; elapsed; started = t0; finished } in
     (* Distinct indices: each slot is written by exactly one worker. *)
     results.(i) <- Some completion;
     Option.iter (fun cb -> notify (cb completion)) on_finish

@@ -25,7 +25,9 @@ type error = {
 type 'a completion = {
   index : int;
   result : ('a, error) result;
-  elapsed : float;  (** wall seconds spent inside the task *)
+  elapsed : float;  (** seconds spent inside the task ({!Pi_obs.Clock.now}) *)
+  started : float;  (** monotonic timestamp at task start *)
+  finished : float;  (** monotonic timestamp at task end *)
 }
 
 val default_jobs : unit -> int

@@ -61,6 +61,40 @@ let to_string json =
   render buf json;
   Buffer.contents buf
 
+let metrics_json samples =
+  let sample_json (s : Pi_obs.Metrics.sample) =
+    let labels = Obj (List.map (fun (k, v) -> (k, String v)) s.Pi_obs.Metrics.labels) in
+    let common = [ ("name", String s.Pi_obs.Metrics.name); ("labels", labels) ] in
+    let help =
+      match s.Pi_obs.Metrics.help with "" -> [] | h -> [ ("help", String h) ]
+    in
+    Obj
+      (common @ help
+      @
+      match s.Pi_obs.Metrics.value with
+      | Pi_obs.Metrics.Counter n -> [ ("type", String "counter"); ("value", Int n) ]
+      | Pi_obs.Metrics.Gauge v -> [ ("type", String "gauge"); ("value", Float v) ]
+      | Pi_obs.Metrics.Histogram h ->
+          [
+            ("type", String "histogram");
+            ("count", Int h.Pi_obs.Metrics.count);
+            ("sum", Float h.Pi_obs.Metrics.sum);
+            ( "buckets",
+              List
+                (List.map2
+                   (fun le n -> Obj [ ("le", Float le); ("count", Int n) ])
+                   (Array.to_list h.Pi_obs.Metrics.bounds)
+                   (Array.to_list
+                      (Array.sub h.Pi_obs.Metrics.bucket_counts 0
+                         (Array.length h.Pi_obs.Metrics.bounds)))) );
+            ( "overflow",
+              Int
+                h.Pi_obs.Metrics.bucket_counts.(Array.length h.Pi_obs.Metrics.bounds)
+            );
+          ])
+  in
+  Obj [ ("metrics", List (List.map sample_json samples)) ]
+
 type sink = {
   mutable channel : out_channel option;
   owned : bool;  (* close the channel when the sink is closed *)

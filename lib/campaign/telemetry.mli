@@ -21,6 +21,13 @@ val to_string : json -> string
 (** Compact single-line rendering. Non-finite floats become [null] (JSON
     has no NaN/infinity). *)
 
+val metrics_json : Pi_obs.Metrics.sample list -> json
+(** Render a {!Pi_obs.Metrics.scrape} as
+    [{"metrics":[{"name":...,"labels":{...},"type":...,...},...]}] — the
+    JSON twin of the Prometheus text format, for consumers that already
+    parse this module's output. Histograms carry non-cumulative per-bucket
+    counts plus the [+Inf] overflow. *)
+
 type sink
 (** A destination for event lines. Writes are serialized by a mutex, so
     scheduler workers on different domains may emit concurrently. *)

@@ -1,5 +1,13 @@
 module Counters = Pi_uarch.Counters
 module Pipeline = Pi_uarch.Pipeline
+module Span = Pi_obs.Span
+
+(* One tick per observation replayed (computed, not served from a cache);
+   the acceptance metric for a cold campaign is
+   pi_obs_observations_total = manifest total_jobs. *)
+let m_observations =
+  Pi_obs.Metrics.counter ~help:"interferometry observations replayed"
+    "pi_obs_observations_total"
 
 type config = {
   scale : int;
@@ -41,16 +49,26 @@ type prepared = {
 }
 
 let prepare ?(config = default_config) (bench : Pi_workloads.Bench.t) =
-  let program = bench.Pi_workloads.Bench.build ~scale:config.scale in
-  let trace =
-    Pi_layout.Run_limiter.trace ~seed:config.master_seed program
-      ~budget_blocks:config.budget_blocks
-  in
-  let warmup_blocks =
-    int_of_float (config.warmup_fraction *. float_of_int (Pi_isa.Trace.blocks_executed trace))
-  in
-  let plan = Pi_uarch.Replay.compile config.machine trace in
-  { bench; config; program; trace; warmup_blocks; plan }
+  let name = bench.Pi_workloads.Bench.name in
+  Span.with_ ~name:"prepare" ~args:[ ("bench", name) ] (fun () ->
+      let program =
+        Span.with_ ~name:"build" ~args:[ ("bench", name) ] (fun () ->
+            bench.Pi_workloads.Bench.build ~scale:config.scale)
+      in
+      let trace =
+        Span.with_ ~name:"trace" ~args:[ ("bench", name) ] (fun () ->
+            Pi_layout.Run_limiter.trace ~seed:config.master_seed program
+              ~budget_blocks:config.budget_blocks)
+      in
+      let warmup_blocks =
+        int_of_float
+          (config.warmup_fraction *. float_of_int (Pi_isa.Trace.blocks_executed trace))
+      in
+      let plan =
+        Span.with_ ~name:"compile" ~args:[ ("bench", name) ] (fun () ->
+            Pi_uarch.Replay.compile config.machine trace)
+      in
+      { bench; config; program; trace; warmup_blocks; plan })
 
 type observation = {
   layout_seed : int;
@@ -66,20 +84,30 @@ let measurement_seed prepared layout_seed =
 
 let exact_counts prepared ~seed =
   let placement =
-    Pi_layout.Placement.make ~heap_random:prepared.config.heap_random
-      ~aslr:prepared.config.aslr prepared.program ~seed
+    Span.with_ ~name:"layout" (fun () ->
+        Pi_layout.Placement.make ~heap_random:prepared.config.heap_random
+          ~aslr:prepared.config.aslr prepared.program ~seed)
   in
-  Pi_uarch.Replay.run ~warmup_blocks:prepared.warmup_blocks prepared.plan placement
+  Span.with_ ~name:"replay" (fun () ->
+      Pi_uarch.Replay.run ~warmup_blocks:prepared.warmup_blocks prepared.plan placement)
 
 let observe_seed prepared layout_seed =
-  let counts = exact_counts prepared ~seed:layout_seed in
-  let measurement =
-    Counters.measure ~noise:prepared.config.noise
-      ~runs_per_group:prepared.config.runs_per_group
-      ~seed:(measurement_seed prepared layout_seed)
-      counts
-  in
-  { layout_seed; measurement }
+  Span.with_ ~name:"observe"
+    ~args:
+      [
+        ("bench", prepared.bench.Pi_workloads.Bench.name);
+        ("seed", string_of_int layout_seed);
+      ]
+    (fun () ->
+      let counts = exact_counts prepared ~seed:layout_seed in
+      let measurement =
+        Counters.measure ~noise:prepared.config.noise
+          ~runs_per_group:prepared.config.runs_per_group
+          ~seed:(measurement_seed prepared layout_seed)
+          counts
+      in
+      Pi_obs.Metrics.inc m_observations;
+      { layout_seed; measurement })
 
 let observe prepared ~n_layouts =
   if n_layouts < 1 then invalid_arg "Experiment.observe: n_layouts < 1";

@@ -15,7 +15,7 @@ let parse_int ~name ~default raw =
               (Printf.sprintf "%s=%S is not an integer; using default %d" name v
                  default) ))
 
-let env_int ?(warn = fun msg -> Printf.eprintf "warning: %s\n%!" msg) name default =
+let env_int ?(warn = fun msg -> Pi_obs.Log.warn "%s" msg) name default =
   let value, warning = parse_int ~name ~default (Sys.getenv_opt name) in
   Option.iter warn warning;
   value

@@ -10,7 +10,8 @@ val parse_int : name:string -> default:int -> string option -> int * string opti
 
 val env_int : ?warn:(string -> unit) -> string -> int -> int
 (** [env_int name default] reads [name] from the environment via
-    {!parse_int}. Warnings go to [warn] (default: stderr). *)
+    {!parse_int}. Warnings go to [warn] (default: {!Pi_obs.Log.warn},
+    so [PI_LOG=quiet] silences them). *)
 
 val describe : (string * int) list -> string
 (** One-line ["NAME=value NAME=value ..."] rendering of effective knob

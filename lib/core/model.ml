@@ -10,16 +10,18 @@ type t = {
 }
 
 let fit (dataset : Experiment.dataset) =
-  let xs = Experiment.mpkis dataset and ys = Experiment.cpis dataset in
-  let regression = Linreg.fit xs ys in
-  {
-    benchmark = dataset.Experiment.prepared.Experiment.bench.Pi_workloads.Bench.name;
-    regression;
-    n_layouts = Array.length xs;
-    mean_mpki = Pi_stats.Descriptive.mean xs;
-    mean_cpi = Pi_stats.Descriptive.mean ys;
-    perfect_prediction = Linreg.prediction_interval regression 0.0;
-  }
+  let benchmark = dataset.Experiment.prepared.Experiment.bench.Pi_workloads.Bench.name in
+  Pi_obs.Span.with_ ~name:"fit" ~args:[ ("bench", benchmark) ] (fun () ->
+      let xs = Experiment.mpkis dataset and ys = Experiment.cpis dataset in
+      let regression = Linreg.fit xs ys in
+      {
+        benchmark;
+        regression;
+        n_layouts = Array.length xs;
+        mean_mpki = Pi_stats.Descriptive.mean xs;
+        mean_cpi = Pi_stats.Descriptive.mean ys;
+        perfect_prediction = Linreg.prediction_interval regression 0.0;
+      })
 
 let predict_cpi ?(level = 0.95) t ~mpki = Linreg.prediction_interval ~level t.regression mpki
 

@@ -23,7 +23,11 @@ type result = {
   identical : bool;  (* replay counts = legacy counts on every placement *)
 }
 
-let now () = Unix.gettimeofday ()
+(* Durations on the monotonic clock: an NTP step during a timed phase must
+   not bend the perf trajectory. *)
+let now () = Pi_obs.Clock.now ()
+
+module Span = Pi_obs.Span
 
 let run ?(bench = "400.perlbench") ?(scale = 4) ?(layouts = 12) () =
   if layouts < 1 then invalid_arg "Perf_bench.run: layouts < 1";
@@ -48,17 +52,20 @@ let run ?(bench = "400.perlbench") ?(scale = 4) ?(layouts = 12) () =
   let warm_placement = Pi_layout.Placement.make program ~seed:(layouts + 1) in
   ignore (Pipeline.run_unoptimized ~warmup_blocks machine trace warm_placement);
   ignore (Replay.run ~warmup_blocks (Replay.compile machine trace) warm_placement);
-  let t0 = now () in
-  let plan = Replay.compile machine trace in
-  let compile_seconds = now () -. t0 in
-  let t0 = now () in
-  let legacy =
-    Array.map (fun p -> Pipeline.run_unoptimized ~warmup_blocks machine trace p) placements
+  let timed name f =
+    Span.with_ ~name ~args:[ ("bench", bench) ] (fun () ->
+        let t0 = now () in
+        let result = f () in
+        (result, now () -. t0))
   in
-  let legacy_seconds = now () -. t0 in
-  let t0 = now () in
-  let replayed = Array.map (fun p -> Replay.run ~warmup_blocks plan p) placements in
-  let replay_seconds = now () -. t0 in
+  let plan, compile_seconds = timed "perf.compile" (fun () -> Replay.compile machine trace) in
+  let legacy, legacy_seconds =
+    timed "perf.legacy" (fun () ->
+        Array.map (fun p -> Pipeline.run_unoptimized ~warmup_blocks machine trace p) placements)
+  in
+  let replayed, replay_seconds =
+    timed "perf.replay" (fun () -> Array.map (fun p -> Replay.run ~warmup_blocks plan p) placements)
+  in
   let identical = legacy = replayed in
   let obs = float_of_int layouts in
   let blocks = Replay.blocks plan in

@@ -61,7 +61,7 @@ let pin_mpki prepared ~n_layouts make =
      misses; indirect misses are added by [evaluate]. *)
   pin_cond_mpki prepared ~n_layouts make
 
-let evaluate ?(candidates = standard_candidates ()) (dataset : Experiment.dataset) model =
+let evaluate_inner ~candidates (dataset : Experiment.dataset) model =
   let prepared = dataset.Experiment.prepared in
   let n_layouts = Array.length dataset.Experiment.observations in
   let indirect, _real_cond = indirect_mpki dataset prepared ~n_layouts in
@@ -92,6 +92,11 @@ let evaluate ?(candidates = standard_candidates ()) (dataset : Experiment.datase
     }
   in
   (real_row :: candidate_rows) @ [ perfect_row ]
+
+let evaluate ?(candidates = standard_candidates ()) (dataset : Experiment.dataset) model =
+  Pi_obs.Span.with_ ~name:"predict"
+    ~args:[ ("bench", model.Model.benchmark) ]
+    (fun () -> evaluate_inner ~candidates dataset model)
 
 type suite_summary = {
   real_cpi : float;

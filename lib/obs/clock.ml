@@ -1,0 +1,7 @@
+(* Monotonic_clock (bechamel's C stub) reads CLOCK_MONOTONIC in
+   nanoseconds; 2^53 ns of float precision covers ~104 days of uptime,
+   far beyond any campaign. *)
+
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+let wall = Unix.gettimeofday
+let elapsed t0 = now () -. t0

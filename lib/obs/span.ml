@@ -1,0 +1,127 @@
+type event = {
+  name : string;
+  cat : string;
+  ts : float;
+  dur : float;
+  tid : int;
+  depth : int;
+  alloc_bytes : float;
+  args : (string * string) list;
+}
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let buffer_mutex = Mutex.create ()
+let recorded : event list ref = ref [] (* reverse completion order *)
+
+(* Per-domain nesting depth; domain-local so worker spans never race. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let m_spans = Metrics.counter ~help:"completed trace spans" "pi_obs_spans_total"
+
+let record e =
+  Metrics.inc m_spans;
+  Mutex.protect buffer_mutex (fun () -> recorded := e :: !recorded)
+
+let with_ ?(cat = "pi") ?(args = []) ~name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let depth = Domain.DLS.get depth_key in
+    let d = !depth in
+    depth := d + 1;
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Clock.now () in
+    let finish () =
+      let dur = Clock.now () -. t0 in
+      let alloc = Gc.allocated_bytes () -. a0 in
+      depth := d;
+      record
+        {
+          name;
+          cat;
+          ts = t0;
+          dur;
+          tid = (Domain.self () :> int);
+          depth = d;
+          alloc_bytes = alloc;
+          args;
+        }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception exn ->
+        finish ();
+        raise exn
+  end
+
+let events () = Mutex.protect buffer_mutex (fun () -> List.rev !recorded)
+let clear () = Mutex.protect buffer_mutex (fun () -> recorded := [])
+
+(* ---------------- Chrome trace-event export ---------------- *)
+
+let escape_json buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_chrome_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"name\":";
+      escape_json buf e.name;
+      Buffer.add_string buf ",\"cat\":";
+      escape_json buf e.cat;
+      Buffer.add_string buf ",\"ph\":\"X\",\"pid\":1,\"tid\":";
+      Buffer.add_string buf (string_of_int e.tid);
+      (* Chrome trace timestamps are microseconds; the epoch is arbitrary
+         (monotonic), only differences matter to the viewer. *)
+      Buffer.add_string buf (Printf.sprintf ",\"ts\":%.3f,\"dur\":%.3f" (e.ts *. 1e6) (e.dur *. 1e6));
+      Buffer.add_string buf ",\"args\":{";
+      List.iter
+        (fun (k, v) ->
+          escape_json buf k;
+          Buffer.add_char buf ':';
+          escape_json buf v;
+          Buffer.add_char buf ',')
+        e.args;
+      Buffer.add_string buf "\"alloc_bytes\":";
+      Buffer.add_string buf (Printf.sprintf "%.0f" e.alloc_bytes);
+      Buffer.add_string buf ",\"depth\":";
+      Buffer.add_string buf (string_of_int e.depth);
+      Buffer.add_string buf "}}")
+    (events ());
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save ~path =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_chrome_json ());
+      output_char oc '\n')

@@ -1,0 +1,48 @@
+(** Hierarchical stage tracing, exported as Chrome trace-event JSON.
+
+    [Span.with_ ~name f] times [f] on the monotonic clock ({!Clock.now})
+    and records the GC allocation delta observed by the recording domain.
+    Spans nest naturally — each domain tracks its depth in domain-local
+    storage — and the export is the Chrome trace-event format
+    ([{"traceEvents":[...]}], complete events, [ph:"X"]), which Perfetto
+    and [about:tracing] load directly: one track per domain, nested
+    ranges per span.
+
+    Collection is {e off} by default: a disabled [with_] is one atomic
+    load plus the call. Enable with {!set_enabled} (the CLI [--trace-out]
+    flag and the bench harness do). Completed spans append to a global
+    mutex-protected buffer — spans mark stages (prepare, job, replay,
+    fit), not inner-loop events, so the lock is nowhere hot.
+
+    Span hierarchy across the stack is documented in
+    docs/OBSERVABILITY.md. *)
+
+type event = {
+  name : string;
+  cat : string;  (** Chrome trace category, default ["pi"] *)
+  ts : float;  (** monotonic seconds at span start *)
+  dur : float;  (** seconds *)
+  tid : int;  (** recording domain id *)
+  depth : int;  (** nesting depth within the domain at start *)
+  alloc_bytes : float;  (** GC allocation delta over the span *)
+  args : (string * string) list;
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_ : ?cat:string -> ?args:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** Runs [f], recording a completed span even when [f] raises. When
+    disabled, just runs [f]. *)
+
+val events : unit -> event list
+(** Completed spans in completion order (children before parents). *)
+
+val clear : unit -> unit
+
+val to_chrome_json : unit -> string
+(** [{"displayTimeUnit":"ms","traceEvents":[...]}] with timestamps and
+    durations in microseconds, one complete ("ph":"X") event per span. *)
+
+val save : path:string -> unit
+(** Write {!to_chrome_json} to [path], creating parent directories. *)

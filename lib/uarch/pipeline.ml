@@ -351,7 +351,34 @@ let plan_words plan =
   + Array.length plan.ev_mem_id
   + (2 * Array.length plan.ev_factor)
 
+(* Observability instruments for the replay path. Bumped once per
+   compile / replay call — from the final aggregate counters, never inside
+   the per-event loop — so metering costs nothing against the hot loop. *)
+let m_plan_compiles =
+  Pi_obs.Metrics.counter ~help:"replay plans compiled from a trace" "pi_obs_plan_compiles_total"
+
+let m_plan_reuses =
+  Pi_obs.Metrics.counter ~help:"plan_with_config calls that reused the compiled arrays"
+    "pi_obs_plan_reuses_total"
+
+let m_replay_runs =
+  Pi_obs.Metrics.counter ~help:"compiled-plan replays executed" "pi_obs_replay_runs_total"
+
+let m_replay_blocks =
+  Pi_obs.Metrics.counter ~help:"dynamic blocks replayed" "pi_obs_replay_blocks_total"
+
+let m_branches =
+  Pi_obs.Metrics.counter ~help:"conditional + indirect branches replayed" "pi_obs_branches_total"
+
+let m_mispredicts =
+  Pi_obs.Metrics.counter ~help:"conditional + indirect mispredictions replayed"
+    "pi_obs_mispredicts_total"
+
+let m_cache_probes =
+  Pi_obs.Metrics.counter ~help:"L1I + L1D + L2 cache probes replayed" "pi_obs_cache_probes_total"
+
 let compile config (trace : Trace.t) =
+  Pi_obs.Metrics.inc m_plan_compiles;
   let program = trace.Trace.program in
   let n_blocks = Array.length program.Program.blocks in
   let base_cost =
@@ -455,7 +482,10 @@ let plan_with_config plan config =
   if
     old.costs = config.costs && old.overlap = config.overlap
     && old.penalties.store_miss_factor = config.penalties.store_miss_factor
-  then { plan with plan_config = config }
+  then begin
+    Pi_obs.Metrics.inc m_plan_reuses;
+    { plan with plan_config = config }
+  end
   else compile config plan.plan_trace
 
 (* Unboxed cycle accumulator: a [float ref] would box a fresh float on every
@@ -704,6 +734,11 @@ let replay ?(warmup_blocks = 0) plan (placement : Pi_layout.Placement.t) =
   let l1i_acc, l1i_miss = delta !l1i_base l1i in
   let l1d_acc, l1d_miss = delta !l1d_base l1d in
   let l2_acc, l2_miss = delta !l2_base l2 in
+  Pi_obs.Metrics.inc m_replay_runs;
+  Pi_obs.Metrics.add m_replay_blocks (Array.length step_block);
+  Pi_obs.Metrics.add m_branches (!cond_branches + !indirect_branches);
+  Pi_obs.Metrics.add m_mispredicts (!cond_mispredicts + !indirect_mispredicts);
+  Pi_obs.Metrics.add m_cache_probes (l1i_acc + l1d_acc + l2_acc);
   {
     cycles = acc.cycles;
     instructions = !instructions;

@@ -38,6 +38,11 @@ let test_scheduler_order_independent () =
   Array.iteri
     (fun i (c : int Scheduler.completion) ->
       Alcotest.(check int) "slot matches index" i c.Scheduler.index;
+      Alcotest.(check bool) "monotonic task window" true
+        (c.Scheduler.finished >= c.Scheduler.started);
+      Alcotest.(check (float 1e-6)) "elapsed is the window"
+        (c.Scheduler.finished -. c.Scheduler.started)
+        c.Scheduler.elapsed;
       match c.Scheduler.result with
       | Ok v -> Alcotest.(check int) "value in its own slot" (i * i) v
       | Error e -> Alcotest.failf "task %d failed: %s" i e.Scheduler.message)
@@ -74,6 +79,18 @@ let test_jobs_plumbing () =
       Alcotest.(check int) "total jobs" 12 m.Manifest.total_jobs;
       Alcotest.(check int) "all computed" 12 m.Manifest.computed_jobs;
       Alcotest.(check int) "none failed" 0 m.Manifest.failed_jobs;
+      Alcotest.(check int) "no cache, no probes" 0 m.Manifest.cache_misses;
+      Alcotest.(check bool) "wall clock advanced" true (m.Manifest.wall_seconds > 0.0);
+      List.iter
+        (fun (b : Manifest.bench_entry) ->
+          Alcotest.(check bool) "bench wall window positive" true (b.Manifest.wall_seconds > 0.0);
+          Alcotest.(check bool) "bench cpu time positive" true (b.Manifest.cpu_seconds > 0.0);
+          Alcotest.(check bool) "cpu is prepare + jobs" true
+            (Float.abs
+               (b.Manifest.cpu_seconds
+               -. (b.Manifest.prepare_seconds +. b.Manifest.observe_seconds))
+            < 1e-9))
+        m.Manifest.benches;
       Alcotest.(check bool) "succeeded" true (Campaign.succeeded r);
       List.iter
         (fun b ->
@@ -108,11 +125,16 @@ let test_cache_hits_and_identity () =
   let cold = Campaign.run ~config:quick ~jobs:2 ~cache_dir:dir ~n_layouts:8 (benches ()) in
   Alcotest.(check int) "cold run computes everything" 16
     cold.Campaign.manifest.Manifest.computed_jobs;
+  Alcotest.(check int) "cold run probes all miss" 16
+    cold.Campaign.manifest.Manifest.cache_misses;
+  Alcotest.(check int) "cold run has no hits" 0 cold.Campaign.manifest.Manifest.cache_hits;
   let warm = Campaign.run ~config:quick ~jobs:2 ~cache_dir:dir ~n_layouts:8 (benches ()) in
   Alcotest.(check int) "warm run computes nothing" 0
     warm.Campaign.manifest.Manifest.computed_jobs;
   Alcotest.(check int) "warm run is all cache hits" 16
     warm.Campaign.manifest.Manifest.cached_jobs;
+  Alcotest.(check int) "hit counter agrees" 16 warm.Campaign.manifest.Manifest.cache_hits;
+  Alcotest.(check int) "no warm misses" 0 warm.Campaign.manifest.Manifest.cache_misses;
   (* extend-style growth: only the new seeds are computed. *)
   let grown = Campaign.run ~config:quick ~jobs:2 ~cache_dir:dir ~n_layouts:12 (benches ()) in
   Alcotest.(check int) "growth reuses the first 8 seeds" 16

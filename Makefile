@@ -2,7 +2,7 @@
 
 CLI = dune exec bin/interferometry_cli.exe --
 
-.PHONY: all check test build campaign-smoke perf perf-smoke obs-smoke clean
+.PHONY: all check test build campaign-smoke perf perf-smoke obs-smoke resilience-smoke clean
 
 all: build
 
@@ -17,6 +17,7 @@ check:
 	dune build && dune runtest
 	$(MAKE) perf-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) resilience-smoke
 
 # Full pipeline microbenchmark; writes BENCH_pipeline.json.
 perf:
@@ -45,6 +46,30 @@ campaign-smoke:
 	  --layouts 8 --jobs 2 --cache-dir _campaign-cache \
 	  --events _campaign-cache/events.jsonl
 
+# Crash-safe campaign, end to end. Leg 1 "interrupts" a campaign with
+# injected worker faults and no retries (exit 3, partial cache + manifest
+# on disk). Leg 2 resumes from that manifest, recomputing only the killed
+# jobs, and must leave a complete manifest. Leg 3 reruns the same spec
+# with --retries and must recover by itself; its dataset must be
+# byte-identical to the resumed one (faults and retries never change the
+# science). Fault seeds are deterministic, so this never flakes.
+resilience-smoke:
+	rm -rf _resilience-smoke && mkdir -p _resilience-smoke
+	! $(CLI) campaign --quick --bench 400.perlbench --bench 456.hmmer \
+	  --layouts 6 --jobs 2 --cache-dir _resilience-smoke/cache \
+	  --fault-inject rate=0.4,kind=exn,seed=2
+	grep -q '"checkpoint":false' _resilience-smoke/cache/manifest.json
+	grep -q '"complete":false' _resilience-smoke/cache/manifest.json
+	$(CLI) campaign --resume _resilience-smoke/cache/manifest.json --jobs 2
+	grep -q '"complete":true' _resilience-smoke/cache/manifest.json
+	grep -q '"failed_jobs":0' _resilience-smoke/cache/manifest.json
+	$(CLI) campaign --quick --bench 400.perlbench --bench 456.hmmer \
+	  --layouts 6 --jobs 4 --cache-dir _resilience-smoke/retry \
+	  --fault-inject rate=0.3,kind=exn,seed=1 --retries 3
+	cmp _resilience-smoke/cache/400.perlbench.*.csv _resilience-smoke/retry/400.perlbench.*.csv
+	cmp _resilience-smoke/cache/456.hmmer.*.csv _resilience-smoke/retry/456.hmmer.*.csv
+	@echo "resilience-smoke OK: interrupt+resume complete, retried run bit-identical"
+
 clean:
 	dune clean
-	rm -rf _campaign-cache _obs-smoke
+	rm -rf _campaign-cache _obs-smoke _resilience-smoke

@@ -88,11 +88,18 @@ let campaign () =
     "infrastructure, not in the paper; identical observations to the sequential path";
   let jobs = env_int "PI_JOBS" (Pi_campaign.Scheduler.default_jobs ()) in
   let cache_dir = Sys.getenv_opt "PI_CACHE_DIR" in
+  let retries = env_int "PI_RETRIES" 0 in
+  let fault =
+    Pi_campaign.Fault.of_env
+      ~warn:(fun msg -> Printf.eprintf "campaign: ignoring PI_FAULT: %s\n%!" msg)
+      ()
+  in
   let result =
     timed
       (Printf.sprintf "campaign over %d domain(s)" jobs)
       (fun () ->
-        Pi_campaign.Campaign.run ~config ~jobs ?cache_dir ~n_layouts (Spec.all_2006 ()))
+        Pi_campaign.Campaign.run ~config ~jobs ?cache_dir ~retries ?fault ~n_layouts
+          (Spec.all_2006 ()))
   in
   print_string (Pi_campaign.Manifest.summary_table result.Pi_campaign.Campaign.manifest);
   List.iter

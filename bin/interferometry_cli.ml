@@ -409,22 +409,37 @@ let campaign_cmd =
     Arg.(value & opt (some int) None
          & info [ "scale" ] ~docv:"K" ~doc:"Workload scale (trip multiplier).")
   in
+  let retries_term =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry a failed job up to $(docv) times (exponential backoff with \
+                   deterministic jitter) before marking it failed in the manifest.")
+  in
+  let backoff_term =
+    Arg.(value & opt float 0.05
+         & info [ "backoff" ] ~docv:"SECONDS"
+             ~doc:"Base of the exponential retry backoff: the k-th retry of a job \
+                   sleeps about $(docv) * 2^k seconds first.")
+  in
+  let fault_term =
+    Arg.(value & opt (some string) None
+         & info [ "fault-inject" ] ~docv:"SPEC"
+             ~doc:"Deterministic fault injection for resilience testing, e.g. \
+                   $(b,rate=0.3,kind=exn,seed=7). Kinds: $(b,exn), $(b,delay), \
+                   $(b,corrupt-cache) ('+'-separable); $(b,delay=SECS) fixes the \
+                   sleep. Also read from $(b,PI_FAULT) when the flag is absent.")
+  in
+  let resume_term =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"MANIFEST.json"
+             ~doc:"Resume a prior campaign from its manifest (final or checkpoint): \
+                   benchmarks, layout count and config are reloaded from it, the \
+                   observation cache is probed, and only missing or failed \
+                   (benchmark, seed) jobs are recomputed. Suite/bench/layout flags \
+                   are ignored.")
+  in
   let run suite benches jobs layouts seed scale heap_random quick cache_dir events_path
-      manifest_path deadline metrics_out trace_out =
-    let benches =
-      match benches with
-      | _ :: _ -> Ok benches
-      | [] -> (
-          match suite with
-          | "2006" -> Ok (Pi_workloads.Spec.all_2006 ())
-          | "2000" ->
-              Ok
-                (List.filter
-                   (fun (b : Pi_workloads.Bench.t) -> b.suite = Pi_workloads.Bench.Cpu2000)
-                   (Pi_workloads.Spec.everything ()))
-          | "all" -> Ok (Pi_workloads.Spec.everything ())
-          | other -> Error (Printf.sprintf "unknown suite %S (try 2006, 2000 or all)" other))
-    in
+      manifest_path deadline retries backoff fault_spec resume metrics_out trace_out =
     if layouts < 1 then begin
       Printf.eprintf "campaign: --layouts must be >= 1 (got %d)\n" layouts;
       exit 2
@@ -434,24 +449,37 @@ let campaign_cmd =
         Printf.eprintf "campaign: --jobs must be >= 1 (got %d)\n" j;
         exit 2
     | _ -> ());
-    match benches with
-    | Error msg ->
-        Printf.eprintf "%s\n" msg;
-        exit 2
-    | Ok benches ->
-        (* Dump metrics/trace before deciding the exit status: a campaign
-           that fails some jobs must still leave its artifacts behind. *)
-        let ok =
-          with_obs ~metrics_out ~trace_out @@ fun () ->
-        let base = if quick then E.quick_config else E.default_config in
-        let config =
-          {
-            base with
-            E.master_seed = seed;
-            scale = Option.value scale ~default:base.E.scale;
-            heap_random;
-          }
-        in
+    if retries < 0 then begin
+      Printf.eprintf "campaign: --retries must be >= 0 (got %d)\n" retries;
+      exit 2
+    end;
+    if not (backoff >= 0.0) then begin
+      Printf.eprintf "campaign: --backoff must be >= 0 (got %g)\n" backoff;
+      exit 2
+    end;
+    let fault =
+      let env =
+        match Sys.getenv_opt "PI_FAULT" with
+        | Some s when String.trim s <> "" -> Some s (* PI_FAULT= disables *)
+        | _ -> None
+      in
+      match (fault_spec, env) with
+      | None, None -> None
+      | Some spec, _ | None, Some spec -> (
+          match Pi_campaign.Fault.parse spec with
+          | Ok f -> Some f
+          | Error msg ->
+              Printf.eprintf "campaign: bad fault spec %S: %s\n" spec msg;
+              exit 2)
+    in
+    (* One code path executes both fresh and resumed campaigns: the
+       manifest destination doubles as the checkpoint anchor, written
+       before the first observation job so an interrupt is resumable. *)
+    let execute ~config ~config_args ~label ~n_layouts ~cache_dir ~manifest_path benches =
+      (* Dump metrics/trace before deciding the exit status: a campaign
+         that fails some jobs must still leave its artifacts behind. *)
+      let ok =
+        with_obs ~metrics_out ~trace_out @@ fun () ->
         let events =
           match events_path with
           | Some path -> Pi_campaign.Telemetry.to_file path
@@ -462,15 +490,10 @@ let campaign_cmd =
             ~finally:(fun () -> Pi_campaign.Telemetry.close events)
             (fun () ->
               Pi_campaign.Campaign.run ~config ?jobs ?cache_dir ~events ?deadline
-                ~n_layouts:layouts benches)
+                ~retries ~backoff ?fault ?checkpoint_path:manifest_path ~config_args
+                ?label ~n_layouts benches)
         in
         print_string (Pi_campaign.Manifest.summary_table result.Pi_campaign.Campaign.manifest);
-        let manifest_path =
-          match (manifest_path, cache_dir) with
-          | Some path, _ -> Some path
-          | None, Some dir -> Some (Filename.concat dir "manifest.json")
-          | None, None -> None
-        in
         Option.iter
           (fun path ->
             Pi_campaign.Manifest.save result.Pi_campaign.Campaign.manifest ~path;
@@ -478,11 +501,121 @@ let campaign_cmd =
           manifest_path;
         Option.iter (fun path -> Printf.printf "events: %s\n" path) events_path;
         Pi_campaign.Campaign.succeeded result
+      in
+      if not ok then begin
+        Printf.eprintf "campaign finished with failed jobs (see manifest)\n";
+        exit 3
+      end
+    in
+    match resume with
+    | Some resume_path -> (
+        match Pi_campaign.Manifest.load ~path:resume_path with
+        | Error msg ->
+            Printf.eprintf "campaign: cannot resume: %s\n" msg;
+            exit 2
+        | Ok m ->
+            let module J = Pi_campaign.Telemetry in
+            let benches =
+              List.map
+                (fun (b : Pi_campaign.Manifest.bench_entry) ->
+                  match Pi_workloads.Spec.find b.Pi_campaign.Manifest.bench with
+                  | bench -> bench
+                  | exception Not_found ->
+                      Printf.eprintf "campaign: manifest names unknown benchmark %S\n"
+                        b.Pi_campaign.Manifest.bench;
+                      exit 2)
+                m.Pi_campaign.Manifest.benches
+            in
+            let args = m.Pi_campaign.Manifest.config_args in
+            let geti name default =
+              match List.assoc_opt name args with Some (J.Int i) -> i | _ -> default
+            in
+            let getb name =
+              match List.assoc_opt name args with Some (J.Bool b) -> b | _ -> false
+            in
+            let base = if getb "quick" then E.quick_config else E.default_config in
+            let config =
+              {
+                base with
+                E.master_seed = geti "seed" base.E.master_seed;
+                scale = geti "scale" base.E.scale;
+                heap_random = getb "heap_random";
+              }
+            in
+            let digest = Pi_campaign.Obs_cache.config_digest config in
+            if digest <> m.Pi_campaign.Manifest.config_digest then begin
+              Printf.eprintf
+                "campaign: config digest mismatch (manifest %s, rebuilt %s): the \
+                 manifest's config_args do not reproduce its config on this build\n"
+                m.Pi_campaign.Manifest.config_digest digest;
+              exit 2
+            end;
+            let cache_dir =
+              match (cache_dir, m.Pi_campaign.Manifest.cache_dir) with
+              | Some dir, _ -> Some dir
+              | None, Some dir -> Some dir
+              | None, None ->
+                  Printf.eprintf
+                    "campaign: manifest records no cache directory — no observations \
+                     were persisted, nothing to resume\n";
+                  exit 2
+            in
+            let manifest_path =
+              Some (match manifest_path with Some p -> p | None -> resume_path)
+            in
+            execute ~config ~config_args:args ~label:(Some m.Pi_campaign.Manifest.label)
+              ~n_layouts:m.Pi_campaign.Manifest.n_layouts ~cache_dir ~manifest_path
+              benches)
+    | None -> (
+        let benches =
+          match benches with
+          | _ :: _ -> Ok benches
+          | [] -> (
+              match suite with
+              | "2006" -> Ok (Pi_workloads.Spec.all_2006 ())
+              | "2000" ->
+                  Ok
+                    (List.filter
+                       (fun (b : Pi_workloads.Bench.t) ->
+                         b.suite = Pi_workloads.Bench.Cpu2000)
+                       (Pi_workloads.Spec.everything ()))
+              | "all" -> Ok (Pi_workloads.Spec.everything ())
+              | other ->
+                  Error (Printf.sprintf "unknown suite %S (try 2006, 2000 or all)" other))
         in
-        if not ok then begin
-          Printf.eprintf "campaign finished with failed jobs (see manifest)\n";
-          exit 3
-        end
+        match benches with
+        | Error msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 2
+        | Ok benches ->
+            let module J = Pi_campaign.Telemetry in
+            let base = if quick then E.quick_config else E.default_config in
+            let config =
+              {
+                base with
+                E.master_seed = seed;
+                scale = Option.value scale ~default:base.E.scale;
+                heap_random;
+              }
+            in
+            (* Everything --resume needs to rebuild this config, recorded
+               verbatim in the manifest. *)
+            let config_args =
+              [
+                ("quick", J.Bool quick);
+                ("seed", J.Int seed);
+                ("scale", J.Int config.E.scale);
+                ("heap_random", J.Bool heap_random);
+              ]
+            in
+            let manifest_path =
+              match (manifest_path, cache_dir) with
+              | Some path, _ -> Some path
+              | None, Some dir -> Some (Filename.concat dir "manifest.json")
+              | None, None -> None
+            in
+            execute ~config ~config_args ~label:None ~n_layouts:layouts ~cache_dir
+              ~manifest_path benches)
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -493,15 +626,20 @@ let campaign_cmd =
            `P
              "Measures every benchmark of the selected suite over N reorderings using \
               a pool of worker domains. Completed observations are cached on disk \
-              (--cache-dir) keyed by (benchmark, config, seed), so re-runs and \
-              layout-count growth only simulate new seeds. Progress is emitted as \
-              JSONL events (--events) and the final manifest records per-benchmark \
-              fits and failures. Campaign results are bit-identical for any --jobs \
-              value. Exit status is 3 when some jobs failed.";
+              (--cache-dir) keyed by (benchmark, config, seed) as they finish, so \
+              re-runs, layout-count growth and interrupted campaigns only simulate \
+              missing seeds. Progress is emitted as JSONL events (--events) and the \
+              manifest (a checkpoint written up front, finalized at the end) records \
+              per-benchmark fits, failures and retry counts. Campaign results are \
+              bit-identical for any --jobs value, cache state, or interrupt/resume \
+              history. Failed jobs are retried with exponential backoff (--retries, \
+              --backoff); --fault-inject exercises these paths deterministically. \
+              Exit status is 3 when some jobs failed.";
          ])
     Term.(const run $ suite_term $ benches_term $ jobs_term $ layouts_term $ seed_term
           $ campaign_scale_term $ heap_random_term $ quick_term $ cache_dir_term
-          $ events_term $ manifest_term $ deadline_term $ metrics_out_term $ trace_out_term)
+          $ events_term $ manifest_term $ deadline_term $ retries_term $ backoff_term
+          $ fault_term $ resume_term $ metrics_out_term $ trace_out_term)
 
 let stats_cmd =
   let run bench layouts seed scale =

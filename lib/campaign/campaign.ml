@@ -47,7 +47,8 @@ let fit_of dataset =
     | exception _ -> None (* degenerate x range: no model for this benchmark *)
 
 let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null) ?deadline
-    ?label ~n_layouts benches =
+    ?(retries = 0) ?(backoff = 0.05) ?fault ?checkpoint_path ?(config_args = []) ?label
+    ~n_layouts benches =
   if n_layouts < 1 then invalid_arg "Campaign.run: n_layouts < 1";
   let jobs =
     match jobs with
@@ -80,9 +81,17 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
   let prepared =
     Span.with_ ~name:"campaign.prepare" ~args:[ ("label", label) ]
     @@ fun () ->
-    Scheduler.map ~jobs ?deadline
+    Scheduler.map ~jobs ?deadline ~retries ~backoff
       ~on_start:(fun i ~pending:_ ->
         J.emit events ~event:"prepare_started" [ ("bench", J.String (name i)) ])
+      ~on_retry:(fun i ~attempt ~backoff e ~pending:_ ->
+        J.emit events ~event:"prepare_retried"
+          [
+            ("bench", J.String (name i));
+            ("attempt", J.Int attempt);
+            ("backoff_secs", J.Float backoff);
+            ("error", J.String e.Scheduler.message);
+          ])
       ~on_finish:(fun c ~pending:_ ->
         match c.Scheduler.result with
         | Ok _ ->
@@ -133,35 +142,115 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
       |> List.fold_left ( + ) 0
   in
 
-  (* Phase 3: one observation job per (benchmark, seed) not yet on disk. *)
+  (* Phase 3: one observation job per (benchmark, seed) not yet on disk.
+     The cached-seed membership test is a bool array, not a list scan —
+     planning stays O(n_layouts) per benchmark — and seeds are enumerated
+     in ascending order, so job order (and hence every downstream
+     artifact) is identical to the list-based plan. *)
   let job_specs =
     Array.concat
       (List.init n_benches (fun i ->
            match prepared.(i).Scheduler.result with
            | Error _ -> [||]
            | Ok _ ->
-               let have =
-                 List.fold_left
-                   (fun acc (o : E.observation) -> o.E.layout_seed :: acc)
-                   [] cached_obs.(i)
-               in
+               let have = Array.make (n_layouts + 1) false in
+               List.iter
+                 (fun (o : E.observation) ->
+                   if o.E.layout_seed >= 1 && o.E.layout_seed <= n_layouts then
+                     have.(o.E.layout_seed) <- true)
+                 cached_obs.(i);
                Array.of_list
                  (List.filter_map
-                    (fun seed -> if List.mem seed have then None else Some (i, seed))
+                    (fun seed -> if have.(seed) then None else Some (i, seed))
                     (List.init n_layouts (fun s -> s + 1)))))
   in
+  (* Checkpoint: before any observation job runs, persist a resume anchor
+     recording the campaign's identity (benches, layouts, config digest,
+     the caller's config_args, cache location). An interrupt at any later
+     point leaves this manifest plus the incrementally-written observation
+     cache — everything `campaign --resume` needs; the final manifest
+     overwrites it. *)
+  let checkpoint_entry i =
+    let failures, prepare_error =
+      match prepared.(i).Scheduler.result with
+      | Ok _ -> ([], None)
+      | Error e ->
+          ( List.init n_layouts (fun s ->
+                {
+                  Manifest.seed = s + 1;
+                  error = Printf.sprintf "prepare failed: %s" e.Scheduler.message;
+                }),
+            Some e.Scheduler.message )
+    in
+    {
+      Manifest.bench = name i;
+      suite = Bench.suite_name bench_arr.(i).Bench.suite;
+      requested = n_layouts;
+      computed = 0;
+      cached = List.length cached_obs.(i);
+      retries = prepared.(i).Scheduler.attempts - 1;
+      failures;
+      prepare_seconds = prepared.(i).Scheduler.elapsed;
+      observe_seconds = 0.0;
+      wall_seconds = 0.0;
+      cpu_seconds = prepared.(i).Scheduler.elapsed;
+      prepare_error;
+      fit = None;
+    }
+  in
+  (match checkpoint_path with
+  | None -> ()
+  | Some path ->
+      let entries = List.init n_benches checkpoint_entry in
+      let sum f = List.fold_left (fun acc e -> acc + f e) 0 entries in
+      Manifest.save
+        {
+          Manifest.label;
+          n_layouts;
+          jobs;
+          config_digest = digest;
+          cache_dir;
+          config_args;
+          checkpoint = true;
+          started_at;
+          wall_seconds = Pi_obs.Clock.now () -. t0;
+          total_jobs = n_benches * n_layouts;
+          computed_jobs = 0;
+          cached_jobs = sum (fun e -> e.Manifest.cached);
+          failed_jobs = sum (fun e -> List.length e.Manifest.failures);
+          retried_jobs = sum (fun e -> e.Manifest.retries);
+          cache_hits;
+          cache_misses;
+          benches = entries;
+        }
+        ~path;
+      J.emit events ~event:"checkpoint_saved"
+        [ ("path", J.String path); ("pending_jobs", J.Int (Array.length job_specs)) ]);
   let job_field idx =
     let bench_idx, seed = job_specs.(idx) in
     [ ("bench", J.String (name bench_idx)); ("seed", J.Int seed) ]
   in
+  (* Attempt numbers for the fault-injection sites: a job's attempts run
+     sequentially on one domain, so a plain array indexed by job is safe,
+     and keying the fault draw by attempt makes injected faults transient
+     under retry — exactly the failure mode the retry path exists for. *)
+  let attempts_so_far = Array.make (Array.length job_specs) 0 in
   let completions =
     Span.with_ ~name:"campaign.observe" ~args:[ ("label", label) ]
     @@ fun () ->
-    Scheduler.map ~jobs ?deadline
+    Scheduler.map ~jobs ?deadline ~retries ~backoff
       ~on_start:(fun i ~pending ->
         J.emit events ~event:"job_started" (job_field i @ [ ("queue_depth", J.Int pending) ]))
+      ~on_retry:(fun i ~attempt ~backoff e ~pending:_ ->
+        J.emit events ~event:"job_retried"
+          (job_field i
+          @ [
+              ("attempt", J.Int attempt);
+              ("backoff_secs", J.Float backoff);
+              ("error", J.String e.Scheduler.message);
+            ]))
       ~on_finish:(fun c ~pending ->
-        match c.Scheduler.result with
+        (match c.Scheduler.result with
         | Ok _ ->
             J.emit events ~event:"job_finished"
               (job_field c.Scheduler.index
@@ -173,11 +262,40 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
                   ("error", J.String e.Scheduler.message);
                   ("secs", J.Float c.Scheduler.elapsed);
                   ("queue_depth", J.Int pending);
-                ]))
+                ]));
+        (* Incremental checkpointing: every completed observation reaches
+           disk immediately (on_finish callbacks are serialized, so the
+           merge-and-rename cannot race another store). A crash loses at
+           most the in-flight job; everything already observed resumes as
+           a cache hit. *)
+        match (cache, c.Scheduler.result) with
+        | Some cache, Ok obs ->
+            let bench_idx, seed = job_specs.(c.Scheduler.index) in
+            Obs_cache.store cache ~bench:(name bench_idx) ~config [| obs |];
+            (match fault with
+            | Some fault ->
+                if
+                  Fault.maybe_corrupt fault
+                    ~site:(Printf.sprintf "store|%s|%d" (name bench_idx) seed)
+                    (Obs_cache.entry_path cache ~bench:(name bench_idx) ~config)
+                then
+                  J.emit events ~event:"fault_corrupted_cache"
+                    [ ("bench", J.String (name bench_idx)); ("seed", J.Int seed) ]
+            | None -> ())
+        | _ -> ())
       (fun i ->
         let bench_idx, seed = job_specs.(i) in
         match prepared.(bench_idx).Scheduler.result with
-        | Ok prepared -> E.observe_seed prepared seed
+        | Ok prepared ->
+            let attempt = attempts_so_far.(i) + 1 in
+            attempts_so_far.(i) <- attempt;
+            (match fault with
+            | Some fault ->
+                Fault.inject fault
+                  ~site:(Printf.sprintf "job|%s|%d" (name bench_idx) seed)
+                  ~attempt
+            | None -> ());
+            E.observe_seed prepared seed
         | Error _ -> assert false (* unprepared benchmarks enqueue no jobs *))
       (Array.length job_specs)
   in
@@ -209,6 +327,7 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
                   requested = n_layouts;
                   computed = 0;
                   cached = 0;
+                  retries = prepared.(i).Scheduler.attempts - 1;
                   failures;
                   prepare_seconds = prepared.(i).Scheduler.elapsed;
                   observe_seconds = 0.0;
@@ -220,6 +339,7 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
             }
         | Ok prep ->
             let computed_ok = ref [] and failures = ref [] and observe_seconds = ref 0.0 in
+            let bench_retries = ref (prepared.(i).Scheduler.attempts - 1) in
             (* This bench's activity window: from the start of its prepare
                task to the finish of its last observation job. Under
                parallelism the window (wall) is shorter than the summed
@@ -232,6 +352,7 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
                 let bench_idx, seed = job_specs.(c.Scheduler.index) in
                 if bench_idx = i then begin
                   observe_seconds := !observe_seconds +. c.Scheduler.elapsed;
+                  bench_retries := !bench_retries + c.Scheduler.attempts - 1;
                   first_started := Float.min !first_started c.Scheduler.started;
                   last_finished := Float.max !last_finished c.Scheduler.finished;
                   match c.Scheduler.result with
@@ -246,10 +367,9 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
                 (cached_obs.(i) @ !computed_ok)
               |> Array.of_list
             in
-            (match (cache, !computed_ok) with
-            | Some cache, _ :: _ ->
-                Obs_cache.store cache ~bench:(name i) ~config (Array.of_list !computed_ok)
-            | _ -> ());
+            (* Computed observations already reached the cache one by one
+               from the observe phase's on_finish — crash-safe checkpointing
+               made the end-of-campaign bulk store redundant. *)
             let dataset = Interferometry.Dataset_io.reattach prep observations in
             {
               bench;
@@ -261,6 +381,7 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
                   requested = n_layouts;
                   computed = List.length !computed_ok;
                   cached = List.length cached_obs.(i);
+                  retries = !bench_retries;
                   failures = List.sort compare !failures;
                   prepare_seconds = prepared.(i).Scheduler.elapsed;
                   observe_seconds = !observe_seconds;
@@ -279,12 +400,15 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
       jobs;
       config_digest = digest;
       cache_dir;
+      config_args;
+      checkpoint = false;
       started_at;
       wall_seconds = Pi_obs.Clock.now () -. t0;
       total_jobs = n_benches * n_layouts;
       computed_jobs = sum (fun e -> e.Manifest.computed);
       cached_jobs = sum (fun e -> e.Manifest.cached);
       failed_jobs = sum (fun e -> List.length e.Manifest.failures);
+      retried_jobs = sum (fun e -> e.Manifest.retries);
       cache_hits;
       cache_misses;
       benches = List.map (fun o -> o.entry) outcomes;
@@ -296,6 +420,7 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
       ("computed", J.Int manifest.Manifest.computed_jobs);
       ("cached", J.Int manifest.Manifest.cached_jobs);
       ("failed", J.Int manifest.Manifest.failed_jobs);
+      ("retries", J.Int manifest.Manifest.retried_jobs);
       ("wall_secs", J.Float manifest.Manifest.wall_seconds);
       ("complete", J.Bool (Manifest.complete manifest));
     ];

@@ -12,9 +12,15 @@
       and layout-count growth only simulate seeds not yet on disk;
     - every state transition is emitted as a {!Telemetry} JSONL event, and
       the final {!Manifest} records per-benchmark fits and failures;
-    - a job that raises (or overruns the cooperative deadline) is marked
-      failed with its error recorded; the campaign completes the remaining
-      jobs and {!succeeded} reflects the partial failure.
+    - a job that raises (or overruns the cooperative deadline) is retried
+      with exponential backoff up to [retries] times; a job still failing
+      is marked failed with its error recorded; the campaign completes the
+      remaining jobs and {!succeeded} reflects the partial failure;
+    - the campaign is {e crash-safe}: each completed observation is
+      persisted to the cache as it finishes, and a checkpoint manifest
+      ([checkpoint_path]) is written before the first observation job, so
+      an interrupted campaign resumes from exactly what it had finished
+      (see docs/CAMPAIGN.md, "Resilience").
 
     Correctness invariant: a campaign is {e bit-identical} regardless of
     [jobs] and of cache state. Observations depend only on
@@ -41,6 +47,11 @@ val run :
   ?cache_dir:string ->
   ?events:Telemetry.sink ->
   ?deadline:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?fault:Fault.t ->
+  ?checkpoint_path:string ->
+  ?config_args:(string * Telemetry.json) list ->
   ?label:string ->
   n_layouts:int ->
   Pi_workloads.Bench.t list ->
@@ -52,7 +63,18 @@ val run :
     observation cache; [events] (default {!Telemetry.null}) receives the
     JSONL progress stream; [deadline] is the cooperative per-job wall-time
     limit in seconds; [label] names the campaign in the manifest. The
-    caller owns [events] and closes it. *)
+    caller owns [events] and closes it.
+
+    Resilience: [retries] (default 0) re-runs failed tasks with
+    exponential backoff (base [backoff], default 0.05s) — attempt counts
+    surface as [job_retried]/[prepare_retried] events and the manifest's
+    [retries] fields. [checkpoint_path] writes an in-progress manifest
+    before the first observation job (the resume anchor). [fault] turns on
+    the {!Fault} injection harness; faults are deterministic in the fault
+    seed and independent of the experiment PRNG, so a faulty-but-retried
+    campaign still satisfies the bit-identical invariant. [config_args]
+    is recorded verbatim in the manifest so [campaign --resume] can
+    rebuild the config. *)
 
 val suite_label : Pi_workloads.Bench.t list -> string
 (** "2006", "2000", "all" or "custom", from the benchmarks' suite tags. *)

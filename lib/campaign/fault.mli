@@ -1,0 +1,72 @@
+(** Deterministic fault injection for campaign resilience testing.
+
+    A resilience layer is only trustworthy if its failure paths run — in
+    tests, in CI, and on demand against a live campaign. This module
+    injects three fault kinds into the campaign's observation jobs and
+    cache writes:
+
+    - [Exn]: the job raises {!Injected} (exercises retry and failed-job
+      accounting);
+    - [Delay]: the job sleeps before computing (exercises the cooperative
+      deadline and backoff paths);
+    - [Corrupt_cache]: the just-written cache entry is overwritten with a
+      torn, unparsable file (exercises the corrupt-entry-is-a-miss and
+      resume paths).
+
+    Injection is {e deterministic}: whether a fault fires at a given site
+    is a pure function of [(spec seed, site key, attempt)], independent of
+    scheduling, domain count and wall time. Rerunning a faulty campaign
+    with the same spec reproduces exactly the same faults — and because a
+    retry advances the attempt number, a fault with [rate < 1] is
+    transient by construction, which is what the retry machinery needs to
+    be testable. *)
+
+type kind = Exn | Delay | Corrupt_cache
+
+type t = {
+  rate : float;  (** probability in [0, 1] that a site fires *)
+  kinds : kind list;  (** kinds to draw from (uniformly, by site hash) *)
+  seed : int;  (** fault-stream seed; independent of the experiment PRNG *)
+  delay : float;
+      (** sleep injected by [Delay] faults, seconds; [0.] means a small
+          site-hashed duration in [1, 21] ms *)
+}
+
+exception Injected of string
+(** Raised by [Exn] faults; carries the site and attempt for log/manifest
+    readability. *)
+
+val kind_name : kind -> string
+(** ["exn"], ["delay"] or ["corrupt-cache"]. *)
+
+val parse : string -> (t, string) result
+(** Parse a spec like ["rate=0.3,kind=exn,seed=7"]. [rate] is required;
+    [kind] (default [exn]) may be a [+]-separated list, e.g.
+    ["kind=exn+delay"]; [seed] defaults to [0]; [delay=SECS] overrides the
+    [Delay] sleep. *)
+
+val describe : t -> string
+(** Canonical spec string, parseable by {!parse}. *)
+
+val of_env : ?warn:(string -> unit) -> unit -> t option
+(** Read the [PI_FAULT] environment knob. An invalid spec warns (default
+    {!Pi_obs.Log.warn}) and is ignored rather than killing the harness. *)
+
+val hash_uniform : seed:int -> string -> float
+(** Deterministic uniform draw in [\[0, 1)] from a seed and a site key
+    (MD5-based). Also used by {!Scheduler} for backoff jitter, so retry
+    sleep sequences are reproducible. *)
+
+val draw : t -> site:string -> attempt:int -> kind option
+(** The fault (if any) that fires at this [(site, attempt)]. Pure. *)
+
+val inject : t -> site:string -> attempt:int -> unit
+(** Act on {!draw}: raise {!Injected} for [Exn], sleep for [Delay], do
+    nothing for [Corrupt_cache] (corruption happens at the cache-write
+    site, see {!maybe_corrupt}). *)
+
+val maybe_corrupt : t -> site:string -> string -> bool
+(** [maybe_corrupt t ~site path]: when a [Corrupt_cache] fault fires at
+    [site], overwrite [path] with a torn partial entry (returns [true]).
+    The file is left exactly as a crashed writer would leave it — present
+    but unparsable — so loaders must treat it as a miss. *)

@@ -16,6 +16,7 @@ type bench_entry = {
   requested : int;
   computed : int;
   cached : int;
+  retries : int;
   failures : job_failure list;
   prepare_seconds : float;
   observe_seconds : float;
@@ -31,18 +32,21 @@ type t = {
   jobs : int;
   config_digest : string;
   cache_dir : string option;
+  config_args : (string * J.json) list;
+  checkpoint : bool;
   started_at : float;
   wall_seconds : float;
   total_jobs : int;
   computed_jobs : int;
   cached_jobs : int;
   failed_jobs : int;
+  retried_jobs : int;
   cache_hits : int;
   cache_misses : int;
   benches : bench_entry list;
 }
 
-let complete t = t.failed_jobs = 0
+let complete t = (not t.checkpoint) && t.failed_jobs = 0
 
 let fit_to_json (f : fit) =
   J.Obj
@@ -62,6 +66,7 @@ let bench_to_json (b : bench_entry) =
       ("requested", J.Int b.requested);
       ("computed", J.Int b.computed);
       ("cached", J.Int b.cached);
+      ("retries", J.Int b.retries);
       ("failed", J.Int (List.length b.failures));
       ( "failures",
         J.List
@@ -85,17 +90,134 @@ let to_json t =
       ("jobs", J.Int t.jobs);
       ("config_digest", J.String t.config_digest);
       ("cache_dir", match t.cache_dir with None -> J.Null | Some d -> J.String d);
+      ("config_args", J.Obj t.config_args);
+      ("checkpoint", J.Bool t.checkpoint);
       ("started_at", J.Float t.started_at);
       ("wall_seconds", J.Float t.wall_seconds);
       ("total_jobs", J.Int t.total_jobs);
       ("computed_jobs", J.Int t.computed_jobs);
       ("cached_jobs", J.Int t.cached_jobs);
       ("failed_jobs", J.Int t.failed_jobs);
+      ("retried_jobs", J.Int t.retried_jobs);
       ("cache_hits", J.Int t.cache_hits);
       ("cache_misses", J.Int t.cache_misses);
       ("complete", J.Bool (complete t));
       ("benches", J.List (List.map bench_to_json t.benches));
     ]
+
+(* ---- reading a manifest back (campaign --resume) ---- *)
+
+exception Bad of string
+
+let member name = function
+  | J.Obj fields -> ( match List.assoc_opt name fields with Some v -> v | None -> J.Null)
+  | _ -> raise (Bad (Printf.sprintf "%S: expected an object" name))
+
+let get_int name j =
+  match member name j with
+  | J.Int i -> i
+  | _ -> raise (Bad (Printf.sprintf "%S: expected an integer" name))
+
+let get_int_default name ~default j =
+  match member name j with J.Int i -> i | J.Null -> default | _ -> raise (Bad name)
+
+(* Floats that happen to be integral render without a decimal point and
+   parse back as Int — accept both. *)
+let get_num name j =
+  match member name j with
+  | J.Float f -> f
+  | J.Int i -> float_of_int i
+  | _ -> raise (Bad (Printf.sprintf "%S: expected a number" name))
+
+let get_string name j =
+  match member name j with
+  | J.String s -> s
+  | _ -> raise (Bad (Printf.sprintf "%S: expected a string" name))
+
+let get_string_opt name j =
+  match member name j with
+  | J.String s -> Some s
+  | J.Null -> None
+  | _ -> raise (Bad (Printf.sprintf "%S: expected a string or null" name))
+
+let get_bool_default name ~default j =
+  match member name j with
+  | J.Bool b -> b
+  | J.Null -> default
+  | _ -> raise (Bad (Printf.sprintf "%S: expected a bool" name))
+
+let get_list name j =
+  match member name j with
+  | J.List items -> items
+  | _ -> raise (Bad (Printf.sprintf "%S: expected a list" name))
+
+let fit_of_json j =
+  match j with
+  | J.Null -> None
+  | j ->
+      Some
+        {
+          r_squared = get_num "r_squared" j;
+          slope = get_num "slope" j;
+          intercept = get_num "intercept" j;
+          mean_mpki = get_num "mean_mpki" j;
+          mean_cpi = get_num "mean_cpi" j;
+        }
+
+let failure_of_json j = { seed = get_int "seed" j; error = get_string "error" j }
+
+let bench_of_json j =
+  {
+    bench = get_string "bench" j;
+    suite = get_string "suite" j;
+    requested = get_int "requested" j;
+    computed = get_int "computed" j;
+    cached = get_int "cached" j;
+    retries = get_int_default "retries" ~default:0 j;
+    failures = List.map failure_of_json (get_list "failures" j);
+    prepare_seconds = get_num "prepare_seconds" j;
+    observe_seconds = get_num "observe_seconds" j;
+    wall_seconds = get_num "wall_seconds" j;
+    cpu_seconds = get_num "cpu_seconds" j;
+    prepare_error = get_string_opt "prepare_error" j;
+    fit = fit_of_json (member "fit" j);
+  }
+
+let of_json j =
+  match
+    {
+      label = get_string "label" j;
+      n_layouts = get_int "n_layouts" j;
+      jobs = get_int "jobs" j;
+      config_digest = get_string "config_digest" j;
+      cache_dir = get_string_opt "cache_dir" j;
+      config_args = (match member "config_args" j with J.Obj f -> f | _ -> []);
+      checkpoint = get_bool_default "checkpoint" ~default:false j;
+      started_at = get_num "started_at" j;
+      wall_seconds = get_num "wall_seconds" j;
+      total_jobs = get_int "total_jobs" j;
+      computed_jobs = get_int "computed_jobs" j;
+      cached_jobs = get_int "cached_jobs" j;
+      failed_jobs = get_int "failed_jobs" j;
+      retried_jobs = get_int_default "retried_jobs" ~default:0 j;
+      cache_hits = get_int "cache_hits" j;
+      cache_misses = get_int "cache_misses" j;
+      benches = List.map bench_of_json (get_list "benches" j);
+    }
+  with
+  | t -> Ok t
+  | exception Bad msg -> Error (Printf.sprintf "not a manifest: bad field %s" msg)
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match J.parse contents with
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+      | Ok j -> (
+          match of_json j with
+          | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+          | Ok t -> Ok t))
 
 let save t ~path =
   let oc = open_out path in
@@ -124,6 +246,8 @@ let summary_table t =
     t.benches;
   Buffer.add_string buf
     (Printf.sprintf
-       "total: %d jobs (%d computed, %d cached, %d failed) on %d domain(s) in %.1fs\n"
-       t.total_jobs t.computed_jobs t.cached_jobs t.failed_jobs t.jobs t.wall_seconds);
+       "total: %d jobs (%d computed, %d cached, %d failed%s) on %d domain(s) in %.1fs\n"
+       t.total_jobs t.computed_jobs t.cached_jobs t.failed_jobs
+       (if t.retried_jobs > 0 then Printf.sprintf ", %d retries" t.retried_jobs else "")
+       t.jobs t.wall_seconds);
   Buffer.contents buf

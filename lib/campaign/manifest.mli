@@ -24,6 +24,9 @@ type bench_entry = {
   requested : int;  (** layouts asked for *)
   computed : int;  (** observation jobs actually simulated *)
   cached : int;  (** jobs served from the observation cache *)
+  retries : int;
+      (** extra attempts spent on this bench's tasks (prepare included);
+          0 when every task succeeded first try *)
   failures : job_failure list;
   prepare_seconds : float;
   observe_seconds : float;  (** summed wall time of this bench's computed jobs *)
@@ -44,12 +47,21 @@ type t = {
   jobs : int;
   config_digest : string;
   cache_dir : string option;
+  config_args : (string * Telemetry.json) list;
+      (** the caller-facing knobs (quick/seed/scale/heap_random for the
+          CLI) that rebuilt [config]; [campaign --resume] reconstructs the
+          config from these and verifies it against [config_digest] *)
+  checkpoint : bool;
+      (** true for the in-progress manifest written at campaign start —
+          the resume anchor an interrupted run leaves behind; the final
+          manifest overwrites it with [checkpoint = false] *)
   started_at : float;  (** unix seconds *)
   wall_seconds : float;
   total_jobs : int;
   computed_jobs : int;
   cached_jobs : int;
   failed_jobs : int;
+  retried_jobs : int;  (** extra attempts spent across all benches *)
   cache_hits : int;  (** observation-cache probes answered from disk *)
   cache_misses : int;
       (** probes that missed and became compute jobs; 0 when no cache
@@ -58,12 +70,22 @@ type t = {
 }
 
 val complete : t -> bool
-(** True when every observation job of every benchmark succeeded. *)
+(** True when this is a final (non-checkpoint) manifest and every
+    observation job of every benchmark succeeded. *)
 
 val to_json : t -> Telemetry.json
 
+val of_json : Telemetry.json -> (t, string) result
+(** Inverse of {!to_json}. Fields added after v1 ([retries],
+    [checkpoint], [config_args]) default when absent, so pre-resilience
+    manifests still load. *)
+
 val save : t -> path:string -> unit
 (** Write the manifest as (indent-free) JSON. *)
+
+val load : path:string -> (t, string) result
+(** Read a manifest written by {!save} — the entry point of
+    [campaign --resume]. *)
 
 val summary_table : t -> string
 (** Human-readable per-benchmark table for terminal output. *)

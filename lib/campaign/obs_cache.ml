@@ -6,14 +6,41 @@ module Cache = Pi_uarch.Cache
 
 type t = { dir : string }
 
+(* Distinguishes concurrent writers within one process (scheduler domains
+   or parallel campaigns in tests); the pid distinguishes processes. *)
+let tmp_counter = Atomic.make 0
+
 let rec mkdir_p path =
   if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
     mkdir_p (Filename.dirname path);
     try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* A crashed (or killed) writer leaves its unique temp file behind; the
+   entry itself is intact, so the orphan is pure garbage. Reap it on the
+   next [create] — but only once it is old enough that it cannot belong to
+   a still-running campaign sharing this directory. *)
+let orphan_tmp_age = 600.0
+
+let cleanup_orphan_tmps dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+      let now = Unix.time () in
+      Array.iter
+        (fun name ->
+          if Filename.check_suffix name ".tmp" then
+            let path = Filename.concat dir name in
+            match Unix.stat path with
+            | { Unix.st_kind = Unix.S_REG; st_mtime; _ }
+              when now -. st_mtime > orphan_tmp_age -> (
+                try Sys.remove path with Sys_error _ -> ())
+            | _ | (exception Unix.Unix_error _) -> ())
+        entries
+
 let create ~dir =
   mkdir_p dir;
+  cleanup_orphan_tmps dir;
   { dir }
 
 let dir t = t.dir
@@ -54,9 +81,30 @@ let config_key (c : E.config) =
 
 let config_digest config = Digest.to_hex (Digest.string (config_key config))
 
+(* Benchmark names come from the registry, but custom benches are
+   arbitrary strings; a name containing '/' (or a path escape like "..")
+   must not address files outside the cache root. Percent-escaping is
+   injective — '%' itself is escaped, so distinct names never collide —
+   and keeps registry names (all [A-Za-z0-9_.-]) byte-identical. *)
+let sanitize_bench_name bench =
+  let plain = function
+    | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '.' | '-' -> true
+    | _ -> false
+  in
+  if bench <> "" && String.for_all plain bench then bench
+  else begin
+    let buf = Buffer.create (String.length bench + 8) in
+    String.iter
+      (fun c ->
+        if plain c then Buffer.add_char buf c
+        else Printf.bprintf buf "%%%02X" (Char.code c))
+      bench;
+    Buffer.contents buf
+  end
+
 let entry_path t ~bench ~config =
   let digest = String.sub (config_digest config) 0 16 in
-  Filename.concat t.dir (Printf.sprintf "%s.%s.csv" bench digest)
+  Filename.concat t.dir (Printf.sprintf "%s.%s.csv" (sanitize_bench_name bench) digest)
 
 let load t ~bench ~config =
   let path = entry_path t ~bench ~config in
@@ -83,11 +131,28 @@ let store t ~bench ~config observations =
       (fun (a : E.observation) b -> compare a.E.layout_seed b.E.layout_seed)
       merged
   in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Dataset_io.header_line ^ "\n");
-      List.iter (fun o -> output_string oc (Dataset_io.observation_to_row o ^ "\n")) merged);
+  (* Unique temp name per writer: two campaigns sharing a cache directory
+     must never clobber each other's in-flight write, and a crash must
+     leave an identifiable orphan (reaped by [create]) rather than a stale
+     fixed-name ".tmp" blocking the next writer. fsync before the rename
+     makes the entry durable before it becomes visible: after a power
+     loss the path holds either the old entry or the complete new one. *)
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc (Dataset_io.header_line ^ "\n");
+         List.iter
+           (fun o -> output_string oc (Dataset_io.observation_to_row o ^ "\n"))
+           merged;
+         flush oc;
+         Unix.fsync (Unix.descr_of_out_channel oc))
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
   Sys.rename tmp path

@@ -19,7 +19,9 @@ type t
 
 val create : dir:string -> t
 (** Use [dir] as the cache root, creating it (and missing parents) if
-    needed. *)
+    needed. Orphaned temp files left by crashed writers ([*.tmp] older
+    than ten minutes — young ones may belong to a live campaign sharing
+    the directory) are removed. *)
 
 val dir : t -> string
 
@@ -29,8 +31,15 @@ val config_digest : Interferometry.Experiment.config -> string
     closures cannot be hashed; all machines in {!Pi_uarch.Machine} carry
     distinct names). *)
 
+val sanitize_bench_name : string -> string
+(** Filename-safe form of a benchmark name: characters outside
+    [[A-Za-z0-9_.-]] are percent-escaped (['%'] included, so the mapping
+    is injective). Registry names pass through unchanged; a hostile name
+    like ["../x"] can no longer address files outside the cache root. *)
+
 val entry_path : t -> bench:string -> config:Interferometry.Experiment.config -> string
-(** The CSV file that does/would hold this [(bench, config)] entry. *)
+(** The CSV file that does/would hold this [(bench, config)] entry; the
+    bench component is {!sanitize_bench_name}d. *)
 
 val load :
   t ->
@@ -47,4 +56,8 @@ val store :
   Interferometry.Experiment.observation array ->
   unit
 (** Merge the observations into the entry (new rows win on seed collision)
-    and atomically replace the file, so a reader never sees a torn write. *)
+    and atomically replace the file, so a reader never sees a torn write.
+    The replacement goes through a unique temp name (pid + counter, safe
+    under concurrent writers sharing the directory) and is fsynced before
+    the rename, so after a crash the entry is either the old version or
+    the complete new one — never a partial file. *)

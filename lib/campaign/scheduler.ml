@@ -9,6 +9,7 @@ type 'a completion = {
   elapsed : float;
   started : float;
   finished : float;
+  attempts : int;
 }
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
@@ -30,9 +31,20 @@ let m_queue_depth =
 let m_job_seconds =
   Metrics.histogram ~help:"per-task wall seconds (monotonic)" "pi_obs_scheduler_job_seconds"
 
-let map ?jobs ?deadline ?on_start ?on_finish f n =
+let m_retries =
+  Metrics.counter ~help:"task attempts that failed and were retried"
+    "pi_obs_scheduler_retries_total"
+
+let m_backoff_seconds =
+  Metrics.histogram ~help:"backoff sleeps before task retries (seconds)"
+    "pi_obs_scheduler_backoff_seconds"
+
+let map ?jobs ?deadline ?(retries = 0) ?(backoff = 0.05) ?on_start ?on_retry ?on_finish f n
+    =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then invalid_arg "Scheduler.map: jobs < 1";
+  if retries < 0 then invalid_arg "Scheduler.map: retries < 0";
+  if not (backoff >= 0.0) then invalid_arg "Scheduler.map: backoff < 0";
   if n < 0 then invalid_arg "Scheduler.map: negative task count";
   let results = Array.make n None in
   let next = Atomic.make 0 in
@@ -46,33 +58,58 @@ let map ?jobs ?deadline ?on_start ?on_finish f n =
     Option.iter (fun cb -> notify (cb i)) on_start;
     (* Durations come from the monotonic clock: a wall-clock (NTP) step
        mid-task must not produce negative or inflated elapsed times. *)
-    let t0 = Clock.now () in
-    let result =
+    let started = Clock.now () in
+    (* One attempt: the clock is read exactly once after [f] returns, so
+       the deadline comparison, the reported overrun and the completion's
+       window all agree on the same measurement. *)
+    let run_attempt t0 =
       match f i with
       | value -> (
+          let finished = Clock.now () in
+          let elapsed = finished -. t0 in
           match deadline with
-          | Some limit when Clock.now () -. t0 > limit ->
-              Error
-                {
-                  message =
-                    Printf.sprintf "deadline exceeded: %.3fs > %.3fs limit"
-                      (Clock.now () -. t0) limit;
-                  backtrace = "";
-                }
-          | _ -> Ok value)
+          | Some limit when elapsed > limit ->
+              ( Error
+                  {
+                    message =
+                      Printf.sprintf "deadline exceeded: %.3fs > %.3fs limit" elapsed
+                        limit;
+                    backtrace = "";
+                  },
+                finished )
+          | _ -> (Ok value, finished))
       | exception exn ->
-          Error
-            {
-              message = Printexc.to_string exn;
-              backtrace = Printexc.get_backtrace ();
-            }
+          ( Error
+              {
+                message = Printexc.to_string exn;
+                backtrace = Printexc.get_backtrace ();
+              },
+            Clock.now () )
     in
-    let finished = Clock.now () in
-    let elapsed = finished -. t0 in
+    let rec attempt_loop attempt t0 =
+      match run_attempt t0 with
+      | (Error e, _) when attempt <= retries ->
+          Metrics.inc m_retries;
+          (* Exponential backoff with deterministic jitter: base * 2^k,
+             scaled by [0.5, 1.5) from a hash of (index, attempt), so
+             retry storms decorrelate without touching any PRNG state. *)
+          let sleep =
+            backoff
+            *. (2.0 ** float_of_int (attempt - 1))
+            *. (0.5 +. Fault.hash_uniform ~seed:0 (Printf.sprintf "backoff|%d|%d" i attempt))
+          in
+          Metrics.observe m_backoff_seconds sleep;
+          Option.iter (fun cb -> notify (cb i ~attempt ~backoff:sleep e)) on_retry;
+          if sleep > 0.0 then Unix.sleepf sleep;
+          attempt_loop (attempt + 1) (Clock.now ())
+      | (result, finished) -> (result, finished, attempt)
+    in
+    let result, finished, attempts = attempt_loop 1 started in
+    let elapsed = finished -. started in
     Metrics.observe m_job_seconds elapsed;
     Metrics.inc (match result with Ok _ -> m_jobs_ok | Error _ -> m_jobs_error);
     Metrics.set m_queue_depth (float_of_int (pending ()));
-    let completion = { index = i; result; elapsed; started = t0; finished } in
+    let completion = { index = i; result; elapsed; started; finished; attempts } in
     (* Distinct indices: each slot is written by exactly one worker. *)
     results.(i) <- Some completion;
     Option.iter (fun cb -> notify (cb completion)) on_finish

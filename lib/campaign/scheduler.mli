@@ -15,7 +15,15 @@
     tasks that overran it as failed after the fact (OCaml domains cannot be
     killed preemptively, so the overrunning task still runs to completion;
     the deadline bounds what the campaign {e accepts}, not what it
-    {e spends}). *)
+    {e spends}).
+
+    Transient-failure resilience: with [retries > 0], a failed attempt
+    (exception or deadline overrun) is re-run up to [retries] more times
+    after an exponential-backoff sleep with deterministic jitter
+    ([backoff * 2^k], scaled by [0.5, 1.5) from a hash of the task index
+    and attempt — no PRNG state is touched, so retry schedules are
+    reproducible). Only the final attempt's result lands in the
+    completion; [attempts] records how many were spent. *)
 
 type error = {
   message : string;  (** [Printexc.to_string] of the raised exception *)
@@ -25,9 +33,12 @@ type error = {
 type 'a completion = {
   index : int;
   result : ('a, error) result;
-  elapsed : float;  (** seconds spent inside the task ({!Pi_obs.Clock.now}) *)
-  started : float;  (** monotonic timestamp at task start *)
-  finished : float;  (** monotonic timestamp at task end *)
+  elapsed : float;
+      (** seconds from first attempt start to last attempt end
+          ({!Pi_obs.Clock.now}), backoff sleeps included *)
+  started : float;  (** monotonic timestamp at first attempt start *)
+  finished : float;  (** monotonic timestamp at last attempt end *)
+  attempts : int;  (** attempts spent, [1] when the first try decided it *)
 }
 
 val default_jobs : unit -> int
@@ -36,7 +47,10 @@ val default_jobs : unit -> int
 val map :
   ?jobs:int ->
   ?deadline:float ->
+  ?retries:int ->
+  ?backoff:float ->
   ?on_start:(int -> pending:int -> unit) ->
+  ?on_retry:(int -> attempt:int -> backoff:float -> error -> pending:int -> unit) ->
   ?on_finish:('a completion -> pending:int -> unit) ->
   (int -> 'a) ->
   int ->
@@ -44,6 +58,12 @@ val map :
 (** [map f n] evaluates [f 0 .. f (n-1)] on up to [jobs] domains (default
     {!default_jobs}; [jobs = 1] runs everything on the calling domain with
     no spawns) and returns the completions in index order.
+
+    [retries] (default 0) re-runs failed attempts after an exponential
+    backoff sleep of [backoff * 2^k] seconds (default base 0.05s) with
+    deterministic jitter; [on_retry] fires before each sleep with the
+    attempt number (1-based), the chosen sleep and the error that caused
+    the retry.
 
     [pending] is the number of tasks not yet claimed by any worker — the
     queue depth at the moment of the callback. Callbacks are serialized

@@ -61,6 +61,186 @@ let to_string json =
   render buf json;
   Buffer.contents buf
 
+(* Recursive-descent parser for the same dialect [render] emits (plus
+   insignificant whitespace): resuming a campaign means reading back the
+   manifest this module wrote, without hauling in a JSON dependency.
+   Numbers without '.', 'e' or 'E' parse as [Int]; everything else as
+   [Float]. *)
+exception Parse_error of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg -> raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)))
+      fmt
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> incr pos
+    | Some d -> fail "expected %C, found %C" c d
+    | None -> fail "expected %C, found end of input" c
+  in
+  let literal word value =
+    let len = String.length word in
+    if !pos + len <= n && String.sub s !pos len = word then begin
+      pos := !pos + len;
+      value
+    end
+    else fail "invalid literal"
+  in
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "invalid \\u escape"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+          incr pos;
+          Buffer.contents buf
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'; incr pos
+          | '\\' -> Buffer.add_char buf '\\'; incr pos
+          | '/' -> Buffer.add_char buf '/'; incr pos
+          | 'n' -> Buffer.add_char buf '\n'; incr pos
+          | 'r' -> Buffer.add_char buf '\r'; incr pos
+          | 't' -> Buffer.add_char buf '\t'; incr pos
+          | 'b' -> Buffer.add_char buf '\b'; incr pos
+          | 'f' -> Buffer.add_char buf '\012'; incr pos
+          | 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let code =
+                (hex_digit s.[!pos + 1] lsl 12)
+                lor (hex_digit s.[!pos + 2] lsl 8)
+                lor (hex_digit s.[!pos + 3] lsl 4)
+                lor hex_digit s.[!pos + 4]
+              in
+              Buffer.add_utf_8_uchar buf (Uchar.of_int code);
+              pos := !pos + 5
+          | c -> fail "invalid escape \\%C" c);
+          go ()
+      | c when Char.code c < 0x20 -> fail "unescaped control character"
+      | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    while
+      !pos < n
+      && match s.[!pos] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false
+    do
+      incr pos
+    done;
+    let token = String.sub s start (!pos - start) in
+    let looks_int =
+      not (String.exists (function '.' | 'e' | 'E' -> true | _ -> false) token)
+    in
+    if looks_int then
+      match int_of_string_opt token with
+      | Some i -> Int i
+      | None -> (
+          (* out of int range: keep the value, lose the intness *)
+          match float_of_string_opt token with
+          | Some f -> Float f
+          | None -> fail "invalid number %S" token)
+    else
+      match float_of_string_opt token with
+      | Some f -> Float f
+      | None -> fail "invalid number %S" token
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          List []
+        end
+        else
+          let rec items acc =
+            let item = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                items (item :: acc)
+            | Some ']' ->
+                incr pos;
+                List (List.rev (item :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else
+          let field () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            (key, parse_value ())
+          in
+          let rec fields acc =
+            let f = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                fields (f :: acc)
+            | Some '}' ->
+                incr pos;
+                Obj (List.rev (f :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          fields []
+    | Some c -> fail "unexpected character %C" c
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
 let metrics_json samples =
   let sample_json (s : Pi_obs.Metrics.sample) =
     let labels = Obj (List.map (fun (k, v) -> (k, String v)) s.Pi_obs.Metrics.labels) in

@@ -21,6 +21,13 @@ val to_string : json -> string
 (** Compact single-line rendering. Non-finite floats become [null] (JSON
     has no NaN/infinity). *)
 
+val parse : string -> (json, string) result
+(** Parse one JSON value (the dialect {!to_string} emits, plus
+    insignificant whitespace) — enough to read back a {!Manifest} for
+    [campaign --resume] without an external JSON dependency. Numbers
+    without a fraction or exponent parse as [Int], everything else as
+    [Float]; trailing non-whitespace is an error. *)
+
 val metrics_json : Pi_obs.Metrics.sample list -> json
 (** Render a {!Pi_obs.Metrics.scrape} as
     [{"metrics":[{"name":...,"labels":{...},"type":...,...},...]}] — the

@@ -2,27 +2,53 @@
 
    Knobs: PI_PERF_SCALE (default 4), PI_PERF_LAYOUTS (default 12),
    PI_PERF_BENCH (default 400.perlbench), PI_PERF_OUT (default
-   BENCH_pipeline.json; "-" to skip the file).
+   BENCH_pipeline.json; "-" to skip the file), PI_SWEEP_SCALE (default 2 —
+   the sweep benchmark is gated, so it runs at the scale whose fused/
+   sequential ratio is most reproducible on a noisy box; independent of
+   PI_PERF_SCALE), PI_SWEEP_OUT (default BENCH_sweep.json; "-" to skip the
+   file), PI_SWEEP_GATE (minimum fused sweep speedup, default 0 = no gate;
+   `make perf` passes 3).
 
-   Exits nonzero when replay counts diverge from the legacy path or replay
-   is slower than legacy, so `make check` can use it as a regression
-   smoke. *)
+   Exits nonzero when replay counts diverge from the legacy path, replay is
+   slower than legacy, the fused sweep diverges from the sequential study,
+   or the fused speedup misses PI_SWEEP_GATE — so `make check` can use it
+   as a regression smoke. *)
 
 let () =
   (* Tracing stays on while timing: the published perf numbers must include
      the instrumentation overhead they are gating (docs/PERF.md). *)
   Pi_obs.Span.set_enabled true;
   let scale = Interferometry.Knobs.env_int "PI_PERF_SCALE" 4 in
+  let sweep_scale = Interferometry.Knobs.env_int "PI_SWEEP_SCALE" 2 in
   let layouts = Interferometry.Knobs.env_int "PI_PERF_LAYOUTS" 12 in
   let bench =
     Option.value ~default:"400.perlbench" (Sys.getenv_opt "PI_PERF_BENCH")
   in
   let out = Option.value ~default:"BENCH_pipeline.json" (Sys.getenv_opt "PI_PERF_OUT") in
+  let sweep_out =
+    Option.value ~default:"BENCH_sweep.json" (Sys.getenv_opt "PI_SWEEP_OUT")
+  in
+  let sweep_gate =
+    match Sys.getenv_opt "PI_SWEEP_GATE" with
+    | None | Some "" -> 0.0
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some g when g >= 0.0 -> g
+        | _ ->
+            Pi_obs.Log.warn "PI_SWEEP_GATE=%s is not a float; gate disabled" s;
+            0.0)
+  in
   let r = Interferometry.Perf_bench.run ~bench ~scale ~layouts () in
   print_endline (Interferometry.Perf_bench.summary r);
   if out <> "-" then begin
     Interferometry.Perf_bench.write_json ~path:out r;
     Printf.printf "wrote %s\n" out
+  end;
+  let s = Interferometry.Perf_bench.run_sweep ~bench ~scale:sweep_scale () in
+  print_endline (Interferometry.Perf_bench.sweep_summary s);
+  if sweep_out <> "-" then begin
+    Interferometry.Perf_bench.write_sweep_json ~path:sweep_out s;
+    Printf.printf "wrote %s\n" sweep_out
   end;
   if not r.Interferometry.Perf_bench.identical then begin
     prerr_endline "FAIL: replay counts differ from the legacy pipeline";
@@ -31,5 +57,14 @@ let () =
   if r.Interferometry.Perf_bench.speedup < 1.0 then begin
     Printf.eprintf "FAIL: replay slower than legacy (%.2fx)\n"
       r.Interferometry.Perf_bench.speedup;
+    exit 1
+  end;
+  if not s.Interferometry.Perf_bench.sweep_identical then begin
+    prerr_endline "FAIL: fused sweep diverges from the sequential study";
+    exit 1
+  end;
+  if s.Interferometry.Perf_bench.sweep_speedup < sweep_gate then begin
+    Printf.eprintf "FAIL: fused sweep speedup %.2fx below gate %.2fx\n"
+      s.Interferometry.Perf_bench.sweep_speedup sweep_gate;
     exit 1
   end

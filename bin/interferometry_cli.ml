@@ -6,7 +6,7 @@
      interferometry model   <bench> --layouts 50
      interferometry blame   <bench> --layouts 50
      interferometry predict <bench> --layouts 30
-     interferometry sweep   <bench>                  (145-config linearity study)
+     interferometry sweep   <bench> [--jobs N] [--check]  (145-config linearity study)
      interferometry cache   <bench> --layouts 25     (cache interferometry)
      interferometry report  <bench> -o study.md      (full Markdown report)
      interferometry export  <bench> runs.csv         (CSV persistence)
@@ -337,15 +337,40 @@ let report_cmd =
     Term.(const run $ bench_pos $ layouts_term $ seed_term $ scale_term $ heap_random_term $ path_term)
 
 let sweep_cmd =
-  let run bench seed scale metrics_out trace_out =
+  let jobs_term =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Shard the fused lanes over $(docv) domains (default 1: one \
+                   fused pass on the calling domain). Results are bit-identical \
+                   for any value.")
+  in
+  let check_term =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Also run the sequential per-config study and fail (exit 1) \
+                   unless it matches the fused study bit for bit.")
+  in
+  let run bench seed scale jobs check metrics_out trace_out =
     with_obs ~metrics_out ~trace_out @@ fun () ->
+    if jobs < 1 then begin
+      Printf.eprintf "sweep: --jobs must be >= 1 (got %d)\n" jobs;
+      exit 2
+    end;
     let config = config_of ~seed ~scale ~heap_random:false in
     let prepared = E.prepare ~config bench in
     let placement = Pi_layout.Placement.natural prepared.E.program in
+    let map_shards =
+      if jobs > 1 then Some (Pi_campaign.Campaign.sweep_shard_map ~jobs ()) else None
+    in
     let s =
-      Pi_uarch.Sweep.run_study ~warmup_blocks:prepared.E.warmup_blocks
+      Pi_uarch.Sweep.run_study ~warmup_blocks:prepared.E.warmup_blocks ~shards:jobs ?map_shards
         ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace placement
     in
+    Printf.printf
+      "%d fused lanes + %d per-config, %d shard%s, %d warmup blocks\n"
+      s.Pi_uarch.Sweep.fused_lanes s.Pi_uarch.Sweep.fallback_lanes s.Pi_uarch.Sweep.shards
+      (if s.Pi_uarch.Sweep.shards = 1 then "" else "s")
+      s.Pi_uarch.Sweep.warmup_blocks;
     Printf.printf "regression over 145 imperfect configurations: %s\n"
       (Format.asprintf "%a" Linreg.pp s.Pi_uarch.Sweep.regression);
     Printf.printf "perfect:  actual CPI %.4f, extrapolated %.4f (error %.2f%%)\n"
@@ -354,11 +379,27 @@ let sweep_cmd =
     Printf.printf "L-TAGE:   actual CPI %.4f at %.3f MPKI, interpolated %.4f (error %.2f%%)\n"
       s.Pi_uarch.Sweep.ltage_point.Pi_uarch.Sweep.cpi
       s.Pi_uarch.Sweep.ltage_point.Pi_uarch.Sweep.mpki s.Pi_uarch.Sweep.predicted_ltage_cpi
-      s.Pi_uarch.Sweep.ltage_error_percent
+      s.Pi_uarch.Sweep.ltage_error_percent;
+    if check then begin
+      let sequential =
+        Pi_uarch.Sweep.run_study ~warmup_blocks:prepared.E.warmup_blocks ~fused:false
+          ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace placement
+      in
+      if
+        s.Pi_uarch.Sweep.points = sequential.Pi_uarch.Sweep.points
+        && s.Pi_uarch.Sweep.perfect_cpi = sequential.Pi_uarch.Sweep.perfect_cpi
+        && s.Pi_uarch.Sweep.ltage_point = sequential.Pi_uarch.Sweep.ltage_point
+      then print_endline "check: fused study identical to sequential study"
+      else begin
+        prerr_endline "FAIL: fused study differs from sequential study";
+        exit 1
+      end
+    end
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Section-3 linearity study: 145 predictor configurations.")
-    Term.(const run $ bench_pos $ seed_term $ scale_term $ metrics_out_term $ trace_out_term)
+    Term.(const run $ bench_pos $ seed_term $ scale_term $ jobs_term $ check_term
+          $ metrics_out_term $ trace_out_term)
 
 let campaign_cmd =
   let suite_term =
@@ -698,7 +739,7 @@ let stats_cmd =
     Term.(const run $ bench_term $ stats_layouts_term $ seed_term $ stats_scale_term)
 
 let perf_cmd =
-  let run bench scale layouts out =
+  let run bench scale sweep_scale layouts out sweep_out =
     let r = Interferometry.Perf_bench.run ~bench:bench.Pi_workloads.Bench.name ~scale ~layouts () in
     print_endline (Interferometry.Perf_bench.summary r);
     Option.iter
@@ -706,6 +747,16 @@ let perf_cmd =
         Interferometry.Perf_bench.write_json ~path r;
         Printf.printf "wrote %s\n" path)
       out;
+    let s =
+      Interferometry.Perf_bench.run_sweep ~bench:bench.Pi_workloads.Bench.name
+        ~scale:sweep_scale ()
+    in
+    print_endline (Interferometry.Perf_bench.sweep_summary s);
+    Option.iter
+      (fun path ->
+        Interferometry.Perf_bench.write_sweep_json ~path s;
+        Printf.printf "wrote %s\n" path)
+      sweep_out;
     if not r.Interferometry.Perf_bench.identical then begin
       prerr_endline "FAIL: replay counts differ from the legacy pipeline";
       exit 1
@@ -713,6 +764,10 @@ let perf_cmd =
     if r.Interferometry.Perf_bench.speedup < 1.0 then begin
       Printf.eprintf "FAIL: replay slower than legacy (%.2fx)\n"
         r.Interferometry.Perf_bench.speedup;
+      exit 1
+    end;
+    if not s.Interferometry.Perf_bench.sweep_identical then begin
+      prerr_endline "FAIL: fused sweep diverges from the sequential study";
       exit 1
     end
   in
@@ -725,6 +780,12 @@ let perf_cmd =
   let perf_scale_term =
     Arg.(value & opt int 4 & info [ "scale" ] ~docv:"K" ~doc:"Workload scale.")
   in
+  let sweep_scale_term =
+    Arg.(value & opt int 2
+         & info [ "sweep-scale" ] ~docv:"K"
+             ~doc:"Workload scale of the fused-sweep benchmark (independent of \
+                   $(b,--scale)).")
+  in
   let perf_layouts_term =
     Arg.(value & opt int 12 & info [ "layouts"; "n" ] ~docv:"N"
            ~doc:"Placements timed per path.")
@@ -733,19 +794,27 @@ let perf_cmd =
     Arg.(value & opt (some string) None
          & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write BENCH_pipeline.json here.")
   in
+  let sweep_out_term =
+    Arg.(value & opt (some string) None
+         & info [ "sweep-out" ] ~docv:"FILE" ~doc:"Write BENCH_sweep.json here.")
+  in
   Cmd.v
     (Cmd.info "perf"
-       ~doc:"Time the legacy pipeline against the compiled replay plan."
+       ~doc:"Time the legacy pipeline against the compiled replay plan, and the \
+             fused predictor sweep against the per-config loop."
        ~man:
          [
            `S Manpage.s_description;
            `P
              "Compiles a replay plan for one benchmark trace, then times the same \
-              placements through Pipeline.run_unoptimized and Replay.run. Fails \
-              (exit 1) if the two paths disagree on any counter or if replay is \
+              placements through Pipeline.run_unoptimized and Replay.run, and the \
+              145-configuration predictor grid through the sequential per-config \
+              loop and the fused one-pass engine (Replay.run_many). Fails (exit 1) \
+              if either pair of paths disagrees on any counter or if replay is \
               slower than legacy. See docs/PERF.md.";
          ])
-    Term.(const run $ bench_term $ perf_scale_term $ perf_layouts_term $ out_term)
+    Term.(const run $ bench_term $ perf_scale_term $ sweep_scale_term $ perf_layouts_term
+          $ out_term $ sweep_out_term)
 
 let () =
   let doc = "Program interferometry: performance modelling by layout perturbation" in

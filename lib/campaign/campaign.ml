@@ -30,6 +30,20 @@ let suite_label benches =
   | false, true -> "2000"
   | false, false -> "custom"
 
+(* Domain-parallel shard map for {!Pi_uarch.Sweep.run_study}: each fused
+   lane shard becomes one Scheduler task. Shards are pure compute over
+   shared immutable plan/batch structures (no I/O, no shared mutable
+   state), so no deadline or retry policy applies; a shard failure is a
+   programming error and is re-raised. Results land in shard-index order,
+   preserving the study's deterministic merge. *)
+let sweep_shard_map ?jobs () : Pi_uarch.Sweep.shard_map =
+ fun f n ->
+  Scheduler.map ?jobs f n
+  |> Array.map (fun (c : _ Scheduler.completion) ->
+         match c.Scheduler.result with
+         | Ok counts -> counts
+         | Error e -> failwith (Printf.sprintf "sweep shard failed: %s" e.Scheduler.message))
+
 let fit_of dataset =
   let cpis = E.cpis dataset and mpkis = E.mpkis dataset in
   if Array.length cpis < 3 then None
@@ -188,6 +202,10 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
       requested = n_layouts;
       computed = 0;
       cached = List.length cached_obs.(i);
+      warmup_blocks =
+        (match prepared.(i).Scheduler.result with
+        | Ok p -> p.E.warmup_blocks
+        | Error _ -> 0);
       retries = prepared.(i).Scheduler.attempts - 1;
       failures;
       prepare_seconds = prepared.(i).Scheduler.elapsed;
@@ -327,6 +345,7 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
                   requested = n_layouts;
                   computed = 0;
                   cached = 0;
+                  warmup_blocks = 0;
                   retries = prepared.(i).Scheduler.attempts - 1;
                   failures;
                   prepare_seconds = prepared.(i).Scheduler.elapsed;
@@ -381,6 +400,7 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
                   requested = n_layouts;
                   computed = List.length !computed_ok;
                   cached = List.length cached_obs.(i);
+                  warmup_blocks = prep.E.warmup_blocks;
                   retries = !bench_retries;
                   failures = List.sort compare !failures;
                   prepare_seconds = prepared.(i).Scheduler.elapsed;

@@ -78,3 +78,10 @@ val run :
 
 val suite_label : Pi_workloads.Bench.t list -> string
 (** "2006", "2000", "all" or "custom", from the benchmarks' suite tags. *)
+
+val sweep_shard_map : ?jobs:int -> unit -> Pi_uarch.Sweep.shard_map
+(** A {!Pi_uarch.Sweep.shard_map} backed by {!Scheduler.map}: evaluates the
+    fused lane shards of a predictor study on [jobs] domains (default
+    {!Scheduler.default_jobs}) and returns their counts in shard-index
+    order, so [Sweep.run_study ~map_shards:(sweep_shard_map ~jobs ())] is
+    bit-identical to the sequential study for any [jobs]. *)

@@ -16,6 +16,7 @@ type bench_entry = {
   requested : int;
   computed : int;
   cached : int;
+  warmup_blocks : int;
   retries : int;
   failures : job_failure list;
   prepare_seconds : float;
@@ -66,6 +67,7 @@ let bench_to_json (b : bench_entry) =
       ("requested", J.Int b.requested);
       ("computed", J.Int b.computed);
       ("cached", J.Int b.cached);
+      ("warmup_blocks", J.Int b.warmup_blocks);
       ("retries", J.Int b.retries);
       ("failed", J.Int (List.length b.failures));
       ( "failures",
@@ -173,6 +175,7 @@ let bench_of_json j =
     requested = get_int "requested" j;
     computed = get_int "computed" j;
     cached = get_int "cached" j;
+    warmup_blocks = get_int_default "warmup_blocks" ~default:0 j;
     retries = get_int_default "retries" ~default:0 j;
     failures = List.map failure_of_json (get_list "failures" j);
     prepare_seconds = get_num "prepare_seconds" j;

@@ -24,6 +24,10 @@ type bench_entry = {
   requested : int;  (** layouts asked for *)
   computed : int;  (** observation jobs actually simulated *)
   cached : int;  (** jobs served from the observation cache *)
+  warmup_blocks : int;
+      (** leading trace blocks excluded from every observation's counts —
+          recorded so downstream fits are auditable; 0 when the benchmark
+          never prepared (or in pre-PR5 manifests) *)
   retries : int;
       (** extra attempts spent on this bench's tasks (prepare included);
           0 when every task succeeded first try *)
@@ -77,8 +81,8 @@ val to_json : t -> Telemetry.json
 
 val of_json : Telemetry.json -> (t, string) result
 (** Inverse of {!to_json}. Fields added after v1 ([retries],
-    [checkpoint], [config_args]) default when absent, so pre-resilience
-    manifests still load. *)
+    [checkpoint], [config_args], [warmup_blocks]) default when absent, so
+    older manifests still load. *)
 
 val save : t -> path:string -> unit
 (** Write the manifest as (indent-free) JSON. *)

@@ -32,3 +32,44 @@ val write_json : path:string -> result -> unit
 
 val summary : result -> string
 (** Human-readable multi-line summary. *)
+
+(** {1 Fused-sweep benchmark}
+
+    Times the 145-configuration grid ({!Pi_uarch.Sweep.run_grid}) through the
+    sequential per-config loop ([fused:false]) and the fused one-pass engine,
+    verifies the full studies ({!Pi_uarch.Sweep.run_study}) are bit-identical
+    across the two paths, and renders the throughput numbers as JSON
+    ([BENCH_sweep.json]). *)
+
+type sweep_result = {
+  sweep_bench : string;
+  sweep_scale : int;
+  study_configs : int;  (** grid configurations timed per study (145) *)
+  fused_lanes : int;  (** configurations swept by the one-pass engine *)
+  fallback_lanes : int;  (** configurations on the per-config path *)
+  blocks_per_pass : int;  (** dynamic blocks walked per study pass *)
+  baseline_seconds : float;
+      (** best-of-5 wall time of the 145-config grid, sequential path *)
+  fused_seconds : float;  (** best-of-5 wall time of the grid, fused path *)
+  baseline_configs_per_sec : float;
+  fused_configs_per_sec : float;
+  lane_blocks_per_sec : float;  (** fused_lanes x blocks / fused_seconds *)
+  sweep_speedup : float;  (** baseline_seconds / fused_seconds *)
+  sweep_identical : bool;  (** fused study = sequential study, bit for bit *)
+}
+
+val run_sweep : ?bench:string -> ?scale:int -> unit -> sweep_result
+(** Build the benchmark (default 400.perlbench at scale 4), trace it once,
+    then time {!Sweep.run_grid} through each path on the same placement —
+    best of five reps per path, so a scheduler hiccup in one rep cannot
+    fail the gate. The perfect/L-TAGE references and the regression are
+    identical sequential work on both paths and are excluded from timing;
+    [sweep_identical] still compares the two {e full} studies (and the two
+    grids) bit for bit. Both paths are warmed by one untimed fused study
+    first. *)
+
+val sweep_to_json : sweep_result -> string
+val write_sweep_json : path:string -> sweep_result -> unit
+
+val sweep_summary : sweep_result -> string
+(** Human-readable multi-line summary. *)

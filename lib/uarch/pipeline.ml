@@ -758,6 +758,807 @@ let replay ?(warmup_blocks = 0) plan (placement : Pi_layout.Placement.t) =
 let run ?warmup_blocks config trace placement =
   replay ?warmup_blocks (compile config trace) placement
 
+(* ------------------------------------------------------------------ *)
+(* Fused multi-predictor sweeps.
+
+   A predictor sweep replays the *same* plan under the *same* placement once
+   per configuration, yet the trace walk, the data-side memory hierarchy and
+   the indirect-target predictor never depend on the direction predictor.
+   [replay_many] walks the plan once for a whole batch of predictor lanes,
+   sharing everything that is predictor-invariant and keeping per-lane
+   copies of exactly the state a lane's own mispredictions can perturb:
+
+   - shared: block sequence and decoded steps, trace cache, L1D, the data
+     prefetcher, the indirect predictor/BTB, and the instruction/branch
+     event counters — their inputs are placement- and trace-derived only;
+   - per lane: cycles, conditional mispredicts, and the L1I and L2 images.
+     The caches must be replicated because wrong-path effects (fetching the
+     alternate target into L1I, speculatively touching the next data line in
+     L2) fire per mispredict, and mispredicts differ per lane.
+
+   Lane predictor state is a structure of arrays: every lane's saturating
+   counter tables are packed into one byte image ([tab], copied fresh from
+   [tab_init] per pass) addressed through per-lane offset/mask arrays, and
+   lanes are sorted by kernel kind so the per-branch inner loops are
+   branch-free dispatches over contiguous ranges. All history-based lanes
+   share one global history register: a lane's history is the shared
+   register masked to the lane's length, which holds because every kernel
+   starts at zero history and shifts in the same outcome bit.
+
+   Per-lane cache images use a set-major layout ([set][lane][way]) so the
+   lane loop of one fetch or data reference scans contiguous memory.
+
+   The correctness bar is the repo's standing invariant: each lane's counts
+   are bit-identical to a sequential [replay] of that configuration — the
+   same floats accumulated in the same order, the same state transitions in
+   the same sequence. *)
+
+type batch = {
+  batch_n : int;  (** fused lanes *)
+  batch_names : string array;  (** lane names, internal (kind-sorted) order *)
+  batch_src : int array;  (** internal lane -> index into the caller's config array *)
+  batch_fallback : int array;  (** caller indices with no kernel: per-config path *)
+  (* Kind ranges over internal lanes: [0,bim_hi) bimodal, [bim_hi,gsh_hi)
+     gshare, [gsh_hi,gas_hi) GAs, [gas_hi,batch_n) hybrid. *)
+  bim_hi : int;
+  gsh_hi : int;
+  gas_hi : int;
+  tab_init : Bytes.t;  (** fresh counter-table image; blitted into scratch per pass *)
+  (* Per-lane kernel parameters, internal lane order. [off1]/[mask1] is the
+     main counter table (hybrid: the GAs table); [off2]/[off3] are the
+     hybrid bimodal and chooser tables (unused otherwise). *)
+  off1 : int array;
+  mask1 : int array;
+  off2 : int array;
+  mask2 : int array;
+  off3 : int array;
+  mask3 : int array;
+  hmask : int array;  (** history mask; 0 for historyless lanes *)
+  amask : int array;  (** GAs address mask *)
+  hbits : int array;  (** GAs history bits *)
+  gimask : int array;  (** hybrid gas_index_mask *)
+  hist_keep : int;  (** OR of all [hmask]: shared-history retention mask *)
+  mutable scratch : batch_scratch option;
+      (** reusable per-pass bulk state (counter tables, L1I/L2 images),
+          kept across passes so repeated [replay_many] calls on one batch
+          skip tens of MB of allocation and the GC marking it costs;
+          concurrent passes must use distinct batches (shards are) *)
+}
+
+(* Bulk per-pass state that outlives a pass. [bs_tab] receives a blit of
+   [tab_init]; [bs_l1i]/[bs_set_mru] are refilled. The per-lane L2 image is
+   lazier still: strips (one [nl * assoc] tag block per L2 set, set-major)
+   are allocated on first touch ever and invalidated per pass through the
+   [seen] bitmap, so a pass only clears the sets it actually references.
+   Keyed on the plan's cache geometry — a batch replayed on a different
+   machine reallocates. *)
+and batch_scratch = {
+  bs_sets : int;
+  bs_assoc : int;
+  bs_strips : int array array;
+  bs_seen : Bytes.t;
+  bs_tab : Bytes.t;
+  bs_l1i : int array;
+  bs_set_mru : int array;
+  bs_lane_mru : int array;
+}
+
+let batch_lanes b = b.batch_n
+let batch_names b = b.batch_names
+let batch_src b = b.batch_src
+let batch_fallback b = b.batch_fallback
+let batch_table_bytes b = Bytes.length b.tab_init
+
+let batch_of (configs : (string * (unit -> Predictor.t)) array) =
+  let n = Array.length configs in
+  let preds = Array.map (fun (_, make) -> make ()) configs in
+  (* The shared-history trick requires every history register to start at
+     zero (all Counter_table predictors do); anything else falls back. *)
+  let kind_of (p : Predictor.t) =
+    match p.Predictor.kernel with
+    | Some (Predictor.Bimodal_k _) -> 0
+    | Some (Predictor.Gshare_k k) -> if !(k.history) = 0 then 1 else -1
+    | Some (Predictor.Gas_k k) -> if !(k.history) = 0 then 2 else -1
+    | Some (Predictor.Hybrid_k k) -> if !(k.history) = 0 then 3 else -1
+    | None -> -1
+  in
+  let kinds = Array.map kind_of preds in
+  let indices_of k =
+    List.filter (fun i -> kinds.(i) = k) (List.init n (fun i -> i))
+  in
+  let order = Array.of_list (List.concat_map indices_of [ 0; 1; 2; 3 ]) in
+  let fallback = Array.of_list (indices_of (-1)) in
+  let nl = Array.length order in
+  let count k = Array.fold_left (fun a x -> if x = k then a + 1 else a) 0 kinds in
+  let bim_hi = count 0 in
+  let gsh_hi = bim_hi + count 1 in
+  let gas_hi = gsh_hi + count 2 in
+  let off1 = Array.make nl 0 and mask1 = Array.make nl 0 in
+  let off2 = Array.make nl 0 and mask2 = Array.make nl 0 in
+  let off3 = Array.make nl 0 and mask3 = Array.make nl 0 in
+  let hmask = Array.make nl 0 in
+  let amask = Array.make nl 0 in
+  let hbits = Array.make nl 0 in
+  let gimask = Array.make nl 0 in
+  let total = ref 0 in
+  (* Counters are packed four per byte in the fused image (each is a 2-bit
+     saturator): the whole 145-config grid then fits in well under 1 MiB,
+     where the one-per-byte layout of the sequential predictors would keep
+     3+ MiB hot and kernel updates cache-miss-bound. Offsets are in counter
+     units; every table is padded to a 4-counter boundary so a byte never
+     spans two tables. *)
+  let blits = ref [] in
+  let alloc bytes =
+    let o = !total in
+    total := o + ((Bytes.length bytes + 3) land lnot 3);
+    blits := (o, bytes) :: !blits;
+    o
+  in
+  Array.iteri
+    (fun j i ->
+      match preds.(i).Predictor.kernel with
+      | Some (Predictor.Bimodal_k k) ->
+          off1.(j) <- alloc k.counters;
+          mask1.(j) <- k.mask
+      | Some (Predictor.Gshare_k k) ->
+          off1.(j) <- alloc k.counters;
+          mask1.(j) <- k.mask;
+          hmask.(j) <- k.history_mask
+      | Some (Predictor.Gas_k k) ->
+          off1.(j) <- alloc k.counters;
+          mask1.(j) <- k.mask;
+          hmask.(j) <- k.history_mask;
+          amask.(j) <- k.addr_mask;
+          hbits.(j) <- k.history_bits
+      | Some (Predictor.Hybrid_k k) ->
+          off1.(j) <- alloc k.gas;
+          mask1.(j) <- k.gas_mask;
+          gimask.(j) <- k.gas_index_mask;
+          off2.(j) <- alloc k.bim;
+          mask2.(j) <- k.bim_mask;
+          off3.(j) <- alloc k.cho;
+          mask3.(j) <- k.cho_mask;
+          hmask.(j) <- k.history_mask
+      | None -> assert false)
+    order;
+  let tab_init = Bytes.make ((!total + 3) / 4) '\000' in
+  List.iter
+    (fun (o, b) ->
+      for k = 0 to Bytes.length b - 1 do
+        let pos = o + k in
+        let byte = Char.code (Bytes.get tab_init (pos lsr 2)) in
+        let sh = (pos land 3) lsl 1 in
+        Bytes.set tab_init (pos lsr 2)
+          (Char.chr (byte lor (Char.code (Bytes.get b k) lsl sh)))
+      done)
+    !blits;
+  {
+    batch_n = nl;
+    batch_names = Array.map (fun i -> fst configs.(i)) order;
+    batch_src = order;
+    batch_fallback = fallback;
+    bim_hi;
+    gsh_hi;
+    gas_hi;
+    tab_init;
+    off1;
+    mask1;
+    off2;
+    mask2;
+    off3;
+    mask3;
+    hmask;
+    amask;
+    hbits;
+    gimask;
+    hist_keep = Array.fold_left ( lor ) 0 hmask;
+    scratch = None;
+  }
+
+(* Split a batch into [shards] contiguous sub-batches of near-equal lane
+   count. Lane tables are allocated in internal-lane order, so a shard's
+   tables occupy one contiguous slice of [tab_init]; offsets are rebased to
+   the slice (offsets of tables a shard's kinds never read may go negative —
+   they are never dereferenced). Sub-batches carry no fallback lanes: the
+   fallback set belongs to the whole batch, not to any shard. *)
+let batch_shard b ~shards =
+  let nl = b.batch_n in
+  let k = if nl = 0 then 1 else max 1 (min shards nl) in
+  (* The 1-shard "split" is the batch itself: no copies, and — more to the
+     point — the batch keeps its [scratch], so back-to-back passes over a
+     memoized batch skip the per-set strip reallocation entirely. *)
+  if k = 1 then [| b |]
+  else begin
+    Array.init k (fun s ->
+        let lo = s * nl / k and hi = (s + 1) * nl / k in
+        let m = hi - lo in
+        let sub a = Array.sub a lo m in
+        let clamp x = max 0 (min m (x - lo)) in
+        (* Offsets are counter units, all 4-aligned, so the byte slice
+           boundaries below are exact. *)
+        let start = b.off1.(lo) in
+        let stop = if hi < nl then b.off1.(hi) else 4 * Bytes.length b.tab_init in
+        let rebase a = Array.map (fun o -> o - start) (sub a) in
+        let hmask = sub b.hmask in
+        {
+          batch_n = m;
+          batch_names = sub b.batch_names;
+          batch_src = sub b.batch_src;
+          batch_fallback = [||];
+          bim_hi = clamp b.bim_hi;
+          gsh_hi = clamp b.gsh_hi;
+          gas_hi = clamp b.gas_hi;
+          tab_init = Bytes.sub b.tab_init (start lsr 2) ((stop - start) lsr 2);
+          off1 = rebase b.off1;
+          mask1 = sub b.mask1;
+          off2 = rebase b.off2;
+          mask2 = sub b.mask2;
+          off3 = rebase b.off3;
+          mask3 = sub b.mask3;
+          hmask;
+          amask = sub b.amask;
+          hbits = sub b.hbits;
+          gimask = sub b.gimask;
+          hist_keep = Array.fold_left ( lor ) 0 hmask;
+          scratch = None;
+        })
+  end
+
+let m_fused_passes =
+  Pi_obs.Metrics.counter ~help:"fused sweep passes executed" "pi_obs_sweep_fused_passes_total"
+
+let m_lane_blocks =
+  Pi_obs.Metrics.counter ~help:"lane x dynamic-block work units swept by fused passes"
+    "pi_obs_sweep_lane_blocks_total"
+
+let g_lanes_per_pass =
+  Pi_obs.Metrics.gauge ~help:"predictor lanes carried by the most recent fused pass"
+    "pi_obs_sweep_lanes_per_pass"
+
+(* [find_way]/[promote] over a flat multi-lane tag image; identical scans to
+   {!Cache.find_way}/{!Cache.promote} so lane cache transitions replicate
+   the sequential path exactly. *)
+let[@inline] lane_find_way (tags : int array) base assoc (tag : int) =
+  let limit = base + assoc in
+  let i = ref base in
+  while !i < limit && Array.unsafe_get tags !i <> tag do incr i done;
+  if !i < limit then !i - base else -1
+
+let[@inline] lane_promote (tags : int array) base way (tag : int) =
+  for w = base + way downto base + 1 do
+    Array.unsafe_set tags w (Array.unsafe_get tags (w - 1))
+  done;
+  Array.unsafe_set tags base tag
+
+let replay_many_body ~warmup_blocks plan batch (placement : Pi_layout.Placement.t) =
+  let config = plan.plan_config in
+  let nl = batch.batch_n in
+  let trace = plan.plan_trace in
+  let code = placement.Pi_layout.Placement.code in
+  let data = placement.Pi_layout.Placement.data in
+  let indirect_predictor = config.make_indirect () in
+  let prefetcher = if config.data_prefetcher then Some (Prefetcher.create ()) else None in
+  let trace_cache = Option.map Trace_cache.create config.trace_cache in
+  let l1d = Cache.create config.l1d in
+  let block_addr = code.Pi_layout.Code_layout.block_addr in
+  let block_bytes = code.Pi_layout.Code_layout.block_bytes in
+  let branch_pc = code.Pi_layout.Code_layout.branch_pc in
+  let ibr_pc = code.Pi_layout.Code_layout.ibr_pc in
+  let global_base = data.Pi_layout.Data_layout.global_base in
+  let heap_base = data.Pi_layout.Data_layout.heap_base in
+  let l1i_shift = log2_exact config.l1i.Cache.line_bytes in
+  let l1i_sets = Cache.geometry_sets config.l1i in
+  let l1i_set_mask = l1i_sets - 1 in
+  let l1i_assoc = config.l1i.Cache.assoc in
+  let l2_shift = log2_exact config.l2.Cache.line_bytes in
+  let l2_sets = Cache.geometry_sets config.l2 in
+  let l2_set_mask = l2_sets - 1 in
+  let l2_assoc = config.l2.Cache.assoc in
+  (* Per-lane cache images, set-major ([set][lane][way]): the lane loop of a
+     single reference walks [nl * assoc] adjacent words. The L1I image is
+     small and eager; the L2 image would be [sets * nl * assoc] words
+     (tens of MB for a 4 MiB cache), most of it for sets the trace never
+     references, so L2 strips are allocated per set on first touch. All of
+     it lives in the batch's scratch and is reset (not reallocated) when
+     geometry and table size still match. *)
+  let l1i_words = l1i_sets * nl * l1i_assoc in
+  let tab_len = Bytes.length batch.tab_init in
+  let scratch =
+    match batch.scratch with
+    | Some s
+      when s.bs_sets = l2_sets && s.bs_assoc = l2_assoc
+           && Array.length s.bs_l1i = l1i_words
+           && Bytes.length s.bs_tab = tab_len ->
+        Bytes.fill s.bs_seen 0 l2_sets '\000';
+        Array.fill s.bs_l1i 0 l1i_words (-1);
+        Array.fill s.bs_set_mru 0 l1i_sets (-1);
+        (* [bs_lane_mru] needs no reset: it is only read on sets already
+           marked mixed, and the divergence that marks a set mixed fills
+           its lane row first. *)
+        s
+    | _ ->
+        let s =
+          {
+            bs_sets = l2_sets;
+            bs_assoc = l2_assoc;
+            bs_strips = Array.make l2_sets [||];
+            bs_seen = Bytes.make l2_sets '\000';
+            bs_tab = Bytes.create tab_len;
+            bs_l1i = Array.make l1i_words (-1);
+            bs_set_mru = Array.make l1i_sets (-1);
+            bs_lane_mru = Array.make (l1i_sets * nl) (-1);
+          }
+        in
+        batch.scratch <- Some s;
+        s
+  in
+  let l1i_tags = scratch.bs_l1i in
+  (* MRU summary of the L1I images. The committed fetch stream is
+     lane-invariant, so lanes' way-0 tags for a set agree until a
+     wrong-path touch diverges them: [set_mru.(s)] holds the common way-0
+     line of a still-uniform set (every fetch of that line is a whole-batch
+     fast-path hit, no per-lane work at all), or [mixed] once any lane
+     diverged, after which [lane_mru] carries per-lane way-0 tags. Both are
+     accelerators only — [l1i_tags] stays the source of truth. *)
+  let mixed = -2 in
+  let set_mru = scratch.bs_set_mru in
+  let lane_mru = scratch.bs_lane_mru in
+  let mru_diverge s j line =
+    let m = Array.unsafe_get set_mru s in
+    if m <> mixed then begin
+      Array.fill lane_mru (s * nl) nl m;
+      Array.unsafe_set set_mru s mixed
+    end;
+    Array.unsafe_set lane_mru ((s * nl) + j) line
+  in
+  let l2_strips = scratch.bs_strips in
+  let l2_seen = scratch.bs_seen in
+  let l2_strip set =
+    if Bytes.unsafe_get l2_seen set <> '\000' then Array.unsafe_get l2_strips set
+    else begin
+      Bytes.unsafe_set l2_seen set '\001';
+      let s = Array.unsafe_get l2_strips set in
+      if Array.length s > 0 then begin
+        Array.fill s 0 (nl * l2_assoc) (-1);
+        s
+      end
+      else begin
+        let s = Array.make (nl * l2_assoc) (-1) in
+        Array.unsafe_set l2_strips set s;
+        s
+      end
+    end
+  in
+  let l1i_line_mask = lnot (config.l1i.Cache.line_bytes - 1) in
+  let data_line_mask = lnot (config.l1d.Cache.line_bytes - 1) in
+  let pen = config.penalties in
+  let l1i_miss_penalty = pen.l1i_miss in
+  let l2_fetch_penalty = pen.l2_miss *. 0.7 in
+  let l1d_miss_penalty = pen.l1d_miss in
+  let l2_miss_penalty = pen.l2_miss in
+  let mispredict_penalty = pen.mispredict in
+  let btb_miss_penalty = pen.btb_miss in
+  let step_block = plan.step_block in
+  let step_instrs = plan.step_instrs in
+  let step_cost = plan.step_cost in
+  let step_mem_start = plan.step_mem_start in
+  let step_mem_count = plan.step_mem_count in
+  let step_kind = plan.step_kind in
+  let step_id = plan.step_id in
+  let step_next = plan.step_next in
+  let step_alt = plan.step_alt in
+  let ev_factor = plan.ev_factor in
+  let ev_mem_id = plan.ev_mem_id in
+  let mem_events = trace.Trace.mem_events in
+  let n_events = Array.length mem_events in
+  (* Lane predictor state: one byte image for every counter table plus the
+     shared global history register. *)
+  let tab = scratch.bs_tab in
+  Bytes.blit batch.tab_init 0 tab 0 tab_len;
+  let off1 = batch.off1 and mask1 = batch.mask1 in
+  let off2 = batch.off2 and mask2 = batch.mask2 in
+  let off3 = batch.off3 and mask3 = batch.mask3 in
+  let hmask = batch.hmask and amask = batch.amask in
+  let hbits = batch.hbits and gimask = batch.gimask in
+  let hist_keep = batch.hist_keep in
+  let history = ref 0 in
+  let bim_hi = batch.bim_hi and gsh_hi = batch.gsh_hi and gas_hi = batch.gas_hi in
+  (* Per-lane accumulators and cache counters (with warmup snapshots). *)
+  let cyc = Array.make nl 0.0 in
+  let cond_mis = Array.make nl 0 in
+  let l1i_acc = Array.make nl 0 and l1i_mis = Array.make nl 0 in
+  let l2_acc = Array.make nl 0 and l2_mis = Array.make nl 0 in
+  let l1i_acc0 = Array.make nl 0 and l1i_mis0 = Array.make nl 0 in
+  let l2_acc0 = Array.make nl 0 and l2_mis0 = Array.make nl 0 in
+  let wrong_runs = Array.make nl 0 in
+  let last_pf = Array.make nl (-1) in
+  (* Shared (lane-invariant) counters. *)
+  let cond_branches = ref 0 in
+  let indirect_branches = ref 0 in
+  let indirect_mispredicts = ref 0 in
+  let btb_misses = ref 0 in
+  let instructions = ref 0 in
+  (* Committed fetch lines are lane-invariant: one shared access counter;
+     [l1i_acc] holds only the lane-specific wrong-path touches. *)
+  let fetch_lines = ref 0 in
+  let fetch_lines0 = ref 0 in
+  let l1d_base = ref (0, 0) in
+  let wrong_path = config.wrong_path in
+  (* Counted L2 reference for one lane; mirrors [Cache.access]. The way-0
+     check is open-coded: [lane_find_way]/[lane_promote] contain loops, so
+     the compiler never inlines them, and a way-0 hit (the common case)
+     needs neither call. *)
+  let l2_ref j addr =
+    Array.unsafe_set l2_acc j (Array.unsafe_get l2_acc j + 1);
+    let line = addr lsr l2_shift in
+    let strip = l2_strip (line land l2_set_mask) in
+    let base = j * l2_assoc in
+    if Array.unsafe_get strip base = line then true
+    else begin
+      let way = lane_find_way strip base l2_assoc line in
+      if way >= 0 then begin
+        lane_promote strip base way line;
+        true
+      end
+      else begin
+        Array.unsafe_set l2_mis j (Array.unsafe_get l2_mis j + 1);
+        lane_promote strip base (l2_assoc - 1) line;
+        false
+      end
+    end
+  in
+  let l2_probe j addr =
+    let line = addr lsr l2_shift in
+    let strip = l2_strip (line land l2_set_mask) in
+    let base = j * l2_assoc in
+    Array.unsafe_get strip base = line || lane_find_way strip base l2_assoc line >= 0
+  in
+  (* Counted L1I reference (the wrong-path touch); the fetch loop inlines
+     its own copy to keep the MRU fast path. Touching promotes [line] to
+     way 0 of this lane only, so a uniform set diverges here. *)
+  let l1i_touch j addr =
+    Array.unsafe_set l1i_acc j (Array.unsafe_get l1i_acc j + 1);
+    let line = addr lsr l1i_shift in
+    let s = line land l1i_set_mask in
+    let base = ((s * nl) + j) * l1i_assoc in
+    (* Way-0 hit: promote is a no-op and the MRU summary already agrees
+       (a uniform set's common line, or this lane's [lane_mru] entry). *)
+    if Array.unsafe_get l1i_tags base <> line then begin
+      let way = lane_find_way l1i_tags base l1i_assoc line in
+      if way >= 0 then lane_promote l1i_tags base way line
+      else begin
+        Array.unsafe_set l1i_mis j (Array.unsafe_get l1i_mis j + 1);
+        lane_promote l1i_tags base (l1i_assoc - 1) line
+      end;
+      if Array.unsafe_get set_mru s <> line then mru_diverge s j line
+    end
+  in
+  let l1i_probe j addr =
+    let line = addr lsr l1i_shift in
+    let s = line land l1i_set_mask in
+    let m = Array.unsafe_get set_mru s in
+    m = line
+    || (m = mixed && Array.unsafe_get lane_mru ((s * nl) + j) = line)
+    || lane_find_way l1i_tags (((s * nl) + j) * l1i_assoc) l1i_assoc line >= 0
+  in
+  (* Per-lane wrong-path effects; [cursor] is the first memory event of the
+     next block, as in [replay]. *)
+  let wrong_path_effects j alternate_block cursor =
+    let alt_line = Array.unsafe_get block_addr alternate_block land l1i_line_mask in
+    if (not (l1i_probe j alt_line)) && l2_probe j alt_line then l1i_touch j alt_line;
+    let r = Array.unsafe_get wrong_runs j + 1 in
+    Array.unsafe_set wrong_runs j r;
+    if r land 7 = 0 && Array.unsafe_get last_pf j <> cursor && cursor < n_events then begin
+      let next_event = Array.unsafe_get mem_events cursor in
+      let addr = Pi_layout.Data_layout.address data next_event in
+      ignore (l2_ref j (addr land data_line_mask));
+      Array.unsafe_set last_pf j cursor
+    end
+  in
+  let n = Array.length step_block in
+  let warmup = min warmup_blocks (max 0 (n - 1)) in
+  for i = 0 to n - 1 do
+    if i = warmup then begin
+      Array.fill cyc 0 nl 0.0;
+      Array.fill cond_mis 0 nl 0;
+      indirect_mispredicts := 0;
+      btb_misses := 0;
+      cond_branches := 0;
+      indirect_branches := 0;
+      instructions := 0;
+      fetch_lines0 := !fetch_lines;
+      Array.blit l1i_acc 0 l1i_acc0 0 nl;
+      Array.blit l1i_mis 0 l1i_mis0 0 nl;
+      Array.blit l2_acc 0 l2_acc0 0 nl;
+      Array.blit l2_mis 0 l2_mis0 0 nl;
+      l1d_base := (Cache.accesses l1d, Cache.misses l1d)
+    end;
+    let b = Array.unsafe_get step_block i in
+    instructions := !instructions + Array.unsafe_get step_instrs i;
+    let cost = Array.unsafe_get step_cost i in
+    for j = 0 to nl - 1 do
+      Array.unsafe_set cyc j (Array.unsafe_get cyc j +. cost)
+    done;
+    let trace_cache_hit =
+      match trace_cache with
+      | Some tc -> Trace_cache.access tc ~block_id:b
+      | None -> false
+    in
+    if not trace_cache_hit then begin
+      let addr = Array.unsafe_get block_addr b in
+      let first = addr lsr l1i_shift in
+      let last = (addr + Array.unsafe_get block_bytes b - 1) lsr l1i_shift in
+      for l = first to last do
+        let s = l land l1i_set_mask in
+        incr fetch_lines;
+        (* Whole-batch MRU fast path: a uniform set whose common way-0 line
+           is [l] hits in every lane with no per-lane work at all. *)
+        if Array.unsafe_get set_mru s <> l then begin
+          let set_base = s * nl * l1i_assoc in
+          let line_addr = l lsl l1i_shift in
+          if Array.unsafe_get set_mru s <> mixed then begin
+            (* Uniform set, other way-0 line: every lane takes the slow
+               path (its way 0 holds the same non-[l] line) and finishes
+               with [l] at way 0, so the set stays uniform. *)
+            for j = 0 to nl - 1 do
+              let base = set_base + (j * l1i_assoc) in
+              let way = lane_find_way l1i_tags base l1i_assoc l in
+              if way >= 0 then lane_promote l1i_tags base way l
+              else begin
+                Array.unsafe_set l1i_mis j (Array.unsafe_get l1i_mis j + 1);
+                lane_promote l1i_tags base (l1i_assoc - 1) l;
+                if l2_ref j line_addr then
+                  Array.unsafe_set cyc j (Array.unsafe_get cyc j +. l1i_miss_penalty)
+                else Array.unsafe_set cyc j (Array.unsafe_get cyc j +. l2_fetch_penalty)
+              end
+            done;
+            Array.unsafe_set set_mru s l
+          end
+          else begin
+            let mru_base = s * nl in
+            for j = 0 to nl - 1 do
+              (* Per-lane MRU fast path, as in [replay]: promote would be a
+                 no-op. *)
+              if Array.unsafe_get lane_mru (mru_base + j) <> l then begin
+                let base = set_base + (j * l1i_assoc) in
+                let way = lane_find_way l1i_tags base l1i_assoc l in
+                (if way >= 0 then lane_promote l1i_tags base way l
+                 else begin
+                   Array.unsafe_set l1i_mis j (Array.unsafe_get l1i_mis j + 1);
+                   lane_promote l1i_tags base (l1i_assoc - 1) l;
+                   if l2_ref j line_addr then
+                     Array.unsafe_set cyc j (Array.unsafe_get cyc j +. l1i_miss_penalty)
+                   else Array.unsafe_set cyc j (Array.unsafe_get cyc j +. l2_fetch_penalty)
+                 end);
+                Array.unsafe_set lane_mru (mru_base + j) l
+              end
+            done;
+            (* Every lane now holds [l] at way 0: the set healed back to
+               uniform, so wrong-path divergence is transient. *)
+            Array.unsafe_set set_mru s l
+          end
+        end
+      done
+    end;
+    let mstart = Array.unsafe_get step_mem_start i in
+    let mcount = Array.unsafe_get step_mem_count i in
+    if mcount > 0 then begin
+      for k = mstart to mstart + mcount - 1 do
+        let e = Array.unsafe_get mem_events k in
+        let addr =
+          let offset = Trace.mem_offset e in
+          match Trace.mem_space e with
+          | Program.Global -> global_base.(Trace.mem_target e) + offset
+          | Program.Heap -> heap_base.(Trace.mem_target e).(Trace.mem_obj e) + offset
+        in
+        if not (Cache.access l1d addr) then begin
+          let factor = Array.unsafe_get ev_factor k in
+          let hit_pen = l1d_miss_penalty *. factor in
+          let miss_pen = l2_miss_penalty *. factor in
+          (* Inlined [l2_ref] with the set strip hoisted out of the lane
+             loop: every lane references the same L2 set. *)
+          let line = addr lsr l2_shift in
+          let strip = l2_strip (line land l2_set_mask) in
+          for j = 0 to nl - 1 do
+            Array.unsafe_set l2_acc j (Array.unsafe_get l2_acc j + 1);
+            let base = j * l2_assoc in
+            if Array.unsafe_get strip base = line then
+              Array.unsafe_set cyc j (Array.unsafe_get cyc j +. hit_pen)
+            else begin
+              let way = lane_find_way strip base l2_assoc line in
+              if way >= 0 then begin
+                lane_promote strip base way line;
+                Array.unsafe_set cyc j (Array.unsafe_get cyc j +. hit_pen)
+              end
+              else begin
+                Array.unsafe_set l2_mis j (Array.unsafe_get l2_mis j + 1);
+                lane_promote strip base (l2_assoc - 1) line;
+                Array.unsafe_set cyc j (Array.unsafe_get cyc j +. miss_pen)
+              end
+            end
+          done
+        end;
+        match prefetcher with
+        | Some pf -> (
+            match Prefetcher.observe pf ~mem_id:(Array.unsafe_get ev_mem_id k) ~addr with
+            | Some (first, count) ->
+                for p = 0 to count - 1 do
+                  let line_addr = first + (p * 64) in
+                  let line = line_addr lsr l2_shift in
+                  let strip = l2_strip (line land l2_set_mask) in
+                  for j = 0 to nl - 1 do
+                    let base = j * l2_assoc in
+                    if Array.unsafe_get strip base <> line then begin
+                      let way = lane_find_way strip base l2_assoc line in
+                      lane_promote strip base (if way >= 0 then way else l2_assoc - 1) line
+                    end
+                  done;
+                  Cache.fill l1d line_addr
+                done
+            | None -> ())
+        | None -> ()
+      done
+    end;
+    let kind = Array.unsafe_get step_kind i in
+    if kind <> 0 then
+      if kind < 3 then begin
+        incr cond_branches;
+        let taken_int = kind - 1 in
+        let hashed = Array.unsafe_get branch_pc (Array.unsafe_get step_id i) lsr 1 in
+        let h_all = !history in
+        let cursor = mstart + mcount in
+        let alt = Array.unsafe_get step_alt i in
+        (* Per-kind lane loops, each reproducing the matching [replay]
+           kernel arm decision-for-decision on the lane's packed tables. *)
+        for j = 0 to bim_hi - 1 do
+          let idx = hashed land Array.unsafe_get mask1 j in
+          let pos = Array.unsafe_get off1 j + idx in
+          let byte = Char.code (Bytes.unsafe_get tab (pos lsr 2)) in
+          let sh = (pos land 3) lsl 1 in
+          let c = (byte lsr sh) land 3 in
+          Bytes.unsafe_set tab (pos lsr 2)
+            (Char.unsafe_chr (byte lxor ((c lxor sat2_update c taken_int) lsl sh)));
+          if (c lsr 1) land 1 <> taken_int then begin
+            (* open-coded [mispredicted]: a closure call per lane-mispredict
+               is measurable at ~1M events per pass *)
+            Array.unsafe_set cond_mis j (Array.unsafe_get cond_mis j + 1);
+            Array.unsafe_set cyc j (Array.unsafe_get cyc j +. mispredict_penalty);
+            if wrong_path then wrong_path_effects j alt cursor
+          end
+        done;
+        for j = bim_hi to gsh_hi - 1 do
+          let h = h_all land Array.unsafe_get hmask j in
+          let idx = (hashed lxor h) land Array.unsafe_get mask1 j in
+          let pos = Array.unsafe_get off1 j + idx in
+          let byte = Char.code (Bytes.unsafe_get tab (pos lsr 2)) in
+          let sh = (pos land 3) lsl 1 in
+          let c = (byte lsr sh) land 3 in
+          Bytes.unsafe_set tab (pos lsr 2)
+            (Char.unsafe_chr (byte lxor ((c lxor sat2_update c taken_int) lsl sh)));
+          if (c lsr 1) land 1 <> taken_int then begin
+            (* open-coded [mispredicted]: a closure call per lane-mispredict
+               is measurable at ~1M events per pass *)
+            Array.unsafe_set cond_mis j (Array.unsafe_get cond_mis j + 1);
+            Array.unsafe_set cyc j (Array.unsafe_get cyc j +. mispredict_penalty);
+            if wrong_path then wrong_path_effects j alt cursor
+          end
+        done;
+        for j = gsh_hi to gas_hi - 1 do
+          let h = h_all land Array.unsafe_get hmask j in
+          let idx =
+            (((hashed land Array.unsafe_get amask j) lsl Array.unsafe_get hbits j) lor h)
+            land Array.unsafe_get mask1 j
+          in
+          let pos = Array.unsafe_get off1 j + idx in
+          let byte = Char.code (Bytes.unsafe_get tab (pos lsr 2)) in
+          let sh = (pos land 3) lsl 1 in
+          let c = (byte lsr sh) land 3 in
+          Bytes.unsafe_set tab (pos lsr 2)
+            (Char.unsafe_chr (byte lxor ((c lxor sat2_update c taken_int) lsl sh)));
+          if (c lsr 1) land 1 <> taken_int then begin
+            (* open-coded [mispredicted]: a closure call per lane-mispredict
+               is measurable at ~1M events per pass *)
+            Array.unsafe_set cond_mis j (Array.unsafe_get cond_mis j + 1);
+            Array.unsafe_set cyc j (Array.unsafe_get cyc j +. mispredict_penalty);
+            if wrong_path then wrong_path_effects j alt cursor
+          end
+        done;
+        for j = gas_hi to nl - 1 do
+          let h = h_all land Array.unsafe_get hmask j in
+          let gidx =
+            (hashed lxor h) land Array.unsafe_get gimask j land Array.unsafe_get mask1 j
+          in
+          let gpos = Array.unsafe_get off1 j + gidx in
+          let bpos = Array.unsafe_get off2 j + (hashed land Array.unsafe_get mask2 j) in
+          let cpos = Array.unsafe_get off3 j + (hashed land Array.unsafe_get mask3 j) in
+          let gbyte = Char.code (Bytes.unsafe_get tab (gpos lsr 2)) in
+          let gsh = (gpos land 3) lsl 1 in
+          let gc = (gbyte lsr gsh) land 3 in
+          let bbyte = Char.code (Bytes.unsafe_get tab (bpos lsr 2)) in
+          let bsh = (bpos land 3) lsl 1 in
+          let bc = (bbyte lsr bsh) land 3 in
+          let cbyte = Char.code (Bytes.unsafe_get tab (cpos lsr 2)) in
+          let csh = (cpos land 3) lsl 1 in
+          let cc = (cbyte lsr csh) land 3 in
+          let gp = (gc lsr 1) land 1 in
+          let bp = (bc lsr 1) land 1 in
+          let sel = -((cc lsr 1) land 1) in
+          let p = (gp land sel) lor (bp land lnot sel) in
+          Bytes.unsafe_set tab (gpos lsr 2)
+            (Char.unsafe_chr (gbyte lxor ((gc lxor sat2_update gc taken_int) lsl gsh)));
+          (* 4-counter table padding keeps the three tables' byte ranges
+             disjoint, so the [gpos] write cannot touch [bpos]/[cpos]'s
+             bytes and the loads above stay valid. *)
+          Bytes.unsafe_set tab (bpos lsr 2)
+            (Char.unsafe_chr (bbyte lxor ((bc lxor sat2_update bc taken_int) lsl bsh)));
+          let nsel = -(gp lxor bp) in
+          let cc' = sat2_update cc (1 - (gp lxor taken_int)) in
+          let cfin = (cc' land nsel) lor (cc land lnot nsel) in
+          Bytes.unsafe_set tab (cpos lsr 2)
+            (Char.unsafe_chr (cbyte lxor ((cc lxor cfin) lsl csh)));
+          if p <> taken_int then begin
+            (* open-coded [mispredicted]: a closure call per lane-mispredict
+               is measurable at ~1M events per pass *)
+            Array.unsafe_set cond_mis j (Array.unsafe_get cond_mis j + 1);
+            Array.unsafe_set cyc j (Array.unsafe_get cyc j +. mispredict_penalty);
+            if wrong_path then wrong_path_effects j alt cursor
+          end
+        done;
+        history := ((h_all lsl 1) lor taken_int) land hist_keep
+      end
+      else begin
+        incr indirect_branches;
+        let target_addr = Array.unsafe_get block_addr (Array.unsafe_get step_next i) in
+        let pc = Array.unsafe_get ibr_pc (Array.unsafe_get step_id i) in
+        let hit =
+          config.perfect_btb || indirect_predictor.Indirect.on_indirect ~pc ~target:target_addr
+        in
+        if not hit then begin
+          incr indirect_mispredicts;
+          incr btb_misses;
+          let alt = Array.unsafe_get step_alt i in
+          let cursor = mstart + mcount in
+          for j = 0 to nl - 1 do
+            Array.unsafe_set cyc j (Array.unsafe_get cyc j +. btb_miss_penalty);
+            if alt >= 0 && wrong_path then wrong_path_effects j alt cursor
+          done
+        end
+      end
+  done;
+  let l1d_a0, l1d_m0 = !l1d_base in
+  let l1d_accesses = Cache.accesses l1d - l1d_a0 in
+  let l1d_misses = Cache.misses l1d - l1d_m0 in
+  Pi_obs.Metrics.inc m_fused_passes;
+  Pi_obs.Metrics.add m_lane_blocks (nl * n);
+  Pi_obs.Metrics.set g_lanes_per_pass (float_of_int nl);
+  Array.init nl (fun j ->
+      {
+        cycles = cyc.(j);
+        instructions = !instructions;
+        cond_branches = !cond_branches;
+        cond_mispredicts = cond_mis.(j);
+        indirect_branches = !indirect_branches;
+        indirect_mispredicts = !indirect_mispredicts;
+        btb_misses = !btb_misses;
+        l1i_accesses = !fetch_lines - !fetch_lines0 + l1i_acc.(j) - l1i_acc0.(j);
+        l1i_misses = l1i_mis.(j) - l1i_mis0.(j);
+        l1d_accesses;
+        l1d_misses;
+        l2_accesses = l2_acc.(j) - l2_acc0.(j);
+        l2_misses = l2_mis.(j) - l2_mis0.(j);
+      })
+
+let replay_many ?(warmup_blocks = 0) plan batch placement =
+  if batch.batch_n = 0 then [||]
+  else
+    Pi_obs.Span.with_ ~name:"replay.fused"
+      ~args:
+        [
+          ("lanes", string_of_int batch.batch_n);
+          ("blocks", string_of_int (Array.length plan.step_block));
+        ]
+      (fun () -> replay_many_body ~warmup_blocks plan batch placement)
+
 let cpi c =
   if c.instructions = 0 then 0.0 else c.cycles /. float_of_int c.instructions
 

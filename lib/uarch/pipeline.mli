@@ -133,6 +133,59 @@ val plan_mem_events : plan -> int
 val plan_words : plan -> int
 (** Approximate heap footprint of the plan's arrays, in machine words. *)
 
+type batch
+(** A structure-of-arrays pack of predictor lanes for one fused sweep pass:
+    every lane's saturating-counter tables in one flat byte image addressed
+    through per-lane offset/mask arrays, lanes sorted by kernel kind, with
+    one shared global-history register serving all history-based lanes.
+    Lane metadata is immutable and per-pass predictor/cache state is
+    rebuilt inside {!replay_many}, but the batch owns a reusable L2
+    scratch image that successive passes recycle — so a batch belongs to
+    one domain at a time. Concurrent replay must use distinct batches;
+    {!batch_shard} sub-batches (for 2+ shards) are distinct by
+    construction. *)
+
+val batch_of : (string * (unit -> Predictor.t)) array -> batch
+(** Pack every configuration exposing a {!Predictor.kernel} into fused
+    lanes; the rest (perfect, static, L-TAGE — anything closure-only) are
+    recorded as fallback indices for the caller's per-config path. *)
+
+val batch_lanes : batch -> int
+(** Fused lane count. *)
+
+val batch_names : batch -> string array
+(** Lane names, in the batch's internal (kind-sorted) order. *)
+
+val batch_src : batch -> int array
+(** Maps internal lane order back to indices into the configuration array
+    given to {!batch_of}; aligned with {!replay_many}'s result. *)
+
+val batch_fallback : batch -> int array
+(** Indices (into the {!batch_of} argument) of configurations without a
+    kernel, which must be simulated by the sequential per-config path. *)
+
+val batch_table_bytes : batch -> int
+(** Total packed counter-table bytes across all lanes, for reporting. *)
+
+val batch_shard : batch -> shards:int -> batch array
+(** Split into at most [shards] contiguous sub-batches of near-equal lane
+    count (at least one lane each), suitable for domain-parallel execution:
+    replaying the sub-batches in any order and concatenating by
+    {!batch_src} is deterministic and equal to replaying the whole batch.
+    A 1-shard split returns the batch itself (preserving its warm scratch);
+    every split of 2+ builds fresh single-domain sub-batches. *)
+
+val replay_many : ?warmup_blocks:int -> plan -> batch -> Pi_layout.Placement.t -> counts array
+(** Walk the compiled plan {e once} for every lane in the batch, sharing
+    the predictor-invariant work (trace walk, decoded steps, trace cache,
+    L1D and data prefetcher, indirect/BTB prediction, instruction and
+    branch event counts) and keeping per-lane cycles, conditional
+    mispredicts and L1I/L2 images (wrong-path effects depend on each
+    lane's own mispredictions). Result is indexed in the batch's internal
+    lane order (see {!batch_src}); each element is bit-identical to
+    {!replay} of the same configuration — same floats accumulated in the
+    same order, same state transitions in the same sequence. *)
+
 val cpi : counts -> float
 
 val mispredicts : counts -> int

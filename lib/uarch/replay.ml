@@ -12,3 +12,14 @@ let trace = Pipeline.plan_trace
 let blocks = Pipeline.plan_blocks
 let mem_events = Pipeline.plan_mem_events
 let words = Pipeline.plan_words
+
+type batch = Pipeline.batch
+
+let batch_of = Pipeline.batch_of
+let batch_lanes = Pipeline.batch_lanes
+let batch_names = Pipeline.batch_names
+let batch_src = Pipeline.batch_src
+let batch_fallback = Pipeline.batch_fallback
+let batch_table_bytes = Pipeline.batch_table_bytes
+let shard = Pipeline.batch_shard
+let run_many = Pipeline.replay_many

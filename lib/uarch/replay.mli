@@ -34,3 +34,37 @@ val mem_events : plan -> int
 
 val words : plan -> int
 (** Approximate heap footprint of the plan arrays, in machine words. *)
+
+(** {1 Fused multi-predictor sweeps}
+
+    A predictor sweep replays one plan under one placement per
+    configuration, but only the direction predictor differs between runs.
+    {!run_many} walks the plan once for a whole batch of predictor lanes,
+    sharing the predictor-invariant simulation and producing, for every
+    lane, counts bit-identical to a sequential {!run} of that
+    configuration. See {!Pipeline.replay_many} for the sharing contract. *)
+
+type batch = Pipeline.batch
+
+val batch_of : (string * (unit -> Predictor.t)) array -> batch
+(** Pack the kernel-bearing configurations into fused lanes; the rest are
+    reported by {!batch_fallback} for the per-config path. *)
+
+val batch_lanes : batch -> int
+val batch_names : batch -> string array
+
+val batch_src : batch -> int array
+(** Internal lane order -> caller config index; aligned with {!run_many}'s
+    result array. *)
+
+val batch_fallback : batch -> int array
+val batch_table_bytes : batch -> int
+
+val shard : batch -> shards:int -> batch array
+(** At most [shards] contiguous sub-batches; replaying them in any order
+    (e.g. on {!Pi_campaign.Scheduler} domains) and merging by
+    {!batch_src} equals replaying the whole batch. *)
+
+val run_many : ?warmup_blocks:int -> plan -> batch -> Pi_layout.Placement.t -> Pipeline.counts array
+(** One pass over the plan, all lanes at once; bit-identical per lane to
+    the sequential path. *)

@@ -10,7 +10,10 @@
 val configurations : unit -> (string * (unit -> Predictor.t)) list
 (** Exactly 145 imperfect configurations: bimodal, gshare, GAs and hybrid
     predictors over a range of table sizes and history lengths, plus the
-    static predictors. *)
+    static predictors. The list is memoized (the grid is immutable and each
+    [make] is a pure constructor), so repeated calls return the same list;
+    a grid edit that changes the count raises [Invalid_argument] with the
+    observed count. *)
 
 type point = { config_name : string; mpki : float; cpi : float }
 
@@ -24,15 +27,59 @@ type study = {
   perfect_error_percent : float;  (** |predicted - actual| / actual * 100 *)
   predicted_ltage_cpi : float;
   ltage_error_percent : float;
+  warmup_blocks : int;  (** leading blocks excluded from every count *)
+  fused_lanes : int;  (** configurations swept by the fused one-pass engine *)
+  fallback_lanes : int;  (** configurations on the sequential per-config path
+      (all of them when [fused=false]) *)
+  shards : int;  (** fused sub-batches executed (0 when [fused=false]) *)
 }
+
+type shard_map = (int -> Pipeline.counts array) -> int -> Pipeline.counts array array
+(** [map f n] evaluates [f 0 .. f (n-1)] — sequentially or in parallel —
+    and returns the results in index order. {!Pi_campaign.Campaign.sweep_shard_map}
+    provides a domain-parallel implementation; the default is sequential. *)
+
+val run_grid :
+  ?base:Pipeline.config ->
+  ?plan:Replay.plan ->
+  ?warmup_blocks:int ->
+  ?shards:int ->
+  ?map_shards:shard_map ->
+  ?fused:bool ->
+  Pi_isa.Trace.t ->
+  Pi_layout.Placement.t ->
+  point array * int * int * int
+(** Just the 145-configuration grid of {!run_study}, without the perfect
+    and L-TAGE reference simulations or the regression: the unit the fused
+    engine accelerates, and the timing target of the sweep benchmark
+    ([BENCH_sweep.json]). Returns
+    [(points, fused_lanes, fallback_lanes, shards)]; all arguments behave
+    as in {!run_study}. *)
 
 val run_study :
   ?base:Pipeline.config ->
+  ?plan:Replay.plan ->
   ?warmup_blocks:int ->
+  ?shards:int ->
+  ?map_shards:shard_map ->
+  ?fused:bool ->
   benchmark:string ->
   Pi_isa.Trace.t ->
   Pi_layout.Placement.t ->
   study
 (** Simulate every configuration on the given trace/placement (noise-free,
     as a simulator would) and evaluate the linear extrapolations. [base]
-    defaults to {!Machine.xeon_e5440}. *)
+    defaults to {!Machine.xeon_e5440}. [plan] supplies a precompiled plan
+    for [base] and the trace (callers running several studies on one trace
+    — a placement sweep, or benchmarking — compile once and pass it here);
+    it must be [Replay.compile base trace] or the study is meaningless.
+
+    By default ([fused], on) every kernel-bearing configuration is swept in
+    one {!Replay.run_many} pass over the compiled plan — optionally split
+    into [shards] lane shards (default 1) evaluated through [map_shards]
+    (default sequential; pass a {!shard_map} backed by
+    [Pi_campaign.Scheduler] for domain parallelism) — and only the
+    kernel-less configurations (the static predictors), plus perfect and
+    L-TAGE, take the sequential per-config path. [fused:false] forces the
+    sequential loop for everything; results are bit-identical either way,
+    and the merge order is deterministic regardless of [shards]. *)

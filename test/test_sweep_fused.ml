@@ -1,0 +1,226 @@
+(* Golden-equivalence tests for the fused sweep engine: Replay.run_many
+   must reproduce the sequential per-config loop field-for-field
+   (bit-identical cycles included) for every lane, across benchmarks x
+   seeds x machines, with and without warmup — and lane sharding must be
+   deterministic: any shard count, sequential or domain-parallel, yields
+   the same study. *)
+
+module Pipeline = Pi_uarch.Pipeline
+module Replay = Pi_uarch.Replay
+module Machine = Pi_uarch.Machine
+module Sweep = Pi_uarch.Sweep
+module Placement = Pi_layout.Placement
+
+let check_counts label (a : Pipeline.counts) (b : Pipeline.counts) =
+  let ck name got expect = Alcotest.(check int) (label ^ ": " ^ name) expect got in
+  Alcotest.(check bool)
+    (label ^ ": cycles bit-identical") true
+    (a.Pipeline.cycles = b.Pipeline.cycles);
+  ck "instructions" b.Pipeline.instructions a.Pipeline.instructions;
+  ck "cond_branches" b.Pipeline.cond_branches a.Pipeline.cond_branches;
+  ck "cond_mispredicts" b.Pipeline.cond_mispredicts a.Pipeline.cond_mispredicts;
+  ck "indirect_branches" b.Pipeline.indirect_branches a.Pipeline.indirect_branches;
+  ck "indirect_mispredicts" b.Pipeline.indirect_mispredicts a.Pipeline.indirect_mispredicts;
+  ck "btb_misses" b.Pipeline.btb_misses a.Pipeline.btb_misses;
+  ck "l1i_accesses" b.Pipeline.l1i_accesses a.Pipeline.l1i_accesses;
+  ck "l1i_misses" b.Pipeline.l1i_misses a.Pipeline.l1i_misses;
+  ck "l1d_accesses" b.Pipeline.l1d_accesses a.Pipeline.l1d_accesses;
+  ck "l1d_misses" b.Pipeline.l1d_misses a.Pipeline.l1d_misses;
+  ck "l2_accesses" b.Pipeline.l2_accesses a.Pipeline.l2_accesses;
+  ck "l2_misses" b.Pipeline.l2_misses a.Pipeline.l2_misses
+
+let traced name =
+  let bench = Pi_workloads.Spec.find name in
+  let p = bench.Pi_workloads.Bench.build ~scale:1 in
+  (p, Pi_layout.Run_limiter.trace p ~budget_blocks:8_000)
+
+let machines =
+  [ ("xeon_e5440", Machine.xeon_e5440); ("netburst", Machine.netburst_like) ]
+
+let configs = Array.of_list (Sweep.configurations ())
+
+(* The sequential reference for one lane: exactly Sweep's per-config path. *)
+let sequential ~warmup_blocks base plan placement i =
+  let name, make = configs.(i) in
+  let config = Machine.with_predictor base ~name make in
+  Replay.run ~warmup_blocks (Replay.with_config plan config) placement
+
+let check_batch ~warmup_blocks label base plan placement =
+  let batch = Replay.batch_of configs in
+  let fused = Replay.run_many ~warmup_blocks plan batch placement in
+  let src = Replay.batch_src batch in
+  Array.iteri
+    (fun j c ->
+      let i = src.(j) in
+      check_counts
+        (Printf.sprintf "%s lane %s" label (fst configs.(i)))
+        c
+        (sequential ~warmup_blocks base plan placement i))
+    fused
+
+(* Every lane of the full 145-config grid, bit-exact, over 3 benches x 2
+   seeds x 2 machines (the netburst machine exercises the trace cache and
+   the higher penalty set; both machines run wrong-path effects, the state
+   that forces per-lane L1I/L2 images). *)
+let test_golden_matrix () =
+  List.iter
+    (fun bench_name ->
+      let p, trace = traced bench_name in
+      List.iter
+        (fun (machine_name, base) ->
+          let plan = Replay.compile base trace in
+          List.iter
+            (fun seed ->
+              let placement = Placement.make p ~seed in
+              let label = Printf.sprintf "%s/%s/seed%d" bench_name machine_name seed in
+              check_batch ~warmup_blocks:0 label base plan placement)
+            [ 1; 2 ])
+        machines)
+    [ "400.perlbench"; "429.mcf"; "445.gobmk" ]
+
+let test_golden_with_warmup () =
+  let p, trace = traced "403.gcc" in
+  List.iter
+    (fun (machine_name, base) ->
+      let plan = Replay.compile base trace in
+      let placement = Placement.make p ~seed:7 in
+      check_batch ~warmup_blocks:1500 ("warmup/" ^ machine_name) base plan placement)
+    machines
+
+(* The batch partition: 143 of the 145 grid configurations carry kernels
+   (bimodal/gshare/GAs/hybrid); the two static predictors fall back. Fused
+   and fallback indices together cover the grid exactly once. *)
+let test_batch_partition () =
+  let batch = Replay.batch_of configs in
+  Alcotest.(check int) "fused lanes" 143 (Replay.batch_lanes batch);
+  let fallback = Replay.batch_fallback batch in
+  let fallback_names =
+    List.sort compare (Array.to_list (Array.map (fun i -> fst configs.(i)) fallback))
+  in
+  Alcotest.(check (list string))
+    "fallback = static predictors"
+    [ "static-not-taken"; "static-taken" ]
+    fallback_names;
+  let covered = Array.append (Replay.batch_src batch) fallback in
+  Alcotest.(check (list int))
+    "src + fallback cover the grid"
+    (List.init (Array.length configs) (fun i -> i))
+    (List.sort compare (Array.to_list covered));
+  Alcotest.(check bool) "packed tables non-empty" true (Replay.batch_table_bytes batch > 0)
+
+(* Sharding splits the lane set without loss or reorder of the merge: for
+   several shard counts, the concatenated shard results equal the unsharded
+   pass lane for lane. *)
+let test_shard_partition () =
+  let p, trace = traced "429.mcf" in
+  let base = Machine.xeon_e5440 in
+  let plan = Replay.compile base trace in
+  let placement = Placement.make p ~seed:4 in
+  let batch = Replay.batch_of configs in
+  let whole = Replay.run_many plan batch placement in
+  let src = Replay.batch_src batch in
+  let by_caller = Array.make (Array.length configs) None in
+  Array.iteri (fun j c -> by_caller.(src.(j)) <- Some c) whole;
+  List.iter
+    (fun shards ->
+      let sub = Replay.shard batch ~shards in
+      Alcotest.(check int)
+        (Printf.sprintf "%d shards requested" shards)
+        (min shards (Replay.batch_lanes batch))
+        (Array.length sub);
+      let seen = ref 0 in
+      Array.iter
+        (fun s ->
+          let counts = Replay.run_many plan s placement in
+          let ssrc = Replay.batch_src s in
+          Array.iteri
+            (fun j c ->
+              incr seen;
+              match by_caller.(ssrc.(j)) with
+              | Some reference ->
+                  check_counts
+                    (Printf.sprintf "%d-way shard lane %s" shards (fst configs.(ssrc.(j))))
+                    c reference
+              | None -> Alcotest.fail "shard lane not in unsharded batch")
+            counts)
+        sub;
+      Alcotest.(check int)
+        (Printf.sprintf "%d-way sharding covers all lanes" shards)
+        (Replay.batch_lanes batch) !seen)
+    [ 2; 4; 7 ]
+
+let check_studies_equal label (a : Sweep.study) (b : Sweep.study) =
+  Alcotest.(check int)
+    (label ^ ": point count") (Array.length b.Sweep.points) (Array.length a.Sweep.points);
+  Array.iteri
+    (fun i (pa : Sweep.point) ->
+      let pb = b.Sweep.points.(i) in
+      Alcotest.(check string) (label ^ ": name") pb.Sweep.config_name pa.Sweep.config_name;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s mpki+cpi bit-identical" label pa.Sweep.config_name)
+        true
+        (pa.Sweep.mpki = pb.Sweep.mpki && pa.Sweep.cpi = pb.Sweep.cpi))
+    a.Sweep.points;
+  Alcotest.(check bool)
+    (label ^ ": perfect/ltage bit-identical") true
+    (a.Sweep.perfect_cpi = b.Sweep.perfect_cpi
+    && a.Sweep.ltage_point = b.Sweep.ltage_point
+    && a.Sweep.predicted_perfect_cpi = b.Sweep.predicted_perfect_cpi
+    && a.Sweep.predicted_ltage_cpi = b.Sweep.predicted_ltage_cpi)
+
+(* The study-level contract: fused (any shard count, sequential or
+   Scheduler-parallel) == per-config sequential loop, the `--jobs 1` ==
+   `--jobs 4` determinism case included. *)
+let test_study_fused_equals_sequential () =
+  let p, trace = traced "400.perlbench" in
+  let placement = Placement.make p ~seed:3 in
+  let benchmark = "400.perlbench" in
+  let baseline =
+    Sweep.run_study ~warmup_blocks:500 ~fused:false ~benchmark trace placement
+  in
+  Alcotest.(check int) "baseline fallback lanes" 145 baseline.Sweep.fallback_lanes;
+  let fused = Sweep.run_study ~warmup_blocks:500 ~benchmark trace placement in
+  Alcotest.(check int) "fused lanes" 143 fused.Sweep.fused_lanes;
+  Alcotest.(check int) "fallback lanes" 2 fused.Sweep.fallback_lanes;
+  Alcotest.(check int) "warmup recorded" 500 fused.Sweep.warmup_blocks;
+  check_studies_equal "fused==sequential" fused baseline;
+  let sharded_seq =
+    Sweep.run_study ~warmup_blocks:500 ~shards:4 ~benchmark trace placement
+  in
+  Alcotest.(check int) "4 shards recorded" 4 sharded_seq.Sweep.shards;
+  check_studies_equal "shards=4 sequential" sharded_seq baseline;
+  let jobs1 =
+    Sweep.run_study ~warmup_blocks:500 ~shards:4
+      ~map_shards:(Pi_campaign.Campaign.sweep_shard_map ~jobs:1 ())
+      ~benchmark trace placement
+  in
+  let jobs4 =
+    Sweep.run_study ~warmup_blocks:500 ~shards:4
+      ~map_shards:(Pi_campaign.Campaign.sweep_shard_map ~jobs:4 ())
+      ~benchmark trace placement
+  in
+  check_studies_equal "jobs=1" jobs1 baseline;
+  check_studies_equal "jobs=4 == jobs=1" jobs4 jobs1
+
+(* Satellite: the grid list is memoized — one shared list, not a rebuild
+   per call. *)
+let test_configurations_memoized () =
+  Alcotest.(check bool)
+    "configurations () returns the same list" true
+    (Sweep.configurations () == Sweep.configurations ());
+  Alcotest.(check int) "145 configurations" 145 (List.length (Sweep.configurations ()))
+
+let suite =
+  [
+    ( "sweep_fused",
+      [
+        Alcotest.test_case "golden matrix: 145 lanes x 3 benches x 2 seeds x 2 machines" `Quick
+          test_golden_matrix;
+        Alcotest.test_case "golden with warmup" `Quick test_golden_with_warmup;
+        Alcotest.test_case "batch partition: 143 fused + 2 fallback" `Quick test_batch_partition;
+        Alcotest.test_case "shard partition and merge" `Quick test_shard_partition;
+        Alcotest.test_case "study: fused == sequential, jobs 1 == jobs 4" `Quick
+          test_study_fused_equals_sequential;
+        Alcotest.test_case "configurations memoized" `Quick test_configurations_memoized;
+      ] );
+  ]

@@ -2,7 +2,7 @@
 
 CLI = dune exec bin/interferometry_cli.exe --
 
-.PHONY: all check test build campaign-smoke perf perf-smoke obs-smoke resilience-smoke sweep-smoke clean
+.PHONY: all check test build campaign-smoke perf perf-smoke obs-smoke resilience-smoke sweep-smoke serve-smoke clean
 
 all: build
 
@@ -19,6 +19,7 @@ check:
 	$(MAKE) sweep-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) resilience-smoke
+	$(MAKE) serve-smoke
 
 # Full pipeline + fused-sweep microbenchmarks; writes BENCH_pipeline.json
 # and BENCH_sweep.json, and gates the fused sweep at 3x the per-config loop.
@@ -79,6 +80,15 @@ resilience-smoke:
 	cmp _resilience-smoke/cache/456.hmmer.*.csv _resilience-smoke/retry/456.hmmer.*.csv
 	@echo "resilience-smoke OK: interrupt+resume complete, retried run bit-identical"
 
+# Daemon crash-recovery, end to end: start `interferometry serve`, submit
+# a job, SIGKILL the daemon mid-run, restart on the same state directory.
+# The WAL replay must finish the job exactly once, and both the result
+# document and the observation-cache CSVs must be byte-identical to an
+# uninterrupted run on a fresh daemon (see docs/SERVING.md).
+serve-smoke:
+	dune build bin/interferometry_cli.exe
+	bash scripts/serve_smoke.sh
+
 clean:
 	dune clean
-	rm -rf _campaign-cache _obs-smoke _resilience-smoke
+	rm -rf _campaign-cache _obs-smoke _resilience-smoke _serve-smoke _serve

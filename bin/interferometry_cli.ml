@@ -816,6 +816,148 @@ let perf_cmd =
     Term.(const run $ bench_term $ perf_scale_term $ sweep_scale_term $ perf_layouts_term
           $ out_term $ sweep_out_term)
 
+(* ---- the pi_serve daemon and its thin client ---------------------- *)
+
+let state_dir_term =
+  Arg.(value & opt string "_serve"
+       & info [ "state-dir" ] ~docv:"DIR"
+           ~doc:"Daemon state directory: the WAL job ledger, the observation \
+                 cache, persisted result documents and the serve.json port \
+                 file all live here.")
+
+let client_port_term =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"PORT"
+           ~doc:"Daemon port; defaults to what serve.json in the state \
+                 directory records.")
+
+let connect state_dir port =
+  match Pi_serve.Client.resolve ?port ~state_dir () with
+  | Ok conn -> conn
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+
+let serve_cmd =
+  let run state_dir port capacity workers metrics_out trace_out =
+    with_obs ~metrics_out ~trace_out (fun () ->
+        Pi_serve.Server.run
+          { Pi_serve.Server.state_dir; port; queue_capacity = capacity; workers })
+  in
+  let port_term =
+    Arg.(value & opt int 0
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"TCP port to listen on (loopback only); 0 picks an ephemeral \
+                   port, recorded in serve.json.")
+  in
+  let capacity_term =
+    Arg.(value & opt int 64
+         & info [ "queue-capacity" ] ~docv:"N"
+             ~doc:"Admission bound: submissions beyond $(docv) queued jobs are \
+                   rejected with 429.")
+  in
+  let workers_term =
+    Arg.(value & opt int 1
+         & info [ "workers" ] ~docv:"N" ~doc:"Job worker threads.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the interferometry daemon (measure/predict/campaign over HTTP)."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Serves measurement, prediction and campaign jobs over HTTP/1.1 on \
+              loopback. Every accepted submission is appended to a WAL-journaled \
+              job ledger (fsynced before the acknowledgement) and observations \
+              are persisted to the on-disk cache as they complete, so a daemon \
+              killed at any point — SIGKILL included — recovers on restart by \
+              replaying the ledger and resumes with exactly-once, bit-identical \
+              results. SIGTERM drains gracefully: queued jobs finish, new \
+              submissions get 503. See docs/SERVING.md.";
+         ])
+    Term.(const run $ state_dir_term $ port_term $ capacity_term $ workers_term
+          $ metrics_out_term $ trace_out_term)
+
+let submit_cmd =
+  let run state_dir port client wait body =
+    let conn = connect state_dir port in
+    match Pi_serve.Client.submit ?client conn ~body with
+    | Error msg ->
+        Printf.eprintf "submit: %s\n" msg;
+        exit 2
+    | Ok ack -> (
+        print_endline (Pi_campaign.Telemetry.to_string ack);
+        if wait then
+          let module J = Pi_campaign.Telemetry in
+          let id =
+            match ack with
+            | J.Obj fields -> (
+                match List.assoc_opt "id" fields with
+                | Some (J.String id) -> id
+                | _ ->
+                    Printf.eprintf "submit: acknowledgement carries no job id\n";
+                    exit 2)
+            | _ ->
+                Printf.eprintf "submit: malformed acknowledgement\n";
+                exit 2
+          in
+          match Pi_serve.Client.wait_job conn ~id with
+          | Ok doc -> print_string doc
+          | Error msg ->
+              Printf.eprintf "submit: %s\n" msg;
+              exit 3)
+  in
+  let client_term =
+    Arg.(value & opt (some string) None
+         & info [ "client" ] ~docv:"NAME"
+             ~doc:"Fairness key (the daemon round-robins across clients).")
+  in
+  let wait_term =
+    Arg.(value & flag
+         & info [ "wait" ]
+             ~doc:"Block until the job finishes and print its result document.")
+  in
+  let body_term =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"JSON"
+             ~doc:"Submission body, e.g. \
+                   '{\"kind\":\"measure\",\"bench\":\"429.mcf\",\"layouts\":12,\"quick\":true}'.")
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit a job to a running interferometry daemon.")
+    Term.(const run $ state_dir_term $ client_port_term $ client_term $ wait_term
+          $ body_term)
+
+let job_id_term =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"JOB-ID" ~doc:"Job id from $(b,interferometry submit).")
+
+let status_cmd =
+  let run state_dir port id =
+    match Pi_serve.Client.status (connect state_dir port) ~id with
+    | Ok doc -> print_endline (Pi_campaign.Telemetry.to_string doc)
+    | Error msg ->
+        Printf.eprintf "status: %s\n" msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Print a daemon job's status document.")
+    Term.(const run $ state_dir_term $ client_port_term $ job_id_term)
+
+let result_cmd =
+  let run state_dir port id =
+    match Pi_serve.Client.result (connect state_dir port) ~id with
+    | Ok doc -> print_string doc
+    | Error msg ->
+        Printf.eprintf "result: %s\n" msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "result"
+       ~doc:"Print a finished daemon job's result document (exact persisted bytes).")
+    Term.(const run $ state_dir_term $ client_port_term $ job_id_term)
+
 let () =
   let doc = "Program interferometry: performance modelling by layout perturbation" in
   let info = Cmd.info "interferometry" ~version:"1.0.0" ~doc in
@@ -823,5 +965,6 @@ let () =
        [
          list_cmd; trace_cmd; measure_cmd; model_cmd; blame_cmd; predict_cmd;
          sweep_cmd; cache_cmd; export_cmd; refit_cmd; report_cmd; phases_cmd;
-         campaign_cmd; perf_cmd; stats_cmd;
+         campaign_cmd; perf_cmd; stats_cmd; serve_cmd; submit_cmd; status_cmd;
+         result_cmd;
        ]))

@@ -45,6 +45,38 @@ let create ~dir =
 
 let dir t = t.dir
 
+type stats = { entries : int; bytes : int }
+
+let m_entries =
+  Pi_obs.Metrics.gauge ~help:"observation-cache entries (CSV files) on disk"
+    "pi_obs_obs_cache_entries"
+
+let m_bytes =
+  Pi_obs.Metrics.gauge ~help:"observation-cache bytes on disk"
+    "pi_obs_obs_cache_bytes"
+
+(* One readdir + one stat per entry: cheap enough for a /metrics scrape.
+   In-flight [*.tmp] files are a writer's scratch, not cache content. *)
+let stats t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> { entries = 0; bytes = 0 }
+  | names ->
+      Array.fold_left
+        (fun acc name ->
+          if not (Filename.check_suffix name ".csv") then acc
+          else
+            match Unix.stat (Filename.concat t.dir name) with
+            | { Unix.st_kind = Unix.S_REG; st_size; _ } ->
+                { entries = acc.entries + 1; bytes = acc.bytes + st_size }
+            | _ | (exception Unix.Unix_error _) -> acc)
+        { entries = 0; bytes = 0 } names
+
+let update_gauges t =
+  let s = stats t in
+  Pi_obs.Metrics.set m_entries (float_of_int s.entries);
+  Pi_obs.Metrics.set m_bytes (float_of_int s.bytes);
+  s
+
 (* The digest must cover every config field that can change a measurement,
    and must not depend on closure identity: predictors are represented by
    the machine's name. A "v1|" prefix versions the key so a future format

@@ -25,6 +25,17 @@ val create : dir:string -> t
 
 val dir : t -> string
 
+type stats = { entries : int  (** CSV entries on disk *); bytes : int }
+
+val stats : t -> stats
+(** One [readdir] + one [stat] per entry ([*.tmp] scratch excluded);
+    an unreadable directory reads as empty. *)
+
+val update_gauges : t -> stats
+(** {!stats}, also published as the [pi_obs_obs_cache_entries] /
+    [pi_obs_obs_cache_bytes] gauges — the [pi_serve] daemon calls this on
+    every [/metrics] scrape. *)
+
 val config_digest : Interferometry.Experiment.config -> string
 (** Stable hex digest of the measurement-relevant config fields. Machines
     are distinguished by their [name] plus full numeric geometry (predictor

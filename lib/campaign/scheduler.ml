@@ -14,6 +14,98 @@ type 'a completion = {
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
+(* The one bounded-queue code path. [map] drains its task indices through
+   it, and pi_serve's admission control enqueues daemon submissions into
+   it — so queue-depth accounting, capacity rejection and fairness behave
+   identically whether work arrives from the CLI or over the wire.
+
+   Fairness: items are tagged with a client key and dequeued round-robin
+   across clients (FIFO within one client), so one client with a deep
+   backlog cannot starve the others. [map] uses a single client, which
+   degenerates to plain FIFO — the order the old atomic-counter claim
+   produced. *)
+module Queue = struct
+  module Fifo = Stdlib.Queue
+
+  type 'a t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    per_client : (string, 'a Fifo.t) Hashtbl.t;
+    ring : string Fifo.t;  (* clients with pending items, each exactly once *)
+    mutable depth : int;
+    mutable closed : bool;
+    capacity : int option;
+    on_depth : (int -> unit) option;
+  }
+
+  let create ?capacity ?on_depth () =
+    (match capacity with
+    | Some c when c < 1 -> invalid_arg "Scheduler.Queue.create: capacity < 1"
+    | _ -> ());
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      per_client = Hashtbl.create 8;
+      ring = Fifo.create ();
+      depth = 0;
+      closed = false;
+      capacity;
+      on_depth;
+    }
+
+  let depth t = Mutex.protect t.mutex (fun () -> t.depth)
+  let capacity t = t.capacity
+  let closed t = Mutex.protect t.mutex (fun () -> t.closed)
+
+  let notify_depth t = Option.iter (fun f -> f t.depth) t.on_depth
+
+  let enqueue ?(client = "") ?(force = false) t item =
+    Mutex.protect t.mutex (fun () ->
+        if t.closed then false
+        else if
+          (not force)
+          && (match t.capacity with Some c -> t.depth >= c | None -> false)
+        then false (* admission rejection: the caller turns this into a 429 *)
+        else begin
+          let fifo =
+            match Hashtbl.find_opt t.per_client client with
+            | Some fifo -> fifo
+            | None ->
+                let fifo = Fifo.create () in
+                Hashtbl.replace t.per_client client fifo;
+                fifo
+          in
+          if Fifo.is_empty fifo then Fifo.push client t.ring;
+          Fifo.push item fifo;
+          t.depth <- t.depth + 1;
+          notify_depth t;
+          Condition.signal t.nonempty;
+          true
+        end)
+
+  let dequeue t =
+    Mutex.protect t.mutex (fun () ->
+        while t.depth = 0 && not t.closed do
+          Condition.wait t.nonempty t.mutex
+        done;
+        if t.depth = 0 then None
+        else begin
+          let client = Fifo.pop t.ring in
+          let fifo = Hashtbl.find t.per_client client in
+          let item = Fifo.pop fifo in
+          if Fifo.is_empty fifo then Hashtbl.remove t.per_client client
+          else Fifo.push client t.ring;
+          t.depth <- t.depth - 1;
+          notify_depth t;
+          Some item
+        end)
+
+  let close t =
+    Mutex.protect t.mutex (fun () ->
+        t.closed <- true;
+        Condition.broadcast t.nonempty)
+end
+
 (* Scheduler instruments. Queue depth is a gauge sampled at every task
    transition; per-task latency feeds a histogram whose quantiles the
    `interferometry stats` scrape prints. *)
@@ -47,14 +139,23 @@ let map ?jobs ?deadline ?(retries = 0) ?(backoff = 0.05) ?on_start ?on_retry ?on
   if not (backoff >= 0.0) then invalid_arg "Scheduler.map: backoff < 0";
   if n < 0 then invalid_arg "Scheduler.map: negative task count";
   let results = Array.make n None in
-  let next = Atomic.make 0 in
+  (* Task indices drain through the shared bounded queue — the same code
+     path pi_serve admission uses — so the queue-depth gauge means the
+     same thing for CLI campaigns and daemon submissions. One client, no
+     capacity: plain FIFO, claims in ascending index order. *)
+  let queue =
+    Queue.create ~on_depth:(fun d -> Metrics.set m_queue_depth (float_of_int d)) ()
+  in
+  for i = 0 to n - 1 do
+    ignore (Queue.enqueue queue i : bool)
+  done;
+  Queue.close queue;
   let callback_mutex = Mutex.create () in
-  let pending () = max 0 (n - Atomic.get next) in
+  let pending () = Queue.depth queue in
   let notify callback =
     Mutex.protect callback_mutex (fun () -> callback ~pending:(pending ()))
   in
   let run_task i =
-    Metrics.set m_queue_depth (float_of_int (pending ()));
     Option.iter (fun cb -> notify (cb i)) on_start;
     (* Durations come from the monotonic clock: a wall-clock (NTP) step
        mid-task must not produce negative or inflated elapsed times. *)
@@ -108,7 +209,6 @@ let map ?jobs ?deadline ?(retries = 0) ?(backoff = 0.05) ?on_start ?on_retry ?on
     let elapsed = finished -. started in
     Metrics.observe m_job_seconds elapsed;
     Metrics.inc (match result with Ok _ -> m_jobs_ok | Error _ -> m_jobs_error);
-    Metrics.set m_queue_depth (float_of_int (pending ()));
     let completion = { index = i; result; elapsed; started; finished; attempts } in
     (* Distinct indices: each slot is written by exactly one worker. *)
     results.(i) <- Some completion;
@@ -116,11 +216,11 @@ let map ?jobs ?deadline ?(retries = 0) ?(backoff = 0.05) ?on_start ?on_retry ?on
   in
   let worker () =
     let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        run_task i;
-        loop ()
-      end
+      match Queue.dequeue queue with
+      | Some i ->
+          run_task i;
+          loop ()
+      | None -> ()
     in
     loop ()
   in

@@ -44,6 +44,47 @@ type 'a completion = {
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], clamped to at least 1. *)
 
+(** The shared bounded work queue. {!map} drains its task indices through
+    one, and the [pi_serve] daemon's admission control enqueues client
+    submissions into one — a single code path, so capacity limits,
+    queue-depth accounting and fairness behave identically for CLI
+    campaigns and daemon traffic.
+
+    Items carry a client key and are dequeued {e round-robin across
+    clients} (FIFO within a client), so a client with a deep backlog
+    cannot starve the others. With one client this is plain FIFO.
+    All operations are safe across domains and threads. *)
+module Queue : sig
+  type 'a t
+
+  val create : ?capacity:int -> ?on_depth:(int -> unit) -> unit -> 'a t
+  (** [capacity] bounds the queue: a full queue rejects instead of
+      blocking (admission control). [on_depth] fires with the new depth
+      after every enqueue/dequeue, under the queue lock — keep it cheap
+      (a gauge set). Raises [Invalid_argument] if [capacity < 1]. *)
+
+  val enqueue : ?client:string -> ?force:bool -> 'a t -> 'a -> bool
+  (** [false] when the queue is full (the caller's 429) or closed; the
+      item was not accepted. Never blocks. [client] defaults to [""].
+      [force] bypasses the capacity check (not the closed check) — for
+      WAL replay at boot, where every record was already admitted and
+      fsync-acknowledged in a previous life and must not be dropped. *)
+
+  val dequeue : 'a t -> 'a option
+  (** Blocks until an item is available or the queue is closed and
+      drained; [None] only after [close] with nothing left. *)
+
+  val close : 'a t -> unit
+  (** No further enqueues; blocked and future [dequeue]s return [None]
+      once the remaining items are drained. *)
+
+  val depth : 'a t -> int
+  (** Items accepted and not yet dequeued. *)
+
+  val capacity : 'a t -> int option
+  val closed : 'a t -> bool
+end
+
 val map :
   ?jobs:int ->
   ?deadline:float ->

@@ -65,10 +65,20 @@ let to_string json =
    insignificant whitespace): resuming a campaign means reading back the
    manifest this module wrote, without hauling in a JSON dependency.
    Numbers without '.', 'e' or 'E' parse as [Int]; everything else as
-   [Float]. *)
+   [Float].
+
+   The parser also guards the network boundary (pi_serve feeds it request
+   bodies from untrusted clients), so hostility is bounded up front: input
+   larger than [max_bytes] or nested deeper than [max_depth] is an [Error],
+   never a stack overflow, and duplicate object keys are rejected rather
+   than silently resolved — two values for one key means the sender and
+   receiver would disagree about which one won. *)
 exception Parse_error of string
 
-let parse s =
+let default_max_bytes = 16 * 1024 * 1024
+let default_max_depth = 256
+
+let parse ?(max_bytes = default_max_bytes) ?(max_depth = default_max_depth) s =
   let n = String.length s in
   let pos = ref 0 in
   let fail fmt =
@@ -172,7 +182,7 @@ let parse s =
       | Some f -> Float f
       | None -> fail "invalid number %S" token
   in
-  let rec parse_value () =
+  let rec parse_value depth =
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -182,6 +192,7 @@ let parse s =
     | Some 'n' -> literal "null" Null
     | Some ('-' | '0' .. '9') -> parse_number ()
     | Some '[' ->
+        if depth >= max_depth then fail "nesting deeper than %d" max_depth;
         incr pos;
         skip_ws ();
         if peek () = Some ']' then begin
@@ -190,7 +201,7 @@ let parse s =
         end
         else
           let rec items acc =
-            let item = parse_value () in
+            let item = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -203,19 +214,25 @@ let parse s =
           in
           items []
     | Some '{' ->
+        if depth >= max_depth then fail "nesting deeper than %d" max_depth;
         incr pos;
         skip_ws ();
         if peek () = Some '}' then begin
           incr pos;
           Obj []
         end
-        else
+        else begin
+          (* Key membership via a table, not a list scan: an object with a
+             hundred thousand keys must stay linear, not quadratic. *)
+          let seen = Hashtbl.create 8 in
           let field () =
             skip_ws ();
             let key = parse_string () in
+            if Hashtbl.mem seen key then fail "duplicate key %S" key;
+            Hashtbl.replace seen key ();
             skip_ws ();
             expect ':';
-            (key, parse_value ())
+            (key, parse_value (depth + 1))
           in
           let rec fields acc =
             let f = field () in
@@ -230,10 +247,13 @@ let parse s =
             | _ -> fail "expected ',' or '}'"
           in
           fields []
+        end
     | Some c -> fail "unexpected character %C" c
   in
   match
-    let v = parse_value () in
+    if max_depth < 1 then fail "max_depth < 1";
+    if n > max_bytes then fail "input larger than %d bytes (%d)" max_bytes n;
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     v

@@ -21,12 +21,18 @@ val to_string : json -> string
 (** Compact single-line rendering. Non-finite floats become [null] (JSON
     has no NaN/infinity). *)
 
-val parse : string -> (json, string) result
+val parse : ?max_bytes:int -> ?max_depth:int -> string -> (json, string) result
 (** Parse one JSON value (the dialect {!to_string} emits, plus
     insignificant whitespace) — enough to read back a {!Manifest} for
     [campaign --resume] without an external JSON dependency. Numbers
     without a fraction or exponent parse as [Int], everything else as
-    [Float]; trailing non-whitespace is an error. *)
+    [Float]; trailing non-whitespace is an error.
+
+    The parser is safe on hostile input (it also guards the [pi_serve]
+    network boundary): any malformed, oversized ([max_bytes], default
+    16 MiB), too-deeply-nested ([max_depth], default 256) or
+    duplicate-keyed input returns [Error] — it never raises, overflows
+    the stack, or goes super-linear. *)
 
 val metrics_json : Pi_obs.Metrics.sample list -> json
 (** Render a {!Pi_obs.Metrics.scrape} as

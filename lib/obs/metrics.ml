@@ -25,6 +25,13 @@ let counter_value (c : counter) = Array.fold_left (fun acc a -> acc + Atomic.get
 let set (g : gauge) v = Atomic.set g v
 let gauge_value (g : gauge) = Atomic.get g
 
+(* CAS loop over the boxed float, same shape as the histogram sums: an
+   in-flight gauge is bumped and dropped from many server threads, so the
+   read-modify-write must be atomic end to end. *)
+let rec gauge_add (g : gauge) v =
+  let old = Atomic.get g in
+  if not (Atomic.compare_and_set g old (old +. v)) then gauge_add g v
+
 let default_buckets =
   [|
     1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0;

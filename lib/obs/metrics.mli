@@ -48,6 +48,11 @@ val add : counter -> int -> unit
 
 val set : gauge -> float -> unit
 
+val gauge_add : gauge -> float -> unit
+(** Atomic read-modify-write add ([gauge_add g (-1.)] to decrement) — for
+    level gauges like in-flight request counts that many threads move
+    concurrently, where a racy [set (value + 1)] would lose updates. *)
+
 val observe : histogram -> float -> unit
 (** Bucket selection is a binary search over the bounds, then one atomic
     fetch-and-add on this domain's shard. *)

@@ -1,0 +1,55 @@
+(** Minimal HTTP/1.1 over [Unix] sockets — just enough protocol for the
+    daemon and its client, hand-rolled so serving needs no new
+    dependencies. One request per connection ([Connection: close]);
+    responses are length-delimited. Hostile peers are bounded everywhere:
+    header and body sizes are capped, reads carry a socket timeout, and
+    every malformed input is an [Error], never an exception or a hang. *)
+
+type request = {
+  meth : string;  (** uppercase, e.g. ["GET"] *)
+  path : string;  (** absolute path, query string stripped *)
+  headers : (string * string) list;  (** keys lowercased *)
+  body : string;
+}
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+type response = {
+  code : int;
+  content_type : string;
+  body : string;
+}
+
+val reason : int -> string
+(** Canonical reason phrase, e.g. [200 -> "OK"], [429 -> "Too Many
+    Requests"]. *)
+
+val read_request :
+  ?max_header_bytes:int ->
+  ?max_body_bytes:int ->
+  Unix.file_descr ->
+  (request, string) result
+(** Read one request. Headers are capped at [max_header_bytes] (default
+    16 KiB) and the [Content-Length] body at [max_body_bytes] (default
+    1 MiB); anything over, truncated, or syntactically invalid is an
+    [Error]. *)
+
+val write_response : Unix.file_descr -> response -> unit
+(** Serialize with [Content-Length] and [Connection: close]. Write errors
+    (peer went away) are swallowed — the response is best-effort. *)
+
+val request :
+  ?timeout:float ->
+  ?headers:(string * string) list ->
+  host:string ->
+  port:int ->
+  meth:string ->
+  path:string ->
+  ?body:string ->
+  unit ->
+  (int * string, string) result
+(** Client side: one round trip — connect, send, read to EOF — returning
+    [(status code, body)]. [timeout] (default 30s) bounds socket reads
+    and writes; [headers] adds extra request headers. Connection failures
+    are [Error]s. *)

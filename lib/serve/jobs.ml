@@ -1,0 +1,305 @@
+module J = Pi_campaign.Telemetry
+module E = Interferometry.Experiment
+module Model = Interferometry.Model
+module Predict = Interferometry.Predict
+module Obs_cache = Pi_campaign.Obs_cache
+module Linreg = Pi_stats.Linreg
+module C = Pi_uarch.Counters
+
+type kind = Measure | Predict | Campaign
+
+type params = {
+  kind : kind;
+  benches : string list;
+  layouts : int;
+  seed : int;
+  scale : int;
+  heap_random : bool;
+  quick : bool;
+}
+
+let kind_name = function
+  | Measure -> "measure"
+  | Predict -> "predict"
+  | Campaign -> "campaign"
+
+let kind_of_name = function
+  | "measure" -> Some Measure
+  | "predict" -> Some Predict
+  | "campaign" -> Some Campaign
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Submission parsing                                                 *)
+
+let known_fields =
+  [ "kind"; "bench"; "benches"; "suite"; "layouts"; "seed"; "scale";
+    "heap_random"; "quick" ]
+
+let suite_benches = function
+  | "2006" -> Some (Pi_workloads.Spec.all_2006 ())
+  | "2000" -> Some (Pi_workloads.Spec.extended_2000 ())
+  | "table1" -> Some (Pi_workloads.Spec.table1_2006 ())
+  | "sim" -> Some (Pi_workloads.Spec.simulation_suite ())
+  | "all" -> Some (Pi_workloads.Spec.everything ())
+  | _ -> None
+
+let parse json =
+  let ( let* ) = Result.bind in
+  match json with
+  | J.Obj fields ->
+      let* () =
+        match
+          List.find_opt (fun (k, _) -> not (List.mem k known_fields)) fields
+        with
+        | Some (k, _) -> Error (Printf.sprintf "unknown field %S" k)
+        | None -> Ok ()
+      in
+      let field name = List.assoc_opt name fields in
+      let* kind =
+        match field "kind" with
+        | Some (J.String s) -> (
+            match kind_of_name s with
+            | Some k -> Ok k
+            | None -> Error (Printf.sprintf "unknown kind %S" s))
+        | Some _ -> Error "field \"kind\" must be a string"
+        | None -> Error "missing field \"kind\""
+      in
+      let int_field name ~min ~max ~default =
+        match field name with
+        | None -> Ok default
+        | Some (J.Int i) when i >= min && i <= max -> Ok i
+        | Some (J.Int i) ->
+            Error (Printf.sprintf "field %S out of range: %d not in %d..%d" name i min max)
+        | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+      in
+      let bool_field name ~default =
+        match field name with
+        | None -> Ok default
+        | Some (J.Bool b) -> Ok b
+        | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+      in
+      let* named =
+        match (field "bench", field "benches", field "suite") with
+        | Some (J.String b), None, None -> Ok [ b ]
+        | None, Some (J.List l), None ->
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                match item with
+                | J.String b -> Ok (b :: acc)
+                | _ -> Error "field \"benches\" must be a list of strings")
+              (Ok []) l
+            |> Result.map List.rev
+        | None, None, Some (J.String s) -> (
+            match suite_benches s with
+            | Some benches -> Ok (Pi_workloads.Spec.names benches)
+            | None -> Error (Printf.sprintf "unknown suite %S" s))
+        | None, None, None ->
+            Error "one of \"bench\", \"benches\" or \"suite\" is required"
+        | _ -> Error "give exactly one of \"bench\", \"benches\" or \"suite\""
+      in
+      let* benches =
+        List.fold_left
+          (fun acc name ->
+            let* acc = acc in
+            match Pi_workloads.Spec.find name with
+            | bench -> Ok (bench.Pi_workloads.Bench.name :: acc)
+            | exception Not_found ->
+                Error (Printf.sprintf "unknown benchmark %S" name))
+          (Ok []) named
+        |> Result.map (fun l -> List.sort_uniq compare l)
+      in
+      let* () = if benches = [] then Error "no benchmarks given" else Ok () in
+      let* () =
+        match kind with
+        | Predict when List.length benches <> 1 ->
+            Error "kind \"predict\" takes exactly one benchmark"
+        | _ -> Ok ()
+      in
+      let* quick = bool_field "quick" ~default:false in
+      let base = if quick then E.quick_config else E.default_config in
+      let* layouts = int_field "layouts" ~min:3 ~max:1000 ~default:10 in
+      let* seed = int_field "seed" ~min:0 ~max:1_000_000_000 ~default:base.E.master_seed in
+      let* scale = int_field "scale" ~min:1 ~max:64 ~default:base.E.scale in
+      let* heap_random = bool_field "heap_random" ~default:false in
+      Ok { kind; benches; layouts; seed; scale; heap_random; quick }
+  | _ -> Error "submission body must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Identity                                                           *)
+
+let canonical p =
+  J.Obj
+    [
+      ("kind", J.String (kind_name p.kind));
+      ("benches", J.List (List.map (fun b -> J.String b) p.benches));
+      ("layouts", J.Int p.layouts);
+      ("seed", J.Int p.seed);
+      ("scale", J.Int p.scale);
+      ("heap_random", J.Bool p.heap_random);
+      ("quick", J.Bool p.quick);
+    ]
+
+let key p = Digest.to_hex (Digest.string (J.to_string (canonical p)))
+let id_of_key key = "j-" ^ String.sub key 0 12
+
+let config_of p =
+  let base = if p.quick then E.quick_config else E.default_config in
+  { base with E.master_seed = p.seed; scale = p.scale; heap_random = p.heap_random }
+
+(* ------------------------------------------------------------------ *)
+(* Result documents                                                   *)
+
+let measurement_json (m : C.measurement) =
+  J.Obj
+    [
+      ("cpi", J.Float m.C.cpi);
+      ("mpki", J.Float m.C.mpki);
+      ("l1i_mpki", J.Float m.C.l1i_mpki);
+      ("l1d_mpki", J.Float m.C.l1d_mpki);
+      ("l2_mpki", J.Float m.C.l2_mpki);
+      ("cycles", J.Float m.C.cycles);
+      ("instructions", J.Float m.C.instructions);
+      ("mispredicts", J.Float m.C.mispredicts);
+      ("l1i_misses", J.Float m.C.l1i_misses);
+      ("l1d_misses", J.Float m.C.l1d_misses);
+      ("l2_misses", J.Float m.C.l2_misses);
+    ]
+
+let observation_json (o : E.observation) =
+  J.Obj
+    [
+      ("seed", J.Int o.E.layout_seed);
+      ("measurement", measurement_json o.E.measurement);
+    ]
+
+let interval_json (i : Linreg.interval) =
+  J.Obj
+    [
+      ("lower", J.Float i.Linreg.lower);
+      ("estimate", J.Float i.Linreg.estimate);
+      ("upper", J.Float i.Linreg.upper);
+    ]
+
+let fit_json (m : Model.t) =
+  J.Obj
+    [
+      ("benchmark", J.String m.Model.benchmark);
+      ("slope", J.Float m.Model.regression.Linreg.slope);
+      ("intercept", J.Float m.Model.regression.Linreg.intercept);
+      ("r", J.Float m.Model.regression.Linreg.r);
+      ("r_squared", J.Float m.Model.regression.Linreg.r_squared);
+      ("n_layouts", J.Int m.Model.n_layouts);
+      ("mean_mpki", J.Float m.Model.mean_mpki);
+      ("mean_cpi", J.Float m.Model.mean_cpi);
+      ("perfect_prediction", interval_json m.Model.perfect_prediction);
+    ]
+
+(* The same fit [Model.fit] computes, but from bare observations — the
+   cache fast path has no [prepared] (and must not pay for one). *)
+let fit_of_observations ~bench (observations : E.observation array) =
+  let xs = Array.map (fun o -> o.E.measurement.C.mpki) observations in
+  let ys = Array.map (fun o -> o.E.measurement.C.cpi) observations in
+  let regression = Linreg.fit xs ys in
+  {
+    Model.benchmark = bench;
+    regression;
+    n_layouts = Array.length xs;
+    mean_mpki = Pi_stats.Descriptive.mean xs;
+    mean_cpi = Pi_stats.Descriptive.mean ys;
+    perfect_prediction = Linreg.prediction_interval regression 0.0;
+  }
+
+let bench_doc ~bench ~config (observations : E.observation array) =
+  J.Obj
+    [
+      ("bench", J.String bench);
+      ("layouts", J.Int (Array.length observations));
+      ("config_digest", J.String (Obs_cache.config_digest config));
+      ("fit", fit_json (fit_of_observations ~bench observations));
+      ("observations", J.List (Array.to_list (Array.map observation_json observations)));
+    ]
+
+let evaluation_json (e : Predict.evaluation) =
+  J.Obj
+    [
+      ("predictor", J.String e.Predict.predictor);
+      ("mean_mpki", J.Float e.Predict.mean_mpki);
+      ("cpi", interval_json e.Predict.cpi);
+      ("observed", J.Bool e.Predict.observed);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                          *)
+
+(* Observations for seeds [1..layouts], cache-first. Returns the sorted
+   array plus whether anything had to be computed (prepare is only paid
+   when a seed is missing). Fresh observations are stored one at a time:
+   a crash mid-job loses at most the seed in flight, and the replayed job
+   resumes from what already reached the cache. *)
+let observations_for ~cache ~config ~layouts bench_name =
+  let bench = Pi_workloads.Spec.find bench_name in
+  let cached = Obs_cache.load cache ~bench:bench_name ~config in
+  let by_seed = Hashtbl.create (Array.length cached) in
+  Array.iter (fun o -> Hashtbl.replace by_seed o.E.layout_seed o) cached;
+  let missing =
+    List.filter
+      (fun seed -> not (Hashtbl.mem by_seed seed))
+      (List.init layouts (fun i -> i + 1))
+  in
+  if missing <> [] then begin
+    let prepared = E.prepare ~config bench in
+    List.iter
+      (fun seed ->
+        let obs = E.observe_seed prepared seed in
+        Obs_cache.store cache ~bench:bench_name ~config [| obs |];
+        Hashtbl.replace by_seed seed obs)
+      missing
+  end;
+  Array.init layouts (fun i -> Hashtbl.find by_seed (i + 1))
+
+let run_measure ~cache p =
+  let config = config_of p in
+  let docs =
+    List.map
+      (fun bench ->
+        bench_doc ~bench ~config (observations_for ~cache ~config ~layouts:p.layouts bench))
+      p.benches
+  in
+  J.Obj
+    [
+      ("kind", J.String (kind_name p.kind));
+      ("params", canonical p);
+      ("benches", J.List docs);
+    ]
+
+(* Predict always prepares — the Pin-style candidate runs need the trace —
+   but the counter observations still come cache-first. *)
+let run_predict ~cache p =
+  let config = config_of p in
+  let bench_name = List.hd p.benches in
+  let bench = Pi_workloads.Spec.find bench_name in
+  let observations = observations_for ~cache ~config ~layouts:p.layouts bench_name in
+  let prepared = E.prepare ~config bench in
+  let dataset = { E.prepared; observations } in
+  let model = Model.fit dataset in
+  let evaluations = Predict.evaluate dataset model in
+  J.Obj
+    [
+      ("kind", J.String "predict");
+      ("params", canonical p);
+      ("bench", J.String bench_name);
+      ("config_digest", J.String (Obs_cache.config_digest config));
+      ("fit", fit_json model);
+      ("evaluations", J.List (List.map evaluation_json evaluations));
+    ]
+
+let execute ~cache p =
+  match
+    match p.kind with
+    | Measure | Campaign -> run_measure ~cache p
+    | Predict -> run_predict ~cache p
+  with
+  | doc -> Ok doc
+  | exception exn -> Error (Printexc.to_string exn)

@@ -1,0 +1,69 @@
+(** Daemon job semantics: what a submission means, how it is keyed, and
+    how it executes.
+
+    A job is fully described by its {!params}; two submissions with equal
+    params are {e the same job} — {!key} digests the canonical form, the
+    server dedups on it, and WAL replay re-derives the same job id after a
+    crash, which is what makes recovery exactly-once.
+
+    Result documents are {e deterministic}: built only from
+    [(benchmark, config, seed)]-reproducible observations and fits, with
+    no timestamps or cached-vs-computed distinctions — so a job finished
+    after a crash+replay is byte-identical to the same job finished in one
+    uninterrupted run (the [serve-smoke] invariant). *)
+
+module J = Pi_campaign.Telemetry
+
+type kind =
+  | Measure  (** observations + model fit for each benchmark *)
+  | Predict  (** Figure 7/8 predictor evaluation for one benchmark *)
+  | Campaign  (** {!Measure} over a whole suite *)
+
+type params = {
+  kind : kind;
+  benches : string list;  (** validated registry names, sorted, deduped *)
+  layouts : int;
+  seed : int;  (** master PRNG seed *)
+  scale : int;
+  heap_random : bool;
+  quick : bool;  (** base the config on {!Interferometry.Experiment.quick_config} *)
+}
+
+val kind_name : kind -> string
+
+val parse : J.json -> (params, string) result
+(** Parse and validate a submission body, e.g.
+    [{"kind":"measure","bench":"429.mcf","layouts":12,"quick":true}].
+    Accepts ["bench"] (one), ["benches"] (list) or ["suite"]
+    (["2006"|"2000"|"table1"|"sim"|"all"]); [Predict] requires exactly one
+    benchmark. Unknown benchmarks, unknown fields, and out-of-range values
+    ([layouts] outside 3..1000, [scale] outside 1..64, negative [seed])
+    are [Error]s — the network boundary validates before the ledger ever
+    sees the request. *)
+
+val canonical : params -> J.json
+(** Canonical JSON form: fixed field order, benches sorted — equal params
+    render identically. This is what the ledger records. *)
+
+val key : params -> string
+(** Hex digest of {!canonical} — the dedup identity. *)
+
+val id_of_key : string -> string
+(** The public job id derived from a key (short digest prefix), stable
+    across restarts so clients can poll through a daemon crash. *)
+
+val config_of : params -> Interferometry.Experiment.config
+(** The experiment config this job measures under — same derivation as the
+    CLI's [--seed]/[--scale]/[--heap-random]/[--quick] flags, so daemon
+    jobs and single-shot CLI runs share cache entries bit-for-bit. *)
+
+val execute : cache:Pi_campaign.Obs_cache.t -> params -> (J.json, string) result
+(** Run the job and build its result document.
+
+    Measurement jobs are cache-first: if every seed [1..layouts] of a
+    benchmark is already in [cache], its observations are served straight
+    from disk with {e no} [prepare] (the O(lookup) fast path). Missing
+    seeds are computed and stored {e one at a time}, so a SIGKILL
+    mid-job loses at most the observation in flight and the replayed job
+    resumes from what the cache already holds. Exceptions become
+    [Error]s. *)

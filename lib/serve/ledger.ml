@@ -1,0 +1,112 @@
+module J = Pi_campaign.Telemetry
+module Metrics = Pi_obs.Metrics
+
+let m_appends =
+  Metrics.counter ~help:"job-ledger records appended (each fsynced before ack)"
+    "pi_serve_ledger_appends_total"
+
+let m_replayed =
+  Metrics.counter ~help:"job-ledger records recovered by replay at boot"
+    "pi_serve_ledger_replayed_records_total"
+
+let m_torn =
+  Metrics.counter ~help:"torn job-ledger tails discarded by replay"
+    "pi_serve_ledger_torn_tails_total"
+
+type t = { fd : Unix.file_descr; mutex : Mutex.t; mutable open_ : bool }
+
+type replay = {
+  records : J.json list;
+  valid_bytes : int;
+  torn_bytes : int;
+}
+
+let digest_hex payload = Digest.to_hex (Digest.string payload)
+let digest_len = 32 (* MD5 hex *)
+
+let frame payload = digest_hex payload ^ " " ^ payload ^ "\n"
+
+(* One record line, or None when the line fails any framing check: short,
+   digest not hex, missing separator, digest mismatch, unparsable payload.
+   A single check failing means the record (and by the prefix rule,
+   everything after it) cannot be trusted. *)
+let parse_record line =
+  let n = String.length line in
+  if n < digest_len + 2 then None
+  else if line.[digest_len] <> ' ' then None
+  else
+    let digest = String.sub line 0 digest_len in
+    let hex = function '0' .. '9' | 'a' .. 'f' -> true | _ -> false in
+    if not (String.for_all hex digest) then None
+    else
+      let payload = String.sub line (digest_len + 1) (n - digest_len - 1) in
+      if digest_hex payload <> digest then None
+      else match J.parse payload with Ok json -> Some json | Error _ -> None
+
+let read ~path =
+  let contents =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | s -> s
+    | exception Sys_error _ -> ""
+  in
+  let total = String.length contents in
+  (* Walk complete lines from the front; the valid prefix ends at the
+     first record that is torn (no terminating newline) or fails its
+     digest — everything after it is untrusted, because a corrupt record
+     means the writer died (or the file was damaged) at that point. *)
+  let rec walk offset records =
+    if offset >= total then (List.rev records, offset)
+    else
+      match String.index_from_opt contents offset '\n' with
+      | None -> (List.rev records, offset) (* torn tail: no newline *)
+      | Some nl -> (
+          let line = String.sub contents offset (nl - offset) in
+          match parse_record line with
+          | Some json -> walk (nl + 1) (json :: records)
+          | None -> (List.rev records, offset))
+  in
+  let records, valid_bytes = walk 0 [] in
+  { records; valid_bytes; torn_bytes = total - valid_bytes }
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ~path =
+  mkdir_p (Filename.dirname path);
+  let replay = read ~path in
+  Metrics.add m_replayed (List.length replay.records);
+  if replay.torn_bytes > 0 then Metrics.inc m_torn;
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  (* Self-heal: drop the torn tail so the next record starts on a clean
+     boundary, and make the truncation durable before appending past it. *)
+  if replay.torn_bytes > 0 then begin
+    Unix.ftruncate fd replay.valid_bytes;
+    Unix.fsync fd
+  end;
+  ignore (Unix.lseek fd replay.valid_bytes Unix.SEEK_SET : int);
+  ({ fd; mutex = Mutex.create (); open_ = true }, replay)
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then go (off + Unix.write fd bytes off (len - off))
+  in
+  go 0
+
+let append t json =
+  Mutex.protect t.mutex (fun () ->
+      if not t.open_ then invalid_arg "Ledger.append: closed";
+      let line = frame (J.to_string json) in
+      write_all t.fd (Bytes.of_string line);
+      Unix.fsync t.fd;
+      Metrics.inc m_appends)
+
+let close t =
+  Mutex.protect t.mutex (fun () ->
+      if t.open_ then begin
+        t.open_ <- false;
+        Unix.close t.fd
+      end)

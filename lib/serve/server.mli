@@ -1,0 +1,59 @@
+(** The interferometry daemon.
+
+    A long-running process serving measurement, prediction and campaign
+    jobs over HTTP/1.1 on a TCP socket. Every accepted mutating request is
+    appended to the WAL-journaled job {!Ledger} {e before} it is
+    acknowledged or dispatched; on boot the ledger is replayed, completed
+    jobs are recognized by their persisted result documents, and
+    interrupted jobs are re-enqueued and resumed through the observation
+    cache — so a SIGKILL at {e any} point yields exactly-once completion
+    with results byte-identical to an uninterrupted run.
+
+    Endpoints:
+    - [GET /healthz] — liveness (200 once the listener is up)
+    - [GET /readyz] — readiness (503 while draining)
+    - [GET /metrics], [GET /metrics.json] — {!Pi_obs.Metrics} scrape
+      (observation-cache gauges are refreshed on every scrape)
+    - [GET /stats] — job-table and queue summary
+    - [POST /api/jobs] — submit (body: {!Jobs.parse} form); [202] with the
+      job id, [200] with [duplicate:true] when the same params were already
+      submitted, [400] on invalid bodies, [429] when the queue is full,
+      [503] while draining
+    - [GET /api/jobs] — list jobs
+    - [GET /api/jobs/:id] — one job's status
+    - [GET /api/jobs/:id/result] — the result document ([409] until done)
+
+    Admission and fairness ride on {!Pi_campaign.Scheduler.Queue} — the
+    same bounded-queue code path CLI campaigns drain through. Submissions
+    are enqueued under the client name from the [X-Client] header, so one
+    greedy client cannot starve the rest. *)
+
+type options = {
+  state_dir : string;
+      (** holds [ledger.wal], [cache/], [jobs/] (result documents) and
+          [serve.json] (the port file clients discover the daemon by) *)
+  port : int;  (** 0 picks an ephemeral port (recorded in [serve.json]) *)
+  queue_capacity : int;  (** admission bound; full queue answers 429 *)
+  workers : int;  (** job worker threads *)
+}
+
+val default_options : state_dir:string -> options
+(** Port 0, capacity 64, 1 worker. *)
+
+type t
+
+val start : options -> t
+(** Bind, replay the ledger (re-enqueueing unfinished jobs), write
+    [serve.json], and spawn the accept loop and workers. Returns once the
+    daemon is serving. *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Graceful drain: stop accepting connections and submissions (readyz
+    goes 503), let the workers finish every queued job, then close the
+    ledger. Idempotent. *)
+
+val run : options -> unit
+(** {!start}, then block until SIGTERM or SIGINT, then {!stop} — the
+    [interferometry serve] entry point. *)

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# serve-smoke: the daemon's crash-recovery invariant, end to end.
+#
+# Leg 1 starts a daemon, submits a measurement job, and SIGKILLs the
+# daemon mid-run (as soon as the observation cache shows partial
+# progress). Leg 2 restarts on the same state directory: the WAL replay
+# must re-enqueue the job and finish it exactly once. Leg 3 runs the same
+# job on a fresh daemon with no interruption. The recovered and the
+# uninterrupted result documents — and the cache CSVs behind them — must
+# be byte-identical (cmp). Finally, a resubmission of the finished job
+# must dedup onto it ("duplicate":true) without recomputing anything.
+set -euo pipefail
+
+BIN=${BIN:-_build/default/bin/interferometry_cli.exe}
+ROOT=${ROOT:-_serve-smoke}
+JOB='{"kind":"measure","bench":"429.mcf","layouts":60,"quick":true}'
+
+rm -rf "$ROOT"
+mkdir -p "$ROOT"
+
+daemon_pid() { sed -n 's/.*"pid":\([0-9]*\).*/\1/p' "$1/serve.json"; }
+
+start_daemon() { # $1 state dir, $2 log file
+  "$BIN" serve --state-dir "$1" >"$2" 2>&1 &
+  for _ in $(seq 1 100); do
+    [ -f "$1/serve.json" ] && break
+    sleep 0.05
+  done
+  [ -f "$1/serve.json" ] || { echo "serve-smoke: daemon did not boot"; exit 1; }
+}
+
+wait_done() { # $1 state dir, $2 job id
+  for _ in $(seq 1 600); do
+    if "$BIN" status --state-dir "$1" "$2" 2>/dev/null | grep -q '"status":"done"'; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "serve-smoke: job $2 did not finish"; exit 1
+}
+
+# ---- leg 1: submit, then SIGKILL mid-run ---------------------------------
+start_daemon "$ROOT/crash" "$ROOT/crash.log"
+ACK=$("$BIN" submit --state-dir "$ROOT/crash" "$JOB")
+ID=$(printf '%s' "$ACK" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || { echo "serve-smoke: no job id in ack: $ACK"; exit 1; }
+
+# Kill as soon as a few observations hit the cache: provably mid-run.
+for _ in $(seq 1 600); do
+  # Under pipefail, cat's exit 1 on the not-yet-existing glob must not
+  # take the script down — the whole point of the loop is to wait for it.
+  lines=$(cat "$ROOT"/crash/cache/429.mcf.*.csv 2>/dev/null | wc -l) || lines=0
+  [ "$lines" -ge 3 ] && break
+  sleep 0.02
+done
+kill -9 "$(daemon_pid "$ROOT/crash")"
+wait 2>/dev/null || true
+if [ -f "$ROOT/crash/jobs/$ID.json" ]; then
+  echo "serve-smoke: WARNING: job finished before the kill landed (machine too fast?)"
+fi
+echo "serve-smoke: killed daemon mid-run ($lines cache rows, job $ID)"
+
+# ---- leg 2: restart, replay, exactly-once completion ---------------------
+start_daemon "$ROOT/crash" "$ROOT/recover.log"
+wait_done "$ROOT/crash" "$ID"
+"$BIN" result --state-dir "$ROOT/crash" "$ID" > "$ROOT/recovered.json"
+grep -q '"record":"submit"' "$ROOT/crash/ledger.wal"
+grep -q '"record":"done"'   "$ROOT/crash/ledger.wal"
+[ "$(grep -c '"record":"submit"' "$ROOT/crash/ledger.wal")" -eq 1 ] \
+  || { echo "serve-smoke: replay duplicated the submit record"; exit 1; }
+
+# A resubmission dedups onto the finished job — the O(lookup) fast path.
+DUP=$("$BIN" submit --state-dir "$ROOT/crash" "$JOB")
+printf '%s' "$DUP" | grep -q '"duplicate":true' \
+  || { echo "serve-smoke: resubmission was not deduped: $DUP"; exit 1; }
+printf '%s' "$DUP" | grep -q '"status":"done"' \
+  || { echo "serve-smoke: deduped job not reported done: $DUP"; exit 1; }
+
+# Graceful drain.
+kill "$(daemon_pid "$ROOT/crash")"
+wait 2>/dev/null || true
+
+# ---- leg 3: the same job, uninterrupted, on fresh state ------------------
+start_daemon "$ROOT/clean" "$ROOT/clean.log"
+"$BIN" submit --state-dir "$ROOT/clean" "$JOB" >/dev/null
+wait_done "$ROOT/clean" "$ID"
+"$BIN" result --state-dir "$ROOT/clean" "$ID" > "$ROOT/oneshot.json"
+kill "$(daemon_pid "$ROOT/clean")"
+wait 2>/dev/null || true
+
+# ---- the invariant -------------------------------------------------------
+cmp "$ROOT/recovered.json" "$ROOT/oneshot.json"
+cmp "$ROOT"/crash/cache/429.mcf.*.csv "$ROOT"/clean/cache/429.mcf.*.csv
+echo "serve-smoke OK: SIGKILL mid-run -> replay -> exactly-once, result and cache bit-identical"

@@ -135,11 +135,110 @@ let prop_fuzz_layout_invariance =
       a.Pi_uarch.Pipeline.instructions = b.Pi_uarch.Pipeline.instructions
       && a.Pi_uarch.Pipeline.cond_branches = b.Pi_uarch.Pipeline.cond_branches)
 
+(* ---- hostile JSON at the network boundary ------------------------- *)
+(* Telemetry.parse guards the pi_serve submission endpoint: whatever a
+   client sends, the parser must return Error — never raise, never
+   overflow the stack, never go super-linear. *)
+
+module J = Pi_campaign.Telemetry
+
+let expect_error name input =
+  match J.parse input with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: hostile input parsed as Ok" name
+
+let test_json_depth_limit () =
+  (* 10k nested arrays: must be a clean Error, not a stack overflow. *)
+  let deep = String.make 10_000 '[' ^ String.make 10_000 ']' in
+  expect_error "deep arrays" deep;
+  let deep_objs =
+    String.concat "" (List.init 5_000 (fun _ -> "{\"k\":"))
+    ^ "1"
+    ^ String.make 5_000 '}'
+  in
+  expect_error "deep objects" deep_objs;
+  (* A custom limit bites exactly where configured: max_depth levels are
+     allowed, one more is not. *)
+  (match J.parse ~max_depth:3 "[[[[1]]]]" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "depth 4 nesting accepted under max_depth:3");
+  match J.parse ~max_depth:3 "[[[1]]]" with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "depth 3 nesting rejected under max_depth:3: %s" msg
+
+let test_json_size_limit () =
+  let big = "\"" ^ String.make 256 'x' ^ "\"" in
+  (match J.parse ~max_bytes:64 big with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "input beyond max_bytes accepted");
+  (* Within the limit the same shape parses. *)
+  match J.parse ~max_bytes:1024 big with
+  | Ok (J.String _) -> ()
+  | Ok _ -> Alcotest.fail "string parsed as non-string"
+  | Error msg -> Alcotest.failf "in-budget input rejected: %s" msg
+
+let test_json_duplicate_keys () =
+  expect_error "duplicate key" {|{"a":1,"a":2}|};
+  expect_error "nested duplicate key" {|{"outer":{"x":1,"x":1}}|};
+  (* Same key at different depths is fine. *)
+  match J.parse {|{"a":{"a":1}}|} with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "shadowed-but-legal key rejected: %s" msg
+
+let test_json_truncated_and_garbage () =
+  List.iter
+    (fun s -> expect_error "malformed" s)
+    [
+      ""; "{"; "["; "{\"a\""; "{\"a\":}"; "[1,"; "\"unterminated"; "nul"; "tru";
+      "01x"; "1e"; "{}trailing"; "\xff\xfe"; "{\"a\" 1}"; "[1 2]";
+    ]
+
+let prop_fuzz_json_never_raises =
+  QCheck.Test.make ~name:"random bytes: Telemetry.parse returns, never raises"
+    ~count:500
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      match J.parse s with Ok _ | Error _ -> true)
+
+let prop_fuzz_json_roundtrip =
+  (* Rendered valid documents always re-parse: the daemon's own emissions
+     can never be rejected by its own boundary. *)
+  QCheck.Test.make ~name:"rendered json round-trips through the hardened parser"
+    ~count:200
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let rec value depth =
+        match Rng.int rng (if depth > 0 then 6 else 4) with
+        | 0 -> J.Null
+        | 1 -> J.Bool (Rng.bool rng)
+        | 2 -> J.Int (Rng.int rng 1_000_000 - 500_000)
+        | 3 -> J.String (Printf.sprintf "s%d" (Rng.int rng 1000))
+        | 4 -> J.List (List.init (Rng.int rng 4) (fun _ -> value (depth - 1)))
+        | _ ->
+            J.Obj
+              (List.init (Rng.int rng 4) (fun i ->
+                   (Printf.sprintf "k%d" i, value (depth - 1))))
+      in
+      let doc = value 4 in
+      match J.parse (J.to_string doc) with Ok _ -> true | Error _ -> false)
+
 let suite =
   [
     ( "fuzz.programs",
       [
         QCheck_alcotest.to_alcotest prop_fuzz_valid_and_runnable;
         QCheck_alcotest.to_alcotest prop_fuzz_layout_invariance;
+      ] );
+    ( "fuzz.json",
+      [
+        Alcotest.test_case "nesting depth is bounded" `Quick test_json_depth_limit;
+        Alcotest.test_case "input size is bounded" `Quick test_json_size_limit;
+        Alcotest.test_case "duplicate keys are rejected" `Quick
+          test_json_duplicate_keys;
+        Alcotest.test_case "truncated and garbage inputs error" `Quick
+          test_json_truncated_and_garbage;
+        QCheck_alcotest.to_alcotest prop_fuzz_json_never_raises;
+        QCheck_alcotest.to_alcotest prop_fuzz_json_roundtrip;
       ] );
   ]

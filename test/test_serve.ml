@@ -1,0 +1,392 @@
+(* pi_serve: WAL ledger crash semantics, the shared bounded queue, the
+   HTTP layer, job identity, and an in-process daemon round trip.
+
+   The crash tests enforce the ledger's contract directly on files: a torn
+   tail (the half-written record a SIGKILL leaves) is detected, dropped and
+   truncated; replay is idempotent; duplicate submit records (a client
+   resubmitting after a crash-before-ack) collapse onto one job. *)
+
+module J = Pi_campaign.Telemetry
+module Ledger = Pi_serve.Ledger
+module Http = Pi_serve.Http
+module Router = Pi_serve.Router
+module Jobs = Pi_serve.Jobs
+module Server = Pi_serve.Server
+module Client = Pi_serve.Client
+module Queue = Pi_campaign.Scheduler.Queue
+
+let tmp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "pi_serve_test.%d.%d" (Unix.getpid ()) !counter)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+let record i = J.Obj [ ("record", J.String "submit"); ("n", J.Int i) ]
+
+(* ---- ledger ------------------------------------------------------- *)
+
+let test_ledger_roundtrip () =
+  let path = Filename.concat (tmp_dir ()) "ledger.wal" in
+  let ledger, replay = Ledger.open_ ~path in
+  Alcotest.(check int) "fresh ledger is empty" 0 (List.length replay.Ledger.records);
+  List.iter (fun i -> Ledger.append ledger (record i)) [ 1; 2; 3 ];
+  Ledger.close ledger;
+  let replay = Ledger.read ~path in
+  Alcotest.(check int) "three records" 3 (List.length replay.Ledger.records);
+  Alcotest.(check int) "no torn bytes" 0 replay.Ledger.torn_bytes;
+  Alcotest.(check (list string)) "payloads survive verbatim"
+    (List.map (fun i -> J.to_string (record i)) [ 1; 2; 3 ])
+    (List.map J.to_string replay.Ledger.records)
+
+let test_ledger_torn_tail () =
+  let path = Filename.concat (tmp_dir ()) "ledger.wal" in
+  let ledger, _ = Ledger.open_ ~path in
+  List.iter (fun i -> Ledger.append ledger (record i)) [ 1; 2 ];
+  Ledger.close ledger;
+  let valid = (Ledger.read ~path).Ledger.valid_bytes in
+  (* Simulate a SIGKILL mid-append: a record missing its newline. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "0123456789abcdef0123456789abcdef {\"torn\":";
+  close_out oc;
+  let replay = Ledger.read ~path in
+  Alcotest.(check int) "torn tail keeps the valid prefix" 2
+    (List.length replay.Ledger.records);
+  Alcotest.(check bool) "torn bytes detected" true (replay.Ledger.torn_bytes > 0);
+  Alcotest.(check int) "valid prefix unchanged" valid replay.Ledger.valid_bytes;
+  (* Reading is idempotent — same file, same answer. *)
+  let again = Ledger.read ~path in
+  Alcotest.(check int) "replay is idempotent" 2 (List.length again.Ledger.records);
+  (* open_ self-heals: the tail is truncated and appends continue cleanly. *)
+  let ledger, healed = Ledger.open_ ~path in
+  Alcotest.(check int) "open_ reports the survivors" 2
+    (List.length healed.Ledger.records);
+  Ledger.append ledger (record 3);
+  Ledger.close ledger;
+  let final = Ledger.read ~path in
+  Alcotest.(check int) "append after heal lands on a clean boundary" 3
+    (List.length final.Ledger.records);
+  Alcotest.(check int) "healed file has no torn bytes" 0 final.Ledger.torn_bytes
+
+let test_ledger_corrupt_record_ends_prefix () =
+  let path = Filename.concat (tmp_dir ()) "ledger.wal" in
+  let ledger, _ = Ledger.open_ ~path in
+  List.iter (fun i -> Ledger.append ledger (record i)) [ 1; 2; 3 ];
+  Ledger.close ledger;
+  (* Flip one payload byte of the second record: its digest now fails, so
+     the valid prefix is record 1 only — records after a corrupt one are
+     untrusted even if they look intact. *)
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let lines = String.split_on_char '\n' contents in
+  let mangled =
+    match lines with
+    | a :: b :: rest ->
+        let b = Bytes.of_string b in
+        Bytes.set b (Bytes.length b - 2) '!';
+        String.concat "\n" (a :: Bytes.to_string b :: rest)
+    | _ -> Alcotest.fail "expected three ledger lines"
+  in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc mangled);
+  let replay = Ledger.read ~path in
+  Alcotest.(check int) "corruption ends the valid prefix" 1
+    (List.length replay.Ledger.records);
+  Alcotest.(check bool) "rest counts as torn" true (replay.Ledger.torn_bytes > 0)
+
+(* ---- the shared bounded queue ------------------------------------- *)
+
+let test_queue_capacity_and_force () =
+  let q = Queue.create ~capacity:2 () in
+  Alcotest.(check bool) "accepts under capacity" true (Queue.enqueue q 1);
+  Alcotest.(check bool) "accepts at capacity" true (Queue.enqueue q 2);
+  Alcotest.(check bool) "rejects over capacity" false (Queue.enqueue q 3);
+  Alcotest.(check bool) "force bypasses capacity" true (Queue.enqueue ~force:true q 4);
+  Alcotest.(check int) "depth counts forced items" 3 (Queue.depth q);
+  Queue.close q;
+  Alcotest.(check bool) "closed queue rejects even forced" false
+    (Queue.enqueue ~force:true q 5);
+  Alcotest.(check (option int)) "drains after close" (Some 1) (Queue.dequeue q);
+  Alcotest.(check (option int)) "drains in order" (Some 2) (Queue.dequeue q);
+  Alcotest.(check (option int)) "forced item drains too" (Some 4) (Queue.dequeue q);
+  Alcotest.(check (option int)) "then None" None (Queue.dequeue q)
+
+let test_queue_fairness () =
+  (* One greedy client, one light client: round-robin interleaves them
+     rather than serving the greedy backlog first. *)
+  let q = Queue.create () in
+  List.iter (fun i -> ignore (Queue.enqueue ~client:"greedy" q i : bool)) [ 1; 2; 3 ];
+  ignore (Queue.enqueue ~client:"light" q 100 : bool);
+  Queue.close q;
+  let order =
+    List.init 4 (fun _ ->
+        match Queue.dequeue q with Some i -> i | None -> Alcotest.fail "early None")
+  in
+  Alcotest.(check (list int)) "round-robin across clients" [ 1; 100; 2; 3 ] order
+
+(* ---- http --------------------------------------------------------- *)
+
+let with_request_bytes bytes f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+    (fun () ->
+      let payload = Bytes.of_string bytes in
+      ignore (Unix.write a payload 0 (Bytes.length payload) : int);
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      f b)
+
+let test_http_parses_request () =
+  with_request_bytes
+    "POST /api/jobs?x=1 HTTP/1.1\r\nHost: h\r\nX-Client: ci\r\nContent-Length: 4\r\n\r\nbody"
+    (fun fd ->
+      match Http.read_request fd with
+      | Error msg -> Alcotest.failf "parse failed: %s" msg
+      | Ok req ->
+          Alcotest.(check string) "method" "POST" req.Http.meth;
+          Alcotest.(check string) "query stripped" "/api/jobs" req.Http.path;
+          Alcotest.(check (option string)) "header lookup is case-insensitive"
+            (Some "ci") (Http.header req "X-CLIENT");
+          Alcotest.(check string) "body" "body" req.Http.body)
+
+let test_http_rejects_hostile () =
+  let cases =
+    [
+      ("no terminator", "GET /x HTTP/1.1\r\nHost: h\r\n");
+      ("bad request line", "GET\r\n\r\n");
+      ("bad content-length", "GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n");
+      ("relative target", "GET x HTTP/1.1\r\n\r\n");
+    ]
+  in
+  List.iter
+    (fun (name, bytes) ->
+      with_request_bytes bytes (fun fd ->
+          match Http.read_request fd with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "%s: accepted" name))
+    cases;
+  (* Over-limit header block errors out instead of buffering forever. *)
+  with_request_bytes
+    ("GET /x HTTP/1.1\r\nBig: " ^ String.make 4096 'a' ^ "\r\n\r\n")
+    (fun fd ->
+      match Http.read_request ~max_header_bytes:512 fd with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "oversized head accepted")
+
+(* ---- router ------------------------------------------------------- *)
+
+let test_router_dispatch () =
+  let routes =
+    [
+      Router.get "/api/jobs" (fun _ _ -> Router.text 200 "list");
+      Router.get "/api/jobs/:id" (fun params _ ->
+          Router.text 200 ("job " ^ List.assoc "id" params));
+      Router.post "/api/jobs" (fun _ _ -> Router.text 202 "submitted");
+    ]
+  in
+  let req meth path = { Http.meth; path; headers = []; body = "" } in
+  let resp, label = Router.dispatch routes (req "GET" "/api/jobs/j-123") in
+  Alcotest.(check int) "param route hit" 200 resp.Http.code;
+  Alcotest.(check string) "param bound" "job j-123" resp.Http.body;
+  Alcotest.(check string) "metrics label is the pattern" "/api/jobs/:id" label;
+  let resp, _ = Router.dispatch routes (req "POST" "/api/jobs") in
+  Alcotest.(check int) "method picks the route" 202 resp.Http.code;
+  let resp, _ = Router.dispatch routes (req "DELETE" "/api/jobs") in
+  Alcotest.(check int) "wrong method is 405" 405 resp.Http.code;
+  let resp, label = Router.dispatch routes (req "GET" "/nope") in
+  Alcotest.(check int) "unknown path is 404" 404 resp.Http.code;
+  Alcotest.(check string) "404 label is bounded" "*unmatched*" label
+
+(* ---- job identity ------------------------------------------------- *)
+
+let test_jobs_parse_and_key () =
+  let parse s =
+    match J.parse s with
+    | Ok json -> Jobs.parse json
+    | Error msg -> Alcotest.failf "test body unparsable: %s" msg
+  in
+  (match parse {|{"kind":"measure","bench":"429.mcf","layouts":5,"quick":true}|} with
+  | Error msg -> Alcotest.failf "valid submission rejected: %s" msg
+  | Ok p ->
+      Alcotest.(check (list string)) "bench resolved" [ "429.mcf" ] p.Jobs.benches;
+      (* Key is insensitive to bench order and resilient across parses. *)
+      let p2 =
+        match
+          parse {|{"kind":"measure","benches":["429.mcf"],"layouts":5,"quick":true}|}
+        with
+        | Ok p2 -> p2
+        | Error msg -> Alcotest.failf "equivalent submission rejected: %s" msg
+      in
+      Alcotest.(check string) "equal params, equal key" (Jobs.key p) (Jobs.key p2);
+      Alcotest.(check string) "id derives from key" (Jobs.id_of_key (Jobs.key p))
+        (Jobs.id_of_key (Jobs.key p2)));
+  List.iter
+    (fun body ->
+      match parse body with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "hostile submission accepted: %s" body)
+    [
+      {|{"kind":"warp","bench":"429.mcf"}|};
+      {|{"kind":"measure","bench":"no.such.bench"}|};
+      {|{"kind":"measure","bench":"429.mcf","layouts":100000}|};
+      {|{"kind":"measure","bench":"429.mcf","evil":1}|};
+      {|{"kind":"predict","benches":["429.mcf","433.milc"]}|};
+      {|{"kind":"measure"}|};
+      {|[1,2,3]|};
+    ]
+
+(* ---- in-process daemon round trip --------------------------------- *)
+
+let test_server_roundtrip () =
+  let state_dir = tmp_dir () in
+  let options = { (Server.default_options ~state_dir) with Server.workers = 1 } in
+  let server = Server.start options in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let conn = { Client.host = "127.0.0.1"; port = Server.port server } in
+      (match Client.wait_ready conn with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "daemon not ready: %s" msg);
+      let body = {|{"kind":"measure","bench":"429.mcf","layouts":4,"quick":true}|} in
+      let id =
+        match Client.submit ~client:"tests" conn ~body with
+        | Error msg -> Alcotest.failf "submit failed: %s" msg
+        | Ok (J.Obj fields) -> (
+            match List.assoc_opt "id" fields with
+            | Some (J.String id) -> id
+            | _ -> Alcotest.fail "no id in acknowledgement")
+        | Ok _ -> Alcotest.fail "malformed acknowledgement"
+      in
+      let result =
+        match Client.wait_job ~timeout:120.0 conn ~id with
+        | Ok doc -> doc
+        | Error msg -> Alcotest.failf "job did not finish: %s" msg
+      in
+      (* Resubmission dedups onto the finished job and the result document
+         is served from disk, byte-identical. *)
+      (match Client.submit conn ~body with
+      | Ok (J.Obj fields) ->
+          Alcotest.(check bool) "duplicate flagged" true
+            (List.assoc_opt "duplicate" fields = Some (J.Bool true))
+      | Ok _ | Error _ -> Alcotest.fail "resubmission failed");
+      (match Client.result conn ~id with
+      | Ok again -> Alcotest.(check string) "result bytes are stable" result again
+      | Error msg -> Alcotest.failf "result fetch failed: %s" msg);
+      (* The ledger now carries submit + done; a restarted daemon must
+         reconstruct the table without re-running anything. *)
+      ());
+  (* Restart on the same state: replay recognizes the persisted result. *)
+  let server = Server.start options in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let conn = { Client.host = "127.0.0.1"; port = Server.port server } in
+      (match Client.wait_ready conn with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "restarted daemon not ready: %s" msg);
+      match Http.request ~host:conn.Client.host ~port:conn.Client.port ~meth:"GET"
+              ~path:"/api/jobs" ()
+      with
+      | Ok (200, body) ->
+          Alcotest.(check bool) "replayed job is done" true
+            (let contains s sub =
+               let n = String.length s and m = String.length sub in
+               let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+               go 0
+             in
+             contains body {|"status":"done"|})
+      | Ok (code, _) -> Alcotest.failf "job list returned %d" code
+      | Error msg -> Alcotest.failf "job list failed: %s" msg)
+
+let test_server_replay_dedups_submits () =
+  (* A crash between the WAL append and the client ack makes the client
+     resubmit after restart; the identical params collapse onto one job.
+     Forge that history: the same submit record appended twice. *)
+  let state_dir = tmp_dir () in
+  let params =
+    match
+      J.parse {|{"kind":"measure","bench":"429.mcf","layouts":4,"quick":true}|}
+    with
+    | Ok json -> (
+        match Jobs.parse json with
+        | Ok p -> p
+        | Error msg -> Alcotest.failf "params: %s" msg)
+    | Error msg -> Alcotest.failf "json: %s" msg
+  in
+  let submit_record =
+    J.Obj
+      [
+        ("record", J.String "submit");
+        ("key", J.String (Jobs.key params));
+        ("client", J.String "anon");
+        ("params", Jobs.canonical params);
+      ]
+  in
+  let ledger, _ = Ledger.open_ ~path:(Filename.concat state_dir "ledger.wal") in
+  Ledger.append ledger submit_record;
+  Ledger.append ledger submit_record;
+  Ledger.close ledger;
+  let server = Server.start (Server.default_options ~state_dir) in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let conn = { Client.host = "127.0.0.1"; port = Server.port server } in
+      (match Client.wait_ready conn with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "daemon not ready: %s" msg);
+      let id = Jobs.id_of_key (Jobs.key params) in
+      match Client.wait_job ~timeout:120.0 conn ~id with
+      | Error msg -> Alcotest.failf "replayed job did not run: %s" msg
+      | Ok _ -> (
+          match Http.request ~host:conn.Client.host ~port:conn.Client.port
+                  ~meth:"GET" ~path:"/stats" ()
+          with
+          | Ok (200, body) -> (
+              match J.parse body with
+              | Ok (J.Obj fields) -> (
+                  match List.assoc_opt "jobs" fields with
+                  | Some (J.Obj jobs) ->
+                      Alcotest.(check bool) "exactly one job from two submits" true
+                        (List.assoc_opt "done" jobs = Some (J.Int 1))
+                  | _ -> Alcotest.fail "stats carries no jobs object")
+              | _ -> Alcotest.fail "stats unparsable")
+          | Ok (code, _) -> Alcotest.failf "stats returned %d" code
+          | Error msg -> Alcotest.failf "stats failed: %s" msg))
+
+let suite =
+  [
+    ( "serve.ledger",
+      [
+        Alcotest.test_case "append/replay round trip" `Quick test_ledger_roundtrip;
+        Alcotest.test_case "torn tail is dropped and healed" `Quick
+          test_ledger_torn_tail;
+        Alcotest.test_case "corruption ends the valid prefix" `Quick
+          test_ledger_corrupt_record_ends_prefix;
+      ] );
+    ( "serve.queue",
+      [
+        Alcotest.test_case "capacity, force and close" `Quick
+          test_queue_capacity_and_force;
+        Alcotest.test_case "round-robin fairness" `Quick test_queue_fairness;
+      ] );
+    ( "serve.http",
+      [
+        Alcotest.test_case "parses a framed request" `Quick test_http_parses_request;
+        Alcotest.test_case "rejects hostile requests" `Quick test_http_rejects_hostile;
+      ] );
+    ( "serve.router",
+      [ Alcotest.test_case "dispatch, params, 404/405" `Quick test_router_dispatch ] );
+    ( "serve.jobs",
+      [ Alcotest.test_case "parse, validate, canonical key" `Quick test_jobs_parse_and_key ] );
+    ( "serve.daemon",
+      [
+        Alcotest.test_case "submit/wait/result + restart replay" `Quick
+          test_server_roundtrip;
+        Alcotest.test_case "duplicate WAL submits collapse onto one job" `Quick
+          test_server_replay_dedups_submits;
+      ] );
+  ]

@@ -2,7 +2,7 @@
 
 CLI = dune exec bin/interferometry_cli.exe --
 
-.PHONY: all check test build campaign-smoke perf perf-smoke obs-smoke resilience-smoke sweep-smoke serve-smoke clean
+.PHONY: all check test build campaign-smoke perf perf-smoke obs-smoke resilience-smoke sweep-smoke cache-sweep-smoke serve-smoke clean
 
 all: build
 
@@ -17,25 +17,33 @@ check:
 	dune build && dune runtest
 	$(MAKE) perf-smoke
 	$(MAKE) sweep-smoke
+	$(MAKE) cache-sweep-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) resilience-smoke
 	$(MAKE) serve-smoke
 
-# Full pipeline + fused-sweep microbenchmarks; writes BENCH_pipeline.json
-# and BENCH_sweep.json, and gates the fused sweep at 3x the per-config loop.
+# Full pipeline + fused-sweep microbenchmarks; writes BENCH_pipeline.json,
+# BENCH_sweep.json and BENCH_cache_sweep.json, and gates both fused axes
+# at 3x their per-config loops.
 perf:
-	PI_SWEEP_GATE=3 dune exec bench/perf.exe
+	PI_SWEEP_GATE=3 PI_CACHE_SWEEP_GATE=3 dune exec bench/perf.exe
 
 # Tiny configuration of the same benchmarks: correctness gate, not a timing
-# (the sweep gate is disabled; bit-identity across paths is still enforced).
+# (the sweep gates are disabled; bit-identity across paths is still enforced).
 perf-smoke:
 	PI_PERF_SCALE=2 PI_PERF_LAYOUTS=2 PI_SWEEP_SCALE=1 PI_SWEEP_GATE=0 \
-	  PI_PERF_OUT=- PI_SWEEP_OUT=- dune exec bench/perf.exe
+	  PI_CACHE_SWEEP_GATE=0 PI_PERF_OUT=- PI_SWEEP_OUT=- PI_CACHE_SWEEP_OUT=- \
+	  dune exec bench/perf.exe
 
 # Sharded fused sweep through the CLI: two domains, then a sequential
 # per-config study, which must match the fused one bit for bit.
 sweep-smoke:
 	$(CLI) sweep 429.mcf --scale 1 --jobs 2 --check
+
+# The same contract on the cache axis: a 2-domain sharded 100-geometry
+# sweep, checked bit for bit against the sequential per-geometry loop.
+cache-sweep-smoke:
+	$(CLI) sweep 429.mcf --scale 1 --axis cache --jobs 2 --check
 
 # Tiny cold campaign with both observability artifacts; asserts the metric
 # scrape accounts for every computed job and that a trace was written.

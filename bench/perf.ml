@@ -7,12 +7,15 @@
    sequential ratio is most reproducible on a noisy box; independent of
    PI_PERF_SCALE), PI_SWEEP_OUT (default BENCH_sweep.json; "-" to skip the
    file), PI_SWEEP_GATE (minimum fused sweep speedup, default 0 = no gate;
+   `make perf` passes 3), PI_CACHE_SWEEP_SCALE (default PI_SWEEP_SCALE),
+   PI_CACHE_SWEEP_OUT (default BENCH_cache_sweep.json; "-" to skip) and
+   PI_CACHE_SWEEP_GATE (minimum fused cache-sweep speedup, default 0;
    `make perf` passes 3).
 
    Exits nonzero when replay counts diverge from the legacy path, replay is
-   slower than legacy, the fused sweep diverges from the sequential study,
-   or the fused speedup misses PI_SWEEP_GATE — so `make check` can use it
-   as a regression smoke. *)
+   slower than legacy, either fused sweep diverges from its sequential
+   study, or either fused speedup misses its gate — so `make check` can use
+   it as a regression smoke. *)
 
 let () =
   (* Tracing stays on while timing: the published perf numbers must include
@@ -20,6 +23,7 @@ let () =
   Pi_obs.Span.set_enabled true;
   let scale = Interferometry.Knobs.env_int "PI_PERF_SCALE" 4 in
   let sweep_scale = Interferometry.Knobs.env_int "PI_SWEEP_SCALE" 2 in
+  let cache_sweep_scale = Interferometry.Knobs.env_int "PI_CACHE_SWEEP_SCALE" sweep_scale in
   let layouts = Interferometry.Knobs.env_int "PI_PERF_LAYOUTS" 12 in
   let bench =
     Option.value ~default:"400.perlbench" (Sys.getenv_opt "PI_PERF_BENCH")
@@ -28,16 +32,21 @@ let () =
   let sweep_out =
     Option.value ~default:"BENCH_sweep.json" (Sys.getenv_opt "PI_SWEEP_OUT")
   in
-  let sweep_gate =
-    match Sys.getenv_opt "PI_SWEEP_GATE" with
+  let cache_sweep_out =
+    Option.value ~default:"BENCH_cache_sweep.json" (Sys.getenv_opt "PI_CACHE_SWEEP_OUT")
+  in
+  let gate_of name =
+    match Sys.getenv_opt name with
     | None | Some "" -> 0.0
     | Some s -> (
         match float_of_string_opt s with
         | Some g when g >= 0.0 -> g
         | _ ->
-            Pi_obs.Log.warn "PI_SWEEP_GATE=%s is not a float; gate disabled" s;
+            Pi_obs.Log.warn "%s=%s is not a float; gate disabled" name s;
             0.0)
   in
+  let sweep_gate = gate_of "PI_SWEEP_GATE" in
+  let cache_sweep_gate = gate_of "PI_CACHE_SWEEP_GATE" in
   let r = Interferometry.Perf_bench.run ~bench ~scale ~layouts () in
   print_endline (Interferometry.Perf_bench.summary r);
   if out <> "-" then begin
@@ -49,6 +58,12 @@ let () =
   if sweep_out <> "-" then begin
     Interferometry.Perf_bench.write_sweep_json ~path:sweep_out s;
     Printf.printf "wrote %s\n" sweep_out
+  end;
+  let c = Interferometry.Perf_bench.run_cache_sweep ~bench ~scale:cache_sweep_scale () in
+  print_endline (Interferometry.Perf_bench.cache_sweep_summary c);
+  if cache_sweep_out <> "-" then begin
+    Interferometry.Perf_bench.write_cache_sweep_json ~path:cache_sweep_out c;
+    Printf.printf "wrote %s\n" cache_sweep_out
   end;
   if not r.Interferometry.Perf_bench.identical then begin
     prerr_endline "FAIL: replay counts differ from the legacy pipeline";
@@ -66,5 +81,14 @@ let () =
   if s.Interferometry.Perf_bench.sweep_speedup < sweep_gate then begin
     Printf.eprintf "FAIL: fused sweep speedup %.2fx below gate %.2fx\n"
       s.Interferometry.Perf_bench.sweep_speedup sweep_gate;
+    exit 1
+  end;
+  if not c.Interferometry.Perf_bench.cache_identical then begin
+    prerr_endline "FAIL: fused cache sweep diverges from the sequential study";
+    exit 1
+  end;
+  if c.Interferometry.Perf_bench.cache_speedup < cache_sweep_gate then begin
+    Printf.eprintf "FAIL: fused cache sweep speedup %.2fx below gate %.2fx\n"
+      c.Interferometry.Perf_bench.cache_speedup cache_sweep_gate;
     exit 1
   end

@@ -6,7 +6,7 @@
      interferometry model   <bench> --layouts 50
      interferometry blame   <bench> --layouts 50
      interferometry predict <bench> --layouts 30
-     interferometry sweep   <bench> [--jobs N] [--check]  (145-config linearity study)
+     interferometry sweep   <bench> [--axis predictor|cache] [--jobs N] [--check]
      interferometry cache   <bench> --layouts 25     (cache interferometry)
      interferometry report  <bench> -o study.md      (full Markdown report)
      interferometry export  <bench> runs.csv         (CSV persistence)
@@ -347,10 +347,19 @@ let sweep_cmd =
   let check_term =
     Arg.(value & flag
          & info [ "check" ]
-             ~doc:"Also run the sequential per-config study and fail (exit 1) \
-                   unless it matches the fused study bit for bit.")
+             ~doc:"Also run the sequential per-config study of the selected \
+                   axis and fail (exit 1) unless it matches the fused study \
+                   bit for bit.")
   in
-  let run bench seed scale jobs check metrics_out trace_out =
+  let axis_term =
+    Arg.(value & opt (enum [ ("predictor", `Predictor); ("cache", `Cache) ]) `Predictor
+         & info [ "axis" ] ~docv:"AXIS"
+             ~doc:"Sweep axis: $(b,predictor) (145 branch-predictor \
+                   configurations, the Section-3 linearity study) or \
+                   $(b,cache) (100 L1I/L2 geometry variants, the \
+                   INTERPLAY-style degradation study).")
+  in
+  let run bench seed scale jobs axis check metrics_out trace_out =
     with_obs ~metrics_out ~trace_out @@ fun () ->
     if jobs < 1 then begin
       Printf.eprintf "sweep: --jobs must be >= 1 (got %d)\n" jobs;
@@ -362,43 +371,81 @@ let sweep_cmd =
     let map_shards =
       if jobs > 1 then Some (Pi_campaign.Campaign.sweep_shard_map ~jobs ()) else None
     in
-    let s =
-      Pi_uarch.Sweep.run_study ~warmup_blocks:prepared.E.warmup_blocks ~shards:jobs ?map_shards
-        ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace placement
-    in
-    Printf.printf
-      "%d fused lanes + %d per-config, %d shard%s, %d warmup blocks\n"
-      s.Pi_uarch.Sweep.fused_lanes s.Pi_uarch.Sweep.fallback_lanes s.Pi_uarch.Sweep.shards
-      (if s.Pi_uarch.Sweep.shards = 1 then "" else "s")
-      s.Pi_uarch.Sweep.warmup_blocks;
-    Printf.printf "regression over 145 imperfect configurations: %s\n"
-      (Format.asprintf "%a" Linreg.pp s.Pi_uarch.Sweep.regression);
-    Printf.printf "perfect:  actual CPI %.4f, extrapolated %.4f (error %.2f%%)\n"
-      s.Pi_uarch.Sweep.perfect_cpi s.Pi_uarch.Sweep.predicted_perfect_cpi
-      s.Pi_uarch.Sweep.perfect_error_percent;
-    Printf.printf "L-TAGE:   actual CPI %.4f at %.3f MPKI, interpolated %.4f (error %.2f%%)\n"
-      s.Pi_uarch.Sweep.ltage_point.Pi_uarch.Sweep.cpi
-      s.Pi_uarch.Sweep.ltage_point.Pi_uarch.Sweep.mpki s.Pi_uarch.Sweep.predicted_ltage_cpi
-      s.Pi_uarch.Sweep.ltage_error_percent;
-    if check then begin
-      let sequential =
-        Pi_uarch.Sweep.run_study ~warmup_blocks:prepared.E.warmup_blocks ~fused:false
-          ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace placement
-      in
-      if
-        s.Pi_uarch.Sweep.points = sequential.Pi_uarch.Sweep.points
-        && s.Pi_uarch.Sweep.perfect_cpi = sequential.Pi_uarch.Sweep.perfect_cpi
-        && s.Pi_uarch.Sweep.ltage_point = sequential.Pi_uarch.Sweep.ltage_point
-      then print_endline "check: fused study identical to sequential study"
-      else begin
-        prerr_endline "FAIL: fused study differs from sequential study";
-        exit 1
-      end
-    end
+    match axis with
+    | `Predictor ->
+        let s =
+          Pi_uarch.Sweep.run_study ~warmup_blocks:prepared.E.warmup_blocks ~shards:jobs
+            ?map_shards ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace placement
+        in
+        Printf.printf
+          "%d fused lanes + %d per-config, %d shard%s, %d warmup blocks\n"
+          s.Pi_uarch.Sweep.fused_lanes s.Pi_uarch.Sweep.fallback_lanes s.Pi_uarch.Sweep.shards
+          (if s.Pi_uarch.Sweep.shards = 1 then "" else "s")
+          s.Pi_uarch.Sweep.warmup_blocks;
+        Printf.printf "regression over 145 imperfect configurations: %s\n"
+          (Format.asprintf "%a" Linreg.pp s.Pi_uarch.Sweep.regression);
+        Printf.printf "perfect:  actual CPI %.4f, extrapolated %.4f (error %.2f%%)\n"
+          s.Pi_uarch.Sweep.perfect_cpi s.Pi_uarch.Sweep.predicted_perfect_cpi
+          s.Pi_uarch.Sweep.perfect_error_percent;
+        Printf.printf "L-TAGE:   actual CPI %.4f at %.3f MPKI, interpolated %.4f (error %.2f%%)\n"
+          s.Pi_uarch.Sweep.ltage_point.Pi_uarch.Sweep.cpi
+          s.Pi_uarch.Sweep.ltage_point.Pi_uarch.Sweep.mpki s.Pi_uarch.Sweep.predicted_ltage_cpi
+          s.Pi_uarch.Sweep.ltage_error_percent;
+        if check then begin
+          let sequential =
+            Pi_uarch.Sweep.run_study ~warmup_blocks:prepared.E.warmup_blocks ~fused:false
+              ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace placement
+          in
+          if
+            s.Pi_uarch.Sweep.points = sequential.Pi_uarch.Sweep.points
+            && s.Pi_uarch.Sweep.perfect_cpi = sequential.Pi_uarch.Sweep.perfect_cpi
+            && s.Pi_uarch.Sweep.ltage_point = sequential.Pi_uarch.Sweep.ltage_point
+          then print_endline "check: fused study identical to sequential study"
+          else begin
+            prerr_endline "FAIL: fused study differs from sequential study";
+            exit 1
+          end
+        end
+    | `Cache ->
+        let s =
+          Pi_uarch.Sweep.run_cache_study ~warmup_blocks:prepared.E.warmup_blocks ~shards:jobs
+            ?map_shards ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace placement
+        in
+        Printf.printf
+          "%d fused cache lanes, %d shard%s, %d warmup blocks\n"
+          s.Pi_uarch.Sweep.cache_fused_lanes s.Pi_uarch.Sweep.cache_shards
+          (if s.Pi_uarch.Sweep.cache_shards = 1 then "" else "s")
+          s.Pi_uarch.Sweep.cache_warmup_blocks;
+        Printf.printf "degradation model over 99 degraded geometries: %s\n"
+          (Format.asprintf "%a" Pi_stats.Multireg.pp s.Pi_uarch.Sweep.degradation);
+        let seed_pt = s.Pi_uarch.Sweep.seed_point in
+        Printf.printf
+          "seed %s: actual CPI %.4f at %.3f L1I / %.3f L2 MPKI, predicted %.4f (error %.2f%%)\n"
+          seed_pt.Pi_uarch.Sweep.geometry_name seed_pt.Pi_uarch.Sweep.cache_cpi
+          seed_pt.Pi_uarch.Sweep.l1i_mpki seed_pt.Pi_uarch.Sweep.l2_mpki
+          s.Pi_uarch.Sweep.predicted_seed_cpi s.Pi_uarch.Sweep.seed_error_percent;
+        if check then begin
+          let sequential =
+            Pi_uarch.Sweep.run_cache_study ~warmup_blocks:prepared.E.warmup_blocks ~fused:false
+              ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace placement
+          in
+          if
+            s.Pi_uarch.Sweep.cache_points = sequential.Pi_uarch.Sweep.cache_points
+            && s.Pi_uarch.Sweep.seed_point = sequential.Pi_uarch.Sweep.seed_point
+            && s.Pi_uarch.Sweep.predicted_seed_cpi
+               = sequential.Pi_uarch.Sweep.predicted_seed_cpi
+          then print_endline "check: fused study identical to sequential study"
+          else begin
+            prerr_endline "FAIL: fused study differs from sequential study";
+            exit 1
+          end
+        end
   in
   Cmd.v
-    (Cmd.info "sweep" ~doc:"Section-3 linearity study: 145 predictor configurations.")
-    Term.(const run $ bench_pos $ seed_term $ scale_term $ jobs_term $ check_term
+    (Cmd.info "sweep"
+       ~doc:"Fused configuration sweeps: the Section-3 predictor linearity study \
+             (--axis predictor) or the cache-geometry degradation study (--axis cache).")
+    Term.(const run $ bench_pos $ seed_term $ scale_term $ jobs_term $ axis_term $ check_term
           $ metrics_out_term $ trace_out_term)
 
 let campaign_cmd =

@@ -81,7 +81,9 @@ val suite_label : Pi_workloads.Bench.t list -> string
 
 val sweep_shard_map : ?jobs:int -> unit -> Pi_uarch.Sweep.shard_map
 (** A {!Pi_uarch.Sweep.shard_map} backed by {!Scheduler.map}: evaluates the
-    fused lane shards of a predictor study on [jobs] domains (default
+    fused lane shards of a sweep study — either axis: predictor
+    ({!Pi_uarch.Sweep.run_study}) or cache geometry
+    ({!Pi_uarch.Sweep.run_cache_study}) — on [jobs] domains (default
     {!Scheduler.default_jobs}) and returns their counts in shard-index
-    order, so [Sweep.run_study ~map_shards:(sweep_shard_map ~jobs ())] is
-    bit-identical to the sequential study for any [jobs]. *)
+    order, so [~map_shards:(sweep_shard_map ~jobs ())] is bit-identical to
+    the sequential study for any [jobs]. *)

@@ -280,3 +280,141 @@ let sweep_summary r =
     r.sweep_bench r.sweep_scale r.study_configs r.fused_lanes r.fallback_lanes r.blocks_per_pass
     r.baseline_configs_per_sec r.baseline_seconds r.fused_configs_per_sec r.fused_seconds
     (r.lane_blocks_per_sec /. 1e6) r.sweep_speedup r.sweep_identical
+
+(* Cache-axis benchmark (BENCH_cache_sweep.json): the 100-geometry cache
+   study through the sequential per-geometry loop versus the fused
+   one-pass cache batch, on one placement of the same traced benchmark.
+   Same protocol as [run_sweep]: compile once, one untimed warm study,
+   best-of-[grid_reps] grid timings, untimed full studies for the
+   bit-identical check. *)
+
+type cache_sweep_result = {
+  cache_bench : string;
+  cache_scale : int;
+  cache_study_configs : int;
+  cache_fused_lanes : int;
+  cache_blocks_per_pass : int;
+  cache_baseline_seconds : float;
+  cache_fused_seconds : float;
+  cache_baseline_configs_per_sec : float;
+  cache_fused_configs_per_sec : float;
+  cache_lane_blocks_per_sec : float;
+  cache_speedup : float;
+  cache_identical : bool;
+}
+
+let cache_studies_identical (a : Sweep.cache_study) (b : Sweep.cache_study) =
+  a.Sweep.cache_points = b.Sweep.cache_points
+  && a.Sweep.seed_point = b.Sweep.seed_point
+  && a.Sweep.degradation.Pi_stats.Multireg.coefficients
+     = b.Sweep.degradation.Pi_stats.Multireg.coefficients
+  && a.Sweep.degradation.Pi_stats.Multireg.intercept
+     = b.Sweep.degradation.Pi_stats.Multireg.intercept
+  && a.Sweep.predicted_seed_cpi = b.Sweep.predicted_seed_cpi
+
+let run_cache_sweep ?(bench = "400.perlbench") ?(scale = 4) () =
+  let b = Pi_workloads.Spec.find bench in
+  let config = { Experiment.default_config with scale } in
+  let program = b.Pi_workloads.Bench.build ~scale in
+  let trace =
+    Pi_layout.Run_limiter.trace ~seed:config.Experiment.master_seed program
+      ~budget_blocks:config.Experiment.budget_blocks
+  in
+  let warmup_blocks =
+    int_of_float
+      (config.Experiment.warmup_fraction
+      *. float_of_int (Pi_isa.Trace.blocks_executed trace))
+  in
+  let placement = Pi_layout.Placement.make program ~seed:1 in
+  let plan = Pi_uarch.Replay.compile config.Experiment.machine trace in
+  ignore (Sweep.run_cache_study ~plan ~warmup_blocks ~benchmark:bench trace placement);
+  let timed name f =
+    Span.with_ ~name ~args:[ ("bench", bench) ] (fun () ->
+        let t0 = now () in
+        let result = f () in
+        (result, now () -. t0))
+  in
+  let best_of name f =
+    let result = ref None in
+    let best = ref infinity in
+    for _ = 1 to grid_reps do
+      let r, dt = timed name f in
+      if dt < !best then begin
+        best := dt;
+        result := Some r
+      end
+    done;
+    (Option.get !result, !best)
+  in
+  let (baseline_points, _, _, _), baseline_seconds =
+    best_of "perf.cache_sweep_baseline" (fun () ->
+        Sweep.run_cache_grid ~plan ~warmup_blocks ~fused:false trace placement)
+  in
+  let (fused_points, fused_lanes, _, _), fused_seconds =
+    best_of "perf.cache_sweep_fused" (fun () ->
+        Sweep.run_cache_grid ~plan ~warmup_blocks trace placement)
+  in
+  let baseline =
+    Sweep.run_cache_study ~plan ~warmup_blocks ~fused:false ~benchmark:bench trace placement
+  in
+  let fused = Sweep.run_cache_study ~plan ~warmup_blocks ~benchmark:bench trace placement in
+  let study_configs = Array.length fused_points in
+  let blocks = Pi_isa.Trace.blocks_executed trace in
+  {
+    cache_bench = bench;
+    cache_scale = scale;
+    cache_study_configs = study_configs;
+    cache_fused_lanes = fused_lanes;
+    cache_blocks_per_pass = blocks;
+    cache_baseline_seconds = baseline_seconds;
+    cache_fused_seconds = fused_seconds;
+    cache_baseline_configs_per_sec =
+      (if baseline_seconds > 0.0 then float_of_int study_configs /. baseline_seconds else 0.0);
+    cache_fused_configs_per_sec =
+      (if fused_seconds > 0.0 then float_of_int study_configs /. fused_seconds else 0.0);
+    cache_lane_blocks_per_sec =
+      (if fused_seconds > 0.0 then
+         float_of_int fused_lanes *. float_of_int blocks /. fused_seconds
+       else 0.0);
+    cache_speedup = (if fused_seconds > 0.0 then baseline_seconds /. fused_seconds else 0.0);
+    cache_identical = baseline_points = fused_points && cache_studies_identical fused baseline;
+  }
+
+let cache_sweep_to_json r =
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"bench\": %S," r.cache_bench;
+      Printf.sprintf "  \"scale\": %d," r.cache_scale;
+      Printf.sprintf "  \"study_configs\": %d," r.cache_study_configs;
+      Printf.sprintf "  \"fused_lanes\": %d," r.cache_fused_lanes;
+      Printf.sprintf "  \"blocks_per_pass\": %d," r.cache_blocks_per_pass;
+      Printf.sprintf "  \"baseline_seconds\": %.6f," r.cache_baseline_seconds;
+      Printf.sprintf "  \"fused_seconds\": %.6f," r.cache_fused_seconds;
+      Printf.sprintf "  \"baseline_configs_per_sec\": %.2f," r.cache_baseline_configs_per_sec;
+      Printf.sprintf "  \"fused_configs_per_sec\": %.2f," r.cache_fused_configs_per_sec;
+      Printf.sprintf "  \"lane_blocks_per_sec\": %.0f," r.cache_lane_blocks_per_sec;
+      Printf.sprintf "  \"speedup\": %.3f," r.cache_speedup;
+      Printf.sprintf "  \"identical_studies\": %b" r.cache_identical;
+      "}";
+    ]
+
+let write_cache_sweep_json ~path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (cache_sweep_to_json r);
+      output_char oc '\n')
+
+let cache_sweep_summary r =
+  Printf.sprintf
+    "%s scale %d cache sweep: %d geometries (all fused), %d blocks/pass\n\
+     per-geometry: %.2f configs/s (%.2fs/grid)   fused: %.2f configs/s (%.2fs/grid, %.2fM \
+     lane-blocks/s)\n\
+     speedup: %.2fx   studies identical: %b"
+    r.cache_bench r.cache_scale r.cache_study_configs r.cache_blocks_per_pass
+    r.cache_baseline_configs_per_sec r.cache_baseline_seconds r.cache_fused_configs_per_sec
+    r.cache_fused_seconds
+    (r.cache_lane_blocks_per_sec /. 1e6)
+    r.cache_speedup r.cache_identical

@@ -73,3 +73,41 @@ val write_sweep_json : path:string -> sweep_result -> unit
 
 val sweep_summary : sweep_result -> string
 (** Human-readable multi-line summary. *)
+
+(** {1 Cache-axis sweep benchmark}
+
+    Same protocol as {!run_sweep} for the cache axis: times the
+    100-geometry grid ({!Pi_uarch.Sweep.run_cache_grid}) through the
+    sequential per-geometry loop and the fused one-pass cache batch,
+    verifies the full studies ({!Pi_uarch.Sweep.run_cache_study}) are
+    bit-identical across the two paths, and renders the throughput
+    numbers as JSON ([BENCH_cache_sweep.json]). *)
+
+type cache_sweep_result = {
+  cache_bench : string;
+  cache_scale : int;
+  cache_study_configs : int;  (** grid geometries timed per study (100) *)
+  cache_fused_lanes : int;  (** always the whole grid — no fallback lanes *)
+  cache_blocks_per_pass : int;
+  cache_baseline_seconds : float;
+      (** best-of-5 wall time of the 100-geometry grid, sequential path *)
+  cache_fused_seconds : float;
+  cache_baseline_configs_per_sec : float;
+  cache_fused_configs_per_sec : float;
+  cache_lane_blocks_per_sec : float;
+  cache_speedup : float;  (** baseline_seconds / fused_seconds *)
+  cache_identical : bool;  (** fused study = sequential study, bit for bit *)
+}
+
+val run_cache_sweep : ?bench:string -> ?scale:int -> unit -> cache_sweep_result
+(** Build the benchmark (default 400.perlbench at scale 4), trace it once,
+    then time {!Sweep.run_cache_grid} through each path on the same
+    placement — best of five reps per path. The degradation-model fit is
+    identical sequential work on both paths and is excluded from timing;
+    [cache_identical] still compares the two full studies bit for bit. *)
+
+val cache_sweep_to_json : cache_sweep_result -> string
+val write_cache_sweep_json : path:string -> cache_sweep_result -> unit
+
+val cache_sweep_summary : cache_sweep_result -> string
+(** Human-readable multi-line summary. *)

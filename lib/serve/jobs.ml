@@ -6,7 +6,7 @@ module Obs_cache = Pi_campaign.Obs_cache
 module Linreg = Pi_stats.Linreg
 module C = Pi_uarch.Counters
 
-type kind = Measure | Predict | Campaign
+type kind = Measure | Predict | Campaign | Cache_sweep
 
 type params = {
   kind : kind;
@@ -22,11 +22,13 @@ let kind_name = function
   | Measure -> "measure"
   | Predict -> "predict"
   | Campaign -> "campaign"
+  | Cache_sweep -> "cache_sweep"
 
 let kind_of_name = function
   | "measure" -> Some Measure
   | "predict" -> Some Predict
   | "campaign" -> Some Campaign
+  | "cache_sweep" -> Some Cache_sweep
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -115,6 +117,8 @@ let parse json =
         match kind with
         | Predict when List.length benches <> 1 ->
             Error "kind \"predict\" takes exactly one benchmark"
+        | Cache_sweep when List.length benches <> 1 ->
+            Error "kind \"cache_sweep\" takes exactly one benchmark"
         | _ -> Ok ()
       in
       let* quick = bool_field "quick" ~default:false in
@@ -295,11 +299,60 @@ let run_predict ~cache p =
       ("evaluations", J.List (List.map evaluation_json evaluations));
     ]
 
+(* The cache-geometry degradation study (INTERPLAY-style): one fused
+   Replay pass over 100 L1I/L2 variants of the seed machine, plus the
+   CPI ~ (L1I MPKI, L2 MPKI) fit. No per-seed observations, so nothing to
+   cache — the study itself is deterministic in (bench, config). *)
+module Sweep = Pi_uarch.Sweep
+
+let cache_point_json (pt : Sweep.cache_point) =
+  J.Obj
+    [
+      ("geometry", J.String pt.Sweep.geometry_name);
+      ("l1i_mpki", J.Float pt.Sweep.l1i_mpki);
+      ("l2_mpki", J.Float pt.Sweep.l2_mpki);
+      ("cpi", J.Float pt.Sweep.cache_cpi);
+    ]
+
+let run_cache_sweep p =
+  let config = config_of p in
+  let bench_name = List.hd p.benches in
+  let bench = Pi_workloads.Spec.find bench_name in
+  let prepared = E.prepare ~config bench in
+  let placement = Pi_layout.Placement.natural prepared.E.program in
+  let s =
+    Sweep.run_cache_study ~warmup_blocks:prepared.E.warmup_blocks ~benchmark:bench_name
+      prepared.E.trace placement
+  in
+  let d = s.Sweep.degradation in
+  J.Obj
+    [
+      ("kind", J.String "cache_sweep");
+      ("params", canonical p);
+      ("bench", J.String bench_name);
+      ("config_digest", J.String (Obs_cache.config_digest config));
+      ( "degradation",
+        J.Obj
+          [
+            ("l1i_mpki_coefficient", J.Float d.Pi_stats.Multireg.coefficients.(0));
+            ("l2_mpki_coefficient", J.Float d.Pi_stats.Multireg.coefficients.(1));
+            ("intercept", J.Float d.Pi_stats.Multireg.intercept);
+            ("r_squared", J.Float d.Pi_stats.Multireg.r_squared);
+          ] );
+      ("seed_point", cache_point_json s.Sweep.seed_point);
+      ("predicted_seed_cpi", J.Float s.Sweep.predicted_seed_cpi);
+      ("seed_error_percent", J.Float s.Sweep.seed_error_percent);
+      ("fused_lanes", J.Int s.Sweep.cache_fused_lanes);
+      ("warmup_blocks", J.Int s.Sweep.cache_warmup_blocks);
+      ("points", J.List (Array.to_list (Array.map cache_point_json s.Sweep.cache_points)));
+    ]
+
 let execute ~cache p =
   match
     match p.kind with
     | Measure | Campaign -> run_measure ~cache p
     | Predict -> run_predict ~cache p
+    | Cache_sweep -> run_cache_sweep p
   with
   | doc -> Ok doc
   | exception exn -> Error (Printexc.to_string exn)

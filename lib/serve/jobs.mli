@@ -18,6 +18,9 @@ type kind =
   | Measure  (** observations + model fit for each benchmark *)
   | Predict  (** Figure 7/8 predictor evaluation for one benchmark *)
   | Campaign  (** {!Measure} over a whole suite *)
+  | Cache_sweep
+      (** fused 100-geometry cache degradation study for one benchmark
+          ({!Pi_uarch.Sweep.run_cache_study}) *)
 
 type params = {
   kind : kind;
@@ -35,8 +38,8 @@ val parse : J.json -> (params, string) result
 (** Parse and validate a submission body, e.g.
     [{"kind":"measure","bench":"429.mcf","layouts":12,"quick":true}].
     Accepts ["bench"] (one), ["benches"] (list) or ["suite"]
-    (["2006"|"2000"|"table1"|"sim"|"all"]); [Predict] requires exactly one
-    benchmark. Unknown benchmarks, unknown fields, and out-of-range values
+    (["2006"|"2000"|"table1"|"sim"|"all"]); [Predict] and [Cache_sweep]
+    require exactly one benchmark. Unknown benchmarks, unknown fields, and out-of-range values
     ([layouts] outside 3..1000, [scale] outside 1..64, negative [seed])
     are [Error]s — the network boundary validates before the ledger ever
     sees the request. *)

@@ -793,7 +793,7 @@ let run ?warmup_blocks config trace placement =
    same floats accumulated in the same order, the same state transitions in
    the same sequence. *)
 
-type batch = {
+type pred_lanes = {
   batch_n : int;  (** fused lanes *)
   batch_names : string array;  (** lane names, internal (kind-sorted) order *)
   batch_src : int array;  (** internal lane -> index into the caller's config array *)
@@ -843,11 +843,66 @@ and batch_scratch = {
   bs_lane_mru : int array;
 }
 
-let batch_lanes b = b.batch_n
-let batch_names b = b.batch_names
-let batch_src b = b.batch_src
-let batch_fallback b = b.batch_fallback
-let batch_table_bytes b = Bytes.length b.tab_init
+(* Cache-geometry lanes: the second sweep axis. Every lane simulates the
+   same machine except for its L1I and L2 geometries (line size is shared —
+   it is baked into the fetch and data line masks the whole pass shares).
+   The direction predictor, indirect predictor, trace cache, prefetcher and
+   L1D are geometry-invariant, so one shared instance serves all lanes and
+   branch outcomes are lane-invariant; per lane remain cycles and the
+   L1I/L2 tag images plus their counters. Tag images are lane-major slices
+   ([lane][set][way]) of one flat arena per cache level — the cache-axis
+   analogue of the packed counter image — because lanes disagree on set
+   count and associativity, so there is no common set to interleave on. *)
+type cache_lanes = {
+  cb_n : int;  (** fused lanes *)
+  cb_names : string array;
+  cb_src : int array;  (** lane -> index into the caller's config array *)
+  cb_geoms : (Cache.geometry * Cache.geometry) array;  (** (l1i, l2) per lane *)
+  cb_i_line : int;  (** shared L1I line size; must equal the plan's *)
+  cb_d_line : int;  (** shared L2 line size; must equal the plan's *)
+  (* Per-lane L1I image slice: [off + (line land mask) * assoc] is way 0. *)
+  cb_i_off : int array;
+  cb_i_mask : int array;
+  cb_i_assoc : int array;
+  cb_i_words : int;  (** total L1I arena words *)
+  (* Per-lane L2 image slice, same addressing. *)
+  cb_d_off : int array;
+  cb_d_mask : int array;
+  cb_d_assoc : int array;
+  cb_d_words : int;  (** total L2 arena words *)
+  mutable cache_scratch : cache_scratch option;
+      (** reusable tag arenas, reset (not reallocated) across passes;
+          concurrent passes must use distinct batches (shards are) *)
+}
+
+and cache_scratch = { cs_l1i : int array; cs_l2 : int array }
+
+(* A fused batch is a set of lanes varying along exactly one axis; every
+   batch operation ({!batch_shard}, {!replay_many}, the accessors) is
+   axis-generic and dispatches here. *)
+type batch = Predictor_lanes of pred_lanes | Cache_lanes of cache_lanes
+
+let batch_lanes = function
+  | Predictor_lanes b -> b.batch_n
+  | Cache_lanes c -> c.cb_n
+
+let batch_names = function
+  | Predictor_lanes b -> b.batch_names
+  | Cache_lanes c -> c.cb_names
+
+let batch_src = function
+  | Predictor_lanes b -> b.batch_src
+  | Cache_lanes c -> c.cb_src
+
+let batch_fallback = function
+  | Predictor_lanes b -> b.batch_fallback
+  | Cache_lanes _ -> [||]
+
+let batch_table_bytes = function
+  | Predictor_lanes b -> Bytes.length b.tab_init
+  | Cache_lanes c -> 8 * (c.cb_i_words + c.cb_d_words)
+
+let batch_axis = function Predictor_lanes _ -> "predictor" | Cache_lanes _ -> "cache"
 
 let batch_of (configs : (string * (unit -> Predictor.t)) array) =
   let n = Array.length configs in
@@ -932,28 +987,96 @@ let batch_of (configs : (string * (unit -> Predictor.t)) array) =
           (Char.chr (byte lor (Char.code (Bytes.get b k) lsl sh)))
       done)
     !blits;
-  {
-    batch_n = nl;
-    batch_names = Array.map (fun i -> fst configs.(i)) order;
-    batch_src = order;
-    batch_fallback = fallback;
-    bim_hi;
-    gsh_hi;
-    gas_hi;
-    tab_init;
-    off1;
-    mask1;
-    off2;
-    mask2;
-    off3;
-    mask3;
-    hmask;
-    amask;
-    hbits;
-    gimask;
-    hist_keep = Array.fold_left ( lor ) 0 hmask;
-    scratch = None;
-  }
+  Predictor_lanes
+    {
+      batch_n = nl;
+      batch_names = Array.map (fun i -> fst configs.(i)) order;
+      batch_src = order;
+      batch_fallback = fallback;
+      bim_hi;
+      gsh_hi;
+      gas_hi;
+      tab_init;
+      off1;
+      mask1;
+      off2;
+      mask2;
+      off3;
+      mask3;
+      hmask;
+      amask;
+      hbits;
+      gimask;
+      hist_keep = Array.fold_left ( lor ) 0 hmask;
+      scratch = None;
+    }
+
+(* Pack cache-geometry variants into lanes. Validation is eager and loud:
+   every geometry must construct (power-of-two line and set count — the
+   checks {!Cache.create} performs), share the seed's line sizes (the pass
+   shares one line decomposition of each fetch and data address across all
+   lanes), and be distinct as an (l1i, l2) pair — a duplicate pair would
+   silently burn a lane re-measuring the same machine, so it is rejected by
+   name rather than asserted. *)
+let cache_batch_of ~(l1i : Cache.geometry) ~(l2 : Cache.geometry)
+    (configs : (string * Cache.geometry * Cache.geometry) array) =
+  let n = Array.length configs in
+  let seen = Hashtbl.create (2 * n) in
+  Array.iter
+    (fun (name, gi, gd) ->
+      ignore (Cache.geometry_sets gi);
+      ignore (Cache.geometry_sets gd);
+      if gi.Cache.line_bytes <> l1i.Cache.line_bytes then
+        invalid_arg
+          (Printf.sprintf
+             "Pipeline.cache_batch_of: lane %S L1I line %dB differs from the machine's %dB (line \
+              size is shared across a fused pass)"
+             name gi.Cache.line_bytes l1i.Cache.line_bytes);
+      if gd.Cache.line_bytes <> l2.Cache.line_bytes then
+        invalid_arg
+          (Printf.sprintf
+             "Pipeline.cache_batch_of: lane %S L2 line %dB differs from the machine's %dB (line \
+              size is shared across a fused pass)"
+             name gd.Cache.line_bytes l2.Cache.line_bytes);
+      match Hashtbl.find_opt seen (gi, gd) with
+      | Some other ->
+          invalid_arg
+            (Printf.sprintf
+               "Pipeline.cache_batch_of: lanes %S and %S share the same (L1I, L2) geometry pair — \
+                duplicate configurations are rejected, not fused"
+               other name)
+      | None -> Hashtbl.add seen (gi, gd) name)
+    configs;
+  let off_of words_of =
+    let off = Array.make n 0 in
+    let total = ref 0 in
+    Array.iteri
+      (fun i (_, gi, gd) ->
+        off.(i) <- !total;
+        total := !total + words_of gi gd)
+      configs;
+    (off, !total)
+  in
+  let i_off, i_words = off_of (fun gi _ -> Cache.geometry_sets gi * gi.Cache.assoc) in
+  let d_off, d_words = off_of (fun _ gd -> Cache.geometry_sets gd * gd.Cache.assoc) in
+  Cache_lanes
+    {
+      cb_n = n;
+      cb_names = Array.map (fun (name, _, _) -> name) configs;
+      cb_src = Array.init n (fun i -> i);
+      cb_geoms = Array.map (fun (_, gi, gd) -> (gi, gd)) configs;
+      cb_i_line = l1i.Cache.line_bytes;
+      cb_d_line = l2.Cache.line_bytes;
+      cb_i_off = i_off;
+      cb_i_mask = Array.map (fun (_, gi, _) -> Cache.geometry_sets gi - 1) configs;
+      cb_i_assoc = Array.map (fun (_, gi, _) -> gi.Cache.assoc) configs;
+      cb_i_words = i_words;
+      cb_d_off = d_off;
+      cb_d_mask = Array.map (fun (_, _, gd) -> Cache.geometry_sets gd - 1) configs;
+      cb_d_assoc = Array.map (fun (_, _, gd) -> gd.Cache.assoc) configs;
+      cb_d_words = d_words;
+      cache_scratch = None;
+    }
 
 (* Split a batch into [shards] contiguous sub-batches of near-equal lane
    count. Lane tables are allocated in internal-lane order, so a shard's
@@ -961,7 +1084,7 @@ let batch_of (configs : (string * (unit -> Predictor.t)) array) =
    the slice (offsets of tables a shard's kinds never read may go negative —
    they are never dereferenced). Sub-batches carry no fallback lanes: the
    fallback set belongs to the whole batch, not to any shard. *)
-let batch_shard b ~shards =
+let pred_shard (b : pred_lanes) ~shards =
   let nl = b.batch_n in
   let k = if nl = 0 then 1 else max 1 (min shards nl) in
   (* The 1-shard "split" is the batch itself: no copies, and — more to the
@@ -1004,16 +1127,60 @@ let batch_shard b ~shards =
         })
   end
 
-let m_fused_passes =
-  Pi_obs.Metrics.counter ~help:"fused sweep passes executed" "pi_obs_sweep_fused_passes_total"
+(* Cache-lane sharding: lanes' arena slices are allocated in lane order, so
+   a contiguous lane range owns one contiguous slice of each arena; offsets
+   are rebased to the slice. As with predictor lanes, the 1-shard "split" is
+   the batch itself, keeping its warm scratch. *)
+let cache_shard (c : cache_lanes) ~shards =
+  let nl = c.cb_n in
+  let k = if nl = 0 then 1 else max 1 (min shards nl) in
+  if k = 1 then [| c |]
+  else
+    Array.init k (fun s ->
+        let lo = s * nl / k and hi = (s + 1) * nl / k in
+        let m = hi - lo in
+        let sub a = Array.sub a lo m in
+        let i_start = c.cb_i_off.(lo) in
+        let d_start = c.cb_d_off.(lo) in
+        let i_stop = if hi < nl then c.cb_i_off.(hi) else c.cb_i_words in
+        let d_stop = if hi < nl then c.cb_d_off.(hi) else c.cb_d_words in
+        let rebase start a = Array.map (fun o -> o - start) (sub a) in
+        {
+          cb_n = m;
+          cb_names = sub c.cb_names;
+          cb_src = sub c.cb_src;
+          cb_geoms = sub c.cb_geoms;
+          cb_i_line = c.cb_i_line;
+          cb_d_line = c.cb_d_line;
+          cb_i_off = rebase i_start c.cb_i_off;
+          cb_i_mask = sub c.cb_i_mask;
+          cb_i_assoc = sub c.cb_i_assoc;
+          cb_i_words = i_stop - i_start;
+          cb_d_off = rebase d_start c.cb_d_off;
+          cb_d_mask = sub c.cb_d_mask;
+          cb_d_assoc = sub c.cb_d_assoc;
+          cb_d_words = d_stop - d_start;
+          cache_scratch = None;
+        })
 
-let m_lane_blocks =
-  Pi_obs.Metrics.counter ~help:"lane x dynamic-block work units swept by fused passes"
-    "pi_obs_sweep_lane_blocks_total"
+let batch_shard b ~shards =
+  match b with
+  | Predictor_lanes p -> Array.map (fun s -> Predictor_lanes s) (pred_shard p ~shards)
+  | Cache_lanes c -> Array.map (fun s -> Cache_lanes s) (cache_shard c ~shards)
 
-let g_lanes_per_pass =
-  Pi_obs.Metrics.gauge ~help:"predictor lanes carried by the most recent fused pass"
-    "pi_obs_sweep_lanes_per_pass"
+(* Fused-pass instruments carry the sweep axis as a label: one series per
+   axis under the same metric names. *)
+let fused_metrics axis =
+  let labels = [ ("axis", axis) ] in
+  ( Pi_obs.Metrics.counter ~help:"fused sweep passes executed" ~labels
+      "pi_obs_sweep_fused_passes_total",
+    Pi_obs.Metrics.counter ~help:"lane x dynamic-block work units swept by fused passes" ~labels
+      "pi_obs_sweep_lane_blocks_total",
+    Pi_obs.Metrics.gauge ~help:"lanes carried by the most recent fused pass of this axis" ~labels
+      "pi_obs_sweep_lanes_per_pass" )
+
+let pred_metrics = fused_metrics "predictor"
+let cache_metrics = fused_metrics "cache"
 
 (* [find_way]/[promote] over a flat multi-lane tag image; identical scans to
    {!Cache.find_way}/{!Cache.promote} so lane cache transitions replicate
@@ -1030,7 +1197,7 @@ let[@inline] lane_promote (tags : int array) base way (tag : int) =
   done;
   Array.unsafe_set tags base tag
 
-let replay_many_body ~warmup_blocks plan batch (placement : Pi_layout.Placement.t) =
+let replay_many_body ~warmup_blocks plan (batch : pred_lanes) (placement : Pi_layout.Placement.t) =
   let config = plan.plan_config in
   let nl = batch.batch_n in
   let trace = plan.plan_trace in
@@ -1528,9 +1695,10 @@ let replay_many_body ~warmup_blocks plan batch (placement : Pi_layout.Placement.
   let l1d_a0, l1d_m0 = !l1d_base in
   let l1d_accesses = Cache.accesses l1d - l1d_a0 in
   let l1d_misses = Cache.misses l1d - l1d_m0 in
-  Pi_obs.Metrics.inc m_fused_passes;
-  Pi_obs.Metrics.add m_lane_blocks (nl * n);
-  Pi_obs.Metrics.set g_lanes_per_pass (float_of_int nl);
+  (let m_passes, m_blocks, g_lanes = pred_metrics in
+   Pi_obs.Metrics.inc m_passes;
+   Pi_obs.Metrics.add m_blocks (nl * n);
+   Pi_obs.Metrics.set g_lanes (float_of_int nl));
   Array.init nl (fun j ->
       {
         cycles = cyc.(j);
@@ -1548,16 +1716,373 @@ let replay_many_body ~warmup_blocks plan batch (placement : Pi_layout.Placement.
         l2_misses = l2_mis.(j) - l2_mis0.(j);
       })
 
+(* The cache-axis fused pass. The direction predictor is shared (its inputs
+   are the PC/outcome stream, never cache state), so branch decisions,
+   mispredict counts, the indirect predictor, trace cache, prefetcher
+   decisions and the whole L1D are lane-invariant; one instance of each
+   serves every lane. Per lane remain cycles, the L1I and L2 tag images and
+   their access/miss counters — exactly the state a lane's own geometry
+   perturbs. Even the wrong-path run counter and its dedup cursor are
+   shared: mispredicts fire at the same steps in every lane, so the
+   every-8th-run gate opens lane-invariantly (only the touched cache state
+   differs per lane).
+
+   The L1I fast path is a single scalar: the committed fetch stream is
+   lane-invariant, so after a full fetch of line [l] every lane holds [l]
+   at way 0 of its own set for [l]; [mru] remembers that line and repeats
+   of the same line (straight-line code) cost one compare for the whole
+   batch. A wrong-path touch that promotes a different line invalidates it
+   conservatively. *)
+let replay_many_cache_body ~warmup_blocks plan (cb : cache_lanes) (placement : Pi_layout.Placement.t)
+    =
+  let config = plan.plan_config in
+  let nl = cb.cb_n in
+  if config.l1i.Cache.line_bytes <> cb.cb_i_line || config.l2.Cache.line_bytes <> cb.cb_d_line then
+    invalid_arg
+      (Printf.sprintf
+         "Pipeline.replay_many: cache batch was built for %dB/%dB L1I/L2 lines but the plan's \
+          machine has %dB/%dB"
+         cb.cb_i_line cb.cb_d_line config.l1i.Cache.line_bytes config.l2.Cache.line_bytes);
+  let trace = plan.plan_trace in
+  let code = placement.Pi_layout.Placement.code in
+  let data = placement.Pi_layout.Placement.data in
+  let predictor = config.make_predictor () in
+  let indirect_predictor = config.make_indirect () in
+  let prefetcher = if config.data_prefetcher then Some (Prefetcher.create ()) else None in
+  let trace_cache = Option.map Trace_cache.create config.trace_cache in
+  let l1d = Cache.create config.l1d in
+  let block_addr = code.Pi_layout.Code_layout.block_addr in
+  let block_bytes = code.Pi_layout.Code_layout.block_bytes in
+  let branch_pc = code.Pi_layout.Code_layout.branch_pc in
+  let ibr_pc = code.Pi_layout.Code_layout.ibr_pc in
+  let global_base = data.Pi_layout.Data_layout.global_base in
+  let heap_base = data.Pi_layout.Data_layout.heap_base in
+  let i_shift = log2_exact cb.cb_i_line in
+  let d_shift = log2_exact cb.cb_d_line in
+  let i_off = cb.cb_i_off and i_mask = cb.cb_i_mask and i_assoc = cb.cb_i_assoc in
+  let d_off = cb.cb_d_off and d_mask = cb.cb_d_mask and d_assoc = cb.cb_d_assoc in
+  let scratch =
+    match cb.cache_scratch with
+    | Some s
+      when Array.length s.cs_l1i = cb.cb_i_words && Array.length s.cs_l2 = cb.cb_d_words ->
+        Array.fill s.cs_l1i 0 cb.cb_i_words (-1);
+        Array.fill s.cs_l2 0 cb.cb_d_words (-1);
+        s
+    | _ ->
+        let s = { cs_l1i = Array.make (max 1 cb.cb_i_words) (-1);
+                  cs_l2 = Array.make (max 1 cb.cb_d_words) (-1) }
+        in
+        cb.cache_scratch <- Some s;
+        s
+  in
+  let l1i_img = scratch.cs_l1i in
+  let l2_img = scratch.cs_l2 in
+  let mru = ref (-1) in
+  let l1i_line_mask = lnot (cb.cb_i_line - 1) in
+  let data_line_mask = lnot (config.l1d.Cache.line_bytes - 1) in
+  let pen = config.penalties in
+  let l1i_miss_penalty = pen.l1i_miss in
+  let l2_fetch_penalty = pen.l2_miss *. 0.7 in
+  let l1d_miss_penalty = pen.l1d_miss in
+  let l2_miss_penalty = pen.l2_miss in
+  let mispredict_penalty = pen.mispredict in
+  let btb_miss_penalty = pen.btb_miss in
+  let step_block = plan.step_block in
+  let step_instrs = plan.step_instrs in
+  let step_cost = plan.step_cost in
+  let step_mem_start = plan.step_mem_start in
+  let step_mem_count = plan.step_mem_count in
+  let step_kind = plan.step_kind in
+  let step_id = plan.step_id in
+  let step_next = plan.step_next in
+  let step_alt = plan.step_alt in
+  let ev_factor = plan.ev_factor in
+  let mem_events = trace.Trace.mem_events in
+  let n_events = Array.length mem_events in
+  (* Per-lane accumulators and cache counters (with warmup snapshots). *)
+  let cyc = Array.make nl 0.0 in
+  let l1i_acc = Array.make nl 0 and l1i_mis = Array.make nl 0 in
+  let l2_acc = Array.make nl 0 and l2_mis = Array.make nl 0 in
+  let l1i_acc0 = Array.make nl 0 and l1i_mis0 = Array.make nl 0 in
+  let l2_acc0 = Array.make nl 0 and l2_mis0 = Array.make nl 0 in
+  (* Shared (lane-invariant) counters. *)
+  let cond_branches = ref 0 in
+  let cond_mispredicts = ref 0 in
+  let indirect_branches = ref 0 in
+  let indirect_mispredicts = ref 0 in
+  let btb_misses = ref 0 in
+  let instructions = ref 0 in
+  let fetch_lines = ref 0 in
+  let fetch_lines0 = ref 0 in
+  let l1d_base = ref (0, 0) in
+  let wrong_runs = ref 0 in
+  let last_pf = ref (-1) in
+  let wrong_path = config.wrong_path in
+  (* Counted L2 reference for one lane (demand access or wrong-path touch);
+     mirrors [Cache.access] on the lane's own geometry. *)
+  let l2_ref j addr =
+    Array.unsafe_set l2_acc j (Array.unsafe_get l2_acc j + 1);
+    let line = addr lsr d_shift in
+    let base =
+      Array.unsafe_get d_off j
+      + ((line land Array.unsafe_get d_mask j) * Array.unsafe_get d_assoc j)
+    in
+    let assoc = Array.unsafe_get d_assoc j in
+    if Array.unsafe_get l2_img base = line then true
+    else begin
+      let way = lane_find_way l2_img base assoc line in
+      if way >= 0 then begin
+        lane_promote l2_img base way line;
+        true
+      end
+      else begin
+        Array.unsafe_set l2_mis j (Array.unsafe_get l2_mis j + 1);
+        lane_promote l2_img base (assoc - 1) line;
+        false
+      end
+    end
+  in
+  let l2_probe j addr =
+    let line = addr lsr d_shift in
+    let base =
+      Array.unsafe_get d_off j
+      + ((line land Array.unsafe_get d_mask j) * Array.unsafe_get d_assoc j)
+    in
+    lane_find_way l2_img base (Array.unsafe_get d_assoc j) line >= 0
+  in
+  let l2_fill j addr =
+    let line = addr lsr d_shift in
+    let base =
+      Array.unsafe_get d_off j
+      + ((line land Array.unsafe_get d_mask j) * Array.unsafe_get d_assoc j)
+    in
+    let assoc = Array.unsafe_get d_assoc j in
+    if Array.unsafe_get l2_img base <> line then begin
+      let way = lane_find_way l2_img base assoc line in
+      lane_promote l2_img base (if way >= 0 then way else assoc - 1) line
+    end
+  in
+  (* Counted L1I reference (the wrong-path touch). Promoting a line other
+     than the scalar MRU may displace it from some lane's way 0, so the
+     fast path is conservatively dropped. *)
+  let l1i_touch j addr =
+    Array.unsafe_set l1i_acc j (Array.unsafe_get l1i_acc j + 1);
+    let line = addr lsr i_shift in
+    let base =
+      Array.unsafe_get i_off j
+      + ((line land Array.unsafe_get i_mask j) * Array.unsafe_get i_assoc j)
+    in
+    let assoc = Array.unsafe_get i_assoc j in
+    if Array.unsafe_get l1i_img base <> line then begin
+      let way = lane_find_way l1i_img base assoc line in
+      if way >= 0 then lane_promote l1i_img base way line
+      else begin
+        Array.unsafe_set l1i_mis j (Array.unsafe_get l1i_mis j + 1);
+        lane_promote l1i_img base (assoc - 1) line
+      end;
+      if line <> !mru then mru := -1
+    end
+  in
+  let l1i_probe j addr =
+    let line = addr lsr i_shift in
+    let base =
+      Array.unsafe_get i_off j
+      + ((line land Array.unsafe_get i_mask j) * Array.unsafe_get i_assoc j)
+    in
+    lane_find_way l1i_img base (Array.unsafe_get i_assoc j) line >= 0
+  in
+  (* Wrong-path effects for one mispredict event, all lanes. The probe and
+     touch run per lane on the lane's own images; the run counter and the
+     speculative-load dedup cursor advance once — their transitions are
+     lane-invariant because every lane mispredicts at the same steps. *)
+  let wrong_path_effects alternate_block cursor =
+    let alt_line = Array.unsafe_get block_addr alternate_block land l1i_line_mask in
+    for j = 0 to nl - 1 do
+      if (not (l1i_probe j alt_line)) && l2_probe j alt_line then l1i_touch j alt_line
+    done;
+    incr wrong_runs;
+    if !wrong_runs land 7 = 0 && !last_pf <> cursor && cursor < n_events then begin
+      let next_event = Array.unsafe_get mem_events cursor in
+      let addr = Pi_layout.Data_layout.address data next_event in
+      let line_addr = addr land data_line_mask in
+      for j = 0 to nl - 1 do
+        ignore (l2_ref j line_addr)
+      done;
+      last_pf := cursor
+    end
+  in
+  let n = Array.length step_block in
+  let warmup = min warmup_blocks (max 0 (n - 1)) in
+  for i = 0 to n - 1 do
+    if i = warmup then begin
+      Array.fill cyc 0 nl 0.0;
+      cond_mispredicts := 0;
+      indirect_mispredicts := 0;
+      btb_misses := 0;
+      cond_branches := 0;
+      indirect_branches := 0;
+      instructions := 0;
+      fetch_lines0 := !fetch_lines;
+      Array.blit l1i_acc 0 l1i_acc0 0 nl;
+      Array.blit l1i_mis 0 l1i_mis0 0 nl;
+      Array.blit l2_acc 0 l2_acc0 0 nl;
+      Array.blit l2_mis 0 l2_mis0 0 nl;
+      l1d_base := (Cache.accesses l1d, Cache.misses l1d)
+    end;
+    let b = Array.unsafe_get step_block i in
+    instructions := !instructions + Array.unsafe_get step_instrs i;
+    let cost = Array.unsafe_get step_cost i in
+    for j = 0 to nl - 1 do
+      Array.unsafe_set cyc j (Array.unsafe_get cyc j +. cost)
+    done;
+    let trace_cache_hit =
+      match trace_cache with
+      | Some tc -> Trace_cache.access tc ~block_id:b
+      | None -> false
+    in
+    if not trace_cache_hit then begin
+      let addr = Array.unsafe_get block_addr b in
+      let first = addr lsr i_shift in
+      let last = (addr + Array.unsafe_get block_bytes b - 1) lsr i_shift in
+      for l = first to last do
+        incr fetch_lines;
+        (* Whole-batch MRU fast path: a repeat of the last fetched line hits
+           at way 0 in every lane with no per-lane work at all. *)
+        if !mru <> l then begin
+          let line_addr = l lsl i_shift in
+          for j = 0 to nl - 1 do
+            let assoc = Array.unsafe_get i_assoc j in
+            let base =
+              Array.unsafe_get i_off j + ((l land Array.unsafe_get i_mask j) * assoc)
+            in
+            (* Way-0 hit: promote is a no-op, as in [replay]'s MRU check. *)
+            if Array.unsafe_get l1i_img base <> l then begin
+              let way = lane_find_way l1i_img base assoc l in
+              if way >= 0 then lane_promote l1i_img base way l
+              else begin
+                Array.unsafe_set l1i_mis j (Array.unsafe_get l1i_mis j + 1);
+                lane_promote l1i_img base (assoc - 1) l;
+                if l2_ref j line_addr then
+                  Array.unsafe_set cyc j (Array.unsafe_get cyc j +. l1i_miss_penalty)
+                else Array.unsafe_set cyc j (Array.unsafe_get cyc j +. l2_fetch_penalty)
+              end
+            end
+          done;
+          (* Every lane now holds [l] at way 0 of its set for [l]. *)
+          mru := l
+        end
+      done
+    end;
+    let mstart = Array.unsafe_get step_mem_start i in
+    let mcount = Array.unsafe_get step_mem_count i in
+    if mcount > 0 then begin
+      for k = mstart to mstart + mcount - 1 do
+        let e = Array.unsafe_get mem_events k in
+        let addr =
+          let offset = Trace.mem_offset e in
+          match Trace.mem_space e with
+          | Program.Global -> global_base.(Trace.mem_target e) + offset
+          | Program.Heap -> heap_base.(Trace.mem_target e).(Trace.mem_obj e) + offset
+        in
+        if not (Cache.access l1d addr) then begin
+          let factor = Array.unsafe_get ev_factor k in
+          let hit_pen = l1d_miss_penalty *. factor in
+          let miss_pen = l2_miss_penalty *. factor in
+          for j = 0 to nl - 1 do
+            if l2_ref j addr then Array.unsafe_set cyc j (Array.unsafe_get cyc j +. hit_pen)
+            else Array.unsafe_set cyc j (Array.unsafe_get cyc j +. miss_pen)
+          done
+        end;
+        match prefetcher with
+        | Some pf -> (
+            match Prefetcher.observe pf ~mem_id:(Array.unsafe_get plan.ev_mem_id k) ~addr with
+            | Some (first, count) ->
+                for p = 0 to count - 1 do
+                  let line_addr = first + (p * 64) in
+                  for j = 0 to nl - 1 do
+                    l2_fill j line_addr
+                  done;
+                  Cache.fill l1d line_addr
+                done
+            | None -> ())
+        | None -> ()
+      done
+    end;
+    let kind = Array.unsafe_get step_kind i in
+    if kind <> 0 then
+      if kind < 3 then begin
+        incr cond_branches;
+        let taken_int = kind - 1 in
+        let pc = Array.unsafe_get branch_pc (Array.unsafe_get step_id i) in
+        (* One shared predictor: decisions are geometry-invariant, and the
+           closure is decision-identical to the inlined kernels (the
+           standing kernel-vs-closure invariant), so each lane's mispredict
+           stream matches its sequential [replay] exactly. *)
+        let correct = predictor.Predictor.on_branch ~pc ~taken:(taken_int <> 0) in
+        if not correct then begin
+          incr cond_mispredicts;
+          for j = 0 to nl - 1 do
+            Array.unsafe_set cyc j (Array.unsafe_get cyc j +. mispredict_penalty)
+          done;
+          if wrong_path then wrong_path_effects (Array.unsafe_get step_alt i) (mstart + mcount)
+        end
+      end
+      else begin
+        incr indirect_branches;
+        let target_addr = Array.unsafe_get block_addr (Array.unsafe_get step_next i) in
+        let pc = Array.unsafe_get ibr_pc (Array.unsafe_get step_id i) in
+        let hit =
+          config.perfect_btb || indirect_predictor.Indirect.on_indirect ~pc ~target:target_addr
+        in
+        if not hit then begin
+          incr indirect_mispredicts;
+          incr btb_misses;
+          for j = 0 to nl - 1 do
+            Array.unsafe_set cyc j (Array.unsafe_get cyc j +. btb_miss_penalty)
+          done;
+          let alt = Array.unsafe_get step_alt i in
+          if alt >= 0 && wrong_path then wrong_path_effects alt (mstart + mcount)
+        end
+      end
+  done;
+  let l1d_a0, l1d_m0 = !l1d_base in
+  let l1d_accesses = Cache.accesses l1d - l1d_a0 in
+  let l1d_misses = Cache.misses l1d - l1d_m0 in
+  (let m_passes, m_blocks, g_lanes = cache_metrics in
+   Pi_obs.Metrics.inc m_passes;
+   Pi_obs.Metrics.add m_blocks (nl * n);
+   Pi_obs.Metrics.set g_lanes (float_of_int nl));
+  Array.init nl (fun j ->
+      {
+        cycles = cyc.(j);
+        instructions = !instructions;
+        cond_branches = !cond_branches;
+        cond_mispredicts = !cond_mispredicts;
+        indirect_branches = !indirect_branches;
+        indirect_mispredicts = !indirect_mispredicts;
+        btb_misses = !btb_misses;
+        l1i_accesses = !fetch_lines - !fetch_lines0 + l1i_acc.(j) - l1i_acc0.(j);
+        l1i_misses = l1i_mis.(j) - l1i_mis0.(j);
+        l1d_accesses;
+        l1d_misses;
+        l2_accesses = l2_acc.(j) - l2_acc0.(j);
+        l2_misses = l2_mis.(j) - l2_mis0.(j);
+      })
+
 let replay_many ?(warmup_blocks = 0) plan batch placement =
-  if batch.batch_n = 0 then [||]
+  if batch_lanes batch = 0 then [||]
   else
     Pi_obs.Span.with_ ~name:"replay.fused"
       ~args:
         [
-          ("lanes", string_of_int batch.batch_n);
+          ("axis", batch_axis batch);
+          ("lanes", string_of_int (batch_lanes batch));
           ("blocks", string_of_int (Array.length plan.step_block));
         ]
-      (fun () -> replay_many_body ~warmup_blocks plan batch placement)
+      (fun () ->
+        match batch with
+        | Predictor_lanes b -> replay_many_body ~warmup_blocks plan b placement
+        | Cache_lanes c -> replay_many_cache_body ~warmup_blocks plan c placement)
 
 let cpi c =
   if c.instructions = 0 then 0.0 else c.cycles /. float_of_int c.instructions

@@ -134,21 +134,41 @@ val plan_words : plan -> int
 (** Approximate heap footprint of the plan's arrays, in machine words. *)
 
 type batch
-(** A structure-of-arrays pack of predictor lanes for one fused sweep pass:
-    every lane's saturating-counter tables in one flat byte image addressed
-    through per-lane offset/mask arrays, lanes sorted by kernel kind, with
-    one shared global-history register serving all history-based lanes.
-    Lane metadata is immutable and per-pass predictor/cache state is
-    rebuilt inside {!replay_many}, but the batch owns a reusable L2
-    scratch image that successive passes recycle — so a batch belongs to
-    one domain at a time. Concurrent replay must use distinct batches;
-    {!batch_shard} sub-batches (for 2+ shards) are distinct by
-    construction. *)
+(** A structure-of-arrays pack of lanes for one fused sweep pass. The
+    batch is axis-generic: what the lanes vary is fixed at construction
+    and everything else (trace walk, decoded terminators, base costs,
+    mem-op spans) is shared by {!replay_many}.
+
+    Predictor lanes ({!batch_of}) pack every lane's saturating-counter
+    tables in one flat byte image addressed through per-lane offset/mask
+    arrays, lanes sorted by kernel kind, with one shared global-history
+    register serving all history-based lanes. Cache lanes
+    ({!cache_batch_of}) pack every lane's L1I and L2 tag images as
+    lane-major slices of one flat int arena, addressed through per-lane
+    offset/set-mask/assoc arrays, while one shared direction predictor,
+    indirect predictor, trace cache, prefetcher and L1D serve all lanes
+    (their inputs are lane-invariant).
+
+    Lane metadata is immutable and per-pass simulation state is rebuilt
+    inside {!replay_many}, but the batch owns reusable scratch images
+    that successive passes recycle — so a batch belongs to one domain at
+    a time. Concurrent replay must use distinct batches; {!batch_shard}
+    sub-batches (for 2+ shards) are distinct by construction. *)
 
 val batch_of : (string * (unit -> Predictor.t)) array -> batch
 (** Pack every configuration exposing a {!Predictor.kernel} into fused
     lanes; the rest (perfect, static, L-TAGE — anything closure-only) are
     recorded as fallback indices for the caller's per-config path. *)
+
+val cache_batch_of :
+  l1i:Cache.geometry -> l2:Cache.geometry -> (string * Cache.geometry * Cache.geometry) array -> batch
+(** Pack cache-geometry configurations (name, L1I geometry, L2 geometry)
+    into fused lanes over the seed geometries [~l1i]/[~l2] of the machine
+    the batch will replay. Every geometry is validated eagerly
+    ({!Cache.geometry_sets}); all lanes must share the seed's L1I and L2
+    line sizes (line size is shared across a fused pass), and duplicate
+    (L1I, L2) geometry pairs are rejected with [Invalid_argument] naming
+    both lanes. Cache batches have no fallback lanes. *)
 
 val batch_lanes : batch -> int
 (** Fused lane count. *)
@@ -165,7 +185,12 @@ val batch_fallback : batch -> int array
     kernel, which must be simulated by the sequential per-config path. *)
 
 val batch_table_bytes : batch -> int
-(** Total packed counter-table bytes across all lanes, for reporting. *)
+(** Total packed lane-state bytes across all lanes (counter tables for
+    predictor lanes, tag arenas for cache lanes), for reporting. *)
+
+val batch_axis : batch -> string
+(** The axis the lanes vary: ["predictor"] or ["cache"]. Matches the
+    [axis] label on the fused-pass metrics. *)
 
 val batch_shard : batch -> shards:int -> batch array
 (** Split into at most [shards] contiguous sub-batches of near-equal lane
@@ -177,14 +202,17 @@ val batch_shard : batch -> shards:int -> batch array
 
 val replay_many : ?warmup_blocks:int -> plan -> batch -> Pi_layout.Placement.t -> counts array
 (** Walk the compiled plan {e once} for every lane in the batch, sharing
-    the predictor-invariant work (trace walk, decoded steps, trace cache,
-    L1D and data prefetcher, indirect/BTB prediction, instruction and
-    branch event counts) and keeping per-lane cycles, conditional
-    mispredicts and L1I/L2 images (wrong-path effects depend on each
-    lane's own mispredictions). Result is indexed in the batch's internal
-    lane order (see {!batch_src}); each element is bit-identical to
-    {!replay} of the same configuration — same floats accumulated in the
-    same order, same state transitions in the same sequence. *)
+    all lane-invariant work and keeping per-lane only what the axis
+    varies: predictor lanes keep per-lane cycles, conditional mispredicts
+    and L1I/L2 images (wrong-path effects depend on each lane's own
+    mispredictions); cache lanes share one direction/indirect predictor,
+    trace cache, prefetcher and L1D (their inputs never depend on cache
+    geometry) and keep per-lane cycles and L1I/L2 tag images and
+    counters. Result is indexed in the batch's internal lane order (see
+    {!batch_src}); each element is bit-identical to {!replay} of the same
+    configuration — same floats accumulated in the same order, same state
+    transitions in the same sequence. For a cache batch the plan's
+    machine must carry the seed geometries the batch was built for. *)
 
 val cpi : counts -> float
 

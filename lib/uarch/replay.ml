@@ -16,6 +16,8 @@ let words = Pipeline.plan_words
 type batch = Pipeline.batch
 
 let batch_of = Pipeline.batch_of
+let cache_batch_of = Pipeline.cache_batch_of
+let batch_axis = Pipeline.batch_axis
 let batch_lanes = Pipeline.batch_lanes
 let batch_names = Pipeline.batch_names
 let batch_src = Pipeline.batch_src

@@ -35,20 +35,31 @@ val mem_events : plan -> int
 val words : plan -> int
 (** Approximate heap footprint of the plan arrays, in machine words. *)
 
-(** {1 Fused multi-predictor sweeps}
+(** {1 Fused multi-lane sweeps}
 
-    A predictor sweep replays one plan under one placement per
-    configuration, but only the direction predictor differs between runs.
-    {!run_many} walks the plan once for a whole batch of predictor lanes,
-    sharing the predictor-invariant simulation and producing, for every
-    lane, counts bit-identical to a sequential {!run} of that
-    configuration. See {!Pipeline.replay_many} for the sharing contract. *)
+    A sweep replays one plan under one placement per configuration, but
+    only one axis differs between runs — the direction predictor
+    (predictor axis) or the L1I/L2 geometries (cache axis). {!run_many}
+    walks the plan once for a whole batch of lanes, sharing the
+    lane-invariant simulation and producing, for every lane, counts
+    bit-identical to a sequential {!run} of that configuration. See
+    {!Pipeline.replay_many} for the per-axis sharing contract. *)
 
 type batch = Pipeline.batch
 
 val batch_of : (string * (unit -> Predictor.t)) array -> batch
-(** Pack the kernel-bearing configurations into fused lanes; the rest are
-    reported by {!batch_fallback} for the per-config path. *)
+(** Pack the kernel-bearing configurations into fused predictor lanes;
+    the rest are reported by {!batch_fallback} for the per-config path. *)
+
+val cache_batch_of :
+  l1i:Cache.geometry -> l2:Cache.geometry -> (string * Cache.geometry * Cache.geometry) array -> batch
+(** Pack cache-geometry configurations into fused cache lanes over the
+    seed geometries of the machine the batch will replay; validates every
+    geometry eagerly and rejects mixed line sizes and duplicate pairs.
+    See {!Pipeline.cache_batch_of}. *)
+
+val batch_axis : batch -> string
+(** ["predictor"] or ["cache"]; matches the metrics' [axis] label. *)
 
 val batch_lanes : batch -> int
 val batch_names : batch -> string array

@@ -206,3 +206,215 @@ let run_study ?(base = Machine.xeon_e5440) ?plan ?(warmup_blocks = 0) ?(shards =
     fallback_lanes;
     shards = shards_used;
   }
+
+(* ------------------------------------------------------------------ *)
+(* The cache-geometry axis (INTERPLAY's question): sweep way-disabled and
+   resized variants of the seed L1I/L2 and fit CPI against the two cache
+   MPKIs, interferometry-style, instead of training a model. *)
+
+type cache_variant = Ways of int | Half | Double
+
+let variant_label = function
+  | Ways k -> Printf.sprintf "w%d" k
+  | Half -> "half"
+  | Double -> "double"
+
+(* 10 variants per cache (w1..w8 way-disabling keeps the set count and
+   shrinks capacity; half/double resize at the seed associativity, moving
+   the set count) x both caches = the 100-point grid. The descriptor grid
+   is symbolic — it assumes 8-way seed caches (both machines) and is
+   validated against the actual seed geometries at materialization. *)
+let build_cache_configurations () =
+  let variants = [ Ways 1; Ways 2; Ways 3; Ways 4; Ways 5; Ways 6; Ways 7; Ways 8; Half; Double ] in
+  let all =
+    List.concat_map
+      (fun vi ->
+        List.map
+          (fun vd ->
+            (Printf.sprintf "l1i-%s+l2-%s" (variant_label vi) (variant_label vd), vi, vd))
+          variants)
+      variants
+  in
+  let count = List.length all in
+  if count <> 100 then
+    invalid_arg
+      (Printf.sprintf
+         "Sweep.cache_configurations: the grid defines %d configurations, expected 100 (10 L1I x \
+          10 L2 variants); adjust the grid or the expected count together"
+         count);
+  all
+
+(* Memoized like [configurations ()]: the symbolic grid is immutable, so
+   one shared list serves every study and machine. *)
+let cache_configurations_memo = lazy (build_cache_configurations ())
+let cache_configurations () = Lazy.force cache_configurations_memo
+
+let apply_cache_variant (g : Cache.geometry) v =
+  match v with
+  | Ways k ->
+      if k > g.Cache.assoc then
+        invalid_arg
+          (Printf.sprintf
+             "Sweep.cache_configurations: variant w%d needs %d ways but the seed geometry has %d \
+              (way-disabling only removes ways)"
+             k k g.Cache.assoc);
+      let sets = Cache.geometry_sets g in
+      { g with Cache.assoc = k; size_bytes = sets * k * g.Cache.line_bytes }
+  | Half -> { g with Cache.size_bytes = g.Cache.size_bytes / 2 }
+  | Double -> { g with Cache.size_bytes = g.Cache.size_bytes * 2 }
+
+let materialize_cache_configurations ~l1i ~l2 =
+  Array.of_list
+    (List.map
+       (fun (name, vi, vd) -> (name, apply_cache_variant l1i vi, apply_cache_variant l2 vd))
+       (cache_configurations ()))
+
+(* One fused batch per seed (L1I, L2) pair, memoized for the same reason as
+   [grid_batch]: lane metadata and arena offsets depend only on the seed
+   geometries, and successive passes recycle the batch's tag-arena scratch.
+   Populated on the caller's domain before any shard workers start (shards
+   of 2+ are fresh sub-batches), so the table needs no locking. *)
+let cache_batch_table : (Cache.geometry * Cache.geometry, Replay.batch) Hashtbl.t =
+  Hashtbl.create 4
+
+let cache_grid_batch ~l1i ~l2 =
+  match Hashtbl.find_opt cache_batch_table (l1i, l2) with
+  | Some batch -> batch
+  | None ->
+      let batch = Replay.cache_batch_of ~l1i ~l2 (materialize_cache_configurations ~l1i ~l2) in
+      Hashtbl.add cache_batch_table (l1i, l2) batch;
+      batch
+
+type cache_point = {
+  geometry_name : string;
+  l1i_geometry : Cache.geometry;
+  l2_geometry : Cache.geometry;
+  l1i_mpki : float;
+  l2_mpki : float;
+  cache_cpi : float;
+}
+
+type cache_study = {
+  cache_benchmark : string;
+  cache_points : cache_point array;
+  seed_point : cache_point;
+  degradation : Pi_stats.Multireg.t;
+  predicted_seed_cpi : float;
+  seed_error_percent : float;
+  cache_warmup_blocks : int;
+  cache_fused_lanes : int;
+  cache_fallback_lanes : int;
+  cache_shards : int;
+}
+
+let cache_point_of name gi gd counts =
+  {
+    geometry_name = name;
+    l1i_geometry = gi;
+    l2_geometry = gd;
+    l1i_mpki = Pipeline.l1i_mpki counts;
+    l2_mpki = Pipeline.l2_mpki counts;
+    cache_cpi = Pipeline.cpi counts;
+  }
+
+let simulate_cache ~warmup_blocks base plan placement name gi gd =
+  (* Geometry changes never touch costs/overlap/store factors, so the
+     rebind reuses the compiled arrays, like the predictor sweep's. *)
+  let config = { base with Pipeline.l1i = gi; l2 = gd } in
+  let counts = Replay.run ~warmup_blocks (Replay.with_config plan config) placement in
+  cache_point_of name gi gd counts
+
+(* The 100-geometry grid through either path; the timing target of
+   BENCH_cache_sweep.json. Same contract as [run_grid]. *)
+let run_cache_grid ?(base = Machine.xeon_e5440) ?plan ?(warmup_blocks = 0) ?(shards = 1)
+    ?map_shards ?(fused = true) trace placement =
+  let plan =
+    match plan with Some p -> p | None -> Replay.compile base trace
+  in
+  let configs =
+    materialize_cache_configurations ~l1i:base.Pipeline.l1i ~l2:base.Pipeline.l2
+  in
+  let n = Array.length configs in
+  let dummy =
+    {
+      geometry_name = "";
+      l1i_geometry = base.Pipeline.l1i;
+      l2_geometry = base.Pipeline.l2;
+      l1i_mpki = 0.0;
+      l2_mpki = 0.0;
+      cache_cpi = 0.0;
+    }
+  in
+  let points = Array.make n dummy in
+  if not fused then begin
+    Array.iteri
+      (fun i (name, gi, gd) ->
+        points.(i) <- simulate_cache ~warmup_blocks base plan placement name gi gd)
+      configs;
+    (points, 0, n, 0)
+  end
+  else begin
+    let batch = cache_grid_batch ~l1i:base.Pipeline.l1i ~l2:base.Pipeline.l2 in
+    let sub = Replay.shard batch ~shards in
+    let n_shards = Array.length sub in
+    let run_shard s = Replay.run_many ~warmup_blocks plan sub.(s) placement in
+    let shard_counts =
+      match map_shards with
+      | Some m when n_shards > 1 -> m run_shard n_shards
+      | _ -> Array.init n_shards run_shard
+    in
+    Array.iteri
+      (fun s counts ->
+        let src = Replay.batch_src sub.(s) in
+        Array.iteri
+          (fun j c ->
+            let name, gi, gd = configs.(src.(j)) in
+            points.(src.(j)) <- cache_point_of name gi gd c)
+          counts)
+      shard_counts;
+    (points, Replay.batch_lanes batch, 0, n_shards)
+  end
+
+let run_cache_study ?(base = Machine.xeon_e5440) ?plan ?(warmup_blocks = 0) ?(shards = 1)
+    ?map_shards ?(fused = true) ~benchmark trace placement =
+  let plan =
+    match plan with Some p -> p | None -> Replay.compile base trace
+  in
+  let points, fused_lanes, fallback_lanes, shards_used =
+    run_cache_grid ~base ~plan ~warmup_blocks ~shards ?map_shards ~fused trace placement
+  in
+  let is_seed p = p.l1i_geometry = base.Pipeline.l1i && p.l2_geometry = base.Pipeline.l2 in
+  let seed_point =
+    match Array.find_opt is_seed points with
+    | Some p -> p
+    | None ->
+        invalid_arg
+          "Sweep.run_cache_study: the grid does not contain the seed geometries (w8 variants \
+           missing?)"
+  in
+  (* The INTERPLAY-style question: fit CPI against the two cache MPKIs over
+     the degraded points only, then predict the seed point's CPI from its
+     own miss rates and compare with the simulated truth. *)
+  let degraded = Array.of_list (List.filter (fun p -> not (is_seed p)) (Array.to_list points)) in
+  let xs = Array.map (fun p -> [| p.l1i_mpki; p.l2_mpki |]) degraded in
+  let ys = Array.map (fun p -> p.cache_cpi) degraded in
+  let degradation = Pi_stats.Multireg.fit xs ys in
+  let predicted_seed_cpi =
+    Pi_stats.Multireg.predict degradation [| seed_point.l1i_mpki; seed_point.l2_mpki |]
+  in
+  let seed_error_percent =
+    if seed_point.cache_cpi = 0.0 then 0.0
+    else Float.abs (predicted_seed_cpi -. seed_point.cache_cpi) /. seed_point.cache_cpi *. 100.0
+  in
+  {
+    cache_benchmark = benchmark;
+    cache_points = points;
+    seed_point;
+    degradation;
+    predicted_seed_cpi;
+    seed_error_percent;
+    cache_warmup_blocks = warmup_blocks;
+    cache_fused_lanes = fused_lanes;
+    cache_fallback_lanes = fallback_lanes;
+    cache_shards = shards_used;
+  }

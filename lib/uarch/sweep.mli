@@ -83,3 +83,91 @@ val run_study :
     L-TAGE, take the sequential per-config path. [fused:false] forces the
     sequential loop for everything; results are bit-identical either way,
     and the merge order is deterministic regardless of [shards]. *)
+
+(** {1 The cache-geometry axis}
+
+    INTERPLAY (PAPERS.md) predicts performance degradation under
+    multi-cache way-disabling with a trained model; interferometry answers
+    the same question with a regression over simulated geometry variants.
+    The grid sweeps 10 variants of each seed cache — way-disabling to
+    1..8 ways (set count preserved, capacity shrunk) plus a half-size and
+    a double-size geometry at the seed associativity — crossed over L1I
+    and L2: 100 points, one of which ([l1i-w8+l2-w8] on the 8-way seed
+    machines) is the seed machine itself. *)
+
+type cache_variant =
+  | Ways of int  (** way-disable to [k] ways; sets constant *)
+  | Half  (** half capacity at seed associativity *)
+  | Double  (** double capacity at seed associativity *)
+
+val cache_configurations : unit -> (string * cache_variant * cache_variant) list
+(** Exactly 100 symbolic (name, L1I variant, L2 variant) descriptors,
+    memoized like {!configurations}; a grid edit that changes the count
+    raises [Invalid_argument] with the observed count. Descriptors are
+    materialized against a machine's seed geometries by the cache sweep,
+    which validates every variant ([Ways k] with [k] above the seed
+    associativity, or a half-size that breaks the set-count power of two,
+    raises [Invalid_argument]); duplicate materialized geometry pairs are
+    rejected by {!Replay.cache_batch_of}. *)
+
+val apply_cache_variant : Cache.geometry -> cache_variant -> Cache.geometry
+(** Materialize one variant against a seed geometry, validating it (see
+    {!cache_configurations}). [Ways k] preserves the set count; [Half] and
+    [Double] preserve the associativity. *)
+
+type cache_point = {
+  geometry_name : string;
+  l1i_geometry : Cache.geometry;
+  l2_geometry : Cache.geometry;
+  l1i_mpki : float;  (** L1I misses per kilo-instruction *)
+  l2_mpki : float;  (** L2 misses per kilo-instruction *)
+  cache_cpi : float;
+}
+
+type cache_study = {
+  cache_benchmark : string;
+  cache_points : cache_point array;  (** all 100 geometries, grid order *)
+  seed_point : cache_point;  (** the lane matching the seed geometries *)
+  degradation : Pi_stats.Multireg.t;
+      (** CPI ~ (L1I MPKI, L2 MPKI) over the 99 degraded points *)
+  predicted_seed_cpi : float;  (** the model at the seed point's miss rates *)
+  seed_error_percent : float;  (** |predicted - actual| / actual * 100 *)
+  cache_warmup_blocks : int;
+  cache_fused_lanes : int;
+  cache_fallback_lanes : int;  (** all of them when [fused=false], else 0 *)
+  cache_shards : int;  (** fused sub-batches executed (0 when [fused=false]) *)
+}
+
+val run_cache_grid :
+  ?base:Pipeline.config ->
+  ?plan:Replay.plan ->
+  ?warmup_blocks:int ->
+  ?shards:int ->
+  ?map_shards:shard_map ->
+  ?fused:bool ->
+  Pi_isa.Trace.t ->
+  Pi_layout.Placement.t ->
+  cache_point array * int * int * int
+(** Just the 100-geometry grid of {!run_cache_study}, without the
+    regression: the unit the fused cache axis accelerates, and the timing
+    target of [BENCH_cache_sweep.json]. Returns
+    [(points, fused_lanes, fallback_lanes, shards)]; all arguments behave
+    as in {!run_study} (the fused batch is one {!Replay.cache_batch_of}
+    pack, memoized per seed-geometry pair). *)
+
+val run_cache_study :
+  ?base:Pipeline.config ->
+  ?plan:Replay.plan ->
+  ?warmup_blocks:int ->
+  ?shards:int ->
+  ?map_shards:shard_map ->
+  ?fused:bool ->
+  benchmark:string ->
+  Pi_isa.Trace.t ->
+  Pi_layout.Placement.t ->
+  cache_study
+(** Simulate every geometry on the given trace/placement, fit the
+    degradation model over the 99 degraded points and evaluate its
+    prediction at the seed point's miss rates against the simulated seed
+    CPI. Sharding/fusion arguments behave exactly as in {!run_study};
+    results are bit-identical across [fused] and [shards] settings. *)

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "interferometry"
     (Test_stats.suite @ Test_isa.suite @ Test_layout.suite @ Test_predictors.suite
    @ Test_uarch.suite @ Test_workloads.suite @ Test_replay.suite @ Test_sweep_fused.suite
+   @ Test_cache_sweep.suite
    @ Test_pin.suite
    @ Test_core.suite
    @ Test_plot.suite @ Test_extensions.suite @ Test_characters.suite

@@ -223,6 +223,10 @@ let test_jobs_parse_and_key () =
       Alcotest.(check string) "equal params, equal key" (Jobs.key p) (Jobs.key p2);
       Alcotest.(check string) "id derives from key" (Jobs.id_of_key (Jobs.key p))
         (Jobs.id_of_key (Jobs.key p2)));
+  (match parse {|{"kind":"cache_sweep","bench":"429.mcf","quick":true}|} with
+  | Error msg -> Alcotest.failf "cache_sweep submission rejected: %s" msg
+  | Ok p -> Alcotest.(check string) "cache_sweep kind round-trips" "cache_sweep"
+              (Jobs.kind_name p.Jobs.kind));
   List.iter
     (fun body ->
       match parse body with
@@ -234,6 +238,7 @@ let test_jobs_parse_and_key () =
       {|{"kind":"measure","bench":"429.mcf","layouts":100000}|};
       {|{"kind":"measure","bench":"429.mcf","evil":1}|};
       {|{"kind":"predict","benches":["429.mcf","433.milc"]}|};
+      {|{"kind":"cache_sweep","benches":["429.mcf","433.milc"]}|};
       {|{"kind":"measure"}|};
       {|[1,2,3]|};
     ]

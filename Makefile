@@ -2,7 +2,7 @@
 
 CLI = dune exec bin/interferometry_cli.exe --
 
-.PHONY: all check test build campaign-smoke perf perf-smoke obs-smoke resilience-smoke sweep-smoke cache-sweep-smoke serve-smoke clean
+.PHONY: all check test build campaign-smoke perf perf-smoke obs-smoke resilience-smoke sweep-smoke cache-sweep-smoke serve-smoke history-smoke clean
 
 all: build
 
@@ -21,18 +21,23 @@ check:
 	$(MAKE) obs-smoke
 	$(MAKE) resilience-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) history-smoke
 
-# Full pipeline + fused-sweep microbenchmarks; writes BENCH_pipeline.json,
-# BENCH_sweep.json and BENCH_cache_sweep.json, and gates both fused axes
-# at 3x their per-config loops.
+# Full pipeline + fused-sweep + flight-recorder microbenchmarks; writes
+# BENCH_pipeline.json, BENCH_sweep.json, BENCH_cache_sweep.json and
+# BENCH_recorder.json, gates both fused axes at 3x their per-config loops
+# and the flight recorder's sweep overhead at 5%, and appends every
+# result to the history.jsonl run-history ledger (PI_HISTORY_OUT).
 perf:
-	PI_SWEEP_GATE=3 PI_CACHE_SWEEP_GATE=3 dune exec bench/perf.exe
+	PI_SWEEP_GATE=3 PI_CACHE_SWEEP_GATE=3 PI_RECORDER_GATE=5 dune exec bench/perf.exe
 
 # Tiny configuration of the same benchmarks: correctness gate, not a timing
-# (the sweep gates are disabled; bit-identity across paths is still enforced).
+# (the sweep and recorder gates are disabled; bit-identity across paths is
+# still enforced, recorder included). No artifacts, no history appends.
 perf-smoke:
 	PI_PERF_SCALE=2 PI_PERF_LAYOUTS=2 PI_SWEEP_SCALE=1 PI_SWEEP_GATE=0 \
-	  PI_CACHE_SWEEP_GATE=0 PI_PERF_OUT=- PI_SWEEP_OUT=- PI_CACHE_SWEEP_OUT=- \
+	  PI_CACHE_SWEEP_GATE=0 PI_RECORDER_GATE=0 PI_PERF_OUT=- PI_SWEEP_OUT=- \
+	  PI_CACHE_SWEEP_OUT=- PI_RECORDER_OUT=- PI_HISTORY_OUT=- \
 	  dune exec bench/perf.exe
 
 # Sharded fused sweep through the CLI: two domains, then a sequential
@@ -97,6 +102,27 @@ serve-smoke:
 	dune build bin/interferometry_cli.exe
 	bash scripts/serve_smoke.sh
 
+# The perf-regression sentinel, end to end. Two identical quick campaigns
+# append to one history ledger; comparing their records must be clean
+# (the second run is fully cached, so its zero obs/sec must NOT trip the
+# throughput gate). Then a forged 4x obs/sec collapse must make
+# `interferometry compare` exit non-zero. Deterministic by construction.
+history-smoke:
+	dune build bin/interferometry_cli.exe
+	rm -rf _history-smoke && mkdir -p _history-smoke
+	$(CLI) campaign --quick --bench 429.mcf --layouts 4 --jobs 2 \
+	  --cache-dir _history-smoke/a --history _history-smoke/history.jsonl
+	$(CLI) campaign --quick --bench 429.mcf --layouts 4 --jobs 2 \
+	  --cache-dir _history-smoke/b --history _history-smoke/history.jsonl
+	$(CLI) history --ledger _history-smoke/history.jsonl
+	$(CLI) compare _history-smoke/history.jsonl@0 _history-smoke/history.jsonl@1
+	printf '{"obs_per_sec":1000,"r_squared":0.99,"failed_jobs":0}' > _history-smoke/base.json
+	printf '{"obs_per_sec":250,"r_squared":0.99,"failed_jobs":0}' > _history-smoke/slow.json
+	$(CLI) compare _history-smoke/base.json _history-smoke/base.json
+	! $(CLI) compare _history-smoke/base.json _history-smoke/slow.json
+	@echo "history-smoke OK: self-compare clean, injected regression caught"
+
 clean:
 	dune clean
-	rm -rf _campaign-cache _obs-smoke _resilience-smoke _serve-smoke _serve
+	rm -rf _campaign-cache _obs-smoke _resilience-smoke _serve-smoke _serve \
+	  _history-smoke history.jsonl

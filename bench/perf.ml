@@ -8,22 +8,31 @@
    PI_PERF_SCALE), PI_SWEEP_OUT (default BENCH_sweep.json; "-" to skip the
    file), PI_SWEEP_GATE (minimum fused sweep speedup, default 0 = no gate;
    `make perf` passes 3), PI_CACHE_SWEEP_SCALE (default PI_SWEEP_SCALE),
-   PI_CACHE_SWEEP_OUT (default BENCH_cache_sweep.json; "-" to skip) and
+   PI_CACHE_SWEEP_OUT (default BENCH_cache_sweep.json; "-" to skip),
    PI_CACHE_SWEEP_GATE (minimum fused cache-sweep speedup, default 0;
-   `make perf` passes 3).
+   `make perf` passes 3), PI_RECORDER_SCALE (default PI_SWEEP_SCALE),
+   PI_RECORDER_OUT (default BENCH_recorder.json; "-" to skip),
+   PI_RECORDER_GATE (maximum flight-recorder overhead percent, default 0
+   = no gate; `make perf` passes 5) and PI_HISTORY_OUT (run-history
+   ledger every result is appended to, default history.jsonl; "-" to
+   skip — perf-smoke does).
 
    Exits nonzero when replay counts diverge from the legacy path, replay is
    slower than legacy, either fused sweep diverges from its sequential
-   study, or either fused speedup misses its gate — so `make check` can use
-   it as a regression smoke. *)
+   study, either fused speedup misses its gate, or the flight recorder's
+   overhead exceeds its gate — so `make check` can use it as a regression
+   smoke. *)
 
 let () =
   (* Tracing stays on while timing: the published perf numbers must include
-     the instrumentation overhead they are gating (docs/PERF.md). *)
+     the instrumentation overhead they are gating (docs/PERF.md). The
+     recorder benchmark manages the flag itself (its "off" leg is the
+     point of comparison). *)
   Pi_obs.Span.set_enabled true;
   let scale = Interferometry.Knobs.env_int "PI_PERF_SCALE" 4 in
   let sweep_scale = Interferometry.Knobs.env_int "PI_SWEEP_SCALE" 2 in
   let cache_sweep_scale = Interferometry.Knobs.env_int "PI_CACHE_SWEEP_SCALE" sweep_scale in
+  let recorder_scale = Interferometry.Knobs.env_int "PI_RECORDER_SCALE" sweep_scale in
   let layouts = Interferometry.Knobs.env_int "PI_PERF_LAYOUTS" 12 in
   let bench =
     Option.value ~default:"400.perlbench" (Sys.getenv_opt "PI_PERF_BENCH")
@@ -34,6 +43,12 @@ let () =
   in
   let cache_sweep_out =
     Option.value ~default:"BENCH_cache_sweep.json" (Sys.getenv_opt "PI_CACHE_SWEEP_OUT")
+  in
+  let recorder_out =
+    Option.value ~default:"BENCH_recorder.json" (Sys.getenv_opt "PI_RECORDER_OUT")
+  in
+  let history_out =
+    Option.value ~default:"history.jsonl" (Sys.getenv_opt "PI_HISTORY_OUT")
   in
   let gate_of name =
     match Sys.getenv_opt name with
@@ -47,6 +62,7 @@ let () =
   in
   let sweep_gate = gate_of "PI_SWEEP_GATE" in
   let cache_sweep_gate = gate_of "PI_CACHE_SWEEP_GATE" in
+  let recorder_gate = gate_of "PI_RECORDER_GATE" in
   let r = Interferometry.Perf_bench.run ~bench ~scale ~layouts () in
   print_endline (Interferometry.Perf_bench.summary r);
   if out <> "-" then begin
@@ -64,6 +80,31 @@ let () =
   if cache_sweep_out <> "-" then begin
     Interferometry.Perf_bench.write_cache_sweep_json ~path:cache_sweep_out c;
     Printf.printf "wrote %s\n" cache_sweep_out
+  end;
+  let rc = Interferometry.Perf_bench.run_recorder ~bench ~scale:recorder_scale () in
+  print_endline (Interferometry.Perf_bench.recorder_summary rc);
+  if recorder_out <> "-" then begin
+    Interferometry.Perf_bench.write_recorder_json ~path:recorder_out rc;
+    Printf.printf "wrote %s\n" recorder_out
+  end;
+  (* Every result joins the run-history ledger before the gates fire: a
+     failing run's numbers are exactly the ones worth keeping. *)
+  if history_out <> "-" then begin
+    let digest label a_scale =
+      Digest.to_hex (Digest.string (Printf.sprintf "%s:%s:%d" label bench a_scale))
+    in
+    let append kind_label a_scale metrics =
+      Pi_obs.History.append ~path:history_out
+        (Pi_obs.History.make ~kind:"perf" ~label:kind_label
+           ~config_digest:(digest kind_label a_scale) metrics)
+    in
+    append "pipeline" scale (Interferometry.Perf_bench.history_metrics r);
+    append "sweep" sweep_scale (Interferometry.Perf_bench.sweep_history_metrics s);
+    append "cache_sweep" cache_sweep_scale
+      (Interferometry.Perf_bench.cache_sweep_history_metrics c);
+    append "recorder" recorder_scale
+      (Interferometry.Perf_bench.recorder_history_metrics rc);
+    Printf.printf "appended 4 records to %s\n" history_out
   end;
   if not r.Interferometry.Perf_bench.identical then begin
     prerr_endline "FAIL: replay counts differ from the legacy pipeline";
@@ -90,5 +131,17 @@ let () =
   if c.Interferometry.Perf_bench.cache_speedup < cache_sweep_gate then begin
     Printf.eprintf "FAIL: fused cache sweep speedup %.2fx below gate %.2fx\n"
       c.Interferometry.Perf_bench.cache_speedup cache_sweep_gate;
+    exit 1
+  end;
+  if not rc.Interferometry.Perf_bench.rec_identical then begin
+    prerr_endline "FAIL: sweep grid changed with the flight recorder on";
+    exit 1
+  end;
+  if
+    recorder_gate > 0.0
+    && rc.Interferometry.Perf_bench.rec_overhead_percent > recorder_gate
+  then begin
+    Printf.eprintf "FAIL: flight-recorder overhead %.2f%% above gate %.2f%%\n"
+      rc.Interferometry.Perf_bench.rec_overhead_percent recorder_gate;
     exit 1
   end

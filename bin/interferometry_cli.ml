@@ -359,7 +359,14 @@ let sweep_cmd =
                    $(b,cache) (100 L1I/L2 geometry variants, the \
                    INTERPLAY-style degradation study).")
   in
-  let run bench seed scale jobs axis check metrics_out trace_out =
+  let history_term =
+    Arg.(value & opt (some string) None
+         & info [ "history" ] ~docv:"FILE.jsonl"
+             ~doc:"Append a run-history record (study wall seconds, configs/s, \
+                   fit quality) to $(docv) — the ledger $(b,interferometry \
+                   history) and $(b,compare) read.")
+  in
+  let run bench seed scale jobs axis check history metrics_out trace_out =
     with_obs ~metrics_out ~trace_out @@ fun () ->
     if jobs < 1 then begin
       Printf.eprintf "sweep: --jobs must be >= 1 (got %d)\n" jobs;
@@ -371,6 +378,17 @@ let sweep_cmd =
     let map_shards =
       if jobs > 1 then Some (Pi_campaign.Campaign.sweep_shard_map ~jobs ()) else None
     in
+    let append_history ~axis_label metrics =
+      Option.iter
+        (fun path ->
+          Pi_obs.History.append ~path
+            (Pi_obs.History.make ~kind:"sweep"
+               ~label:(bench.Pi_workloads.Bench.name ^ "/" ^ axis_label)
+               ~config_digest:(Pi_campaign.Obs_cache.config_digest config) metrics);
+          Printf.printf "history: %s\n" path)
+        history
+    in
+    let t0 = Unix.gettimeofday () in
     match axis with
     | `Predictor ->
         let s =
@@ -391,6 +409,17 @@ let sweep_cmd =
           s.Pi_uarch.Sweep.ltage_point.Pi_uarch.Sweep.cpi
           s.Pi_uarch.Sweep.ltage_point.Pi_uarch.Sweep.mpki s.Pi_uarch.Sweep.predicted_ltage_cpi
           s.Pi_uarch.Sweep.ltage_error_percent;
+        (let elapsed = Unix.gettimeofday () -. t0 in
+         let configs = s.Pi_uarch.Sweep.fused_lanes + s.Pi_uarch.Sweep.fallback_lanes in
+         append_history ~axis_label:"predictor"
+           [
+             ("wall_seconds", elapsed);
+             ( "sweep_configs_per_sec",
+               if elapsed > 0.0 then float_of_int configs /. elapsed else 0.0 );
+             ("r_squared", s.Pi_uarch.Sweep.regression.Linreg.r_squared);
+             ("perfect_error_percent", s.Pi_uarch.Sweep.perfect_error_percent);
+             ("ltage_error_percent", s.Pi_uarch.Sweep.ltage_error_percent);
+           ]);
         if check then begin
           let sequential =
             Pi_uarch.Sweep.run_study ~warmup_blocks:prepared.E.warmup_blocks ~fused:false
@@ -424,6 +453,17 @@ let sweep_cmd =
           seed_pt.Pi_uarch.Sweep.geometry_name seed_pt.Pi_uarch.Sweep.cache_cpi
           seed_pt.Pi_uarch.Sweep.l1i_mpki seed_pt.Pi_uarch.Sweep.l2_mpki
           s.Pi_uarch.Sweep.predicted_seed_cpi s.Pi_uarch.Sweep.seed_error_percent;
+        (let elapsed = Unix.gettimeofday () -. t0 in
+         append_history ~axis_label:"cache"
+           [
+             ("wall_seconds", elapsed);
+             ( "sweep_configs_per_sec",
+               if elapsed > 0.0 then
+                 float_of_int s.Pi_uarch.Sweep.cache_fused_lanes /. elapsed
+               else 0.0 );
+             ("r_squared", s.Pi_uarch.Sweep.degradation.Pi_stats.Multireg.r_squared);
+             ("seed_error_percent", s.Pi_uarch.Sweep.seed_error_percent);
+           ]);
         if check then begin
           let sequential =
             Pi_uarch.Sweep.run_cache_study ~warmup_blocks:prepared.E.warmup_blocks ~fused:false
@@ -446,7 +486,7 @@ let sweep_cmd =
        ~doc:"Fused configuration sweeps: the Section-3 predictor linearity study \
              (--axis predictor) or the cache-geometry degradation study (--axis cache).")
     Term.(const run $ bench_pos $ seed_term $ scale_term $ jobs_term $ axis_term $ check_term
-          $ metrics_out_term $ trace_out_term)
+          $ history_term $ metrics_out_term $ trace_out_term)
 
 let campaign_cmd =
   let suite_term =
@@ -517,6 +557,16 @@ let campaign_cmd =
                    $(b,corrupt-cache) ('+'-separable); $(b,delay=SECS) fixes the \
                    sleep. Also read from $(b,PI_FAULT) when the flag is absent.")
   in
+  let history_term =
+    Arg.(value & opt (some string) None
+         & info [ "history" ] ~docv:"FILE.jsonl"
+             ~doc:"Append a run-history record (wall/cpu seconds, obs/sec, \
+                   cache hit ratio, per-bench R-squared) to $(docv); defaults \
+                   to $(b,history.jsonl) under --cache-dir when one is given. \
+                   $(b,-) disables. Read it back with $(b,interferometry \
+                   history) and gate regressions with $(b,interferometry \
+                   compare).")
+  in
   let resume_term =
     Arg.(value & opt (some string) None
          & info [ "resume" ] ~docv:"MANIFEST.json"
@@ -527,7 +577,8 @@ let campaign_cmd =
                    are ignored.")
   in
   let run suite benches jobs layouts seed scale heap_random quick cache_dir events_path
-      manifest_path deadline retries backoff fault_spec resume metrics_out trace_out =
+      manifest_path deadline retries backoff fault_spec history resume metrics_out
+      trace_out =
     if layouts < 1 then begin
       Printf.eprintf "campaign: --layouts must be >= 1 (got %d)\n" layouts;
       exit 2
@@ -587,6 +638,23 @@ let campaign_cmd =
             Pi_campaign.Manifest.save result.Pi_campaign.Campaign.manifest ~path;
             Printf.printf "manifest: %s\n" path)
           manifest_path;
+        (* The run-history ledger is appended even when jobs failed: the
+           sentinel should see failed_jobs grow, not a gap. *)
+        (let history_path =
+           match history with
+           | Some "-" -> None
+           | Some path -> Some path
+           | None -> Option.map (fun dir -> Filename.concat dir "history.jsonl") cache_dir
+         in
+         Option.iter
+           (fun path ->
+             let m = result.Pi_campaign.Campaign.manifest in
+             Pi_obs.History.append ~path
+               (Pi_obs.History.make ~kind:"campaign" ~label:m.Pi_campaign.Manifest.label
+                  ~config_digest:m.Pi_campaign.Manifest.config_digest
+                  (Pi_campaign.Manifest.history_metrics m));
+             Printf.printf "history: %s\n" path)
+           history_path);
         Option.iter (fun path -> Printf.printf "events: %s\n" path) events_path;
         Pi_campaign.Campaign.succeeded result
       in
@@ -727,23 +795,18 @@ let campaign_cmd =
     Term.(const run $ suite_term $ benches_term $ jobs_term $ layouts_term $ seed_term
           $ campaign_scale_term $ heap_random_term $ quick_term $ cache_dir_term
           $ events_term $ manifest_term $ deadline_term $ retries_term $ backoff_term
-          $ fault_term $ resume_term $ metrics_out_term $ trace_out_term)
+          $ fault_term $ history_term $ resume_term $ metrics_out_term $ trace_out_term)
 
 let stats_cmd =
-  let run bench layouts seed scale =
-    Pi_obs.Span.set_enabled true;
-    let config = { E.quick_config with E.master_seed = seed; scale } in
-    let _ = E.run ~config bench ~n_layouts:layouts in
-    let ident (s : Metrics.sample) =
-      match s.Metrics.labels with
-      | [] -> s.Metrics.name
-      | labels ->
-          Printf.sprintf "%s{%s}" s.Metrics.name
-            (String.concat ","
-               (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels))
-    in
-    Printf.printf "metrics after a quick %s run (%d layouts, scale %d):\n\n"
-      bench.Pi_workloads.Bench.name layouts scale;
+  let ident (s : Metrics.sample) =
+    match s.Metrics.labels with
+    | [] -> s.Metrics.name
+    | labels ->
+        Printf.sprintf "%s{%s}" s.Metrics.name
+          (String.concat ","
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels))
+  in
+  let print_samples samples =
     List.iter
       (fun (s : Metrics.sample) ->
         match s.Metrics.value with
@@ -753,9 +816,148 @@ let stats_cmd =
             let q p = Metrics.quantile h p in
             Printf.printf "%-48s count %d  sum %.4fs  p50 %.4fs  p90 %.4fs  p99 %.4fs\n"
               (ident s) h.Metrics.count h.Metrics.sum (q 0.5) (q 0.9) (q 0.99))
-      (Metrics.scrape ());
-    Printf.printf "\n%d spans recorded (rerun with --trace-out to keep them)\n"
-      (List.length (Pi_obs.Span.events ()))
+      samples
+  in
+  (* Rebuild Metrics.sample values from a live daemon's /metrics.json scrape
+     (the inverse of Telemetry.metrics_json) so local and remote scrapes go
+     through the same pretty-printer — quantile estimates included. *)
+  let samples_of_json doc =
+    let module J = Pi_campaign.Telemetry in
+    let exception Bad of string in
+    let num name = function
+      | J.Float f -> f
+      | J.Int i -> float_of_int i
+      | _ -> raise (Bad (name ^ ": expected a number"))
+    in
+    let sample_of = function
+      | J.Obj fields ->
+          let field name =
+            match List.assoc_opt name fields with
+            | Some v -> v
+            | None -> raise (Bad ("sample without " ^ name))
+          in
+          let str name =
+            match field name with
+            | J.String s -> s
+            | _ -> raise (Bad (name ^ ": expected a string"))
+          in
+          let int name =
+            match field name with
+            | J.Int i -> i
+            | _ -> raise (Bad (name ^ ": expected an integer"))
+          in
+          let labels =
+            match List.assoc_opt "labels" fields with
+            | Some (J.Obj l) ->
+                List.map
+                  (fun (k, v) ->
+                    match v with
+                    | J.String s -> (k, s)
+                    | _ -> raise (Bad "label value: expected a string"))
+                  l
+            | _ -> []
+          in
+          let help =
+            match List.assoc_opt "help" fields with Some (J.String h) -> h | _ -> ""
+          in
+          let value =
+            match str "type" with
+            | "counter" -> Metrics.Counter (int "value")
+            | "gauge" -> Metrics.Gauge (num "value" (field "value"))
+            | "histogram" ->
+                let buckets =
+                  match field "buckets" with
+                  | J.List bs ->
+                      List.map
+                        (function
+                          | J.Obj b ->
+                              ( num "le" (Option.value ~default:J.Null (List.assoc_opt "le" b)),
+                                match List.assoc_opt "count" b with
+                                | Some (J.Int n) -> n
+                                | _ -> raise (Bad "bucket count: expected an integer") )
+                          | _ -> raise (Bad "bucket: expected an object"))
+                        bs
+                  | _ -> raise (Bad "buckets: expected a list")
+                in
+                let overflow =
+                  match List.assoc_opt "overflow" fields with Some (J.Int n) -> n | _ -> 0
+                in
+                Metrics.Histogram
+                  {
+                    Metrics.bounds = Array.of_list (List.map fst buckets);
+                    bucket_counts = Array.of_list (List.map snd buckets @ [ overflow ]);
+                    count = int "count";
+                    sum = num "sum" (field "sum");
+                  }
+            | other -> raise (Bad ("unknown metric type " ^ other))
+          in
+          { Metrics.name = str "name"; help; labels; value }
+      | _ -> raise (Bad "sample: expected an object")
+    in
+    match doc with
+    | J.Obj fields -> (
+        match List.assoc_opt "metrics" fields with
+        | Some (J.List items) -> (
+            match List.map sample_of items with
+            | samples -> Ok samples
+            | exception Bad msg -> Error ("malformed /metrics.json: " ^ msg))
+        | _ -> Error "malformed /metrics.json: no \"metrics\" list")
+    | _ -> Error "malformed /metrics.json: not an object"
+  in
+  let run bench layouts seed scale url state_dir =
+    match (url, state_dir) with
+    | None, None ->
+        Pi_obs.Span.set_enabled true;
+        let config = { E.quick_config with E.master_seed = seed; scale } in
+        let _ = E.run ~config bench ~n_layouts:layouts in
+        Printf.printf "metrics after a quick %s run (%d layouts, scale %d):\n\n"
+          bench.Pi_workloads.Bench.name layouts scale;
+        print_samples (Metrics.scrape ());
+        Printf.printf "\n%d spans recorded (rerun with --trace-out to keep them)\n"
+          (List.length (Pi_obs.Span.events ()))
+    | url, state_dir -> (
+        let conn =
+          match url with
+          | Some u -> (
+              let bad () =
+                Printf.eprintf "stats: bad --url %S (want HOST:PORT or PORT)\n" u;
+                exit 2
+              in
+              match String.rindex_opt u ':' with
+              | Some i -> (
+                  let host = String.sub u 0 i in
+                  let host = if host = "" then "127.0.0.1" else host in
+                  match
+                    int_of_string_opt (String.sub u (i + 1) (String.length u - i - 1))
+                  with
+                  | Some port -> { Pi_serve.Client.host; port }
+                  | None -> bad ())
+              | None -> (
+                  match int_of_string_opt u with
+                  | Some port -> { Pi_serve.Client.host = "127.0.0.1"; port }
+                  | None -> bad ()))
+          | None -> (
+              match
+                Pi_serve.Client.resolve ~state_dir:(Option.get state_dir) ()
+              with
+              | Ok conn -> conn
+              | Error msg ->
+                  Printf.eprintf "stats: %s\n" msg;
+                  exit 2)
+        in
+        match Pi_serve.Client.metrics conn with
+        | Error msg ->
+            Printf.eprintf "stats: %s\n" msg;
+            exit 2
+        | Ok doc -> (
+            match samples_of_json doc with
+            | Error msg ->
+                Printf.eprintf "stats: %s\n" msg;
+                exit 2
+            | Ok samples ->
+                Printf.printf "live metrics from %s:%d:\n\n" conn.Pi_serve.Client.host
+                  conn.Pi_serve.Client.port;
+                print_samples samples))
   in
   let bench_term =
     Arg.(
@@ -770,23 +972,39 @@ let stats_cmd =
   let stats_scale_term =
     Arg.(value & opt int 2 & info [ "scale" ] ~docv:"K" ~doc:"Workload scale.")
   in
+  let url_term =
+    Arg.(value & opt (some string) None
+         & info [ "url" ] ~docv:"HOST:PORT"
+             ~doc:"Scrape a running daemon's $(b,/metrics.json) instead of \
+                   running anything locally.")
+  in
+  let stats_state_dir_term =
+    Arg.(value & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR"
+             ~doc:"Discover the daemon through $(b,serve.json) in $(docv) \
+                   (alternative to --url).")
+  in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Exercise the stack once and pretty-print the metrics scrape."
+       ~doc:"Pretty-print a metrics scrape — a local exercise run, or a live daemon's."
        ~man:
          [
            `S Manpage.s_description;
            `P
-             "Runs one small quick-config measurement so every layer's \
-              instruments have data, then prints each registered metric: \
-              counters and gauges by value, histograms with count, sum and \
-              estimated p50/p90/p99 quantiles. See docs/OBSERVABILITY.md for \
-              the metric catalogue.";
+             "By default runs one small quick-config measurement so every \
+              layer's instruments have data, then prints each registered \
+              metric: counters and gauges by value, histograms with count, sum \
+              and estimated p50/p90/p99 quantiles. With $(b,--url) (or \
+              $(b,--state-dir) for serve.json discovery) it scrapes a running \
+              daemon's /metrics.json instead and prints the same view of the \
+              live registry. See docs/OBSERVABILITY.md for the metric \
+              catalogue.";
          ])
-    Term.(const run $ bench_term $ stats_layouts_term $ seed_term $ stats_scale_term)
+    Term.(const run $ bench_term $ stats_layouts_term $ seed_term $ stats_scale_term
+          $ url_term $ stats_state_dir_term)
 
 let perf_cmd =
-  let run bench scale sweep_scale layouts out sweep_out =
+  let run bench scale sweep_scale layouts out sweep_out history =
     let r = Interferometry.Perf_bench.run ~bench:bench.Pi_workloads.Bench.name ~scale ~layouts () in
     print_endline (Interferometry.Perf_bench.summary r);
     Option.iter
@@ -804,6 +1022,23 @@ let perf_cmd =
         Interferometry.Perf_bench.write_sweep_json ~path s;
         Printf.printf "wrote %s\n" path)
       sweep_out;
+    Option.iter
+      (fun path ->
+        let digest label a_scale =
+          Digest.to_hex
+            (Digest.string
+               (Printf.sprintf "%s:%s:%d" label bench.Pi_workloads.Bench.name a_scale))
+        in
+        Pi_obs.History.append ~path
+          (Pi_obs.History.make ~kind:"perf" ~label:"pipeline"
+             ~config_digest:(digest "pipeline" scale)
+             (Interferometry.Perf_bench.history_metrics r));
+        Pi_obs.History.append ~path
+          (Pi_obs.History.make ~kind:"perf" ~label:"sweep"
+             ~config_digest:(digest "sweep" sweep_scale)
+             (Interferometry.Perf_bench.sweep_history_metrics s));
+        Printf.printf "history: %s\n" path)
+      history;
     if not r.Interferometry.Perf_bench.identical then begin
       prerr_endline "FAIL: replay counts differ from the legacy pipeline";
       exit 1
@@ -845,6 +1080,13 @@ let perf_cmd =
     Arg.(value & opt (some string) None
          & info [ "sweep-out" ] ~docv:"FILE" ~doc:"Write BENCH_sweep.json here.")
   in
+  let perf_history_term =
+    Arg.(value & opt (some string) None
+         & info [ "history" ] ~docv:"FILE.jsonl"
+             ~doc:"Append both results to this run-history ledger (the full \
+                   four-benchmark sweep is $(b,make perf), which appends via \
+                   $(b,PI_HISTORY_OUT)).")
+  in
   Cmd.v
     (Cmd.info "perf"
        ~doc:"Time the legacy pipeline against the compiled replay plan, and the \
@@ -861,7 +1103,266 @@ let perf_cmd =
               slower than legacy. See docs/PERF.md.";
          ])
     Term.(const run $ bench_term $ perf_scale_term $ sweep_scale_term $ perf_layouts_term
-          $ out_term $ sweep_out_term)
+          $ out_term $ sweep_out_term $ perf_history_term)
+
+(* ---- the run-history ledger and the perf-regression sentinel ------ *)
+
+module History = Pi_obs.History
+
+let read_ledger ~warn path =
+  let replay = History.read ~path in
+  if warn && replay.History.invalid_lines > 0 then
+    Printf.eprintf "%s: skipped %d corrupt line(s)\n" path replay.History.invalid_lines;
+  if warn && replay.History.torn_tail then
+    Printf.eprintf "%s: torn final record (interrupted append) ignored\n" path;
+  replay
+
+let history_cmd =
+  let run ledger kind label last metric =
+    let replay = read_ledger ~warn:true ledger in
+    (* Indexes are positions in the full ledger, so a filtered listing still
+       shows the @N a `compare LEDGER@N` operand needs. *)
+    let rows =
+      List.filteri
+        (fun _ _ -> true)
+        (List.mapi (fun i r -> (i, r)) replay.History.records)
+      |> List.filter (fun (_, (r : History.record)) ->
+             (match kind with None -> true | Some k -> r.History.kind = k)
+             && match label with None -> true | Some l -> r.History.label = l)
+    in
+    let rows =
+      let n = List.length rows in
+      if last > 0 && n > last then List.filteri (fun i _ -> i >= n - last) rows
+      else rows
+    in
+    if rows = [] then print_endline "no matching history records"
+    else
+      List.iter
+        (fun (i, (r : History.record)) ->
+          let tm = Unix.gmtime r.History.ts in
+          let shown =
+            match metric with
+            | Some m -> (
+                match List.assoc_opt m r.History.metrics with
+                | Some v -> Printf.sprintf "%s=%s" m (Metrics.float_repr v)
+                | None -> m ^ "=absent")
+            | None ->
+                let parts =
+                  List.map
+                    (fun (k, v) -> Printf.sprintf "%s=%s" k (Metrics.float_repr v))
+                    r.History.metrics
+                in
+                let shown = List.filteri (fun i _ -> i < 4) parts in
+                let extra = List.length parts - List.length shown in
+                String.concat " " shown
+                ^ (if extra > 0 then Printf.sprintf " (+%d more)" extra else "")
+          in
+          let digest = r.History.config_digest in
+          let digest7 = String.sub digest 0 (min 7 (String.length digest)) in
+          Printf.printf "@%-3d %04d-%02d-%02dT%02d:%02d:%02dZ %-8s %-22s %-7s %s\n" i
+            (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+            tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec r.History.kind
+            r.History.label digest7 shown)
+        rows
+  in
+  let ledger_term =
+    Arg.(value & opt string "history.jsonl"
+         & info [ "ledger" ] ~docv:"FILE.jsonl"
+             ~doc:"Run-history ledger to read (campaign runs default to \
+                   $(b,history.jsonl) under their cache directory).")
+  in
+  let kind_term =
+    Arg.(value & opt (some string) None
+         & info [ "kind" ] ~docv:"KIND"
+             ~doc:"Only records of this kind ($(b,campaign), $(b,sweep), $(b,perf)).")
+  in
+  let label_term =
+    Arg.(value & opt (some string) None
+         & info [ "label" ] ~docv:"LABEL" ~doc:"Only records with this label.")
+  in
+  let last_term =
+    Arg.(value & opt int 0
+         & info [ "last" ] ~docv:"N" ~doc:"Only the most recent $(docv) matches.")
+  in
+  let metric_term =
+    Arg.(value & opt (some string) None
+         & info [ "metric" ] ~docv:"NAME"
+             ~doc:"Show only this metric's value per record.")
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:"List the run-history ledger campaign/sweep/perf runs append to."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Each line is one digest-framed record: index (the $(b,@N) \
+              operand $(b,interferometry compare) accepts), UTC timestamp, \
+              kind, label, config digest prefix and the leading metrics. \
+              Corrupt lines are skipped with a warning — history records are \
+              independent observations, unlike the serve WAL. See \
+              docs/PERF.md.";
+         ])
+    Term.(const run $ ledger_term $ kind_term $ label_term $ last_term $ metric_term)
+
+let compare_cmd =
+  (* One comparison side: HISTORY.jsonl[@N] (Nth record, default the last,
+     negative from the end) or any flat-JSON benchmark artifact
+     (BENCH_*.json, manifest.json) whose numeric fields become the metric
+     bag. *)
+  let load_side operand =
+    let path, sel =
+      match String.rindex_opt operand '@' with
+      | Some i -> (
+          let p = String.sub operand 0 i in
+          let s = String.sub operand (i + 1) (String.length operand - i - 1) in
+          match int_of_string_opt s with
+          | Some n when p <> "" -> (p, Some n)
+          | _ -> (operand, None))
+      | None -> (operand, None)
+    in
+    if Filename.check_suffix path ".jsonl" then begin
+      if not (Sys.file_exists path) then Error (path ^ ": no such ledger")
+      else
+        let replay = read_ledger ~warn:true path in
+        let records = Array.of_list replay.History.records in
+        let n = Array.length records in
+        if n = 0 then Error (path ^ ": no valid history records")
+        else
+          let idx =
+            match sel with None -> n - 1 | Some i when i < 0 -> n + i | Some i -> i
+          in
+          if idx < 0 || idx >= n then
+            Error (Printf.sprintf "%s: record %d out of range (0..%d)" path idx (n - 1))
+          else
+            let r = records.(idx) in
+            Ok
+              ( Printf.sprintf "%s@%d (%s %s)" path idx r.History.kind r.History.label,
+                r.History.metrics )
+    end
+    else if sel <> None then
+      Error (Printf.sprintf "%s: @N selection only applies to .jsonl ledgers" operand)
+    else
+      match In_channel.with_open_text path In_channel.input_all with
+      | exception Sys_error msg -> Error msg
+      | contents -> (
+          let module J = Pi_campaign.Telemetry in
+          match J.parse contents with
+          | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+          | Ok doc ->
+              (* Flatten nested objects with dotted keys; inside lists only
+                 objects self-named by a "bench" field (manifest entries)
+                 are descended into. *)
+              let rec flatten prefix j acc =
+                let key k = if prefix = "" then k else prefix ^ "." ^ k in
+                match j with
+                | J.Int i -> (prefix, float_of_int i) :: acc
+                | J.Float f -> (prefix, f) :: acc
+                | J.Obj fields ->
+                    List.fold_left
+                      (fun acc (k, v) -> flatten (key k) v acc)
+                      acc fields
+                | J.List items ->
+                    List.fold_left
+                      (fun acc item ->
+                        match item with
+                        | J.Obj fields -> (
+                            match List.assoc_opt "bench" fields with
+                            | Some (J.String name) -> flatten (key name) item acc
+                            | _ -> acc)
+                        | _ -> acc)
+                      acc items
+                | J.String _ | J.Bool _ | J.Null -> acc
+              in
+              let metrics = List.rev (flatten "" doc []) in
+              if metrics = [] then Error (path ^ ": no numeric fields to compare")
+              else Ok (path, metrics))
+  in
+  let run before after tolerance =
+    match (load_side before, load_side after) with
+    | Error msg, _ | _, Error msg ->
+        Printf.eprintf "compare: %s\n" msg;
+        exit 2
+    | Ok (before_label, before), Ok (after_label, after) ->
+        let rules =
+          match tolerance with
+          | None -> History.default_rules
+          | Some tol ->
+              (* Override the throughput tolerances only; failed_jobs stays
+                 a hard zero-tolerance gate. *)
+              List.map
+                (fun (r : History.rule) ->
+                  match r.History.direction with
+                  | History.Higher_better -> { r with History.tol_percent = tol }
+                  | History.Lower_better -> r)
+                History.default_rules
+        in
+        let deltas = History.compare_metrics ~rules ~before ~after () in
+        if deltas = [] then begin
+          Printf.eprintf "compare: %s and %s share no metrics\n" before_label
+            after_label;
+          exit 2
+        end;
+        Printf.printf "compare %s -> %s\n" before_label after_label;
+        List.iter
+          (fun (d : History.delta) ->
+            let gate =
+              match d.History.rule with
+              | Some r ->
+                  Printf.sprintf "  [%s, tol %g%%]"
+                    (match r.History.direction with
+                    | History.Higher_better -> "higher is better"
+                    | History.Lower_better -> "lower is better")
+                    r.History.tol_percent
+              | None -> ""
+            in
+            Printf.printf "%-10s %-28s %14s -> %14s  %+8.2f%%%s\n"
+              (if d.History.regression then "REGRESSION" else "ok")
+              d.History.metric
+              (Metrics.float_repr d.History.before)
+              (Metrics.float_repr d.History.after)
+              d.History.delta_percent gate)
+          deltas;
+        let regressed = History.regressions deltas in
+        if regressed <> [] then begin
+          Printf.eprintf "compare: %d metric(s) regressed\n" (List.length regressed);
+          exit 1
+        end
+        else print_endline "no regressions"
+  in
+  let before_term =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"BEFORE"
+             ~doc:"Baseline: $(b,LEDGER.jsonl)[@N] or a flat JSON artifact \
+                   ($(b,BENCH_*.json), $(b,manifest.json)).")
+  in
+  let after_term =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"AFTER" ~doc:"Candidate, same forms as $(docv,BEFORE).")
+  in
+  let tolerance_term =
+    Arg.(value & opt (some float) None
+         & info [ "tolerance" ] ~docv:"PCT"
+             ~doc:"Override the higher-is-better gates' tolerance percent \
+                   (default: 50 for throughput/speedup, 5 for R-squared; \
+                   $(b,failed_jobs) always gates at 0).")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Diff two runs' metrics and exit non-zero on regression."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Compares the metrics the two operands share, applying per-suffix \
+              threshold rules (_per_sec and speedup higher-better within \
+              tolerance, r_squared within 5%, failed_jobs must not grow). \
+              Operands are history-ledger records ($(b,history.jsonl@-2) is \
+              the second-newest) or benchmark JSON artifacts. Exit status: 0 \
+              clean, 1 regression, 2 usage or unreadable operand. $(b,make \
+              check) runs this sentinel over two fresh quick campaigns.";
+         ])
+    Term.(const run $ before_term $ after_term $ tolerance_term)
 
 (* ---- the pi_serve daemon and its thin client ---------------------- *)
 
@@ -886,10 +1387,38 @@ let connect state_dir port =
       exit 2
 
 let serve_cmd =
-  let run state_dir port capacity workers metrics_out trace_out =
+  let run state_dir port capacity workers scrape_interval no_trace_jobs trace_capacity
+      metrics_out trace_out =
     with_obs ~metrics_out ~trace_out (fun () ->
         Pi_serve.Server.run
-          { Pi_serve.Server.state_dir; port; queue_capacity = capacity; workers })
+          {
+            Pi_serve.Server.state_dir;
+            port;
+            queue_capacity = capacity;
+            workers;
+            scrape_interval;
+            trace_jobs = not no_trace_jobs;
+            trace_capacity;
+          })
+  in
+  let scrape_interval_term =
+    Arg.(value & opt float 1.0
+         & info [ "scrape-interval" ] ~docv:"SECONDS"
+             ~doc:"Flight-recorder cadence: the background loop folds a metrics \
+                   scrape into the /api/timeseries ring buffers every $(docv) \
+                   seconds; 0 disables the loop.")
+  in
+  let no_trace_jobs_term =
+    Arg.(value & flag
+         & info [ "no-trace-jobs" ]
+             ~doc:"Disable per-job span traces (GET /api/jobs/ID/trace answers \
+                   404).")
+  in
+  let trace_capacity_term =
+    Arg.(value & opt int 32
+         & info [ "trace-capacity" ] ~docv:"N"
+             ~doc:"Completed-job traces kept in memory (LRU; older traces are \
+                   evicted).")
   in
   let port_term =
     Arg.(value & opt int 0
@@ -924,6 +1453,7 @@ let serve_cmd =
               submissions get 503. See docs/SERVING.md.";
          ])
     Term.(const run $ state_dir_term $ port_term $ capacity_term $ workers_term
+          $ scrape_interval_term $ no_trace_jobs_term $ trace_capacity_term
           $ metrics_out_term $ trace_out_term)
 
 let submit_cmd =
@@ -1012,6 +1542,6 @@ let () =
        [
          list_cmd; trace_cmd; measure_cmd; model_cmd; blame_cmd; predict_cmd;
          sweep_cmd; cache_cmd; export_cmd; refit_cmd; report_cmd; phases_cmd;
-         campaign_cmd; perf_cmd; stats_cmd; serve_cmd; submit_cmd; status_cmd;
-         result_cmd;
+         campaign_cmd; perf_cmd; stats_cmd; history_cmd; compare_cmd; serve_cmd;
+         submit_cmd; status_cmd; result_cmd;
        ]))

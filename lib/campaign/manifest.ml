@@ -254,3 +254,31 @@ let summary_table t =
        (if t.retried_jobs > 0 then Printf.sprintf ", %d retries" t.retried_jobs else "")
        t.jobs t.wall_seconds);
   Buffer.contents buf
+
+let history_metrics t =
+  let cpu_seconds = List.fold_left (fun acc b -> acc +. b.cpu_seconds) 0.0 t.benches in
+  let obs_per_sec =
+    if t.wall_seconds > 0.0 && t.computed_jobs > 0 then
+      float_of_int t.computed_jobs /. t.wall_seconds
+    else 0.0
+  in
+  let probes = t.cache_hits + t.cache_misses in
+  let cache_hit_ratio =
+    if probes = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int probes
+  in
+  [
+    ("wall_seconds", t.wall_seconds);
+    ("cpu_seconds", cpu_seconds);
+    ("obs_per_sec", obs_per_sec);
+    ("cache_hit_ratio", cache_hit_ratio);
+    ("total_jobs", float_of_int t.total_jobs);
+    ("computed_jobs", float_of_int t.computed_jobs);
+    ("cached_jobs", float_of_int t.cached_jobs);
+    ("failed_jobs", float_of_int t.failed_jobs);
+  ]
+  @ List.filter_map
+      (fun b ->
+        match b.fit with
+        | Some f -> Some (b.bench ^ ".r_squared", f.r_squared)
+        | None -> None)
+      t.benches

@@ -93,3 +93,9 @@ val load : path:string -> (t, string) result
 
 val summary_table : t -> string
 (** Human-readable per-benchmark table for terminal output. *)
+
+val history_metrics : t -> (string * float) list
+(** The flat metric bag a campaign contributes to the run-history ledger
+    ({!Pi_obs.History}): wall/cpu seconds, [obs_per_sec] (computed jobs
+    per wall second; 0 when nothing was computed), [cache_hit_ratio],
+    job counts, and one [<bench>.r_squared] per fitted benchmark. *)

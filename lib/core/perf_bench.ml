@@ -418,3 +418,180 @@ let cache_sweep_summary r =
     r.cache_fused_seconds
     (r.cache_lane_blocks_per_sec /. 1e6)
     r.cache_speedup r.cache_identical
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder overhead benchmark (BENCH_recorder.json): the fused
+   sweep grid with the recorder fully on — background scrape loop
+   folding the registry into a Timeseries store plus a per-job span
+   collector, i.e. exactly what a daemon job pays — against the same
+   grid with the recorder off. The 5% gate in `make perf` rides on
+   [rec_overhead_percent]. *)
+
+module Timeseries = Pi_obs.Timeseries
+
+type recorder_result = {
+  rec_bench : string;
+  rec_scale : int;
+  rec_configs : int;  (* grid configurations per timed rep *)
+  rec_scrape_interval : float;  (* seconds between recorder scrapes *)
+  rec_off_seconds : float;  (* best-of-N grid wall time, recorder off *)
+  rec_on_seconds : float;  (* same grid with scrape loop + collector *)
+  rec_off_configs_per_sec : float;
+  rec_on_configs_per_sec : float;
+  rec_overhead_percent : float;  (* (on - off) / off * 100 *)
+  rec_points : int;  (* raw time-series points captured during the on pass *)
+  rec_spans : int;  (* spans captured by the per-job collector *)
+  rec_identical : bool;  (* grid points identical across recorder on/off *)
+}
+
+let run_recorder ?(bench = "400.perlbench") ?(scale = 4) () =
+  let b = Pi_workloads.Spec.find bench in
+  let config = { Experiment.default_config with scale } in
+  let program = b.Pi_workloads.Bench.build ~scale in
+  let trace =
+    Pi_layout.Run_limiter.trace ~seed:config.Experiment.master_seed program
+      ~budget_blocks:config.Experiment.budget_blocks
+  in
+  let warmup_blocks =
+    int_of_float
+      (config.Experiment.warmup_fraction
+      *. float_of_int (Pi_isa.Trace.blocks_executed trace))
+  in
+  let placement = Pi_layout.Placement.make program ~seed:1 in
+  let plan = Pi_uarch.Replay.compile config.Experiment.machine trace in
+  ignore (Sweep.run_grid ~plan ~warmup_blocks trace placement);
+  let best_of f =
+    let result = ref None in
+    let best = ref infinity in
+    for _ = 1 to grid_reps do
+      let t0 = now () in
+      let r = f () in
+      let dt = now () -. t0 in
+      if dt < !best then begin
+        best := dt;
+        result := Some r
+      end
+    done;
+    (Option.get !result, !best)
+  in
+  let was_enabled = Span.enabled () in
+  (* Recorder off: no tracing, no scrape loop — the clean baseline. *)
+  Span.set_enabled false;
+  let (off_points, _, _, _), off_seconds =
+    best_of (fun () -> Sweep.run_grid ~plan ~warmup_blocks trace placement)
+  in
+  (* Recorder on: global tracing enabled (the daemon's --trace-out
+     state), a per-job collector attached to this thread, and the
+     background sampler scraping the whole registry at a far harsher
+     cadence than the daemon's 1 s default. *)
+  Span.set_enabled true;
+  let scrape_interval = 0.01 in
+  let ts = Timeseries.create () in
+  let stop = Timeseries.sampler ~interval:scrape_interval ts in
+  let collector = Span.collector () in
+  let (on_points, _, _, _), on_seconds =
+    best_of (fun () ->
+        Span.with_collector collector (fun () ->
+            Sweep.run_grid ~plan ~warmup_blocks trace placement))
+  in
+  stop ();
+  Span.set_enabled was_enabled;
+  let rec_points =
+    List.fold_left
+      (fun acc s -> acc + List.length s.Timeseries.points)
+      0 (Timeseries.snapshot ts)
+  in
+  let configs = Array.length off_points in
+  {
+    rec_bench = bench;
+    rec_scale = scale;
+    rec_configs = configs;
+    rec_scrape_interval = scrape_interval;
+    rec_off_seconds = off_seconds;
+    rec_on_seconds = on_seconds;
+    rec_off_configs_per_sec =
+      (if off_seconds > 0.0 then float_of_int configs /. off_seconds else 0.0);
+    rec_on_configs_per_sec =
+      (if on_seconds > 0.0 then float_of_int configs /. on_seconds else 0.0);
+    rec_overhead_percent =
+      (if off_seconds > 0.0 then (on_seconds -. off_seconds) /. off_seconds *. 100.0
+       else 0.0);
+    rec_points;
+    rec_spans = List.length (Span.collector_events collector);
+    rec_identical = off_points = on_points;
+  }
+
+let recorder_to_json r =
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"bench\": %S," r.rec_bench;
+      Printf.sprintf "  \"scale\": %d," r.rec_scale;
+      Printf.sprintf "  \"configs\": %d," r.rec_configs;
+      Printf.sprintf "  \"scrape_interval\": %.3f," r.rec_scrape_interval;
+      Printf.sprintf "  \"off_seconds\": %.6f," r.rec_off_seconds;
+      Printf.sprintf "  \"on_seconds\": %.6f," r.rec_on_seconds;
+      Printf.sprintf "  \"off_configs_per_sec\": %.2f," r.rec_off_configs_per_sec;
+      Printf.sprintf "  \"on_configs_per_sec\": %.2f," r.rec_on_configs_per_sec;
+      Printf.sprintf "  \"overhead_percent\": %.2f," r.rec_overhead_percent;
+      Printf.sprintf "  \"timeseries_points\": %d," r.rec_points;
+      Printf.sprintf "  \"collected_spans\": %d," r.rec_spans;
+      Printf.sprintf "  \"identical_grids\": %b" r.rec_identical;
+      "}";
+    ]
+
+let write_recorder_json ~path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (recorder_to_json r);
+      output_char oc '\n')
+
+let recorder_summary r =
+  Printf.sprintf
+    "%s scale %d recorder: %d configs/grid, %.0fms scrapes\n\
+     recorder off: %.2f configs/s (%.2fs/grid)   on: %.2f configs/s (%.2fs/grid)\n\
+     overhead: %.2f%%   points: %d   spans: %d   grids identical: %b"
+    r.rec_bench r.rec_scale r.rec_configs
+    (r.rec_scrape_interval *. 1000.0)
+    r.rec_off_configs_per_sec r.rec_off_seconds r.rec_on_configs_per_sec r.rec_on_seconds
+    r.rec_overhead_percent r.rec_points r.rec_spans r.rec_identical
+
+(* ------------------------------------------------------------------ *)
+(* History metric bags: the flat numbers each benchmark contributes to
+   the run-history ledger (Pi_obs.History). Names reuse the JSON field
+   names so `interferometry compare BENCH_x.json history.jsonl@n` lines
+   up where the suffixes match. *)
+
+let history_metrics r =
+  [
+    ("compile_seconds", r.compile_seconds);
+    ("legacy_obs_per_sec", r.legacy_obs_per_sec);
+    ("replay_obs_per_sec", r.replay_obs_per_sec);
+    ("replay_blocks_per_sec", r.replay_blocks_per_sec);
+    ("speedup", r.speedup);
+  ]
+
+let sweep_history_metrics r =
+  [
+    ("baseline_configs_per_sec", r.baseline_configs_per_sec);
+    ("fused_configs_per_sec", r.fused_configs_per_sec);
+    ("lane_blocks_per_sec", r.lane_blocks_per_sec);
+    ("speedup", r.sweep_speedup);
+  ]
+
+let cache_sweep_history_metrics r =
+  [
+    ("cache_baseline_configs_per_sec", r.cache_baseline_configs_per_sec);
+    ("cache_fused_configs_per_sec", r.cache_fused_configs_per_sec);
+    ("cache_lane_blocks_per_sec", r.cache_lane_blocks_per_sec);
+    ("cache_speedup", r.cache_speedup);
+  ]
+
+let recorder_history_metrics r =
+  [
+    ("recorder_off_configs_per_sec", r.rec_off_configs_per_sec);
+    ("recorder_on_configs_per_sec", r.rec_on_configs_per_sec);
+    ("recorder_overhead_percent", r.rec_overhead_percent);
+  ]

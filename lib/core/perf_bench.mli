@@ -111,3 +111,48 @@ val write_cache_sweep_json : path:string -> cache_sweep_result -> unit
 
 val cache_sweep_summary : cache_sweep_result -> string
 (** Human-readable multi-line summary. *)
+
+(** {1 Flight-recorder overhead benchmark}
+
+    Times the fused sweep grid with the recorder fully on — background
+    {!Pi_obs.Timeseries} scrape loop at a 10 ms cadence (100× harsher
+    than the daemon's 1 s default) plus a per-job {!Pi_obs.Span}
+    collector, i.e. what a daemon job pays — against the same grid with
+    the recorder off. [make perf] gates [rec_overhead_percent] at 5%
+    ([PI_RECORDER_GATE]); the numbers land in [BENCH_recorder.json]. *)
+
+type recorder_result = {
+  rec_bench : string;
+  rec_scale : int;
+  rec_configs : int;  (** grid configurations per timed rep *)
+  rec_scrape_interval : float;  (** seconds between recorder scrapes *)
+  rec_off_seconds : float;  (** best-of-5 grid wall time, recorder off *)
+  rec_on_seconds : float;  (** same grid, scrape loop + span collector on *)
+  rec_off_configs_per_sec : float;
+  rec_on_configs_per_sec : float;
+  rec_overhead_percent : float;  (** (on − off) / off × 100 *)
+  rec_points : int;  (** raw time-series points captured during the on pass *)
+  rec_spans : int;  (** spans captured by the per-job collector *)
+  rec_identical : bool;  (** grid points identical across recorder on/off *)
+}
+
+val run_recorder : ?bench:string -> ?scale:int -> unit -> recorder_result
+(** Same protocol as {!run_sweep}: compile once, warm once, best-of-5
+    timed grids per mode. Restores the global tracing flag on exit. *)
+
+val recorder_to_json : recorder_result -> string
+val write_recorder_json : path:string -> recorder_result -> unit
+
+val recorder_summary : recorder_result -> string
+(** Human-readable multi-line summary. *)
+
+(** {1 History metric bags}
+
+    The flat numbers each benchmark contributes to the run-history
+    ledger ({!Pi_obs.History}); names reuse the BENCH JSON field names
+    so [interferometry compare] lines up across record sources. *)
+
+val history_metrics : result -> (string * float) list
+val sweep_history_metrics : sweep_result -> (string * float) list
+val cache_sweep_history_metrics : cache_sweep_result -> (string * float) list
+val recorder_history_metrics : recorder_result -> (string * float) list

@@ -98,6 +98,11 @@ val scrape : unit -> sample list
 (** Every registered metric, sorted by [(name, labels)] so output is
     deterministic. *)
 
+val float_repr : float -> string
+(** Shortest decimal string that round-trips through [float_of_string]
+    (integers without an exponent) — the rendering used by the
+    Prometheus exposition, shared by the flight-recorder JSON writers. *)
+
 val to_prometheus : unit -> string
 (** Prometheus text exposition format: [# HELP] / [# TYPE] per metric
     name, [name{label="v",...} value] per sample, histograms as

@@ -12,7 +12,15 @@
     load plus the call. Enable with {!set_enabled} (the CLI [--trace-out]
     flag and the bench harness do). Completed spans append to a global
     mutex-protected buffer — spans mark stages (prepare, job, replay,
-    fit), not inner-loop events, so the lock is nowhere hot.
+    fit), not inner-loop events, so the lock is nowhere hot. The buffer
+    is bounded ({!set_buffer_capacity}); once full, further spans are
+    counted in [pi_obs_spans_dropped_total] instead of accumulating, so
+    a long-running daemon with [--trace-out] cannot grow without limit.
+
+    Independent of the global buffer, a {!collector} captures the spans
+    of one logical unit of work (a daemon job) on whichever thread runs
+    it — see {!with_collector}. Collectors are keyed by thread id, not
+    domain id, because server workers are threads sharing domain 0.
 
     Span hierarchy across the stack is documented in
     docs/OBSERVABILITY.md. *)
@@ -31,18 +39,53 @@ type event = {
 val set_enabled : bool -> unit
 val enabled : unit -> bool
 
+val set_buffer_capacity : int -> unit
+(** Cap on the global buffer (default 65536 spans). Spans completing
+    against a full buffer are dropped and counted in
+    [pi_obs_spans_dropped_total]. Raises [Invalid_argument] on [n < 1]. *)
+
+val buffer_capacity : unit -> int
+
 val with_ : ?cat:string -> ?args:(string * string) list -> name:string -> (unit -> 'a) -> 'a
 (** Runs [f], recording a completed span even when [f] raises. When
-    disabled, just runs [f]. *)
+    disabled (and no collector is attached to this thread), just runs
+    [f]. *)
 
 val events : unit -> event list
 (** Completed spans in completion order (children before parents). *)
 
 val clear : unit -> unit
 
+(** {1 Per-thread collectors} *)
+
+type collector
+(** A bounded, mutex-protected span sink for one unit of work. Spans
+    past [capacity] are dropped and counted in
+    [pi_obs_spans_dropped_total]. *)
+
+val collector : ?capacity:int -> unit -> collector
+(** Default capacity 4096 spans. *)
+
+val with_collector : collector -> (unit -> 'a) -> 'a
+(** [with_collector c f] attaches [c] to the calling thread for the
+    duration of [f]: every span completed by this thread is also
+    appended to [c] (the global buffer still receives it iff tracing is
+    {!enabled}). Nests — the previous collector is restored on exit. *)
+
+val collector_events : collector -> event list
+(** Captured spans in completion order. *)
+
+val add_event : collector -> event -> unit
+(** Append a synthetic event (e.g. a queue-delay span reconstructed
+    after the fact) subject to the collector's capacity. *)
+
+val events_to_chrome_json : event list -> string
+(** Render an explicit event list in Chrome trace-event format. *)
+
 val to_chrome_json : unit -> string
 (** [{"displayTimeUnit":"ms","traceEvents":[...]}] with timestamps and
-    durations in microseconds, one complete ("ph":"X") event per span. *)
+    durations in microseconds, one complete ("ph":"X") event per span —
+    the global buffer's contents. *)
 
 val save : path:string -> unit
 (** Write {!to_chrome_json} to [path], creating parent directories. *)

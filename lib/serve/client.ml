@@ -55,6 +55,19 @@ let expect_json = function
       | "" -> Error (Printf.sprintf "HTTP %d %s" code (Http.reason code))
       | detail -> Error (Printf.sprintf "HTTP %d: %s" code detail))
 
+let metrics conn = expect_json (get conn "/metrics.json")
+
+let timeseries conn = expect_json (get conn "/api/timeseries")
+
+let trace conn ~id =
+  match get conn (Printf.sprintf "/api/jobs/%s/trace" id) with
+  | Error msg -> Error msg
+  | Ok (200, body) -> Ok body
+  | Ok (code, body) -> (
+      match expect_json (Ok (code, body)) with
+      | Error msg -> Error msg
+      | Ok _ -> Error (Printf.sprintf "HTTP %d" code))
+
 let submit ?client conn ~body =
   let headers = match client with None -> [] | Some c -> [ ("X-Client", c) ] in
   expect_json

@@ -16,6 +16,17 @@ val wait_ready : ?attempts:int -> conn -> (unit, string) result
 (** Poll [GET /readyz] until 200 (0.1s between tries, default 50 attempts)
     — for scripts that just started the daemon. *)
 
+val metrics : conn -> (Pi_campaign.Telemetry.json, string) result
+(** [GET /metrics.json] — a live daemon's scrape, the feed for
+    [interferometry stats --url]. *)
+
+val timeseries : conn -> (Pi_campaign.Telemetry.json, string) result
+(** [GET /api/timeseries] — the flight recorder's ring buffers. *)
+
+val trace : conn -> id:string -> (string, string) result
+(** [GET /api/jobs/:id/trace] — the job's Chrome trace-event JSON,
+    byte-exact (load it straight into Perfetto). *)
+
 val submit :
   ?client:string ->
   conn ->

@@ -3,6 +3,7 @@ module E = Interferometry.Experiment
 module Model = Interferometry.Model
 module Predict = Interferometry.Predict
 module Obs_cache = Pi_campaign.Obs_cache
+module Span = Pi_obs.Span
 module Linreg = Pi_stats.Linreg
 module C = Pi_uarch.Counters
 
@@ -216,12 +217,16 @@ let fit_of_observations ~bench (observations : E.observation array) =
   }
 
 let bench_doc ~bench ~config (observations : E.observation array) =
+  let fit =
+    Span.with_ ~cat:"serve" ~name:"job.fit" ~args:[ ("bench", bench) ] (fun () ->
+        fit_of_observations ~bench observations)
+  in
   J.Obj
     [
       ("bench", J.String bench);
       ("layouts", J.Int (Array.length observations));
       ("config_digest", J.String (Obs_cache.config_digest config));
-      ("fit", fit_json (fit_of_observations ~bench observations));
+      ("fit", fit_json fit);
       ("observations", J.List (Array.to_list (Array.map observation_json observations)));
     ]
 
@@ -244,7 +249,10 @@ let evaluation_json (e : Predict.evaluation) =
    resumes from what already reached the cache. *)
 let observations_for ~cache ~config ~layouts bench_name =
   let bench = Pi_workloads.Spec.find bench_name in
-  let cached = Obs_cache.load cache ~bench:bench_name ~config in
+  let cached =
+    Span.with_ ~cat:"serve" ~name:"job.cache" ~args:[ ("bench", bench_name) ]
+      (fun () -> Obs_cache.load cache ~bench:bench_name ~config)
+  in
   let by_seed = Hashtbl.create (Array.length cached) in
   Array.iter (fun o -> Hashtbl.replace by_seed o.E.layout_seed o) cached;
   let missing =
@@ -252,15 +260,18 @@ let observations_for ~cache ~config ~layouts bench_name =
       (fun seed -> not (Hashtbl.mem by_seed seed))
       (List.init layouts (fun i -> i + 1))
   in
-  if missing <> [] then begin
-    let prepared = E.prepare ~config bench in
-    List.iter
-      (fun seed ->
-        let obs = E.observe_seed prepared seed in
-        Obs_cache.store cache ~bench:bench_name ~config [| obs |];
-        Hashtbl.replace by_seed seed obs)
-      missing
-  end;
+  if missing <> [] then
+    Span.with_ ~cat:"serve" ~name:"job.replay"
+      ~args:
+        [ ("bench", bench_name); ("missing", string_of_int (List.length missing)) ]
+      (fun () ->
+        let prepared = E.prepare ~config bench in
+        List.iter
+          (fun seed ->
+            let obs = E.observe_seed prepared seed in
+            Obs_cache.store cache ~bench:bench_name ~config [| obs |];
+            Hashtbl.replace by_seed seed obs)
+          missing);
   Array.init layouts (fun i -> Hashtbl.find by_seed (i + 1))
 
 let run_measure ~cache p =

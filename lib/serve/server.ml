@@ -1,5 +1,7 @@
 module J = Pi_campaign.Telemetry
 module Metrics = Pi_obs.Metrics
+module Span = Pi_obs.Span
+module Timeseries = Pi_obs.Timeseries
 module Obs_cache = Pi_campaign.Obs_cache
 module Queue = Pi_campaign.Scheduler.Queue
 
@@ -16,7 +18,8 @@ let m_requests =
         Metrics.counter ~help:"HTTP requests served, by route"
           ~labels:[ ("endpoint", endpoint) ] "pi_serve_http_requests_total" ))
     [ "/healthz"; "/readyz"; "/metrics"; "/metrics.json"; "/stats"; "/api/jobs";
-      "/api/jobs/:id"; "/api/jobs/:id/result"; "*unmatched*"; "*bad-request*" ]
+      "/api/jobs/:id"; "/api/jobs/:id/result"; "/api/jobs/:id/trace";
+      "/api/timeseries"; "*unmatched*"; "*bad-request*" ]
 
 let count_request endpoint =
   match List.assoc_opt endpoint m_requests with
@@ -57,6 +60,14 @@ let m_queue_depth =
 let m_inflight =
   Metrics.gauge ~help:"jobs currently executing" "pi_serve_jobs_inflight"
 
+let m_traces =
+  Metrics.counter ~help:"per-job traces captured by the flight recorder"
+    "pi_serve_job_traces_total"
+
+let m_traces_evicted =
+  Metrics.counter ~help:"per-job traces evicted from the bounded LRU"
+    "pi_serve_job_traces_evicted_total"
+
 (* ------------------------------------------------------------------ *)
 (* State                                                              *)
 
@@ -65,9 +76,21 @@ type options = {
   port : int;
   queue_capacity : int;
   workers : int;
+  scrape_interval : float;
+  trace_jobs : bool;
+  trace_capacity : int;
 }
 
-let default_options ~state_dir = { state_dir; port = 0; queue_capacity = 64; workers = 1 }
+let default_options ~state_dir =
+  {
+    state_dir;
+    port = 0;
+    queue_capacity = 64;
+    workers = 1;
+    scrape_interval = 1.0;
+    trace_jobs = true;
+    trace_capacity = 32;
+  }
 
 type job_state = Queued | Running | Done | Failed of string
 
@@ -77,6 +100,7 @@ type job = {
   params : Jobs.params;
   client : string;
   mutable state : job_state;
+  mutable enqueued_at : float; (* monotonic; queue-delay span in the trace *)
 }
 
 type t = {
@@ -89,6 +113,10 @@ type t = {
   jobs : (string, job) Hashtbl.t;  (* key -> job *)
   mutable order : string list;  (* keys, newest first *)
   queue : job Queue.t;
+  timeseries : Pi_obs.Timeseries.t;
+  mutable stop_sampler : (unit -> unit) option;
+  traces_mutex : Mutex.t;
+  mutable traces : (string * string) list; (* job id -> Chrome JSON, newest first *)
   stopping : bool Atomic.t;
   mutable threads : Thread.t list;
   mutable stopped : bool;
@@ -163,6 +191,55 @@ let finish_job t job result =
       Mutex.protect t.table_mutex (fun () -> job.state <- Failed msg));
   Metrics.gauge_add m_inflight (-1.0)
 
+(* Bounded LRU of completed-job traces: an assoc list newest-first,
+   truncated to [trace_capacity]. Traces are a post-hoc debugging
+   side-channel — result documents stay deterministic, timings live only
+   here. *)
+let store_trace t id trace_json =
+  Mutex.protect t.traces_mutex (fun () ->
+      let rest = List.remove_assoc id t.traces in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 ->
+            Metrics.inc m_traces_evicted;
+            []
+        | x :: tl -> x :: take (n - 1) tl
+      in
+      t.traces <- (id, trace_json) :: take (t.options.trace_capacity - 1) rest);
+  Metrics.inc m_traces
+
+let find_trace t id =
+  Mutex.protect t.traces_mutex (fun () -> List.assoc_opt id t.traces)
+
+let traced_execute t job =
+  let collector = Span.collector () in
+  let started = Pi_obs.Clock.now () in
+  let queue_delay = Float.max 0.0 (started -. job.enqueued_at) in
+  let result =
+    Span.with_collector collector (fun () ->
+        Span.with_ ~cat:"serve" ~name:"job"
+          ~args:
+            [ ("id", job.id); ("kind", Jobs.kind_name job.params.Jobs.kind);
+              ("client", job.client) ]
+          (fun () -> Jobs.execute ~cache:t.cache job.params))
+  in
+  (* The queue wait is reconstructed as a synthetic span preceding the
+     execution — it happened on no worker thread, so no [with_] saw it. *)
+  Span.add_event collector
+    {
+      Span.name = "job.queued";
+      cat = "serve";
+      ts = started -. queue_delay;
+      dur = queue_delay;
+      tid = (Domain.self () :> int);
+      depth = 0;
+      alloc_bytes = 0.0;
+      args = [ ("id", job.id) ];
+    };
+  store_trace t job.id
+    (Span.events_to_chrome_json (Span.collector_events collector));
+  result
+
 let worker t () =
   let rec loop () =
     match Queue.dequeue t.queue with
@@ -170,7 +247,11 @@ let worker t () =
     | Some job ->
         Mutex.protect t.table_mutex (fun () -> job.state <- Running);
         Metrics.gauge_add m_inflight 1.0;
-        finish_job t job (Jobs.execute ~cache:t.cache job.params);
+        let result =
+          if t.options.trace_jobs then traced_execute t job
+          else Jobs.execute ~cache:t.cache job.params
+        in
+        finish_job t job result;
         loop ()
   in
   loop ()
@@ -238,7 +319,7 @@ let handle_submit t (req : Http.request) =
                     else begin
                       let job =
                         { id = Jobs.id_of_key key; jkey = key; params; client;
-                          state = Queued }
+                          state = Queued; enqueued_at = Pi_obs.Clock.now () }
                       in
                       (* WAL before dispatch: the record is fsync-durable
                          before the job is queued or the client answered. *)
@@ -335,6 +416,25 @@ let routes t =
         match find_job t id with
         | Some job -> Router.json 200 (job_json job)
         | None -> Router.error 404 (Printf.sprintf "no job %s" id));
+    Router.get "/api/timeseries" (fun _ _ ->
+        {
+          Http.code = 200;
+          content_type = "application/json";
+          body = Timeseries.to_json t.timeseries;
+        });
+    Router.get "/api/jobs/:id/trace" (fun params _ ->
+        let id = List.assoc "id" params in
+        match find_trace t id with
+        | Some trace -> { Http.code = 200; content_type = "application/json"; body = trace }
+        | None -> (
+            match find_job t id with
+            | None -> Router.error 404 (Printf.sprintf "no job %s" id)
+            | Some _ ->
+                Router.error 404
+                  (Printf.sprintf
+                     "no trace for job %s (tracing disabled, job not executed \
+                      this boot, or trace evicted)"
+                     id)));
     Router.get "/api/jobs/:id/result" (fun params _ ->
         let id = List.assoc "id" params in
         match find_job t id with
@@ -417,7 +517,7 @@ let replay_ledger t (replay : Ledger.replay) =
                     in
                     let job =
                       { id = Jobs.id_of_key key; jkey = key; params; client;
-                        state = Queued }
+                        state = Queued; enqueued_at = Pi_obs.Clock.now () }
                     in
                     Hashtbl.replace t.jobs key job;
                     t.order <- key :: t.order
@@ -451,6 +551,7 @@ let replay_ledger t (replay : Ledger.replay) =
           end
           else begin
             Metrics.inc m_recovered;
+            job.enqueued_at <- Pi_obs.Clock.now ();
             ignore (Queue.enqueue ~client:job.client ~force:true t.queue job : bool)
           end
       | _ -> ())
@@ -498,6 +599,10 @@ let start options =
         Queue.create ~capacity:options.queue_capacity
           ~on_depth:(fun d -> Metrics.set m_queue_depth (float_of_int d))
           ();
+      timeseries = Timeseries.create ();
+      stop_sampler = None;
+      traces_mutex = Mutex.create ();
+      traces = [];
       stopping = Atomic.make false;
       threads = [];
       stopped = false;
@@ -505,6 +610,12 @@ let start options =
   in
   replay_ledger t replay;
   write_port_file t;
+  if options.scrape_interval > 0.0 then
+    t.stop_sampler <-
+      Some
+        (Timeseries.sampler ~interval:options.scrape_interval
+           ~on_tick:(fun () -> ignore (Obs_cache.update_gauges t.cache : Obs_cache.stats))
+           t.timeseries);
   let workers = List.init options.workers (fun _ -> Thread.create (worker t) ()) in
   let acceptor = Thread.create (accept_loop t) () in
   t.threads <- acceptor :: workers;
@@ -518,6 +629,7 @@ let stop t =
        exit; the acceptor notices [stopping] within its select timeout. *)
     Queue.close t.queue;
     List.iter Thread.join t.threads;
+    Option.iter (fun stop -> stop ()) t.stop_sampler;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     Ledger.close t.ledger
   end

@@ -22,6 +22,16 @@
     - [GET /api/jobs] — list jobs
     - [GET /api/jobs/:id] — one job's status
     - [GET /api/jobs/:id/result] — the result document ([409] until done)
+    - [GET /api/jobs/:id/trace] — the job's Chrome trace-event JSON
+      (queue delay + execution phases; [404] if tracing is off, the job
+      has not executed this boot, or the trace was evicted from the
+      bounded LRU)
+    - [GET /api/timeseries] — the flight recorder's
+      {!Pi_obs.Timeseries} store as JSON, fed by a background scrape
+      loop every [scrape_interval] seconds
+
+    Traces and time series are a post-hoc side-channel: result
+    documents stay deterministic, timings never leak into them.
 
     Admission and fairness ride on {!Pi_campaign.Scheduler.Queue} — the
     same bounded-queue code path CLI campaigns drain through. Submissions
@@ -35,10 +45,16 @@ type options = {
   port : int;  (** 0 picks an ephemeral port (recorded in [serve.json]) *)
   queue_capacity : int;  (** admission bound; full queue answers 429 *)
   workers : int;  (** job worker threads *)
+  scrape_interval : float;
+      (** seconds between flight-recorder scrapes; [<= 0] disables the
+          background scrape loop *)
+  trace_jobs : bool;  (** capture a per-job span trace on every execution *)
+  trace_capacity : int;  (** completed-job traces kept in the LRU *)
 }
 
 val default_options : state_dir:string -> options
-(** Port 0, capacity 64, 1 worker. *)
+(** Port 0, capacity 64, 1 worker; recorder on — 1 s scrapes, traces
+    kept for the last 32 jobs. *)
 
 type t
 

@@ -10,4 +10,5 @@ let () =
    @ Test_plot.suite @ Test_extensions.suite @ Test_characters.suite
    @ Test_analysis.suite @ Test_fuzz.suite @ Test_reproduction.suite
    @ Test_campaign.suite @ Test_resilience.suite @ Test_obs.suite
+   @ Test_flight.suite
    @ Test_serve.suite)

@@ -207,6 +207,159 @@ let test_prometheus_parses_line_by_line () =
   Alcotest.(check bool) "label value escaped" true
     (has "test_obs_prom_total{q=\"a\\\"b\"} 3")
 
+(* A strict exposition-format parser: every line of the scrape must
+   match the grammar exactly (names, label escaping, float values), and
+   every sample parsed back must agree with the registry it came from —
+   so any exposition bug fails here, not in a real Prometheus server.
+   Runs over EVERY registered metric, whichever suites ran first. *)
+
+let strict_parse_exposition text =
+  let fail fmt = Printf.ksprintf (fun msg -> Alcotest.fail msg) fmt in
+  (* name ( "{" k="v" ("," k="v")* "}" )? " " value *)
+  let parse_name line pos =
+    let start = !pos in
+    while !pos < String.length line && is_metric_char line.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "no metric name at %d in: %s" start line;
+    String.sub line start (!pos - start)
+  in
+  let parse_label_value line pos =
+    (* double-quoted, with backslash, quote and newline escapes *)
+    if line.[!pos] <> '"' then fail "label value must open with a quote: %s" line;
+    incr pos;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= String.length line then fail "unterminated label value: %s" line;
+      match line.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          (if !pos + 1 >= String.length line then fail "dangling escape: %s" line);
+          (match line.[!pos + 1] with
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | 'n' -> Buffer.add_char buf '\n'
+          | c -> fail "invalid escape \\%c in: %s" c line);
+          pos := !pos + 2;
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_sample line =
+    let pos = ref 0 in
+    let name = parse_name line pos in
+    let labels =
+      if !pos < String.length line && line.[!pos] = '{' then begin
+        incr pos;
+        let rec go acc =
+          let k = parse_name line pos in
+          if line.[!pos] <> '=' then fail "label without '=': %s" line;
+          incr pos;
+          let v = parse_label_value line pos in
+          match line.[!pos] with
+          | ',' ->
+              incr pos;
+              go ((k, v) :: acc)
+          | '}' ->
+              incr pos;
+              List.rev ((k, v) :: acc)
+          | c -> fail "unexpected %C after label in: %s" c line
+        in
+        go []
+      end
+      else []
+    in
+    if !pos >= String.length line || line.[!pos] <> ' ' then
+      fail "sample needs a single space before the value: %s" line;
+    incr pos;
+    let value_str = String.sub line !pos (String.length line - !pos) in
+    let value =
+      match value_str with
+      | "+Inf" -> Float.infinity
+      | s -> (
+          match float_of_string_opt s with
+          | Some v -> v
+          | None -> fail "unparsable sample value %S in: %s" s line)
+    in
+    (name, labels, value)
+  in
+  List.filter_map
+    (fun line ->
+      if line = "" then None
+      else if line.[0] = '#' then begin
+        (* Comments must be exactly "# HELP name text" / "# TYPE name t". *)
+        (match String.split_on_char ' ' line with
+        | "#" :: ("HELP" | "TYPE") :: name :: _ :: _ ->
+            if not (String.for_all is_metric_char name) then
+              fail "bad metric name in comment: %s" line
+        | _ -> fail "malformed comment line: %s" line);
+        None
+      end
+      else Some (parse_sample line))
+    (String.split_on_char '\n' text)
+
+let test_prometheus_conformance_roundtrip () =
+  (* Ensure at least one of each kind with awkward label values exists. *)
+  let c = Metrics.counter ~labels:[ ("path", "a\\b\"c\nd") ] "test_obs_conf_total" in
+  Metrics.add c 7;
+  let g = Metrics.gauge "test_obs_conf_ratio" in
+  Metrics.set g 0.1234567890123;
+  let h = Metrics.histogram ~buckets:[| 0.25; 0.5 |] "test_obs_conf_seconds" in
+  Metrics.observe h 0.3;
+  Metrics.observe h 99.0;
+  let parsed = strict_parse_exposition (Metrics.to_prometheus ()) in
+  let lookup name labels =
+    match
+      List.find_opt (fun (n, l, _) -> n = name && l = labels) parsed
+    with
+    | Some (_, _, v) -> v
+    | None -> Alcotest.failf "scraped sample %s missing from exposition" name
+  in
+  (* Round-trip every registered metric, whatever other suites created. *)
+  List.iter
+    (fun (s : Metrics.sample) ->
+      match s.Metrics.value with
+      | Metrics.Counter n ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "counter %s round-trips" s.Metrics.name)
+            (float_of_int n)
+            (lookup s.Metrics.name s.Metrics.labels)
+      | Metrics.Gauge v ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "gauge %s round-trips exactly" s.Metrics.name)
+            v
+            (lookup s.Metrics.name s.Metrics.labels)
+      | Metrics.Histogram hs ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s_count round-trips" s.Metrics.name)
+            (float_of_int hs.Metrics.count)
+            (lookup (s.Metrics.name ^ "_count") s.Metrics.labels);
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "%s_sum round-trips" s.Metrics.name)
+            hs.Metrics.sum
+            (lookup (s.Metrics.name ^ "_sum") s.Metrics.labels);
+          (* Buckets export cumulatively; +Inf equals _count. *)
+          let cumulative = ref 0 in
+          Array.iteri
+            (fun i bound ->
+              cumulative := !cumulative + hs.Metrics.bucket_counts.(i);
+              Alcotest.(check (float 0.0))
+                (Printf.sprintf "%s le=%g cumulative" s.Metrics.name bound)
+                (float_of_int !cumulative)
+                (lookup (s.Metrics.name ^ "_bucket")
+                   (s.Metrics.labels @ [ ("le", Metrics.float_repr bound) ])))
+            hs.Metrics.bounds;
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s le=+Inf is the count" s.Metrics.name)
+            (float_of_int hs.Metrics.count)
+            (lookup (s.Metrics.name ^ "_bucket") (s.Metrics.labels @ [ ("le", "+Inf") ])))
+    (Metrics.scrape ())
+
 (* ---------------- Chrome trace JSON ---------------- *)
 
 (* A deliberately strict micro JSON parser: accepts exactly the grammar,
@@ -485,6 +638,8 @@ let suite =
           test_span_nesting_and_ordering;
         Alcotest.test_case "prometheus: output parses line by line" `Quick
           test_prometheus_parses_line_by_line;
+        Alcotest.test_case "prometheus: strict-parser round-trip, every metric" `Quick
+          test_prometheus_conformance_roundtrip;
         Alcotest.test_case "chrome trace: valid JSON with complete events" `Quick
           test_chrome_trace_is_valid_json;
         Alcotest.test_case "log: levels, fields, suppressed counting" `Quick

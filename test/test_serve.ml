@@ -362,6 +362,121 @@ let test_server_replay_dedups_submits () =
           | Ok (code, _) -> Alcotest.failf "stats returned %d" code
           | Error msg -> Alcotest.failf "stats failed: %s" msg))
 
+let test_server_flight_recorder () =
+  (* Forge a submit-only WAL (no done record): boot replay re-enqueues
+     and actually executes the job, so its span trace is captured this
+     boot — the restart-replay path the flight recorder must cover. *)
+  let state_dir = tmp_dir () in
+  let params =
+    match
+      J.parse {|{"kind":"measure","bench":"429.mcf","layouts":4,"quick":true}|}
+    with
+    | Ok json -> (
+        match Jobs.parse json with
+        | Ok p -> p
+        | Error msg -> Alcotest.failf "params: %s" msg)
+    | Error msg -> Alcotest.failf "json: %s" msg
+  in
+  let ledger, _ = Ledger.open_ ~path:(Filename.concat state_dir "ledger.wal") in
+  Ledger.append ledger
+    (J.Obj
+       [
+         ("record", J.String "submit");
+         ("key", J.String (Jobs.key params));
+         ("client", J.String "anon");
+         ("params", Jobs.canonical params);
+       ]);
+  Ledger.close ledger;
+  let id = Jobs.id_of_key (Jobs.key params) in
+  let options =
+    { (Server.default_options ~state_dir) with Server.scrape_interval = 0.05 }
+  in
+  let get conn path =
+    Http.request ~host:conn.Client.host ~port:conn.Client.port ~meth:"GET" ~path ()
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let server = Server.start options in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let conn = { Client.host = "127.0.0.1"; port = Server.port server } in
+      (match Client.wait_ready conn with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "daemon not ready: %s" msg);
+      (match Client.wait_job ~timeout:120.0 conn ~id with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "replayed job did not run: %s" msg);
+      (* The job executed this boot, so its trace is retrievable and is
+         valid Chrome trace-event JSON with the expected span skeleton. *)
+      (match Client.trace conn ~id with
+      | Error msg -> Alcotest.failf "trace fetch failed: %s" msg
+      | Ok body ->
+          (match J.parse body with
+          | Ok (J.Obj fields) -> (
+              match List.assoc_opt "traceEvents" fields with
+              | Some (J.List (_ :: _)) -> ()
+              | _ -> Alcotest.fail "trace has no events")
+          | _ -> Alcotest.fail "trace is not a JSON object");
+          List.iter
+            (fun span ->
+              Alcotest.(check bool) (span ^ " span present") true
+                (contains body (Printf.sprintf "%S" span)))
+            [ "job"; "job.queued"; "job.replay"; "job.fit" ]);
+      (* Unknown job ids and present jobs are distinguishable. *)
+      (match get conn "/api/jobs/j-000000000000/trace" with
+      | Ok (404, body) ->
+          Alcotest.(check bool) "unknown id says no job" true (contains body "no job")
+      | Ok (code, _) -> Alcotest.failf "unknown trace returned %d" code
+      | Error msg -> Alcotest.failf "unknown trace failed: %s" msg);
+      (* The background sampler has been scraping all along. *)
+      Unix.sleepf 0.15;
+      match get conn "/api/timeseries" with
+      | Ok (200, body) -> (
+          match J.parse body with
+          | Ok (J.Obj fields) -> (
+              match List.assoc_opt "series" fields with
+              | Some (J.List (_ :: _ as series)) ->
+                  let has_points =
+                    List.exists
+                      (function
+                        | J.Obj sf -> (
+                            match List.assoc_opt "points" sf with
+                            | Some (J.List (_ :: _ :: _)) -> true
+                            | _ -> false)
+                        | _ -> false)
+                      series
+                  in
+                  Alcotest.(check bool) "some series has multiple points" true has_points
+              | _ -> Alcotest.fail "timeseries carries no series")
+          | _ -> Alcotest.fail "timeseries unparsable")
+      | Ok (code, _) -> Alcotest.failf "timeseries returned %d" code
+      | Error msg -> Alcotest.failf "timeseries failed: %s" msg);
+  (* Restart: replay finds the persisted result, the job is done without
+     executing, and the in-memory trace is gone — documented 404. *)
+  let server = Server.start options in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let conn = { Client.host = "127.0.0.1"; port = Server.port server } in
+      (match Client.wait_ready conn with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "restarted daemon not ready: %s" msg);
+      (match Client.status conn ~id with
+      | Ok (J.Obj fields) ->
+          Alcotest.(check bool) "job replayed as done" true
+            (List.assoc_opt "status" fields = Some (J.String "done"))
+      | Ok _ | Error _ -> Alcotest.fail "status after restart failed");
+      match get conn (Printf.sprintf "/api/jobs/%s/trace" id) with
+      | Ok (404, body) ->
+          Alcotest.(check bool) "404 explains the trace is boot-local" true
+            (contains body "not executed this boot")
+      | Ok (code, _) -> Alcotest.failf "restart trace returned %d" code
+      | Error msg -> Alcotest.failf "restart trace failed: %s" msg)
+
 let suite =
   [
     ( "serve.ledger",
@@ -393,5 +508,7 @@ let suite =
           test_server_roundtrip;
         Alcotest.test_case "duplicate WAL submits collapse onto one job" `Quick
           test_server_replay_dedups_submits;
+        Alcotest.test_case "flight recorder: timeseries + trace across restart" `Quick
+          test_server_flight_recorder;
       ] );
   ]

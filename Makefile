@@ -2,7 +2,7 @@
 
 CLI = dune exec bin/interferometry_cli.exe --
 
-.PHONY: all check test build campaign-smoke perf perf-smoke obs-smoke resilience-smoke sweep-smoke cache-sweep-smoke serve-smoke history-smoke clean
+.PHONY: all check test build campaign-smoke perf perf-smoke obs-smoke resilience-smoke sweep-smoke cache-sweep-smoke serve-smoke history-smoke bundle-smoke clean
 
 all: build
 
@@ -22,6 +22,7 @@ check:
 	$(MAKE) resilience-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) history-smoke
+	$(MAKE) bundle-smoke
 
 # Full pipeline + fused-sweep + flight-recorder microbenchmarks; writes
 # BENCH_pipeline.json, BENCH_sweep.json, BENCH_cache_sweep.json and
@@ -122,7 +123,34 @@ history-smoke:
 	! $(CLI) compare _history-smoke/base.json _history-smoke/slow.json
 	@echo "history-smoke OK: self-compare clean, injected regression caught"
 
+# Distributed campaigns + content-addressed run bundles, end to end.
+# Leg 1: a 2-worker campaign and a 1-worker campaign must leave
+# bit-identical cache CSVs and bundle outputs (the --workers N invariant).
+# Leg 2: the bundle must verify, replay byte-for-byte from its pinned
+# inputs, and self-diff clean. Leg 3: one flipped byte in a pinned input
+# must fail `bundle verify`, and a forged metric collapse must make
+# `bundle diff` exit non-zero. Deterministic by construction.
+bundle-smoke:
+	dune build bin/interferometry_cli.exe
+	rm -rf _bundle-smoke && mkdir -p _bundle-smoke
+	$(CLI) campaign --quick --bench 429.mcf --layouts 6 --workers 2 \
+	  --cache-dir _bundle-smoke/w2 --bundle _bundle-smoke/b2
+	$(CLI) campaign --quick --bench 429.mcf --layouts 6 --workers 1 \
+	  --cache-dir _bundle-smoke/w1 --bundle _bundle-smoke/b1
+	cmp _bundle-smoke/w1/429.mcf.*.csv _bundle-smoke/w2/429.mcf.*.csv
+	cmp _bundle-smoke/b1/outputs/429.mcf.csv _bundle-smoke/b2/outputs/429.mcf.csv
+	$(CLI) bundle verify _bundle-smoke/b2
+	$(CLI) bundle replay _bundle-smoke/b2 --out _bundle-smoke/b2.replay --workers 2
+	cmp _bundle-smoke/b2/outputs/429.mcf.csv _bundle-smoke/b2.replay/outputs/429.mcf.csv
+	$(CLI) bundle diff _bundle-smoke/b2 _bundle-smoke/b2
+	cp -r _bundle-smoke/b2 _bundle-smoke/forged
+	printf x | dd of=_bundle-smoke/forged/inputs/config.json bs=1 seek=3 conv=notrunc status=none
+	! $(CLI) bundle verify _bundle-smoke/forged
+	sed -i 's/"failed_jobs":[0-9.eE+-]*/"failed_jobs":5/' _bundle-smoke/forged/MANIFEST.json
+	! $(CLI) bundle diff _bundle-smoke/b2 _bundle-smoke/forged
+	@echo "bundle-smoke OK: workers bit-identical, replay byte-for-byte, forgeries caught"
+
 clean:
 	dune clean
 	rm -rf _campaign-cache _obs-smoke _resilience-smoke _serve-smoke _serve \
-	  _history-smoke history.jsonl
+	  _history-smoke _bundle-smoke history.jsonl

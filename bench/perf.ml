@@ -13,9 +13,12 @@
    `make perf` passes 3), PI_RECORDER_SCALE (default PI_SWEEP_SCALE),
    PI_RECORDER_OUT (default BENCH_recorder.json; "-" to skip),
    PI_RECORDER_GATE (maximum flight-recorder overhead percent, default 0
-   = no gate; `make perf` passes 5) and PI_HISTORY_OUT (run-history
+   = no gate; `make perf` passes 5), PI_HISTORY_OUT (run-history
    ledger every result is appended to, default history.jsonl; "-" to
-   skip — perf-smoke does).
+   skip — perf-smoke does) and PI_BUNDLE_OUT (a content-addressed run
+   bundle pinning every BENCH_*.json artifact written this run, with the
+   combined metric bag for `interferometry bundle diff`; default "-" =
+   skip).
 
    Exits nonzero when replay counts diverge from the legacy path, replay is
    slower than legacy, either fused sweep diverges from its sequential
@@ -106,6 +109,51 @@ let () =
       (Interferometry.Perf_bench.recorder_history_metrics rc);
     Printf.printf "appended 4 records to %s\n" history_out
   end;
+  (match Sys.getenv_opt "PI_BUNDLE_OUT" with
+  | None | Some "" | Some "-" -> ()
+  | Some dir ->
+      (* Pin this run's JSON artifacts so two perf runs can be verified and
+         diffed bundle-to-bundle; metric names are prefixed per benchmark
+         so the four bags coexist in one manifest. *)
+      let outputs =
+        List.filter_map
+          (fun path ->
+            if path = "-" then None
+            else
+              Some
+                ( Filename.basename path,
+                  In_channel.with_open_bin path In_channel.input_all ))
+          [ out; sweep_out; cache_sweep_out; recorder_out ]
+      in
+      let prefix p metrics = List.map (fun (k, v) -> (p ^ "_" ^ k, v)) metrics in
+      let metrics =
+        prefix "pipeline" (Interferometry.Perf_bench.history_metrics r)
+        @ prefix "sweep" (Interferometry.Perf_bench.sweep_history_metrics s)
+        @ prefix "cache_sweep"
+            (Interferometry.Perf_bench.cache_sweep_history_metrics c)
+        @ prefix "recorder"
+            (Interferometry.Perf_bench.recorder_history_metrics rc)
+      in
+      let module J = Pi_campaign.Telemetry in
+      let config_args =
+        [
+          ("bench", J.String bench);
+          ("scale", J.Int scale);
+          ("sweep_scale", J.Int sweep_scale);
+          ("layouts", J.Int layouts);
+        ]
+      in
+      let config_digest =
+        Digest.to_hex
+          (Digest.string (Pi_campaign.Bundle.canonical_string (J.Obj config_args)))
+      in
+      let manifest =
+        Pi_campaign.Bundle.write ~dir ~kind:"perf" ~label:bench ~config_digest
+          ~config_args ~benches:[ bench ] ~n_layouts:layouts ~workers:1
+          ~created_at:(Unix.time ()) ~metrics ~inputs:[] ~outputs ()
+      in
+      Printf.printf "bundle: %s (%d pinned artifacts)\n" dir
+        (List.length manifest.Pi_campaign.Bundle.artifacts));
   if not r.Interferometry.Perf_bench.identical then begin
     prerr_endline "FAIL: replay counts differ from the legacy pipeline";
     exit 1

@@ -366,7 +366,14 @@ let sweep_cmd =
                    fit quality) to $(docv) — the ledger $(b,interferometry \
                    history) and $(b,compare) read.")
   in
-  let run bench seed scale jobs axis check history metrics_out trace_out =
+  let bundle_term =
+    Arg.(value & opt (some string) None
+         & info [ "bundle" ] ~docv:"DIR"
+             ~doc:"Emit a content-addressed run bundle (canonical-JSON manifest, \
+                   SHA-256-pinned inputs, the study CSV) under $(docv); check it \
+                   with $(b,interferometry bundle verify|diff).")
+  in
+  let run bench seed scale jobs axis check history bundle metrics_out trace_out =
     with_obs ~metrics_out ~trace_out @@ fun () ->
     if jobs < 1 then begin
       Printf.eprintf "sweep: --jobs must be >= 1 (got %d)\n" jobs;
@@ -389,6 +396,72 @@ let sweep_cmd =
         history
     in
     let t0 = Unix.gettimeofday () in
+    (* Sweep bundles pin the same inputs a campaign bundle does (config
+       knobs + program/trace fingerprints) and one study CSV as output. *)
+    let emit_bundle ~axis_label ~metrics ~csv =
+      Option.iter
+        (fun dir ->
+          let module B = Pi_campaign.Bundle in
+          let module JT = Pi_campaign.Telemetry in
+          let bench_name = bench.Pi_workloads.Bench.name in
+          let digest = Pi_campaign.Obs_cache.config_digest config in
+          let config_args =
+            [
+              ("quick", JT.Bool false);
+              ("seed", JT.Int seed);
+              ("scale", JT.Int config.E.scale);
+              ("heap_random", JT.Bool false);
+            ]
+          in
+          let config_json =
+            B.canonical_string
+              (JT.Obj
+                 [
+                   ("config_args", JT.Obj config_args);
+                   ("config_digest", JT.String digest);
+                   ("axis", JT.String axis_label);
+                   ("benches", JT.List [ JT.String bench_name ]);
+                 ])
+            ^ "\n"
+          in
+          let fingerprint =
+            B.canonical_string
+              (JT.Obj
+                 [
+                   ("bench", JT.String bench_name);
+                   ("warmup_blocks", JT.Int prepared.E.warmup_blocks);
+                   ( "blocks_executed",
+                     JT.Int (Pi_isa.Trace.blocks_executed prepared.E.trace) );
+                   ( "program_sha256",
+                     JT.String
+                       (Pi_campaign.Sha256.string
+                          (Pi_isa.Program.static_stats prepared.E.program)) );
+                   ( "trace_sha256",
+                     JT.String
+                       (Pi_campaign.Sha256.string (Pi_isa.Trace.summary prepared.E.trace))
+                   );
+                 ])
+            ^ "\n"
+          in
+          let bm =
+            B.write ~dir ~kind:"sweep"
+              ~label:(bench_name ^ "/" ^ axis_label)
+              ~config_digest:digest ~config_args ~benches:[ bench_name ] ~n_layouts:1
+              ~workers:1 ~created_at:t0 ~metrics
+              ~inputs:
+                [
+                  ("config.json", config_json);
+                  ( Pi_campaign.Obs_cache.sanitize_bench_name bench_name
+                    ^ ".fingerprint.json",
+                    fingerprint );
+                ]
+              ~outputs:[ ("study.csv", csv) ]
+              ()
+          in
+          Printf.printf "bundle: %s (%d pinned artifacts)\n" dir
+            (List.length bm.B.artifacts))
+        bundle
+    in
     match axis with
     | `Predictor ->
         let s =
@@ -411,7 +484,7 @@ let sweep_cmd =
           s.Pi_uarch.Sweep.ltage_error_percent;
         (let elapsed = Unix.gettimeofday () -. t0 in
          let configs = s.Pi_uarch.Sweep.fused_lanes + s.Pi_uarch.Sweep.fallback_lanes in
-         append_history ~axis_label:"predictor"
+         let metrics =
            [
              ("wall_seconds", elapsed);
              ( "sweep_configs_per_sec",
@@ -419,7 +492,21 @@ let sweep_cmd =
              ("r_squared", s.Pi_uarch.Sweep.regression.Linreg.r_squared);
              ("perfect_error_percent", s.Pi_uarch.Sweep.perfect_error_percent);
              ("ltage_error_percent", s.Pi_uarch.Sweep.ltage_error_percent);
-           ]);
+           ]
+         in
+         append_history ~axis_label:"predictor" metrics;
+         let csv =
+           let buf = Buffer.create 4096 in
+           Buffer.add_string buf "config,mpki,cpi\n";
+           Array.iter
+             (fun (p : Pi_uarch.Sweep.point) ->
+               Buffer.add_string buf
+                 (Printf.sprintf "%s,%.17g,%.17g\n" p.Pi_uarch.Sweep.config_name
+                    p.Pi_uarch.Sweep.mpki p.Pi_uarch.Sweep.cpi))
+             s.Pi_uarch.Sweep.points;
+           Buffer.contents buf
+         in
+         emit_bundle ~axis_label:"predictor" ~metrics ~csv);
         if check then begin
           let sequential =
             Pi_uarch.Sweep.run_study ~warmup_blocks:prepared.E.warmup_blocks ~fused:false
@@ -454,7 +541,7 @@ let sweep_cmd =
           seed_pt.Pi_uarch.Sweep.l1i_mpki seed_pt.Pi_uarch.Sweep.l2_mpki
           s.Pi_uarch.Sweep.predicted_seed_cpi s.Pi_uarch.Sweep.seed_error_percent;
         (let elapsed = Unix.gettimeofday () -. t0 in
-         append_history ~axis_label:"cache"
+         let metrics =
            [
              ("wall_seconds", elapsed);
              ( "sweep_configs_per_sec",
@@ -463,7 +550,22 @@ let sweep_cmd =
                else 0.0 );
              ("r_squared", s.Pi_uarch.Sweep.degradation.Pi_stats.Multireg.r_squared);
              ("seed_error_percent", s.Pi_uarch.Sweep.seed_error_percent);
-           ]);
+           ]
+         in
+         append_history ~axis_label:"cache" metrics;
+         let csv =
+           let buf = Buffer.create 4096 in
+           Buffer.add_string buf "geometry,l1i_mpki,l2_mpki,cpi\n";
+           Array.iter
+             (fun (p : Pi_uarch.Sweep.cache_point) ->
+               Buffer.add_string buf
+                 (Printf.sprintf "%s,%.17g,%.17g,%.17g\n" p.Pi_uarch.Sweep.geometry_name
+                    p.Pi_uarch.Sweep.l1i_mpki p.Pi_uarch.Sweep.l2_mpki
+                    p.Pi_uarch.Sweep.cache_cpi))
+             s.Pi_uarch.Sweep.cache_points;
+           Buffer.contents buf
+         in
+         emit_bundle ~axis_label:"cache" ~metrics ~csv);
         if check then begin
           let sequential =
             Pi_uarch.Sweep.run_cache_study ~warmup_blocks:prepared.E.warmup_blocks ~fused:false
@@ -486,7 +588,7 @@ let sweep_cmd =
        ~doc:"Fused configuration sweeps: the Section-3 predictor linearity study \
              (--axis predictor) or the cache-geometry degradation study (--axis cache).")
     Term.(const run $ bench_pos $ seed_term $ scale_term $ jobs_term $ axis_term $ check_term
-          $ history_term $ metrics_out_term $ trace_out_term)
+          $ history_term $ bundle_term $ metrics_out_term $ trace_out_term)
 
 let campaign_cmd =
   let suite_term =
@@ -567,6 +669,23 @@ let campaign_cmd =
                    history) and gate regressions with $(b,interferometry \
                    compare).")
   in
+  let workers_term =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Shard observation jobs across $(docv) spawned worker \
+                   processes (work-stealing over pipes; dead workers are \
+                   respawned and their jobs re-dispatched). Results are \
+                   bit-identical for any worker count. Default: in-process \
+                   domains only.")
+  in
+  let bundle_term =
+    Arg.(value & opt (some string) None
+         & info [ "bundle" ] ~docv:"DIR"
+             ~doc:"Emit a content-addressed run bundle under $(docv): a \
+                   canonical-JSON manifest plus SHA-256-pinned inputs and \
+                   output CSVs. Check it later with $(b,interferometry bundle \
+                   verify|replay|diff).")
+  in
   let resume_term =
     Arg.(value & opt (some string) None
          & info [ "resume" ] ~docv:"MANIFEST.json"
@@ -577,8 +696,8 @@ let campaign_cmd =
                    are ignored.")
   in
   let run suite benches jobs layouts seed scale heap_random quick cache_dir events_path
-      manifest_path deadline retries backoff fault_spec history resume metrics_out
-      trace_out =
+      manifest_path deadline retries backoff fault_spec history resume workers bundle
+      metrics_out trace_out =
     if layouts < 1 then begin
       Printf.eprintf "campaign: --layouts must be >= 1 (got %d)\n" layouts;
       exit 2
@@ -586,6 +705,11 @@ let campaign_cmd =
     (match jobs with
     | Some j when j < 1 ->
         Printf.eprintf "campaign: --jobs must be >= 1 (got %d)\n" j;
+        exit 2
+    | _ -> ());
+    (match workers with
+    | Some w when w < 1 ->
+        Printf.eprintf "campaign: --workers must be >= 1 (got %d)\n" w;
         exit 2
     | _ -> ());
     if retries < 0 then begin
@@ -624,14 +748,44 @@ let campaign_cmd =
           | Some path -> Pi_campaign.Telemetry.to_file path
           | None -> Pi_campaign.Telemetry.null
         in
+        (* --workers >= 2 moves observation jobs onto a pool of worker
+           processes; one scheduler domain per worker keeps the pool
+           saturated without oversubscribing it. --workers 1 is the
+           in-process baseline that every other worker count must match
+           bit for bit. *)
+        let n_workers = match workers with Some w when w >= 2 -> w | _ -> 0 in
+        let coordinator =
+          if n_workers >= 2 then
+            Some (Pi_campaign.Coordinator.create ~workers:n_workers ~config_args ())
+          else None
+        in
+        let observe = Option.map Pi_campaign.Coordinator.observe_hook coordinator in
+        let jobs =
+          match (jobs, coordinator) with
+          | Some j, _ -> Some j
+          | None, Some _ -> Some n_workers
+          | None, None -> None
+        in
         let result =
           Fun.protect
-            ~finally:(fun () -> Pi_campaign.Telemetry.close events)
+            ~finally:(fun () ->
+              Option.iter Pi_campaign.Coordinator.shutdown coordinator;
+              Pi_campaign.Telemetry.close events)
             (fun () ->
               Pi_campaign.Campaign.run ~config ?jobs ?cache_dir ~events ?deadline
                 ~retries ~backoff ?fault ?checkpoint_path:manifest_path ~config_args
-                ?label ~n_layouts benches)
+                ?label ?observe ~n_layouts benches)
         in
+        Option.iter
+          (fun dir ->
+            let bm =
+              Pi_campaign.Bundle.of_campaign ~dir
+                ~workers:(if n_workers >= 2 then n_workers else 1)
+                result
+            in
+            Printf.printf "bundle: %s (%d pinned artifacts)\n" dir
+              (List.length bm.Pi_campaign.Bundle.artifacts))
+          bundle;
         print_string (Pi_campaign.Manifest.summary_table result.Pi_campaign.Campaign.manifest);
         Option.iter
           (fun path ->
@@ -670,7 +824,6 @@ let campaign_cmd =
             Printf.eprintf "campaign: cannot resume: %s\n" msg;
             exit 2
         | Ok m ->
-            let module J = Pi_campaign.Telemetry in
             let benches =
               List.map
                 (fun (b : Pi_campaign.Manifest.bench_entry) ->
@@ -683,21 +836,10 @@ let campaign_cmd =
                 m.Pi_campaign.Manifest.benches
             in
             let args = m.Pi_campaign.Manifest.config_args in
-            let geti name default =
-              match List.assoc_opt name args with Some (J.Int i) -> i | _ -> default
-            in
-            let getb name =
-              match List.assoc_opt name args with Some (J.Bool b) -> b | _ -> false
-            in
-            let base = if getb "quick" then E.quick_config else E.default_config in
-            let config =
-              {
-                base with
-                E.master_seed = geti "seed" base.E.master_seed;
-                scale = geti "scale" base.E.scale;
-                heap_random = getb "heap_random";
-              }
-            in
+            (* The same decoder the campaign workers and bundle replay
+               use: one copy, so "same config_args" means "same digest"
+               everywhere. *)
+            let config = Pi_campaign.Coordinator.config_of_args args in
             let digest = Pi_campaign.Obs_cache.config_digest config in
             if digest <> m.Pi_campaign.Manifest.config_digest then begin
               Printf.eprintf
@@ -795,7 +937,8 @@ let campaign_cmd =
     Term.(const run $ suite_term $ benches_term $ jobs_term $ layouts_term $ seed_term
           $ campaign_scale_term $ heap_random_term $ quick_term $ cache_dir_term
           $ events_term $ manifest_term $ deadline_term $ retries_term $ backoff_term
-          $ fault_term $ history_term $ resume_term $ metrics_out_term $ trace_out_term)
+          $ fault_term $ history_term $ resume_term $ workers_term $ bundle_term
+          $ metrics_out_term $ trace_out_term)
 
 let stats_cmd =
   let ident (s : Metrics.sample) =
@@ -1364,6 +1507,263 @@ let compare_cmd =
          ])
     Term.(const run $ before_term $ after_term $ tolerance_term)
 
+(* ---- content-addressed run bundles -------------------------------- *)
+
+let bundle_cmd =
+  let module B = Pi_campaign.Bundle in
+  let dir_pos n docv doc = Arg.(required & pos n (some string) None & info [] ~docv ~doc) in
+  let print_problems (report : B.report) =
+    List.iter
+      (fun (p : B.problem) -> Printf.eprintf "  %s: %s\n" p.B.path p.B.reason)
+      report.B.problems
+  in
+  let verify_cmd =
+    let run dir =
+      match B.verify ~dir with
+      | Error msg ->
+          Printf.eprintf "bundle verify: %s\n" msg;
+          exit 2
+      | Ok (m, report) ->
+          if B.ok report then
+            Printf.printf "bundle %s: %s %s ok — %d files verified, %d artifacts pinned\n"
+              dir m.B.kind m.B.label report.B.checked (List.length m.B.artifacts)
+          else begin
+            Printf.eprintf "bundle verify: %s FAILED (%d problem(s))\n" dir
+              (List.length report.B.problems);
+            print_problems report;
+            exit 1
+          end
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Re-hash every pinned artifact of a bundle against its manifest and \
+               SHA256SUMS.txt; exit 1 on any mismatch.")
+      Term.(const run $ dir_pos 0 "BUNDLE" "Bundle directory to verify.")
+  in
+  let replay_cmd =
+    let out_term =
+      Arg.(value & opt (some string) None
+           & info [ "out" ] ~docv:"DIR"
+               ~doc:"Where to materialize the replay bundle (default: \
+                     $(b,BUNDLE.replay)).")
+    in
+    let jobs_term =
+      Arg.(value & opt (some int) None
+           & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Scheduler domains for the re-run.")
+    in
+    let workers_term =
+      Arg.(value & opt (some int) None
+           & info [ "workers" ] ~docv:"N"
+               ~doc:"Re-run on $(docv) worker processes (bit-identity makes this \
+                     immaterial to the comparison).")
+    in
+    let run dir out jobs workers =
+      (* Replay only a bundle that verifies: re-running from tampered
+         pinned inputs would "reproduce" garbage. *)
+      (match B.verify ~dir with
+      | Error msg ->
+          Printf.eprintf "bundle replay: %s\n" msg;
+          exit 2
+      | Ok (_, report) when not (B.ok report) ->
+          Printf.eprintf "bundle replay: %s fails verification; refusing to replay\n" dir;
+          print_problems report;
+          exit 1
+      | Ok _ -> ());
+      let m = match B.load ~dir with Ok m -> m | Error _ -> assert false in
+      if m.B.kind <> "campaign" then begin
+        Printf.eprintf "bundle replay: only campaign bundles can be replayed (this is %S)\n"
+          m.B.kind;
+        exit 2
+      end;
+      let config = Pi_campaign.Coordinator.config_of_args m.B.config_args in
+      let digest = Pi_campaign.Obs_cache.config_digest config in
+      if digest <> m.B.config_digest then begin
+        Printf.eprintf
+          "bundle replay: config digest mismatch (bundle %s, rebuilt %s): this build \
+           does not reproduce the bundle's config\n"
+          m.B.config_digest digest;
+        exit 2
+      end;
+      let benches =
+        List.map
+          (fun name ->
+            match Pi_workloads.Spec.find name with
+            | bench -> bench
+            | exception Not_found ->
+                Printf.eprintf "bundle replay: bundle names unknown benchmark %S\n" name;
+                exit 2)
+          m.B.benches
+      in
+      let out = match out with Some o -> o | None -> dir ^ ".replay" in
+      let n_workers = match workers with Some w when w >= 2 -> w | _ -> 0 in
+      let coordinator =
+        if n_workers >= 2 then
+          Some
+            (Pi_campaign.Coordinator.create ~workers:n_workers
+               ~config_args:m.B.config_args ())
+        else None
+      in
+      let observe = Option.map Pi_campaign.Coordinator.observe_hook coordinator in
+      (* No observation cache: a replay recomputes everything from the
+         pinned inputs — that is the point. *)
+      let result =
+        Fun.protect
+          ~finally:(fun () -> Option.iter Pi_campaign.Coordinator.shutdown coordinator)
+          (fun () ->
+            Pi_campaign.Campaign.run ~config ?jobs ?observe
+              ~config_args:m.B.config_args ~label:m.B.label ~n_layouts:m.B.n_layouts
+              benches)
+      in
+      if not (Pi_campaign.Campaign.succeeded result) then begin
+        Printf.eprintf "bundle replay: the re-run campaign had failed jobs\n";
+        exit 1
+      end;
+      let rm =
+        B.of_campaign ~dir:out ~workers:(if n_workers >= 2 then n_workers else 1) result
+      in
+      let outputs (manifest : B.manifest) =
+        List.filter (fun (a : B.artifact) -> a.B.role = B.Output) manifest.B.artifacts
+      in
+      let mismatches = ref 0 in
+      List.iter
+        (fun (a : B.artifact) ->
+          match
+            List.find_opt
+              (fun (r : B.artifact) -> r.B.rel_path = a.B.rel_path)
+              (outputs rm)
+          with
+          | None ->
+              incr mismatches;
+              Printf.eprintf "MISMATCH  %s: replay produced no such output\n" a.B.rel_path
+          | Some r when r.B.sha256 <> a.B.sha256 || r.B.bytes <> a.B.bytes ->
+              incr mismatches;
+              Printf.eprintf "MISMATCH  %s: bundle %s (%d bytes), replay %s (%d bytes)\n"
+                a.B.rel_path a.B.sha256 a.B.bytes r.B.sha256 r.B.bytes
+          | Some _ -> Printf.printf "identical %s\n" a.B.rel_path)
+        (outputs m);
+      List.iter
+        (fun (r : B.artifact) ->
+          if
+            not
+              (List.exists (fun (a : B.artifact) -> a.B.rel_path = r.B.rel_path) (outputs m))
+          then begin
+            incr mismatches;
+            Printf.eprintf "MISMATCH  %s: replay produced an extra output\n" r.B.rel_path
+          end)
+        (outputs rm);
+      Printf.printf "replay bundle: %s\n" out;
+      if !mismatches > 0 then begin
+        Printf.eprintf "bundle replay: %d output(s) differ from the original run\n"
+          !mismatches;
+        exit 1
+      end
+      else
+        Printf.printf "replay reproduced %d output(s) byte-for-byte\n"
+          (List.length (outputs m))
+    in
+    Cmd.v
+      (Cmd.info "replay"
+         ~doc:"Re-run a campaign bundle from its pinned inputs and compare every \
+               output byte-for-byte; exit 1 unless identical.")
+      Term.(const run
+            $ dir_pos 0 "BUNDLE" "Bundle directory to replay."
+            $ out_term $ jobs_term $ workers_term)
+  in
+  let diff_cmd =
+    let tolerance_term =
+      Arg.(value & opt (some float) None
+           & info [ "tolerance" ] ~docv:"PCT"
+               ~doc:"Override the higher-is-better gates' tolerance percent \
+                     ($(b,failed_jobs) always gates at 0).")
+    in
+    let run before_dir after_dir tolerance =
+      let load dir =
+        match Pi_campaign.Bundle.load ~dir with
+        | Ok m -> m
+        | Error msg ->
+            Printf.eprintf "bundle diff: %s: %s\n" dir msg;
+            exit 2
+      in
+      let before = load before_dir and after = load after_dir in
+      let rules =
+        match tolerance with
+        | None -> History.default_rules
+        | Some tol ->
+            List.map
+              (fun (r : History.rule) ->
+                match r.History.direction with
+                | History.Higher_better -> { r with History.tol_percent = tol }
+                | History.Lower_better -> r)
+              History.default_rules
+      in
+      let deltas = B.diff ~rules ~before ~after () in
+      if deltas = [] then begin
+        Printf.eprintf "bundle diff: %s and %s share no metrics\n" before_dir after_dir;
+        exit 2
+      end;
+      Printf.printf "bundle diff %s (%s) -> %s (%s)\n" before_dir before.B.label after_dir
+        after.B.label;
+      List.iter
+        (fun (d : History.delta) ->
+          let gate =
+            match d.History.rule with
+            | Some r ->
+                Printf.sprintf "  [%s, tol %g%%]"
+                  (match r.History.direction with
+                  | History.Higher_better -> "higher is better"
+                  | History.Lower_better -> "lower is better")
+                  r.History.tol_percent
+            | None -> ""
+          in
+          Printf.printf "%-10s %-28s %14s -> %14s  %+8.2f%%%s\n"
+            (if d.History.regression then "REGRESSION" else "ok")
+            d.History.metric
+            (Metrics.float_repr d.History.before)
+            (Metrics.float_repr d.History.after)
+            d.History.delta_percent gate)
+        deltas;
+      let regressed = History.regressions deltas in
+      if regressed <> [] then begin
+        Printf.eprintf "bundle diff: %d metric(s) regressed\n" (List.length regressed);
+        exit 1
+      end
+      else print_endline "no regressions"
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:"Compare two bundles' metric bags under the interferometry-compare \
+               threshold rules; exit 1 on regression.")
+      Term.(const run
+            $ dir_pos 0 "BEFORE" "Baseline bundle directory."
+            $ dir_pos 1 "AFTER" "Candidate bundle directory."
+            $ tolerance_term)
+  in
+  Cmd.group
+    (Cmd.info "bundle"
+       ~doc:"Verify, replay and diff content-addressed run bundles."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "A run bundle (campaign/sweep $(b,--bundle DIR)) pins a run's inputs \
+              and outputs by SHA-256 under a canonical-JSON manifest. $(b,verify) \
+              re-hashes everything and fails on a single flipped byte; $(b,replay) \
+              re-runs the campaign from the pinned inputs and accepts only \
+              byte-identical outputs; $(b,diff) gates one bundle against another \
+              with the same threshold rules as $(b,interferometry compare). See \
+              docs/BUNDLES.md.";
+         ])
+    [ verify_cmd; replay_cmd; diff_cmd ]
+
+let campaign_worker_cmd =
+  (* Spawned by `campaign --workers N`; not for interactive use. *)
+  Cmd.v
+    (Cmd.info "campaign-worker"
+       ~doc:"Internal: serve observation jobs over stdin/stdout frames for \
+             $(b,campaign --workers). Spawned by the coordinator; reads \
+             length-prefixed requests until EOF.")
+    Term.(const (fun () -> Pi_campaign.Coordinator.worker_main ()) $ const ())
+
 (* ---- the pi_serve daemon and its thin client ---------------------- *)
 
 let state_dir_term =
@@ -1542,6 +1942,6 @@ let () =
        [
          list_cmd; trace_cmd; measure_cmd; model_cmd; blame_cmd; predict_cmd;
          sweep_cmd; cache_cmd; export_cmd; refit_cmd; report_cmd; phases_cmd;
-         campaign_cmd; perf_cmd; stats_cmd; history_cmd; compare_cmd; serve_cmd;
-         submit_cmd; status_cmd; result_cmd;
+         campaign_cmd; campaign_worker_cmd; bundle_cmd; perf_cmd; stats_cmd;
+         history_cmd; compare_cmd; serve_cmd; submit_cmd; status_cmd; result_cmd;
        ]))

@@ -62,7 +62,7 @@ let fit_of dataset =
 
 let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null) ?deadline
     ?(retries = 0) ?(backoff = 0.05) ?fault ?checkpoint_path ?(config_args = []) ?label
-    ~n_layouts benches =
+    ?observe ~n_layouts benches =
   if n_layouts < 1 then invalid_arg "Campaign.run: n_layouts < 1";
   let jobs =
     match jobs with
@@ -313,7 +313,14 @@ let run ?(config = E.default_config) ?jobs ?cache_dir ?(events = Telemetry.null)
                   ~site:(Printf.sprintf "job|%s|%d" (name bench_idx) seed)
                   ~attempt
             | None -> ());
-            E.observe_seed prepared seed
+            (* The observe hook is where --workers N plugs in: the
+               coordinator runs the job on a worker process instead of
+               this domain. Either path is a pure function of
+               (benchmark, config, seed), so the assembly below cannot
+               tell them apart — that is the bit-identity invariant. *)
+            (match observe with
+            | Some f -> f ~bench:(name bench_idx) ~prepared ~seed
+            | None -> E.observe_seed prepared seed)
         | Error _ -> assert false (* unprepared benchmarks enqueue no jobs *))
       (Array.length job_specs)
   in

@@ -53,6 +53,11 @@ val run :
   ?checkpoint_path:string ->
   ?config_args:(string * Telemetry.json) list ->
   ?label:string ->
+  ?observe:
+    (bench:string ->
+    prepared:Interferometry.Experiment.prepared ->
+    seed:int ->
+    Interferometry.Experiment.observation) ->
   n_layouts:int ->
   Pi_workloads.Bench.t list ->
   result
@@ -74,7 +79,12 @@ val run :
     seed and independent of the experiment PRNG, so a faulty-but-retried
     campaign still satisfies the bit-identical invariant. [config_args]
     is recorded verbatim in the manifest so [campaign --resume] can
-    rebuild the config. *)
+    rebuild the config.
+
+    [observe] replaces the in-process [E.observe_seed] for observation
+    jobs — the hook through which {!Coordinator} runs jobs on worker
+    processes. It must be a pure function of [(bench, config, seed)]
+    (the default is), or the bit-identical invariant breaks. *)
 
 val suite_label : Pi_workloads.Bench.t list -> string
 (** "2006", "2000", "all" or "custom", from the benchmarks' suite tags. *)

@@ -134,23 +134,69 @@ let sanitize_bench_name bench =
     Buffer.contents buf
   end
 
+(* Entries are addressed by the FULL config digest. Earlier versions
+   truncated it to 16 hex chars (64 bits), which is exactly the silent
+   collision a content-addressed store exists to rule out: two distinct
+   configs sharing a cache directory could map to one file and
+   cross-contaminate observations through the read-merge-write in [store].
+   Old-style names are still accepted on read (see [load]) so existing
+   caches migrate transparently; [store] always writes the full name and
+   retires the truncated one. *)
 let entry_path t ~bench ~config =
+  Filename.concat t.dir
+    (Printf.sprintf "%s.%s.csv" (sanitize_bench_name bench) (config_digest config))
+
+let legacy_entry_path t ~bench ~config =
   let digest = String.sub (config_digest config) 0 16 in
   Filename.concat t.dir (Printf.sprintf "%s.%s.csv" (sanitize_bench_name bench) digest)
 
+let m_corrupt =
+  Pi_obs.Metrics.counter
+    ~help:"observation-cache entries that failed to parse and were treated as misses"
+    "pi_obs_obs_cache_corrupt_total"
+
+(* One read attempt, opening the file directly: a [Sys.file_exists]
+   pre-check would race the orphan reaper or a concurrent [rename]
+   (TOCTOU) — absence is only decided at [open] time, where ENOENT simply
+   means a miss. [None] = no entry; [Some (Error _)] = an entry that
+   exists but does not parse. *)
+let read_entry path =
+  match Dataset_io.load_observations path with
+  | result -> Some result
+  | exception Sys_error _ -> None
+
 let load t ~bench ~config =
-  let path = entry_path t ~bench ~config in
-  if not (Sys.file_exists path) then [||]
-  else
-    match Dataset_io.load_observations path with
-    | Error _ -> [||] (* a corrupt entry behaves as a miss and is rewritten *)
-    | Ok observations ->
-        let sorted = Array.copy observations in
-        Array.sort
-          (fun (a : E.observation) (b : E.observation) ->
-            compare a.E.layout_seed b.E.layout_seed)
-          sorted;
-        sorted
+  let entry =
+    let full = entry_path t ~bench ~config in
+    match read_entry full with
+    | Some result -> Some (full, result)
+    | None ->
+        (* Migration read: a cache written before full-digest addressing
+           holds this entry under the truncated name. Only consulted when
+           the full-digest file is absent — once [store] migrates the
+           entry, the ambiguous legacy file is never read again. *)
+        let legacy = legacy_entry_path t ~bench ~config in
+        Option.map (fun result -> (legacy, result)) (read_entry legacy)
+  in
+  match entry with
+  | None -> [||]
+  | Some (path, Error reason) ->
+      (* A corrupt entry behaves as a miss and is rewritten — but never
+         silently: the next [store]'s read-merge-write starts from this
+         empty load, dropping every previously cached seed of the entry,
+         and that loss must be visible. *)
+      Pi_obs.Metrics.inc m_corrupt;
+      Pi_obs.Log.warn
+        ~fields:[ ("path", path); ("bench", bench) ]
+        "corrupt observation-cache entry treated as a miss: %s" reason;
+      [||]
+  | Some (_, Ok observations) ->
+      let sorted = Array.copy observations in
+      Array.sort
+        (fun (a : E.observation) (b : E.observation) ->
+          compare a.E.layout_seed b.E.layout_seed)
+        sorted;
+      sorted
 
 let store t ~bench ~config observations =
   let path = entry_path t ~bench ~config in
@@ -187,4 +233,10 @@ let store t ~bench ~config observations =
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  (* Migration write: the entry now lives under its full-digest name, so a
+     leftover truncated-digest file (pre-fix caches) is retired — it is
+     ambiguous by construction (any config sharing the 64-bit prefix maps
+     to it) and must not shadow future reads. *)
+  let legacy = legacy_entry_path t ~bench ~config in
+  if legacy <> path then try Sys.remove legacy with Sys_error _ -> ()

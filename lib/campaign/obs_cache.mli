@@ -6,10 +6,14 @@
     adaptive sampling does, should only pay for the seeds not yet on disk.
 
     One cache entry is one CSV file per [(benchmark, config)] pair, named
-    [<bench>.<digest>.csv] where the digest covers every field of the
+    [<bench>.<digest>.csv] where the digest — the {e full} hex digest, so
+    distinct configs can never share a file — covers every field of the
     experiment config that can change a measurement (scale, trace budget,
     warmup, counter protocol, noise parameters, allocator/ASLR modes,
-    the full machine geometry, master seed). Rows are
+    the full machine geometry, master seed). Entries written by older
+    versions under a 16-char truncated digest are still read (and retired
+    the next time the entry is stored), so existing caches migrate
+    transparently. Rows are
     {!Interferometry.Dataset_io} observation rows keyed by [layout_seed] —
     the same format as [interferometry export], so a cache entry doubles as
     an exported dataset. Any config change rotates the digest and the stale
@@ -49,8 +53,15 @@ val sanitize_bench_name : string -> string
     like ["../x"] can no longer address files outside the cache root. *)
 
 val entry_path : t -> bench:string -> config:Interferometry.Experiment.config -> string
-(** The CSV file that does/would hold this [(bench, config)] entry; the
-    bench component is {!sanitize_bench_name}d. *)
+(** The CSV file that does/would hold this [(bench, config)] entry — the
+    full-digest name; the bench component is {!sanitize_bench_name}d. *)
+
+val legacy_entry_path :
+  t -> bench:string -> config:Interferometry.Experiment.config -> string
+(** The pre-fix truncated-digest (16 hex chars) name for the same entry.
+    Read as a fallback by {!load} when the full-digest file is absent, and
+    removed by {!store} once the entry has been rewritten under its full
+    name. *)
 
 val load :
   t ->
@@ -58,7 +69,13 @@ val load :
   config:Interferometry.Experiment.config ->
   Interferometry.Experiment.observation array
 (** All cached observations for the pair, sorted by [layout_seed]; [[||]]
-    when there is no (or a corrupt) entry. *)
+    when there is no (or a corrupt) entry. The file is opened directly —
+    ENOENT at open time is a miss, so the probe cannot race the orphan
+    reaper or a concurrent rename. A corrupt entry also reads as a miss,
+    but loudly: a [pi:warn] log line and a bump of the
+    [pi_obs_obs_cache_corrupt_total] counter record that the entry's
+    previously cached seeds are about to be dropped by the next
+    {!store}'s read-merge-write. *)
 
 val store :
   t ->

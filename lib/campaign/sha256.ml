@@ -1,0 +1,144 @@
+(* FIPS 180-4 SHA-256, pure OCaml.
+
+   Run bundles pin their artifacts by SHA-256 (the RGSR replay rule:
+   "replayable only if hashes match SHA256SUMS.txt"), and the stdlib
+   [Digest] is MD5 — 128 truncatable bits of exactly the kind the
+   obs-cache addressing bug grew out of. The block transform works on
+   [int] (63-bit native ints hold unsigned 32-bit words without boxing);
+   every word is masked back to 32 bits after the operations that can
+   carry out. Throughput is irrelevant here — bundles hash a handful of
+   small CSV/JSON artifacts — correctness is pinned by the FIPS vectors
+   in test_bundle.ml. *)
+
+let mask = 0xFFFFFFFF
+
+let k =
+  [|
+    0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+    0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+    0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+    0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+    0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+    0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+    0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+    0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+    0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+    0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+    0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2;
+  |]
+
+type ctx = {
+  h : int array;  (* 8 running hash words *)
+  block : Bytes.t;  (* 64-byte input block being filled *)
+  mutable fill : int;  (* bytes of [block] in use *)
+  mutable total : int;  (* message bytes absorbed so far *)
+  w : int array;  (* 64-entry message schedule, reused per block *)
+}
+
+let init () =
+  {
+    h =
+      [|
+        0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
+        0x1f83d9ab; 0x5be0cd19;
+      |];
+    block = Bytes.create 64;
+    fill = 0;
+    total = 0;
+    w = Array.make 64 0;
+  }
+
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+
+let compress ctx =
+  let w = ctx.w in
+  for t = 0 to 15 do
+    w.(t) <- Int32.to_int (Bytes.get_int32_be ctx.block (t * 4)) land mask
+  done;
+  for t = 16 to 63 do
+    let s0 = rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3) in
+    let s1 = rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor (w.(t - 2) lsr 10) in
+    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask
+  done;
+  let a = ref ctx.h.(0) and b = ref ctx.h.(1) and c = ref ctx.h.(2) in
+  let d = ref ctx.h.(3) and e = ref ctx.h.(4) and f = ref ctx.h.(5) in
+  let g = ref ctx.h.(6) and hh = ref ctx.h.(7) in
+  for t = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = !e land !f lxor (lnot !e land !g) in
+    let t1 = (!hh + s1 + ch + k.(t) + w.(t)) land mask in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = !a land !b lxor (!a land !c) lxor (!b land !c) in
+    let t2 = (s0 + maj) land mask in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := (!d + t1) land mask;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := (t1 + t2) land mask
+  done;
+  ctx.h.(0) <- (ctx.h.(0) + !a) land mask;
+  ctx.h.(1) <- (ctx.h.(1) + !b) land mask;
+  ctx.h.(2) <- (ctx.h.(2) + !c) land mask;
+  ctx.h.(3) <- (ctx.h.(3) + !d) land mask;
+  ctx.h.(4) <- (ctx.h.(4) + !e) land mask;
+  ctx.h.(5) <- (ctx.h.(5) + !f) land mask;
+  ctx.h.(6) <- (ctx.h.(6) + !g) land mask;
+  ctx.h.(7) <- (ctx.h.(7) + !hh) land mask
+
+let feed_bytes ctx src ~pos ~len =
+  ctx.total <- ctx.total + len;
+  let pos = ref pos and remaining = ref len in
+  while !remaining > 0 do
+    let take = min !remaining (64 - ctx.fill) in
+    Bytes.blit src !pos ctx.block ctx.fill take;
+    ctx.fill <- ctx.fill + take;
+    pos := !pos + take;
+    remaining := !remaining - take;
+    if ctx.fill = 64 then begin
+      compress ctx;
+      ctx.fill <- 0
+    end
+  done
+
+let feed ctx s = feed_bytes ctx (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let finish ctx =
+  let bit_length = ctx.total * 8 in
+  (* Padding: 0x80, zeros to 56 mod 64, then the 64-bit big-endian bit
+     count. [total] is far below 2^59, so the count fits an int. *)
+  let pad_len =
+    let rem = (ctx.total + 1) mod 64 in
+    1 + (if rem <= 56 then 56 - rem else 120 - rem)
+  in
+  let pad = Bytes.make (pad_len + 8) '\000' in
+  Bytes.set pad 0 '\x80';
+  Bytes.set_int64_be pad pad_len (Int64.of_int bit_length);
+  feed_bytes ctx pad ~pos:0 ~len:(Bytes.length pad);
+  let out = Buffer.create 64 in
+  Array.iter (fun word -> Printf.bprintf out "%08x" word) ctx.h;
+  Buffer.contents out
+
+let string s =
+  let ctx = init () in
+  feed ctx s;
+  finish ctx
+
+let file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let ctx = init () in
+      let chunk = Bytes.create 65536 in
+      let rec loop () =
+        let n = input ic chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          feed_bytes ctx chunk ~pos:0 ~len:n;
+          loop ()
+        end
+      in
+      loop ();
+      finish ctx)

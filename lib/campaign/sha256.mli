@@ -1,0 +1,15 @@
+(** FIPS 180-4 SHA-256, pure OCaml — no dependencies.
+
+    Run bundles ({!Bundle}) pin input and output artifacts by SHA-256, per
+    the run-bundle replay rule ("replayable only if hashes match
+    SHA256SUMS.txt"); the stdlib [Digest] is MD5 and stays confined to the
+    cheap non-adversarial framing uses (WAL/history record framing, cache
+    keys within one digest-versioned directory). Verified against the FIPS
+    vectors in test/test_bundle.ml. *)
+
+val string : string -> string
+(** Lowercase 64-char hex digest of a string. *)
+
+val file : string -> string
+(** Lowercase 64-char hex digest of a file's bytes, streamed in 64 KiB
+    chunks. Raises [Sys_error] if the file cannot be opened. *)

@@ -7,7 +7,7 @@ module Span = Pi_obs.Span
 module Linreg = Pi_stats.Linreg
 module C = Pi_uarch.Counters
 
-type kind = Measure | Predict | Campaign | Cache_sweep
+type kind = Measure | Predict | Campaign | Cache_sweep | Bundle
 
 type params = {
   kind : kind;
@@ -17,6 +17,7 @@ type params = {
   scale : int;
   heap_random : bool;
   quick : bool;
+  dir : string;
 }
 
 let kind_name = function
@@ -24,12 +25,14 @@ let kind_name = function
   | Predict -> "predict"
   | Campaign -> "campaign"
   | Cache_sweep -> "cache_sweep"
+  | Bundle -> "bundle"
 
 let kind_of_name = function
   | "measure" -> Some Measure
   | "predict" -> Some Predict
   | "campaign" -> Some Campaign
   | "cache_sweep" -> Some Cache_sweep
+  | "bundle" -> Some Bundle
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -37,7 +40,7 @@ let kind_of_name = function
 
 let known_fields =
   [ "kind"; "bench"; "benches"; "suite"; "layouts"; "seed"; "scale";
-    "heap_random"; "quick" ]
+    "heap_random"; "quick"; "dir" ]
 
 let suite_benches = function
   | "2006" -> Some (Pi_workloads.Spec.all_2006 ())
@@ -82,6 +85,32 @@ let parse json =
         | Some (J.Bool b) -> Ok b
         | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
       in
+      let* dir =
+        match (kind, field "dir") with
+        | Bundle, Some (J.String d) when d <> "" -> Ok d
+        | Bundle, Some _ -> Error "field \"dir\" must be a non-empty string"
+        | Bundle, None -> Error "kind \"bundle\" requires field \"dir\""
+        | _, Some _ -> Error "field \"dir\" only applies to kind \"bundle\""
+        | _, None -> Ok ""
+      in
+      (* A bundle job names no benchmarks — its subject is a directory. *)
+      if kind = Bundle then begin
+        let* () =
+          match (field "bench", field "benches", field "suite") with
+          | None, None, None -> Ok ()
+          | _ -> Error "kind \"bundle\" takes no benchmarks"
+        in
+        let* quick = bool_field "quick" ~default:false in
+        let base = if quick then E.quick_config else E.default_config in
+        let* layouts = int_field "layouts" ~min:3 ~max:1000 ~default:10 in
+        let* seed =
+          int_field "seed" ~min:0 ~max:1_000_000_000 ~default:base.E.master_seed
+        in
+        let* scale = int_field "scale" ~min:1 ~max:64 ~default:base.E.scale in
+        let* heap_random = bool_field "heap_random" ~default:false in
+        Ok { kind; benches = []; layouts; seed; scale; heap_random; quick; dir }
+      end
+      else
       let* named =
         match (field "bench", field "benches", field "suite") with
         | Some (J.String b), None, None -> Ok [ b ]
@@ -128,7 +157,7 @@ let parse json =
       let* seed = int_field "seed" ~min:0 ~max:1_000_000_000 ~default:base.E.master_seed in
       let* scale = int_field "scale" ~min:1 ~max:64 ~default:base.E.scale in
       let* heap_random = bool_field "heap_random" ~default:false in
-      Ok { kind; benches; layouts; seed; scale; heap_random; quick }
+      Ok { kind; benches; layouts; seed; scale; heap_random; quick; dir }
   | _ -> Error "submission body must be a JSON object"
 
 (* ------------------------------------------------------------------ *)
@@ -136,15 +165,19 @@ let parse json =
 
 let canonical p =
   J.Obj
-    [
-      ("kind", J.String (kind_name p.kind));
-      ("benches", J.List (List.map (fun b -> J.String b) p.benches));
-      ("layouts", J.Int p.layouts);
-      ("seed", J.Int p.seed);
-      ("scale", J.Int p.scale);
-      ("heap_random", J.Bool p.heap_random);
-      ("quick", J.Bool p.quick);
-    ]
+    ([
+       ("kind", J.String (kind_name p.kind));
+       ("benches", J.List (List.map (fun b -> J.String b) p.benches));
+       ("layouts", J.Int p.layouts);
+       ("seed", J.Int p.seed);
+       ("scale", J.Int p.scale);
+       ("heap_random", J.Bool p.heap_random);
+       ("quick", J.Bool p.quick);
+     ]
+    (* Only bundle jobs carry a directory; keeping the field out of every
+       other kind's canonical form preserves their pre-existing keys (and
+       hence job ids across a daemon upgrade). *)
+    @ if p.dir = "" then [] else [ ("dir", J.String p.dir) ])
 
 let key p = Digest.to_hex (Digest.string (J.to_string (canonical p)))
 let id_of_key key = "j-" ^ String.sub key 0 12
@@ -358,12 +391,59 @@ let run_cache_sweep p =
       ("points", J.List (Array.to_list (Array.map cache_point_json s.Sweep.cache_points)));
     ]
 
+(* Bundle verification (PR-9 run bundles): re-hash every pinned artifact
+   in a bundle directory against its manifest. The report is a pure
+   function of the bundle's current bytes, so the result document is
+   deterministic for a given on-disk state. An unreadable manifest is a
+   {e negative verification result} — ok:false with the reason — not a
+   job failure: the job did its work, the bundle just failed it. *)
+module Bundle = Pi_campaign.Bundle
+
+let run_bundle p =
+  let doc ~ok fields =
+    J.Obj
+      ([
+         ("kind", J.String "bundle");
+         ("params", canonical p);
+         ("dir", J.String p.dir);
+         ("ok", J.Bool ok);
+       ]
+      @ fields)
+  in
+  match Bundle.verify ~dir:p.dir with
+  | Error msg -> doc ~ok:false [ ("error", J.String msg) ]
+  | Ok (m, report) ->
+      doc ~ok:(Bundle.ok report)
+        [
+          ("checked", J.Int report.Bundle.checked);
+          ( "problems",
+            J.List
+              (List.map
+                 (fun (pr : Bundle.problem) ->
+                   J.Obj
+                     [
+                       ("path", J.String pr.Bundle.path);
+                       ("reason", J.String pr.Bundle.reason);
+                     ])
+                 report.Bundle.problems) );
+          ( "bundle",
+            J.Obj
+              [
+                ("kind", J.String m.Bundle.kind);
+                ("label", J.String m.Bundle.label);
+                ("config_digest", J.String m.Bundle.config_digest);
+                ("benches", J.List (List.map (fun b -> J.String b) m.Bundle.benches));
+                ("artifacts", J.Int (List.length m.Bundle.artifacts));
+              ] );
+        ]
+
 let execute ~cache p =
   match
     match p.kind with
     | Measure | Campaign -> run_measure ~cache p
     | Predict -> run_predict ~cache p
     | Cache_sweep -> run_cache_sweep p
+    | Bundle -> run_bundle p
   with
   | doc -> Ok doc
   | exception exn -> Error (Printexc.to_string exn)

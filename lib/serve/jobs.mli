@@ -21,6 +21,9 @@ type kind =
   | Cache_sweep
       (** fused 100-geometry cache degradation study for one benchmark
           ({!Pi_uarch.Sweep.run_cache_study}) *)
+  | Bundle
+      (** re-verify a content-addressed run bundle on disk
+          ({!Pi_campaign.Bundle.verify}) *)
 
 type params = {
   kind : kind;
@@ -30,6 +33,7 @@ type params = {
   scale : int;
   heap_random : bool;
   quick : bool;  (** base the config on {!Interferometry.Experiment.quick_config} *)
+  dir : string;  (** bundle directory — [""] for every other kind *)
 }
 
 val kind_name : kind -> string
@@ -39,7 +43,9 @@ val parse : J.json -> (params, string) result
     [{"kind":"measure","bench":"429.mcf","layouts":12,"quick":true}].
     Accepts ["bench"] (one), ["benches"] (list) or ["suite"]
     (["2006"|"2000"|"table1"|"sim"|"all"]); [Predict] and [Cache_sweep]
-    require exactly one benchmark. Unknown benchmarks, unknown fields, and out-of-range values
+    require exactly one benchmark. [Bundle] instead requires a non-empty
+    string ["dir"] (the bundle directory) and takes no benchmarks.
+    Unknown benchmarks, unknown fields, and out-of-range values
     ([layouts] outside 3..1000, [scale] outside 1..64, negative [seed])
     are [Error]s — the network boundary validates before the ledger ever
     sees the request. *)
@@ -69,4 +75,8 @@ val execute : cache:Pi_campaign.Obs_cache.t -> params -> (J.json, string) result
     seeds are computed and stored {e one at a time}, so a SIGKILL
     mid-job loses at most the observation in flight and the replayed job
     resumes from what the cache already holds. Exceptions become
-    [Error]s. *)
+    [Error]s.
+
+    [Bundle] jobs re-hash the bundle at [params.dir] and report
+    [{"ok":bool,"checked":N,"problems":[...]}]; an unreadable manifest is
+    an ok:false result with an ["error"] field, not a job failure. *)

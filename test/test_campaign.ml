@@ -158,6 +158,63 @@ let test_cache_config_digest_rotates () =
   let heap = Obs_cache.config_digest { quick with E.heap_random = true } in
   Alcotest.(check bool) "heap mode rotates the digest" true (base <> heap)
 
+let test_cache_entry_path_full_digest () =
+  (* The addressing bugfix: entries file under the FULL config digest, so
+     two configs can never truncate onto the same name. The legacy name is
+     the 16-char prefix of the same digest. *)
+  let cache = Obs_cache.create ~dir:(temp_dir "pi-cache-path") in
+  let digest = Obs_cache.config_digest quick in
+  let path = Obs_cache.entry_path cache ~bench:"456.hmmer" ~config:quick in
+  Alcotest.(check string) "full-digest filename"
+    (Printf.sprintf "456.hmmer.%s.csv" digest)
+    (Filename.basename path);
+  let legacy = Obs_cache.legacy_entry_path cache ~bench:"456.hmmer" ~config:quick in
+  Alcotest.(check string) "legacy name is the truncated digest"
+    (Printf.sprintf "456.hmmer.%s.csv" (String.sub digest 0 16))
+    (Filename.basename legacy);
+  Alcotest.(check bool) "names are distinct" true (path <> legacy)
+
+let test_cache_legacy_entry_migrates () =
+  (* A cache written by the truncated-digest version keeps serving: load
+     falls back to the legacy name, and the next store rewrites the entry
+     under its full name and retires the legacy file. *)
+  let cache = Obs_cache.create ~dir:(temp_dir "pi-cache-legacy") in
+  let bench = Spec.find "456.hmmer" in
+  let prepared = E.prepare ~config:quick bench in
+  let obs = [| E.observe_seed prepared 1; E.observe_seed prepared 2 |] in
+  Obs_cache.store cache ~bench:"456.hmmer" ~config:quick obs;
+  let full = Obs_cache.entry_path cache ~bench:"456.hmmer" ~config:quick in
+  let legacy = Obs_cache.legacy_entry_path cache ~bench:"456.hmmer" ~config:quick in
+  (* Forge the legacy layout: same rows, old truncated name only. *)
+  Sys.rename full legacy;
+  let loaded = Obs_cache.load cache ~bench:"456.hmmer" ~config:quick in
+  Alcotest.(check int) "legacy entry read through fallback" 2 (Array.length loaded);
+  Alcotest.(check int) "legacy rows keyed by seed" 1 loaded.(0).E.layout_seed;
+  (* A store migrates: full name exists, legacy name is gone. *)
+  Obs_cache.store cache ~bench:"456.hmmer" ~config:quick
+    [| E.observe_seed prepared 3 |];
+  Alcotest.(check bool) "full-digest file written" true (Sys.file_exists full);
+  Alcotest.(check bool) "legacy file retired" false (Sys.file_exists legacy);
+  Alcotest.(check int) "merge kept legacy rows" 3
+    (Array.length (Obs_cache.load cache ~bench:"456.hmmer" ~config:quick));
+  (* When both names exist the full-digest entry wins. *)
+  Out_channel.with_open_bin legacy (fun oc ->
+      Out_channel.output_string oc "stale,legacy,garbage\n");
+  Alcotest.(check int) "full name shadows legacy" 3
+    (Array.length (Obs_cache.load cache ~bench:"456.hmmer" ~config:quick))
+
+let test_cache_corrupt_entry_is_loud_miss () =
+  let cache = Obs_cache.create ~dir:(temp_dir "pi-cache-corrupt") in
+  let counter = Pi_obs.Metrics.counter "pi_obs_obs_cache_corrupt_total" in
+  let before = Pi_obs.Metrics.counter_value counter in
+  let path = Obs_cache.entry_path cache ~bench:"456.hmmer" ~config:quick in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "layout_seed,not,a,real,header\nnope\n");
+  let loaded = Obs_cache.load cache ~bench:"456.hmmer" ~config:quick in
+  Alcotest.(check int) "corrupt entry reads as a miss" 0 (Array.length loaded);
+  Alcotest.(check bool) "corruption is counted" true
+    (Pi_obs.Metrics.counter_value counter > before)
+
 (* ---------------- Fault tolerance ---------------- *)
 
 let test_prepare_failure_is_partial () =
@@ -259,6 +316,12 @@ let suite =
           test_cache_hits_and_identity;
         Alcotest.test_case "cache: config digest stability and rotation" `Quick
           test_cache_config_digest_rotates;
+        Alcotest.test_case "cache: entries use the full config digest" `Quick
+          test_cache_entry_path_full_digest;
+        Alcotest.test_case "cache: legacy truncated-digest entries migrate" `Quick
+          test_cache_legacy_entry_migrates;
+        Alcotest.test_case "cache: corrupt entry is a loud miss" `Quick
+          test_cache_corrupt_entry_is_loud_miss;
         Alcotest.test_case "fault tolerance: prepare failure is partial" `Quick
           test_prepare_failure_is_partial;
         Alcotest.test_case "telemetry: JSONL event stream" `Quick test_telemetry_stream;

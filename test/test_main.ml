@@ -11,4 +11,4 @@ let () =
    @ Test_analysis.suite @ Test_fuzz.suite @ Test_reproduction.suite
    @ Test_campaign.suite @ Test_resilience.suite @ Test_obs.suite
    @ Test_flight.suite
-   @ Test_serve.suite)
+   @ Test_serve.suite @ Test_bundle.suite @ Test_distributed.suite)

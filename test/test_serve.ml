@@ -227,6 +227,13 @@ let test_jobs_parse_and_key () =
   | Error msg -> Alcotest.failf "cache_sweep submission rejected: %s" msg
   | Ok p -> Alcotest.(check string) "cache_sweep kind round-trips" "cache_sweep"
               (Jobs.kind_name p.Jobs.kind));
+  (match parse {|{"kind":"bundle","dir":"/tmp/some-bundle"}|} with
+  | Error msg -> Alcotest.failf "bundle submission rejected: %s" msg
+  | Ok p ->
+      Alcotest.(check string) "bundle kind round-trips" "bundle"
+        (Jobs.kind_name p.Jobs.kind);
+      Alcotest.(check string) "dir captured" "/tmp/some-bundle" p.Jobs.dir;
+      Alcotest.(check (list string)) "bundle job names no benches" [] p.Jobs.benches);
   List.iter
     (fun body ->
       match parse body with
@@ -241,7 +248,64 @@ let test_jobs_parse_and_key () =
       {|{"kind":"cache_sweep","benches":["429.mcf","433.milc"]}|};
       {|{"kind":"measure"}|};
       {|[1,2,3]|};
+      {|{"kind":"bundle"}|};
+      {|{"kind":"bundle","dir":""}|};
+      {|{"kind":"bundle","dir":"/tmp/b","bench":"429.mcf"}|};
+      {|{"kind":"measure","bench":"429.mcf","dir":"/tmp/b"}|};
     ]
+
+let test_jobs_execute_bundle () =
+  (* A bundle job re-verifies a run bundle on disk; an unreadable or
+     tampered bundle is an ok:false result document, never a job error. *)
+  let module Bundle = Pi_campaign.Bundle in
+  let state = tmp_dir () in
+  let cache = Pi_campaign.Obs_cache.create ~dir:(Filename.concat state "cache") in
+  let dir = Filename.concat state "bundle" in
+  ignore
+    (Bundle.write ~dir ~kind:"campaign" ~label:"t" ~config_digest:"d"
+       ~config_args:[] ~benches:[ "429.mcf" ] ~n_layouts:4 ~workers:1
+       ~created_at:0.0 ~metrics:[]
+       ~inputs:[ ("config.json", "{}\n") ]
+       ~outputs:[ ("429.mcf.csv", "seed,cpi\n1,1.0\n") ]
+       ()
+      : Bundle.manifest);
+  let params body =
+    match J.parse body with
+    | Ok json -> (
+        match Jobs.parse json with
+        | Ok p -> p
+        | Error msg -> Alcotest.failf "params: %s" msg)
+    | Error msg -> Alcotest.failf "json: %s" msg
+  in
+  let field doc name =
+    match doc with J.Obj fields -> List.assoc_opt name fields | _ -> None
+  in
+  let p = params (Printf.sprintf {|{"kind":"bundle","dir":%S}|} dir) in
+  (match Jobs.execute ~cache p with
+  | Error msg -> Alcotest.failf "bundle job failed: %s" msg
+  | Ok doc ->
+      Alcotest.(check bool) "pristine bundle verifies" true
+        (field doc "ok" = Some (J.Bool true));
+      (match field doc "problems" with
+      | Some (J.List []) -> ()
+      | _ -> Alcotest.fail "expected an empty problems list"));
+  (* Tamper, resubmit: same job shape, ok flips. *)
+  Out_channel.with_open_bin (Filename.concat dir "outputs/429.mcf.csv")
+    (fun oc -> Out_channel.output_string oc "forged\n");
+  (match Jobs.execute ~cache p with
+  | Error msg -> Alcotest.failf "tampered bundle job failed: %s" msg
+  | Ok doc ->
+      Alcotest.(check bool) "tampered bundle fails verification" true
+        (field doc "ok" = Some (J.Bool false)));
+  (* No bundle at all: still a deterministic ok:false document. *)
+  let missing = params {|{"kind":"bundle","dir":"/nonexistent/bundle"}|} in
+  match Jobs.execute ~cache missing with
+  | Error msg -> Alcotest.failf "missing bundle crashed the job: %s" msg
+  | Ok doc ->
+      Alcotest.(check bool) "missing bundle is ok:false" true
+        (field doc "ok" = Some (J.Bool false));
+      Alcotest.(check bool) "reason carried in error field" true
+        (match field doc "error" with Some (J.String _) -> true | _ -> false)
 
 (* ---- in-process daemon round trip --------------------------------- *)
 
@@ -501,7 +565,12 @@ let suite =
     ( "serve.router",
       [ Alcotest.test_case "dispatch, params, 404/405" `Quick test_router_dispatch ] );
     ( "serve.jobs",
-      [ Alcotest.test_case "parse, validate, canonical key" `Quick test_jobs_parse_and_key ] );
+      [
+        Alcotest.test_case "parse, validate, canonical key" `Quick
+          test_jobs_parse_and_key;
+        Alcotest.test_case "bundle job verifies a bundle directory" `Quick
+          test_jobs_execute_bundle;
+      ] );
     ( "serve.daemon",
       [
         Alcotest.test_case "submit/wait/result + restart replay" `Quick

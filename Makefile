@@ -2,7 +2,7 @@
 
 CLI = dune exec bin/interferometry_cli.exe --
 
-.PHONY: all check test build campaign-smoke perf perf-smoke obs-smoke resilience-smoke sweep-smoke cache-sweep-smoke serve-smoke history-smoke bundle-smoke clean
+.PHONY: all check test build campaign-smoke perf perf-smoke obs-smoke resilience-smoke sweep-smoke cache-sweep-smoke surrogate-smoke serve-smoke history-smoke bundle-smoke clean
 
 all: build
 
@@ -18,28 +18,34 @@ check:
 	$(MAKE) perf-smoke
 	$(MAKE) sweep-smoke
 	$(MAKE) cache-sweep-smoke
+	$(MAKE) surrogate-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) resilience-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) history-smoke
 	$(MAKE) bundle-smoke
 
-# Full pipeline + fused-sweep + flight-recorder microbenchmarks; writes
-# BENCH_pipeline.json, BENCH_sweep.json, BENCH_cache_sweep.json and
-# BENCH_recorder.json, gates both fused axes at 3x their per-config loops
-# and the flight recorder's sweep overhead at 5%, and appends every
-# result to the history.jsonl run-history ledger (PI_HISTORY_OUT).
+# Full pipeline + fused-sweep + flight-recorder + steered-sweep
+# microbenchmarks; writes BENCH_pipeline.json, BENCH_sweep.json,
+# BENCH_cache_sweep.json, BENCH_recorder.json and BENCH_surrogate.json,
+# gates both fused axes at 3x their per-config loops, the flight
+# recorder's sweep overhead at 5% and the surrogate's prune factor at 5x
+# (>=5x fewer full-lane replays at <=1% max predicted CPI error), and
+# appends every result to the history.jsonl run-history ledger
+# (PI_HISTORY_OUT).
 perf:
-	PI_SWEEP_GATE=3 PI_CACHE_SWEEP_GATE=3 PI_RECORDER_GATE=5 dune exec bench/perf.exe
+	PI_SWEEP_GATE=3 PI_CACHE_SWEEP_GATE=3 PI_RECORDER_GATE=5 \
+	  PI_SURROGATE_GATE=5 dune exec bench/perf.exe
 
 # Tiny configuration of the same benchmarks: correctness gate, not a timing
 # (the sweep and recorder gates are disabled; bit-identity across paths is
 # still enforced, recorder included). No artifacts, no history appends.
 perf-smoke:
 	PI_PERF_SCALE=2 PI_PERF_LAYOUTS=2 PI_SWEEP_SCALE=1 PI_SWEEP_GATE=0 \
-	  PI_CACHE_SWEEP_GATE=0 PI_RECORDER_GATE=0 PI_PERF_OUT=- PI_SWEEP_OUT=- \
-	  PI_CACHE_SWEEP_OUT=- PI_RECORDER_OUT=- PI_HISTORY_OUT=- \
-	  dune exec bench/perf.exe
+	  PI_CACHE_SWEEP_GATE=0 PI_RECORDER_GATE=0 PI_SURROGATE_GATE=0 \
+	  PI_PERF_OUT=- PI_SWEEP_OUT=- \
+	  PI_CACHE_SWEEP_OUT=- PI_RECORDER_OUT=- PI_SURROGATE_OUT=- \
+	  PI_HISTORY_OUT=- dune exec bench/perf.exe
 
 # Sharded fused sweep through the CLI: two domains, then a sequential
 # per-config study, which must match the fused one bit for bit.
@@ -50,6 +56,16 @@ sweep-smoke:
 # sweep, checked bit for bit against the sequential per-geometry loop.
 cache-sweep-smoke:
 	$(CLI) sweep 429.mcf --scale 1 --axis cache --jobs 2 --check
+
+# The surrogate-steering acceptance bound, end to end. Leg 1 runs the
+# steered-sweep benchmark and gates it: <=20% of grid lanes replayed
+# (prune factor >= 5x), every predicted lane within 1% CPI of the golden
+# full fused study, replayed lanes bit-identical. Leg 2 drives the same
+# contract through the CLI's --max-err/--check path. Steering is
+# deterministic, so this never flakes.
+surrogate-smoke:
+	dune exec bench/surrogate.exe
+	$(CLI) sweep 183.equake --scale 1 --max-err 1.0 --check
 
 # Tiny cold campaign with both observability artifacts; asserts the metric
 # scrape accounts for every computed job and that a trace was written.

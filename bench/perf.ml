@@ -13,7 +13,13 @@
    `make perf` passes 3), PI_RECORDER_SCALE (default PI_SWEEP_SCALE),
    PI_RECORDER_OUT (default BENCH_recorder.json; "-" to skip),
    PI_RECORDER_GATE (maximum flight-recorder overhead percent, default 0
-   = no gate; `make perf` passes 5), PI_HISTORY_OUT (run-history
+   = no gate; `make perf` passes 5), PI_SURROGATE_BENCH (default
+   183.equake), PI_SURROGATE_SCALE (default PI_SWEEP_SCALE),
+   PI_SURROGATE_OUT (default BENCH_surrogate.json; "-" to skip),
+   PI_SURROGATE_GATE (minimum steered-sweep prune factor — full grid
+   lanes over replayed lanes — default 0 = no prune gate; `make perf`
+   passes 5; replayed-lane bit-identity and the 1% predicted-CPI
+   tolerance are enforced regardless), PI_HISTORY_OUT (run-history
    ledger every result is appended to, default history.jsonl; "-" to
    skip — perf-smoke does) and PI_BUNDLE_OUT (a content-addressed run
    bundle pinning every BENCH_*.json artifact written this run, with the
@@ -36,6 +42,7 @@ let () =
   let sweep_scale = Interferometry.Knobs.env_int "PI_SWEEP_SCALE" 2 in
   let cache_sweep_scale = Interferometry.Knobs.env_int "PI_CACHE_SWEEP_SCALE" sweep_scale in
   let recorder_scale = Interferometry.Knobs.env_int "PI_RECORDER_SCALE" sweep_scale in
+  let surrogate_scale = Interferometry.Knobs.env_int "PI_SURROGATE_SCALE" sweep_scale in
   let layouts = Interferometry.Knobs.env_int "PI_PERF_LAYOUTS" 12 in
   let bench =
     Option.value ~default:"400.perlbench" (Sys.getenv_opt "PI_PERF_BENCH")
@@ -49,6 +56,12 @@ let () =
   in
   let recorder_out =
     Option.value ~default:"BENCH_recorder.json" (Sys.getenv_opt "PI_RECORDER_OUT")
+  in
+  let surrogate_bench =
+    Option.value ~default:"183.equake" (Sys.getenv_opt "PI_SURROGATE_BENCH")
+  in
+  let surrogate_out =
+    Option.value ~default:"BENCH_surrogate.json" (Sys.getenv_opt "PI_SURROGATE_OUT")
   in
   let history_out =
     Option.value ~default:"history.jsonl" (Sys.getenv_opt "PI_HISTORY_OUT")
@@ -66,6 +79,7 @@ let () =
   let sweep_gate = gate_of "PI_SWEEP_GATE" in
   let cache_sweep_gate = gate_of "PI_CACHE_SWEEP_GATE" in
   let recorder_gate = gate_of "PI_RECORDER_GATE" in
+  let surrogate_gate = gate_of "PI_SURROGATE_GATE" in
   let r = Interferometry.Perf_bench.run ~bench ~scale ~layouts () in
   print_endline (Interferometry.Perf_bench.summary r);
   if out <> "-" then begin
@@ -90,24 +104,35 @@ let () =
     Interferometry.Perf_bench.write_recorder_json ~path:recorder_out rc;
     Printf.printf "wrote %s\n" recorder_out
   end;
+  let su =
+    Interferometry.Perf_bench.run_surrogate ~bench:surrogate_bench
+      ~scale:surrogate_scale ()
+  in
+  print_endline (Interferometry.Perf_bench.surrogate_summary su);
+  if surrogate_out <> "-" then begin
+    Interferometry.Perf_bench.write_surrogate_json ~path:surrogate_out su;
+    Printf.printf "wrote %s\n" surrogate_out
+  end;
   (* Every result joins the run-history ledger before the gates fire: a
      failing run's numbers are exactly the ones worth keeping. *)
   if history_out <> "-" then begin
-    let digest label a_scale =
-      Digest.to_hex (Digest.string (Printf.sprintf "%s:%s:%d" label bench a_scale))
+    let digest label a_bench a_scale =
+      Digest.to_hex (Digest.string (Printf.sprintf "%s:%s:%d" label a_bench a_scale))
     in
-    let append kind_label a_scale metrics =
+    let append kind_label a_bench a_scale metrics =
       Pi_obs.History.append ~path:history_out
         (Pi_obs.History.make ~kind:"perf" ~label:kind_label
-           ~config_digest:(digest kind_label a_scale) metrics)
+           ~config_digest:(digest kind_label a_bench a_scale) metrics)
     in
-    append "pipeline" scale (Interferometry.Perf_bench.history_metrics r);
-    append "sweep" sweep_scale (Interferometry.Perf_bench.sweep_history_metrics s);
-    append "cache_sweep" cache_sweep_scale
+    append "pipeline" bench scale (Interferometry.Perf_bench.history_metrics r);
+    append "sweep" bench sweep_scale (Interferometry.Perf_bench.sweep_history_metrics s);
+    append "cache_sweep" bench cache_sweep_scale
       (Interferometry.Perf_bench.cache_sweep_history_metrics c);
-    append "recorder" recorder_scale
+    append "recorder" bench recorder_scale
       (Interferometry.Perf_bench.recorder_history_metrics rc);
-    Printf.printf "appended 4 records to %s\n" history_out
+    append "surrogate" surrogate_bench surrogate_scale
+      (Interferometry.Perf_bench.surrogate_history_metrics su);
+    Printf.printf "appended 5 records to %s\n" history_out
   end;
   (match Sys.getenv_opt "PI_BUNDLE_OUT" with
   | None | Some "" | Some "-" -> ()
@@ -123,7 +148,7 @@ let () =
               Some
                 ( Filename.basename path,
                   In_channel.with_open_bin path In_channel.input_all ))
-          [ out; sweep_out; cache_sweep_out; recorder_out ]
+          [ out; sweep_out; cache_sweep_out; recorder_out; surrogate_out ]
       in
       let prefix p metrics = List.map (fun (k, v) -> (p ^ "_" ^ k, v)) metrics in
       let metrics =
@@ -133,6 +158,8 @@ let () =
             (Interferometry.Perf_bench.cache_sweep_history_metrics c)
         @ prefix "recorder"
             (Interferometry.Perf_bench.recorder_history_metrics rc)
+        @ prefix "surrogate"
+            (Interferometry.Perf_bench.surrogate_history_metrics su)
       in
       let module J = Pi_campaign.Telemetry in
       let config_args =
@@ -192,4 +219,9 @@ let () =
     Printf.eprintf "FAIL: flight-recorder overhead %.2f%% above gate %.2f%%\n"
       rc.Interferometry.Perf_bench.rec_overhead_percent recorder_gate;
     exit 1
-  end
+  end;
+  match Interferometry.Perf_bench.surrogate_failures ~gate:surrogate_gate su with
+  | [] -> ()
+  | failures ->
+      List.iter (Printf.eprintf "FAIL: steered sweep: %s\n") failures;
+      exit 1

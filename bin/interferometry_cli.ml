@@ -373,12 +373,47 @@ let sweep_cmd =
                    SHA-256-pinned inputs, the study CSV) under $(docv); check it \
                    with $(b,interferometry bundle verify|diff).")
   in
-  let run bench seed scale jobs axis check history bundle metrics_out trace_out =
+  let budget_term =
+    Arg.(value & opt (some int) None
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Surrogate-steer the sweep: replay at most $(docv) grid lanes \
+                   (a deterministic space-filling seed plus the lanes the model \
+                   is least sure of) and fill the rest from the fitted \
+                   surrogate. A budget covering the whole grid is bit-identical \
+                   to the unsteered sweep.")
+  in
+  let max_err_term =
+    Arg.(value & opt (some float) None
+         & info [ "max-err" ] ~docv:"PCT"
+             ~doc:"Surrogate-steer the sweep: keep replaying lanes until the \
+                   model's CPI uncertainty is below $(docv) percent everywhere, \
+                   then fill the remaining lanes from the surrogate.")
+  in
+  let run bench seed scale jobs axis check budget max_err history bundle metrics_out trace_out =
     with_obs ~metrics_out ~trace_out @@ fun () ->
     if jobs < 1 then begin
       Printf.eprintf "sweep: --jobs must be >= 1 (got %d)\n" jobs;
       exit 2
     end;
+    let surrogate =
+      match (budget, max_err) with
+      | Some _, Some _ ->
+          prerr_endline "sweep: --budget and --max-err are mutually exclusive";
+          exit 2
+      | Some b, None ->
+          if b < 1 then begin
+            Printf.eprintf "sweep: --budget must be >= 1 (got %d)\n" b;
+            exit 2
+          end;
+          Some (Pi_uarch.Sweep.Budget b)
+      | None, Some e ->
+          if e <= 0.0 then begin
+            Printf.eprintf "sweep: --max-err must be positive (got %g)\n" e;
+            exit 2
+          end;
+          Some (Pi_uarch.Sweep.Max_err e)
+      | None, None -> None
+    in
     let config = config_of ~seed ~scale ~heap_random:false in
     let prepared = E.prepare ~config bench in
     let placement = Pi_layout.Placement.natural prepared.E.program in
@@ -466,13 +501,23 @@ let sweep_cmd =
     | `Predictor ->
         let s =
           Pi_uarch.Sweep.run_study ~warmup_blocks:prepared.E.warmup_blocks ~shards:jobs
-            ?map_shards ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace placement
+            ?map_shards ?surrogate ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace
+            placement
         in
         Printf.printf
           "%d fused lanes + %d per-config, %d shard%s, %d warmup blocks\n"
           s.Pi_uarch.Sweep.fused_lanes s.Pi_uarch.Sweep.fallback_lanes s.Pi_uarch.Sweep.shards
           (if s.Pi_uarch.Sweep.shards = 1 then "" else "s")
           s.Pi_uarch.Sweep.warmup_blocks;
+        if Option.is_some surrogate then
+          Printf.printf
+            "surrogate: %d/%d lanes replayed (%d pruned), %d rounds, holdout CPI err max \
+             %.3f%% mean %.3f%%\n"
+            s.Pi_uarch.Sweep.replayed_lanes
+            (Array.length s.Pi_uarch.Sweep.points)
+            (Array.length s.Pi_uarch.Sweep.points - s.Pi_uarch.Sweep.replayed_lanes)
+            s.Pi_uarch.Sweep.surrogate_rounds s.Pi_uarch.Sweep.surrogate_max_abs_err
+            s.Pi_uarch.Sweep.surrogate_mean_abs_err;
         Printf.printf "regression over 145 imperfect configurations: %s\n"
           (Format.asprintf "%a" Linreg.pp s.Pi_uarch.Sweep.regression);
         Printf.printf "perfect:  actual CPI %.4f, extrapolated %.4f (error %.2f%%)\n"
@@ -493,6 +538,14 @@ let sweep_cmd =
              ("perfect_error_percent", s.Pi_uarch.Sweep.perfect_error_percent);
              ("ltage_error_percent", s.Pi_uarch.Sweep.ltage_error_percent);
            ]
+           @
+           if Option.is_some surrogate then
+             [
+               ("replayed_lanes", float_of_int s.Pi_uarch.Sweep.replayed_lanes);
+               ("surrogate_max_abs_err", s.Pi_uarch.Sweep.surrogate_max_abs_err);
+               ("surrogate_mean_abs_err", s.Pi_uarch.Sweep.surrogate_mean_abs_err);
+             ]
+           else []
          in
          append_history ~axis_label:"predictor" metrics;
          let csv =
@@ -508,30 +561,88 @@ let sweep_cmd =
          in
          emit_bundle ~axis_label:"predictor" ~metrics ~csv);
         if check then begin
-          let sequential =
-            Pi_uarch.Sweep.run_study ~warmup_blocks:prepared.E.warmup_blocks ~fused:false
-              ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace placement
-          in
-          if
-            s.Pi_uarch.Sweep.points = sequential.Pi_uarch.Sweep.points
-            && s.Pi_uarch.Sweep.perfect_cpi = sequential.Pi_uarch.Sweep.perfect_cpi
-            && s.Pi_uarch.Sweep.ltage_point = sequential.Pi_uarch.Sweep.ltage_point
-          then print_endline "check: fused study identical to sequential study"
-          else begin
-            prerr_endline "FAIL: fused study differs from sequential study";
-            exit 1
-          end
+          match surrogate with
+          | None ->
+              let sequential =
+                Pi_uarch.Sweep.run_study ~warmup_blocks:prepared.E.warmup_blocks ~fused:false
+                  ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace placement
+              in
+              if
+                s.Pi_uarch.Sweep.points = sequential.Pi_uarch.Sweep.points
+                && s.Pi_uarch.Sweep.perfect_cpi = sequential.Pi_uarch.Sweep.perfect_cpi
+                && s.Pi_uarch.Sweep.ltage_point = sequential.Pi_uarch.Sweep.ltage_point
+              then print_endline "check: fused study identical to sequential study"
+              else begin
+                prerr_endline "FAIL: fused study differs from sequential study";
+                exit 1
+              end
+          | Some steering ->
+              (* Steered check: every replayed lane must match the full fused
+                 study bit for bit, and every predicted lane must be within
+                 the tolerance (the --max-err bound; 1% for --budget). *)
+              let full =
+                Pi_uarch.Sweep.run_study ~warmup_blocks:prepared.E.warmup_blocks ~shards:jobs
+                  ?map_shards ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace
+                  placement
+              in
+              let tol =
+                match steering with
+                | Pi_uarch.Sweep.Max_err e -> e
+                | Pi_uarch.Sweep.Budget _ -> 1.0
+              in
+              let failures = ref 0 in
+              let pred_max = ref 0.0 in
+              Array.iteri
+                (fun i (p : Pi_uarch.Sweep.point) ->
+                  let f = full.Pi_uarch.Sweep.points.(i) in
+                  match s.Pi_uarch.Sweep.sources.(i) with
+                  | Pi_uarch.Sweep.Replayed ->
+                      if p <> f then begin
+                        Printf.eprintf "FAIL: replayed lane %s differs from the full study\n"
+                          p.Pi_uarch.Sweep.config_name;
+                        incr failures
+                      end
+                  | Pi_uarch.Sweep.Predicted ->
+                      let err =
+                        Float.abs (p.Pi_uarch.Sweep.cpi -. f.Pi_uarch.Sweep.cpi)
+                        /. f.Pi_uarch.Sweep.cpi *. 100.0
+                      in
+                      pred_max := Float.max !pred_max err;
+                      if err > tol then begin
+                        Printf.eprintf "FAIL: predicted lane %s CPI off by %.3f%% (> %.3f%%)\n"
+                          p.Pi_uarch.Sweep.config_name err tol;
+                        incr failures
+                      end)
+                s.Pi_uarch.Sweep.points;
+              if !failures = 0 then
+                Printf.printf
+                  "check: replayed lanes bit-identical, predicted CPI within %.3f%% (max \
+                   %.3f%%)\n"
+                  tol !pred_max
+              else exit 1
         end
     | `Cache ->
         let s =
           Pi_uarch.Sweep.run_cache_study ~warmup_blocks:prepared.E.warmup_blocks ~shards:jobs
-            ?map_shards ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace placement
+            ?map_shards ?surrogate ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace
+            placement
         in
         Printf.printf
           "%d fused cache lanes, %d shard%s, %d warmup blocks\n"
           s.Pi_uarch.Sweep.cache_fused_lanes s.Pi_uarch.Sweep.cache_shards
           (if s.Pi_uarch.Sweep.cache_shards = 1 then "" else "s")
           s.Pi_uarch.Sweep.cache_warmup_blocks;
+        if Option.is_some surrogate then
+          Printf.printf
+            "surrogate: %d/%d lanes replayed (%d pruned), %d rounds, holdout CPI err max \
+             %.3f%% mean %.3f%%\n"
+            s.Pi_uarch.Sweep.cache_replayed_lanes
+            (Array.length s.Pi_uarch.Sweep.cache_points)
+            (Array.length s.Pi_uarch.Sweep.cache_points
+            - s.Pi_uarch.Sweep.cache_replayed_lanes)
+            s.Pi_uarch.Sweep.cache_surrogate_rounds
+            s.Pi_uarch.Sweep.cache_surrogate_max_abs_err
+            s.Pi_uarch.Sweep.cache_surrogate_mean_abs_err;
         Printf.printf "degradation model over 99 degraded geometries: %s\n"
           (Format.asprintf "%a" Pi_stats.Multireg.pp s.Pi_uarch.Sweep.degradation);
         let seed_pt = s.Pi_uarch.Sweep.seed_point in
@@ -551,6 +662,14 @@ let sweep_cmd =
              ("r_squared", s.Pi_uarch.Sweep.degradation.Pi_stats.Multireg.r_squared);
              ("seed_error_percent", s.Pi_uarch.Sweep.seed_error_percent);
            ]
+           @
+           if Option.is_some surrogate then
+             [
+               ("replayed_lanes", float_of_int s.Pi_uarch.Sweep.cache_replayed_lanes);
+               ("surrogate_max_abs_err", s.Pi_uarch.Sweep.cache_surrogate_max_abs_err);
+               ("surrogate_mean_abs_err", s.Pi_uarch.Sweep.cache_surrogate_mean_abs_err);
+             ]
+           else []
          in
          append_history ~axis_label:"cache" metrics;
          let csv =
@@ -567,20 +686,64 @@ let sweep_cmd =
          in
          emit_bundle ~axis_label:"cache" ~metrics ~csv);
         if check then begin
-          let sequential =
-            Pi_uarch.Sweep.run_cache_study ~warmup_blocks:prepared.E.warmup_blocks ~fused:false
-              ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace placement
-          in
-          if
-            s.Pi_uarch.Sweep.cache_points = sequential.Pi_uarch.Sweep.cache_points
-            && s.Pi_uarch.Sweep.seed_point = sequential.Pi_uarch.Sweep.seed_point
-            && s.Pi_uarch.Sweep.predicted_seed_cpi
-               = sequential.Pi_uarch.Sweep.predicted_seed_cpi
-          then print_endline "check: fused study identical to sequential study"
-          else begin
-            prerr_endline "FAIL: fused study differs from sequential study";
-            exit 1
-          end
+          match surrogate with
+          | None ->
+              let sequential =
+                Pi_uarch.Sweep.run_cache_study ~warmup_blocks:prepared.E.warmup_blocks
+                  ~fused:false ~benchmark:bench.Pi_workloads.Bench.name prepared.E.trace
+                  placement
+              in
+              if
+                s.Pi_uarch.Sweep.cache_points = sequential.Pi_uarch.Sweep.cache_points
+                && s.Pi_uarch.Sweep.seed_point = sequential.Pi_uarch.Sweep.seed_point
+                && s.Pi_uarch.Sweep.predicted_seed_cpi
+                   = sequential.Pi_uarch.Sweep.predicted_seed_cpi
+              then print_endline "check: fused study identical to sequential study"
+              else begin
+                prerr_endline "FAIL: fused study differs from sequential study";
+                exit 1
+              end
+          | Some steering ->
+              let full =
+                Pi_uarch.Sweep.run_cache_study ~warmup_blocks:prepared.E.warmup_blocks
+                  ~shards:jobs ?map_shards ~benchmark:bench.Pi_workloads.Bench.name
+                  prepared.E.trace placement
+              in
+              let tol =
+                match steering with
+                | Pi_uarch.Sweep.Max_err e -> e
+                | Pi_uarch.Sweep.Budget _ -> 1.0
+              in
+              let failures = ref 0 in
+              let pred_max = ref 0.0 in
+              Array.iteri
+                (fun i (p : Pi_uarch.Sweep.cache_point) ->
+                  let f = full.Pi_uarch.Sweep.cache_points.(i) in
+                  match s.Pi_uarch.Sweep.cache_sources.(i) with
+                  | Pi_uarch.Sweep.Replayed ->
+                      if p <> f then begin
+                        Printf.eprintf "FAIL: replayed lane %s differs from the full study\n"
+                          p.Pi_uarch.Sweep.geometry_name;
+                        incr failures
+                      end
+                  | Pi_uarch.Sweep.Predicted ->
+                      let err =
+                        Float.abs (p.Pi_uarch.Sweep.cache_cpi -. f.Pi_uarch.Sweep.cache_cpi)
+                        /. f.Pi_uarch.Sweep.cache_cpi *. 100.0
+                      in
+                      pred_max := Float.max !pred_max err;
+                      if err > tol then begin
+                        Printf.eprintf "FAIL: predicted lane %s CPI off by %.3f%% (> %.3f%%)\n"
+                          p.Pi_uarch.Sweep.geometry_name err tol;
+                        incr failures
+                      end)
+                s.Pi_uarch.Sweep.cache_points;
+              if !failures = 0 then
+                Printf.printf
+                  "check: replayed lanes bit-identical, predicted CPI within %.3f%% (max \
+                   %.3f%%)\n"
+                  tol !pred_max
+              else exit 1
         end
   in
   Cmd.v
@@ -588,7 +751,8 @@ let sweep_cmd =
        ~doc:"Fused configuration sweeps: the Section-3 predictor linearity study \
              (--axis predictor) or the cache-geometry degradation study (--axis cache).")
     Term.(const run $ bench_pos $ seed_term $ scale_term $ jobs_term $ axis_term $ check_term
-          $ history_term $ bundle_term $ metrics_out_term $ trace_out_term)
+          $ budget_term $ max_err_term $ history_term $ bundle_term $ metrics_out_term
+          $ trace_out_term)
 
 let campaign_cmd =
   let suite_term =

@@ -208,11 +208,11 @@ let run_sweep ?(bench = "400.perlbench") ?(scale = 4) () =
     done;
     (Option.get !result, !best)
   in
-  let (baseline_points, _, _, _), baseline_seconds =
+  let (baseline_points, _, _, _, _), baseline_seconds =
     best_of "perf.sweep_baseline" (fun () ->
         Sweep.run_grid ~plan ~warmup_blocks ~fused:false trace placement)
   in
-  let (fused_points, fused_lanes, fallback_lanes, _), fused_seconds =
+  let (fused_points, fused_lanes, fallback_lanes, _, _), fused_seconds =
     best_of "perf.sweep_fused" (fun () ->
         Sweep.run_grid ~plan ~warmup_blocks trace placement)
   in
@@ -346,11 +346,11 @@ let run_cache_sweep ?(bench = "400.perlbench") ?(scale = 4) () =
     done;
     (Option.get !result, !best)
   in
-  let (baseline_points, _, _, _), baseline_seconds =
+  let (baseline_points, _, _, _, _), baseline_seconds =
     best_of "perf.cache_sweep_baseline" (fun () ->
         Sweep.run_cache_grid ~plan ~warmup_blocks ~fused:false trace placement)
   in
-  let (fused_points, fused_lanes, _, _), fused_seconds =
+  let (fused_points, fused_lanes, _, _, _), fused_seconds =
     best_of "perf.cache_sweep_fused" (fun () ->
         Sweep.run_cache_grid ~plan ~warmup_blocks trace placement)
   in
@@ -477,7 +477,7 @@ let run_recorder ?(bench = "400.perlbench") ?(scale = 4) () =
   let was_enabled = Span.enabled () in
   (* Recorder off: no tracing, no scrape loop — the clean baseline. *)
   Span.set_enabled false;
-  let (off_points, _, _, _), off_seconds =
+  let (off_points, _, _, _, _), off_seconds =
     best_of (fun () -> Sweep.run_grid ~plan ~warmup_blocks trace placement)
   in
   (* Recorder on: global tracing enabled (the daemon's --trace-out
@@ -489,7 +489,7 @@ let run_recorder ?(bench = "400.perlbench") ?(scale = 4) () =
   let ts = Timeseries.create () in
   let stop = Timeseries.sampler ~interval:scrape_interval ts in
   let collector = Span.collector () in
-  let (on_points, _, _, _), on_seconds =
+  let (on_points, _, _, _, _), on_seconds =
     best_of (fun () ->
         Span.with_collector collector (fun () ->
             Sweep.run_grid ~plan ~warmup_blocks trace placement))
@@ -558,6 +558,174 @@ let recorder_summary r =
     r.rec_off_configs_per_sec r.rec_off_seconds r.rec_on_configs_per_sec r.rec_on_seconds
     r.rec_overhead_percent r.rec_points r.rec_spans r.rec_identical
 
+(* Surrogate-steered sweep benchmark (BENCH_surrogate.json): the steered
+   Max_err study against the golden full fused study on the same plan —
+   the pruning claim (grid lanes replayed vs grid size) and the accuracy
+   claim (every predicted lane within the tolerance of the golden study)
+   in one artifact. The default benchmark is 183.equake: a smooth
+   response surface the steering should prune hard, so the prune-factor
+   gate has headroom on any box (the timing numbers are informational —
+   steering is deterministic, so the lane counts never wobble). *)
+
+type surrogate_result = {
+  sur_bench : string;
+  sur_scale : int;
+  sur_grid_configs : int;  (* grid lanes in the full study (145) *)
+  sur_max_err_percent : float;  (* the Max_err steering tolerance *)
+  sur_replayed_lanes : int;  (* lanes carrying simulated truth *)
+  sur_pruned_lanes : int;  (* lanes filled in by the surrogate *)
+  sur_prune_factor : float;  (* grid_configs / replayed_lanes *)
+  sur_rounds : int;  (* steering fit-replay rounds *)
+  sur_holdout_max_err : float;  (* model's own pre-replay holdout, percent *)
+  sur_holdout_mean_err : float;
+  sur_predicted_max_err : float;  (* predicted lanes vs golden CPI, percent *)
+  sur_full_seconds : float;  (* best-of-N full fused study *)
+  sur_steered_seconds : float;  (* best-of-N steered study, fits included *)
+  sur_speedup : float;  (* full_seconds / steered_seconds *)
+  sur_replayed_identical : bool;  (* replayed lanes = golden lanes, bitwise *)
+  sur_within_tolerance : bool;  (* predicted_max_err <= max_err_percent *)
+}
+
+let run_surrogate ?(bench = "183.equake") ?(scale = 2) ?(max_err = 1.0) () =
+  let b = Pi_workloads.Spec.find bench in
+  let config = { Experiment.default_config with scale } in
+  let program = b.Pi_workloads.Bench.build ~scale in
+  let trace =
+    Pi_layout.Run_limiter.trace ~seed:config.Experiment.master_seed program
+      ~budget_blocks:config.Experiment.budget_blocks
+  in
+  let warmup_blocks =
+    int_of_float
+      (config.Experiment.warmup_fraction
+      *. float_of_int (Pi_isa.Trace.blocks_executed trace))
+  in
+  let placement = Pi_layout.Placement.make program ~seed:1 in
+  let plan = Pi_uarch.Replay.compile config.Experiment.machine trace in
+  ignore (Sweep.run_grid ~plan ~warmup_blocks trace placement);
+  (* Best-of-3, not [grid_reps]: each rep here is a whole study (grid +
+     perfect/L-TAGE references + fits), and the gated quantity — the lane
+     counts — is deterministic across reps anyway. *)
+  let best_of f =
+    let result = ref None in
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = now () in
+      let r = f () in
+      let dt = now () -. t0 in
+      if dt < !best then begin
+        best := dt;
+        result := Some r
+      end
+    done;
+    (Option.get !result, !best)
+  in
+  let full, full_seconds =
+    best_of (fun () ->
+        Sweep.run_study ~plan ~warmup_blocks ~benchmark:bench trace placement)
+  in
+  let steered, steered_seconds =
+    best_of (fun () ->
+        Sweep.run_study ~plan ~warmup_blocks ~surrogate:(Sweep.Max_err max_err)
+          ~benchmark:bench trace placement)
+  in
+  let grid_configs = Array.length full.Sweep.points in
+  let replayed_identical = ref true in
+  let predicted_max = ref 0.0 in
+  Array.iteri
+    (fun i source ->
+      let p = steered.Sweep.points.(i) and f = full.Sweep.points.(i) in
+      match source with
+      | Sweep.Replayed -> if p <> f then replayed_identical := false
+      | Sweep.Predicted ->
+          let err = Float.abs (p.Sweep.cpi -. f.Sweep.cpi) /. f.Sweep.cpi *. 100.0 in
+          if err > !predicted_max then predicted_max := err)
+    steered.Sweep.sources;
+  let replayed = steered.Sweep.replayed_lanes in
+  {
+    sur_bench = bench;
+    sur_scale = scale;
+    sur_grid_configs = grid_configs;
+    sur_max_err_percent = max_err;
+    sur_replayed_lanes = replayed;
+    sur_pruned_lanes = grid_configs - replayed;
+    sur_prune_factor =
+      (if replayed > 0 then float_of_int grid_configs /. float_of_int replayed
+       else 0.0);
+    sur_rounds = steered.Sweep.surrogate_rounds;
+    sur_holdout_max_err = steered.Sweep.surrogate_max_abs_err;
+    sur_holdout_mean_err = steered.Sweep.surrogate_mean_abs_err;
+    sur_predicted_max_err = !predicted_max;
+    sur_full_seconds = full_seconds;
+    sur_steered_seconds = steered_seconds;
+    sur_speedup =
+      (if steered_seconds > 0.0 then full_seconds /. steered_seconds else 0.0);
+    sur_replayed_identical = !replayed_identical;
+    sur_within_tolerance = !predicted_max <= max_err;
+  }
+
+let surrogate_to_json r =
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"bench\": %S," r.sur_bench;
+      Printf.sprintf "  \"scale\": %d," r.sur_scale;
+      Printf.sprintf "  \"grid_configs\": %d," r.sur_grid_configs;
+      Printf.sprintf "  \"max_err_percent\": %.3f," r.sur_max_err_percent;
+      Printf.sprintf "  \"replayed_lanes\": %d," r.sur_replayed_lanes;
+      Printf.sprintf "  \"pruned_lanes\": %d," r.sur_pruned_lanes;
+      Printf.sprintf "  \"prune_factor\": %.2f," r.sur_prune_factor;
+      Printf.sprintf "  \"rounds\": %d," r.sur_rounds;
+      Printf.sprintf "  \"holdout_max_abs_err\": %.4f," r.sur_holdout_max_err;
+      Printf.sprintf "  \"holdout_mean_abs_err\": %.4f," r.sur_holdout_mean_err;
+      Printf.sprintf "  \"predicted_cpi_max_err\": %.4f," r.sur_predicted_max_err;
+      Printf.sprintf "  \"full_seconds\": %.6f," r.sur_full_seconds;
+      Printf.sprintf "  \"steered_seconds\": %.6f," r.sur_steered_seconds;
+      Printf.sprintf "  \"speedup\": %.3f," r.sur_speedup;
+      Printf.sprintf "  \"replayed_identical\": %b," r.sur_replayed_identical;
+      Printf.sprintf "  \"within_tolerance\": %b" r.sur_within_tolerance;
+      "}";
+    ]
+
+let write_surrogate_json ~path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (surrogate_to_json r);
+      output_char oc '\n')
+
+let surrogate_summary r =
+  Printf.sprintf
+    "%s scale %d steered sweep (max-err %.2f%%): %d/%d lanes replayed (%d pruned, \
+     %.1fx), %d rounds\n\
+     predicted CPI err vs golden: max %.3f%%   holdout: max %.3f%% mean %.3f%%\n\
+     full study: %.2fs   steered: %.2fs (%.2fx)   replayed lanes identical: %b   \
+     within tolerance: %b"
+    r.sur_bench r.sur_scale r.sur_max_err_percent r.sur_replayed_lanes
+    r.sur_grid_configs r.sur_pruned_lanes r.sur_prune_factor r.sur_rounds
+    r.sur_predicted_max_err r.sur_holdout_max_err r.sur_holdout_mean_err
+    r.sur_full_seconds r.sur_steered_seconds r.sur_speedup r.sur_replayed_identical
+    r.sur_within_tolerance
+
+let surrogate_failures ~gate r =
+  List.filter_map
+    (fun x -> x)
+    [
+      (if not r.sur_replayed_identical then
+         Some "steered replayed lanes diverge from the full fused study"
+       else None);
+      (if not r.sur_within_tolerance then
+         Some
+           (Printf.sprintf "predicted CPI error %.3f%% above tolerance %.2f%%"
+              r.sur_predicted_max_err r.sur_max_err_percent)
+       else None);
+      (if gate > 0.0 && r.sur_prune_factor < gate then
+         Some
+           (Printf.sprintf "prune factor %.2fx below gate %.2fx (%d/%d lanes replayed)"
+              r.sur_prune_factor gate r.sur_replayed_lanes r.sur_grid_configs)
+       else None);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* History metric bags: the flat numbers each benchmark contributes to
    the run-history ledger (Pi_obs.History). Names reuse the JSON field
@@ -594,4 +762,13 @@ let recorder_history_metrics r =
     ("recorder_off_configs_per_sec", r.rec_off_configs_per_sec);
     ("recorder_on_configs_per_sec", r.rec_on_configs_per_sec);
     ("recorder_overhead_percent", r.rec_overhead_percent);
+  ]
+
+let surrogate_history_metrics r =
+  [
+    ("surrogate_replayed_lanes", float_of_int r.sur_replayed_lanes);
+    ("surrogate_prune_factor", r.sur_prune_factor);
+    ("surrogate_predicted_cpi_max_err", r.sur_predicted_max_err);
+    ("surrogate_holdout_max_abs_err", r.sur_holdout_max_err);
+    ("surrogate_speedup", r.sur_speedup);
   ]

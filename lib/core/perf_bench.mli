@@ -146,6 +146,64 @@ val write_recorder_json : path:string -> recorder_result -> unit
 val recorder_summary : recorder_result -> string
 (** Human-readable multi-line summary. *)
 
+(** {1 Surrogate-steered sweep benchmark}
+
+    Runs the steered [Max_err] predictor study
+    ({!Pi_uarch.Sweep.run_study} with [surrogate]) against the golden
+    full fused study on the same compiled plan, and records the pruning
+    claim — how few grid lanes the steering replayed — next to the
+    accuracy claim — every predicted lane within the tolerance of the
+    golden CPI ([BENCH_surrogate.json]). [make perf] gates the prune
+    factor at 5× ([PI_SURROGATE_GATE]); replayed-lane bit-identity and
+    predicted-lane accuracy are enforced whenever the result is gated,
+    including [make surrogate-smoke]. *)
+
+type surrogate_result = {
+  sur_bench : string;
+  sur_scale : int;
+  sur_grid_configs : int;  (** grid lanes in the full study (145) *)
+  sur_max_err_percent : float;  (** the [Max_err] steering tolerance *)
+  sur_replayed_lanes : int;  (** lanes carrying simulated truth *)
+  sur_pruned_lanes : int;  (** lanes filled in by the surrogate *)
+  sur_prune_factor : float;  (** [grid_configs / replayed_lanes] *)
+  sur_rounds : int;  (** steering fit-replay rounds *)
+  sur_holdout_max_err : float;
+      (** the model's own pre-replay holdout error, percent CPI *)
+  sur_holdout_mean_err : float;
+  sur_predicted_max_err : float;
+      (** max CPI error of the predicted lanes against the golden study,
+          percent — the acceptance bound *)
+  sur_full_seconds : float;  (** best-of-3 full fused study wall time *)
+  sur_steered_seconds : float;  (** best-of-3 steered study, fits included *)
+  sur_speedup : float;  (** [full_seconds / steered_seconds] *)
+  sur_replayed_identical : bool;
+      (** every replayed lane bit-identical to the golden study *)
+  sur_within_tolerance : bool;
+      (** [predicted_max_err <= max_err_percent] *)
+}
+
+val run_surrogate :
+  ?bench:string -> ?scale:int -> ?max_err:float -> unit -> surrogate_result
+(** Build the benchmark (default 183.equake at scale 2 — a smooth
+    response surface the steering prunes hard), trace and compile once,
+    warm with one untimed fused grid, then time the full fused study and
+    the steered [Max_err max_err] study (default tolerance 1.0%), best of
+    three each. Steering is deterministic, so the gated lane counts are
+    identical across reps; only the wall times vary. *)
+
+val surrogate_to_json : surrogate_result -> string
+val write_surrogate_json : path:string -> surrogate_result -> unit
+
+val surrogate_summary : surrogate_result -> string
+(** Human-readable multi-line summary. *)
+
+val surrogate_failures : gate:float -> surrogate_result -> string list
+(** Gate verdicts, empty when the result passes: replayed-lane
+    divergence and tolerance violations always fail; a positive [gate]
+    additionally requires [sur_prune_factor >= gate]. Shared by
+    [bench/perf.exe] and [bench/surrogate.exe] so [make perf] and
+    [make surrogate-smoke] enforce identical rules. *)
+
 (** {1 History metric bags}
 
     The flat numbers each benchmark contributes to the run-history
@@ -156,3 +214,4 @@ val history_metrics : result -> (string * float) list
 val sweep_history_metrics : sweep_result -> (string * float) list
 val cache_sweep_history_metrics : cache_sweep_result -> (string * float) list
 val recorder_history_metrics : recorder_result -> (string * float) list
+val surrogate_history_metrics : surrogate_result -> (string * float) list

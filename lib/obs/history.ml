@@ -328,6 +328,11 @@ let default_rules =
     { suffix = "speedup"; direction = Higher_better; tol_percent = 50.0 };
     { suffix = "r_squared"; direction = Higher_better; tol_percent = 5.0 };
     { suffix = "failed_jobs"; direction = Lower_better; tol_percent = 0.0 };
+    (* Surrogate accuracy metrics (steered sweeps, PR-10): prediction
+       errors are lower-better, and they live near zero, so relative
+       jitter is large — only a doubling trips the gate. *)
+    { suffix = "_abs_err"; direction = Lower_better; tol_percent = 100.0 };
+    { suffix = "_max_err"; direction = Lower_better; tol_percent = 100.0 };
   ]
 
 let rule_for rules metric =

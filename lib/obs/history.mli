@@ -73,7 +73,10 @@ type rule = { suffix : string; direction : direction; tol_percent : float }
 val default_rules : rule list
 (** [_per_sec] / [speedup]: higher better, 50% tolerance (timing noise
     on quick runs is real); [r_squared]: higher better, 5%;
-    [failed_jobs]: lower better, 0% — any increase regresses. *)
+    [failed_jobs]: lower better, 0% — any increase regresses;
+    [_abs_err] / [_max_err] (surrogate prediction errors): lower
+    better, 100% — they live near zero where relative jitter is large,
+    so only a doubling regresses. *)
 
 type delta = {
   metric : string;

@@ -7,7 +7,7 @@ module Span = Pi_obs.Span
 module Linreg = Pi_stats.Linreg
 module C = Pi_uarch.Counters
 
-type kind = Measure | Predict | Campaign | Cache_sweep | Bundle
+type kind = Measure | Predict | Campaign | Cache_sweep | Bundle | Estimate
 
 type params = {
   kind : kind;
@@ -26,6 +26,7 @@ let kind_name = function
   | Campaign -> "campaign"
   | Cache_sweep -> "cache_sweep"
   | Bundle -> "bundle"
+  | Estimate -> "estimate"
 
 let kind_of_name = function
   | "measure" -> Some Measure
@@ -33,6 +34,7 @@ let kind_of_name = function
   | "campaign" -> Some Campaign
   | "cache_sweep" -> Some Cache_sweep
   | "bundle" -> Some Bundle
+  | "estimate" -> Some Estimate
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -149,6 +151,8 @@ let parse json =
             Error "kind \"predict\" takes exactly one benchmark"
         | Cache_sweep when List.length benches <> 1 ->
             Error "kind \"cache_sweep\" takes exactly one benchmark"
+        | Estimate when List.length benches <> 1 ->
+            Error "kind \"estimate\" takes exactly one benchmark"
         | _ -> Ok ()
       in
       let* quick = bool_field "quick" ~default:false in
@@ -391,6 +395,81 @@ let run_cache_sweep p =
       ("points", J.List (Array.to_list (Array.map cache_point_json s.Sweep.cache_points)));
     ]
 
+(* Estimate (PR-10 surrogate serving): answer instantly from whatever the
+   observation cache already holds — no [prepare], no replay — and name
+   the Measure twin the server enqueues in the background to refine it.
+   The twin shares every parameter except [kind], so its id is derivable
+   here without talking to the server, and once it completes the cache
+   holds every seed and a resubmitted estimate converges bit-for-bit on
+   the refined fit. Fewer than 3 cached observations is a {e negative
+   estimate} — ok:false with the reason — not a job failure: there is
+   simply nothing to estimate from yet. *)
+module Surrogate = Pi_stats.Surrogate
+
+let refined_job_id p = id_of_key (key { p with kind = Measure })
+
+let run_estimate ~cache p =
+  let config = config_of p in
+  let bench_name = List.hd p.benches in
+  let cached =
+    Span.with_ ~cat:"serve" ~name:"job.cache" ~args:[ ("bench", bench_name) ]
+      (fun () -> Obs_cache.load cache ~bench:bench_name ~config)
+  in
+  (* Only seeds the Measure twin will itself observe: the estimate is a
+     prediction of that job's document, so extra cached seeds outside
+     [1..layouts] must not leak into the fit. *)
+  let obs =
+    Array.of_list
+      (List.filter
+         (fun o -> o.E.layout_seed >= 1 && o.E.layout_seed <= p.layouts)
+         (Array.to_list cached))
+  in
+  Array.sort (fun a b -> compare a.E.layout_seed b.E.layout_seed) obs;
+  let doc ~ok fields =
+    J.Obj
+      ([
+         ("kind", J.String "estimate");
+         ("params", canonical p);
+         ("bench", J.String bench_name);
+         ("config_digest", J.String (Obs_cache.config_digest config));
+         ("ok", J.Bool ok);
+         ("cached_layouts", J.Int (Array.length obs));
+         ("requested_layouts", J.Int p.layouts);
+         ("refined_job", J.String (refined_job_id p));
+       ]
+      @ fields)
+  in
+  if Array.length obs < 3 then
+    doc ~ok:false
+      [
+        ( "error",
+          J.String
+            (Printf.sprintf
+               "only %d cached observation(s); the refined measure job will \
+                populate the cache"
+               (Array.length obs)) );
+      ]
+  else begin
+    let fit = fit_of_observations ~bench:bench_name obs in
+    (* Honest error bar on the CPI ~ MPKI map: held-out fold residuals of
+       a one-feature surrogate, not the in-sample fit error (which is ~0
+       whenever the fit near-interpolates a small cache). *)
+    let xs = Array.map (fun o -> [| o.E.measurement.C.mpki |]) obs in
+    let ys = Array.map (fun o -> o.E.measurement.C.cpi) obs in
+    let s = Surrogate.fit xs ys in
+    let oof = Surrogate.oof_residuals s in
+    let max_oof =
+      Array.fold_left (fun acc r -> Float.max acc (Float.abs r)) 0.0 oof
+    in
+    doc ~ok:true
+      [
+        ("fit", fit_json fit);
+        ("cpi_oof_abs_err_max", J.Float max_oof);
+        ("cpi_oof_abs_err_p90", J.Float (Surrogate.oof_p90 s));
+        ("stale", J.Bool (Array.length obs < p.layouts));
+      ]
+  end
+
 (* Bundle verification (PR-9 run bundles): re-hash every pinned artifact
    in a bundle directory against its manifest. The report is a pure
    function of the bundle's current bytes, so the result document is
@@ -444,6 +523,7 @@ let execute ~cache p =
     | Predict -> run_predict ~cache p
     | Cache_sweep -> run_cache_sweep p
     | Bundle -> run_bundle p
+    | Estimate -> run_estimate ~cache p
   with
   | doc -> Ok doc
   | exception exn -> Error (Printexc.to_string exn)

@@ -24,6 +24,17 @@ type kind =
   | Bundle
       (** re-verify a content-addressed run bundle on disk
           ({!Pi_campaign.Bundle.verify}) *)
+  | Estimate
+      (** answer a one-benchmark measurement question {e instantly} from
+          observations already in the cache — no replay — while the server
+          enqueues the {!Measure} twin (same params, kind swapped) in the
+          background to refine it. The predicted and refined documents are
+          distinct artifacts under distinct job ids; the estimate names
+          its twin in a ["refined_job"] field. An estimate document is a
+          function of (params, cache contents): deterministic for a given
+          cache state, and convergent — once the twin has run the cache
+          holds every seed, so executing the estimate again reproduces
+          the refined fit bit-for-bit. *)
 
 type params = {
   kind : kind;
@@ -42,8 +53,8 @@ val parse : J.json -> (params, string) result
 (** Parse and validate a submission body, e.g.
     [{"kind":"measure","bench":"429.mcf","layouts":12,"quick":true}].
     Accepts ["bench"] (one), ["benches"] (list) or ["suite"]
-    (["2006"|"2000"|"table1"|"sim"|"all"]); [Predict] and [Cache_sweep]
-    require exactly one benchmark. [Bundle] instead requires a non-empty
+    (["2006"|"2000"|"table1"|"sim"|"all"]); [Predict], [Cache_sweep] and
+    [Estimate] require exactly one benchmark. [Bundle] instead requires a non-empty
     string ["dir"] (the bundle directory) and takes no benchmarks.
     Unknown benchmarks, unknown fields, and out-of-range values
     ([layouts] outside 3..1000, [scale] outside 1..64, negative [seed])
@@ -79,4 +90,11 @@ val execute : cache:Pi_campaign.Obs_cache.t -> params -> (J.json, string) result
 
     [Bundle] jobs re-hash the bundle at [params.dir] and report
     [{"ok":bool,"checked":N,"problems":[...]}]; an unreadable manifest is
-    an ok:false result with an ["error"] field, not a job failure. *)
+    an ok:false result with an ["error"] field, not a job failure.
+
+    [Estimate] jobs never replay: they fit over the cached observations
+    whose seeds fall in [1..layouts] (fewer than 3 is an ok:false
+    document, not a failure), report the fit plus held-out
+    ({!Pi_stats.Surrogate.oof_residuals}) CPI error bars, flag
+    ["stale":true] while seeds are missing, and name the measure twin in
+    ["refined_job"]. *)

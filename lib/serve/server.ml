@@ -49,6 +49,10 @@ let m_completed_error =
   Metrics.counter ~help:"jobs finished, by status" ~labels:[ ("status", "error") ]
     "pi_serve_jobs_completed_total"
 
+let m_refinements =
+  Metrics.counter ~help:"background measure twins enqueued by estimate jobs"
+    "pi_serve_estimate_refinements_total"
+
 let m_recovered =
   Metrics.counter ~help:"unfinished jobs re-enqueued by WAL replay at boot"
     "pi_serve_jobs_recovered_total"
@@ -287,6 +291,36 @@ let find_job t id =
   Mutex.protect t.table_mutex (fun () ->
       Hashtbl.fold (fun _ job acc -> if job.id = id then Some job else acc) t.jobs None)
 
+(* The background half of an estimate: enqueue the Measure twin (same
+   params, kind swapped) so a full replay refines the cached observations
+   the estimate answered from. Best-effort and silent — an existing twin
+   means the refinement is already underway (or done), and a full queue
+   just means it waits for the next estimate resubmission. Caller holds
+   [table_mutex]: twin admission rides the same atomic step as the
+   estimate's own, so the WAL never sees an estimate without its twin
+   decision. *)
+let enqueue_refinement_locked t ~client (params : Jobs.params) =
+  let params = { params with Jobs.kind = Jobs.Measure } in
+  let key = Jobs.key params in
+  if
+    (not (Hashtbl.mem t.jobs key))
+    && Queue.depth t.queue < t.options.queue_capacity
+  then begin
+    let job =
+      { id = Jobs.id_of_key key; jkey = key; params; client;
+        state = Queued; enqueued_at = Pi_obs.Clock.now () }
+    in
+    Ledger.append t.ledger (submit_record job);
+    Hashtbl.replace t.jobs key job;
+    t.order <- key :: t.order;
+    if not (Queue.enqueue ~client ~force:true t.queue job) then
+      job.state <- Failed "queue closed"
+    else begin
+      Metrics.inc m_submitted;
+      Metrics.inc m_refinements
+    end
+  end
+
 let handle_submit t (req : Http.request) =
   if Atomic.get t.stopping then Router.error 503 "draining"
   else
@@ -308,6 +342,11 @@ let handle_submit t (req : Http.request) =
                 match Hashtbl.find_opt t.jobs key with
                 | Some job ->
                     Metrics.inc m_deduped;
+                    (* A resubmitted estimate re-offers its twin: the
+                       first submission may have skipped it on a full
+                       queue. *)
+                    if params.Jobs.kind = Jobs.Estimate then
+                      enqueue_refinement_locked t ~client params;
                     `Existing job
                 | None ->
                     if
@@ -331,6 +370,8 @@ let handle_submit t (req : Http.request) =
                       if not (Queue.enqueue ~client ~force:true t.queue job) then
                         job.state <- Failed "queue closed"
                       else Metrics.inc m_submitted;
+                      if params.Jobs.kind = Jobs.Estimate then
+                        enqueue_refinement_locked t ~client params;
                       `Accepted job
                     end)
             |> function

@@ -1,0 +1,443 @@
+(* Learned response-surface surrogates: ridge + boosted stumps on
+   standardized features, leave-out ensemble uncertainty, deterministic
+   farthest-point sampling. See surrogate.mli for the contracts. *)
+
+(* ---------------- Standardization ---------------- *)
+
+type scaler = { means : float array; stds : float array }
+
+let scaler_fit xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Surrogate.scaler_fit: empty";
+  let d = Array.length xs.(0) in
+  let means = Array.make d 0.0 in
+  Array.iter
+    (fun row ->
+      if Array.length row <> d then invalid_arg "Surrogate.scaler_fit: ragged rows";
+      Array.iteri (fun j v -> means.(j) <- means.(j) +. v) row)
+    xs;
+  let nf = float_of_int n in
+  Array.iteri (fun j s -> means.(j) <- s /. nf) means;
+  let stds = Array.make d 0.0 in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun j v ->
+          let dv = v -. means.(j) in
+          stds.(j) <- stds.(j) +. (dv *. dv))
+        row)
+    xs;
+  Array.iteri (fun j s -> stds.(j) <- sqrt (s /. nf)) stds;
+  { means; stds }
+
+let constant_eps = 1e-12
+
+let scaler_transform s x =
+  if Array.length x <> Array.length s.means then
+    invalid_arg "Surrogate.scaler_transform: wrong arity";
+  Array.mapi
+    (fun j v ->
+      if s.stds.(j) <= constant_eps then 0.0 else (v -. s.means.(j)) /. s.stds.(j))
+    x
+
+let scaler_inverse s z =
+  if Array.length z <> Array.length s.means then
+    invalid_arg "Surrogate.scaler_inverse: wrong arity";
+  Array.mapi
+    (fun j v ->
+      if s.stds.(j) <= constant_eps then s.means.(j) else (v *. s.stds.(j)) +. s.means.(j))
+    z
+
+(* ---------------- Ridge ---------------- *)
+
+type ridge = { weights : float array; bias : float; lambda_used : float }
+
+(* Condition estimate from the Cholesky factor: diag(L) are the square
+   roots of the pivots, so (max/min)^2 tracks the spectral condition
+   number closely enough to decide when to shrink harder. *)
+let cholesky_condition l p =
+  let mx = ref 0.0 and mn = ref infinity in
+  for i = 0 to p - 1 do
+    let d = Matrix.get l i i in
+    if d > !mx then mx := d;
+    if d < !mn then mn := d
+  done;
+  if !mn <= 0.0 then infinity else (!mx /. !mn) ** 2.0
+
+let ridge_fit ?(lambda = 1e-4) xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Surrogate.ridge_fit: length mismatch";
+  if n = 0 then invalid_arg "Surrogate.ridge_fit: empty";
+  let d = Array.length xs.(0) in
+  if d = 0 then invalid_arg "Surrogate.ridge_fit: no features";
+  let nf = float_of_int n in
+  (* Center so the intercept is not penalized. *)
+  let x_mean = Array.make d 0.0 in
+  Array.iter
+    (fun row ->
+      if Array.length row <> d then invalid_arg "Surrogate.ridge_fit: ragged rows";
+      Array.iteri (fun j v -> x_mean.(j) <- x_mean.(j) +. v) row)
+    xs;
+  Array.iteri (fun j s -> x_mean.(j) <- s /. nf) x_mean;
+  let y_mean = Array.fold_left ( +. ) 0.0 ys /. nf in
+  (* Normal equations on centered data. *)
+  let a0 = Matrix.create ~rows:d ~cols:d in
+  let b = Array.make d 0.0 in
+  for i = 0 to n - 1 do
+    let row = xs.(i) in
+    let yc = ys.(i) -. y_mean in
+    for j = 0 to d - 1 do
+      let xj = row.(j) -. x_mean.(j) in
+      b.(j) <- b.(j) +. (xj *. yc);
+      for k = j to d - 1 do
+        let v = Matrix.get a0 j k +. (xj *. (row.(k) -. x_mean.(k))) in
+        Matrix.set a0 j k v;
+        if k <> j then Matrix.set a0 k j v
+      done
+    done
+  done;
+  (* Scale-aware ridge floor: lambda multiplies the mean diagonal so the
+     shrinkage is invariant to feature scale. *)
+  let trace = ref 0.0 in
+  for j = 0 to d - 1 do
+    trace := !trace +. Matrix.get a0 j j
+  done;
+  let diag_unit = Float.max (!trace /. float_of_int d) 1e-30 in
+  let rec solve lam attempt =
+    let a = Matrix.create ~rows:d ~cols:d in
+    for j = 0 to d - 1 do
+      for k = 0 to d - 1 do
+        Matrix.set a j k (Matrix.get a0 j k)
+      done;
+      Matrix.set a j j (Matrix.get a0 j j +. (lam *. diag_unit))
+    done;
+    let escalate () =
+      if attempt >= 8 then
+        invalid_arg "Surrogate.ridge_fit: normal equations unsolvable (escalation cap)"
+      else solve (Float.max (lam *. 10.0) 1e-10) (attempt + 1)
+    in
+    match Matrix.cholesky a with
+    | exception Failure _ -> escalate ()
+    | l ->
+        if cholesky_condition l d > 1e10 then escalate ()
+        else (Matrix.solve_cholesky l b, lam)
+  in
+  let weights, lambda_used = solve lambda 0 in
+  let bias =
+    y_mean -. Array.fold_left ( +. ) 0.0 (Array.mapi (fun j w -> w *. x_mean.(j)) weights)
+  in
+  { weights; bias; lambda_used }
+
+let ridge_predict r x =
+  if Array.length x <> Array.length r.weights then
+    invalid_arg "Surrogate.ridge_predict: wrong arity";
+  let acc = ref r.bias in
+  Array.iteri (fun j w -> acc := !acc +. (w *. x.(j))) r.weights;
+  !acc
+
+(* ---------------- Boosted stumps ---------------- *)
+
+type stump = { feat : int; thresh : float; left : float; right : float }
+
+(* Best single stump for the current residual, by exact SSE over midpoint
+   thresholds of every feature. O(d n log n); n is tens here. *)
+let best_stump xs res =
+  let n = Array.length xs in
+  let d = Array.length xs.(0) in
+  let total = Array.fold_left ( +. ) 0.0 res in
+  let best = ref None in
+  let best_gain = ref 1e-12 in
+  for j = 0 to d - 1 do
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let c = compare xs.(a).(j) xs.(b).(j) in
+        if c <> 0 then c else compare a b)
+      order;
+    (* Prefix sums over the sorted order: left = first k points. *)
+    let sum = ref 0.0 in
+    for k = 0 to n - 2 do
+      let i = order.(k) in
+      sum := !sum +. res.(i);
+      let xa = xs.(i).(j) and xb = xs.(order.(k + 1)).(j) in
+      if xb > xa then begin
+        let nl = float_of_int (k + 1) and nr = float_of_int (n - k - 1) in
+        let sl = !sum and sr = total -. !sum in
+        (* SSE reduction of replacing one mean with two. *)
+        let gain =
+          (sl *. sl /. nl) +. (sr *. sr /. nr) -. (total *. total /. float_of_int n)
+        in
+        if gain > !best_gain +. 1e-15 then begin
+          best_gain := gain;
+          best :=
+            Some { feat = j; thresh = (xa +. xb) /. 2.0; left = sl /. nl; right = sr /. nr }
+        end
+      end
+    done
+  done;
+  !best
+
+let stump_eval s x = if x.(s.feat) <= s.thresh then s.left else s.right
+
+let boost_fit ?(rounds = 24) ?(rate = 0.5) xs ys =
+  let n = Array.length ys in
+  if n = 0 || Array.length xs <> n then invalid_arg "Surrogate.boost_fit: bad input";
+  let res = Array.copy ys in
+  let acc = ref [] in
+  (try
+     for _ = 1 to rounds do
+       match best_stump xs res with
+       | None -> raise Exit
+       | Some s ->
+           let s = { s with left = s.left *. rate; right = s.right *. rate } in
+           acc := s :: !acc;
+           for i = 0 to n - 1 do
+             res.(i) <- res.(i) -. stump_eval s xs.(i)
+           done
+     done
+   with Exit -> ());
+  Array.of_list (List.rev !acc)
+
+let boost_predict stumps x =
+  Array.fold_left (fun acc s -> acc +. stump_eval s x) 0.0 stumps
+
+(* ---------------- The ensemble model ---------------- *)
+
+type member = { m_ridge : ridge; m_stumps : stump array }
+
+let member_fit ~lambda ~boost_rounds zs ys =
+  let r = ridge_fit ~lambda zs ys in
+  let res = Array.mapi (fun i z -> ys.(i) -. ridge_predict r z) zs in
+  let stumps =
+    if boost_rounds > 0 && Array.length ys >= 4 then boost_fit ~rounds:boost_rounds zs res
+    else [||]
+  in
+  { m_ridge = r; m_stumps = stumps }
+
+let member_predict m z = ridge_predict m.m_ridge z +. boost_predict m.m_stumps z
+
+type t = {
+  t_scaler : scaler;
+  full : member;
+  fold_members : member array;
+  t_oof : float array;  (* signed held-out residuals, aligned with training rows *)
+  t_oof_p90 : float;
+  fallback_sigma : float;  (* full-fit residual RMS; the degenerate-ensemble floor *)
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let fit ?(lambda = 1e-4) ?(boost_rounds = 24) ?(folds = 5) xs ys =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Surrogate.fit: need at least 2 points";
+  if Array.length ys <> n then invalid_arg "Surrogate.fit: length mismatch";
+  let sc = scaler_fit xs in
+  let zs = Array.map (scaler_transform sc) xs in
+  let full = member_fit ~lambda ~boost_rounds zs ys in
+  let fallback_sigma =
+    let ss =
+      Array.fold_left ( +. ) 0.0
+        (Array.mapi
+           (fun i z ->
+             let e = ys.(i) -. member_predict full z in
+             e *. e)
+           zs)
+    in
+    sqrt (ss /. float_of_int n)
+  in
+  let nfolds = min folds n in
+  if n < 4 || nfolds < 2 then
+    {
+      t_scaler = sc;
+      full;
+      fold_members = [||];
+      t_oof = [||];
+      t_oof_p90 = fallback_sigma;
+      fallback_sigma;
+    }
+  else begin
+    (* Deterministic round-robin folds: point i belongs to fold (i mod k),
+       so the held-out slices interleave any ordering the caller used. *)
+    let oof = Array.make n 0.0 in
+    let members =
+      Array.init nfolds (fun k ->
+          let keep = ref [] and keep_y = ref [] in
+          for i = n - 1 downto 0 do
+            if i mod nfolds <> k then begin
+              keep := zs.(i) :: !keep;
+              keep_y := ys.(i) :: !keep_y
+            end
+          done;
+          let m =
+            member_fit ~lambda ~boost_rounds (Array.of_list !keep) (Array.of_list !keep_y)
+          in
+          for i = 0 to n - 1 do
+            if i mod nfolds = k then oof.(i) <- ys.(i) -. member_predict m zs.(i)
+          done;
+          m)
+    in
+    let abs_sorted = Array.map Float.abs oof in
+    Array.sort compare abs_sorted;
+    {
+      t_scaler = sc;
+      full;
+      fold_members = members;
+      t_oof = oof;
+      t_oof_p90 = percentile abs_sorted 0.9;
+      fallback_sigma;
+    }
+  end
+
+let predict t x = member_predict t.full (scaler_transform t.t_scaler x)
+
+let uncertainty t x =
+  let z = scaler_transform t.t_scaler x in
+  let center = member_predict t.full z in
+  let spread =
+    Array.fold_left
+      (fun acc m -> Float.max acc (Float.abs (member_predict m z -. center)))
+      0.0 t.fold_members
+  in
+  if Array.length t.fold_members = 0 then t.fallback_sigma +. spread
+  else spread +. t.t_oof_p90
+
+let oof_p90 t = if Array.length t.fold_members = 0 then 0.0 else t.t_oof_p90
+let oof_residuals t = Array.copy t.t_oof
+
+(* ---------------- Deterministic space-filling sampling ---------------- *)
+
+let sample_order ?(anchors = [ 0 ]) xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let sc = scaler_fit xs in
+    let zs = Array.map (scaler_transform sc) xs in
+    let d = Array.length zs.(0) in
+    let dist2 a b =
+      let acc = ref 0.0 in
+      for j = 0 to d - 1 do
+        let dv = a.(j) -. b.(j) in
+        acc := !acc +. (dv *. dv)
+      done;
+      !acc
+    in
+    let chosen = Array.make n false in
+    let mind = Array.make n infinity in
+    let order = ref [] in
+    let count = ref 0 in
+    let add i =
+      if not chosen.(i) then begin
+        chosen.(i) <- true;
+        order := i :: !order;
+        incr count;
+        for k = 0 to n - 1 do
+          if not chosen.(k) then mind.(k) <- Float.min mind.(k) (dist2 zs.(k) zs.(i))
+        done
+      end
+    in
+    List.iter (fun a -> if a >= 0 && a < n then add a) anchors;
+    if !count = 0 then add 0;
+    while !count < n do
+      (* Farthest point from the chosen set; ties to the lowest index. *)
+      let best = ref (-1) and best_d = ref neg_infinity in
+      for k = 0 to n - 1 do
+        if (not chosen.(k)) && mind.(k) > !best_d then begin
+          best := k;
+          best_d := mind.(k)
+        end
+      done;
+      add !best
+    done;
+    Array.of_list (List.rev !order)
+  end
+
+(* ---------------- Feature extraction ---------------- *)
+
+let predictor_feature_dim = 25
+
+(* Families in the order of the one-hot block. *)
+let family_bimodal = 0
+let family_gshare = 1
+let family_gas = 2
+let family_hybrid = 3
+let family_static_taken = 4
+let family_static_not_taken = 5
+
+let predictor_features name =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf "Surrogate.predictor_features: %S is not a sweep-grid name" name)
+  in
+  let parse_el_h prefix =
+    let rest =
+      String.sub name (String.length prefix) (String.length name - String.length prefix)
+    in
+    match String.index_opt rest '/' with
+    | Some i -> (
+        match
+          ( int_of_string_opt (String.sub rest 0 i),
+            int_of_string_opt (String.sub rest (i + 1) (String.length rest - i - 1)) )
+        with
+        | Some el, Some h when el > 0 && h >= 0 -> (float_of_int el, float_of_int h)
+        | _ -> fail ())
+    | None -> fail ()
+  in
+  let family, el, h =
+    if name = "static-taken" then (family_static_taken, 0.0, 0.0)
+    else if name = "static-not-taken" then (family_static_not_taken, 0.0, 0.0)
+    else if String.length name > 8 && String.sub name 0 8 = "bimodal-" then
+      match int_of_string_opt (String.sub name 8 (String.length name - 8)) with
+      | Some el when el > 0 -> (family_bimodal, float_of_int el, 0.0)
+      | _ -> fail ()
+    else if String.length name > 7 && String.sub name 0 7 = "gshare-" then
+      let el, h = parse_el_h "gshare-" in
+      (family_gshare, el, h)
+    else if String.length name > 4 && String.sub name 0 4 = "gas-" then
+      let el, h = parse_el_h "gas-" in
+      (family_gas, el, h)
+    else if String.length name > 7 && String.sub name 0 7 = "hybrid-" then
+      let el, h = parse_el_h "hybrid-" in
+      (family_hybrid, el, h)
+    else fail ()
+  in
+  let f = Array.make predictor_feature_dim 0.0 in
+  f.(family) <- 1.0;
+  f.(6) <- el;
+  f.(7) <- h;
+  (* Per-family response blocks: the one-hots partition the rows, so with
+     an unpenalized intercept the ridge solves what amounts to a separate
+     quadratic surface in (log2 entries, history bits) for every family —
+     the classic shape of a predictor's accuracy-vs-geometry curve — while
+     the shared el/h columns let sparsely-sampled families borrow the
+     global trend. *)
+  if family = family_bimodal then begin
+    f.(8) <- el;
+    f.(9) <- el *. el
+  end;
+  let quad base family' =
+    if family = family' then begin
+      f.(base) <- el;
+      f.(base + 1) <- h;
+      f.(base + 2) <- el *. el;
+      f.(base + 3) <- h *. h;
+      f.(base + 4) <- el *. h
+    end
+  in
+  quad 10 family_gshare;
+  quad 15 family_gas;
+  quad 20 family_hybrid;
+  f
+
+let geometry_feature_dim = 4
+
+let log2f v = log (float_of_int v) /. log 2.0
+
+let geometry_features ~sets ~ways ~line_bytes ~size_bytes =
+  if sets <= 0 || ways <= 0 || line_bytes <= 0 || size_bytes <= 0 then
+    invalid_arg "Surrogate.geometry_features: nonpositive geometry";
+  [| log2f sets; log2f ways; log2f line_bytes; log2f size_bytes |]

@@ -100,6 +100,8 @@ let grid_batch_memo = lazy (Replay.batch_of (Array.of_list (configurations ())))
 let grid_batch () = Lazy.force grid_batch_memo
 
 type point = { config_name : string; mpki : float; cpi : float }
+type source = Replayed | Predicted
+type steering = Budget of int | Max_err of float
 
 type study = {
   benchmark : string;
@@ -115,9 +117,345 @@ type study = {
   fused_lanes : int;
   fallback_lanes : int;
   shards : int;
+  sources : source array;
+  replayed_lanes : int;
+  surrogate_rounds : int;
+  surrogate_max_abs_err : float;
+  surrogate_mean_abs_err : float;
+  grid_seconds : float;
+  lane_seconds : float;
 }
 
 type shard_map = (int -> Pipeline.counts array) -> int -> Pipeline.counts array array
+
+(* ------------------------------------------------------------------ *)
+(* Surrogate steering: replay a deterministic space-filling seed, fit one
+   model per target metric, then iteratively replay only the lanes where
+   the model is still uncertain. Axis-agnostic — both grids reduce to
+   (feature vector, replay-a-subset) pairs. *)
+
+let m_surrogate_fits =
+  Pi_obs.Metrics.counter ~help:"surrogate model fits during steered sweeps"
+    "pi_obs_surrogate_fits_total"
+
+let m_surrogate_pruned =
+  Pi_obs.Metrics.counter ~help:"grid lanes answered by the surrogate instead of a replay"
+    "pi_obs_surrogate_replays_pruned_total"
+
+let m_surrogate_max_err =
+  Pi_obs.Metrics.gauge
+    ~help:"max abs CPI error (percent) vs replayed holdouts in the last steered sweep"
+    "pi_obs_surrogate_max_abs_err"
+
+(* Targets are fit in log space so the model's absolute uncertainty reads
+   directly as a relative bound on the linear-space value — the units of
+   [Max_err] (after /100). *)
+let log_eps = 1e-6
+let to_log v = log (v +. log_eps)
+let of_log v = Float.max 0.0 (exp v -. log_eps)
+
+type steered = {
+  st_values : float array array;  (* n x targets, linear space *)
+  st_sources : source array;
+  st_replayed : int;
+  st_rounds : int;
+  st_max_err : float;  (* percent, CPI target, over replayed holdouts *)
+  st_mean_err : float;
+}
+
+(* [replay idxs] replays the given (ascending) config indices and returns
+   [(index, target values)] for each; [steer] never asks for an index
+   twice. [cpi_target] names the CPI column; every other target is a
+   miss-rate regressor of the linear CPI map below.
+
+   The model is two-stage, mirroring the paper's thesis that CPI is linear
+   in a handful of miss rates: one log-space surrogate per miss-rate
+   target, a linear CPI-on-miss-rates map over the replayed lanes, and a
+   surrogate on that map's residual. Predictions add an inverse-distance
+   correction from the residuals at the nearest replayed lanes, so the
+   model interpolates the truth it has already paid for.
+
+   Uncertainty is built from *held-out* fold residuals
+   ({!Pi_stats.Surrogate.oof_residuals}) — the in-sample residuals of a
+   ridge fit with more features than points are near zero even when the
+   model is wrong between samples — combined as: local held-out error of
+   the nearest replayed lanes, plus the local residual gradient times the
+   distance to the nearest replayed lane, floored by the global held-out
+   spread saturating with that distance. Miss-rate uncertainties convert
+   to absolute units against the largest nearby truth (an underpredicted
+   miss rate must not shrink its own error bar) and propagate through the
+   linear map's coefficients. *)
+
+(* Constants validated against full-grid truth on a 10-benchmark panel:
+   [safety]/[floor_c] trade pruning for bound validity; [knn] is the
+   correction neighborhood; [chunk] lanes replay per round so the fused
+   sub-batches stay worth their packing cost. *)
+let steer_safety = 1.5
+let steer_floor_c = 1.0
+let steer_knn = 4
+let steer_chunk = 5
+
+let steer ~steering ~feats ~anchors ~n_targets ~cpi_target ~replay n =
+  let module S = Pi_stats.Surrogate in
+  let order = S.sample_order ~anchors feats in
+  let sc = S.scaler_fit feats in
+  let zs = Array.map (S.scaler_transform sc) feats in
+  let dist2 a b =
+    let d = ref 0.0 in
+    Array.iteri
+      (fun j v ->
+        let dd = v -. b.(j) in
+        d := !d +. (dd *. dd))
+      a;
+    !d
+  in
+  let values = Array.make n [||] in
+  let replayed = Array.make n false in
+  let replayed_count = ref 0 in
+  let do_replay idxs =
+    let idxs = Array.copy idxs in
+    Array.sort compare idxs;
+    List.iter
+      (fun (i, v) ->
+        values.(i) <- v;
+        if not replayed.(i) then begin
+          replayed.(i) <- true;
+          incr replayed_count
+        end)
+      (replay idxs)
+  in
+  (* The model needs two points to exist at all, so even [Budget 1] seeds
+     with two replays. *)
+  let budget = match steering with Budget b -> max 2 (min b n) | Max_err _ -> n in
+  let tol = match steering with Max_err e -> e /. 100.0 | Budget _ -> 0.0 in
+  let seed_n = min budget (max (min n 8) (n / 10)) in
+  do_replay (Array.sub order 0 seed_n);
+  let known () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if replayed.(i) then acc := i :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let miss_targets =
+    Array.of_list (List.filter (fun t -> t <> cpi_target) (List.init n_targets Fun.id))
+  in
+  (* One full model build over the replayed lanes; returns
+     [(predict, uncertainty)] over grid indices. *)
+  let build () =
+    let ks = known () in
+    let nrep = Array.length ks in
+    let xs = Array.map (fun i -> feats.(i)) ks in
+    let folds = min nrep 16 in
+    Pi_obs.Metrics.inc m_surrogate_fits;
+    (* Stage 1: log-space surrogate per miss-rate target. *)
+    let t_miss =
+      Array.map
+        (fun t -> S.fit ~folds xs (Array.map (fun i -> to_log values.(i).(t)) ks))
+        miss_targets
+    in
+    (* Stage 2: linear CPI map over the replayed miss rates. *)
+    let miss_row i = Array.map (fun t -> values.(i).(t)) miss_targets in
+    let cpi_of i = values.(i).(cpi_target) in
+    let map_coefs, map_predict =
+      let rows = Array.map miss_row ks in
+      let cpis = Array.map cpi_of ks in
+      match Array.length miss_targets with
+      | 1 -> (
+          match Pi_stats.Linreg.fit (Array.map (fun r -> r.(0)) rows) cpis with
+          | lr -> ([| lr.Pi_stats.Linreg.slope |], fun r -> Pi_stats.Linreg.predict lr r.(0))
+          | exception _ ->
+              let m = Array.fold_left ( +. ) 0.0 cpis /. float_of_int (max 1 nrep) in
+              ([| 0.0 |], fun _ -> m))
+      | _ -> (
+          match Pi_stats.Multireg.fit rows cpis with
+          | mr -> (mr.Pi_stats.Multireg.coefficients, Pi_stats.Multireg.predict mr)
+          | exception _ ->
+              let m = Array.fold_left ( +. ) 0.0 cpis /. float_of_int (max 1 nrep) in
+              (Array.map (fun _ -> 0.0) miss_targets, fun _ -> m))
+    in
+    (* Stage 3: surrogate on the map's residual. *)
+    let resid_c i = cpi_of i -. map_predict (miss_row i) in
+    let t_res = S.fit ~folds xs (Array.map resid_c ks) in
+    (* In-sample residuals drive the inverse-distance correction; held-out
+       residuals drive the uncertainty. Keyed by grid index. *)
+    let n_miss = Array.length miss_targets in
+    let ins_m = Array.init n_miss (fun _ -> Hashtbl.create 64) in
+    let ins_r = Hashtbl.create 64 in
+    let oof_m = Array.init n_miss (fun _ -> Hashtbl.create 64) in
+    let oof_r = Hashtbl.create 64 in
+    let oof_miss = Array.map S.oof_residuals t_miss in
+    let oof_res = S.oof_residuals t_res in
+    Array.iteri
+      (fun row i ->
+        for m = 0 to n_miss - 1 do
+          Hashtbl.replace ins_m.(m) i
+            (to_log values.(i).(miss_targets.(m)) -. S.predict t_miss.(m) feats.(i));
+          Hashtbl.replace oof_m.(m) i
+            (if Array.length oof_miss.(m) > row then oof_miss.(m).(row) else 0.0)
+        done;
+        Hashtbl.replace ins_r i (resid_c i -. S.predict t_res feats.(i));
+        Hashtbl.replace oof_r i (if Array.length oof_res > row then oof_res.(row) else 0.0))
+      ks;
+    let get tbl i = try Hashtbl.find tbl i with Not_found -> 0.0 in
+    let std_of tbl =
+      let vs = Array.map (get tbl) ks in
+      let mu = Array.fold_left ( +. ) 0.0 vs /. float_of_int (max 1 nrep) in
+      sqrt
+        (Array.fold_left (fun a v -> a +. ((v -. mu) *. (v -. mu))) 0.0 vs
+        /. float_of_int (max 1 nrep))
+    in
+    let p90_of tbl =
+      let vs = Array.map (fun i -> Float.abs (get tbl i)) ks in
+      Array.sort compare vs;
+      if nrep = 0 then 0.0 else vs.(min (nrep - 1) (int_of_float (0.9 *. float_of_int (nrep - 1))))
+    in
+    let gstd_m = Array.map std_of oof_m and p90_m = Array.map p90_of oof_m in
+    let gstd_r = std_of oof_r and p90_r = p90_of oof_r in
+    let rec take k = function [] -> [] | x :: tl -> if k = 0 then [] else x :: take (k - 1) tl in
+    let nearest i =
+      let ds = Array.to_list (Array.map (fun j -> (dist2 zs.(i) zs.(j), j)) ks) in
+      take steer_knn (List.sort compare ds)
+    in
+    let idw near tbl =
+      let ws = ref 0.0 and cs = ref 0.0 in
+      List.iter
+        (fun (d2, j) ->
+          let w = 1.0 /. (d2 +. 1e-2) in
+          ws := !ws +. w;
+          cs := !cs +. (w *. get tbl j))
+        near;
+      if !ws > 0.0 then !cs /. !ws else 0.0
+    in
+    let local_grad near tbl =
+      let g = ref 0.0 in
+      List.iter
+        (fun (_, a) ->
+          List.iter
+            (fun (_, b) ->
+              if a < b then begin
+                let d = sqrt (dist2 zs.(a) zs.(b)) in
+                if d > 1e-9 then g := Float.max !g (Float.abs (get tbl a -. get tbl b) /. d)
+              end)
+            near)
+        near;
+      !g
+    in
+    let local_abs_max near tbl =
+      List.fold_left (fun a (_, j) -> Float.max a (Float.abs (get tbl j))) 0.0 (take 3 near)
+    in
+    let predict i =
+      if replayed.(i) then (Array.copy values.(i), 0.0)
+      else begin
+        let near = nearest i in
+        let dnear = match near with (d2, _) :: _ -> sqrt d2 | [] -> infinity in
+        let floor_sat = Float.min 1.0 (dnear /. 1.5) in
+        let out = Array.make n_targets 0.0 in
+        let unc_sum = ref 0.0 in
+        let miss_pred = Array.make (Array.length miss_targets) 0.0 in
+        Array.iteri
+          (fun m t ->
+            let mp = of_log (S.predict t_miss.(m) feats.(i) +. idw near ins_m.(m)) in
+            miss_pred.(m) <- mp;
+            out.(t) <- mp;
+            let unc_log =
+              Float.max
+                (steer_floor_c *. Float.max gstd_m.(m) p90_m.(m) *. floor_sat)
+                ((local_grad near oof_m.(m) *. dnear *. 0.5) +. local_abs_max near oof_m.(m))
+            in
+            let scale =
+              List.fold_left
+                (fun a (_, j) -> Float.max a values.(j).(t))
+                mp
+                (match near with a :: b :: _ -> [ a; b ] | l -> l)
+            in
+            let unc_abs = scale *. (exp (Float.min unc_log 2.0) -. 1.0) in
+            unc_sum := !unc_sum +. (Float.abs map_coefs.(m) *. unc_abs))
+          miss_targets;
+        let cp =
+          Float.max 0.0 (map_predict miss_pred +. S.predict t_res feats.(i) +. idw near ins_r)
+        in
+        out.(cpi_target) <- cp;
+        let unc_r =
+          Float.max
+            (steer_floor_c *. Float.max gstd_r p90_r *. floor_sat)
+            ((local_grad near oof_r *. dnear *. 0.5) +. local_abs_max near oof_r)
+        in
+        let unc = steer_safety *. (!unc_sum +. unc_r) /. Float.max 1e-9 cp in
+        (out, unc)
+      end
+    in
+    predict
+  in
+  let rounds = ref 0 in
+  let err_sum = ref 0.0 and err_max = ref 0.0 and err_n = ref 0 in
+  let finished = ref false in
+  let predict = ref (build ()) in
+  while (not !finished) && !replayed_count < budget && !rounds < 64 do
+    let scored = ref [] in
+    for i = n - 1 downto 0 do
+      if not replayed.(i) then begin
+        let _, unc = !predict i in
+        scored := (i, unc) :: !scored
+      end
+    done;
+    (* Descending uncertainty, ties to the lowest index — deterministic. *)
+    let scored = Array.of_list !scored in
+    Array.sort (fun (i, u) (j, v) -> if v <> u then compare v u else compare i j) scored;
+    let cap = min (min steer_chunk (budget - !replayed_count)) (Array.length scored) in
+    let chosen =
+      match steering with
+      | Budget _ -> Array.sub scored 0 cap
+      | Max_err _ ->
+          let above = Array.of_list (List.filter (fun (_, u) -> u > tol) (Array.to_list scored)) in
+          if Array.length above > 0 then Array.sub above 0 (min cap (Array.length above))
+          else if !rounds = 0 then
+            (* Nothing exceeds the tolerance on the seed fit alone: replay a
+               small validation batch anyway, so the reported holdout error
+               is measured rather than assumed. *)
+            Array.sub scored 0 (min 3 cap)
+          else [||]
+    in
+    if Array.length chosen = 0 then finished := true
+    else begin
+      (* Holdout validation: predictions recorded before the replay reveals
+         the truth, exactly what a trusted predicted point would have said. *)
+      let predictions =
+        Array.map
+          (fun (i, _) ->
+            let v, _ = !predict i in
+            (i, v.(cpi_target)))
+          chosen
+      in
+      do_replay (Array.map fst chosen);
+      Array.iter
+        (fun (i, pred) ->
+          let actual = values.(i).(cpi_target) in
+          if actual > 0.0 then begin
+            let e = Float.abs (pred -. actual) /. actual *. 100.0 in
+            err_sum := !err_sum +. e;
+            err_max := Float.max !err_max e;
+            incr err_n
+          end)
+        predictions;
+      incr rounds;
+      predict := build ()
+    end
+  done;
+  let final = !predict in
+  for i = 0 to n - 1 do
+    if not replayed.(i) then values.(i) <- fst (final i)
+  done;
+  Pi_obs.Metrics.add m_surrogate_pruned (n - !replayed_count);
+  Pi_obs.Metrics.set m_surrogate_max_err !err_max;
+  {
+    st_values = values;
+    st_sources = Array.init n (fun i -> if replayed.(i) then Replayed else Predicted);
+    st_replayed = !replayed_count;
+    st_rounds = !rounds;
+    st_max_err = !err_max;
+    st_mean_err = (if !err_n = 0 then 0.0 else !err_sum /. float_of_int !err_n);
+  }
 
 let simulate ~warmup_blocks base plan placement name make =
   let config = Machine.with_predictor base ~name make in
@@ -128,12 +466,14 @@ let simulate ~warmup_blocks base plan placement name make =
   { config_name = name; mpki = Pipeline.mpki counts; cpi = Pipeline.cpi counts }
 
 (* The 145-configuration grid through either path; the timing target of
-   BENCH_sweep.json. Returns (points, fused_lanes, fallback_lanes, shards). *)
+   BENCH_sweep.json. Returns
+   (points, fused_lanes, fallback_lanes, shards, grid_seconds). *)
 let run_grid ?(base = Machine.xeon_e5440) ?plan ?(warmup_blocks = 0) ?(shards = 1) ?map_shards
     ?(fused = true) trace placement =
   let plan =
     match plan with Some p -> p | None -> Replay.compile base trace
   in
+  let t0 = Pi_obs.Clock.now () in
   let simulate = simulate ~warmup_blocks base plan placement in
   let configs = Array.of_list (configurations ()) in
   let n = Array.length configs in
@@ -143,7 +483,7 @@ let run_grid ?(base = Machine.xeon_e5440) ?plan ?(warmup_blocks = 0) ?(shards = 
   in
   if not fused then begin
     Array.iteri (fun i (name, make) -> points.(i) <- simulate name make) configs;
-    (points, 0, n, 0)
+    (points, 0, n, 0, Pi_obs.Clock.now () -. t0)
   end
   else begin
     let batch = grid_batch () in
@@ -169,43 +509,144 @@ let run_grid ?(base = Machine.xeon_e5440) ?plan ?(warmup_blocks = 0) ?(shards = 
         let name, make = configs.(i) in
         points.(i) <- simulate name make)
       (Replay.batch_fallback batch);
-    (points, Replay.batch_lanes batch, Array.length (Replay.batch_fallback batch), n_shards)
+    ( points,
+      Replay.batch_lanes batch,
+      Array.length (Replay.batch_fallback batch),
+      n_shards,
+      Pi_obs.Clock.now () -. t0 )
   end
 
 let run_study ?(base = Machine.xeon_e5440) ?plan ?(warmup_blocks = 0) ?(shards = 1) ?map_shards
-    ?(fused = true) ~benchmark trace placement =
+    ?(fused = true) ?surrogate ~benchmark trace placement =
   let plan =
     match plan with Some p -> p | None -> Replay.compile base trace
   in
-  let points, fused_lanes, fallback_lanes, shards_used =
-    run_grid ~base ~plan ~warmup_blocks ~shards ?map_shards ~fused trace placement
+  let configs = Array.of_list (configurations ()) in
+  let n = Array.length configs in
+  (* A budget that covers the whole grid IS the fused path: shortcut to it
+     so the result is bit-identical by construction. *)
+  let surrogate =
+    match surrogate with Some (Budget b) when b >= n -> None | s -> s
   in
   let simulate = simulate ~warmup_blocks base plan placement in
-  let perfect = simulate "perfect" Perfect.perfect in
-  let ltage_point = simulate "L-TAGE" (fun () -> Ltage.create ()) in
-  let xs = Array.map (fun p -> p.mpki) points in
-  let ys = Array.map (fun p -> p.cpi) points in
-  let regression = Pi_stats.Linreg.fit xs ys in
-  let predicted_perfect_cpi = Pi_stats.Linreg.predict regression 0.0 in
-  let predicted_ltage_cpi = Pi_stats.Linreg.predict regression ltage_point.mpki in
-  let error_percent predicted actual =
-    if actual = 0.0 then 0.0 else Float.abs (predicted -. actual) /. actual *. 100.0
+  let finish points ~fused_lanes ~fallback_lanes ~shards_used ~sources ~replayed_lanes
+      ~surrogate_rounds ~surrogate_max_abs_err ~surrogate_mean_abs_err ~grid_seconds =
+    let perfect = simulate "perfect" Perfect.perfect in
+    let ltage_point = simulate "L-TAGE" (fun () -> Ltage.create ()) in
+    let xs = Array.map (fun p -> p.mpki) points in
+    let ys = Array.map (fun p -> p.cpi) points in
+    let regression = Pi_stats.Linreg.fit xs ys in
+    let predicted_perfect_cpi = Pi_stats.Linreg.predict regression 0.0 in
+    let predicted_ltage_cpi = Pi_stats.Linreg.predict regression ltage_point.mpki in
+    let error_percent predicted actual =
+      if actual = 0.0 then 0.0 else Float.abs (predicted -. actual) /. actual *. 100.0
+    in
+    {
+      benchmark;
+      points;
+      perfect_cpi = perfect.cpi;
+      ltage_point;
+      regression;
+      predicted_perfect_cpi;
+      perfect_error_percent = error_percent predicted_perfect_cpi perfect.cpi;
+      predicted_ltage_cpi;
+      ltage_error_percent = error_percent predicted_ltage_cpi ltage_point.cpi;
+      warmup_blocks;
+      fused_lanes;
+      fallback_lanes;
+      shards = shards_used;
+      sources;
+      replayed_lanes;
+      surrogate_rounds;
+      surrogate_max_abs_err;
+      surrogate_mean_abs_err;
+      grid_seconds;
+      lane_seconds = grid_seconds /. float_of_int (max 1 replayed_lanes);
+    }
   in
-  {
-    benchmark;
-    points;
-    perfect_cpi = perfect.cpi;
-    ltage_point;
-    regression;
-    predicted_perfect_cpi;
-    perfect_error_percent = error_percent predicted_perfect_cpi perfect.cpi;
-    predicted_ltage_cpi;
-    ltage_error_percent = error_percent predicted_ltage_cpi ltage_point.cpi;
-    warmup_blocks;
-    fused_lanes;
-    fallback_lanes;
-    shards = shards_used;
-  }
+  match surrogate with
+  | None ->
+      let points, fused_lanes, fallback_lanes, shards_used, grid_seconds =
+        run_grid ~base ~plan ~warmup_blocks ~shards ?map_shards ~fused trace placement
+      in
+      finish points ~fused_lanes ~fallback_lanes ~shards_used
+        ~sources:(Array.make (Array.length points) Replayed)
+        ~replayed_lanes:(Array.length points) ~surrogate_rounds:0 ~surrogate_max_abs_err:0.0
+        ~surrogate_mean_abs_err:0.0 ~grid_seconds
+  | Some steering ->
+      let feats = Array.map (fun (name, _) -> Pi_stats.Surrogate.predictor_features name) configs in
+      (* Anchor the seed on the static predictors: the extreme ends of the
+         accuracy range, and the only fallback (kernel-less) lanes. *)
+      let anchors = ref [] in
+      Array.iteri
+        (fun i (name, _) ->
+          if name = "static-taken" || name = "static-not-taken" then anchors := i :: !anchors)
+        configs;
+      let seconds = ref 0.0 in
+      let fused_total = ref 0 and fallback_total = ref 0 and shards_seen = ref 0 in
+      let replay idxs =
+        let t0 = Pi_obs.Clock.now () in
+        let subset = Array.map (fun i -> configs.(i)) idxs in
+        let out = ref [] in
+        let emit i (p : point) = out := (i, [| p.mpki; p.cpi |]) :: !out in
+        if not fused then begin
+          Array.iteri (fun j (name, make) -> emit idxs.(j) (simulate name make)) subset;
+          fallback_total := !fallback_total + Array.length subset
+        end
+        else begin
+          (* The chosen lanes still run fused in one pass: a fresh sub-grid
+             batch packed from the subset, sharded like the full path. *)
+          let batch = Replay.batch_of subset in
+          let sub = Replay.shard batch ~shards in
+          let n_shards = Array.length sub in
+          shards_seen := max !shards_seen n_shards;
+          let run_shard s = Replay.run_many ~warmup_blocks plan sub.(s) placement in
+          let shard_counts =
+            match map_shards with
+            | Some m when n_shards > 1 -> m run_shard n_shards
+            | _ -> Array.init n_shards run_shard
+          in
+          Array.iteri
+            (fun s counts ->
+              let src = Replay.batch_src sub.(s) in
+              Array.iteri
+                (fun j c ->
+                  let gi = idxs.(src.(j)) in
+                  emit gi
+                    {
+                      config_name = fst configs.(gi);
+                      mpki = Pipeline.mpki c;
+                      cpi = Pipeline.cpi c;
+                    })
+                counts)
+            shard_counts;
+          Array.iter
+            (fun k ->
+              let gi = idxs.(k) in
+              let name, make = configs.(gi) in
+              emit gi (simulate name make))
+            (Replay.batch_fallback batch);
+          fused_total := !fused_total + Replay.batch_lanes batch;
+          fallback_total := !fallback_total + Array.length (Replay.batch_fallback batch)
+        end;
+        seconds := !seconds +. (Pi_obs.Clock.now () -. t0);
+        !out
+      in
+      let st =
+        steer ~steering ~feats ~anchors:(List.rev !anchors) ~n_targets:2 ~cpi_target:1 ~replay n
+      in
+      let points =
+        Array.init n (fun i ->
+            {
+              config_name = fst configs.(i);
+              mpki = st.st_values.(i).(0);
+              cpi = st.st_values.(i).(1);
+            })
+      in
+      finish points ~fused_lanes:!fused_total ~fallback_lanes:!fallback_total
+        ~shards_used:!shards_seen ~sources:st.st_sources ~replayed_lanes:st.st_replayed
+        ~surrogate_rounds:st.st_rounds ~surrogate_max_abs_err:st.st_max_err
+        ~surrogate_mean_abs_err:st.st_mean_err ~grid_seconds:!seconds
 
 (* ------------------------------------------------------------------ *)
 (* The cache-geometry axis (INTERPLAY's question): sweep way-disabled and
@@ -305,6 +746,13 @@ type cache_study = {
   cache_fused_lanes : int;
   cache_fallback_lanes : int;
   cache_shards : int;
+  cache_sources : source array;
+  cache_replayed_lanes : int;
+  cache_surrogate_rounds : int;
+  cache_surrogate_max_abs_err : float;
+  cache_surrogate_mean_abs_err : float;
+  cache_grid_seconds : float;
+  cache_lane_seconds : float;
 }
 
 let cache_point_of name gi gd counts =
@@ -331,6 +779,7 @@ let run_cache_grid ?(base = Machine.xeon_e5440) ?plan ?(warmup_blocks = 0) ?(sha
   let plan =
     match plan with Some p -> p | None -> Replay.compile base trace
   in
+  let t0 = Pi_obs.Clock.now () in
   let configs =
     materialize_cache_configurations ~l1i:base.Pipeline.l1i ~l2:base.Pipeline.l2
   in
@@ -351,7 +800,7 @@ let run_cache_grid ?(base = Machine.xeon_e5440) ?plan ?(warmup_blocks = 0) ?(sha
       (fun i (name, gi, gd) ->
         points.(i) <- simulate_cache ~warmup_blocks base plan placement name gi gd)
       configs;
-    (points, 0, n, 0)
+    (points, 0, n, 0, Pi_obs.Clock.now () -. t0)
   end
   else begin
     let batch = cache_grid_batch ~l1i:base.Pipeline.l1i ~l2:base.Pipeline.l2 in
@@ -372,49 +821,145 @@ let run_cache_grid ?(base = Machine.xeon_e5440) ?plan ?(warmup_blocks = 0) ?(sha
             points.(src.(j)) <- cache_point_of name gi gd c)
           counts)
       shard_counts;
-    (points, Replay.batch_lanes batch, 0, n_shards)
+    (points, Replay.batch_lanes batch, 0, n_shards, Pi_obs.Clock.now () -. t0)
   end
 
+let geometry_feature_vector g =
+  Pi_stats.Surrogate.geometry_features ~sets:(Cache.geometry_sets g) ~ways:g.Cache.assoc
+    ~line_bytes:g.Cache.line_bytes ~size_bytes:g.Cache.size_bytes
+
 let run_cache_study ?(base = Machine.xeon_e5440) ?plan ?(warmup_blocks = 0) ?(shards = 1)
-    ?map_shards ?(fused = true) ~benchmark trace placement =
+    ?map_shards ?(fused = true) ?surrogate ~benchmark trace placement =
   let plan =
     match plan with Some p -> p | None -> Replay.compile base trace
   in
-  let points, fused_lanes, fallback_lanes, shards_used =
-    run_cache_grid ~base ~plan ~warmup_blocks ~shards ?map_shards ~fused trace placement
+  let l1i = base.Pipeline.l1i and l2 = base.Pipeline.l2 in
+  let configs = materialize_cache_configurations ~l1i ~l2 in
+  let n = Array.length configs in
+  let surrogate =
+    match surrogate with Some (Budget b) when b >= n -> None | s -> s
   in
-  let is_seed p = p.l1i_geometry = base.Pipeline.l1i && p.l2_geometry = base.Pipeline.l2 in
-  let seed_point =
-    match Array.find_opt is_seed points with
-    | Some p -> p
-    | None ->
-        invalid_arg
-          "Sweep.run_cache_study: the grid does not contain the seed geometries (w8 variants \
-           missing?)"
+  let finish points ~fused_lanes ~fallback_lanes ~shards_used ~sources ~replayed_lanes
+      ~surrogate_rounds ~surrogate_max_abs_err ~surrogate_mean_abs_err ~grid_seconds =
+    let is_seed p = p.l1i_geometry = l1i && p.l2_geometry = l2 in
+    let seed_point =
+      match Array.find_opt is_seed points with
+      | Some p -> p
+      | None ->
+          invalid_arg
+            "Sweep.run_cache_study: the grid does not contain the seed geometries (w8 variants \
+             missing?)"
+    in
+    (* The INTERPLAY-style question: fit CPI against the two cache MPKIs over
+       the degraded points only, then predict the seed point's CPI from its
+       own miss rates and compare with the simulated truth. *)
+    let degraded = Array.of_list (List.filter (fun p -> not (is_seed p)) (Array.to_list points)) in
+    let xs = Array.map (fun p -> [| p.l1i_mpki; p.l2_mpki |]) degraded in
+    let ys = Array.map (fun p -> p.cache_cpi) degraded in
+    let degradation = Pi_stats.Multireg.fit xs ys in
+    let predicted_seed_cpi =
+      Pi_stats.Multireg.predict degradation [| seed_point.l1i_mpki; seed_point.l2_mpki |]
+    in
+    let seed_error_percent =
+      if seed_point.cache_cpi = 0.0 then 0.0
+      else Float.abs (predicted_seed_cpi -. seed_point.cache_cpi) /. seed_point.cache_cpi *. 100.0
+    in
+    {
+      cache_benchmark = benchmark;
+      cache_points = points;
+      seed_point;
+      degradation;
+      predicted_seed_cpi;
+      seed_error_percent;
+      cache_warmup_blocks = warmup_blocks;
+      cache_fused_lanes = fused_lanes;
+      cache_fallback_lanes = fallback_lanes;
+      cache_shards = shards_used;
+      cache_sources = sources;
+      cache_replayed_lanes = replayed_lanes;
+      cache_surrogate_rounds = surrogate_rounds;
+      cache_surrogate_max_abs_err = surrogate_max_abs_err;
+      cache_surrogate_mean_abs_err = surrogate_mean_abs_err;
+      cache_grid_seconds = grid_seconds;
+      cache_lane_seconds = grid_seconds /. float_of_int (max 1 replayed_lanes);
+    }
   in
-  (* The INTERPLAY-style question: fit CPI against the two cache MPKIs over
-     the degraded points only, then predict the seed point's CPI from its
-     own miss rates and compare with the simulated truth. *)
-  let degraded = Array.of_list (List.filter (fun p -> not (is_seed p)) (Array.to_list points)) in
-  let xs = Array.map (fun p -> [| p.l1i_mpki; p.l2_mpki |]) degraded in
-  let ys = Array.map (fun p -> p.cache_cpi) degraded in
-  let degradation = Pi_stats.Multireg.fit xs ys in
-  let predicted_seed_cpi =
-    Pi_stats.Multireg.predict degradation [| seed_point.l1i_mpki; seed_point.l2_mpki |]
-  in
-  let seed_error_percent =
-    if seed_point.cache_cpi = 0.0 then 0.0
-    else Float.abs (predicted_seed_cpi -. seed_point.cache_cpi) /. seed_point.cache_cpi *. 100.0
-  in
-  {
-    cache_benchmark = benchmark;
-    cache_points = points;
-    seed_point;
-    degradation;
-    predicted_seed_cpi;
-    seed_error_percent;
-    cache_warmup_blocks = warmup_blocks;
-    cache_fused_lanes = fused_lanes;
-    cache_fallback_lanes = fallback_lanes;
-    cache_shards = shards_used;
-  }
+  match surrogate with
+  | None ->
+      let points, fused_lanes, fallback_lanes, shards_used, grid_seconds =
+        run_cache_grid ~base ~plan ~warmup_blocks ~shards ?map_shards ~fused trace placement
+      in
+      finish points ~fused_lanes ~fallback_lanes ~shards_used
+        ~sources:(Array.make (Array.length points) Replayed)
+        ~replayed_lanes:(Array.length points) ~surrogate_rounds:0 ~surrogate_max_abs_err:0.0
+        ~surrogate_mean_abs_err:0.0 ~grid_seconds
+  | Some steering ->
+      let feats =
+        Array.map
+          (fun (_, gi, gd) ->
+            Array.append (geometry_feature_vector gi) (geometry_feature_vector gd))
+          configs
+      in
+      (* Anchor on the seed machine (so it is always replayed truth, never a
+         prediction) and the most-degraded corner. *)
+      let seed_idx = ref 0 in
+      Array.iteri (fun i (_, gi, gd) -> if gi = l1i && gd = l2 then seed_idx := i) configs;
+      let anchors = [ !seed_idx; 0 ] in
+      let seconds = ref 0.0 in
+      let fused_total = ref 0 and fallback_total = ref 0 and shards_seen = ref 0 in
+      let replay idxs =
+        let t0 = Pi_obs.Clock.now () in
+        let out = ref [] in
+        let emit i (p : cache_point) = out := (i, [| p.l1i_mpki; p.l2_mpki; p.cache_cpi |]) :: !out in
+        if not fused then begin
+          Array.iter
+            (fun gi_idx ->
+              let name, gi, gd = configs.(gi_idx) in
+              emit gi_idx (simulate_cache ~warmup_blocks base plan placement name gi gd))
+            idxs;
+          fallback_total := !fallback_total + Array.length idxs
+        end
+        else begin
+          let subset = Array.map (fun i -> configs.(i)) idxs in
+          let batch = Replay.cache_batch_of ~l1i ~l2 subset in
+          let sub = Replay.shard batch ~shards in
+          let n_shards = Array.length sub in
+          shards_seen := max !shards_seen n_shards;
+          let run_shard s = Replay.run_many ~warmup_blocks plan sub.(s) placement in
+          let shard_counts =
+            match map_shards with
+            | Some m when n_shards > 1 -> m run_shard n_shards
+            | _ -> Array.init n_shards run_shard
+          in
+          Array.iteri
+            (fun s counts ->
+              let src = Replay.batch_src sub.(s) in
+              Array.iteri
+                (fun j c ->
+                  let gi_idx = idxs.(src.(j)) in
+                  let name, gi, gd = configs.(gi_idx) in
+                  emit gi_idx (cache_point_of name gi gd c))
+                counts)
+            shard_counts;
+          fused_total := !fused_total + Replay.batch_lanes batch
+        end;
+        seconds := !seconds +. (Pi_obs.Clock.now () -. t0);
+        !out
+      in
+      let st = steer ~steering ~feats ~anchors ~n_targets:3 ~cpi_target:2 ~replay n in
+      let points =
+        Array.init n (fun i ->
+            let name, gi, gd = configs.(i) in
+            {
+              geometry_name = name;
+              l1i_geometry = gi;
+              l2_geometry = gd;
+              l1i_mpki = st.st_values.(i).(0);
+              l2_mpki = st.st_values.(i).(1);
+              cache_cpi = st.st_values.(i).(2);
+            })
+      in
+      finish points ~fused_lanes:!fused_total ~fallback_lanes:!fallback_total
+        ~shards_used:!shards_seen ~sources:st.st_sources ~replayed_lanes:st.st_replayed
+        ~surrogate_rounds:st.st_rounds ~surrogate_max_abs_err:st.st_max_err
+        ~surrogate_mean_abs_err:st.st_mean_err ~grid_seconds:!seconds

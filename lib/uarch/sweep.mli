@@ -17,6 +17,20 @@ val configurations : unit -> (string * (unit -> Predictor.t)) list
 
 type point = { config_name : string; mpki : float; cpi : float }
 
+type source = Replayed | Predicted
+(** How a grid point's values were obtained: simulated truth, or filled in
+    by the steering surrogate. *)
+
+type steering =
+  | Budget of int
+      (** replay at most this many grid lanes (clamped to [2 .. n]; a
+          budget covering the whole grid shortcuts to the plain fused
+          path, bit-identically) *)
+  | Max_err of float
+      (** keep replaying until the surrogate's relative CPI uncertainty is
+          below this percentage everywhere (reaching the whole grid in the
+          worst case) *)
+
 type study = {
   benchmark : string;
   points : point array;  (** the 145 imperfect configurations *)
@@ -32,6 +46,18 @@ type study = {
   fallback_lanes : int;  (** configurations on the sequential per-config path
       (all of them when [fused=false]) *)
   shards : int;  (** fused sub-batches executed (0 when [fused=false]) *)
+  sources : source array;  (** aligned with [points]; all [Replayed] unless
+      the study was surrogate-steered *)
+  replayed_lanes : int;  (** grid points carrying simulated truth *)
+  surrogate_rounds : int;  (** steering fit-replay rounds (0 when unsteered) *)
+  surrogate_max_abs_err : float;
+      (** max abs CPI error, percent, of the surrogate's pre-replay
+          predictions against the replayed holdout lanes (0 when unsteered
+          or when no steering round ran) *)
+  surrogate_mean_abs_err : float;  (** mean of the same holdout errors *)
+  grid_seconds : float;  (** wall seconds spent replaying the grid *)
+  lane_seconds : float;  (** [grid_seconds / replayed_lanes] — the measured
+      per-lane replay cost steering budgets against *)
 }
 
 type shard_map = (int -> Pipeline.counts array) -> int -> Pipeline.counts array array
@@ -48,13 +74,13 @@ val run_grid :
   ?fused:bool ->
   Pi_isa.Trace.t ->
   Pi_layout.Placement.t ->
-  point array * int * int * int
+  point array * int * int * int * float
 (** Just the 145-configuration grid of {!run_study}, without the perfect
     and L-TAGE reference simulations or the regression: the unit the fused
     engine accelerates, and the timing target of the sweep benchmark
     ([BENCH_sweep.json]). Returns
-    [(points, fused_lanes, fallback_lanes, shards)]; all arguments behave
-    as in {!run_study}. *)
+    [(points, fused_lanes, fallback_lanes, shards, grid_seconds)]; all
+    arguments behave as in {!run_study}. *)
 
 val run_study :
   ?base:Pipeline.config ->
@@ -63,6 +89,7 @@ val run_study :
   ?shards:int ->
   ?map_shards:shard_map ->
   ?fused:bool ->
+  ?surrogate:steering ->
   benchmark:string ->
   Pi_isa.Trace.t ->
   Pi_layout.Placement.t ->
@@ -82,7 +109,19 @@ val run_study :
     kernel-less configurations (the static predictors), plus perfect and
     L-TAGE, take the sequential per-config path. [fused:false] forces the
     sequential loop for everything; results are bit-identical either way,
-    and the merge order is deterministic regardless of [shards]. *)
+    and the merge order is deterministic regardless of [shards].
+
+    [surrogate] switches on steering: the study seeds with a deterministic
+    space-filling subset of the grid (anchored on the static predictors),
+    fits a {!Pi_stats.Surrogate} per target metric in log space, and
+    replays — fused, via {!Replay.batch_of} sub-batches — only the lanes
+    whose predicted CPI uncertainty still exceeds the tolerance
+    ([Max_err]) or ranks highest under the lane budget ([Budget]),
+    filling the rest from the model. [sources] tags each point, and
+    [surrogate_max_abs_err]/[surrogate_mean_abs_err] report the model's
+    pre-replay predictions against every lane that was subsequently
+    replayed. Steering is deterministic: no RNG anywhere, so two steered
+    runs of the same study replay the same lanes. *)
 
 (** {1 The cache-geometry axis}
 
@@ -136,6 +175,13 @@ type cache_study = {
   cache_fused_lanes : int;
   cache_fallback_lanes : int;  (** all of them when [fused=false], else 0 *)
   cache_shards : int;  (** fused sub-batches executed (0 when [fused=false]) *)
+  cache_sources : source array;  (** aligned with [cache_points] *)
+  cache_replayed_lanes : int;
+  cache_surrogate_rounds : int;
+  cache_surrogate_max_abs_err : float;  (** percent CPI, replayed holdouts *)
+  cache_surrogate_mean_abs_err : float;
+  cache_grid_seconds : float;
+  cache_lane_seconds : float;
 }
 
 val run_cache_grid :
@@ -147,13 +193,13 @@ val run_cache_grid :
   ?fused:bool ->
   Pi_isa.Trace.t ->
   Pi_layout.Placement.t ->
-  cache_point array * int * int * int
+  cache_point array * int * int * int * float
 (** Just the 100-geometry grid of {!run_cache_study}, without the
     regression: the unit the fused cache axis accelerates, and the timing
     target of [BENCH_cache_sweep.json]. Returns
-    [(points, fused_lanes, fallback_lanes, shards)]; all arguments behave
-    as in {!run_study} (the fused batch is one {!Replay.cache_batch_of}
-    pack, memoized per seed-geometry pair). *)
+    [(points, fused_lanes, fallback_lanes, shards, grid_seconds)]; all
+    arguments behave as in {!run_study} (the fused batch is one
+    {!Replay.cache_batch_of} pack, memoized per seed-geometry pair). *)
 
 val run_cache_study :
   ?base:Pipeline.config ->
@@ -162,6 +208,7 @@ val run_cache_study :
   ?shards:int ->
   ?map_shards:shard_map ->
   ?fused:bool ->
+  ?surrogate:steering ->
   benchmark:string ->
   Pi_isa.Trace.t ->
   Pi_layout.Placement.t ->
@@ -170,4 +217,7 @@ val run_cache_study :
     degradation model over the 99 degraded points and evaluate its
     prediction at the seed point's miss rates against the simulated seed
     CPI. Sharding/fusion arguments behave exactly as in {!run_study};
-    results are bit-identical across [fused] and [shards] settings. *)
+    results are bit-identical across [fused] and [shards] settings.
+    [surrogate] steers exactly as in {!run_study}, on
+    {!Pi_stats.Surrogate.geometry_features} of the L1I/L2 pair, with the
+    seed machine's lane anchored into the replayed set. *)

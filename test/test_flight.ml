@@ -266,6 +266,40 @@ let test_compare_failed_jobs_and_ungated () =
   in
   Alcotest.(check int) "disjoint bags share nothing" 0 (List.length deltas)
 
+let test_compare_surrogate_error_rules () =
+  (* Surrogate accuracy metrics gate lower-better on the _abs_err and
+     _max_err suffixes with a 100% tolerance: errors live near zero, so
+     only a doubling regresses. *)
+  let before =
+    [ ("surrogate_max_abs_err", 0.010); ("surrogate_predicted_cpi_max_err", 0.012) ]
+  in
+  (* Within 2x: jitter, not regression. *)
+  let after_ok =
+    [ ("surrogate_max_abs_err", 0.018); ("surrogate_predicted_cpi_max_err", 0.020) ]
+  in
+  Alcotest.(check int) "sub-doubling error growth is noise" 0
+    (List.length
+       (History.regressions (History.compare_metrics ~before ~after:after_ok ())));
+  (* Past 2x: the model got meaningfully worse. *)
+  let after_bad =
+    [ ("surrogate_max_abs_err", 0.025); ("surrogate_predicted_cpi_max_err", 0.012) ]
+  in
+  (match History.regressions (History.compare_metrics ~before ~after:after_bad ()) with
+  | [ d ] ->
+      Alcotest.(check string) "the doubled error regressed" "surrogate_max_abs_err"
+        d.History.metric;
+      (match d.History.rule with
+      | Some r ->
+          Alcotest.(check bool) "gated by a lower-better rule" true
+            (r.History.direction = History.Lower_better)
+      | None -> Alcotest.fail "error metric matched no rule")
+  | ds -> Alcotest.failf "expected exactly 1 regression, got %d" (List.length ds));
+  (* Shrinking errors are improvements, never regressions. *)
+  let after_better = [ ("surrogate_max_abs_err", 0.001) ] in
+  Alcotest.(check int) "an error drop never regresses" 0
+    (List.length
+       (History.regressions (History.compare_metrics ~before ~after:after_better ())))
+
 (* ---------------- Span buffer bound (flight-recorder memory) -------- *)
 
 let test_span_buffer_cap_and_drop_counter () =
@@ -336,6 +370,8 @@ let suite =
           test_compare_zero_throughput_skips;
         Alcotest.test_case "compare: failed_jobs gates, ungated informational" `Quick
           test_compare_failed_jobs_and_ungated;
+        Alcotest.test_case "compare: surrogate error suffixes gate lower-better" `Quick
+          test_compare_surrogate_error_rules;
         Alcotest.test_case "span: global buffer cap drops and counts" `Quick
           test_span_buffer_cap_and_drop_counter;
         Alcotest.test_case "span: collector cap drops and counts" `Quick

@@ -307,6 +307,63 @@ let test_jobs_execute_bundle () =
       Alcotest.(check bool) "reason carried in error field" true
         (match field doc "error" with Some (J.String _) -> true | _ -> false)
 
+let test_jobs_execute_estimate () =
+  (* An estimate never replays: on an empty cache it is an ok:false
+     document naming its measure twin; once the twin has run (filling the
+     cache), re-executing the estimate reproduces the twin's fit
+     bit-for-bit. *)
+  let state = tmp_dir () in
+  let cache = Pi_campaign.Obs_cache.create ~dir:(Filename.concat state "cache") in
+  let parse body =
+    match J.parse body with
+    | Ok json -> (
+        match Jobs.parse json with
+        | Ok p -> p
+        | Error msg -> Alcotest.failf "params: %s" msg)
+    | Error msg -> Alcotest.failf "json: %s" msg
+  in
+  let field doc name =
+    match doc with J.Obj fields -> List.assoc_opt name fields | _ -> None
+  in
+  let est = parse {|{"kind":"estimate","bench":"429.mcf","layouts":3,"quick":true}|} in
+  let meas = parse {|{"kind":"measure","bench":"429.mcf","layouts":3,"quick":true}|} in
+  Alcotest.(check bool) "estimate and twin have distinct keys" true
+    (Jobs.key est <> Jobs.key meas);
+  (match Jobs.execute ~cache est with
+  | Error msg -> Alcotest.failf "cold estimate failed: %s" msg
+  | Ok doc ->
+      Alcotest.(check bool) "cold cache estimates ok:false" true
+        (field doc "ok" = Some (J.Bool false));
+      Alcotest.(check bool) "cold estimate names its twin" true
+        (field doc "refined_job"
+        = Some (J.String (Jobs.id_of_key (Jobs.key meas)))));
+  let refined_fit =
+    match Jobs.execute ~cache meas with
+    | Error msg -> Alcotest.failf "measure twin failed: %s" msg
+    | Ok doc -> (
+        match field doc "benches" with
+        | Some (J.List [ bench ]) -> (
+            match bench with
+            | J.Obj fields -> (
+                match List.assoc_opt "fit" fields with
+                | Some fit -> fit
+                | None -> Alcotest.fail "measure doc carries no fit")
+            | _ -> Alcotest.fail "malformed bench doc")
+        | _ -> Alcotest.fail "measure doc carries no benches")
+  in
+  match Jobs.execute ~cache est with
+  | Error msg -> Alcotest.failf "warm estimate failed: %s" msg
+  | Ok doc ->
+      Alcotest.(check bool) "warm cache estimates ok:true" true
+        (field doc "ok" = Some (J.Bool true));
+      Alcotest.(check bool) "fully cached estimate is not stale" true
+        (field doc "stale" = Some (J.Bool false));
+      (match field doc "fit" with
+      | Some fit ->
+          Alcotest.(check string) "estimate fit converges on the refined fit"
+            (J.to_string refined_fit) (J.to_string fit)
+      | None -> Alcotest.fail "warm estimate carries no fit")
+
 (* ---- in-process daemon round trip --------------------------------- *)
 
 let test_server_roundtrip () =
@@ -370,6 +427,58 @@ let test_server_roundtrip () =
              contains body {|"status":"done"|})
       | Ok (code, _) -> Alcotest.failf "job list returned %d" code
       | Error msg -> Alcotest.failf "job list failed: %s" msg)
+
+let test_server_estimate_refinement () =
+  (* One estimate submission produces two jobs: the instant estimate and
+     the background measure twin it names in "refined_job" — both finish,
+     under distinct ids, with distinct documents. *)
+  let state_dir = tmp_dir () in
+  let options = { (Server.default_options ~state_dir) with Server.workers = 1 } in
+  let server = Server.start options in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let conn = { Client.host = "127.0.0.1"; port = Server.port server } in
+      (match Client.wait_ready conn with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "daemon not ready: %s" msg);
+      let body = {|{"kind":"estimate","bench":"429.mcf","layouts":3,"quick":true}|} in
+      let id =
+        match Client.submit ~client:"tests" conn ~body with
+        | Error msg -> Alcotest.failf "submit failed: %s" msg
+        | Ok (J.Obj fields) -> (
+            match List.assoc_opt "id" fields with
+            | Some (J.String id) -> id
+            | _ -> Alcotest.fail "no id in acknowledgement")
+        | Ok _ -> Alcotest.fail "malformed acknowledgement"
+      in
+      let doc =
+        match Client.wait_job ~timeout:120.0 conn ~id with
+        | Ok body -> (
+            match J.parse body with
+            | Ok doc -> doc
+            | Error msg -> Alcotest.failf "estimate doc unparsable: %s" msg)
+        | Error msg -> Alcotest.failf "estimate did not finish: %s" msg
+      in
+      let field name =
+        match doc with J.Obj fields -> List.assoc_opt name fields | _ -> None
+      in
+      Alcotest.(check bool) "estimate doc has kind estimate" true
+        (field "kind" = Some (J.String "estimate"));
+      let refined_id =
+        match field "refined_job" with
+        | Some (J.String rid) -> rid
+        | _ -> Alcotest.fail "estimate doc names no refined job"
+      in
+      Alcotest.(check bool) "twin runs under a distinct id" true (refined_id <> id);
+      match Client.wait_job ~timeout:120.0 conn ~id:refined_id with
+      | Error msg -> Alcotest.failf "background refinement did not finish: %s" msg
+      | Ok body -> (
+          match J.parse body with
+          | Ok (J.Obj fields) ->
+              Alcotest.(check bool) "refined doc is a measure document" true
+                (List.assoc_opt "kind" fields = Some (J.String "measure"))
+          | _ -> Alcotest.fail "refined doc unparsable"))
 
 let test_server_replay_dedups_submits () =
   (* A crash between the WAL append and the client ack makes the client
@@ -570,11 +679,15 @@ let suite =
           test_jobs_parse_and_key;
         Alcotest.test_case "bundle job verifies a bundle directory" `Quick
           test_jobs_execute_bundle;
+        Alcotest.test_case "estimate job converges on its measure twin" `Quick
+          test_jobs_execute_estimate;
       ] );
     ( "serve.daemon",
       [
         Alcotest.test_case "submit/wait/result + restart replay" `Quick
           test_server_roundtrip;
+        Alcotest.test_case "estimate enqueues a background refinement" `Quick
+          test_server_estimate_refinement;
         Alcotest.test_case "duplicate WAL submits collapse onto one job" `Quick
           test_server_replay_dedups_submits;
         Alcotest.test_case "flight recorder: timeseries + trace across restart" `Quick
